@@ -1,0 +1,43 @@
+//! Estimation-time cost: ESTSKIMJOINSIZE (scan and dyadic extraction)
+//! versus basic AGMS ESTJOINSIZE at equal synopsis budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use ss_bench::JoinWorkload;
+use std::hint::black_box;
+use stream_model::Domain;
+use stream_sketches::{AgmsSchema, AgmsSketch};
+
+fn bench_estimate(c: &mut Criterion) {
+    let domain = Domain::with_log2(14);
+    let w = JoinWorkload::zipf(domain, 1.2, 50, 200_000, 3);
+    let cfg = EstimatorConfig::default();
+
+    let schema = SkimmedSchema::scanning(domain, 7, 512, 1);
+    let sf = SkimmedSketch::from_frequencies(schema.clone(), w.f.nonzero());
+    let sg = SkimmedSketch::from_frequencies(schema, w.g.nonzero());
+    c.bench_function("estimate/skimmed-scan", |b| {
+        b.iter(|| black_box(estimate_join(&sf, &sg, &cfg)))
+    });
+
+    let dschema = SkimmedSchema::dyadic(domain, 7, 512, 1);
+    let df = SkimmedSketch::from_frequencies(dschema.clone(), w.f.nonzero());
+    let dg = SkimmedSketch::from_frequencies(dschema, w.g.nonzero());
+    c.bench_function("estimate/skimmed-dyadic", |b| {
+        b.iter(|| black_box(estimate_join(&df, &dg, &cfg)))
+    });
+
+    let aschema = AgmsSchema::new(7, 512, 1);
+    let af = AgmsSketch::from_frequencies(aschema.clone(), w.f.nonzero());
+    let ag = AgmsSketch::from_frequencies(aschema, w.g.nonzero());
+    c.bench_function("estimate/basic-agms", |b| {
+        b.iter(|| black_box(af.estimate_join(&ag)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimate
+}
+criterion_main!(benches);

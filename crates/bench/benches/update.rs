@@ -1,0 +1,155 @@
+//! Per-element update cost — the paper's processing-time claim (§4.1, §6).
+//!
+//! Basic AGMS touches every one of its `s1·s2` counters per element, so its
+//! update time grows linearly with the synopsis; the hash sketch touches
+//! one counter per table (`O(s1)`), and the dyadic variant `O(s1·log N)` —
+//! both independent of the bucket count. The groups below sweep the synopsis
+//! size so the contrast is visible in the report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{DyadicHashSketch, DyadicSchema};
+use std::hint::black_box;
+use stream_model::gen::ZipfGenerator;
+use stream_model::Domain;
+use stream_hash::{BchKey, BchSignFamily, KWiseHash, SeedSequence, SignFamily};
+use stream_sketches::{
+    AgmsSchema, AgmsSketch, CountMinSchema, CountMinSketch, HashSketch, HashSketchSchema,
+};
+
+const BATCH: usize = 10_000;
+
+fn values(domain: Domain) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let z = ZipfGenerator::new(domain, 1.0, 0);
+    (0..BATCH).map(|_| z.sample(&mut rng)).collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let domain = Domain::with_log2(18);
+    let vals = values(domain);
+
+    let mut g = c.benchmark_group("update/basic-agms");
+    for &words in &[512usize, 2048, 8192] {
+        let schema = AgmsSchema::new(8, words / 8, 1);
+        let mut sk = AgmsSketch::new(schema);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, _| {
+            b.iter(|| {
+                for &v in &vals {
+                    sk.add_weighted(black_box(v), 1);
+                }
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("update/hash-sketch");
+    for &words in &[512usize, 2048, 8192] {
+        let schema = HashSketchSchema::new(8, words / 8, 2);
+        let mut sk = HashSketch::new(schema);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, _| {
+            b.iter(|| {
+                for &v in &vals {
+                    sk.add_weighted(black_box(v), 1);
+                }
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("update/dyadic-hash-sketch");
+    for &words in &[512usize, 2048] {
+        let schema = DyadicSchema::new(domain, 8, words / 8, 3);
+        let mut sk = DyadicHashSketch::new(schema);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, _| {
+            b.iter(|| {
+                for &v in &vals {
+                    sk.add_weighted(black_box(v), 1);
+                }
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("update/count-min");
+    let schema = CountMinSchema::new(8, 256, 4);
+    let mut sk = CountMinSketch::new(schema);
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("2048", |b| {
+        b.iter(|| {
+            for &v in &vals {
+                stream_model::StreamSink::update(&mut sk, stream_model::Update::insert(black_box(v)));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Sign-family evaluation cost — the inner loop of every sketch update.
+/// The BCH family amortizes its field cube across many families per key,
+/// which is why the AGMS baseline uses it; the polynomial family is the
+/// self-contained default of the hash sketch.
+fn bench_sign_families(c: &mut Criterion) {
+    const FAMILIES: usize = 512;
+    let keys: Vec<u64> = (0..256u64).map(|i| i * 2654435761).collect();
+
+    let poly: Vec<SignFamily> = (0..FAMILIES)
+        .map(|i| SignFamily::from_seed(SeedSequence::new(1).fork(i as u64)))
+        .collect();
+    let mut g = c.benchmark_group("sign-eval");
+    g.throughput(Throughput::Elements((FAMILIES * keys.len()) as u64));
+    g.bench_function("poly-degree3", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &k in &keys {
+                for f in &poly {
+                    acc += f.sign(black_box(k));
+                }
+            }
+            acc
+        })
+    });
+
+    let bch: Vec<BchSignFamily> = (0..FAMILIES)
+        .map(|i| BchSignFamily::from_seed(SeedSequence::new(2).fork(i as u64)))
+        .collect();
+    g.bench_function("bch-shared-cube", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &k in &keys {
+                let key = BchKey::new(black_box(k));
+                for f in &bch {
+                    acc += f.sign_key(key);
+                }
+            }
+            acc
+        })
+    });
+
+    let kwise: Vec<KWiseHash> = (0..FAMILIES)
+        .map(|i| KWiseHash::from_seed(SeedSequence::new(3).fork(i as u64), 4))
+        .collect();
+    g.bench_function("kwise-generic-4", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &k in &keys {
+                for f in &kwise {
+                    acc += f.sign(black_box(k));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates, bench_sign_families
+}
+criterion_main!(benches);

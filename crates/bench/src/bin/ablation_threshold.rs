@@ -1,0 +1,89 @@
+//! Ablation: **threshold policy** (DESIGN.md design choice).
+//!
+//! Compares the skimmed estimator under the distribution-free worst-case
+//! threshold `T = c·n/√b` against the adaptive `T = c·√(F̂₂/b)` across
+//! skews and constants, and contrasts with a Count-Min point estimator to
+//! justify the CountSketch-style bucket signs.
+//!
+//! Run: `cargo run -p ss-bench --release --bin ablation_threshold [--paper]`
+
+use skimmed_sketch::{EstimatorConfig, ThresholdPolicy};
+use ss_bench::{skimmed_estimate, JoinWorkload, Scale};
+use stream_model::metrics::{ratio_error, Summary};
+use stream_model::table::{fmt_f64, Table};
+use stream_model::Domain;
+use stream_sketches::{CountMinSchema, CountMinSketch};
+use stream_model::update::StreamSink;
+
+fn cm_error(w: &JoinWorkload, depth: usize, width: usize, seed: u64) -> f64 {
+    let schema = CountMinSchema::new(depth, width, seed);
+    let mut cf = CountMinSketch::new(schema.clone());
+    let mut cg = CountMinSketch::new(schema);
+    for u in w.f.to_unit_updates() {
+        cf.update(u);
+    }
+    for u in w.g.to_unit_updates() {
+        cg.update(u);
+    }
+    ratio_error(cf.join_estimate(&cg), w.actual as f64)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (log2, n, reps) = match scale {
+        Scale::Quick => (14u32, 200_000usize, 3usize),
+        Scale::Paper => (16, 1_000_000, 5),
+    };
+    let domain = Domain::with_log2(log2);
+    let (tables, buckets) = (7usize, 512usize);
+
+    let policies: Vec<(&str, ThresholdPolicy)> = vec![
+        ("worst-case c=1", ThresholdPolicy::WorstCase { factor: 1.0 }),
+        ("worst-case c=2", ThresholdPolicy::WorstCase { factor: 2.0 }),
+        ("adaptive c=2", ThresholdPolicy::Adaptive { factor: 2.0 }),
+        ("adaptive c=3", ThresholdPolicy::Adaptive { factor: 3.0 }),
+        ("adaptive c=5", ThresholdPolicy::Adaptive { factor: 5.0 }),
+    ];
+
+    let mut t = Table::new(["zipf_z", "policy", "mean_err", "max_err", "mean_dense_f"]);
+
+    for &z in &[0.8f64, 1.0, 1.2, 1.5] {
+        let w = JoinWorkload::zipf(domain, z, 40, n, 0xAB1 + (z * 10.0) as u64);
+        for (name, policy) in &policies {
+            let cfg = EstimatorConfig {
+                policy: *policy,
+                ..EstimatorConfig::default()
+            };
+            let mut errs = Vec::with_capacity(reps);
+            let mut dense = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let est = skimmed_estimate(&w, tables, buckets, 0x7777 + rep as u64, &cfg);
+                errs.push(ratio_error(est.estimate, w.actual as f64));
+                dense.push(est.dense_f as f64);
+            }
+            let s = Summary::of(&errs);
+            t.push_row([
+                format!("{z}"),
+                name.to_string(),
+                fmt_f64(s.mean),
+                fmt_f64(s.max),
+                fmt_f64(Summary::of(&dense).mean),
+            ]);
+        }
+        // Count-Min comparator at equal space (inner-product upper bound).
+        let cm = cm_error(&w, tables, buckets, 0xC0DE);
+        t.push_row([
+            format!("{z}"),
+            "count-min (comparator)".to_string(),
+            fmt_f64(cm),
+            fmt_f64(cm),
+            "-".to_string(),
+        ]);
+    }
+
+    println!(
+        "Threshold-policy ablation: {tables}x{buckets} hash sketch, domain 2^{log2}, n={n}\n"
+    );
+    println!("{}", t.to_aligned());
+    println!("--- CSV ---\n{}", t.to_csv());
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's **Census experiment** (§5.1, detailed in the
+//! full version): join of the *weekly wage* and *weekly wage overtime*
+//! attributes over ~159K survey records, domain 2^16, basic AGMS vs.
+//! skimmed at equal space. Our records are the census-like synthetic
+//! substitute described in DESIGN.md (the CPS extract is not
+//! redistributable); the qualitative claim under reproduction is that the
+//! skimmed estimator attains roughly half (or better) the ratio error of
+//! basic sketching on this moderately-skewed real-life-shaped join.
+//!
+//! Run: `cargo run -p ss-bench --release --bin census [--paper]`
+
+use ss_bench::{figures, JoinWorkload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let w = vec![JoinWorkload::census(scale.census_records(), 0xCE5505)];
+    let table = figures::run_figure(
+        "Census experiment: weekly wage ⋈ weekly overtime (synthetic CPS substitute)",
+        &w,
+        scale,
+        0xF1CE,
+    );
+    figures::emit(&table);
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 5(a)** of the paper: ratio error vs. space for
+//! basic AGMS vs. skimmed sketches on Zipf(1.0) ⋈ shifted-Zipf(1.0),
+//! shifts 100 / 200 / 300.
+//!
+//! Run: `cargo run -p ss-bench --release --bin fig5a [--paper]`
+
+use ss_bench::{figures, JoinWorkload, Scale};
+use stream_model::Domain;
+
+fn main() {
+    let scale = Scale::from_args();
+    let domain = Domain::with_log2(scale.domain_log2());
+    let n = scale.stream_len();
+    let workloads: Vec<JoinWorkload> = [100u64, 200, 300]
+        .iter()
+        .map(|&shift| JoinWorkload::zipf(domain, 1.0, shift, n, 0x5A01 + shift))
+        .collect();
+    let table = figures::run_figure(
+        "Figure 5(a): Basic AGMS vs Skimmed, Zipf z=1.0, shifts {100,200,300}",
+        &workloads,
+        scale,
+        0xF16A,
+    );
+    figures::emit(&table);
+}

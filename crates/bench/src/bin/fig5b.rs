@@ -1,0 +1,26 @@
+//! Regenerates **Figure 5(b)** of the paper: ratio error vs. space for
+//! basic AGMS vs. skimmed sketches on Zipf(1.5) ⋈ shifted-Zipf(1.5),
+//! shifts 30 / 50 (smaller shifts because z=1.5 concentrates the mass —
+//! larger shifts would make the join size vanish, per §5.1).
+//!
+//! Run: `cargo run -p ss-bench --release --bin fig5b [--paper]`
+
+use ss_bench::{figures, JoinWorkload, Scale};
+use stream_model::Domain;
+
+fn main() {
+    let scale = Scale::from_args();
+    let domain = Domain::with_log2(scale.domain_log2());
+    let n = scale.stream_len();
+    let workloads: Vec<JoinWorkload> = [30u64, 50]
+        .iter()
+        .map(|&shift| JoinWorkload::zipf(domain, 1.5, shift, n, 0x5B01 + shift))
+        .collect();
+    let table = figures::run_figure(
+        "Figure 5(b): Basic AGMS vs Skimmed, Zipf z=1.5, shifts {30,50}",
+        &workloads,
+        scale,
+        0xF16B,
+    );
+    figures::emit(&table);
+}

@@ -1,0 +1,70 @@
+//! Space-scaling validation: the paper's central asymptotic claim is that
+//! the skimmed estimator needs `O(n²/(εJ))` words — error shrinking like
+//! `1/space` — while basic AGMS needs the square, i.e. error shrinking
+//! like `1/√space`. This harness sweeps space on a fixed workload, fits
+//! the log-log slope of mean ratio error vs. words for both methods, and
+//! prints the fitted exponents (expect roughly −1 vs −0.5 until either
+//! estimator bottoms out at its noise floor).
+//!
+//! Run: `cargo run -p ss-bench --release --bin scaling [--paper]`
+
+use skimmed_sketch::EstimatorConfig;
+use ss_bench::{compare_at_space, JoinWorkload, Scale};
+use stream_model::table::{fmt_f64, Table};
+use stream_model::Domain;
+
+/// Least-squares slope of ln(err) on ln(space).
+fn loglog_slope(points: &[(usize, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(_, e)| e > 1e-9)
+        .map(|&(s, e)| ((s as f64).ln(), e.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (log2, n, reps) = match scale {
+        Scale::Quick => (14u32, 300_000usize, 3usize),
+        Scale::Paper => (18, 4_000_000, 5),
+    };
+    let domain = Domain::with_log2(log2);
+    let w = JoinWorkload::zipf(domain, 1.0, 60, n, 0x5CA1E);
+    let spaces: Vec<usize> = vec![256, 512, 1024, 2048, 4096, 8192, 16384];
+    let cfg = EstimatorConfig::default();
+
+    let mut table = Table::new(["space_words", "basic_mean_err", "skim_mean_err"]);
+    let mut basic_pts = Vec::new();
+    let mut skim_pts = Vec::new();
+    for &space in &spaces {
+        let cmp = compare_at_space(&w, space, &[11], reps, 0xF17 ^ space as u64, &cfg);
+        basic_pts.push((space, cmp.basic.mean));
+        skim_pts.push((space, cmp.skimmed.mean));
+        table.push_row([
+            space.to_string(),
+            fmt_f64(cmp.basic.mean),
+            fmt_f64(cmp.skimmed.mean),
+        ]);
+    }
+
+    println!("Space-scaling: {} , n={n}, domain 2^{log2}\n", w.label);
+    println!("{}", table.to_aligned());
+    println!(
+        "fitted error-vs-space exponents: basic {:.2}  skimmed {:.2}",
+        loglog_slope(&basic_pts),
+        loglog_slope(&skim_pts)
+    );
+    println!(
+        "(theory: basic −0.5, skimmed −1.0, flattening once an estimator hits its floor)"
+    );
+    println!("--- CSV ---\n{}", table.to_csv());
+}

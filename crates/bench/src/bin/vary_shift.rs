@@ -1,0 +1,49 @@
+//! Error vs. shift at fixed space — the §5.1 knob study.
+//!
+//! The paper uses the right-shift parameter as "a knob to stress-test the
+//! accuracy of the two algorithms in a controlled manner": shift 0 makes
+//! the join a self-join; growing shifts shrink the join size, and since
+//! relative error is inversely proportional to the join size, both
+//! methods should degrade monotonically — the question is how fast. This
+//! harness fixes the space budget and sweeps the shift.
+//!
+//! Run: `cargo run -p ss-bench --release --bin vary_shift [--paper]`
+
+use skimmed_sketch::EstimatorConfig;
+use ss_bench::{compare_at_space, JoinWorkload, Scale};
+use stream_model::table::{fmt_f64, Table};
+use stream_model::Domain;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (log2, n, reps) = match scale {
+        Scale::Quick => (14u32, 300_000usize, 3usize),
+        Scale::Paper => (18, 4_000_000, 5),
+    };
+    let domain = Domain::with_log2(log2);
+    let space = 4096usize;
+    let z = 1.0f64;
+    let cfg = EstimatorConfig::default();
+
+    let mut t = Table::new(["shift", "join_size", "basic_mean_err", "skim_mean_err", "improvement"]);
+    for &shift in &[0u64, 25, 50, 100, 200, 400, 800] {
+        let w = JoinWorkload::zipf(domain, z, shift, n, 0x5417 + shift);
+        let cmp = compare_at_space(&w, space, &[11, 35], reps, 0xE0 + shift, &cfg);
+        let improvement = if cmp.skimmed.mean > 0.0 {
+            cmp.basic.mean / cmp.skimmed.mean
+        } else {
+            f64::INFINITY
+        };
+        t.push_row([
+            shift.to_string(),
+            w.actual.to_string(),
+            fmt_f64(cmp.basic.mean),
+            fmt_f64(cmp.skimmed.mean),
+            format!("{improvement:.1}x"),
+        ]);
+    }
+
+    println!("Shift knob at fixed space {space} words (z={z}, domain 2^{log2}, n={n})\n");
+    println!("{}", t.to_aligned());
+    println!("--- CSV ---\n{}", t.to_csv());
+}

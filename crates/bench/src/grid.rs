@@ -1,0 +1,240 @@
+//! The experiment grid: workloads, per-configuration comparisons, and the
+//! space sweep shared by every figure harness.
+//!
+//! Methodology follows §5.1 of the paper: for a given space budget (in
+//! words of counters), both methods get exactly that budget; each space
+//! point is averaged over several `(s1, s2)` splits and several independent
+//! seeds; accuracy is the symmetric ratio error with its sanity bound.
+
+use skimmed_sketch::{
+    estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch,
+};
+use stream_model::gen::{CensusGenerator, ZipfGenerator};
+use stream_model::metrics::{ratio_error, Summary};
+use stream_model::{Domain, FrequencyVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stream_sketches::{AgmsSchema, AgmsSketch};
+
+/// A fully materialized two-stream join workload with exact ground truth.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// Human-readable label for tables.
+    pub label: String,
+    /// Shared value domain.
+    pub domain: Domain,
+    /// Exact frequency vector of stream `F`.
+    pub f: FrequencyVector,
+    /// Exact frequency vector of stream `G`.
+    pub g: FrequencyVector,
+    /// Exact join size `f·g`.
+    pub actual: i64,
+}
+
+impl JoinWorkload {
+    fn new(label: String, domain: Domain, f: FrequencyVector, g: FrequencyVector) -> Self {
+        let actual = f.join(&g);
+        Self {
+            label,
+            domain,
+            f,
+            g,
+            actual,
+        }
+    }
+
+    /// The paper's synthetic workload: Zipf(z) joined with a right-shifted
+    /// Zipf(z), `n` elements per stream.
+    pub fn zipf(domain: Domain, z: f64, shift: u64, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f_updates = ZipfGenerator::new(domain, z, 0).generate(&mut rng, n);
+        let g_updates = ZipfGenerator::new(domain, z, shift).generate(&mut rng, n);
+        Self::new(
+            format!("zipf z={z} shift={shift}"),
+            domain,
+            FrequencyVector::from_updates(domain, f_updates),
+            FrequencyVector::from_updates(domain, g_updates),
+        )
+    }
+
+    /// The census-like workload: weekly wage ⋈ weekly overtime over
+    /// `records` synthetic survey records (see DESIGN.md for the CPS
+    /// substitution note).
+    pub fn census(records: usize, seed: u64) -> Self {
+        let gen = CensusGenerator::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recs = gen.generate(&mut rng, records);
+        let (fu, gu) = CensusGenerator::attribute_streams(&recs);
+        Self::new(
+            format!("census-like ({records} records)"),
+            gen.domain(),
+            FrequencyVector::from_updates(gen.domain(), fu),
+            FrequencyVector::from_updates(gen.domain(), gu),
+        )
+    }
+
+    /// Stream length of `F` (sum of frequencies; insert-only workloads).
+    pub fn n_f(&self) -> u64 {
+        self.f.l1() as u64
+    }
+
+    /// Stream length of `G`.
+    pub fn n_g(&self) -> u64 {
+        self.g.l1() as u64
+    }
+}
+
+/// Errors of the two estimators at one space point, summarized over all
+/// `(s1, s2)` pairs × repetitions.
+#[derive(Debug, Clone)]
+pub struct SpaceComparison {
+    /// Space budget in words.
+    pub space: usize,
+    /// Ratio errors of basic AGMS sketching.
+    pub basic: Summary,
+    /// Ratio errors of the skimmed-sketch estimator.
+    pub skimmed: Summary,
+}
+
+/// Runs one `(workload, space)` comparison cell.
+///
+/// For each `s1 ∈ s1_values` and each repetition: basic AGMS gets an
+/// `s1 × (space/s1)` synopsis per stream, the skimmed sketch `s1` hash
+/// tables of `space/s1` buckets per stream — identical budgets — and both
+/// estimate the same join. Returns the ratio-error summaries.
+pub fn compare_at_space(
+    w: &JoinWorkload,
+    space: usize,
+    s1_values: &[usize],
+    reps: usize,
+    seed: u64,
+    config: &EstimatorConfig,
+) -> SpaceComparison {
+    assert!(space > 0 && reps > 0 && !s1_values.is_empty());
+    let mut basic_errs = Vec::with_capacity(s1_values.len() * reps);
+    let mut skim_errs = Vec::with_capacity(s1_values.len() * reps);
+    let actual = w.actual as f64;
+    for (pi, &s1) in s1_values.iter().enumerate() {
+        let s2 = (space / s1).max(1);
+        for rep in 0..reps {
+            let run_seed = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((pi * 1000 + rep) as u64);
+            // Basic AGMS baseline.
+            let schema = AgmsSchema::new(s1, s2, run_seed);
+            let bf = AgmsSketch::from_frequencies(schema.clone(), w.f.nonzero());
+            let bg = AgmsSketch::from_frequencies(schema, w.g.nonzero());
+            basic_errs.push(ratio_error(bf.estimate_join(&bg), actual));
+            // Skimmed sketch at the same budget.
+            let est = skimmed_estimate(w, s1, s2, run_seed ^ 0xABCD, config);
+            skim_errs.push(ratio_error(est.estimate, actual));
+        }
+    }
+    SpaceComparison {
+        space,
+        basic: Summary::of(&basic_errs),
+        skimmed: Summary::of(&skim_errs),
+    }
+}
+
+/// Builds the skimmed-sketch pair for `w` at `tables × buckets` and runs
+/// ESTSKIMJOINSIZE once.
+pub fn skimmed_estimate(
+    w: &JoinWorkload,
+    tables: usize,
+    buckets: usize,
+    seed: u64,
+    config: &EstimatorConfig,
+) -> JoinEstimate {
+    let schema = SkimmedSchema::scanning(w.domain, tables, buckets, seed);
+    let sf = SkimmedSketch::from_frequencies(schema.clone(), w.f.nonzero());
+    let sg = SkimmedSketch::from_frequencies(schema, w.g.nonzero());
+    estimate_join(&sf, &sg, config)
+}
+
+/// Sweeps all `space_points` for one workload.
+pub fn sweep_spaces(
+    w: &JoinWorkload,
+    space_points: &[usize],
+    s1_values: &[usize],
+    reps: usize,
+    seed: u64,
+    config: &EstimatorConfig,
+) -> Vec<SpaceComparison> {
+    space_points
+        .iter()
+        .map(|&space| compare_at_space(w, space, s1_values, reps, seed ^ space as u64, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_workload_has_positive_join() {
+        let w = JoinWorkload::zipf(Domain::with_log2(10), 1.0, 50, 20_000, 1);
+        assert!(w.actual > 0);
+        assert_eq!(w.n_f(), 20_000);
+        assert_eq!(w.n_g(), 20_000);
+    }
+
+    #[test]
+    fn shift_zero_is_self_join_shaped() {
+        let a = JoinWorkload::zipf(Domain::with_log2(10), 1.2, 0, 20_000, 2);
+        let b = JoinWorkload::zipf(Domain::with_log2(10), 1.2, 200, 20_000, 2);
+        assert!(
+            a.actual > b.actual,
+            "join must shrink with shift: {} vs {}",
+            a.actual,
+            b.actual
+        );
+    }
+
+    #[test]
+    fn census_workload_builds() {
+        let w = JoinWorkload::census(20_000, 3);
+        assert!(w.actual > 0);
+        assert_eq!(w.domain.size(), 1 << 16);
+    }
+
+    #[test]
+    fn comparison_produces_sane_errors_and_skim_wins_on_skew() {
+        let w = JoinWorkload::zipf(Domain::with_log2(12), 1.5, 30, 60_000, 4);
+        let cmp = compare_at_space(
+            &w,
+            2048,
+            &[11, 35],
+            2,
+            7,
+            &EstimatorConfig::default(),
+        );
+        assert_eq!(cmp.space, 2048);
+        assert!(cmp.basic.n == 4 && cmp.skimmed.n == 4);
+        // The paper's headline: on high skew the skimmed estimator is far
+        // more accurate than basic AGMS at equal space.
+        assert!(
+            cmp.skimmed.mean < cmp.basic.mean,
+            "skimmed {} should beat basic {}",
+            cmp.skimmed.mean,
+            cmp.basic.mean
+        );
+        assert!(cmp.skimmed.mean < 0.2, "skimmed err {}", cmp.skimmed.mean);
+    }
+
+    #[test]
+    fn sweep_covers_all_points() {
+        let w = JoinWorkload::zipf(Domain::with_log2(10), 1.0, 20, 10_000, 5);
+        let rows = sweep_spaces(
+            &w,
+            &[256, 512],
+            &[11],
+            1,
+            9,
+            &EstimatorConfig::default(),
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].space, 256);
+        assert_eq!(rows[1].space, 512);
+    }
+}

@@ -1,0 +1,17 @@
+//! # ss-bench
+//!
+//! The experiment harness of the reproduction: workload construction, the
+//! space-sweep grid of §5.1, and the rendering shared by the per-figure
+//! binaries (`fig5a`, `fig5b`, `census`, `example1`, `thm34`,
+//! `ablation_threshold`, `anatomy`). Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod grid;
+pub mod scale;
+
+pub use grid::{compare_at_space, skimmed_estimate, sweep_spaces, JoinWorkload, SpaceComparison};
+pub use scale::Scale;

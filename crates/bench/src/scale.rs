@@ -1,0 +1,116 @@
+//! Experiment scale selection.
+//!
+//! The paper's synthetic setup (§5.1) streams 4M elements over a 2^18
+//! domain and averages each space point over five `(s1, s2)` pairs. The
+//! basic-AGMS baseline's bulk construction costs
+//! `distinct-values × s1·s2` sign evaluations, so the full grid takes a
+//! while on one core. Every harness binary therefore accepts `--paper` for
+//! the verbatim parameters and defaults to a *quick* scale (2^16 domain,
+//! 512K elements, three pairs, fewer repetitions) that preserves the
+//! qualitative shape of every figure.
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced parameters; minutes, same qualitative shape.
+    Quick,
+    /// The paper's §5.1 parameters; substantially slower.
+    Paper,
+}
+
+impl Scale {
+    /// Parses the scale from process arguments (`--paper` selects
+    /// [`Scale::Paper`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// log2 of the synthetic-experiment domain size (paper: 2^18 = 256K).
+    pub fn domain_log2(self) -> u32 {
+        match self {
+            Scale::Quick => 16,
+            Scale::Paper => 18,
+        }
+    }
+
+    /// Elements drawn per stream (paper: 4M).
+    pub fn stream_len(self) -> usize {
+        match self {
+            Scale::Quick => 512_000,
+            Scale::Paper => 4_000_000,
+        }
+    }
+
+    /// Space points in words swept by the figures.
+    pub fn space_points(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![512, 1024, 2048, 4096, 8192],
+            Scale::Paper => vec![1024, 2048, 4096, 8192, 16384],
+        }
+    }
+
+    /// The `s1` values averaged per space point (paper: 11..59 step 12).
+    pub fn s1_values(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![11, 35, 59],
+            Scale::Paper => vec![11, 23, 35, 47, 59],
+        }
+    }
+
+    /// Independent repetitions per configuration (paper: 5–10).
+    pub fn reps(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Paper => 5,
+        }
+    }
+
+    /// Records for the census-like experiment (paper: the CPS September
+    /// 2002 extract of 159,434 records).
+    pub fn census_records(self) -> usize {
+        match self {
+            Scale::Quick => 159_434,
+            Scale::Paper => 159_434,
+        }
+    }
+
+    /// Human-readable banner for harness output.
+    pub fn banner(self) -> String {
+        match self {
+            Scale::Quick => format!(
+                "scale=quick (domain 2^{}, {} elements/stream, {} reps; pass --paper for the verbatim EDBT'04 parameters)",
+                self.domain_log2(),
+                self.stream_len(),
+                self.reps()
+            ),
+            Scale::Paper => format!(
+                "scale=paper (domain 2^{}, {} elements/stream, {} reps)",
+                self.domain_log2(),
+                self.stream_len(),
+                self.reps()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        assert!(Scale::Quick.stream_len() < Scale::Paper.stream_len());
+        assert!(Scale::Quick.domain_log2() < Scale::Paper.domain_log2());
+        assert!(Scale::Quick.s1_values().len() <= Scale::Paper.s1_values().len());
+    }
+
+    #[test]
+    fn banners_mention_scale() {
+        assert!(Scale::Quick.banner().contains("quick"));
+        assert!(Scale::Paper.banner().contains("paper"));
+    }
+}

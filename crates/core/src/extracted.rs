@@ -1,0 +1,135 @@
+//! The dense-frequency vector extracted by SKIMDENSE.
+//!
+//! A sparse, value-sorted map `v → f̂(v)` of the frequencies skimmed out of
+//! a hash sketch. Sorted order makes the exact dense⋈dense sub-join a
+//! linear sort-merge and keeps lookups logarithmic without hashing.
+
+/// Sparse vector of extracted dense frequencies, sorted by value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractedDense {
+    entries: Vec<(u64, i64)>,
+}
+
+impl ExtractedDense {
+    /// Builds from `(value, estimate)` pairs (any order, values distinct).
+    pub fn from_entries(mut entries: Vec<(u64, i64)>) -> Self {
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate values in extracted set"
+        );
+        Self { entries }
+    }
+
+    /// Empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of extracted values.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The extracted estimate for `v`, or 0 if `v` was not skimmed.
+    pub fn get(&self, v: u64) -> i64 {
+        match self.entries.binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterator over `(value, estimate)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Exact inner product with another extracted set — the dense⋈dense
+    /// sub-join, computed with zero error by sort-merge.
+    pub fn dot(&self, other: &ExtractedDense) -> i64 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc: i64 = 0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (va, fa) = self.entries[i];
+            let (vb, fb) = other.entries[j];
+            match va.cmp(&vb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += fa * fb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Total extracted mass `Σ |f̂(v)|`.
+    pub fn l1(&self) -> i64 {
+        self.entries.iter().map(|&(_, f)| f.abs()).sum()
+    }
+
+    /// Self-join of the extracted vector, `Σ f̂(v)²`.
+    pub fn self_join(&self) -> i64 {
+        self.entries.iter().map(|&(_, f)| f * f).sum()
+    }
+
+    /// Smallest extracted |estimate| (None when empty) — handy for
+    /// validating that everything extracted cleared the threshold.
+    pub fn min_abs(&self) -> Option<i64> {
+        self.entries.iter().map(|&(_, f)| f.abs()).min()
+    }
+}
+
+impl<'a> IntoIterator for &'a ExtractedDense {
+    type Item = (u64, i64);
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, (u64, i64)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts() {
+        let e = ExtractedDense::from_entries(vec![(5, 50), (1, 10), (3, 30)]);
+        let vals: Vec<u64> = e.iter().map(|(v, _)| v).collect();
+        assert_eq!(vals, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let e = ExtractedDense::from_entries(vec![(2, -7), (9, 4)]);
+        assert_eq!(e.get(2), -7);
+        assert_eq!(e.get(9), 4);
+        assert_eq!(e.get(3), 0);
+    }
+
+    #[test]
+    fn dot_is_exact_sparse_inner_product() {
+        let a = ExtractedDense::from_entries(vec![(1, 2), (4, 3), (8, 5)]);
+        let b = ExtractedDense::from_entries(vec![(4, 10), (8, -1), (9, 100)]);
+        assert_eq!(a.dot(&b), 3 * 10 + -5);
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.dot(&ExtractedDense::empty()), 0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = ExtractedDense::from_entries(vec![(1, -2), (4, 3)]);
+        assert_eq!(a.l1(), 5);
+        assert_eq!(a.self_join(), 13);
+        assert_eq!(a.min_abs(), Some(2));
+        assert_eq!(ExtractedDense::empty().min_abs(), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Synopsis sizing — turning the paper's space bounds into a planning
+//! tool.
+//!
+//! Theorem 5 says the skimmed estimator achieves relative error `ε` with
+//! `O(n² / (ε·J))` counters — the join-size lower bound of \[4\] — while
+//! basic AGMS needs the *square* of that. Given what a deployment knows
+//! (stream length budget, a lower bound on the join sizes it cares about,
+//! a target error and confidence), [`plan`] inverts those bounds into a
+//! concrete `(s1, b)` configuration, and [`predict`] goes the other way
+//! for a configuration in hand.
+//!
+//! The constants are the ones our own evaluation validates (see
+//! `EXPERIMENTS.md`): worst-case-safe, so real skewed workloads typically
+//! do several times better than the prediction.
+
+use crate::estimator::{ExtractionStrategy, SkimmedSchema};
+use std::sync::Arc;
+use stream_model::Domain;
+
+/// What the deployment knows ahead of time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerInput {
+    /// Upper bound on elements per stream (`n`).
+    pub stream_len: u64,
+    /// Lower bound on the join sizes that must be estimated well (`J`).
+    /// Smaller joins are allowed to have larger relative error — exactly
+    /// the paper's accuracy model.
+    pub min_join_size: f64,
+    /// Target relative error `ε`.
+    pub target_error: f64,
+    /// Target failure probability `δ` (drives the table count).
+    pub failure_probability: f64,
+}
+
+/// A recommended configuration with its predicted guarantees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Recommended hash-table count (`s1`).
+    pub tables: usize,
+    /// Recommended buckets per table (`b`).
+    pub buckets: usize,
+    /// Total words per stream synopsis.
+    pub words: usize,
+    /// Worst-case additive error the plan guarantees (`≈ ε·J`).
+    pub predicted_additive_error: f64,
+    /// The same, relative to `min_join_size`.
+    pub predicted_relative_error: f64,
+}
+
+/// Worst-case additive error of the skimmed estimator at `buckets` buckets
+/// for a stream of length `n`: the three estimated sub-joins each carry
+/// `O(√(SJ_res²/b))` deviation with `SJ_res ≤ n·T = n²/√b`, giving
+/// `c·n²/b` with a small constant (we use `c = 3`, one per estimated
+/// sub-join — the constant our Theorem-5 validation run stays under).
+pub fn worst_case_additive_error(stream_len: u64, buckets: usize) -> f64 {
+    assert!(buckets > 0, "buckets must be positive");
+    let n = stream_len as f64;
+    3.0 * n * n / buckets as f64
+}
+
+/// Tables needed to push per-table constant failure probability down to
+/// `δ` by median boosting: `s1 = ⌈4.5·ln(1/δ)⌉`, forced odd so the median
+/// is a single order statistic.
+pub fn tables_for_confidence(failure_probability: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&failure_probability) && failure_probability > 0.0,
+        "failure probability must be in (0, 1)"
+    );
+    let s1 = (4.5 * (1.0 / failure_probability).ln()).ceil() as usize;
+    let s1 = s1.max(3);
+    if s1.is_multiple_of(2) {
+        s1 + 1
+    } else {
+        s1
+    }
+}
+
+/// Produces a configuration meeting `input`'s targets.
+///
+/// # Examples
+///
+/// ```
+/// use skimmed_sketch::planner::{plan, PlannerInput};
+///
+/// let p = plan(&PlannerInput {
+///     stream_len: 1_000_000,
+///     min_join_size: 1e8,
+///     target_error: 0.1,
+///     failure_probability: 0.01,
+/// });
+/// assert!(p.predicted_relative_error <= 0.1);
+/// assert!(p.buckets >= 100_000); // ~3·n²/(εJ)
+/// ```
+pub fn plan(input: &PlannerInput) -> Plan {
+    assert!(input.target_error > 0.0, "target error must be positive");
+    assert!(input.min_join_size > 0.0, "join lower bound must be positive");
+    let n = input.stream_len as f64;
+    // Invert worst_case_additive_error(n, b) ≤ ε·J.
+    let buckets = (3.0 * n * n / (input.target_error * input.min_join_size))
+        .ceil()
+        .max(2.0) as usize;
+    let tables = tables_for_confidence(input.failure_probability);
+    let add = worst_case_additive_error(input.stream_len, buckets);
+    Plan {
+        tables,
+        buckets,
+        words: tables * buckets,
+        predicted_additive_error: add,
+        predicted_relative_error: add / input.min_join_size,
+    }
+}
+
+/// Predicts the guarantee of an existing `(tables, buckets)` configuration
+/// for streams of length `stream_len` and joins of at least `min_join`.
+pub fn predict(stream_len: u64, min_join: f64, buckets: usize) -> f64 {
+    worst_case_additive_error(stream_len, buckets) / min_join
+}
+
+/// Materializes a plan as a ready-to-use schema.
+pub fn schema_for_plan(plan: &Plan, domain: Domain, seed: u64, strategy: ExtractionStrategy) -> Arc<SkimmedSchema> {
+    match strategy {
+        ExtractionStrategy::NaiveScan => {
+            SkimmedSchema::scanning(domain, plan.tables, plan.buckets, seed)
+        }
+        ExtractionStrategy::Dyadic => {
+            SkimmedSchema::dyadic(domain, plan.tables, plan.buckets, seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_meets_its_own_target() {
+        let input = PlannerInput {
+            stream_len: 1_000_000,
+            min_join_size: 5e7,
+            target_error: 0.1,
+            failure_probability: 0.01,
+        };
+        let p = plan(&input);
+        assert!(p.predicted_relative_error <= input.target_error * 1.001);
+        assert_eq!(p.words, p.tables * p.buckets);
+        assert!(p.tables % 2 == 1);
+    }
+
+    #[test]
+    fn space_scales_inversely_with_error_and_join() {
+        let base = PlannerInput {
+            stream_len: 100_000,
+            min_join_size: 1e6,
+            target_error: 0.1,
+            failure_probability: 0.05,
+        };
+        let p1 = plan(&base);
+        let p2 = plan(&PlannerInput {
+            target_error: 0.05,
+            ..base
+        });
+        // Halving ε doubles the buckets (linear in 1/ε — the lower-bound
+        // scaling, *not* the 1/ε² of basic sketching).
+        assert!((p2.buckets as f64 / p1.buckets as f64 - 2.0).abs() < 0.01);
+        let p3 = plan(&PlannerInput {
+            min_join_size: 2e6,
+            ..base
+        });
+        assert!((p1.buckets as f64 / p3.buckets as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn more_confidence_means_more_tables() {
+        assert!(tables_for_confidence(0.001) > tables_for_confidence(0.1));
+        assert_eq!(tables_for_confidence(0.5) % 2, 1);
+    }
+
+    #[test]
+    fn predict_inverts_plan() {
+        let input = PlannerInput {
+            stream_len: 500_000,
+            min_join_size: 1e8,
+            target_error: 0.2,
+            failure_probability: 0.05,
+        };
+        let p = plan(&input);
+        let rel = predict(input.stream_len, input.min_join_size, p.buckets);
+        assert!(rel <= input.target_error * 1.001, "rel={rel}");
+    }
+
+    #[test]
+    fn schema_materialization_matches_plan() {
+        let p = Plan {
+            tables: 5,
+            buckets: 64,
+            words: 320,
+            predicted_additive_error: 0.0,
+            predicted_relative_error: 0.0,
+        };
+        let d = Domain::with_log2(10);
+        let s = schema_for_plan(&p, d, 1, ExtractionStrategy::NaiveScan);
+        assert_eq!(s.base().tables(), 5);
+        assert_eq!(s.base().buckets(), 64);
+        let dy = schema_for_plan(&p, d, 1, ExtractionStrategy::Dyadic);
+        assert_eq!(dy.strategy(), ExtractionStrategy::Dyadic);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_error_target_rejected() {
+        let _ = plan(&PlannerInput {
+            stream_len: 100,
+            min_join_size: 10.0,
+            target_error: 0.0,
+            failure_probability: 0.1,
+        });
+    }
+}

@@ -1,0 +1,139 @@
+//! Dense-frequency thresholds for SKIMDENSE.
+//!
+//! SKIMDENSE extracts every value whose estimated frequency clears a
+//! threshold `T`. The paper's analysis pins `T = Θ(n/√b)`: CountSketch
+//! point estimates are accurate to `Δ = O(√(F₂ᵣₑₛ/b)) ≤ O(n/√b)`, so
+//! anything at least a couple of `Δ`s tall is reliably detected, and after
+//! skimming every residual frequency sits below `T` w.h.p. (Thm 4) —
+//! which is what caps the residual self-join sizes at `n²/√b` and buys the
+//! square-root space improvement.
+//!
+//! Two computable policies are provided:
+//!
+//! * [`ThresholdPolicy::WorstCase`] — `T = c·n/√b` with `n` the stream's
+//!   L1 mass; the distribution-free bound the theorems use.
+//! * [`ThresholdPolicy::Adaptive`] — `T = c·√(F̂₂/b)` with `F̂₂`
+//!   self-estimated from the sketch being skimmed. On skewed data
+//!   `√(F₂) ≪ n`, so this skims deeper and is the better default; the
+//!   `ablation_threshold` bench quantifies the gap.
+
+use stream_sketches::HashSketch;
+
+/// How SKIMDENSE chooses its dense/sparse cut-off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// `T = max(1, ⌈factor · n / √b⌉)` where `n` is the L1 mass tracked by
+    /// the sketch. Distribution-free (the theorems' setting).
+    WorstCase {
+        /// Multiplier `c` on `n/√b`; the analysis wants a small constant.
+        factor: f64,
+    },
+    /// `T = max(1, ⌈factor · √(F̂₂ / b)⌉)` with `F̂₂` the sketch's own
+    /// self-join estimate — a tighter, data-dependent `Δ` proxy.
+    Adaptive {
+        /// Multiplier `c` on the estimated per-bucket noise `√(F̂₂/b)`.
+        factor: f64,
+    },
+    /// A fixed absolute threshold (tests, worked examples).
+    Fixed(i64),
+}
+
+impl Default for ThresholdPolicy {
+    /// Adaptive with `c = 3`: comfortably above the estimation noise
+    /// (CountSketch concentrates within ~`√(F₂/b)`) while skimming
+    /// aggressively enough to flatten Zipf heads.
+    fn default() -> Self {
+        ThresholdPolicy::Adaptive { factor: 3.0 }
+    }
+}
+
+impl ThresholdPolicy {
+    /// Computes the threshold for skimming `sketch`, whose stream carries
+    /// `l1` total absolute mass.
+    pub fn threshold(&self, sketch: &HashSketch, l1: u64) -> i64 {
+        let b = sketch.schema().buckets() as f64;
+        let t = match *self {
+            ThresholdPolicy::WorstCase { factor } => {
+                assert!(factor > 0.0, "factor must be positive");
+                factor * l1 as f64 / b.sqrt()
+            }
+            ThresholdPolicy::Adaptive { factor } => {
+                assert!(factor > 0.0, "factor must be positive");
+                let f2 = sketch.self_join_estimate().max(0.0);
+                factor * (f2 / b).sqrt()
+            }
+            ThresholdPolicy::Fixed(t) => return t.max(1),
+        };
+        (t.ceil() as i64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_model::update::StreamSink;
+    use stream_model::Update;
+    use stream_sketches::HashSketchSchema;
+
+    fn sketch_with(counts: &[(u64, i64)]) -> HashSketch {
+        let schema = HashSketchSchema::new(5, 100, 42);
+        let mut sk = HashSketch::new(schema);
+        for &(v, w) in counts {
+            sk.update(Update::with_measure(v, w));
+        }
+        sk
+    }
+
+    #[test]
+    fn fixed_is_clamped_to_one() {
+        let sk = sketch_with(&[]);
+        assert_eq!(ThresholdPolicy::Fixed(0).threshold(&sk, 0), 1);
+        assert_eq!(ThresholdPolicy::Fixed(-5).threshold(&sk, 0), 1);
+        assert_eq!(ThresholdPolicy::Fixed(17).threshold(&sk, 0), 17);
+    }
+
+    #[test]
+    fn worst_case_scales_with_l1_over_sqrt_b() {
+        let sk = sketch_with(&[]);
+        // b = 100 → √b = 10; n = 1000, c = 1 → T = 100.
+        let t = ThresholdPolicy::WorstCase { factor: 1.0 }.threshold(&sk, 1000);
+        assert_eq!(t, 100);
+        let t2 = ThresholdPolicy::WorstCase { factor: 2.0 }.threshold(&sk, 1000);
+        assert_eq!(t2, 200);
+    }
+
+    #[test]
+    fn adaptive_tracks_f2() {
+        // One value of weight 1000: F2 = 1e6, b = 100 → √(F2/b) = 100.
+        let sk = sketch_with(&[(7, 1000)]);
+        let t = ThresholdPolicy::Adaptive { factor: 1.0 }.threshold(&sk, 1000);
+        assert!((90..=110).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn adaptive_beats_worst_case_on_skew() {
+        // Skewed stream: F2 ≪ n², so the adaptive threshold must come out
+        // far below the worst-case one at equal mass.
+        let spread: Vec<(u64, i64)> = (0..900).map(|v| (v, 1)).collect();
+        let mut all = vec![(1000u64, 100i64)];
+        all.extend(spread);
+        let sk = sketch_with(&all);
+        let l1 = 1000u64;
+        let wc = ThresholdPolicy::WorstCase { factor: 2.0 }.threshold(&sk, l1);
+        let ad = ThresholdPolicy::Adaptive { factor: 2.0 }.threshold(&sk, l1);
+        assert!(ad < wc, "adaptive {ad} should be below worst-case {wc}");
+    }
+
+    #[test]
+    fn empty_sketch_thresholds_to_one() {
+        let sk = sketch_with(&[]);
+        assert_eq!(
+            ThresholdPolicy::Adaptive { factor: 3.0 }.threshold(&sk, 0),
+            1
+        );
+        assert_eq!(
+            ThresholdPolicy::WorstCase { factor: 1.0 }.threshold(&sk, 0),
+            1
+        );
+    }
+}

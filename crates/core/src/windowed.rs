@@ -1,0 +1,237 @@
+//! Windowed join estimation — jumping-window semantics over skimmed
+//! sketches.
+//!
+//! Streaming deployments rarely want the join over *all history*; they
+//! want "the last hour". The paper's related work points at sliding-window
+//! statistics \[12\]; linear sketches give a particularly clean jumping
+//! (epoch-granular) window: keep one sub-sketch per epoch plus their
+//! running sum, and expire an epoch by **subtracting** its sub-sketch from
+//! the sum — exact, O(synopsis) per expiry, no rescan of history.
+//!
+//! The window slides in whole epochs (a "jumping" window). Memory is
+//! `(window + 1) × synopsis`; the estimate at any time covers exactly the
+//! live epochs.
+
+use crate::estimator::{estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use stream_model::update::{StreamSink, Update};
+
+/// A skimmed sketch over the most recent `window` epochs of a stream.
+///
+/// # Examples
+///
+/// ```
+/// use skimmed_sketch::{SkimmedSchema, WindowedSkimmedSketch};
+/// use stream_model::Domain;
+///
+/// let schema = SkimmedSchema::scanning(Domain::with_log2(8), 3, 32, 1);
+/// let mut w = WindowedSkimmedSketch::new(schema, 2);
+/// w.add_weighted(5, 100);
+/// w.advance_epoch(); // epoch with the 100 units is still live
+/// assert_eq!(w.window_sketch().l1_mass(), 100);
+/// w.advance_epoch(); // now it expires
+/// assert_eq!(w.window_sketch().l1_mass(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedSkimmedSketch {
+    schema: Arc<SkimmedSchema>,
+    /// Completed epochs still inside the window, oldest first.
+    epochs: VecDeque<SkimmedSketch>,
+    /// The epoch currently being filled.
+    current: SkimmedSketch,
+    /// Running sum of `epochs` + `current`.
+    total: SkimmedSketch,
+    /// Maximum number of epochs covered (including the current one).
+    window: usize,
+    /// Epochs closed so far (diagnostics / time axis).
+    epochs_closed: u64,
+}
+
+impl WindowedSkimmedSketch {
+    /// A windowed sketch covering `window ≥ 1` epochs under `schema`.
+    pub fn new(schema: Arc<SkimmedSchema>, window: usize) -> Self {
+        assert!(window >= 1, "window must cover at least one epoch");
+        Self {
+            epochs: VecDeque::with_capacity(window),
+            current: SkimmedSketch::new(schema.clone()),
+            total: SkimmedSketch::new(schema.clone()),
+            schema,
+            window,
+            epochs_closed: 0,
+        }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<SkimmedSchema> {
+        &self.schema
+    }
+
+    /// Number of epochs the window covers.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of epochs closed so far.
+    pub fn epochs_closed(&self) -> u64 {
+        self.epochs_closed
+    }
+
+    /// The synopsis of the live window (sum of live epochs).
+    pub fn window_sketch(&self) -> &SkimmedSketch {
+        &self.total
+    }
+
+    /// Adds `w` copies of `v` to the current epoch.
+    pub fn add_weighted(&mut self, v: u64, w: i64) {
+        self.current.add_weighted(v, w);
+        self.total.add_weighted(v, w);
+    }
+
+    /// Closes the current epoch and opens a fresh one, expiring the oldest
+    /// epoch if the window is full. Returns the number of epochs expired
+    /// (0 or 1).
+    pub fn advance_epoch(&mut self) -> usize {
+        let finished = std::mem::replace(&mut self.current, SkimmedSketch::new(self.schema.clone()));
+        self.epochs.push_back(finished);
+        self.epochs_closed += 1;
+        // `epochs` plus the (new, empty) current epoch must cover at most
+        // `window` epochs.
+        let mut expired = 0;
+        while self.epochs.len() + 1 > self.window {
+            let old = self.epochs.pop_front().expect("nonempty");
+            self.total.retract(&old);
+            expired += 1;
+        }
+        expired
+    }
+
+    /// Memory footprint in words across all retained sub-sketches.
+    pub fn words(&self) -> usize {
+        (self.epochs.len() + 2) * self.schema.words()
+    }
+}
+
+impl StreamSink for WindowedSkimmedSketch {
+    fn update(&mut self, u: Update) {
+        self.add_weighted(u.value, u.weight);
+    }
+}
+
+/// Estimates the join of the two windows (ESTSKIMJOINSIZE over the live
+/// window sums). Both windows must share the schema; they may cover
+/// different epoch counts (the estimate is over whatever is live in each).
+pub fn estimate_windowed_join(
+    f: &WindowedSkimmedSketch,
+    g: &WindowedSkimmedSketch,
+    cfg: &EstimatorConfig,
+) -> JoinEstimate {
+    estimate_join(f.window_sketch(), g.window_sketch(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stream_model::gen::ZipfGenerator;
+    use stream_model::metrics::ratio_error;
+    use stream_model::{Domain, FrequencyVector};
+
+    fn schema(seed: u64) -> Arc<SkimmedSchema> {
+        SkimmedSchema::scanning(Domain::with_log2(12), 7, 256, seed)
+    }
+
+    #[test]
+    fn window_sum_equals_live_epochs_exactly() {
+        let d = Domain::with_log2(12);
+        let mut w = WindowedSkimmedSketch::new(schema(1), 3);
+        let zipf = ZipfGenerator::new(d, 1.0, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut per_epoch: Vec<Vec<Update>> = Vec::new();
+        for _ in 0..6 {
+            let us = zipf.generate(&mut rng, 2_000);
+            for &u in &us {
+                w.update(u);
+            }
+            per_epoch.push(us);
+            w.advance_epoch();
+        }
+        // Live: the last (window-1)=2 closed epochs + empty current.
+        let mut expect = SkimmedSketch::new(w.schema().clone());
+        for us in &per_epoch[4..] {
+            for &u in us {
+                expect.update(u);
+            }
+        }
+        assert_eq!(w.window_sketch().base().counters(), expect.base().counters());
+        assert_eq!(w.window_sketch().l1_mass(), expect.l1_mass());
+    }
+
+    #[test]
+    fn windowed_estimate_tracks_live_join_only() {
+        let d = Domain::with_log2(12);
+        let sch = schema(3);
+        let mut wf = WindowedSkimmedSketch::new(sch.clone(), 2);
+        let mut wg = WindowedSkimmedSketch::new(sch, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let zf = ZipfGenerator::new(d, 1.2, 0);
+        let zg = ZipfGenerator::new(d, 1.2, 64);
+        let cfg = EstimatorConfig::default();
+
+        let mut live_f = FrequencyVector::new(d);
+        let mut live_g = FrequencyVector::new(d);
+        // Epoch 1: heavy prefix traffic that will later expire.
+        for _ in 0..30_000 {
+            let (a, b) = (zf.sample(&mut rng), zg.sample(&mut rng));
+            wf.add_weighted(a, 1);
+            wg.add_weighted(b, 1);
+        }
+        wf.advance_epoch();
+        wg.advance_epoch();
+        // Epoch 2 (the only one that will remain live after the next
+        // advance): tracked exactly.
+        for _ in 0..30_000 {
+            let (a, b) = (zf.sample(&mut rng), zg.sample(&mut rng));
+            wf.add_weighted(a, 1);
+            wg.add_weighted(b, 1);
+            live_f.update(Update::insert(a));
+            live_g.update(Update::insert(b));
+        }
+        wf.advance_epoch(); // expires epoch 1 (window = 2: epoch 2 + current)
+        wg.advance_epoch();
+
+        let est = estimate_windowed_join(&wf, &wg, &cfg);
+        let actual = live_f.join(&live_g) as f64;
+        let err = ratio_error(est.estimate, actual);
+        assert!(err < 0.2, "err={err} est={} actual={actual}", est.estimate);
+    }
+
+    #[test]
+    fn window_one_keeps_only_the_current_epoch() {
+        let mut w = WindowedSkimmedSketch::new(schema(5), 1);
+        w.add_weighted(7, 100);
+        assert_eq!(w.advance_epoch(), 1); // immediately expired
+        assert!(w.window_sketch().base().counters().iter().all(|&c| c == 0));
+        assert_eq!(w.window_sketch().l1_mass(), 0);
+        w.add_weighted(9, 5);
+        assert_eq!(w.window_sketch().l1_mass(), 5);
+    }
+
+    #[test]
+    fn expiry_count_and_epoch_bookkeeping() {
+        let mut w = WindowedSkimmedSketch::new(schema(6), 3);
+        assert_eq!(w.advance_epoch(), 0);
+        assert_eq!(w.advance_epoch(), 0);
+        assert_eq!(w.advance_epoch(), 1);
+        assert_eq!(w.advance_epoch(), 1);
+        assert_eq!(w.epochs_closed(), 4);
+        assert!(w.words() >= w.schema().words());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_window_rejected() {
+        let _ = WindowedSkimmedSketch::new(schema(7), 0);
+    }
+}

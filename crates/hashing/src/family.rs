@@ -1,0 +1,291 @@
+//! k-wise independent hash families.
+//!
+//! Two families carry the whole sketching stack:
+//!
+//! * [`PairwiseHash`] — degree-1 polynomials over `Z_p`, pairwise
+//!   independent; used as the bucket hashes `h_i` of a hash sketch.
+//! * [`FourWiseHash`] / [`SignFamily`] — degree-3 polynomials, four-wise
+//!   independent; the sign family maps the uniform field value to ±1, which
+//!   is what the AMS second-moment analysis requires (four-wise independence
+//!   makes `E[ξ_u ξ_v ξ_w ξ_x]` factor for any four distinct values).
+
+use crate::prime::{add_mod, mul_mod, poly_eval, reduce};
+use crate::seed::SeedSequence;
+
+/// Degree of independence offered by a family (for documentation and
+/// self-tests; the type system already distinguishes the concrete families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Independence {
+    /// Any 2 distinct keys hash jointly uniformly.
+    Pairwise,
+    /// Any 4 distinct keys hash jointly uniformly.
+    FourWise,
+}
+
+/// A pairwise-independent hash `x ↦ ((a·x + b) mod p) mod m` onto
+/// `[0, range)`.
+///
+/// `a` is drawn nonzero so distinct keys never trivially collide through the
+/// linear map itself. The final `mod range` costs at most a negligible
+/// non-uniformity of `range / p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    range: u64,
+}
+
+impl PairwiseHash {
+    /// Draws a hash function from the family using `seeds`.
+    pub fn from_seed(seeds: SeedSequence, range: usize) -> Self {
+        assert!(range > 0, "hash range must be nonzero");
+        let mut g = seeds.rng();
+        Self {
+            a: g.next_nonzero_field_element(),
+            b: g.next_field_element(),
+            range: range as u64,
+        }
+    }
+
+    /// Number of buckets this hash maps onto.
+    pub fn range(&self) -> usize {
+        self.range as usize
+    }
+
+    /// Evaluates the hash on `x`, returning a bucket in `[0, range)`.
+    #[inline]
+    pub fn bucket(&self, x: u64) -> usize {
+        let v = add_mod(mul_mod(self.a, reduce(x)), self.b);
+        (v % self.range) as usize
+    }
+
+    /// The raw field value before bucket reduction (useful for tests).
+    #[inline]
+    pub fn raw(&self, x: u64) -> u64 {
+        add_mod(mul_mod(self.a, reduce(x)), self.b)
+    }
+}
+
+/// A four-wise independent hash `x ↦ (c0 + c1·x + c2·x² + c3·x³) mod p`
+/// returning a uniform field element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FourWiseHash {
+    coeffs: [u64; 4],
+}
+
+impl FourWiseHash {
+    /// Draws a function from the family using `seeds`.
+    pub fn from_seed(seeds: SeedSequence) -> Self {
+        let mut g = seeds.rng();
+        Self {
+            coeffs: [
+                g.next_field_element(),
+                g.next_field_element(),
+                g.next_field_element(),
+                g.next_field_element(),
+            ],
+        }
+    }
+
+    /// Evaluates the polynomial on `x`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        poly_eval(&self.coeffs, x)
+    }
+}
+
+/// A four-wise independent ±1 family `ξ`, the "tug-of-war" signs of AMS
+/// sketching.
+///
+/// The sign is the parity of the four-wise independent field value; since
+/// `p` is odd the bias is `1/p ≈ 4.3e-19`, far below anything observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignFamily {
+    inner: FourWiseHash,
+}
+
+impl SignFamily {
+    /// Draws a sign family using `seeds`.
+    pub fn from_seed(seeds: SeedSequence) -> Self {
+        Self {
+            inner: FourWiseHash::from_seed(seeds),
+        }
+    }
+
+    /// Returns `+1` or `-1` for the key `x`.
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        // Branchless: map parity bit {0,1} to {+1,-1}.
+        1 - 2 * ((self.inner.eval(x) & 1) as i64)
+    }
+
+    /// Returns the sign as an `f64` (`+1.0` / `-1.0`).
+    #[inline]
+    pub fn sign_f64(&self, x: u64) -> f64 {
+        self.sign(x) as f64
+    }
+}
+
+/// Statistical self-test helpers shared by the unit tests and by the
+/// `thm34` validation harness: empirical verification that a family behaves
+/// as its independence class predicts on a key set.
+pub mod selftest {
+    use super::*;
+
+    /// Empirical mean of `ξ(x)` over `keys` — should be ≈ 0.
+    pub fn sign_bias(f: &SignFamily, keys: impl Iterator<Item = u64>) -> f64 {
+        let mut sum = 0i64;
+        let mut n = 0usize;
+        for k in keys {
+            sum += f.sign(k);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Empirical mean of `ξ(x)·ξ(y)` over distinct pairs of many
+    /// independently drawn families — should be ≈ 0 for pairwise
+    /// independence of the signs.
+    pub fn sign_pair_correlation(seed: u64, trials: usize, x: u64, y: u64) -> f64 {
+        assert_ne!(x, y);
+        let mut sum = 0i64;
+        for t in 0..trials {
+            let fam = SignFamily::from_seed(SeedSequence::new(seed).fork(t as u64));
+            sum += fam.sign(x) * fam.sign(y);
+        }
+        sum as f64 / trials as f64
+    }
+
+    /// Chi-square statistic of bucket occupancy for a pairwise hash applied
+    /// to `0..n` keys. With `range` buckets the statistic has ≈ `range - 1`
+    /// degrees of freedom for a truly uniform assignment.
+    pub fn bucket_chi_square(h: &PairwiseHash, n: u64) -> f64 {
+        let mut counts = vec![0u64; h.range()];
+        for x in 0..n {
+            counts[h.bucket(x)] += 1;
+        }
+        let expected = n as f64 / h.range() as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::selftest::*;
+    use super::*;
+    use crate::prime::MERSENNE_P;
+
+    #[test]
+    fn pairwise_hash_is_deterministic_and_in_range() {
+        let s = SeedSequence::new(11);
+        let h1 = PairwiseHash::from_seed(s, 64);
+        let h2 = PairwiseHash::from_seed(s, 64);
+        for x in 0..1000u64 {
+            let b = h1.bucket(x);
+            assert!(b < 64);
+            assert_eq!(b, h2.bucket(x));
+        }
+    }
+
+    #[test]
+    fn pairwise_hash_range_one_maps_everything_to_zero() {
+        let h = PairwiseHash::from_seed(SeedSequence::new(3), 1);
+        for x in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(h.bucket(x), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn pairwise_hash_rejects_zero_range() {
+        let _ = PairwiseHash::from_seed(SeedSequence::new(3), 0);
+    }
+
+    #[test]
+    fn pairwise_hash_spreads_keys() {
+        // Chi-square over 256 buckets with 64k sequential keys: expect the
+        // statistic to be near its d.o.f. (255); allow a wide band.
+        let h = PairwiseHash::from_seed(SeedSequence::new(17), 256);
+        let chi = bucket_chi_square(&h, 65_536);
+        assert!(chi < 2.0 * 255.0, "chi-square too high: {chi}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = PairwiseHash::from_seed(SeedSequence::new(1), 1024);
+        let h2 = PairwiseHash::from_seed(SeedSequence::new(2), 1024);
+        let agree = (0..1024u64).filter(|&x| h1.bucket(x) == h2.bucket(x)).count();
+        // Two random functions agree on ~1/1024 of keys.
+        assert!(agree < 32, "agree={agree}");
+    }
+
+    #[test]
+    fn fourwise_eval_is_in_field() {
+        let f = FourWiseHash::from_seed(SeedSequence::new(23));
+        for x in 0..10_000u64 {
+            assert!(f.eval(x) < MERSENNE_P);
+        }
+    }
+
+    #[test]
+    fn sign_family_is_plus_minus_one() {
+        let f = SignFamily::from_seed(SeedSequence::new(29));
+        let mut saw = [false; 2];
+        for x in 0..1000u64 {
+            let s = f.sign(x);
+            assert!(s == 1 || s == -1);
+            saw[(s == 1) as usize] = true;
+            assert_eq!(s as f64, f.sign_f64(x));
+        }
+        assert!(saw[0] && saw[1], "signs should take both values");
+    }
+
+    #[test]
+    fn sign_family_is_nearly_unbiased() {
+        let f = SignFamily::from_seed(SeedSequence::new(31));
+        let bias = sign_bias(&f, 0..100_000u64);
+        // For a degree-3 polynomial family the empirical bias over a large
+        // fixed key set concentrates around 0 at rate 1/sqrt(n).
+        assert!(bias.abs() < 0.02, "bias={bias}");
+    }
+
+    #[test]
+    fn sign_pairs_are_uncorrelated_across_family_draws() {
+        let corr = sign_pair_correlation(1234, 4000, 17, 18_000);
+        assert!(corr.abs() < 0.06, "corr={corr}");
+    }
+
+    #[test]
+    fn fourth_moment_of_bucket_counter_matches_fourwise_prediction() {
+        // For Z = Σ_v ξ(v) over m values, four-wise independence gives
+        // E[Z^2] = m and E[Z^4] = 3m(m-1) + m. Check empirically across
+        // independent family draws.
+        let m = 64u64;
+        let trials = 3000;
+        let mut sum2 = 0f64;
+        let mut sum4 = 0f64;
+        for t in 0..trials {
+            let fam = SignFamily::from_seed(SeedSequence::new(777).fork(t));
+            let z: i64 = (0..m).map(|v| fam.sign(v)).sum();
+            let z2 = (z * z) as f64;
+            sum2 += z2;
+            sum4 += z2 * z2;
+        }
+        let e2 = sum2 / trials as f64;
+        let e4 = sum4 / trials as f64;
+        let expect2 = m as f64;
+        let expect4 = 3.0 * (m * (m - 1)) as f64 + m as f64;
+        assert!((e2 - expect2).abs() / expect2 < 0.15, "E[Z^2]={e2}");
+        assert!((e4 - expect4).abs() / expect4 < 0.30, "E[Z^4]={e4}");
+    }
+}

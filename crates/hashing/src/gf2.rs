@@ -1,0 +1,151 @@
+//! Arithmetic in the binary field GF(2^64).
+//!
+//! Used by the BCH four-wise sign family: the extension vector of a key
+//! `x` is `(1, x, x³)` with the cube taken *in the field*, which is what
+//! gives any four distinct keys linearly independent extension vectors
+//! (dual distance 5 of the BCH code) and hence four-wise independent signs.
+//!
+//! Representation: bits of a `u64` are the coefficients of a polynomial
+//! over GF(2), reduced modulo `p(x) = x^64 + x^4 + x^3 + x + 1` (a standard
+//! primitive pentanomial).
+
+/// Carry-less multiplication of two 64-bit polynomials (no reduction).
+#[inline]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    // Portable shift-and-xor; four-way unrolled over the bits of `b`.
+    let mut acc: u128 = 0;
+    let a = a as u128;
+    let mut b = b;
+    let mut shift = 0u32;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a << shift;
+        }
+        b >>= 1;
+        shift += 1;
+    }
+    acc
+}
+
+/// Reduces a 128-bit polynomial modulo `x^64 + x^4 + x^3 + x + 1`.
+#[inline]
+pub fn reduce(mut x: u128) -> u64 {
+    // x^64 ≡ x^4 + x^3 + x + 1, so fold the high half down by xoring
+    // hi·(x^4 + x^3 + x + 1). After the first fold the degree is ≤ 67,
+    // so a second fold finishes.
+    for _ in 0..2 {
+        let hi = x >> 64;
+        if hi == 0 {
+            break;
+        }
+        x = (x & (u64::MAX as u128)) ^ hi ^ (hi << 1) ^ (hi << 3) ^ (hi << 4);
+    }
+    x as u64
+}
+
+/// Field multiplication in GF(2^64).
+#[inline]
+pub fn gf_mul(a: u64, b: u64) -> u64 {
+    reduce(clmul(a, b))
+}
+
+/// Field squaring (carry-less square = bit interleaving, then reduce).
+#[inline]
+pub fn gf_square(a: u64) -> u64 {
+    // Squaring over GF(2) spreads each bit i to position 2i.
+    let lo = spread((a & 0xFFFF_FFFF) as u32);
+    let hi = spread((a >> 32) as u32);
+    reduce((hi as u128) << 64 | lo as u128)
+}
+
+/// Spreads the 32 bits of `x` into the even positions of a u64.
+#[inline]
+fn spread(x: u32) -> u64 {
+    let mut v = x as u64;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Field cube `a³ = a²·a`.
+#[inline]
+pub fn gf_cube(a: u64) -> u64 {
+    gf_mul(gf_square(a), a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x+1)(x+1) = x^2+1 over GF(2).
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        assert_eq!(clmul(0, 123), 0);
+        assert_eq!(clmul(1, 123), 123);
+        // x^63 * x = x^64.
+        assert_eq!(clmul(1 << 63, 2), 1u128 << 64);
+    }
+
+    #[test]
+    fn reduce_identity_below_64() {
+        for x in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(reduce(x as u128), x);
+        }
+    }
+
+    #[test]
+    fn reduce_x64() {
+        // x^64 ≡ x^4 + x^3 + x + 1 = 0b11011.
+        assert_eq!(reduce(1u128 << 64), 0b11011);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let xs = [3u64, 0x1234_5678_9ABC_DEF0, u64::MAX, 1 << 63];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+                for &c in &xs {
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn square_matches_self_multiplication() {
+        for a in [0u64, 1, 7, 0xFFFF_0000_1111_2222, u64::MAX] {
+            assert_eq!(gf_square(a), gf_mul(a, a), "a={a:#x}");
+        }
+    }
+
+    #[test]
+    fn cube_matches_repeated_multiplication() {
+        for a in [0u64, 1, 5, 0xABCD_EF01_2345_6789] {
+            assert_eq!(gf_cube(a), gf_mul(gf_mul(a, a), a));
+        }
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        for a in [0u64, 9, u64::MAX] {
+            assert_eq!(gf_mul(a, 1), a);
+        }
+    }
+
+    #[test]
+    fn mul_is_associative() {
+        let xs = [5u64, 0x8000_0000_0000_0001, 0x1357_9BDF_0246_8ACE];
+        for &a in &xs {
+            for &b in &xs {
+                for &c in &xs {
+                    assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+                }
+            }
+        }
+    }
+}

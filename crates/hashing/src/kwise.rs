@@ -1,0 +1,131 @@
+//! Generic k-wise independent polynomial hashing.
+//!
+//! The concrete [`crate::PairwiseHash`] (k = 2) and the degree-3 family
+//! behind [`crate::SignFamily`] (k = 4) cover everything the paper needs,
+//! but several extensions want higher independence — e.g. tighter tail
+//! bounds for the confidence intervals, or experiments on how much
+//! independence the estimators *actually* require (four-wise is necessary
+//! for the variance analysis; is it sufficient in practice?). A degree-
+//! `(k−1)` polynomial over `Z_p` with uniform random coefficients is the
+//! textbook k-wise independent family; this module provides it for any
+//! `k ≥ 1`.
+
+use crate::prime::poly_eval;
+use crate::seed::SeedSequence;
+
+/// A k-wise independent hash over `Z_p`, `p = 2^61 − 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseHash {
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a function from the k-wise family (`k = independence ≥ 1`).
+    pub fn from_seed(seeds: SeedSequence, independence: usize) -> Self {
+        assert!(independence >= 1, "independence degree must be at least 1");
+        let mut g = seeds.rng();
+        let coeffs = (0..independence).map(|_| g.next_field_element()).collect();
+        Self { coeffs }
+    }
+
+    /// The independence degree `k` (number of coefficients).
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the polynomial at `x`, returning a uniform field element.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        poly_eval(&self.coeffs, x)
+    }
+
+    /// A ±1 sign derived from the parity bit (k-wise independent signs,
+    /// bias `1/p`).
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        1 - 2 * ((self.eval(x) & 1) as i64)
+    }
+
+    /// A bucket in `[0, range)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, range: usize) -> usize {
+        debug_assert!(range > 0);
+        (self.eval(x) % range as u64) as usize
+    }
+}
+
+/// Empirical joint-uniformity check used by the tests: draws `trials`
+/// functions and measures `E[Π_{i<k} sign(x_i)]` over a fixed distinct
+/// tuple — zero for a family that is at least `k`-wise independent.
+pub fn joint_sign_moment(seed: u64, independence: usize, keys: &[u64], trials: u64) -> f64 {
+    let mut sum = 0i64;
+    for t in 0..trials {
+        let h = KWiseHash::from_seed(SeedSequence::new(seed).fork(t), independence);
+        sum += keys.iter().map(|&x| h.sign(x)).product::<i64>();
+    }
+    sum as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::MERSENNE_P;
+
+    #[test]
+    fn eval_stays_in_field() {
+        let h = KWiseHash::from_seed(SeedSequence::new(1), 6);
+        assert_eq!(h.independence(), 6);
+        for x in 0..5000u64 {
+            assert!(h.eval(x) < MERSENNE_P);
+        }
+    }
+
+    #[test]
+    fn degree_one_is_constant() {
+        // k = 1: a constant function (0 coefficients beyond c0).
+        let h = KWiseHash::from_seed(SeedSequence::new(2), 1);
+        let v = h.eval(0);
+        for x in 1..100u64 {
+            assert_eq!(h.eval(x), v);
+        }
+    }
+
+    #[test]
+    fn joint_moments_vanish_up_to_k() {
+        // For a 4-wise family, products over 2, 3 and 4 distinct keys are
+        // unbiased; over 5 keys independence is not promised (though for
+        // polynomial families the 5th moment happens to be small too — we
+        // only assert the guaranteed ones).
+        let keys = [3u64, 17, 99, 1234, 56789];
+        for m in 2..=4usize {
+            let corr = joint_sign_moment(7, 4, &keys[..m], 4000);
+            assert!(corr.abs() < 0.07, "m={m} corr={corr}");
+        }
+    }
+
+    #[test]
+    fn higher_independence_extends_the_guarantee() {
+        // A 6-wise family keeps 5- and 6-key products unbiased.
+        let keys = [3u64, 17, 99, 1234, 56789, 424242];
+        for m in 5..=6usize {
+            let corr = joint_sign_moment(9, 6, &keys[..m], 4000);
+            assert!(corr.abs() < 0.07, "m={m} corr={corr}");
+        }
+    }
+
+    #[test]
+    fn buckets_cover_range() {
+        let h = KWiseHash::from_seed(SeedSequence::new(4), 3);
+        let mut seen = vec![false; 16];
+        for x in 0..2000u64 {
+            seen[h.bucket(x, 16)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_independence_rejected() {
+        let _ = KWiseHash::from_seed(SeedSequence::new(5), 0);
+    }
+}

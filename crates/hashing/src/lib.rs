@@ -1,0 +1,35 @@
+//! # stream-hash
+//!
+//! Hashing substrate for AMS-style stream sketching: exact modular
+//! arithmetic over the Mersenne prime `2^61 − 1`, deterministic seed
+//! expansion, and the two k-wise independent families every sketch in this
+//! workspace is built from —
+//!
+//! * [`PairwiseHash`]: degree-1 polynomial bucket hashes (`h_i` in the
+//!   paper's hash sketch),
+//! * [`SignFamily`]: four-wise independent ±1 "tug-of-war" signs (`ξ_i`),
+//!
+//! plus [`TabulationHash`] as a 3-independent alternative bucket function.
+//!
+//! The independence degrees are not an implementation detail: pairwise
+//! independence of `h_i` and four-wise independence of `ξ_i` are exactly
+//! the hypotheses of the skimmed-sketch error theorems (Thms 2–5 of
+//! Ganguly, Garofalakis & Rastogi, EDBT 2004).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bch;
+pub mod family;
+pub mod gf2;
+pub mod kwise;
+pub mod prime;
+pub mod seed;
+pub mod tabulation;
+
+pub use bch::{BchKey, BchSignFamily};
+pub use family::{FourWiseHash, Independence, PairwiseHash, SignFamily};
+pub use kwise::KWiseHash;
+pub use prime::MERSENNE_P;
+pub use seed::{SeedSequence, SplitMix64};
+pub use tabulation::TabulationHash;

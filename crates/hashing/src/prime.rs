@@ -1,0 +1,190 @@
+//! Modular arithmetic over the Mersenne prime `p = 2^61 - 1`.
+//!
+//! All k-wise independent hash families in this crate evaluate polynomials
+//! over the field `Z_p`. The Mersenne structure of `p` lets us reduce a
+//! 122-bit product with two shifts and an add instead of a hardware divide,
+//! which keeps the per-element sketch-update cost down to a handful of
+//! cycles — important because the skimmed-sketch data structure evaluates
+//! one pairwise and one four-wise hash per hash table on every stream
+//! element.
+
+/// The Mersenne prime `2^61 - 1`.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u64` into `[0, p)`.
+///
+/// Values in `[p, 2^61)` map by subtracting `p` once; larger values first
+/// fold the high bits. The result is always a canonical field element.
+#[inline]
+pub fn reduce(x: u64) -> u64 {
+    // Fold bits above position 61 back in; for u64 inputs one fold suffices
+    // to bring the value below 2^62, after which at most two conditional
+    // subtractions canonicalize it.
+    let mut r = (x & MERSENNE_P) + (x >> 61);
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Reduces a 128-bit value into `[0, p)`.
+#[inline]
+pub fn reduce128(mut x: u128) -> u64 {
+    // Fold 61 bits at a time until the value fits in 64 bits (at most two
+    // folds for any u128 input), then finish with the 64-bit reduction.
+    const LOW: u128 = (1u128 << 61) - 1;
+    while x >> 64 != 0 {
+        x = (x & LOW) + (x >> 61);
+    }
+    reduce(x as u64)
+}
+
+/// Modular addition in `Z_p`.
+#[inline]
+pub fn add_mod(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    let s = a + b; // cannot overflow: both < 2^61
+    if s >= MERSENNE_P {
+        s - MERSENNE_P
+    } else {
+        s
+    }
+}
+
+/// Modular multiplication in `Z_p` via a single widening multiply.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    let prod = (a as u128) * (b as u128);
+    // prod < 2^122; low 61 bits plus high 61 bits, one conditional subtract.
+    let lo = (prod as u64) & MERSENNE_P;
+    let hi = (prod >> 61) as u64; // < 2^61
+    let mut r = lo + hi; // < 2^62
+    r = (r & MERSENNE_P) + (r >> 61);
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Modular exponentiation `base^exp mod p` by square-and-multiply.
+pub fn pow_mod(base: u64, mut exp: u64) -> u64 {
+    let mut base = reduce(base);
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in `Z_p` (requires `a != 0`), via Fermat.
+pub fn inv_mod(a: u64) -> u64 {
+    assert!(reduce(a) != 0, "zero has no multiplicative inverse");
+    pow_mod(a, MERSENNE_P - 2)
+}
+
+/// Evaluates the polynomial `c\[0\] + c\[1\]·x + … + c[d]·x^d` over `Z_p`
+/// by Horner's rule. Coefficients must already be canonical field elements.
+#[inline]
+pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
+    let x = reduce(x);
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = add_mod(mul_mod(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_is_canonical() {
+        assert_eq!(reduce(0), 0);
+        assert_eq!(reduce(MERSENNE_P), 0);
+        assert_eq!(reduce(MERSENNE_P + 1), 1);
+        assert_eq!(reduce(u64::MAX), u64::MAX % MERSENNE_P);
+    }
+
+    #[test]
+    fn reduce128_matches_modulus() {
+        for x in [
+            0u128,
+            1,
+            MERSENNE_P as u128,
+            (MERSENNE_P as u128) * (MERSENNE_P as u128),
+            u128::MAX,
+        ] {
+            assert_eq!(reduce128(x), (x % MERSENNE_P as u128) as u64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_agrees_with_u128_arithmetic() {
+        let samples = [0u64, 1, 2, 12345, MERSENNE_P - 1, MERSENNE_P / 2, 1 << 60];
+        for &a in &samples {
+            for &b in &samples {
+                let expect = ((a as u128 * b as u128) % MERSENNE_P as u128) as u64;
+                assert_eq!(mul_mod(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        assert_eq!(add_mod(MERSENNE_P - 1, 1), 0);
+        assert_eq!(add_mod(MERSENNE_P - 1, 2), 1);
+        assert_eq!(add_mod(5, 7), 12);
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10), 1024);
+        assert_eq!(pow_mod(3, 0), 1);
+        assert_eq!(pow_mod(0, 5), 0);
+        // Fermat: a^(p-1) = 1 for a != 0.
+        assert_eq!(pow_mod(123456789, MERSENNE_P - 1), 1);
+    }
+
+    #[test]
+    fn inv_mod_inverts() {
+        for a in [1u64, 2, 3, 998244353, MERSENNE_P - 2] {
+            assert_eq!(mul_mod(a, inv_mod(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_mod_zero_panics() {
+        inv_mod(0);
+    }
+
+    #[test]
+    fn poly_eval_matches_direct_expansion() {
+        // 3 + 2x + x^2 at x = 10 -> 123
+        assert_eq!(poly_eval(&[3, 2, 1], 10), 123);
+        // Degree-3 with wraparound.
+        let coeffs = [MERSENNE_P - 1, MERSENNE_P - 2, 7, 11];
+        let x = 987654321u64;
+        let direct = {
+            let mut acc = 0u64;
+            let mut xp = 1u64;
+            for &c in &coeffs {
+                acc = add_mod(acc, mul_mod(c, xp));
+                xp = mul_mod(xp, x);
+            }
+            acc
+        };
+        assert_eq!(poly_eval(&coeffs, x), direct);
+    }
+
+    #[test]
+    fn poly_eval_empty_is_zero() {
+        assert_eq!(poly_eval(&[], 42), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Continuous queries: periodic re-estimation over live streams.
+//!
+//! The architecture of the paper's Fig. 1 answers a query *at any point in
+//! time* from the maintained synopses. This module packages the common
+//! deployment around that: a registered join query re-evaluated every
+//! `period` processed records (estimation is non-destructive, so this is
+//! just a scheduled call), producing a time series of estimates, with an
+//! optional change detector that flags when consecutive estimates move by
+//! more than a configured factor — the "interesting trends / anomalies"
+//! use case the paper's introduction motivates.
+
+use crate::engine::{Aggregate, JoinQueryEngine, Side};
+use crate::record::{Op, Record};
+use skimmed_sketch::{EstimatorConfig, SkimmedSchema};
+use std::sync::Arc;
+
+/// One point of the continuous-estimate time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Records processed (both sides) when the estimate was taken.
+    pub records_processed: u64,
+    /// The aggregate estimate at that point.
+    pub estimate: f64,
+    /// Relative change from the previous point (0 for the first).
+    pub relative_change: f64,
+    /// Whether the change detector fired.
+    pub alarm: bool,
+}
+
+/// A continuously evaluated join aggregate.
+#[derive(Debug)]
+pub struct ContinuousQuery {
+    engine: JoinQueryEngine,
+    aggregate: Aggregate,
+    period: u64,
+    /// Relative change that raises an alarm (`None` disables detection).
+    alarm_threshold: Option<f64>,
+    processed: u64,
+    series: Vec<SeriesPoint>,
+}
+
+impl ContinuousQuery {
+    /// Registers a continuous `aggregate` over streams sketched under
+    /// `schema`, re-evaluated every `period` processed records.
+    pub fn new(
+        schema: Arc<SkimmedSchema>,
+        config: EstimatorConfig,
+        aggregate: Aggregate,
+        period: u64,
+    ) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self {
+            engine: JoinQueryEngine::new(schema, config),
+            aggregate,
+            period,
+            alarm_threshold: None,
+            processed: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Enables the change detector at `threshold` relative movement
+    /// between consecutive estimates (e.g. `0.5` = ±50%).
+    pub fn with_alarm(mut self, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "alarm threshold must be positive");
+        self.alarm_threshold = Some(threshold);
+        self
+    }
+
+    /// Mutable access to the underlying engine (predicates etc.).
+    pub fn engine_mut(&mut self) -> &mut JoinQueryEngine {
+        &mut self.engine
+    }
+
+    /// Processes one record; returns the new series point if this record
+    /// completed a period.
+    pub fn process(&mut self, side: Side, op: Op, record: Record) -> Option<SeriesPoint> {
+        self.engine.process(side, op, record);
+        self.processed += 1;
+        if self.processed.is_multiple_of(self.period) {
+            Some(self.evaluate_now())
+        } else {
+            None
+        }
+    }
+
+    /// Forces an evaluation outside the schedule and appends it to the
+    /// series.
+    pub fn evaluate_now(&mut self) -> SeriesPoint {
+        let estimate = self.engine.answer(self.aggregate).value;
+        let prev = self.series.last().map(|p| p.estimate);
+        let relative_change = match prev {
+            Some(p) if p.abs() > f64::EPSILON => (estimate - p) / p.abs(),
+            _ => 0.0,
+        };
+        let alarm = self
+            .alarm_threshold
+            .map(|t| relative_change.abs() >= t && !self.series.is_empty())
+            .unwrap_or(false);
+        let point = SeriesPoint {
+            records_processed: self.processed,
+            estimate,
+            relative_change,
+            alarm,
+        };
+        self.series.push(point);
+        point
+    }
+
+    /// The estimate time series so far.
+    pub fn series(&self) -> &[SeriesPoint] {
+        &self.series
+    }
+
+    /// Total records processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use stream_model::Domain;
+
+    fn query(period: u64) -> ContinuousQuery {
+        let schema = SkimmedSchema::scanning(Domain::with_log2(10), 5, 128, 3);
+        ContinuousQuery::new(schema, EstimatorConfig::default(), Aggregate::Count, period)
+    }
+
+    #[test]
+    fn evaluates_on_schedule() {
+        let mut q = query(100);
+        let mut points = 0;
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..550u64 {
+            let side = if i % 2 == 0 { Side::Left } else { Side::Right };
+            let r = Record::new(rng.gen_range(0..1024));
+            if q.process(side, Op::Insert, r).is_some() {
+                points += 1;
+            }
+        }
+        assert_eq!(points, 5);
+        assert_eq!(q.series().len(), 5);
+        assert_eq!(q.processed(), 550);
+        let marks: Vec<u64> = q.series().iter().map(|p| p.records_processed).collect();
+        assert_eq!(marks, vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn estimates_grow_with_overlapping_mass() {
+        let mut q = query(500);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000u64 {
+            let v = rng.gen_range(0..64);
+            q.process(Side::Left, Op::Insert, Record::new(v));
+            q.process(Side::Right, Op::Insert, Record::new(v));
+        }
+        let s = q.series();
+        assert!(s.len() >= 4);
+        // Join of two growing co-located streams grows quadratically; each
+        // point should exceed the previous.
+        for w in s.windows(2) {
+            assert!(w[1].estimate > w[0].estimate, "series={s:?}");
+        }
+    }
+
+    #[test]
+    fn alarm_fires_on_regime_change() {
+        let schema = SkimmedSchema::scanning(Domain::with_log2(10), 5, 128, 4);
+        let mut q = ContinuousQuery::new(
+            schema,
+            EstimatorConfig::default(),
+            Aggregate::Count,
+            1000,
+        )
+        .with_alarm(1.0);
+        // Phase 1: disjoint streams (join ≈ 0 — two quiet periods).
+        for i in 0..2000u64 {
+            let side = if i % 2 == 0 { Side::Left } else { Side::Right };
+            let v = if i % 2 == 0 { i % 100 } else { 512 + (i % 100) };
+            q.process(side, Op::Insert, Record::new(v));
+        }
+        // Phase 2: both streams slam the same hot value.
+        for _ in 0..1000u64 {
+            q.process(Side::Left, Op::Insert, Record::new(7));
+            q.process(Side::Right, Op::Insert, Record::new(7));
+        }
+        assert!(
+            q.series().iter().any(|p| p.alarm),
+            "series={:?}",
+            q.series()
+        );
+    }
+
+    #[test]
+    fn first_point_never_alarms() {
+        let mut q = query(10).with_alarm(0.01);
+        for _ in 0..10 {
+            q.process(Side::Left, Op::Insert, Record::new(1));
+        }
+        assert!(!q.series()[0].alarm);
+        assert_eq!(q.series()[0].relative_change, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = query(0);
+    }
+}

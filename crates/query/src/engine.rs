@@ -1,0 +1,388 @@
+//! The stream query-processing engine of the paper's Fig. 1.
+//!
+//! Maintains skimmed-sketch synopses for two update streams `F` and `G` and
+//! answers `AGG(F ⋈ G)` for `AGG ∈ {COUNT, SUM, AVERAGE}` at any point, in
+//! one pass, with selection predicates applied before the synopses are
+//! touched.
+//!
+//! For COUNT a single synopsis pair suffices. SUM over `G`'s measure needs
+//! a second `G` synopsis fed with measure-weighted updates (the paper's
+//! `G'` stream that repeats each element `m` times); AVERAGE is SUM/COUNT.
+
+use crate::predicate::Predicate;
+use crate::record::{Op, Record};
+use skimmed_sketch::{
+    estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch,
+};
+use std::sync::Arc;
+use stream_sketches::LinearSynopsis as _;
+
+/// Which side of the join a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left stream `F`.
+    Left,
+    /// The right stream `G`.
+    Right,
+}
+
+/// Aggregates the engine can answer over the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(F ⋈ G)` — the join size.
+    Count,
+    /// `SUM(F ⋈ G)` over the *right* stream's measure attribute.
+    SumRightMeasure,
+    /// `AVERAGE(F ⋈ G)` of the right stream's measure attribute.
+    AvgRightMeasure,
+}
+
+/// An answered aggregate with its estimation anatomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryAnswer {
+    /// The aggregate estimate.
+    pub value: f64,
+    /// The COUNT estimate that backed it.
+    pub count: JoinEstimate,
+    /// The SUM estimate when the aggregate needed one.
+    pub sum: Option<JoinEstimate>,
+}
+
+/// One-pass query processor for `AGG(σ(F) ⋈ σ(G))`.
+///
+/// # Examples
+///
+/// ```
+/// use skimmed_sketch::SkimmedSchema;
+/// use stream_model::Domain;
+/// use stream_query::{Aggregate, JoinQueryEngine, Op, Record, Side};
+///
+/// let schema = SkimmedSchema::scanning(Domain::with_log2(10), 5, 64, 1);
+/// let mut engine = JoinQueryEngine::new(schema, Default::default());
+/// for v in 0..100u64 {
+///     engine.process(Side::Left, Op::Insert, Record::new(v % 10));
+///     engine.process(Side::Right, Op::Insert, Record::new(v % 20));
+/// }
+/// let answer = engine.answer(Aggregate::Count);
+/// // 10 shared values × 10 × 5 = 500.
+/// assert!((answer.value - 500.0).abs() < 250.0);
+/// ```
+#[derive(Debug)]
+pub struct JoinQueryEngine {
+    config: EstimatorConfig,
+    predicate_left: Predicate,
+    predicate_right: Predicate,
+    /// Count synopses (unit weights).
+    count_left: SkimmedSketch,
+    count_right: SkimmedSketch,
+    /// Measure-weighted synopsis of the right stream, for SUM/AVERAGE.
+    sum_right: SkimmedSketch,
+    /// Records accepted per side (diagnostics).
+    accepted: [u64; 2],
+    /// Records dropped by predicates per side.
+    filtered: [u64; 2],
+}
+
+impl JoinQueryEngine {
+    /// Creates an engine whose synopses share `schema`.
+    pub fn new(schema: Arc<SkimmedSchema>, config: EstimatorConfig) -> Self {
+        Self {
+            config,
+            predicate_left: Predicate::True,
+            predicate_right: Predicate::True,
+            count_left: SkimmedSketch::new(schema.clone()),
+            count_right: SkimmedSketch::new(schema.clone()),
+            sum_right: SkimmedSketch::new(schema),
+            accepted: [0, 0],
+            filtered: [0, 0],
+        }
+    }
+
+    /// Installs a selection predicate on one side (applies to records
+    /// processed *after* this call, matching streaming semantics).
+    pub fn set_predicate(&mut self, side: Side, p: Predicate) {
+        match side {
+            Side::Left => self.predicate_left = p,
+            Side::Right => self.predicate_right = p,
+        }
+    }
+
+    /// Processes one record. Returns whether the record passed its side's
+    /// predicate.
+    pub fn process(&mut self, side: Side, op: Op, record: Record) -> bool {
+        let (pred, idx) = match side {
+            Side::Left => (&self.predicate_left, 0),
+            Side::Right => (&self.predicate_right, 1),
+        };
+        if !pred.eval(&record) {
+            self.filtered[idx] += 1;
+            return false;
+        }
+        self.accepted[idx] += 1;
+        let w = op.sign();
+        match side {
+            Side::Left => self.count_left.add_weighted(record.value, w),
+            Side::Right => {
+                self.count_right.add_weighted(record.value, w);
+                self.sum_right
+                    .add_weighted(record.value, w * record.measure);
+            }
+        }
+        true
+    }
+
+    /// Convenience: process a batch of inserts.
+    pub fn insert_all<I: IntoIterator<Item = Record>>(&mut self, side: Side, records: I) {
+        for r in records {
+            self.process(side, Op::Insert, r);
+        }
+    }
+
+    /// Answers the aggregate from the current synopses (non-destructive —
+    /// streaming can continue afterwards).
+    pub fn answer(&self, agg: Aggregate) -> QueryAnswer {
+        let count = estimate_join(&self.count_left, &self.count_right, &self.config);
+        match agg {
+            Aggregate::Count => QueryAnswer {
+                value: count.estimate,
+                count,
+                sum: None,
+            },
+            Aggregate::SumRightMeasure => {
+                let sum = estimate_join(&self.count_left, &self.sum_right, &self.config);
+                QueryAnswer {
+                    value: sum.estimate,
+                    count,
+                    sum: Some(sum),
+                }
+            }
+            Aggregate::AvgRightMeasure => {
+                let sum = estimate_join(&self.count_left, &self.sum_right, &self.config);
+                let value = if count.estimate.abs() > f64::EPSILON {
+                    sum.estimate / count.estimate
+                } else {
+                    0.0
+                };
+                QueryAnswer {
+                    value,
+                    count,
+                    sum: Some(sum),
+                }
+            }
+        }
+    }
+
+    /// `(accepted, filtered)` record counts for `side`.
+    pub fn stats(&self, side: Side) -> (u64, u64) {
+        let i = match side {
+            Side::Left => 0,
+            Side::Right => 1,
+        };
+        (self.accepted[i], self.filtered[i])
+    }
+
+    /// Total synopsis footprint in words (three synopses).
+    pub fn words(&self) -> usize {
+        self.count_left.words() + self.count_right.words() + self.sum_right.words()
+    }
+
+    /// Reports the heavy hitters of one side: SKIMDENSE run on a clone of
+    /// that side's COUNT synopsis under the engine's threshold policy —
+    /// the "interesting trends" companion query the paper's introduction
+    /// motivates, answered from the same synopsis that serves the join.
+    pub fn heavy_hitters(&self, side: Side) -> Vec<(u64, i64)> {
+        let sketch = match side {
+            Side::Left => &self.count_left,
+            Side::Right => &self.count_right,
+        };
+        let mut clone = sketch.clone();
+        let t = self.config.policy.threshold(clone.base(), clone.l1_mass());
+        let dense = clone.skim(t, self.config.max_candidates);
+        let mut out: Vec<(u64, i64)> = dense.iter().collect();
+        out.sort_by_key(|&(v, c)| (std::cmp::Reverse(c.abs()), v));
+        out
+    }
+
+    /// Resets all synopses (e.g. at a logical stream boundary).
+    pub fn reset(&mut self) {
+        self.count_left.clear();
+        self.count_right.clear();
+        self.sum_right.clear();
+        self.accepted = [0, 0];
+        self.filtered = [0, 0];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use stream_model::metrics::ratio_error;
+    use stream_model::Domain;
+
+    fn engine(seed: u64) -> JoinQueryEngine {
+        let schema = SkimmedSchema::scanning(Domain::with_log2(12), 7, 256, seed);
+        JoinQueryEngine::new(schema, EstimatorConfig::default())
+    }
+
+    /// Deterministic skewed workload with known exact aggregates.
+    fn workload(n: usize, seed: u64) -> (Vec<Record>, Vec<Record>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut left = Vec::with_capacity(n);
+        let mut right = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Skewed values: small values much more likely.
+            let v = (rng.gen_range(0.0f64..1.0).powi(3) * 4095.0) as u64;
+            left.push(Record::new(v));
+            let w = (rng.gen_range(0.0f64..1.0).powi(3) * 4095.0) as u64;
+            right.push(Record::with_measure(w, rng.gen_range(1..20)));
+        }
+        (left, right)
+    }
+
+    fn exact_count(left: &[Record], right: &[Record]) -> i64 {
+        let mut f = vec![0i64; 4096];
+        let mut g = vec![0i64; 4096];
+        for r in left {
+            f[r.value as usize] += 1;
+        }
+        for r in right {
+            g[r.value as usize] += 1;
+        }
+        f.iter().zip(&g).map(|(&a, &b)| a * b).sum()
+    }
+
+    fn exact_sum(left: &[Record], right: &[Record]) -> i64 {
+        let mut f = vec![0i64; 4096];
+        let mut gm = vec![0i64; 4096];
+        for r in left {
+            f[r.value as usize] += 1;
+        }
+        for r in right {
+            gm[r.value as usize] += r.measure;
+        }
+        f.iter().zip(&gm).map(|(&a, &b)| a * b).sum()
+    }
+
+    #[test]
+    fn count_tracks_exact_join_size() {
+        let (l, r) = workload(60_000, 1);
+        let mut e = engine(10);
+        e.insert_all(Side::Left, l.iter().copied());
+        e.insert_all(Side::Right, r.iter().copied());
+        let ans = e.answer(Aggregate::Count);
+        let actual = exact_count(&l, &r) as f64;
+        let err = ratio_error(ans.value, actual);
+        assert!(err < 0.2, "err={err} est={} actual={actual}", ans.value);
+    }
+
+    #[test]
+    fn sum_tracks_exact_measure_sum() {
+        let (l, r) = workload(60_000, 2);
+        let mut e = engine(11);
+        e.insert_all(Side::Left, l.iter().copied());
+        e.insert_all(Side::Right, r.iter().copied());
+        let ans = e.answer(Aggregate::SumRightMeasure);
+        let actual = exact_sum(&l, &r) as f64;
+        let err = ratio_error(ans.value, actual);
+        assert!(err < 0.2, "err={err} est={} actual={actual}", ans.value);
+        assert!(ans.sum.is_some());
+    }
+
+    #[test]
+    fn average_is_sum_over_count() {
+        let (l, r) = workload(40_000, 3);
+        let mut e = engine(12);
+        e.insert_all(Side::Left, l.iter().copied());
+        e.insert_all(Side::Right, r.iter().copied());
+        let avg = e.answer(Aggregate::AvgRightMeasure);
+        let actual = exact_sum(&l, &r) as f64 / exact_count(&l, &r) as f64;
+        assert!(
+            (avg.value - actual).abs() / actual < 0.3,
+            "avg={} actual={actual}",
+            avg.value
+        );
+    }
+
+    #[test]
+    fn predicates_filter_before_synopses() {
+        let mut e = engine(13);
+        e.set_predicate(Side::Left, Predicate::ValueRange { lo: 0, hi: 100 });
+        assert!(e.process(Side::Left, Op::Insert, Record::new(50)));
+        assert!(!e.process(Side::Left, Op::Insert, Record::new(200)));
+        let (acc, filt) = e.stats(Side::Left);
+        assert_eq!((acc, filt), (1, 1));
+        // The filtered record must not have reached the synopsis: a join
+        // against a right stream of only value 200 estimates ~0.
+        for _ in 0..100 {
+            e.process(Side::Right, Op::Insert, Record::new(200));
+        }
+        let ans = e.answer(Aggregate::Count);
+        assert!(ans.value.abs() < 50.0, "value={}", ans.value);
+    }
+
+    #[test]
+    fn deletes_retract_records() {
+        let mut e = engine(14);
+        for _ in 0..500 {
+            e.process(Side::Left, Op::Insert, Record::new(7));
+            e.process(Side::Right, Op::Insert, Record::with_measure(7, 3));
+        }
+        // Retract all right records: join drops to ~0.
+        for _ in 0..500 {
+            e.process(Side::Right, Op::Delete, Record::with_measure(7, 3));
+        }
+        let ans = e.answer(Aggregate::Count);
+        assert!(ans.value.abs() < 100.0, "value={}", ans.value);
+        let sum = e.answer(Aggregate::SumRightMeasure);
+        assert!(sum.value.abs() < 300.0, "sum={}", sum.value);
+    }
+
+    #[test]
+    fn answer_is_repeatable_and_non_destructive() {
+        let (l, r) = workload(5_000, 4);
+        let mut e = engine(15);
+        e.insert_all(Side::Left, l.iter().copied());
+        e.insert_all(Side::Right, r.iter().copied());
+        let a1 = e.answer(Aggregate::Count);
+        let a2 = e.answer(Aggregate::Count);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn heavy_hitters_surface_the_head() {
+        let mut e = engine(17);
+        for _ in 0..5000 {
+            e.process(Side::Left, Op::Insert, Record::new(42));
+        }
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..2000 {
+            e.process(Side::Left, Op::Insert, Record::new(rng.gen_range(0..4096)));
+        }
+        let hh = e.heavy_hitters(Side::Left);
+        assert!(!hh.is_empty());
+        assert_eq!(hh[0].0, 42);
+        assert!((hh[0].1 - 5000).abs() < 250, "est={}", hh[0].1);
+        // The untouched right side has no heavy hitters.
+        assert!(e.heavy_hitters(Side::Right).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut e = engine(19);
+        for _ in 0..100 {
+            e.process(Side::Left, Op::Insert, Record::new(7));
+            e.process(Side::Right, Op::Insert, Record::new(7));
+        }
+        e.reset();
+        assert_eq!(e.answer(Aggregate::Count).value, 0.0);
+        assert_eq!(e.stats(Side::Left), (0, 0));
+    }
+
+    #[test]
+    fn words_accounts_for_three_synopses() {
+        let e = engine(16);
+        assert_eq!(e.words(), 3 * 7 * 256);
+    }
+}

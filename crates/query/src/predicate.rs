@@ -1,0 +1,148 @@
+//! Selection predicates.
+//!
+//! §2.1 of the paper: "selection predicates can easily be incorporated into
+//! our stream processing model — we simply drop from the streams, elements
+//! that do not satisfy the predicates (prior to updating the synopses)."
+//! This module is that filter: a small combinator language over stream
+//! records, evaluated before any synopsis sees the element.
+
+use crate::record::Record;
+
+/// A predicate over stream records.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Accepts everything.
+    True,
+    /// Rejects everything.
+    False,
+    /// `lo ≤ value < hi`.
+    ValueRange {
+        /// Inclusive lower bound on the join value.
+        lo: u64,
+        /// Exclusive upper bound on the join value.
+        hi: u64,
+    },
+    /// Value is one of an explicit (sorted) set.
+    ValueIn(Vec<u64>),
+    /// `value ≡ residue (mod modulus)`.
+    ValueMod {
+        /// The modulus (> 0).
+        modulus: u64,
+        /// The required residue.
+        residue: u64,
+    },
+    /// `lo ≤ measure < hi` on the record's measure attribute.
+    MeasureRange {
+        /// Inclusive lower bound on the measure.
+        lo: i64,
+        /// Exclusive upper bound on the measure.
+        hi: i64,
+    },
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Builds a sorted `ValueIn` from arbitrary order.
+    pub fn value_in<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Predicate::ValueIn(v)
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate on a record.
+    pub fn eval(&self, r: &Record) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::ValueRange { lo, hi } => *lo <= r.value && r.value < *hi,
+            Predicate::ValueIn(set) => set.binary_search(&r.value).is_ok(),
+            Predicate::ValueMod { modulus, residue } => {
+                assert!(*modulus > 0, "modulus must be positive");
+                r.value % modulus == *residue
+            }
+            Predicate::MeasureRange { lo, hi } => *lo <= r.measure && r.measure < *hi,
+            Predicate::And(a, b) => a.eval(r) && b.eval(r),
+            Predicate::Or(a, b) => a.eval(r) || b.eval(r),
+            Predicate::Not(a) => !a.eval(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(value: u64, measure: i64) -> Record {
+        Record { value, measure }
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Predicate::True.eval(&rec(0, 0)));
+        assert!(!Predicate::False.eval(&rec(0, 0)));
+    }
+
+    #[test]
+    fn value_range_half_open() {
+        let p = Predicate::ValueRange { lo: 10, hi: 20 };
+        assert!(!p.eval(&rec(9, 0)));
+        assert!(p.eval(&rec(10, 0)));
+        assert!(p.eval(&rec(19, 0)));
+        assert!(!p.eval(&rec(20, 0)));
+    }
+
+    #[test]
+    fn value_in_sorted_lookup() {
+        let p = Predicate::value_in([30, 10, 20, 10]);
+        assert!(p.eval(&rec(10, 0)) && p.eval(&rec(20, 0)) && p.eval(&rec(30, 0)));
+        assert!(!p.eval(&rec(15, 0)));
+    }
+
+    #[test]
+    fn modulo() {
+        let p = Predicate::ValueMod { modulus: 4, residue: 3 };
+        assert!(p.eval(&rec(7, 0)));
+        assert!(!p.eval(&rec(8, 0)));
+    }
+
+    #[test]
+    fn measure_range() {
+        let p = Predicate::MeasureRange { lo: -5, hi: 5 };
+        assert!(p.eval(&rec(0, -5)));
+        assert!(p.eval(&rec(0, 4)));
+        assert!(!p.eval(&rec(0, 5)));
+    }
+
+    #[test]
+    fn combinators() {
+        let p = Predicate::ValueRange { lo: 0, hi: 100 }
+            .and(Predicate::ValueMod { modulus: 2, residue: 0 })
+            .or(Predicate::value_in([777]));
+        assert!(p.eval(&rec(42, 0)));
+        assert!(!p.eval(&rec(43, 0)));
+        assert!(p.eval(&rec(777, 0)));
+        assert!(!p.clone().not().eval(&rec(42, 0)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Stream records: the query engine's input unit.
+//!
+//! A record carries the join-attribute value plus an optional measure. The
+//! paper reduces `SUM_m(F ⋈ G)` to `COUNT` over a stream where each element
+//! is repeated `m` times — concretely, a measure-weighted update — so one
+//! record feeds the COUNT synopsis with weight ±1 and the SUM synopsis with
+//! weight ±m.
+
+/// One stream record: join value + measure attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// The join-attribute value.
+    pub value: u64,
+    /// The measure attribute (1 when the query is a pure COUNT).
+    pub measure: i64,
+}
+
+impl Record {
+    /// A record with unit measure.
+    pub fn new(value: u64) -> Self {
+        Self { value, measure: 1 }
+    }
+
+    /// A record with an explicit measure.
+    pub fn with_measure(value: u64, measure: i64) -> Self {
+        Self { value, measure }
+    }
+}
+
+/// Whether a record is being added to or retracted from its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Record arrival.
+    Insert,
+    /// Record retraction (the delete case of the update model).
+    Delete,
+}
+
+impl Op {
+    /// The sign this operation applies to update weights.
+    #[inline]
+    pub fn sign(self) -> i64 {
+        match self {
+            Op::Insert => 1,
+            Op::Delete => -1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Record::new(5).measure, 1);
+        assert_eq!(Record::with_measure(5, -3).measure, -3);
+    }
+
+    #[test]
+    fn op_signs() {
+        assert_eq!(Op::Insert.sign(), 1);
+        assert_eq!(Op::Delete.sign(), -1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Parallel and shared ingestion.
+//!
+//! Sketch linearity makes distribution trivial and *exact*: shard the
+//! stream across workers, let each build a private synopsis under the
+//! shared schema, and add the results — the merged synopsis is bit-for-bit
+//! the one a single ingester would have built. [`ingest_sharded`] does this
+//! with crossbeam scoped threads; [`SharedSketch`] is the lock-based
+//! alternative for callers that need one synopsis visible to concurrent
+//! writers and readers.
+
+use parking_lot::Mutex;
+use skimmed_sketch::{SkimmedSchema, SkimmedSketch};
+use std::sync::Arc;
+use stream_model::update::Update;
+use stream_sketches::LinearSynopsis;
+
+/// Builds a skimmed sketch of `updates` using `workers` threads: each
+/// worker sketches a contiguous shard, and the shards are merged.
+///
+/// Exactness (not approximation) of the merge is guaranteed by linearity
+/// and asserted by the tests.
+pub fn ingest_sharded(
+    schema: &Arc<SkimmedSchema>,
+    updates: &[Update],
+    workers: usize,
+) -> SkimmedSketch {
+    assert!(workers > 0, "need at least one worker");
+    let workers = workers.min(updates.len().max(1));
+    let chunk = updates.len().div_ceil(workers);
+    let mut partials: Vec<SkimmedSketch> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = updates
+            .chunks(chunk.max(1))
+            .map(|shard| {
+                let schema = schema.clone();
+                scope.spawn(move |_| {
+                    let mut sk = SkimmedSketch::new(schema);
+                    for &u in shard {
+                        sk.add_weighted(u.value, u.weight);
+                    }
+                    sk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest worker panicked"))
+            .collect()
+    })
+    .expect("ingest scope panicked");
+    let mut merged = partials.pop().unwrap_or_else(|| SkimmedSketch::new(schema.clone()));
+    for p in &partials {
+        merged.merge_from(p);
+    }
+    merged
+}
+
+/// A skimmed sketch behind a mutex, for concurrent writers.
+///
+/// The lock is held only for the `O(s1·log N)` counter updates, so
+/// contention stays modest; for heavy parallel loads prefer
+/// [`ingest_sharded`], which shares nothing.
+#[derive(Debug)]
+pub struct SharedSketch {
+    inner: Mutex<SkimmedSketch>,
+}
+
+impl SharedSketch {
+    /// An empty shared sketch under `schema`.
+    pub fn new(schema: Arc<SkimmedSchema>) -> Self {
+        Self {
+            inner: Mutex::new(SkimmedSketch::new(schema)),
+        }
+    }
+
+    /// Adds `w` copies of `v`.
+    pub fn add_weighted(&self, v: u64, w: i64) {
+        self.inner.lock().add_weighted(v, w);
+    }
+
+    /// Snapshots the current synopsis (cheap: counters only).
+    pub fn snapshot(&self) -> SkimmedSketch {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stream_model::gen::ZipfGenerator;
+    use stream_model::update::StreamSink;
+    use stream_model::Domain;
+
+    fn updates(n: usize, seed: u64) -> Vec<Update> {
+        let d = Domain::with_log2(12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ZipfGenerator::new(d, 1.0, 0).generate(&mut rng, n)
+    }
+
+    #[test]
+    fn sharded_ingest_is_exact() {
+        let schema = SkimmedSchema::scanning(Domain::with_log2(12), 5, 128, 1);
+        let us = updates(20_000, 2);
+        let mut serial = SkimmedSketch::new(schema.clone());
+        for &u in &us {
+            serial.update(u);
+        }
+        for workers in [1, 2, 4, 7] {
+            let parallel = ingest_sharded(&schema, &us, workers);
+            assert_eq!(
+                parallel.base().counters(),
+                serial.base().counters(),
+                "workers={workers}"
+            );
+            assert_eq!(parallel.l1_mass(), serial.l1_mass());
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_handles_tiny_inputs() {
+        let schema = SkimmedSchema::scanning(Domain::with_log2(4), 3, 16, 3);
+        let empty = ingest_sharded(&schema, &[], 4);
+        assert!(empty.base().counters().iter().all(|&c| c == 0));
+        let one = ingest_sharded(&schema, &[Update::insert(3)], 8);
+        assert_eq!(one.l1_mass(), 1);
+    }
+
+    #[test]
+    fn shared_sketch_concurrent_writers_sum_exactly() {
+        let schema = SkimmedSchema::scanning(Domain::with_log2(12), 3, 64, 4);
+        let shared = SharedSketch::new(schema.clone());
+        let us = updates(8_000, 5);
+        crossbeam::thread::scope(|scope| {
+            for shard in us.chunks(2_000) {
+                let shared = &shared;
+                scope.spawn(move |_| {
+                    for &u in shard {
+                        shared.add_weighted(u.value, u.weight);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut serial = SkimmedSketch::new(schema);
+        for &u in &us {
+            serial.update(u);
+        }
+        assert_eq!(shared.snapshot().base().counters(), serial.base().counters());
+    }
+}

@@ -1,0 +1,277 @@
+//! Star multi-join COUNT estimation.
+//!
+//! Completes the multi-join picture next to [`crate::multijoin`]'s chains:
+//! a *star* join has one center relation carrying `k` join attributes and
+//! `k` edge relations, one per attribute —
+//! `COUNT(E1 ⋈_{a1} C ⋈_{a2} E2 ⋈ … )`. Per Dobra et al. \[5\] (the
+//! construction the paper's §1/§6 extension pointer references), every
+//! attribute gets an independent four-wise ±1 family; the center's atomic
+//! sketch multiplies the signs of all its attribute values, each edge uses
+//! its own attribute's family, and the product of all `k + 1` atomic
+//! sketches is an unbiased estimator of the star-join size.
+
+use std::sync::Arc;
+use stream_hash::{SeedSequence, SignFamily};
+use stream_model::metrics::median_f64;
+
+/// Shared randomness for one star join of `attributes` edges.
+#[derive(Debug)]
+pub struct StarJoinSchema {
+    attributes: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    /// `signs[attr][row·cols + col]`.
+    signs: Vec<Vec<SignFamily>>,
+}
+
+impl StarJoinSchema {
+    /// Creates a schema for a star with `attributes ≥ 1` edge relations
+    /// and an `rows × cols` sketch array.
+    pub fn new(attributes: usize, rows: usize, cols: usize, seed: u64) -> Arc<Self> {
+        assert!(attributes >= 1, "a star join needs at least one edge");
+        assert!(rows > 0 && cols > 0, "sketch array must be non-degenerate");
+        let root = SeedSequence::new(seed).fork(0x57A8);
+        let signs = (0..attributes)
+            .map(|attr| {
+                let aroot = root.fork(attr as u64);
+                (0..rows * cols)
+                    .map(|i| SignFamily::from_seed(aroot.fork(i as u64)))
+                    .collect()
+            })
+            .collect();
+        Arc::new(Self {
+            attributes,
+            rows,
+            cols,
+            seed,
+            signs,
+        })
+    }
+
+    /// Number of edge relations / join attributes.
+    pub fn attributes(&self) -> usize {
+        self.attributes
+    }
+
+    /// Sketch rows (`s1`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Sketch columns (`s2`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn sign(&self, attr: usize, cell: usize, v: u64) -> i64 {
+        self.signs[attr][cell].sign(v)
+    }
+}
+
+/// The sketch of the star's center relation (tuples over all attributes).
+#[derive(Debug, Clone)]
+pub struct StarCenterSketch {
+    schema: Arc<StarJoinSchema>,
+    counters: Vec<i64>,
+}
+
+impl StarCenterSketch {
+    /// An empty center sketch.
+    pub fn new(schema: Arc<StarJoinSchema>) -> Self {
+        let n = schema.rows * schema.cols;
+        Self {
+            schema,
+            counters: vec![0; n],
+        }
+    }
+
+    /// Adds `w` copies of a center tuple (one value per attribute, in
+    /// attribute order).
+    pub fn update(&mut self, tuple: &[u64], w: i64) {
+        assert_eq!(
+            tuple.len(),
+            self.schema.attributes,
+            "tuple arity must equal the attribute count"
+        );
+        for (cell, c) in self.counters.iter_mut().enumerate() {
+            let mut sign = 1i64;
+            for (attr, &v) in tuple.iter().enumerate() {
+                sign *= self.schema.sign(attr, cell, v);
+            }
+            *c += w * sign;
+        }
+    }
+}
+
+/// The sketch of one edge relation (values of a single attribute).
+#[derive(Debug, Clone)]
+pub struct StarEdgeSketch {
+    schema: Arc<StarJoinSchema>,
+    attribute: usize,
+    counters: Vec<i64>,
+}
+
+impl StarEdgeSketch {
+    /// An empty sketch for the edge on `attribute`.
+    pub fn new(schema: Arc<StarJoinSchema>, attribute: usize) -> Self {
+        assert!(
+            attribute < schema.attributes,
+            "attribute {attribute} out of range"
+        );
+        let n = schema.rows * schema.cols;
+        Self {
+            schema,
+            attribute,
+            counters: vec![0; n],
+        }
+    }
+
+    /// Adds `w` copies of join value `v`.
+    pub fn update(&mut self, v: u64, w: i64) {
+        for (cell, c) in self.counters.iter_mut().enumerate() {
+            *c += w * self.schema.sign(self.attribute, cell, v);
+        }
+    }
+}
+
+/// Estimates the star-join COUNT: median over rows of the per-row average
+/// of `X_center · Π_e X_e`.
+///
+/// # Panics
+/// If edges don't cover attributes `0..k` in order or schemas differ.
+pub fn estimate_star_join(center: &StarCenterSketch, edges: &[&StarEdgeSketch]) -> f64 {
+    let schema = &center.schema;
+    assert_eq!(edges.len(), schema.attributes, "need one edge per attribute");
+    for (i, e) in edges.iter().enumerate() {
+        assert!(
+            Arc::ptr_eq(&e.schema, schema) || e.schema.seed == schema.seed,
+            "edge {i} built under a different schema"
+        );
+        assert_eq!(e.attribute, i, "edges must be in attribute order");
+    }
+    let (rows, cols) = (schema.rows, schema.cols);
+    let mut row_means = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut acc = 0.0f64;
+        for k in 0..cols {
+            let cell = r * cols + k;
+            let mut prod = center.counters[cell] as f64;
+            for e in edges {
+                prod *= e.counters[cell] as f64;
+            }
+            acc += prod;
+        }
+        row_means.push(acc / cols as f64);
+    }
+    median_f64(&mut row_means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Tiny exact 2-edge star join for ground truth:
+    /// Σ_{u,v} e1(u)·c(u,v)·e2(v).
+    fn exact_star2(e1: &[i64], c: &[Vec<i64>], e2: &[i64]) -> i64 {
+        let mut total = 0i64;
+        for (u, &a) in e1.iter().enumerate() {
+            for (v, &b) in e2.iter().enumerate() {
+                total += a * c[u][v] * b;
+            }
+        }
+        total
+    }
+
+    fn random_star(seed: u64, dom: usize) -> (Vec<i64>, Vec<Vec<i64>>, Vec<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e1: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
+        let e2: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
+        let c: Vec<Vec<i64>> = (0..dom)
+            .map(|_| (0..dom).map(|_| i64::from(rng.gen_range(0u8..8) == 0)).collect())
+            .collect();
+        (e1, c, e2)
+    }
+
+    #[test]
+    fn two_edge_star_estimate_is_unbiased() {
+        let (e1, c, e2) = random_star(1, 24);
+        let actual = exact_star2(&e1, &c, &e2) as f64;
+        assert!(actual > 0.0);
+        let trials = 300u64;
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let schema = StarJoinSchema::new(2, 1, 8, 9000 + t);
+            let mut center = StarCenterSketch::new(schema.clone());
+            let mut s1 = StarEdgeSketch::new(schema.clone(), 0);
+            let mut s2 = StarEdgeSketch::new(schema, 1);
+            for (u, &w) in e1.iter().enumerate() {
+                if w != 0 {
+                    s1.update(u as u64, w);
+                }
+            }
+            for (v, &w) in e2.iter().enumerate() {
+                if w != 0 {
+                    s2.update(v as u64, w);
+                }
+            }
+            for (u, row) in c.iter().enumerate() {
+                for (v, &w) in row.iter().enumerate() {
+                    if w != 0 {
+                        center.update(&[u as u64, v as u64], w);
+                    }
+                }
+            }
+            sum += estimate_star_join(&center, &[&s1, &s2]);
+        }
+        let mean = sum / trials as f64;
+        let rel = (mean - actual).abs() / actual;
+        assert!(rel < 0.25, "mean={mean} actual={actual}");
+    }
+
+    #[test]
+    fn single_edge_star_is_a_binary_join() {
+        // k = 1: center(u) ⋈ edge(u) — cross-check against the exact dot.
+        let mut rng = StdRng::seed_from_u64(2);
+        let f: Vec<i64> = (0..64).map(|_| rng.gen_range(0..5)).collect();
+        let g: Vec<i64> = (0..64).map(|_| rng.gen_range(0..5)).collect();
+        let actual: i64 = f.iter().zip(&g).map(|(&a, &b)| a * b).sum();
+        let schema = StarJoinSchema::new(1, 9, 1024, 5);
+        let mut center = StarCenterSketch::new(schema.clone());
+        let mut edge = StarEdgeSketch::new(schema, 0);
+        for (v, &w) in f.iter().enumerate() {
+            if w != 0 {
+                center.update(&[v as u64], w);
+            }
+        }
+        for (v, &w) in g.iter().enumerate() {
+            if w != 0 {
+                edge.update(v as u64, w);
+            }
+        }
+        let est = estimate_star_join(&center, &[&edge]);
+        let rel = (est - actual as f64).abs() / actual as f64;
+        assert!(rel < 0.3, "est={est} actual={actual}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_tuple_arity_panics() {
+        let schema = StarJoinSchema::new(2, 2, 2, 1);
+        let mut center = StarCenterSketch::new(schema);
+        center.update(&[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute order")]
+    fn out_of_order_edges_panic() {
+        let schema = StarJoinSchema::new(2, 2, 2, 1);
+        let center = StarCenterSketch::new(schema.clone());
+        let a = StarEdgeSketch::new(schema.clone(), 0);
+        let b = StarEdgeSketch::new(schema, 1);
+        let _ = estimate_star_join(&center, &[&b, &a]);
+    }
+}

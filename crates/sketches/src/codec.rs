@@ -1,0 +1,321 @@
+//! Wire codec for sketches.
+//!
+//! Linear sketches are the natural unit of exchange in distributed
+//! monitoring (each site sketches its local substream; a coordinator merges
+//! by addition — exactly the deployment the paper's NOC scenario implies).
+//! This module gives every sketch a compact, versioned binary encoding:
+//! shape parameters + root seed + varint-compressed counters. The receiver
+//! reconstructs the hash families from the seed, so no function tables
+//! travel on the wire.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "SSK1" | kind u8 | dim1 u32 | dim2 u32 | seed u64 | count u32
+//! then `count` zigzag-varint counters
+//! ```
+
+use crate::agms::{AgmsSchema, AgmsSketch};
+use crate::countmin::{CountMinSchema, CountMinSketch};
+use crate::hash_sketch::{HashSketch, HashSketchSchema};
+use crate::linear::LinearSynopsis;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stream_model::update::Update;
+
+const MAGIC: &[u8; 4] = b"SSK1";
+
+/// Sketch kind tags on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Kind {
+    Agms = 1,
+    Hash = 2,
+    CountMin = 3,
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Header magic mismatch.
+    BadMagic,
+    /// Unknown sketch kind tag.
+    BadKind(u8),
+    /// Kind tag did not match the requested sketch type.
+    WrongKind,
+    /// Buffer ended early or a varint was malformed.
+    Truncated,
+    /// Declared counter count does not match the shape.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad sketch magic"),
+            CodecError::BadKind(k) => write!(f, "unknown sketch kind {k}"),
+            CodecError::WrongKind => write!(f, "sketch kind mismatch"),
+            CodecError::Truncated => write!(f, "sketch buffer truncated"),
+            CodecError::ShapeMismatch => write!(f, "counter count does not match shape"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_varint(buf: &mut BytesMut, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut x = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        x |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+    }
+    Err(CodecError::Truncated)
+}
+
+#[inline]
+fn zigzag(w: i64) -> u64 {
+    ((w << 1) ^ (w >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+fn encode_raw(kind: Kind, dim1: u32, dim2: u32, seed: u64, counters: &[i64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + counters.len() * 2);
+    buf.put_slice(MAGIC);
+    buf.put_u8(kind as u8);
+    buf.put_u32_le(dim1);
+    buf.put_u32_le(dim2);
+    buf.put_u64_le(seed);
+    buf.put_u32_le(counters.len() as u32);
+    for &c in counters {
+        put_varint(&mut buf, zigzag(c));
+    }
+    buf.freeze()
+}
+
+struct RawSketch {
+    kind: u8,
+    dim1: u32,
+    dim2: u32,
+    seed: u64,
+    counters: Vec<i64>,
+}
+
+fn decode_raw(mut buf: Bytes) -> Result<RawSketch, CodecError> {
+    if buf.remaining() < 25 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let kind = buf.get_u8();
+    let dim1 = buf.get_u32_le();
+    let dim2 = buf.get_u32_le();
+    let seed = buf.get_u64_le();
+    let count = buf.get_u32_le() as usize;
+    if count != dim1 as usize * dim2 as usize {
+        return Err(CodecError::ShapeMismatch);
+    }
+    let mut counters = Vec::with_capacity(count);
+    for _ in 0..count {
+        counters.push(unzigzag(get_varint(&mut buf)?));
+    }
+    Ok(RawSketch {
+        kind,
+        dim1,
+        dim2,
+        seed,
+        counters,
+    })
+}
+
+/// Replays counters into a freshly constructed sketch via its linear
+/// structure: build empty, then merge a counter image. All three sketch
+/// types store counters row-major, so this is a direct overwrite expressed
+/// through the public update API (one synthetic merge).
+macro_rules! impl_codec {
+    ($encode:ident, $decode:ident, $sketch:ty, $kind:expr,
+     $d1:ident, $d2:ident, $ctor:path) => {
+        /// Encodes the sketch (shape + seed + counters) into a buffer.
+        pub fn $encode(sk: &$sketch) -> Bytes {
+            let schema = sk.schema();
+            encode_raw(
+                $kind,
+                schema.$d1() as u32,
+                schema.$d2() as u32,
+                schema.seed(),
+                sk.counters(),
+            )
+        }
+
+        /// Decodes a sketch previously produced by the matching encoder.
+        pub fn $decode(buf: Bytes) -> Result<$sketch, CodecError> {
+            let raw = decode_raw(buf)?;
+            if raw.kind != $kind as u8 {
+                return Err(if raw.kind >= 1 && raw.kind <= 3 {
+                    CodecError::WrongKind
+                } else {
+                    CodecError::BadKind(raw.kind)
+                });
+            }
+            let schema = $ctor(raw.dim1 as usize, raw.dim2 as usize, raw.seed);
+            let mut sk = <$sketch>::new(schema);
+            debug_assert_eq!(sk.counters().len(), raw.counters.len());
+            sk.overwrite_counters(&raw.counters);
+            Ok(sk)
+        }
+    };
+}
+
+impl_codec!(encode_agms, decode_agms, AgmsSketch, Kind::Agms, rows, cols, AgmsSchema::new);
+
+impl_codec!(encode_hash, decode_hash, HashSketch, Kind::Hash, tables, buckets, HashSketchSchema::new);
+
+impl_codec!(
+    encode_countmin,
+    decode_countmin,
+    CountMinSketch,
+    Kind::CountMin,
+    depth,
+    width,
+    CountMinSchema::new
+);
+
+/// A helper so `StreamSink`/`LinearSynopsis` users can rebuild from a
+/// decoded sketch without reaching into internals (used by tests).
+pub fn replay_into<S: LinearSynopsis>(sink: &mut S, updates: &[Update]) {
+    for &u in updates {
+        sink.update(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_updates(n: usize, seed: u64) -> Vec<Update> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Update {
+                value: rng.gen_range(0..4096),
+                weight: rng.gen_range(-5i64..=5).max(1),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agms_round_trip_preserves_estimates() {
+        let schema = AgmsSchema::new(5, 32, 77);
+        let mut a = AgmsSketch::new(schema.clone());
+        let mut b = AgmsSketch::new(schema);
+        replay_into(&mut a, &random_updates(2000, 1));
+        replay_into(&mut b, &random_updates(2000, 2));
+        let before = a.estimate_join(&b);
+        let a2 = decode_agms(encode_agms(&a)).unwrap();
+        let b2 = decode_agms(encode_agms(&b)).unwrap();
+        assert_eq!(a2.counters(), a.counters());
+        assert!(a2.compatible(&a));
+        assert_eq!(a2.estimate_join(&b2), before);
+    }
+
+    #[test]
+    fn hash_round_trip_bit_exact() {
+        let schema = HashSketchSchema::new(7, 64, 99);
+        let mut sk = HashSketch::new(schema);
+        replay_into(&mut sk, &random_updates(3000, 3));
+        let back = decode_hash(encode_hash(&sk)).unwrap();
+        assert_eq!(back.counters(), sk.counters());
+        assert_eq!(back.point_estimate(17), sk.point_estimate(17));
+    }
+
+    #[test]
+    fn countmin_round_trip() {
+        let schema = CountMinSchema::new(4, 128, 5);
+        let mut sk = CountMinSketch::new(schema);
+        replay_into(&mut sk, &random_updates(1000, 4));
+        let back = decode_countmin(encode_countmin(&sk)).unwrap();
+        assert_eq!(back.point_estimate(100), sk.point_estimate(100));
+    }
+
+    #[test]
+    fn decoded_sketch_merges_with_local_one() {
+        // The distributed pattern: remote site ships its sketch, the
+        // coordinator merges into its own.
+        let schema = HashSketchSchema::new(3, 32, 11);
+        let mut local = HashSketch::new(schema.clone());
+        let mut remote = HashSketch::new(schema.clone());
+        let ul = random_updates(500, 5);
+        let ur = random_updates(500, 6);
+        replay_into(&mut local, &ul);
+        replay_into(&mut remote, &ur);
+        let shipped = decode_hash(encode_hash(&remote)).unwrap();
+        local.merge_from(&shipped);
+        let mut all = HashSketch::new(schema);
+        replay_into(&mut all, &ul);
+        replay_into(&mut all, &ur);
+        assert_eq!(local.counters(), all.counters());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let schema = HashSketchSchema::new(2, 8, 1);
+        let sk = HashSketch::new(schema);
+        let good = encode_hash(&sk);
+
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_hash(Bytes::from(bad_magic)).unwrap_err(),
+            CodecError::BadMagic
+        );
+
+        let mut bad_kind = good.to_vec();
+        bad_kind[4] = 200;
+        assert_eq!(
+            decode_hash(Bytes::from(bad_kind)).unwrap_err(),
+            CodecError::BadKind(200)
+        );
+
+        let truncated = Bytes::from(good[..good.len() - 1].to_vec());
+        assert_eq!(decode_hash(truncated).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let agms = AgmsSketch::new(AgmsSchema::new(2, 4, 1));
+        let err = decode_hash(encode_agms(&agms)).unwrap_err();
+        assert_eq!(err, CodecError::WrongKind);
+    }
+
+    #[test]
+    fn zero_counters_compress_to_one_byte_each() {
+        let schema = HashSketchSchema::new(4, 256, 1);
+        let sk = HashSketch::new(schema);
+        let buf = encode_hash(&sk);
+        assert!(buf.len() <= 25 + 1024);
+    }
+}

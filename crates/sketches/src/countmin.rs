@@ -1,0 +1,247 @@
+//! Count-Min sketch (Cormode & Muthukrishnan) — ablation comparator.
+//!
+//! Not part of the paper's 2004 toolbox, but the natural modern question
+//! about SKIMDENSE is "why CountSketch-style ±1 buckets rather than
+//! Count-Min?". The answer — Count-Min's point estimates carry a one-sided
+//! `O(L1/b)` bias that scales with the *first* moment while CountSketch's
+//! two-sided error scales with `√(F₂/b)` — is demonstrated empirically by
+//! the `ablation_threshold` harness, which needs this implementation.
+
+use crate::linear::LinearSynopsis;
+use std::sync::Arc;
+use stream_hash::{PairwiseHash, SeedSequence};
+use stream_model::update::{StreamSink, Update};
+
+/// Shared hash functions for a family of Count-Min sketches.
+#[derive(Debug)]
+pub struct CountMinSchema {
+    depth: usize,
+    width: usize,
+    seed: u64,
+    hashes: Vec<PairwiseHash>,
+}
+
+impl CountMinSchema {
+    /// Creates a schema of `depth` rows × `width` counters from `seed`.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Arc<Self> {
+        assert!(depth > 0 && width > 0, "schema must be non-degenerate");
+        let root = SeedSequence::new(seed).fork(0x434D /* "CM" */);
+        let hashes = (0..depth)
+            .map(|i| PairwiseHash::from_seed(root.fork(i as u64), width))
+            .collect();
+        Arc::new(Self {
+            depth,
+            width,
+            seed,
+            hashes,
+        })
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Synopsis size in words.
+    pub fn words(&self) -> usize {
+        self.depth * self.width
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, v: u64) -> usize {
+        self.hashes[row].bucket(v)
+    }
+}
+
+/// A Count-Min sketch of one stream.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    schema: Arc<CountMinSchema>,
+    counters: Vec<i64>,
+}
+
+impl CountMinSketch {
+    /// An empty sketch under `schema`.
+    pub fn new(schema: Arc<CountMinSchema>) -> Self {
+        let n = schema.words();
+        Self {
+            schema,
+            counters: vec![0; n],
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<CountMinSchema> {
+        &self.schema
+    }
+
+    /// Point estimate of `f(v)`: minimum over rows. An *over*-estimate in
+    /// expectation for non-negative streams (error ≤ `2·L1/width` w.p. ≥ ½
+    /// per row).
+    pub fn point_estimate(&self, v: u64) -> i64 {
+        let w = self.schema.width;
+        (0..self.schema.depth)
+            .map(|r| self.counters[r * w + self.schema.bucket(r, v)])
+            .min()
+            .expect("depth > 0")
+    }
+
+    /// Inner-product estimate: minimum over rows of the bucket-wise
+    /// product — an upper bound in expectation for non-negative streams.
+    pub fn join_estimate(&self, other: &CountMinSketch) -> f64 {
+        assert!(
+            self.compatible(other),
+            "join estimation requires sketches under the same schema"
+        );
+        let w = self.schema.width;
+        (0..self.schema.depth)
+            .map(|r| {
+                let base = r * w;
+                (0..w)
+                    .map(|q| self.counters[base + q] as i128 * other.counters[base + q] as i128)
+                    .sum::<i128>()
+            })
+            .min()
+            .expect("depth > 0") as f64
+    }
+
+    /// Synopsis size in words.
+    pub fn words(&self) -> usize {
+        self.schema.words()
+    }
+
+    /// Raw counters (row-major).
+    pub fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Replaces the counter image (wire-codec reconstruction).
+    pub(crate) fn overwrite_counters(&mut self, counters: &[i64]) {
+        assert_eq!(counters.len(), self.counters.len());
+        self.counters.copy_from_slice(counters);
+    }
+}
+
+impl StreamSink for CountMinSketch {
+    #[inline]
+    fn update(&mut self, u: Update) {
+        let w = self.schema.width;
+        for r in 0..self.schema.depth {
+            self.counters[r * w + self.schema.bucket(r, u.value)] += u.weight;
+        }
+    }
+}
+
+impl LinearSynopsis for CountMinSketch {
+    fn compatible(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.schema, &other.schema)
+            || (self.schema.seed == other.schema.seed
+                && self.schema.depth == other.schema.depth
+                && self.schema.width == other.schema.width)
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert!(self.compatible(other), "incompatible Count-Min sketches");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+    }
+
+    fn negate(&mut self) {
+        for c in &mut self.counters {
+            *c = -*c;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn point_estimate_never_underestimates_nonneg_streams() {
+        let schema = CountMinSchema::new(4, 64, 1);
+        let mut sk = CountMinSketch::new(schema);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut truth = vec![0i64; 1024];
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..1024u64);
+            truth[v as usize] += 1;
+            sk.update(Update::insert(v));
+        }
+        for v in 0..1024u64 {
+            assert!(sk.point_estimate(v) >= truth[v as usize], "v={v}");
+        }
+    }
+
+    #[test]
+    fn point_estimate_error_bounded_by_l1_over_width() {
+        let schema = CountMinSchema::new(5, 256, 2);
+        let mut sk = CountMinSketch::new(schema);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000u64;
+        let mut truth = vec![0i64; 4096];
+        for _ in 0..n {
+            let v = rng.gen_range(0..4096u64);
+            truth[v as usize] += 1;
+            sk.update(Update::insert(v));
+        }
+        // With depth 5, overshoot beyond 2·L1/width on all rows at once is
+        // very unlikely; allow a couple of stragglers.
+        let bound = 2 * n as i64 / 256;
+        let violations = (0..4096u64)
+            .filter(|&v| sk.point_estimate(v) - truth[v as usize] > bound)
+            .count();
+        assert!(violations < 8, "violations={violations}");
+    }
+
+    #[test]
+    fn join_estimate_upper_bounds_truth_on_average() {
+        let schema = CountMinSchema::new(4, 128, 3);
+        let mut f = CountMinSketch::new(schema.clone());
+        let mut g = CountMinSketch::new(schema);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tf = vec![0i64; 512];
+        let mut tg = vec![0i64; 512];
+        for _ in 0..5_000 {
+            let v = rng.gen_range(0..512u64);
+            tf[v as usize] += 1;
+            f.update(Update::insert(v));
+            let w = rng.gen_range(0..512u64);
+            tg[w as usize] += 1;
+            g.update(Update::insert(w));
+        }
+        let actual: i64 = tf.iter().zip(&tg).map(|(&a, &b)| a * b).sum();
+        let est = f.join_estimate(&g);
+        assert!(est >= actual as f64 * 0.99, "est={est} actual={actual}");
+    }
+
+    #[test]
+    fn merge_and_negate_cancel() {
+        let schema = CountMinSchema::new(3, 32, 4);
+        let mut a = CountMinSketch::new(schema.clone());
+        for v in 0..100 {
+            a.update(Update::insert(v % 17));
+        }
+        let mut b = a.clone();
+        b.negate();
+        a.merge_from(&b);
+        assert!(a.counters.iter().all(|&c| c == 0));
+    }
+}

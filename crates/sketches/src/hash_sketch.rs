@@ -1,0 +1,387 @@
+//! The hash-sketch data structure (CountSketch of Charikar, Chen &
+//! Farach-Colton \[8\]) — the synopsis the skimmed-sketch algorithm is built
+//! on.
+//!
+//! An array of `s1` hash tables, each with `b` buckets, each bucket a
+//! single AMS counter over the values that hash into it:
+//! `C[i][q] = Σ_{v : h_i(v) = q} f(v)·ξ_i(v)`. Per update only **one**
+//! counter per table changes — `O(s1)` work versus the `O(s1·s2)` of basic
+//! AGMS — which is the paper's guaranteed-logarithmic update cost.
+//!
+//! `point_estimate(v) = median_i ξ_i(v)·C[i][h_i(v)]` recovers `f(v)` to
+//! within `Δ = O(√(F₂/b))` with high probability (Thm 3), the property
+//! SKIMDENSE uses to pull the dense values out.
+
+use crate::linear::LinearSynopsis;
+use std::sync::Arc;
+use stream_hash::{PairwiseHash, SeedSequence, SignFamily};
+use stream_model::metrics::median_i64;
+use stream_model::update::{StreamSink, Update};
+
+/// Per-table hash functions shared by all compatible hash sketches.
+///
+/// The skimmed-sketch join estimator requires the two streams' sketches to
+/// use identical `h_i` *and* `ξ_i`; build both sketches from one
+/// `Arc<HashSketchSchema>`.
+#[derive(Debug)]
+pub struct HashSketchSchema {
+    tables: usize,
+    buckets: usize,
+    seed: u64,
+    bucket_hash: Vec<PairwiseHash>,
+    sign: Vec<SignFamily>,
+}
+
+impl HashSketchSchema {
+    /// Creates a schema with `tables` (= `s1`) hash tables of `buckets`
+    /// (= `b`) counters each, derived deterministically from `seed`.
+    pub fn new(tables: usize, buckets: usize, seed: u64) -> Arc<Self> {
+        assert!(tables > 0 && buckets > 0, "schema must be non-degenerate");
+        let root = SeedSequence::new(seed).fork(0x48534B /* "HSK" */);
+        let bucket_hash = (0..tables)
+            .map(|i| PairwiseHash::from_seed(root.fork(2 * i as u64), buckets))
+            .collect();
+        let sign = (0..tables)
+            .map(|i| SignFamily::from_seed(root.fork(2 * i as u64 + 1)))
+            .collect();
+        Arc::new(Self {
+            tables,
+            buckets,
+            seed,
+            bucket_hash,
+            sign,
+        })
+    }
+
+    /// Number of hash tables (`s1`).
+    pub fn tables(&self) -> usize {
+        self.tables
+    }
+
+    /// Buckets per table (`b`).
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Synopsis size in counters.
+    pub fn words(&self) -> usize {
+        self.tables * self.buckets
+    }
+
+    /// Bucket of value `v` in table `i`.
+    #[inline]
+    pub fn bucket(&self, i: usize, v: u64) -> usize {
+        self.bucket_hash[i].bucket(v)
+    }
+
+    /// Sign of value `v` in table `i`.
+    #[inline]
+    pub fn sign(&self, i: usize, v: u64) -> i64 {
+        self.sign[i].sign(v)
+    }
+}
+
+/// A hash sketch of one stream under a shared schema.
+///
+/// # Examples
+///
+/// ```
+/// use stream_sketches::{HashSketch, HashSketchSchema};
+/// use stream_model::{StreamSink, Update};
+///
+/// let schema = HashSketchSchema::new(5, 64, 42);
+/// let mut sk = HashSketch::new(schema);
+/// for _ in 0..100 {
+///     sk.update(Update::insert(7));
+/// }
+/// sk.update(Update::delete(7));
+/// assert_eq!(sk.point_estimate(7), 99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashSketch {
+    schema: Arc<HashSketchSchema>,
+    counters: Vec<i64>, // tables × buckets, row-major
+}
+
+impl HashSketch {
+    /// An empty sketch under `schema`.
+    pub fn new(schema: Arc<HashSketchSchema>) -> Self {
+        let n = schema.words();
+        Self {
+            schema,
+            counters: vec![0; n],
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<HashSketchSchema> {
+        &self.schema
+    }
+
+    /// Counters of table `i`.
+    #[inline]
+    pub fn table(&self, i: usize) -> &[i64] {
+        let b = self.schema.buckets;
+        &self.counters[i * b..(i + 1) * b]
+    }
+
+    /// All counters, row-major.
+    pub fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Bulk construction from a frequency vector (identical to replay, by
+    /// linearity).
+    pub fn from_frequencies<I>(schema: Arc<HashSketchSchema>, frequencies: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, i64)>,
+    {
+        let mut sk = Self::new(schema);
+        for (v, f) in frequencies {
+            if f != 0 {
+                sk.add_weighted(v, f);
+            }
+        }
+        sk
+    }
+
+    /// Adds `w` copies of `v` — one counter per table.
+    #[inline]
+    pub fn add_weighted(&mut self, v: u64, w: i64) {
+        let b = self.schema.buckets;
+        for i in 0..self.schema.tables {
+            let q = self.schema.bucket(i, v);
+            self.counters[i * b + q] += w * self.schema.sign(i, v);
+        }
+    }
+
+    /// CountSketch point estimate of `f(v)`: median over tables of
+    /// `ξ_i(v)·C[i][h_i(v)]`.
+    pub fn point_estimate(&self, v: u64) -> i64 {
+        let b = self.schema.buckets;
+        let mut ests: Vec<i64> = (0..self.schema.tables)
+            .map(|i| self.schema.sign(i, v) * self.counters[i * b + self.schema.bucket(i, v)])
+            .collect();
+        median_i64(&mut ests)
+    }
+
+    /// Per-table point estimate (used by the skimmed sub-join estimators,
+    /// which need one estimate *per table* before their own median step).
+    #[inline]
+    pub fn point_estimate_in_table(&self, i: usize, v: u64) -> i64 {
+        let b = self.schema.buckets;
+        self.schema.sign(i, v) * self.counters[i * b + self.schema.bucket(i, v)]
+    }
+
+    /// Estimates the self-join size `F₂` as the median over tables of
+    /// `Σ_q C[i][q]²` — each table is an (s2 = b)-bucketed AMS estimator.
+    pub fn self_join_estimate(&self) -> f64 {
+        let b = self.schema.buckets;
+        let mut per_table: Vec<i64> = (0..self.schema.tables)
+            .map(|i| {
+                self.counters[i * b..(i + 1) * b]
+                    .iter()
+                    .map(|&c| c * c)
+                    .sum()
+            })
+            .collect();
+        median_i64(&mut per_table) as f64
+    }
+
+    /// Estimates the inner product `f·g` as the median over tables of the
+    /// bucket-wise counter product `Σ_q C_F[i][q]·C_G[i][q]`. This is the
+    /// sparse⋈sparse estimator of ESTSKIMJOINSIZE, usable standalone as a
+    /// "hash AGMS" join estimator.
+    pub fn join_estimate(&self, other: &HashSketch) -> f64 {
+        assert!(
+            self.compatible(other),
+            "join estimation requires sketches under the same schema"
+        );
+        let b = self.schema.buckets;
+        let mut per_table: Vec<i64> = (0..self.schema.tables)
+            .map(|i| {
+                let base = i * b;
+                (0..b)
+                    .map(|q| self.counters[base + q] * other.counters[base + q])
+                    .sum()
+            })
+            .collect();
+        median_i64(&mut per_table) as f64
+    }
+
+    /// Synopsis size in words.
+    pub fn words(&self) -> usize {
+        self.schema.words()
+    }
+
+    /// Replaces the counter image. Public for wire-codec reconstruction
+    /// (the skimmed-sketch codec restores per-level counters); the slice
+    /// length must match the schema shape.
+    pub fn overwrite_counters(&mut self, counters: &[i64]) {
+        assert_eq!(counters.len(), self.counters.len());
+        self.counters.copy_from_slice(counters);
+    }
+}
+
+impl StreamSink for HashSketch {
+    #[inline]
+    fn update(&mut self, u: Update) {
+        self.add_weighted(u.value, u.weight);
+    }
+}
+
+impl LinearSynopsis for HashSketch {
+    fn compatible(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.schema, &other.schema)
+            || (self.schema.seed == other.schema.seed
+                && self.schema.tables == other.schema.tables
+                && self.schema.buckets == other.schema.buckets)
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert!(self.compatible(other), "incompatible hash sketches");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+    }
+
+    fn negate(&mut self) {
+        for c in &mut self.counters {
+            *c = -*c;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use stream_model::{Domain, FrequencyVector};
+
+    fn random_freqs(seed: u64, domain: u64, max: i64) -> FrequencyVector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Domain::covering(domain);
+        let counts = (0..d.size()).map(|_| rng.gen_range(0..=max)).collect();
+        FrequencyVector::from_counts(d, counts)
+    }
+
+    #[test]
+    fn update_touches_one_counter_per_table() {
+        let schema = HashSketchSchema::new(5, 16, 3);
+        let mut sk = HashSketch::new(schema.clone());
+        sk.update(Update::insert(7));
+        for i in 0..5 {
+            let nonzero = sk.table(i).iter().filter(|&&c| c != 0).count();
+            assert_eq!(nonzero, 1, "table {i}");
+            assert_eq!(
+                sk.table(i)[schema.bucket(i, 7)],
+                schema.sign(i, 7),
+                "table {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_cancel() {
+        let schema = HashSketchSchema::new(3, 8, 5);
+        let mut sk = HashSketch::new(schema);
+        for v in 0..50 {
+            sk.update(Update::insert(v));
+            sk.update(Update::delete(v));
+        }
+        assert!(sk.counters().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn from_frequencies_equals_replay() {
+        let fv = random_freqs(1, 128, 6);
+        let schema = HashSketchSchema::new(5, 32, 7);
+        let bulk = HashSketch::from_frequencies(schema.clone(), fv.nonzero());
+        let mut replay = HashSketch::new(schema);
+        for u in fv.to_unit_updates() {
+            replay.update(u);
+        }
+        assert_eq!(bulk.counters(), replay.counters());
+    }
+
+    #[test]
+    fn point_estimate_recovers_isolated_heavy_value() {
+        let schema = HashSketchSchema::new(7, 64, 9);
+        let mut sk = HashSketch::new(schema);
+        sk.add_weighted(42, 1000);
+        // Light noise from other values.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            sk.update(Update::insert(rng.gen_range(0..4096)));
+        }
+        let est = sk.point_estimate(42);
+        assert!((est - 1000).abs() <= 60, "est={est}");
+    }
+
+    #[test]
+    fn point_estimate_exact_when_alone() {
+        let schema = HashSketchSchema::new(5, 16, 11);
+        let mut sk = HashSketch::new(schema);
+        sk.add_weighted(3, -17);
+        assert_eq!(sk.point_estimate(3), -17);
+    }
+
+    #[test]
+    fn self_join_estimate_tracks_f2() {
+        let fv = random_freqs(3, 2048, 8);
+        let schema = HashSketchSchema::new(7, 512, 13);
+        let sk = HashSketch::from_frequencies(schema, fv.nonzero());
+        let est = sk.self_join_estimate();
+        let actual = fv.self_join() as f64;
+        let rel = (est - actual).abs() / actual;
+        assert!(rel < 0.25, "rel={rel}");
+    }
+
+    #[test]
+    fn join_estimate_tracks_inner_product() {
+        let f = random_freqs(4, 2048, 8);
+        let g = random_freqs(5, 2048, 8);
+        let schema = HashSketchSchema::new(7, 512, 17);
+        let sf = HashSketch::from_frequencies(schema.clone(), f.nonzero());
+        let sg = HashSketch::from_frequencies(schema, g.nonzero());
+        let est = sf.join_estimate(&sg);
+        let actual = f.join(&g) as f64;
+        let rel = (est - actual).abs() / actual;
+        assert!(rel < 0.25, "rel={rel} est={est} actual={actual}");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let f = random_freqs(6, 64, 3);
+        let g = random_freqs(7, 64, 3);
+        let schema = HashSketchSchema::new(3, 16, 19);
+        let mut a = HashSketch::from_frequencies(schema.clone(), f.nonzero());
+        let b = HashSketch::from_frequencies(schema.clone(), g.nonzero());
+        a.merge_from(&b);
+        let union = HashSketch::from_frequencies(schema, f.add(&g).nonzero());
+        assert_eq!(a.counters(), union.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "same schema")]
+    fn join_across_schemas_panics() {
+        let a = HashSketch::new(HashSketchSchema::new(2, 4, 1));
+        let b = HashSketch::new(HashSketchSchema::new(2, 4, 2));
+        let _ = a.join_estimate(&b);
+    }
+
+    #[test]
+    fn schema_words() {
+        assert_eq!(HashSketchSchema::new(11, 50, 0).words(), 550);
+    }
+}

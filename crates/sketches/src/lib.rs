@@ -1,0 +1,27 @@
+//! # stream-sketches
+//!
+//! Linear stream synopses: the basic AGMS ("tug-of-war") sketch that is the
+//! paper's baseline \[3, 4\], the hash-sketch / CountSketch data structure \[8\]
+//! that the skimmed-sketch algorithm builds on, a streaming top-k tracker,
+//! and a Count-Min comparator. All share the [`LinearSynopsis`] algebra —
+//! merge, negate, subtract — which is what makes delete handling and
+//! distributed ingestion correct by construction.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod agms;
+pub mod codec;
+pub mod countmin;
+pub mod distinct;
+pub mod hash_sketch;
+pub mod linear;
+pub mod topk;
+
+pub use agms::{AgmsSchema, AgmsSketch};
+pub use codec::CodecError;
+pub use countmin::{CountMinSchema, CountMinSketch};
+pub use distinct::DistinctSketch;
+pub use hash_sketch::{HashSketch, HashSketchSchema};
+pub use linear::LinearSynopsis;
+pub use topk::TopKSketch;

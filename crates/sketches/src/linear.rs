@@ -1,0 +1,62 @@
+//! The linear-synopsis algebra.
+//!
+//! Every sketch in this workspace is a *linear projection* of the stream's
+//! frequency vector. Linearity is what the paper leans on for its "handles
+//! general updates" claim: `sketch(f + g) = sketch(f) + sketch(g)`, so
+//! deletes are just negative-weight updates, two nodes' sketches of
+//! disjoint substreams merge by addition, and a sketch can be *subtracted*
+//! from (which is exactly what SKIMDENSE does when it removes the dense
+//! frequencies it extracted).
+
+use stream_model::update::{StreamSink, Update};
+
+/// A synopsis that is a linear function of the stream's frequency vector.
+///
+/// Implementors must satisfy, for compatible instances (same shape and
+/// hash families):
+///
+/// * `a.merge_from(&b)` makes `a` the synopsis of the concatenated streams;
+/// * `a.negate()` makes `a` the synopsis of the inverted stream;
+/// * updating with `Update { value, weight }` equals merging a fresh
+///   synopsis of the single-update stream.
+pub trait LinearSynopsis: StreamSink {
+    /// Whether `other` was built with the same shape *and* hash families,
+    /// i.e. whether linear combination is meaningful.
+    fn compatible(&self, other: &Self) -> bool;
+
+    /// Adds `other` into `self` (stream concatenation).
+    ///
+    /// # Panics
+    /// If the synopses are incompatible.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Negates the synopsis (every counted weight flips sign).
+    fn negate(&mut self);
+
+    /// Subtracts `other` from `self` — the synopsis of the difference
+    /// stream. Default implementation via clone-negate-merge.
+    fn subtract_from(&mut self, other: &Self)
+    where
+        Self: Clone,
+    {
+        let mut neg = other.clone();
+        neg.negate();
+        self.merge_from(&neg);
+    }
+
+    /// Resets to the synopsis of the empty stream.
+    fn clear(&mut self);
+}
+
+/// Replays updates into a fresh default-constructed synopsis — convenience
+/// used throughout the tests.
+pub fn synopsis_of<S, I>(mut empty: S, updates: I) -> S
+where
+    S: LinearSynopsis,
+    I: IntoIterator<Item = Update>,
+{
+    for u in updates {
+        empty.update(u);
+    }
+    empty
+}

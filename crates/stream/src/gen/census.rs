@@ -1,0 +1,234 @@
+//! Census-like workload — substitute for the CPS data set.
+//!
+//! The paper's real-life experiment joins two numeric attributes of the
+//! Current Population Survey (September 2002; 159,434 records): *weekly
+//! wage* and *weekly wage overtime*, each over a domain of 2^16. That
+//! extract is not redistributable, so we synthesize records with the same
+//! statistical fingerprints the experiment depends on:
+//!
+//! * a large point mass at 0 (non-earners / no overtime),
+//! * a right-skewed body (log-normal wages, clipped to the domain),
+//! * "heaping" on round amounts (people report 400, 500, 750, …),
+//! * overtime positively correlated with wage but mostly zero.
+//!
+//! The join of the two attribute streams is then dominated by the co-heaped
+//! round values and the zero mass — the same moderate-skew regime in which
+//! the paper reports skimmed sketches at roughly half the error of basic
+//! AGMS.
+
+use crate::domain::Domain;
+use crate::update::Update;
+use rand::Rng;
+
+/// One synthetic survey record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CensusRecord {
+    /// Weekly wage, in dollars, clipped to the attribute domain.
+    pub weekly_wage: u64,
+    /// Weekly overtime pay, in dollars, clipped to the attribute domain.
+    pub weekly_wage_overtime: u64,
+}
+
+/// Generator of census-like records over a 2^16 attribute domain.
+#[derive(Debug, Clone)]
+pub struct CensusGenerator {
+    domain: Domain,
+    /// Probability that a record has zero wage.
+    p_zero_wage: f64,
+    /// Probability that a wage earner has zero overtime.
+    p_zero_overtime: f64,
+    /// Log-normal location of the wage body.
+    mu: f64,
+    /// Log-normal scale of the wage body.
+    sigma: f64,
+}
+
+impl Default for CensusGenerator {
+    fn default() -> Self {
+        Self {
+            domain: Domain::with_log2(16),
+            p_zero_wage: 0.42,
+            p_zero_overtime: 0.78,
+            // exp(6.3) ≈ 545 $/week median, matching the CPS-era ballpark.
+            mu: 6.3,
+            sigma: 0.7,
+        }
+    }
+}
+
+impl CensusGenerator {
+    /// Default CPS-like parameters over domain 2^16.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The attribute domain (shared by both attributes).
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Standard-normal draw via Box–Muller (avoids pulling in
+    /// `rand_distr`; two uniforms per deviate, second one discarded).
+    fn normal<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Rounds `x` the way survey respondents do: to the nearest 100 with
+    /// probability 0.35, nearest 50 w.p. 0.15, nearest 10 w.p. 0.25, else
+    /// exact.
+    fn heap<R: Rng>(rng: &mut R, x: u64) -> u64 {
+        let p: f64 = rng.gen();
+        let q = if p < 0.35 {
+            100
+        } else if p < 0.50 {
+            50
+        } else if p < 0.75 {
+            10
+        } else {
+            return x;
+        };
+        ((x + q / 2) / q) * q
+    }
+
+    /// Draws one record.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> CensusRecord {
+        let max = self.domain.size() - 1;
+        let wage = if rng.gen::<f64>() < self.p_zero_wage {
+            0
+        } else {
+            let w = (self.mu + self.sigma * Self::normal(rng)).exp();
+            Self::heap(rng, (w as u64).min(max)).min(max)
+        };
+        let overtime = if wage == 0 || rng.gen::<f64>() < self.p_zero_overtime {
+            0
+        } else {
+            // Overtime is a noisy 5–25% slice of wage, heaped the same way.
+            let frac = rng.gen_range(0.05..0.25);
+            let noise = (0.25 * Self::normal(rng)).exp();
+            let o = (wage as f64 * frac * noise) as u64;
+            Self::heap(rng, o.min(max)).min(max)
+        };
+        CensusRecord {
+            weekly_wage: wage,
+            weekly_wage_overtime: overtime,
+        }
+    }
+
+    /// Draws `n` records.
+    pub fn generate<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<CensusRecord> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Projects records onto the two attribute update streams
+    /// `(wage stream, overtime stream)` — the exact shape of the paper's
+    /// Census join experiment.
+    pub fn attribute_streams(records: &[CensusRecord]) -> (Vec<Update>, Vec<Update>) {
+        let f = records
+            .iter()
+            .map(|r| Update::insert(r.weekly_wage))
+            .collect();
+        let g = records
+            .iter()
+            .map(|r| Update::insert(r.weekly_wage_overtime))
+            .collect();
+        (f, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn records_stay_in_domain() {
+        let g = CensusGenerator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for r in g.generate(&mut rng, 20_000) {
+            assert!(g.domain().contains(r.weekly_wage));
+            assert!(g.domain().contains(r.weekly_wage_overtime));
+        }
+    }
+
+    #[test]
+    fn zero_masses_are_as_configured() {
+        let g = CensusGenerator::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let recs = g.generate(&mut rng, 50_000);
+        let zero_wage = recs.iter().filter(|r| r.weekly_wage == 0).count() as f64
+            / recs.len() as f64;
+        assert!((zero_wage - 0.42).abs() < 0.02, "zero_wage={zero_wage}");
+        let zero_ot = recs
+            .iter()
+            .filter(|r| r.weekly_wage_overtime == 0)
+            .count() as f64
+            / recs.len() as f64;
+        // 0.42 + 0.58*0.78 ≈ 0.872
+        assert!((zero_ot - 0.872).abs() < 0.03, "zero_ot={zero_ot}");
+    }
+
+    #[test]
+    fn heaping_creates_round_value_spikes() {
+        let g = CensusGenerator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let recs = g.generate(&mut rng, 50_000);
+        let fv = FrequencyVector::from_updates(
+            g.domain(),
+            recs.iter().map(|r| Update::insert(r.weekly_wage)),
+        );
+        // Among nonzero wages, multiples of 100 should be strongly
+        // over-represented versus a smooth distribution.
+        let hundreds: i64 = (1..=20).map(|k| fv.get(k * 100)).sum();
+        let offsets: i64 = (1..=20).map(|k| fv.get(k * 100 + 1)).sum();
+        assert!(
+            hundreds > 10 * offsets.max(1),
+            "hundreds={hundreds} offsets={offsets}"
+        );
+    }
+
+    #[test]
+    fn overtime_correlates_with_wage() {
+        let g = CensusGenerator::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let recs: Vec<_> = g
+            .generate(&mut rng, 50_000)
+            .into_iter()
+            .filter(|r| r.weekly_wage_overtime > 0)
+            .collect();
+        assert!(recs.len() > 1000);
+        // Mean overtime of the top wage quartile must exceed the bottom's.
+        let mut wages: Vec<_> = recs.iter().map(|r| r.weekly_wage).collect();
+        wages.sort_unstable();
+        let q3 = wages[3 * wages.len() / 4];
+        let q1 = wages[wages.len() / 4];
+        let hi: f64 = recs
+            .iter()
+            .filter(|r| r.weekly_wage >= q3)
+            .map(|r| r.weekly_wage_overtime as f64)
+            .sum::<f64>()
+            / recs.iter().filter(|r| r.weekly_wage >= q3).count() as f64;
+        let lo: f64 = recs
+            .iter()
+            .filter(|r| r.weekly_wage <= q1)
+            .map(|r| r.weekly_wage_overtime as f64)
+            .sum::<f64>()
+            / recs.iter().filter(|r| r.weekly_wage <= q1).count() as f64;
+        assert!(hi > 1.5 * lo, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn attribute_streams_align_with_records() {
+        let g = CensusGenerator::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let recs = g.generate(&mut rng, 100);
+        let (f, o) = CensusGenerator::attribute_streams(&recs);
+        assert_eq!(f.len(), 100);
+        assert_eq!(o.len(), 100);
+        assert_eq!(f[17].value, recs[17].weekly_wage);
+        assert_eq!(o[17].value, recs[17].weekly_wage_overtime);
+    }
+}

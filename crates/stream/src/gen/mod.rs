@@ -1,0 +1,17 @@
+//! Workload generators for the experimental harness.
+//!
+//! * [`zipf`] — Zipf and right-shifted-Zipf streams (the paper's synthetic
+//!   workloads of §5), built on an exact alias-method sampler.
+//! * [`census`] — a census-like correlated two-attribute generator standing
+//!   in for the CPS extract (see `DESIGN.md` §3 for the substitution note).
+//! * [`uniform`] — uniform and deletion-heavy streams for stress tests.
+
+pub mod census;
+pub mod temporal;
+pub mod uniform;
+pub mod zipf;
+
+pub use census::{CensusGenerator, CensusRecord};
+pub use temporal::{Phase, PhasedWorkload};
+pub use uniform::{DeleteMix, UniformGenerator};
+pub use zipf::{AliasTable, ZipfGenerator};

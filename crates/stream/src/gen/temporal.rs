@@ -1,0 +1,175 @@
+//! Time-evolving workloads.
+//!
+//! Continuous queries and windowed estimation need streams whose
+//! distribution *changes*: regime shifts (a flash crowd appears), drift
+//! (the popular head slowly rotates), and periodic cycles. This module
+//! composes the stationary generators into phase schedules that the
+//! change-detection and windowing tests exercise.
+
+use crate::domain::Domain;
+use crate::gen::zipf::ZipfGenerator;
+use crate::update::Update;
+use rand::Rng;
+
+/// One phase of a schedule: a stationary generator run for a fixed number
+/// of elements.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Generator active during this phase.
+    pub generator: ZipfGenerator,
+    /// Elements drawn in this phase.
+    pub length: usize,
+    /// Label for diagnostics.
+    pub label: String,
+}
+
+/// A piecewise-stationary workload: phases played back to back.
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    phases: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    /// Builds from explicit phases.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        Self { phases }
+    }
+
+    /// A regime-shift schedule: stationary Zipf(z, shift₀) for
+    /// `pre` elements, then an abrupt jump to shift₁ for `post` elements —
+    /// the flash-crowd shape used by the alarm tests.
+    pub fn regime_shift(
+        domain: Domain,
+        z: f64,
+        shift_before: u64,
+        shift_after: u64,
+        pre: usize,
+        post: usize,
+    ) -> Self {
+        Self::new(vec![
+            Phase {
+                generator: ZipfGenerator::new(domain, z, shift_before),
+                length: pre,
+                label: format!("shift={shift_before}"),
+            },
+            Phase {
+                generator: ZipfGenerator::new(domain, z, shift_after),
+                length: post,
+                label: format!("shift={shift_after}"),
+            },
+        ])
+    }
+
+    /// A drifting schedule: `steps` phases whose shift advances by
+    /// `step_shift` each time — the slowly rotating head.
+    pub fn drift(
+        domain: Domain,
+        z: f64,
+        steps: usize,
+        step_shift: u64,
+        per_step: usize,
+    ) -> Self {
+        assert!(steps > 0);
+        Self::new(
+            (0..steps)
+                .map(|i| Phase {
+                    generator: ZipfGenerator::new(domain, z, i as u64 * step_shift),
+                    length: per_step,
+                    label: format!("drift step {i}"),
+                })
+                .collect(),
+        )
+    }
+
+    /// Total elements across all phases.
+    pub fn total_length(&self) -> usize {
+        self.phases.iter().map(|p| p.length).sum()
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Materializes the whole schedule as unit inserts.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Vec<Update> {
+        let mut out = Vec::with_capacity(self.total_length());
+        for p in &self.phases {
+            out.extend(p.generator.generate(rng, p.length));
+        }
+        out
+    }
+
+    /// Streams the schedule through a callback with the phase index —
+    /// what the continuous-query tests use to check alarms fire at the
+    /// right boundary.
+    pub fn stream<R: Rng, F: FnMut(usize, Update)>(&self, rng: &mut R, mut f: F) {
+        for (i, p) in self.phases.iter().enumerate() {
+            for _ in 0..p.length {
+                f(i, Update::insert(p.generator.sample(rng)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FrequencyVector;
+    use crate::update::StreamSink;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regime_shift_changes_the_head() {
+        let d = Domain::with_log2(10);
+        let w = PhasedWorkload::regime_shift(d, 1.2, 0, 500, 20_000, 20_000);
+        assert_eq!(w.total_length(), 40_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pre = FrequencyVector::new(d);
+        let mut post = FrequencyVector::new(d);
+        w.stream(&mut rng, |phase, u| {
+            if phase == 0 {
+                pre.update(u);
+            } else {
+                post.update(u);
+            }
+        });
+        // Heads: value 0 before, value 500 after.
+        assert!(pre.get(0) > pre.get(500) * 5, "pre head misplaced");
+        assert!(post.get(500) > post.get(0) * 5, "post head misplaced");
+    }
+
+    #[test]
+    fn drift_rotates_gradually() {
+        let d = Domain::with_log2(10);
+        let w = PhasedWorkload::drift(d, 1.5, 4, 100, 10_000);
+        assert_eq!(w.phases().len(), 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut per_phase: Vec<FrequencyVector> = (0..4).map(|_| FrequencyVector::new(d)).collect();
+        w.stream(&mut rng, |phase, u| per_phase[phase].update(u));
+        for (i, fv) in per_phase.iter().enumerate() {
+            let head = (i as u64 * 100) % d.size();
+            assert_eq!(
+                fv.top_k(1)[0].0,
+                head,
+                "phase {i} head should be {head}"
+            );
+        }
+    }
+
+    #[test]
+    fn generate_matches_stream_totals() {
+        let d = Domain::with_log2(8);
+        let w = PhasedWorkload::drift(d, 1.0, 3, 7, 500);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(w.generate(&mut rng).len(), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_rejected() {
+        let _ = PhasedWorkload::new(vec![]);
+    }
+}

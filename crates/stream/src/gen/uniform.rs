@@ -1,0 +1,141 @@
+//! Uniform and deletion-mixed stream generators.
+//!
+//! Used by stress and property tests: the sketching guarantees are
+//! distribution-free, and the delete-handling claims (a linear sketch after
+//! `insert(v); delete(v)` equals the sketch without either) need workloads
+//! that actually exercise deletions.
+
+use crate::domain::Domain;
+use crate::update::Update;
+use rand::Rng;
+
+/// Uniform unit-insert generator over a domain.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformGenerator {
+    domain: Domain,
+}
+
+impl UniformGenerator {
+    /// Creates a generator over `domain`.
+    pub fn new(domain: Domain) -> Self {
+        Self { domain }
+    }
+
+    /// Draws one value.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.domain.size())
+    }
+
+    /// Draws `n` unit inserts.
+    pub fn generate<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<Update> {
+        (0..n).map(|_| Update::insert(self.sample(rng))).collect()
+    }
+}
+
+/// Wraps any insert workload with a delete mix: each produced insert is
+/// later deleted with probability `p_delete`, at a random later position.
+///
+/// The resulting stream has general updates while its final frequency
+/// vector remains non-negative — the regime the paper's "handles deletes"
+/// claim covers.
+#[derive(Debug, Clone)]
+pub struct DeleteMix {
+    /// Probability that an insert is subsequently deleted.
+    pub p_delete: f64,
+}
+
+impl DeleteMix {
+    /// Creates a mix with deletion probability `p_delete ∈ \[0, 1\]`.
+    pub fn new(p_delete: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_delete), "p_delete must be in [0,1]");
+        Self { p_delete }
+    }
+
+    /// Interleaves deletions into `inserts`, preserving the invariant that
+    /// every delete follows its matching insert.
+    pub fn apply<R: Rng>(&self, rng: &mut R, inserts: Vec<Update>) -> Vec<Update> {
+        let mut out: Vec<Update> = Vec::with_capacity(inserts.len() * 2);
+        for u in inserts {
+            debug_assert!(u.weight > 0, "DeleteMix expects insert streams");
+            out.push(u);
+            if rng.gen::<f64>() < self.p_delete {
+                out.push(u.inverse());
+            }
+        }
+        // Shuffle tail-ward only via adjacent swaps that never move a delete
+        // before its insert: a simple pass of random right-rotations.
+        for i in (1..out.len()).rev() {
+            if out[i].weight > 0 && rng.gen::<f64>() < 0.5 {
+                out.swap(i - 1, i);
+                // Swapping two inserts or moving an insert earlier is always
+                // safe; moving a delete earlier could break the invariant,
+                // so only inserts initiate swaps.
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FrequencyVector;
+    use crate::update::StreamSink;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_domain() {
+        let d = Domain::with_log2(4);
+        let g = UniformGenerator::new(d);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fv = FrequencyVector::from_updates(d, g.generate(&mut rng, 16_000));
+        assert_eq!(fv.total(), 16_000);
+        for v in 0..16 {
+            let c = fv.get(v);
+            assert!((800..1200).contains(&c), "v={v} c={c}");
+        }
+    }
+
+    #[test]
+    fn delete_mix_keeps_frequencies_nonnegative() {
+        let d = Domain::with_log2(6);
+        let g = UniformGenerator::new(d);
+        let mut rng = StdRng::seed_from_u64(2);
+        let inserts = g.generate(&mut rng, 5000);
+        let stream = DeleteMix::new(0.5).apply(&mut rng, inserts);
+        let mut fv = FrequencyVector::new(d);
+        for u in stream {
+            fv.update(u);
+            assert!(
+                fv.get(u.value) >= 0,
+                "running frequency went negative at {}",
+                u.value
+            );
+        }
+    }
+
+    #[test]
+    fn delete_mix_zero_is_identity() {
+        let d = Domain::with_log2(4);
+        let g = UniformGenerator::new(d);
+        let mut rng = StdRng::seed_from_u64(3);
+        let inserts = g.generate(&mut rng, 100);
+        let mixed = DeleteMix::new(0.0).apply(&mut rng, inserts.clone());
+        let a = FrequencyVector::from_updates(d, inserts);
+        let b = FrequencyVector::from_updates(d, mixed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_mix_one_cancels_everything() {
+        let d = Domain::with_log2(4);
+        let g = UniformGenerator::new(d);
+        let mut rng = StdRng::seed_from_u64(4);
+        let inserts = g.generate(&mut rng, 200);
+        let mixed = DeleteMix::new(1.0).apply(&mut rng, inserts);
+        let fv = FrequencyVector::from_updates(d, mixed);
+        assert_eq!(fv.l1(), 0);
+    }
+}

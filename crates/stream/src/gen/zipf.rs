@@ -1,0 +1,237 @@
+//! Zipfian stream generation — the paper's synthetic workload.
+//!
+//! The evaluation section joins a Zipf(z) stream with a *right-shifted*
+//! Zipf(z) stream over a domain of 2^18 values: the shifted stream's
+//! frequency vector is the original one rotated right by `shift`, so the
+//! shift parameter is a knob that monotonically shrinks the join size
+//! (shift 0 ⇒ self-join; larger shifts push the dense heads apart).
+//!
+//! Sampling uses Walker's alias method: O(N) setup, O(1) per draw, exact
+//! (no truncated-CDF bias), which matters when drawing millions of elements
+//! per configuration on the experiment grid.
+
+use crate::domain::Domain;
+use crate::update::Update;
+use rand::Rng;
+
+/// Walker alias table for an arbitrary discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (need not be normalized).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        assert!(n <= u32::MAX as usize, "alias table too large");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+            "weights must be non-negative, finite, not all zero"
+        );
+
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            let leftover = prob[l as usize] + prob[s as usize] - 1.0;
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both stacks drain to probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// A Zipf(z) element generator over a [`Domain`], optionally right-shifted.
+///
+/// Value `v` receives probability ∝ `1 / (rank(v))^z` where
+/// `rank(v) = ((v - shift) mod N) + 1`; with `shift = 0` value 0 is the
+/// most frequent, matching the usual Zipf convention.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    domain: Domain,
+    shift: u64,
+    table: AliasTable,
+    z: f64,
+}
+
+impl ZipfGenerator {
+    /// Creates a generator with skew `z ≥ 0` and right-shift `shift`.
+    pub fn new(domain: Domain, z: f64, shift: u64) -> Self {
+        assert!(z >= 0.0 && z.is_finite(), "zipf parameter must be >= 0");
+        let n = domain.size();
+        assert!(n <= 1 << 28, "alias table over domain 2^{} too large", domain.log2_size());
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-z)).collect();
+        Self {
+            domain,
+            shift: shift % n,
+            table: AliasTable::new(&weights),
+            z,
+        }
+    }
+
+    /// The skew parameter.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The right-shift applied to sampled ranks.
+    pub fn shift(&self) -> u64 {
+        self.shift
+    }
+
+    /// The generator's domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Draws a single domain value.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let rank0 = self.table.sample(rng) as u64; // rank - 1
+        (rank0 + self.shift) & (self.domain.size() - 1)
+    }
+
+    /// Draws `n` unit-insert updates.
+    pub fn generate<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<Update> {
+        (0..n).map(|_| Update::insert(self.sample(rng))).collect()
+    }
+
+    /// The *expected* frequency vector after `n` draws — i.e. `n · pmf`.
+    /// Useful for deterministic tests of downstream estimators.
+    pub fn expected_frequencies(&self, n: u64) -> Vec<f64> {
+        let size = self.domain.size();
+        let norm: f64 = (1..=size).map(|r| (r as f64).powf(-self.z)).sum();
+        let mut out = vec![0.0; size as usize];
+        for r in 1..=size {
+            let v = ((r - 1 + self.shift) & (size - 1)) as usize;
+            out[v] = n as f64 * (r as f64).powf(-self.z) / norm;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let want = weights[i] / 10.0;
+            assert!((got - want).abs() < 0.01, "i={i} got={got} want={want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn alias_table_rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let d = Domain::with_log2(10);
+        let g = ZipfGenerator::new(d, 1.0, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            if g.sample(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        // P(value 0) = 1/H_1024 ≈ 0.133 for z=1.0, N=1024.
+        let frac = head as f64 / n as f64;
+        assert!((0.11..0.16).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn shift_rotates_frequencies() {
+        let d = Domain::with_log2(8);
+        let base = ZipfGenerator::new(d, 1.2, 0).expected_frequencies(1000);
+        let shifted = ZipfGenerator::new(d, 1.2, 10).expected_frequencies(1000);
+        for (v, &sv) in shifted.iter().enumerate() {
+            let src = (v + d.size() as usize - 10) % d.size() as usize;
+            assert!((sv - base[src]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let d = Domain::with_log2(6);
+        let e = ZipfGenerator::new(d, 0.0, 0).expected_frequencies(6400);
+        for &x in &e {
+            assert!((x - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expected_frequencies_sum_to_n() {
+        let d = Domain::with_log2(8);
+        let e = ZipfGenerator::new(d, 1.5, 33).expected_frequencies(12345);
+        let sum: f64 = e.iter().sum();
+        assert!((sum - 12345.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let d = Domain::with_log2(8);
+        let g = ZipfGenerator::new(d, 1.0, 5);
+        let a = g.generate(&mut StdRng::seed_from_u64(9), 100);
+        let b = g.generate(&mut StdRng::seed_from_u64(9), 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,352 @@
+//! File-backed stream traces.
+//!
+//! The in-memory codec in [`crate::trace`] suits shipping buffers; this
+//! module streams traces to and from disk so paper-scale workloads (4M
+//! updates/stream) can be generated once and replayed across many harness
+//! runs without regeneration cost or holding everything in memory.
+//! [`TraceWriter`] appends incrementally; [`TraceReader`] is an iterator
+//! that decodes one update at a time from a buffered reader.
+//!
+//! On-disk format = the [`crate::trace`] wire format with a `u64::MAX`
+//! record count sentinel in the header (count unknown while appending),
+//! terminated by EOF.
+
+use crate::domain::Domain;
+use crate::trace::TraceError;
+use crate::update::Update;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SSTR";
+const VERSION: u16 = 1;
+const STREAMING_COUNT: u64 = u64::MAX;
+
+/// Errors from file-trace operations.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed trace content.
+    Format(TraceError),
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<TraceError> for TraceIoError {
+    fn from(e: TraceError) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+fn write_varint<W: Write>(w: &mut W, mut x: u64) -> io::Result<()> {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads a varint; `Ok(None)` on clean EOF at a record boundary.
+fn read_varint<R: Read>(r: &mut R, at_boundary: bool) -> Result<Option<u64>, TraceIoError> {
+    let mut x = 0u64;
+    for (i, shift) in (0..64).step_by(7).enumerate() {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                return if i == 0 && at_boundary {
+                    Ok(None)
+                } else {
+                    Err(TraceError::Truncated.into())
+                }
+            }
+            _ => {
+                x |= ((byte[0] & 0x7F) as u64) << shift;
+                if byte[0] & 0x80 == 0 {
+                    return Ok(Some(x));
+                }
+            }
+        }
+    }
+    Err(TraceError::MalformedVarint.into())
+}
+
+#[inline]
+fn zigzag(w: i64) -> u64 {
+    ((w << 1) ^ (w >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Incrementally writes a trace file.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    domain: Domain,
+    written: u64,
+}
+
+impl TraceWriter {
+    /// Creates (truncates) `path` and writes the streaming header.
+    pub fn create<P: AsRef<Path>>(path: P, domain: Domain) -> Result<Self, TraceIoError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&(domain.log2_size() as u16).to_le_bytes())?;
+        out.write_all(&STREAMING_COUNT.to_le_bytes())?;
+        Ok(Self {
+            out,
+            domain,
+            written: 0,
+        })
+    }
+
+    /// Appends one update.
+    pub fn write(&mut self, u: Update) -> Result<(), TraceIoError> {
+        debug_assert!(self.domain.contains(u.value));
+        write_varint(&mut self.out, u.value)?;
+        write_varint(&mut self.out, zigzag(u.weight))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Appends a batch.
+    pub fn write_all<I: IntoIterator<Item = Update>>(&mut self, us: I) -> Result<(), TraceIoError> {
+        for u in us {
+            self.write(u)?;
+        }
+        Ok(())
+    }
+
+    /// Updates written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and closes the file.
+    pub fn finish(mut self) -> Result<u64, TraceIoError> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Streams updates back out of a trace file.
+#[derive(Debug)]
+pub struct TraceReader {
+    input: BufReader<File>,
+    domain: Domain,
+    /// Records remaining when the header carried an exact count;
+    /// `None` in streaming (EOF-terminated) mode.
+    remaining: Option<u64>,
+}
+
+impl TraceReader {
+    /// Opens `path` and parses the header.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceIoError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 16];
+        input.read_exact(&mut header).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceIoError::Format(TraceError::Truncated)
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        if &header[0..4] != MAGIC {
+            return Err(TraceError::BadMagic.into());
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version).into());
+        }
+        let log2 = u16::from_le_bytes([header[6], header[7]]);
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        Ok(Self {
+            input,
+            domain: Domain::with_log2(log2 as u32),
+            remaining: (count != STREAMING_COUNT).then_some(count),
+        })
+    }
+
+    /// The trace's declared domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Reads the next update; `Ok(None)` at end of trace.
+    pub fn next_update(&mut self) -> Result<Option<Update>, TraceIoError> {
+        if self.remaining == Some(0) {
+            return Ok(None);
+        }
+        let Some(value) = read_varint(&mut self.input, true)? else {
+            return if self.remaining.is_none() {
+                Ok(None)
+            } else {
+                Err(TraceError::Truncated.into())
+            };
+        };
+        if !self.domain.contains(value) {
+            return Err(TraceError::ValueOutOfDomain(value).into());
+        }
+        let weight = unzigzag(
+            read_varint(&mut self.input, false)?.ok_or(TraceError::Truncated)?,
+        );
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        Ok(Some(Update { value, weight }))
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = Result<Update, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_update().transpose()
+    }
+}
+
+/// Convenience: writes a whole slice to `path`.
+pub fn write_trace_file<P: AsRef<Path>>(
+    path: P,
+    domain: Domain,
+    updates: &[Update],
+) -> Result<(), TraceIoError> {
+    let mut w = TraceWriter::create(path, domain)?;
+    w.write_all(updates.iter().copied())?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Convenience: reads a whole trace into memory.
+pub fn read_trace_file<P: AsRef<Path>>(path: P) -> Result<(Domain, Vec<Update>), TraceIoError> {
+    let mut r = TraceReader::open(path)?;
+    let domain = r.domain();
+    let mut out = Vec::new();
+    while let Some(u) = r.next_update()? {
+        out.push(u);
+    }
+    Ok((domain, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Seek;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ss-trace-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_through_a_file() {
+        let path = tmp("roundtrip");
+        let d = Domain::with_log2(10);
+        let updates: Vec<Update> = (0..1000)
+            .map(|i| Update {
+                value: (i * 31) % 1024,
+                weight: (i as i64 % 9) - 4,
+            })
+            .collect();
+        write_trace_file(&path, d, &updates).unwrap();
+        let (d2, back) = read_trace_file(&path).unwrap();
+        assert_eq!(d2, d);
+        assert_eq!(back, updates);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_reader_yields_incrementally() {
+        let path = tmp("incremental");
+        let d = Domain::with_log2(6);
+        let mut w = TraceWriter::create(&path, d).unwrap();
+        for v in 0..10u64 {
+            w.write(Update::insert(v)).unwrap();
+        }
+        assert_eq!(w.written(), 10);
+        w.finish().unwrap();
+        let r = TraceReader::open(&path).unwrap();
+        let vals: Vec<u64> = r.map(|u| u.unwrap().value).collect();
+        assert_eq!(vals, (0..10u64).collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let path = tmp("empty");
+        write_trace_file(&path, Domain::with_log2(4), &[]).unwrap();
+        let (_, back) = read_trace_file(&path).unwrap();
+        assert!(back.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_truncated_record() {
+        let path = tmp("truncated");
+        let d = Domain::with_log2(4);
+        write_trace_file(&path, d, &[Update::with_measure(3, 1000)]).unwrap();
+        // Chop the last byte off.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let len = f.metadata().unwrap().len();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+        let err = read_trace_file(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(TraceError::Truncated)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let path = tmp("badmagic");
+        write_trace_file(&path, Domain::with_log2(4), &[]).unwrap();
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.rewind().unwrap();
+        f.write_all(b"XXXX").unwrap();
+        drop(f);
+        let err = TraceReader::open(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(TraceError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_domain_values() {
+        let path = tmp("ood");
+        // Write under a large domain, then doctor the header to claim a
+        // tiny one.
+        let d = Domain::with_log2(10);
+        write_trace_file(&path, d, &[Update::insert(512)]).unwrap();
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(io::SeekFrom::Start(6)).unwrap();
+        f.write_all(&2u16.to_le_bytes()).unwrap(); // domain 2^2
+        drop(f);
+        let err = read_trace_file(&path).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::Format(TraceError::ValueOutOfDomain(512))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,177 @@
+//! Estimation-error metrics and small-sample statistics.
+//!
+//! The paper's §5.1 deliberately avoids the standard relative error
+//! `|Ĵ − J| / J` because it is bounded by 1 for *any* underestimate (an
+//! estimator that always answers 0 would look fine) while overestimates can
+//! be penalized without bound. The symmetric **ratio error**
+//! `max(Ĵ, J) / min(Ĵ, J) − 1` treats both sides alike; non-positive or
+//! absurdly small estimates are clamped to a sanity constant (10, i.e.
+//! "more than 10× off").
+
+/// Sanity cap for the ratio error, per §5.1 of the paper: estimates that
+/// are non-positive (or so small the ratio explodes) score exactly this.
+pub const ERROR_SANITY_BOUND: f64 = 10.0;
+
+/// The paper's symmetric ratio error between an estimate and the truth.
+///
+/// * Both zero → error 0 (the estimator nailed an empty join).
+/// * Estimate ≤ 0 with positive truth (or vice versa) → sanity bound.
+/// * Otherwise `max/min − 1`, clamped to the sanity bound.
+pub fn ratio_error(estimate: f64, actual: f64) -> f64 {
+    if actual == 0.0 && estimate == 0.0 {
+        return 0.0;
+    }
+    if estimate <= 0.0 || actual <= 0.0 {
+        return ERROR_SANITY_BOUND;
+    }
+    let (hi, lo) = if estimate >= actual {
+        (estimate, actual)
+    } else {
+        (actual, estimate)
+    };
+    (hi / lo - 1.0).min(ERROR_SANITY_BOUND)
+}
+
+/// Plain relative error `|Ĵ − J| / J` (reported alongside the ratio error
+/// for comparison; requires `actual != 0`).
+pub fn relative_error(estimate: f64, actual: f64) -> f64 {
+    assert!(actual != 0.0, "relative error undefined for actual == 0");
+    (estimate - actual).abs() / actual.abs()
+}
+
+/// Absolute (additive) error `|Ĵ − J|`.
+pub fn absolute_error(estimate: f64, actual: f64) -> f64 {
+    (estimate - actual).abs()
+}
+
+/// Summary statistics over repeated trials of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples aggregated.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (midpoint convention for even n).
+    pub median: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples`; panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Median of a mutable f64 slice (consumes order). Panics if empty or NaN.
+pub fn median_f64(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Median of an i64 slice (by value, exact; lower midpoint for even n —
+/// matches the order-statistics convention the sketch estimators use).
+pub fn median_i64(xs: &mut [i64]) -> i64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let n = xs.len();
+    let (_, m, _) = xs.select_nth_unstable(n / 2);
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_error_is_symmetric() {
+        assert!((ratio_error(200.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!((ratio_error(100.0, 200.0) - 1.0).abs() < 1e-12);
+        assert_eq!(ratio_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn ratio_error_clamps_nonpositive_estimates() {
+        assert_eq!(ratio_error(0.0, 100.0), ERROR_SANITY_BOUND);
+        assert_eq!(ratio_error(-5.0, 100.0), ERROR_SANITY_BOUND);
+    }
+
+    #[test]
+    fn ratio_error_clamps_huge_ratios() {
+        assert_eq!(ratio_error(1.0, 1e9), ERROR_SANITY_BOUND);
+        assert_eq!(ratio_error(1e9, 1.0), ERROR_SANITY_BOUND);
+    }
+
+    #[test]
+    fn ratio_error_zero_join() {
+        assert_eq!(ratio_error(0.0, 0.0), 0.0);
+        assert_eq!(ratio_error(3.0, 0.0), ERROR_SANITY_BOUND);
+    }
+
+    #[test]
+    fn underestimates_are_not_favored() {
+        // The motivating pathology: always answering ~0 must score the
+        // sanity bound, not <= 1 like plain relative error would give.
+        assert!(relative_error(1.0, 1000.0) < 1.0);
+        assert_eq!(ratio_error(1.0, 1000.0), ERROR_SANITY_BOUND);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        let expected_sd = (((1.5f64).powi(2) * 2.0 + (0.5f64).powi(2) * 2.0) / 3.0).sqrt();
+        assert!((s.std_dev - expected_sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn medians() {
+        assert_eq!(median_f64(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_f64(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_i64(&mut [3, 1, 2]), 2);
+        assert_eq!(median_i64(&mut [-10, 0, 10, 20]), 10); // upper midpoint
+    }
+}

@@ -1,0 +1,175 @@
+//! Workload characterization.
+//!
+//! The experiment harness (and the planner in the core crate) reason about
+//! workloads through a handful of statistics: frequency moments, the
+//! dense-mass profile, and a fitted Zipf exponent. This module computes
+//! them exactly from a [`FrequencyVector`] and renders a compact report —
+//! every experiment in `EXPERIMENTS.md` logs one so that results can be
+//! interpreted without rerunning the generator.
+
+use crate::freq::FrequencyVector;
+
+/// Exact summary statistics of one stream's frequency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of distinct values (`F₀`).
+    pub distinct: usize,
+    /// Total absolute mass (`F₁` for insert-only streams).
+    pub l1: i64,
+    /// Second moment / self-join size (`F₂`).
+    pub f2: i64,
+    /// Largest absolute frequency (`F_∞`).
+    pub max: i64,
+    /// Fraction of L1 mass held by the 1% most frequent values.
+    pub top1pct_mass: f64,
+    /// Least-squares Zipf exponent fitted to the log-log rank/frequency
+    /// profile (0 for degenerate distributions).
+    pub zipf_fit: f64,
+    /// Skew proxy `F₂·F₀ / F₁²` — 1 for uniform, grows with concentration.
+    pub kurtosis_proxy: f64,
+}
+
+impl WorkloadStats {
+    /// Computes all statistics from an exact frequency vector.
+    pub fn of(fv: &FrequencyVector) -> Self {
+        let mut freqs: Vec<i64> = fv.nonzero().map(|(_, c)| c.abs()).collect();
+        freqs.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+        let distinct = freqs.len();
+        let l1: i64 = freqs.iter().sum();
+        let f2: i64 = freqs.iter().map(|&c| c * c).sum();
+        let max = freqs.first().copied().unwrap_or(0);
+        let top_k = (distinct / 100).max(1).min(distinct);
+        let top1pct_mass = if l1 > 0 {
+            freqs.iter().take(top_k).sum::<i64>() as f64 / l1 as f64
+        } else {
+            0.0
+        };
+        let zipf_fit = fit_zipf(&freqs);
+        let kurtosis_proxy = if l1 > 0 && distinct > 0 {
+            f2 as f64 * distinct as f64 / (l1 as f64 * l1 as f64)
+        } else {
+            0.0
+        };
+        Self {
+            distinct,
+            l1,
+            f2,
+            max,
+            top1pct_mass,
+            zipf_fit,
+            kurtosis_proxy,
+        }
+    }
+
+    /// One-line rendering for harness logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "F0={} F1={} F2={} Fmax={} top1%={:.3} zipf≈{:.2} kurt={:.2}",
+            self.distinct,
+            self.l1,
+            self.f2,
+            self.max,
+            self.top1pct_mass,
+            self.zipf_fit,
+            self.kurtosis_proxy
+        )
+    }
+}
+
+/// Least-squares slope of `log(freq)` against `log(rank)` over the sorted
+/// (descending) frequency profile; the Zipf exponent is its negation.
+/// Ranks with frequency 0 never occur (input is the nonzero profile).
+fn fit_zipf(sorted_desc: &[i64]) -> f64 {
+    if sorted_desc.len() < 2 {
+        return 0.0;
+    }
+    let n = sorted_desc.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for (i, &c) in sorted_desc.iter().enumerate() {
+        let x = ((i + 1) as f64).ln();
+        let y = (c as f64).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    (-slope).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::gen::ZipfGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_on_known_vector() {
+        let fv = FrequencyVector::from_counts(Domain::with_log2(2), vec![3, 0, -2, 5]);
+        let s = WorkloadStats::of(&fv);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.l1, 10);
+        assert_eq!(s.f2, 9 + 4 + 25);
+        assert_eq!(s.max, 5);
+    }
+
+    #[test]
+    fn uniform_has_kurtosis_proxy_one_and_low_zipf() {
+        let fv = FrequencyVector::from_counts(Domain::with_log2(6), vec![10; 64]);
+        let s = WorkloadStats::of(&fv);
+        assert!((s.kurtosis_proxy - 1.0).abs() < 1e-9);
+        assert!(s.zipf_fit < 0.05, "zipf_fit={}", s.zipf_fit);
+    }
+
+    #[test]
+    fn zipf_fit_recovers_the_generator_exponent() {
+        let d = Domain::with_log2(12);
+        let mut rng = StdRng::seed_from_u64(1);
+        for z in [0.8f64, 1.2] {
+            let fv = FrequencyVector::from_updates(
+                d,
+                ZipfGenerator::new(d, z, 0).generate(&mut rng, 400_000),
+            );
+            let s = WorkloadStats::of(&fv);
+            // Sampling flattens the tail (singletons), so the fit runs a
+            // little low; accept a generous band around the truth.
+            assert!(
+                (s.zipf_fit - z).abs() < 0.4,
+                "z={z} fit={}",
+                s.zipf_fit
+            );
+            assert!(s.kurtosis_proxy > 1.5, "z={z} kurt={}", s.kurtosis_proxy);
+        }
+    }
+
+    #[test]
+    fn skew_orders_by_top_mass() {
+        let d = Domain::with_log2(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let low = WorkloadStats::of(&FrequencyVector::from_updates(
+            d,
+            ZipfGenerator::new(d, 0.5, 0).generate(&mut rng, 100_000),
+        ));
+        let high = WorkloadStats::of(&FrequencyVector::from_updates(
+            d,
+            ZipfGenerator::new(d, 1.5, 0).generate(&mut rng, 100_000),
+        ));
+        assert!(high.top1pct_mass > low.top1pct_mass);
+        assert!(high.zipf_fit > low.zipf_fit);
+    }
+
+    #[test]
+    fn empty_vector_is_all_zero() {
+        let s = WorkloadStats::of(&FrequencyVector::new(Domain::with_log2(4)));
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.l1, 0);
+        assert_eq!(s.zipf_fit, 0.0);
+        assert!(s.summary().contains("F0=0"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Tabular output for the experiment harness.
+//!
+//! Each harness binary prints the rows/series of one paper figure or table,
+//! both human-readable (aligned columns, like the paper's tables) and as
+//! CSV for downstream plotting. No third-party CSV dependency is needed —
+//! the values we emit are numeric or simple identifiers.
+
+use std::fmt::Write as _;
+
+/// A simple column-ordered table of string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its arity must match the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header + rows). Cells containing commas, quotes or
+    /// newlines are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+            let _ = writeln!(out, "{}", joined.join(","));
+        };
+        line(&self.header, &mut out);
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// Renders as aligned, human-readable text.
+    pub fn to_aligned(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}", c, width = widths[i]);
+                if i + 1 < ncols {
+                    let _ = write!(out, "  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            fmt_row(r, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 significant-ish digits, the precision the paper's
+/// plots convey.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x,y", "q\"z"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n\"x,y\",\"q\"\"z\"\n");
+    }
+
+    #[test]
+    fn aligned_rendering_pads() {
+        let mut t = Table::new(["col", "x"]);
+        t.push_row(["1", "22"]);
+        let txt = t.to_aligned();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("col"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.12345), "0.1235");
+        assert!(fmt_f64(123456.0).contains('e'));
+        assert!(fmt_f64(0.000012).contains('e'));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.push_row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

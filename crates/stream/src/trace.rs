@@ -1,0 +1,212 @@
+//! Binary trace codec for update streams.
+//!
+//! The experiment grid replays the same generated streams across many
+//! sketch configurations; persisting them as compact binary traces makes
+//! runs reproducible and lets the harness share one workload across
+//! processes. Format (little-endian):
+//!
+//! ```text
+//! magic "SSTR" | version u16 | log2(domain) u16 | count u64
+//! then `count` records of: value varint | zigzag(weight) varint
+//! ```
+//!
+//! Varint + zigzag keeps unit-weight traces at ~1–3 bytes per update for
+//! the domains the paper uses.
+
+use crate::domain::Domain;
+use crate::update::Update;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"SSTR";
+const VERSION: u16 = 1;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Header magic did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Buffer ended before the declared record count was read.
+    Truncated,
+    /// A varint ran past its maximum length.
+    MalformedVarint,
+    /// A decoded value fell outside the declared domain.
+    ValueOutOfDomain(u64),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "bad trace magic"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::MalformedVarint => write!(f, "malformed varint"),
+            TraceError::ValueOutOfDomain(v) => write!(f, "value {v} outside declared domain"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn put_varint(buf: &mut BytesMut, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, TraceError> {
+    let mut x = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(TraceError::Truncated);
+        }
+        let byte = buf.get_u8();
+        x |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+    }
+    Err(TraceError::MalformedVarint)
+}
+
+#[inline]
+fn zigzag(w: i64) -> u64 {
+    ((w << 1) ^ (w >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Encodes `updates` over `domain` into a trace buffer.
+pub fn encode(domain: Domain, updates: &[Update]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + updates.len() * 3);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(domain.log2_size() as u16);
+    buf.put_u64_le(updates.len() as u64);
+    for u in updates {
+        debug_assert!(domain.contains(u.value));
+        put_varint(&mut buf, u.value);
+        put_varint(&mut buf, zigzag(u.weight));
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace buffer into `(domain, updates)`.
+pub fn decode(mut buf: Bytes) -> Result<(Domain, Vec<Update>), TraceError> {
+    if buf.remaining() < 16 {
+        return Err(TraceError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let log2 = buf.get_u16_le();
+    let domain = Domain::with_log2(log2 as u32);
+    let count = buf.get_u64_le();
+    let mut updates = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let value = get_varint(&mut buf)?;
+        if !domain.contains(value) {
+            return Err(TraceError::ValueOutOfDomain(value));
+        }
+        let weight = unzigzag(get_varint(&mut buf)?);
+        updates.push(Update { value, weight });
+    }
+    Ok((domain, updates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips() {
+        for w in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(w)), w, "w={w}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let d = Domain::with_log2(10);
+        let updates: Vec<Update> = (0..500)
+            .map(|i| Update {
+                value: (i * 37) % 1024,
+                weight: ((i as i64) % 7) - 3,
+            })
+            .collect();
+        let buf = encode(d, &updates);
+        let (d2, u2) = decode(buf).unwrap();
+        assert_eq!(d2, d);
+        assert_eq!(u2, updates);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let d = Domain::with_log2(3);
+        let (d2, u2) = decode(encode(d, &[])).unwrap();
+        assert_eq!(d2, d);
+        assert!(u2.is_empty());
+    }
+
+    #[test]
+    fn unit_inserts_are_compact() {
+        let d = Domain::with_log2(8);
+        let updates: Vec<Update> = (0..1000).map(|i| Update::insert(i % 256)).collect();
+        let buf = encode(d, &updates);
+        // Header 16 bytes + at most 3 bytes per update (2-byte value max).
+        assert!(buf.len() <= 16 + 3 * updates.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(Domain::with_log2(2), &[]).to_vec();
+        raw[0] = b'X';
+        assert_eq!(decode(Bytes::from(raw)), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = encode(Domain::with_log2(2), &[]).to_vec();
+        raw[4] = 99;
+        assert_eq!(decode(Bytes::from(raw)), Err(TraceError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let raw = encode(Domain::with_log2(2), &[Update::insert(1)]).to_vec();
+        let cut = Bytes::from(raw[..raw.len() - 1].to_vec());
+        assert_eq!(decode(cut), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn rejects_out_of_domain_values() {
+        // Hand-craft a trace declaring domain 2^1 but carrying value 5.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(1);
+        buf.put_u64_le(1);
+        put_varint(&mut buf, 5);
+        put_varint(&mut buf, zigzag(1));
+        assert_eq!(
+            decode(buf.freeze()),
+            Err(TraceError::ValueOutOfDomain(5))
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The stream update model.
+//!
+//! A data stream is an unordered sequence of *updates*. Each update carries
+//! a domain value and a signed weight: `+1` for a plain insert, `-1` for a
+//! delete, and arbitrary positive weights for SUM-style measure semantics
+//! (the paper reduces `SUM_m(F ⋈ G)` to `COUNT` over a stream where each
+//! element is repeated `m` times — which is exactly an update of weight
+//! `m`).
+
+/// Whether an update adds to or removes from a frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Increases the frequency of the value.
+    Insert,
+    /// Decreases the frequency of the value.
+    Delete,
+}
+
+/// One element of an update stream: a domain value plus a signed weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// The domain value `v ∈ [0, N)`.
+    pub value: u64,
+    /// The signed change to `f(v)`; never zero for a meaningful update.
+    pub weight: i64,
+}
+
+impl Update {
+    /// A unit insert of `value`.
+    #[inline]
+    pub fn insert(value: u64) -> Self {
+        Self { value, weight: 1 }
+    }
+
+    /// A unit delete of `value`.
+    #[inline]
+    pub fn delete(value: u64) -> Self {
+        Self { value, weight: -1 }
+    }
+
+    /// An insert of `value` carrying measure `m` (SUM semantics).
+    #[inline]
+    pub fn with_measure(value: u64, m: i64) -> Self {
+        Self { value, weight: m }
+    }
+
+    /// The kind of this update (by sign of the weight).
+    #[inline]
+    pub fn kind(&self) -> UpdateKind {
+        if self.weight >= 0 {
+            UpdateKind::Insert
+        } else {
+            UpdateKind::Delete
+        }
+    }
+
+    /// The update that exactly cancels this one.
+    #[inline]
+    pub fn inverse(&self) -> Self {
+        Self {
+            value: self.value,
+            weight: -self.weight,
+        }
+    }
+}
+
+/// Anything that can absorb a stream of updates in one pass.
+///
+/// Implemented by every synopsis in the workspace (frequency vectors,
+/// AGMS sketches, hash sketches, dyadic sketches, query-engine synopses),
+/// so generators, traces, and the harness can drive any of them uniformly.
+pub trait StreamSink {
+    /// Applies one update.
+    fn update(&mut self, update: Update);
+
+    /// Applies a batch of updates (override when a bulk path is cheaper).
+    fn extend_updates<I: IntoIterator<Item = Update>>(&mut self, updates: I)
+    where
+        Self: Sized,
+    {
+        for u in updates {
+            self.update(u);
+        }
+    }
+}
+
+/// Feed the same updates to several sinks at once (e.g. the exact reference
+/// and a sketch under test).
+pub fn broadcast<I>(updates: I, sinks: &mut [&mut dyn StreamSink])
+where
+    I: IntoIterator<Item = Update>,
+{
+    for u in updates {
+        for s in sinks.iter_mut() {
+            s.update(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_delete_kinds() {
+        assert_eq!(Update::insert(5).kind(), UpdateKind::Insert);
+        assert_eq!(Update::delete(5).kind(), UpdateKind::Delete);
+        assert_eq!(Update::with_measure(5, 10).weight, 10);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let u = Update::with_measure(9, 7);
+        let v = u.inverse();
+        assert_eq!(u.value, v.value);
+        assert_eq!(u.weight + v.weight, 0);
+        assert_eq!(v.inverse(), u);
+    }
+
+    struct Counter(i64);
+    impl StreamSink for Counter {
+        fn update(&mut self, u: Update) {
+            self.0 += u.weight;
+        }
+    }
+
+    #[test]
+    fn broadcast_feeds_all_sinks() {
+        let mut a = Counter(0);
+        let mut b = Counter(0);
+        broadcast(
+            [Update::insert(1), Update::insert(2), Update::delete(3)],
+            &mut [&mut a, &mut b],
+        );
+        assert_eq!(a.0, 1);
+        assert_eq!(b.0, 1);
+    }
+
+    #[test]
+    fn extend_updates_default_path() {
+        let mut c = Counter(0);
+        c.extend_updates((0..10).map(Update::insert));
+        assert_eq!(c.0, 10);
+    }
+}

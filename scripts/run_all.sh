@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of the reproduction (quick scale by
+# default; pass --paper to forward the verbatim EDBT'04 parameters).
+# Outputs land in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE_FLAG="${1:-}"
+mkdir -p results
+
+BINS=(fig5a fig5b census example1 thm34 scaling partitioned ablation_threshold anatomy selfjoin vary_shift)
+for bin in "${BINS[@]}"; do
+    echo "== $bin $SCALE_FLAG =="
+    # example1 takes no scale flag; the others ignore unknown args anyway.
+    cargo run --release -q -p ss-bench --bin "$bin" -- $SCALE_FLAG \
+        > "results/$bin.txt" 2> "results/$bin.log" || {
+        echo "FAILED: $bin (see results/$bin.log)"; exit 1;
+    }
+    tail -n +1 "results/$bin.txt" | head -5
+done
+
+echo "== criterion micro-benches =="
+cargo bench -p ss-bench 2>&1 | tee results/criterion.txt | grep -E "time:|thrpt:" | head -40
+
+echo
+echo "All experiment outputs written to results/."

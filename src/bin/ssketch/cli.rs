@@ -1,0 +1,142 @@
+//! Minimal dependency-free argument parsing for the `ssketch` CLI.
+//!
+//! Flags are `--name value` pairs after a subcommand; every command
+//! documents its flags in [`crate::usage`]. Parsing is strict: unknown
+//! flags and missing values are errors, so typos fail loudly instead of
+//! silently running a default experiment.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand + flag map.
+#[derive(Debug, Clone)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses `--flag value` pairs from raw arguments.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut flags = BTreeMap::new();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected argument '{tok}' (flags are --name value)")));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError(format!("flag --{name} is missing its value")));
+            };
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(CliError(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(Self {
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn note(&self, name: &str) {
+        self.consumed.borrow_mut().push(name.to_string());
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<String, CliError> {
+        self.note(name);
+        self.flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<String> {
+        self.note(name);
+        self.flags.get(name).cloned()
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        self.note(name);
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{name} has invalid value '{v}'"))),
+        }
+    }
+
+    /// Errors on any flag that no command consumed (strict mode).
+    pub fn finish(&self) -> Result<(), CliError> {
+        let consumed = self.consumed.borrow();
+        for name in self.flags.keys() {
+            if !consumed.iter().any(|c| c == name) {
+                return Err(CliError(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = Args::parse(&raw(&["--n", "100", "--out", "f.trace"])).unwrap();
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 100);
+        assert_eq!(a.required("out").unwrap(), "f.trace");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Args::parse(&raw(&["--n"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bare_words() {
+        assert!(Args::parse(&raw(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Args::parse(&raw(&["--n", "1", "--n", "2"])).is_err());
+    }
+
+    #[test]
+    fn strict_unknown_flags() {
+        let a = Args::parse(&raw(&["--mystery", "1"])).unwrap();
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&raw(&[])).unwrap();
+        assert_eq!(a.get_or("seed", 42u64).unwrap(), 42);
+        assert!(a.required("out").is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_reported() {
+        let a = Args::parse(&raw(&["--n", "not-a-number"])).unwrap();
+        assert!(a.get_or("n", 0usize).is_err());
+    }
+}

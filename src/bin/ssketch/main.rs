@@ -1,0 +1,91 @@
+//! `ssketch` — command-line front end to the skimmed-sketches workspace.
+//!
+//! One binary for the whole offline workflow: generate workload traces,
+//! inspect them, sketch them, and estimate join aggregates — each step
+//! persisted to files, so multi-gigabyte streams never need to be held
+//! in memory together.
+//!
+//! ```text
+//! ssketch generate --kind zipf --z 1.0 --shift 100 --domain-log2 16 \
+//!                  --n 500000 --seed 1 --out f.trace
+//! ssketch generate --kind zipf --z 1.0 --shift 200 --domain-log2 16 \
+//!                  --n 500000 --seed 2 --out g.trace
+//! ssketch stats    --trace f.trace
+//! ssketch join     --left f.trace --right g.trace --tables 7 --buckets 512
+//! ssketch exact    --left f.trace --right g.trace
+//! ssketch hh       --trace f.trace --tables 7 --buckets 512
+//! ssketch sketch   --trace f.trace --tables 7 --buckets 512 --out f.sketch
+//! ssketch join-sketches --left f.sketch --right g.sketch
+//! ```
+
+mod cli;
+mod commands;
+
+use cli::CliError;
+
+fn usage() -> &'static str {
+    "ssketch — skimmed-sketch stream join estimation\n\
+     \n\
+     USAGE: ssketch <command> [--flag value]...\n\
+     \n\
+     COMMANDS\n\
+     generate        synthesize a workload trace file\n\
+         --kind zipf|census|uniform   workload family (default zipf)\n\
+         --domain-log2 N              log2 of the value domain (default 16)\n\
+         --n N                        number of elements (default 100000)\n\
+         --z Z                        zipf skew (default 1.0)\n\
+         --shift S                    right shift (default 0)\n\
+         --seed S                     rng seed (default 1)\n\
+         --out PATH                   output trace (required)\n\
+     stats           print workload statistics of a trace\n\
+         --trace PATH\n\
+     exact           exact join size of two traces (reference)\n\
+         --left PATH --right PATH\n\
+     join            skimmed-sketch join estimate from two traces\n\
+         --left PATH --right PATH\n\
+         --tables N --buckets N --seed S   synopsis shape (7/512/42)\n\
+         --dyadic true|false               extraction strategy (false)\n\
+     hh              heavy hitters of a trace via SKIMDENSE\n\
+         --trace PATH --tables N --buckets N --seed S --top K\n\
+     sketch          build a hash sketch from a trace, write to file\n\
+         --trace PATH --tables N --buckets N --seed S --out PATH\n\
+     join-sketches   bucket-product join estimate from two sketch files\n\
+         --left PATH --right PATH\n\
+     skim-sketch     build a full skimmed sketch file from a trace\n\
+         --trace PATH --tables N --buckets N --seed S --dyadic BOOL --out PATH\n\
+     join-skimmed    ESTSKIMJOINSIZE from two skimmed-sketch files\n\
+         --left PATH --right PATH\n\
+     help            this text\n"
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    };
+    let result: Result<(), CliError> = (|| {
+        let args = cli::Args::parse(rest)?;
+        match cmd.as_str() {
+            "generate" => commands::generate(&args)?,
+            "stats" => commands::stats(&args)?,
+            "exact" => commands::exact(&args)?,
+            "join" => commands::join(&args)?,
+            "hh" => commands::heavy_hitters(&args)?,
+            "sketch" => commands::sketch(&args)?,
+            "skim-sketch" => commands::skim_sketch(&args)?,
+            "join-skimmed" => commands::join_skimmed(&args)?,
+            "join-sketches" => commands::join_sketches(&args)?,
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(CliError(format!("unknown command '{other}'\n\n{}", usage()))),
+        }
+        args.finish()
+    })();
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end tests of the `ssketch` CLI binary: the full offline
+//! workflow (generate → stats → sketch → join) through real files and a
+//! real process, plus error-path behaviour.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ssketch(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ssketch"))
+        .args(args)
+        .output()
+        .expect("failed to spawn ssketch")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ssketch-cli-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn path(dir: &std::path::Path, name: &str) -> String {
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn full_workflow_generate_join_check() {
+    let dir = tmpdir("workflow");
+    let f = path(&dir, "f.trace");
+    let g = path(&dir, "g.trace");
+
+    let out = ssketch(&[
+        "generate", "--kind", "zipf", "--z", "1.2", "--shift", "30", "--n", "30000",
+        "--domain-log2", "12", "--seed", "1", "--out", &f,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = ssketch(&[
+        "generate", "--kind", "zipf", "--z", "1.2", "--n", "30000",
+        "--domain-log2", "12", "--seed", "2", "--out", &g,
+    ]);
+    assert!(out.status.success());
+
+    // stats sees the trace.
+    let out = ssketch(&["stats", "--trace", &f]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("updates  : 30000"), "{text}");
+
+    // join --check reports a small ratio error.
+    let out = ssketch(&["join", "--left", &f, "--right", &g, "--check", "true"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let err_line = text
+        .lines()
+        .find(|l| l.contains("ratio error"))
+        .expect("ratio error line");
+    let err: f64 = err_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+    assert!(err < 0.3, "cli join error too large: {err}\n{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sketch_files_round_trip_through_join_sketches() {
+    let dir = tmpdir("sketchfiles");
+    let f = path(&dir, "f.trace");
+    let g = path(&dir, "g.trace");
+    let fs = path(&dir, "f.sketch");
+    let gs = path(&dir, "g.sketch");
+    for (p, seed) in [(&f, "3"), (&g, "4")] {
+        let out = ssketch(&[
+            "generate", "--n", "20000", "--domain-log2", "10", "--seed", seed, "--out", p,
+        ]);
+        assert!(out.status.success());
+    }
+    for (t, s) in [(&f, &fs), (&g, &gs)] {
+        let out = ssketch(&["sketch", "--trace", t, "--out", s]);
+        assert!(out.status.success());
+    }
+    let out = ssketch(&["join-sketches", "--left", &fs, "--right", &gs]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("estimate:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_sketch_seeds_are_rejected() {
+    let dir = tmpdir("mismatch");
+    let f = path(&dir, "f.trace");
+    let fs = path(&dir, "a.sketch");
+    let gs = path(&dir, "b.sketch");
+    let out = ssketch(&["generate", "--n", "1000", "--domain-log2", "8", "--out", &f]);
+    assert!(out.status.success());
+    assert!(ssketch(&["sketch", "--trace", &f, "--seed", "1", "--out", &fs]).status.success());
+    assert!(ssketch(&["sketch", "--trace", &f, "--seed", "2", "--out", &gs]).status.success());
+    let out = ssketch(&["join-sketches", "--left", &fs, "--right", &gs]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("different shapes or seeds"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_flags_and_commands_fail_loudly() {
+    let out = ssketch(&["join", "--left", "x", "--rihgt", "y"]);
+    assert!(!out.status.success());
+    let out = ssketch(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    let out = ssketch(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn hh_reports_the_planted_head() {
+    let dir = tmpdir("hh");
+    let f = path(&dir, "f.trace");
+    let out = ssketch(&[
+        "generate", "--kind", "zipf", "--z", "1.5", "--n", "20000",
+        "--domain-log2", "10", "--seed", "7", "--out", &f,
+    ]);
+    assert!(out.status.success());
+    let out = ssketch(&["hh", "--trace", &f, "--top", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Zipf with shift 0: value 0 is the head.
+    assert!(text.lines().any(|l| l.contains("value") && l.split_whitespace().nth(1) == Some("0")), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn skimmed_sketch_files_estimate_joins() {
+    let dir = tmpdir("skimfiles");
+    let f = path(&dir, "f.trace");
+    let g = path(&dir, "g.trace");
+    for (p, seed) in [(&f, "11"), (&g, "12")] {
+        assert!(ssketch(&[
+            "generate", "--kind", "zipf", "--z", "1.3", "--n", "20000",
+            "--domain-log2", "10", "--seed", seed, "--out", p,
+        ])
+        .status
+        .success());
+    }
+    let fs = path(&dir, "f.skim");
+    let gs = path(&dir, "g.skim");
+    for (t, s) in [(&f, &fs), (&g, &gs)] {
+        let out = ssketch(&["skim-sketch", "--trace", t, "--dyadic", "true", "--out", s]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = ssketch(&["join-skimmed", "--left", &fs, "--right", &gs]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("estimate"), "{text}");
+    // Cross-check the file-based estimate against the exact answer.
+    let exact_out = ssketch(&["exact", "--left", &f, "--right", &g]);
+    let exact_text = String::from_utf8_lossy(&exact_out.stdout);
+    let exact: f64 = exact_text
+        .lines()
+        .next()
+        .unwrap()
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let est: f64 = text
+        .lines()
+        .next()
+        .unwrap()
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let ratio = (est.max(exact)) / (est.min(exact).max(1.0)) - 1.0;
+    assert!(ratio < 0.3, "est={est} exact={exact}");
+    std::fs::remove_dir_all(&dir).ok();
+}

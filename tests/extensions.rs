@@ -1,0 +1,344 @@
+//! Cross-crate integration tests for the extension subsystems: windowed
+//! estimation, confidence intervals, the planner, continuous queries,
+//! partitioned baselines, the wire codec, and distinct counting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skimmed_sketch::planner::{plan, schema_for_plan, PlannerInput};
+use skimmed_sketch::{
+    estimate_join, estimate_join_with_confidence, estimate_windowed_join, EstimatorConfig,
+    ExtractionStrategy, SkimmedSchema, SkimmedSketch, WindowedSkimmedSketch,
+};
+use std::sync::Arc;
+use stream_model::gen::ZipfGenerator;
+use stream_model::metrics::ratio_error;
+use stream_model::{Domain, FrequencyVector, StreamSink, Update, WorkloadStats};
+use stream_query::partitioned::{DomainPartition, PartitionedAgmsSketch, PartitionedSchema};
+use stream_query::{Aggregate, ContinuousQuery, Op, Record, Side};
+use stream_sketches::codec::{decode_hash, encode_hash};
+use stream_sketches::{DistinctSketch, LinearSynopsis};
+
+fn zipf_updates(d: Domain, z: f64, shift: u64, n: usize, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ZipfGenerator::new(d, z, shift).generate(&mut rng, n)
+}
+
+#[test]
+fn planner_configuration_meets_its_error_target_in_practice() {
+    let d = Domain::with_log2(12);
+    let n = 60_000usize;
+    let uf = zipf_updates(d, 1.1, 0, n, 1);
+    let ug = zipf_updates(d, 1.1, 40, n, 2);
+    let f = FrequencyVector::from_updates(d, uf.iter().copied());
+    let g = FrequencyVector::from_updates(d, ug.iter().copied());
+    let actual = f.join(&g) as f64;
+
+    let p = plan(&PlannerInput {
+        stream_len: n as u64,
+        min_join_size: actual, // deployment-known lower bound
+        target_error: 0.25,
+        failure_probability: 0.05,
+    });
+    let schema = schema_for_plan(&p, d, 7, ExtractionStrategy::NaiveScan);
+    let mut sf = SkimmedSketch::new(schema.clone());
+    let mut sg = SkimmedSketch::new(schema);
+    for &u in &uf {
+        sf.update(u);
+    }
+    for &u in &ug {
+        sg.update(u);
+    }
+    let est = estimate_join(&sf, &sg, &EstimatorConfig::default());
+    let err = ratio_error(est.estimate, actual);
+    // The plan is worst-case-safe; real skewed data must beat the target.
+    assert!(err < 0.25, "err={err} plan={p:?}");
+}
+
+#[test]
+fn windowed_join_follows_a_moving_workload() {
+    let d = Domain::with_log2(12);
+    let schema = SkimmedSchema::scanning(d, 7, 256, 5);
+    let mut wf = WindowedSkimmedSketch::new(schema.clone(), 3);
+    let mut wg = WindowedSkimmedSketch::new(schema, 3);
+    let cfg = EstimatorConfig::default();
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // 6 epochs whose shift drifts; track the exact live-window join.
+    let mut epoch_f: Vec<Vec<Update>> = Vec::new();
+    let mut epoch_g: Vec<Vec<Update>> = Vec::new();
+    for e in 0..6u64 {
+        let uf = ZipfGenerator::new(d, 1.2, 0).generate(&mut rng, 15_000);
+        let ug = ZipfGenerator::new(d, 1.2, 16 * e).generate(&mut rng, 15_000);
+        for &u in &uf {
+            wf.update(u);
+        }
+        for &u in &ug {
+            wg.update(u);
+        }
+        epoch_f.push(uf);
+        epoch_g.push(ug);
+        wf.advance_epoch();
+        wg.advance_epoch();
+
+        // Exact join over the live epochs (last window-1 = 2 closed).
+        let live = epoch_f.len().saturating_sub(2);
+        let lf = FrequencyVector::from_updates(
+            d,
+            epoch_f[live..].iter().flatten().copied(),
+        );
+        let lg = FrequencyVector::from_updates(
+            d,
+            epoch_g[live..].iter().flatten().copied(),
+        );
+        let actual = lf.join(&lg) as f64;
+        let est = estimate_windowed_join(&wf, &wg, &cfg);
+        let err = ratio_error(est.estimate, actual);
+        assert!(err < 0.3, "epoch {e}: err={err}");
+    }
+}
+
+#[test]
+fn confidence_interval_covers_on_fresh_workloads() {
+    let d = Domain::with_log2(12);
+    let mut covered = 0;
+    for seed in 0..6u64 {
+        let schema = SkimmedSchema::scanning(d, 9, 256, 100 + seed);
+        let uf = zipf_updates(d, 1.0, 0, 40_000, seed * 2);
+        let ug = zipf_updates(d, 1.0, 50, 40_000, seed * 2 + 1);
+        let mut sf = SkimmedSketch::new(schema.clone());
+        let mut sg = SkimmedSketch::new(schema);
+        for &u in &uf {
+            sf.update(u);
+        }
+        for &u in &ug {
+            sg.update(u);
+        }
+        let f = FrequencyVector::from_updates(d, uf.iter().copied());
+        let g = FrequencyVector::from_updates(d, ug.iter().copied());
+        let ce = estimate_join_with_confidence(&sf, &sg, &EstimatorConfig::default(), 0);
+        if ce.contains(f.join(&g) as f64) {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 5, "covered={covered}/6");
+}
+
+#[test]
+fn continuous_query_tracks_exact_series() {
+    let d = Domain::with_log2(10);
+    let schema = SkimmedSchema::scanning(d, 7, 256, 9);
+    let mut q = ContinuousQuery::new(
+        schema,
+        EstimatorConfig::default(),
+        Aggregate::Count,
+        20_000,
+    );
+    let mut rng = StdRng::seed_from_u64(10);
+    let zf = ZipfGenerator::new(d, 1.0, 0);
+    let zg = ZipfGenerator::new(d, 1.0, 8);
+    let mut f = FrequencyVector::new(d);
+    let mut g = FrequencyVector::new(d);
+    for i in 0..60_000u64 {
+        let (a, b) = (zf.sample(&mut rng), zg.sample(&mut rng));
+        q.process(Side::Left, Op::Insert, Record::new(a));
+        f.update(Update::insert(a));
+        let point = q.process(Side::Right, Op::Insert, Record::new(b));
+        g.update(Update::insert(b));
+        if let Some(p) = point {
+            let actual = f.join(&g) as f64;
+            let err = ratio_error(p.estimate, actual);
+            assert!(err < 0.3, "at {i}: err={err}");
+        }
+    }
+    assert_eq!(q.series().len(), 6);
+}
+
+#[test]
+fn skimmed_matches_oracle_partitioning_without_prior_knowledge() {
+    // The paper's §1 argument against [5], measured.
+    let d = Domain::with_log2(11);
+    let uf = zipf_updates(d, 1.4, 0, 60_000, 21);
+    let ug = zipf_updates(d, 1.4, 12, 60_000, 22);
+    let f = FrequencyVector::from_updates(d, uf.iter().copied());
+    let g = FrequencyVector::from_updates(d, ug.iter().copied());
+    let actual = f.join(&g) as f64;
+    let (rows, cols) = (7usize, 256usize);
+
+    let mut oracle_errs = Vec::new();
+    let mut skim_errs = Vec::new();
+    for seed in 0..4u64 {
+        let part = Arc::new(DomainPartition::oracle(&f, &g, 16));
+        let pschema = PartitionedSchema::new(part, rows, cols, seed);
+        let mut pf = PartitionedAgmsSketch::new(&pschema);
+        let mut pg = PartitionedAgmsSketch::new(&pschema);
+        for (v, c) in f.nonzero() {
+            pf.add_weighted(v, c);
+        }
+        for (v, c) in g.nonzero() {
+            pg.add_weighted(v, c);
+        }
+        oracle_errs.push(ratio_error(pf.estimate_join(&pg), actual));
+
+        let schema = SkimmedSchema::scanning(d, rows, cols, seed);
+        let sf = SkimmedSketch::from_frequencies(schema.clone(), f.nonzero());
+        let sg = SkimmedSketch::from_frequencies(schema, g.nonzero());
+        skim_errs.push(ratio_error(
+            estimate_join(&sf, &sg, &EstimatorConfig::default()).estimate,
+            actual,
+        ));
+    }
+    let oracle: f64 = oracle_errs.iter().sum::<f64>() / 4.0;
+    let skim: f64 = skim_errs.iter().sum::<f64>() / 4.0;
+    // Skimmed must land in the oracle's accuracy class (within 3x), with
+    // zero prior knowledge.
+    assert!(skim < oracle * 3.0 + 0.02, "skim={skim} oracle={oracle}");
+    assert!(skim < 0.1, "skim={skim}");
+}
+
+#[test]
+fn codec_ships_sketches_across_a_simulated_wire() {
+    let d = Domain::with_log2(10);
+    let schema = stream_sketches::HashSketchSchema::new(5, 128, 31);
+    let mut site = stream_sketches::HashSketch::new(schema.clone());
+    for u in zipf_updates(d, 1.0, 0, 10_000, 33) {
+        site.update(u);
+    }
+    let wire = encode_hash(&site);
+    let mut coordinator = stream_sketches::HashSketch::new(schema);
+    coordinator.merge_from(&decode_hash(wire).unwrap());
+    assert_eq!(coordinator.counters(), site.counters());
+}
+
+#[test]
+fn distinct_sketch_complements_workload_stats() {
+    let d = Domain::with_log2(14);
+    let updates = zipf_updates(d, 1.0, 0, 80_000, 41);
+    let fv = FrequencyVector::from_updates(d, updates.iter().copied());
+    let stats = WorkloadStats::of(&fv);
+    let mut dk = DistinctSketch::new(512, 43);
+    for &u in &updates {
+        dk.update(u);
+    }
+    let est = dk.estimate();
+    let rel = (est - stats.distinct as f64).abs() / stats.distinct as f64;
+    assert!(rel < 0.15, "est={est} actual={} rel={rel}", stats.distinct);
+}
+
+#[test]
+fn dyadic_windowed_combination_works() {
+    // Windowing over the dyadic strategy: extraction acceleration and
+    // epoch expiry compose.
+    let d = Domain::with_log2(12);
+    let schema = SkimmedSchema::dyadic(d, 5, 256, 51);
+    let mut wf = WindowedSkimmedSketch::new(schema.clone(), 2);
+    let mut wg = WindowedSkimmedSketch::new(schema, 2);
+    let mut rng = StdRng::seed_from_u64(52);
+    let z = ZipfGenerator::new(d, 1.3, 0);
+    for _ in 0..20_000 {
+        wf.add_weighted(z.sample(&mut rng), 1);
+        wg.add_weighted(z.sample(&mut rng), 1);
+    }
+    let est = estimate_windowed_join(&wf, &wg, &EstimatorConfig::default());
+    assert!(est.estimate > 0.0);
+    let _ = rng.gen::<u8>();
+}
+
+#[test]
+fn star_join_composes_with_chain_join() {
+    // The two multi-join shapes answer the same 3-relation query when the
+    // center has two attributes: chain F1 ⋈a F2(a,b) ⋈b F3 is the star
+    // with center F2 — the two estimators must agree with each other and
+    // with the exact answer.
+    use stream_query::star::{estimate_star_join, StarCenterSketch, StarEdgeSketch, StarJoinSchema};
+    use stream_query::{estimate_chain_join, ChainJoinSchema, ChainRelationSketch};
+
+    let mut rng = StdRng::seed_from_u64(71);
+    let dom = 24usize;
+    let f1: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
+    let f3: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
+    let f2: Vec<Vec<i64>> = (0..dom)
+        .map(|_| (0..dom).map(|_| i64::from(rng.gen_range(0u8..6) == 0)).collect())
+        .collect();
+    let mut exact = 0i64;
+    for (u, &a) in f1.iter().enumerate() {
+        for (v, &c) in f3.iter().enumerate() {
+            exact += a * f2[u][v] * c;
+        }
+    }
+    assert!(exact > 0);
+
+    // Chain estimator.
+    let cschema = ChainJoinSchema::new(3, 9, 2048, 5);
+    let mut c1 = ChainRelationSketch::new(cschema.clone(), 0);
+    let mut c2 = ChainRelationSketch::new(cschema.clone(), 1);
+    let mut c3 = ChainRelationSketch::new(cschema, 2);
+    // Star estimator.
+    let sschema = StarJoinSchema::new(2, 9, 2048, 6);
+    let mut center = StarCenterSketch::new(sschema.clone());
+    let mut e1 = StarEdgeSketch::new(sschema.clone(), 0);
+    let mut e2 = StarEdgeSketch::new(sschema, 1);
+
+    for (u, &w) in f1.iter().enumerate() {
+        if w != 0 {
+            c1.update_endpoint(u as u64, w);
+            e1.update(u as u64, w);
+        }
+    }
+    for (v, &w) in f3.iter().enumerate() {
+        if w != 0 {
+            c3.update_endpoint(v as u64, w);
+            e2.update(v as u64, w);
+        }
+    }
+    for (u, row) in f2.iter().enumerate() {
+        for (v, &w) in row.iter().enumerate() {
+            if w != 0 {
+                c2.update_interior(u as u64, v as u64, w);
+                center.update(&[u as u64, v as u64], w);
+            }
+        }
+    }
+    let chain = estimate_chain_join(&[&c1, &c2, &c3]);
+    let star = estimate_star_join(&center, &[&e1, &e2]);
+    for (name, est) in [("chain", chain), ("star", star)] {
+        let rel = (est - exact as f64).abs() / exact as f64;
+        assert!(rel < 0.5, "{name}: est={est} exact={exact}");
+    }
+}
+
+#[test]
+fn signed_frequencies_join_correctly() {
+    // General update streams can leave *negative* frequencies (e.g.
+    // retraction-heavy feeds); the join is then a signed inner product and
+    // the linear estimator must track it, including the skimming of
+    // strongly negative "dense" values.
+    let d = Domain::with_log2(10);
+    let schema = SkimmedSchema::scanning(d, 7, 256, 61);
+    let mut sf = SkimmedSketch::new(schema.clone());
+    let mut sg = SkimmedSketch::new(schema);
+    let mut f = FrequencyVector::new(d);
+    let mut g = FrequencyVector::new(d);
+    let mut rng = StdRng::seed_from_u64(62);
+    for _ in 0..20_000 {
+        let v = rng.gen_range(0..1024u64);
+        let w = if v < 100 { -2 } else { 1 }; // negative head region
+        sf.add_weighted(v, w);
+        f.update(Update::with_measure(v, w));
+        let u = rng.gen_range(0..1024u64);
+        sg.add_weighted(u, 1);
+        g.update(Update::insert(u));
+    }
+    // Plant strong negative dense values.
+    for v in [7u64, 13] {
+        sf.add_weighted(v, -3000);
+        *f.get_mut(v) += -3000;
+        sg.add_weighted(v, 500);
+        *g.get_mut(v) += 500;
+    }
+    let actual = f.join(&g) as f64;
+    assert!(actual < 0.0, "workload should have a negative join: {actual}");
+    let est = estimate_join(&sf, &sg, &EstimatorConfig::default());
+    let rel = (est.estimate - actual).abs() / actual.abs();
+    assert!(rel < 0.25, "est={} actual={actual}", est.estimate);
+    assert!(est.dense_f >= 2, "negative dense values must be skimmed");
+}
