@@ -11,9 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{DyadicHashSketch, DyadicSchema};
 use std::hint::black_box;
+use stream_hash::{BchKey, BchSignFamily, KWiseHash, SeedSequence, SignFamily};
 use stream_model::gen::ZipfGenerator;
 use stream_model::Domain;
-use stream_hash::{BchKey, BchSignFamily, KWiseHash, SeedSequence, SignFamily};
 use stream_sketches::{
     AgmsSchema, AgmsSketch, CountMinSchema, CountMinSketch, HashSketch, HashSketchSchema,
 };
@@ -82,10 +82,95 @@ fn bench_updates(c: &mut Criterion) {
     g.bench_function("2048", |b| {
         b.iter(|| {
             for &v in &vals {
-                stream_model::StreamSink::update(&mut sk, stream_model::Update::insert(black_box(v)));
+                stream_model::StreamSink::update(
+                    &mut sk,
+                    stream_model::Update::insert(black_box(v)),
+                );
             }
         })
     });
+    g.finish();
+}
+
+/// Batched ingestion — the same sketches fed through the loop-interchanged
+/// `update_batch` kernels. Contrast with the `update/*` groups above: the
+/// batch path hoists each table's hash constants out of the per-element
+/// loop and keeps its counter row hot, so throughput rises with no change
+/// in the resulting counters.
+fn bench_batched(c: &mut Criterion) {
+    let domain = Domain::with_log2(18);
+    let vals = values(domain);
+    let updates: Vec<stream_model::Update> = vals
+        .iter()
+        .map(|&v| stream_model::Update::insert(v))
+        .collect();
+
+    let mut g = c.benchmark_group("update/batched/hash-sketch");
+    for &words in &[512usize, 2048, 8192] {
+        let schema = HashSketchSchema::new(8, words / 8, 2);
+        let mut sk = HashSketch::new(schema);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, _| {
+            b.iter(|| sk.add_batch(black_box(&updates)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("update/batched/basic-agms");
+    for &words in &[512usize, 2048] {
+        let schema = AgmsSchema::new(8, words / 8, 1);
+        let mut sk = AgmsSketch::new(schema);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, _| {
+            b.iter(|| sk.add_batch(black_box(&updates)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("update/batched/count-min");
+    let schema = CountMinSchema::new(8, 256, 4);
+    let mut sk = CountMinSketch::new(schema);
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("2048", |b| b.iter(|| sk.add_batch(black_box(&updates))));
+    g.finish();
+
+    let mut g = c.benchmark_group("update/batched/dyadic");
+    let schema = DyadicSchema::new(domain, 8, 256, 3);
+    let mut sk = DyadicHashSketch::new(schema);
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("2048", |b| b.iter(|| sk.add_batch(black_box(&updates))));
+    g.finish();
+}
+
+/// Multi-core ingestion through the sharded pool. Each sample ingests the
+/// whole stream via `ingest_parallel`, so the timing includes thread spawn
+/// and the final merge — the honest end-to-end cost. Scaling beyond one
+/// thread requires the host to actually have spare cores; the report notes
+/// throughput either way so the trajectory is tracked per host.
+fn bench_parallel(c: &mut Criterion) {
+    let domain = Domain::with_log2(18);
+    let mut rng = StdRng::seed_from_u64(11);
+    let z = ZipfGenerator::new(domain, 1.0, 0);
+    let updates: Vec<stream_model::Update> = (0..200_000)
+        .map(|_| stream_model::Update::insert(z.sample(&mut rng)))
+        .collect();
+    let schema = HashSketchSchema::new(8, 1024, 5);
+
+    let mut g = c.benchmark_group("update/parallel");
+    g.throughput(Throughput::Elements(updates.len() as u64));
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}-threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    stream_ingest::ingest_parallel(black_box(&updates), threads, 4096, || {
+                        HashSketch::new(schema.clone())
+                    })
+                })
+            },
+        );
+    }
     g.finish();
 }
 
@@ -150,6 +235,6 @@ fn bench_sign_families(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_updates, bench_sign_families
+    targets = bench_updates, bench_batched, bench_parallel, bench_sign_families
 }
 criterion_main!(benches);

@@ -11,9 +11,9 @@ use skimmed_sketch::{EstimatorConfig, ThresholdPolicy};
 use ss_bench::{skimmed_estimate, JoinWorkload, Scale};
 use stream_model::metrics::{ratio_error, Summary};
 use stream_model::table::{fmt_f64, Table};
+use stream_model::update::StreamSink;
 use stream_model::Domain;
 use stream_sketches::{CountMinSchema, CountMinSketch};
-use stream_model::update::StreamSink;
 
 fn cm_error(w: &JoinWorkload, depth: usize, width: usize, seed: u64) -> f64 {
     let schema = CountMinSchema::new(depth, width, seed);
@@ -81,9 +81,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "Threshold-policy ablation: {tables}x{buckets} hash sketch, domain 2^{log2}, n={n}\n"
-    );
+    println!("Threshold-policy ablation: {tables}x{buckets} hash sketch, domain 2^{log2}, n={n}\n");
     println!("{}", t.to_aligned());
     println!("--- CSV ---\n{}", t.to_csv());
 }

@@ -7,7 +7,9 @@
 //! Run: `cargo run -p ss-bench --release --bin example1`
 
 use skimmed_sketch::analysis::{agms_additive_error, SkimDecomposition};
-use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch, ThresholdPolicy};
+use skimmed_sketch::{
+    estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch, ThresholdPolicy,
+};
 use stream_model::metrics::ratio_error;
 use stream_model::table::{fmt_f64, Table};
 use stream_model::{Domain, FrequencyVector};
@@ -47,15 +49,33 @@ fn main() {
     let mut t = Table::new(["quantity", "value"]);
     t.push_row(["join size J = f·g".to_string(), join.to_string()]);
     t.push_row(["threshold T".to_string(), threshold.to_string()]);
-    t.push_row(["dense⋈dense (exact)".to_string(), dec.dense_dense.to_string()]);
+    t.push_row([
+        "dense⋈dense (exact)".to_string(),
+        dec.dense_dense.to_string(),
+    ]);
     t.push_row(["dense⋈sparse".to_string(), dec.dense_sparse.to_string()]);
     t.push_row(["sparse⋈dense".to_string(), dec.sparse_dense.to_string()]);
     t.push_row(["sparse⋈sparse".to_string(), dec.sparse_sparse.to_string()]);
-    t.push_row(["SJ(F) full / sparse".to_string(), format!("{} / {}", f.self_join(), dec.sj_f_sparse)]);
-    t.push_row(["SJ(G) full / sparse".to_string(), format!("{} / {}", g.self_join(), dec.sj_g_sparse)]);
-    t.push_row(["basic additive-error bound".to_string(), fmt_f64(basic_bound)]);
-    t.push_row(["skimmed additive-error bound".to_string(), fmt_f64(skim_bound)]);
-    t.push_row(["bound improvement".to_string(), format!("{:.1}x", basic_bound / skim_bound)]);
+    t.push_row([
+        "SJ(F) full / sparse".to_string(),
+        format!("{} / {}", f.self_join(), dec.sj_f_sparse),
+    ]);
+    t.push_row([
+        "SJ(G) full / sparse".to_string(),
+        format!("{} / {}", g.self_join(), dec.sj_g_sparse),
+    ]);
+    t.push_row([
+        "basic additive-error bound".to_string(),
+        fmt_f64(basic_bound),
+    ]);
+    t.push_row([
+        "skimmed additive-error bound".to_string(),
+        fmt_f64(skim_bound),
+    ]);
+    t.push_row([
+        "bound improvement".to_string(),
+        format!("{:.1}x", basic_bound / skim_bound),
+    ]);
 
     // Empirical check at the same s2 words per row.
     let seed = 0xE81;
@@ -74,8 +94,14 @@ fn main() {
     let est = estimate_join(&sf, &sg, &cfg);
     let skim_err = ratio_error(est.estimate, join as f64);
 
-    t.push_row(["empirical basic ratio error".to_string(), fmt_f64(basic_err)]);
-    t.push_row(["empirical skimmed ratio error".to_string(), fmt_f64(skim_err)]);
+    t.push_row([
+        "empirical basic ratio error".to_string(),
+        fmt_f64(basic_err),
+    ]);
+    t.push_row([
+        "empirical skimmed ratio error".to_string(),
+        fmt_f64(skim_err),
+    ]);
 
     println!("Example 1 (§3): error-budget arithmetic, scaled ×20, s2 = {s2}\n");
     println!("{}", t.to_aligned());

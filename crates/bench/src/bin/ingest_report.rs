@@ -1,0 +1,138 @@
+//! Ingestion-throughput report: scalar vs batched vs multi-core.
+//!
+//! Measures the element-at-a-time update path against the
+//! loop-interchanged `update_batch` kernels on the hash sketch, and the
+//! sharded [`stream_ingest::ingest_parallel`] pool at 1/2/4/8 workers,
+//! then writes the numbers to `BENCH_update.json` in the current
+//! directory so successive PRs can track the ingestion trajectory.
+//!
+//! Every configuration is cross-checked for bit-identical counters before
+//! its timing is recorded — a fast kernel that changes the sketch would
+//! be a correctness bug, not an optimisation.
+//!
+//! Run: `cargo run -p ss-bench --release --bin ingest_report`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use stream_model::gen::ZipfGenerator;
+use stream_model::update::StreamSink;
+use stream_model::{Domain, Update};
+use stream_sketches::{HashSketch, HashSketchSchema};
+
+const N: usize = 400_000;
+const REPS: usize = 5;
+
+/// Best-of-`REPS` throughput in Melem/s for `f` ingesting `n` elements.
+fn best_melem_s(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    n as f64 / best / 1e6
+}
+
+fn workload() -> Vec<Update> {
+    let domain = Domain::with_log2(18);
+    let mut rng = StdRng::seed_from_u64(7);
+    let z = ZipfGenerator::new(domain, 1.0, 0);
+    (0..N).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+fn main() {
+    let updates = workload();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // --- scalar vs batched, sweeping synopsis size -----------------------
+    let mut batched_rows = Vec::new();
+    println!("scalar vs batched (hash sketch, {N} Zipf(1.0) elements, best of {REPS}):");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}",
+        "words", "scalar Melem/s", "batch Melem/s", "speedup"
+    );
+    for &words in &[512usize, 2048, 8192] {
+        let schema = HashSketchSchema::new(8, words / 8, 2);
+
+        let mut scalar_sk = HashSketch::new(schema.clone());
+        let mut batch_sk = HashSketch::new(schema.clone());
+        scalar_sk.extend_updates(updates.iter().copied());
+        batch_sk.add_batch(&updates);
+        assert_eq!(
+            scalar_sk.counters(),
+            batch_sk.counters(),
+            "batch kernel must be bit-identical at {words} words"
+        );
+
+        let mut sk = HashSketch::new(schema.clone());
+        let scalar = best_melem_s(N, || {
+            for &u in &updates {
+                sk.update(u);
+            }
+        });
+        let mut sk = HashSketch::new(schema.clone());
+        let batched = best_melem_s(N, || sk.add_batch(&updates));
+        let speedup = batched / scalar;
+        println!("{words:>8} {scalar:>14.2} {batched:>14.2} {speedup:>8.2}x");
+        batched_rows.push(format!(
+            "    {{\"words\": {words}, \"scalar_melem_s\": {scalar:.3}, \
+             \"batched_melem_s\": {batched:.3}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
+    // --- parallel pool scaling ------------------------------------------
+    let schema = HashSketchSchema::new(8, 1024, 5);
+    let mut reference = HashSketch::new(schema.clone());
+    reference.add_batch(&updates);
+
+    let mut parallel_rows = Vec::new();
+    let mut base = 0.0f64;
+    println!();
+    println!(
+        "sharded parallel ingest (hash sketch, 8192 words, chunk 4096), host cpus = {host_cpus}:"
+    );
+    println!("{:>8} {:>14} {:>14}", "threads", "Melem/s", "vs 1-thread");
+    for &threads in &[1usize, 2, 4, 8] {
+        let got = stream_ingest::ingest_parallel(&updates, threads, 4096, || {
+            HashSketch::new(schema.clone())
+        });
+        assert_eq!(
+            got.counters(),
+            reference.counters(),
+            "parallel ingest must be bit-identical at {threads} threads"
+        );
+        let melem = best_melem_s(N, || {
+            std::hint::black_box(stream_ingest::ingest_parallel(
+                &updates,
+                threads,
+                4096,
+                || HashSketch::new(schema.clone()),
+            ));
+        });
+        if threads == 1 {
+            base = melem;
+        }
+        let speedup = melem / base;
+        println!("{threads:>8} {melem:>14.2} {speedup:>13.2}x");
+        parallel_rows.push(format!(
+            "    {{\"threads\": {threads}, \"melem_s\": {melem:.3}, \"speedup_vs_1\": {speedup:.3}}}"
+        ));
+    }
+    if host_cpus < 4 {
+        println!("  (host exposes {host_cpus} cpu(s): thread scaling cannot exceed 1x here;");
+        println!("   rerun on a multi-core host to see the pool's speedup)");
+    }
+
+    // --- emit ------------------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"update\",\n  \"elements\": {N},\n  \"reps\": {REPS},\n  \
+         \"host_cpus\": {host_cpus},\n  \"batched_hash_sketch\": [\n{}\n  ],\n  \
+         \"parallel_hash_sketch_8192_words\": [\n{}\n  ],\n  \"bit_identical\": true\n}}\n",
+        batched_rows.join(",\n"),
+        parallel_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_update.json", &json).expect("write BENCH_update.json");
+    println!();
+    println!("wrote BENCH_update.json");
+}

@@ -63,8 +63,6 @@ fn main() {
         loglog_slope(&basic_pts),
         loglog_slope(&skim_pts)
     );
-    println!(
-        "(theory: basic −0.5, skimmed −1.0, flattening once an estimator hits its floor)"
-    );
+    println!("(theory: basic −0.5, skimmed −1.0, flattening once an estimator hits its floor)");
     println!("--- CSV ---\n{}", table.to_csv());
 }

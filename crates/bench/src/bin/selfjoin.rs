@@ -12,14 +12,14 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin selfjoin [--paper]`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use skimmed_sketch::{estimate_self_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
 use ss_bench::Scale;
 use stream_model::gen::ZipfGenerator;
 use stream_model::metrics::{ratio_error, Summary};
 use stream_model::table::{fmt_f64, Table};
 use stream_model::{Domain, FrequencyVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use stream_sketches::{AgmsSchema, AgmsSketch};
 
 fn main() {

@@ -88,9 +88,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "Theorem 3/4 validation: hash sketch {tables}x{buckets}, domain 2^{log2}, n={n}\n"
-    );
+    println!("Theorem 3/4 validation: hash sketch {tables}x{buckets}, domain 2^{log2}, n={n}\n");
     println!("{}", t.to_aligned());
     println!("--- CSV ---\n{}", t.to_csv());
 }

@@ -25,7 +25,13 @@ fn main() {
     let z = 1.0f64;
     let cfg = EstimatorConfig::default();
 
-    let mut t = Table::new(["shift", "join_size", "basic_mean_err", "skim_mean_err", "improvement"]);
+    let mut t = Table::new([
+        "shift",
+        "join_size",
+        "basic_mean_err",
+        "skim_mean_err",
+        "improvement",
+    ]);
     for &shift in &[0u64, 25, 50, 100, 200, 400, 800] {
         let w = JoinWorkload::zipf(domain, z, shift, n, 0x5417 + shift);
         let cmp = compare_at_space(&w, space, &[11, 35], reps, 0xE0 + shift, &cfg);

@@ -6,14 +6,12 @@
 //! point is averaged over several `(s1, s2)` splits and several independent
 //! seeds; accuracy is the symmetric ratio error with its sanity bound.
 
-use skimmed_sketch::{
-    estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch,
-};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch};
 use stream_model::gen::{CensusGenerator, ZipfGenerator};
 use stream_model::metrics::{ratio_error, Summary};
 use stream_model::{Domain, FrequencyVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use stream_sketches::{AgmsSchema, AgmsSketch};
 
 /// A fully materialized two-stream join workload with exact ground truth.
@@ -201,14 +199,7 @@ mod tests {
     #[test]
     fn comparison_produces_sane_errors_and_skim_wins_on_skew() {
         let w = JoinWorkload::zipf(Domain::with_log2(12), 1.5, 30, 60_000, 4);
-        let cmp = compare_at_space(
-            &w,
-            2048,
-            &[11, 35],
-            2,
-            7,
-            &EstimatorConfig::default(),
-        );
+        let cmp = compare_at_space(&w, 2048, &[11, 35], 2, 7, &EstimatorConfig::default());
         assert_eq!(cmp.space, 2048);
         assert!(cmp.basic.n == 4 && cmp.skimmed.n == 4);
         // The paper's headline: on high skew the skimmed estimator is far
@@ -225,14 +216,7 @@ mod tests {
     #[test]
     fn sweep_covers_all_points() {
         let w = JoinWorkload::zipf(Domain::with_log2(10), 1.0, 20, 10_000, 5);
-        let rows = sweep_spaces(
-            &w,
-            &[256, 512],
-            &[11],
-            1,
-            9,
-            &EstimatorConfig::default(),
-        );
+        let rows = sweep_spaces(&w, &[256, 512], &[11], 1, 9, &EstimatorConfig::default());
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].space, 256);
         assert_eq!(rows[1].space, 512);

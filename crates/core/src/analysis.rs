@@ -21,7 +21,10 @@ pub fn agms_additive_error(sj_f: f64, sj_g: f64, s2: usize) -> f64 {
 /// Space (in words) basic AGMS needs per row for additive error `ε·J`:
 /// `s2 = 2·SJ(F)·SJ(G)/(ε·J)²`.
 pub fn agms_words_for_error(sj_f: f64, sj_g: f64, join: f64, eps: f64) -> f64 {
-    assert!(eps > 0.0 && join > 0.0, "need positive target error and join");
+    assert!(
+        eps > 0.0 && join > 0.0,
+        "need positive target error and join"
+    );
     2.0 * sj_f * sj_g / (eps * join).powi(2)
 }
 

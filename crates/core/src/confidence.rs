@@ -66,9 +66,7 @@ pub fn estimate_join_with_confidence(
         .map(|i| {
             let ds = est_subjoin_in_table(&dense_f, gb, i);
             let sd = est_subjoin_in_table(&dense_g, fb, i);
-            let ss: i64 = (0..buckets)
-                .map(|q| fb.table(i)[q] * gb.table(i)[q])
-                .sum();
+            let ss: i64 = (0..buckets).map(|q| fb.table(i)[q] * gb.table(i)[q]).sum();
             dd + ds + sd + ss as f64
         })
         .collect();
@@ -111,9 +109,7 @@ mod tests {
     use stream_model::gen::ZipfGenerator;
     use stream_model::{Domain, FrequencyVector};
 
-    fn workload(
-        seed: u64,
-    ) -> (SkimmedSketch, SkimmedSketch, f64) {
+    fn workload(seed: u64) -> (SkimmedSketch, SkimmedSketch, f64) {
         let d = Domain::with_log2(12);
         let schema = SkimmedSchema::scanning(d, 9, 256, seed);
         let mut sf = SkimmedSketch::new(schema.clone());
@@ -139,8 +135,7 @@ mod tests {
         let mut covered = 0;
         for seed in 0..5 {
             let (sf, sg, actual) = workload(seed);
-            let ce =
-                estimate_join_with_confidence(&sf, &sg, &EstimatorConfig::default(), 0);
+            let ce = estimate_join_with_confidence(&sf, &sg, &EstimatorConfig::default(), 0);
             assert!(ce.lower <= ce.estimate && ce.estimate <= ce.upper);
             if ce.contains(actual) {
                 covered += 1;

@@ -181,6 +181,20 @@ impl SkimmedSketch {
         }
     }
 
+    /// Applies a batch of updates through the inner sketch's batch kernel,
+    /// accumulating the tracked L1 mass exactly as the per-update path does.
+    pub fn add_batch(&mut self, batch: &[Update]) {
+        for u in batch {
+            debug_assert!(self.schema.domain.contains(u.value));
+            self.l1_mass = self.l1_mass.saturating_add(u.weight.unsigned_abs());
+        }
+        match (&mut self.scan, &mut self.dyadic) {
+            (Some(s), _) => s.add_batch(batch),
+            (None, Some(d)) => d.add_batch(batch),
+            _ => unreachable!(),
+        }
+    }
+
     /// Bulk construction from a frequency vector (identical to replay).
     pub fn from_frequencies<I>(schema: Arc<SkimmedSchema>, frequencies: I) -> Self
     where
@@ -253,6 +267,10 @@ impl StreamSink for SkimmedSketch {
     #[inline]
     fn update(&mut self, u: Update) {
         self.add_weighted(u.value, u.weight);
+    }
+
+    fn update_batch(&mut self, batch: &[Update]) {
+        self.add_batch(batch);
     }
 }
 
@@ -542,11 +560,7 @@ mod tests {
         }
         let est = estimate_join(&sf, &sg, &EstimatorConfig::default());
         // Additive error scale: n²/(b·…) ≈ comfortably below n.
-        assert!(
-            est.estimate.abs() < 100_000.0,
-            "est={}",
-            est.estimate
-        );
+        assert!(est.estimate.abs() < 100_000.0, "est={}", est.estimate);
     }
 
     #[test]

@@ -48,14 +48,14 @@ pub mod skim;
 pub mod threshold;
 pub mod windowed;
 
-pub use dyadic::{DyadicHashSketch, DyadicSchema};
 pub use codec::{decode_skimmed, encode_skimmed, SkimCodecError};
 pub use confidence::{estimate_join_with_confidence, ConfidenceEstimate};
+pub use dyadic::{DyadicHashSketch, DyadicSchema};
 pub use estimator::{
     est_subjoin, est_subjoin_in_table, estimate_join, estimate_self_join, EstimatorConfig,
     ExtractionStrategy, JoinEstimate, SkimmedSchema, SkimmedSketch,
 };
-pub use windowed::{estimate_windowed_join, WindowedSkimmedSketch};
 pub use extracted::ExtractedDense;
 pub use planner::{plan, Plan, PlannerInput};
 pub use threshold::ThresholdPolicy;
+pub use windowed::{estimate_windowed_join, WindowedSkimmedSketch};

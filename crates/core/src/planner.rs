@@ -93,7 +93,10 @@ pub fn tables_for_confidence(failure_probability: f64) -> usize {
 /// ```
 pub fn plan(input: &PlannerInput) -> Plan {
     assert!(input.target_error > 0.0, "target error must be positive");
-    assert!(input.min_join_size > 0.0, "join lower bound must be positive");
+    assert!(
+        input.min_join_size > 0.0,
+        "join lower bound must be positive"
+    );
     let n = input.stream_len as f64;
     // Invert worst_case_additive_error(n, b) ≤ ε·J.
     let buckets = (3.0 * n * n / (input.target_error * input.min_join_size))
@@ -117,7 +120,12 @@ pub fn predict(stream_len: u64, min_join: f64, buckets: usize) -> f64 {
 }
 
 /// Materializes a plan as a ready-to-use schema.
-pub fn schema_for_plan(plan: &Plan, domain: Domain, seed: u64, strategy: ExtractionStrategy) -> Arc<SkimmedSchema> {
+pub fn schema_for_plan(
+    plan: &Plan,
+    domain: Domain,
+    seed: u64,
+    strategy: ExtractionStrategy,
+) -> Arc<SkimmedSchema> {
     match strategy {
         ExtractionStrategy::NaiveScan => {
             SkimmedSchema::scanning(domain, plan.tables, plan.buckets, seed)

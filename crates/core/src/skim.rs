@@ -19,11 +19,7 @@ use stream_sketches::HashSketch;
 /// Runs naive SKIMDENSE over `sketch`: scans every value of `domain`,
 /// extracts those with `|estimate| ≥ threshold`, subtracts them from the
 /// sketch in place, and returns the extracted dense vector.
-pub fn skim_dense_scan(
-    sketch: &mut HashSketch,
-    domain: Domain,
-    threshold: i64,
-) -> ExtractedDense {
+pub fn skim_dense_scan(sketch: &mut HashSketch, domain: Domain, threshold: i64) -> ExtractedDense {
     assert!(threshold >= 1, "threshold must be at least 1");
     // Phase 1 (paper steps 3–7): estimate every value from the *unskimmed*
     // sketch. Estimating before any subtraction matters: subtracting while
@@ -74,8 +70,13 @@ mod tests {
     use stream_model::{FrequencyVector, Update};
     use stream_sketches::{HashSketch, HashSketchSchema};
 
-    fn build(domain_log2: u32, updates: &[Update], tables: usize, buckets: usize, seed: u64)
-        -> (FrequencyVector, HashSketch) {
+    fn build(
+        domain_log2: u32,
+        updates: &[Update],
+        tables: usize,
+        buckets: usize,
+        seed: u64,
+    ) -> (FrequencyVector, HashSketch) {
         let d = Domain::with_log2(domain_log2);
         let fv = FrequencyVector::from_updates(d, updates.iter().copied());
         let schema = HashSketchSchema::new(tables, buckets, seed);
@@ -100,7 +101,10 @@ mod tests {
         let (fv, mut sk) = build(10, &updates, 7, 256, 5);
         let dense = skim_dense_scan(&mut sk, d, 150);
         let got: Vec<u64> = dense.iter().map(|(v, _)| v).collect();
-        assert!(got.contains(&3) && got.contains(&700) && got.contains(&512), "got={got:?}");
+        assert!(
+            got.contains(&3) && got.contains(&700) && got.contains(&512),
+            "got={got:?}"
+        );
         // Estimates within the CountSketch error of the truth.
         for (v, est) in dense.iter() {
             let actual = fv.get(v);
@@ -167,7 +171,10 @@ mod tests {
     #[test]
     fn candidates_variant_respects_candidate_list() {
         let d = Domain::with_log2(8);
-        let mut updates = vec![Update::with_measure(10, 1000), Update::with_measure(20, 1000)];
+        let mut updates = vec![
+            Update::with_measure(10, 1000),
+            Update::with_measure(20, 1000),
+        ];
         updates.push(Update::insert(30));
         let (_, mut sk) = build(8, &updates, 5, 64, 13);
         // Only value 10 offered as a candidate.

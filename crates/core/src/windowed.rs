@@ -12,7 +12,9 @@
 //! `(window + 1) × synopsis`; the estimate at any time covers exactly the
 //! live epochs.
 
-use crate::estimator::{estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch};
+use crate::estimator::{
+    estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use stream_model::update::{StreamSink, Update};
@@ -92,7 +94,8 @@ impl WindowedSkimmedSketch {
     /// epoch if the window is full. Returns the number of epochs expired
     /// (0 or 1).
     pub fn advance_epoch(&mut self) -> usize {
-        let finished = std::mem::replace(&mut self.current, SkimmedSketch::new(self.schema.clone()));
+        let finished =
+            std::mem::replace(&mut self.current, SkimmedSketch::new(self.schema.clone()));
         self.epochs.push_back(finished);
         self.epochs_closed += 1;
         // `epochs` plus the (new, empty) current epoch must cover at most
@@ -164,7 +167,10 @@ mod tests {
                 expect.update(u);
             }
         }
-        assert_eq!(w.window_sketch().base().counters(), expect.base().counters());
+        assert_eq!(
+            w.window_sketch().base().counters(),
+            expect.base().counters()
+        );
         assert_eq!(w.window_sketch().l1_mass(), expect.l1_mass());
     }
 

@@ -59,10 +59,8 @@ impl BchSignFamily {
     /// Sign of a precomputed key: two ANDs, two popcounts, a parity.
     #[inline]
     pub fn sign_key(&self, key: BchKey) -> i64 {
-        let parity = ((self.s1 & key.x).count_ones()
-            + (self.s3 & key.x3).count_ones()
-            + self.s0 as u32)
-            & 1;
+        let parity =
+            ((self.s1 & key.x).count_ones() + (self.s3 & key.x3).count_ones() + self.s0 as u32) & 1;
         1 - 2 * (parity as i64)
     }
 

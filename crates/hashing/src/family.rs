@@ -9,7 +9,7 @@
 //!   is what the AMS second-moment analysis requires (four-wise independence
 //!   makes `E[ξ_u ξ_v ξ_w ξ_x]` factor for any four distinct values).
 
-use crate::prime::{add_mod, mul_mod, poly_eval, reduce};
+use crate::prime::{add_mod, mul_mod, poly_eval, reduce, reduce128};
 use crate::seed::SeedSequence;
 
 /// Degree of independence offered by a family (for documentation and
@@ -63,6 +63,31 @@ impl PairwiseHash {
     #[inline]
     pub fn raw(&self, x: u64) -> u64 {
         add_mod(mul_mod(self.a, reduce(x)), self.b)
+    }
+
+    /// Evaluates the hash on a batch of pre-reduced keys, writing one
+    /// bucket per key into `out`.
+    ///
+    /// Callers reduce each key into the field once (`reduce(x)`) and share
+    /// that across every family in a sketch, so the per-table work is just
+    /// the linear map. `a`, `b`, and `range` are read into locals once,
+    /// `a·x + b` is accumulated lazily in 128 bits with a single final
+    /// reduction (the canonical residue is the same, so buckets stay
+    /// bit-identical to [`PairwiseHash::bucket`]), and power-of-two ranges
+    /// use a mask instead of the `%`.
+    pub fn bucket_batch(&self, reduced: &[u64], out: &mut [usize]) {
+        assert_eq!(reduced.len(), out.len(), "batch length mismatch");
+        let (a, b, range) = (self.a as u128, self.b as u128, self.range);
+        if range.is_power_of_two() {
+            let mask = range - 1;
+            for (o, &x) in out.iter_mut().zip(reduced) {
+                *o = (reduce128(a * x as u128 + b) & mask) as usize;
+            }
+        } else {
+            for (o, &x) in out.iter_mut().zip(reduced) {
+                *o = (reduce128(a * x as u128 + b) % range) as usize;
+            }
+        }
     }
 }
 
@@ -123,6 +148,52 @@ impl SignFamily {
     #[inline]
     pub fn sign_f64(&self, x: u64) -> f64 {
         self.sign(x) as f64
+    }
+
+    /// Evaluates signs for a batch of pre-reduced keys, writing `±1` per
+    /// key into `out`.
+    ///
+    /// Computes each key's square and cube, then defers to
+    /// [`SignFamily::sign_batch_with_powers`]. When several sign families
+    /// evaluate the same keys (one per hash table in a sketch), compute the
+    /// powers once and call the `_with_powers` form directly — the powers
+    /// are the only per-key work this wrapper adds. Bit-identical to
+    /// [`SignFamily::sign`].
+    pub fn sign_batch(&self, reduced: &[u64], out: &mut [i64]) {
+        assert_eq!(reduced.len(), out.len(), "batch length mismatch");
+        const CHUNK: usize = 256;
+        let mut x2 = [0u64; CHUNK];
+        let mut x3 = [0u64; CHUNK];
+        for (xs, os) in reduced.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let n = xs.len();
+            for (j, &x) in xs.iter().enumerate() {
+                x2[j] = mul_mod(x, x);
+                x3[j] = mul_mod(x2[j], x);
+            }
+            self.sign_batch_with_powers(xs, &x2[..n], &x3[..n], os);
+        }
+    }
+
+    /// Evaluates signs for a batch of keys whose squares and cubes are
+    /// already available (`x2[i] = x[i]² mod p`, `x3[i] = x[i]³ mod p`).
+    ///
+    /// The degree-3 polynomial is evaluated as `c0 + c1·x + c2·x² + c3·x³`
+    /// with the three products accumulated lazily in 128 bits — they are
+    /// independent multiplies (unlike the serial Horner recurrence), so the
+    /// CPU pipelines them — and a single reduction at the end. Every term
+    /// is below `2^122`, so the 128-bit sum is exact and the canonical
+    /// residue (hence the sign) is bit-identical to [`SignFamily::sign`].
+    pub fn sign_batch_with_powers(&self, x: &[u64], x2: &[u64], x3: &[u64], out: &mut [i64]) {
+        assert!(
+            x.len() == x2.len() && x.len() == x3.len() && x.len() == out.len(),
+            "batch length mismatch"
+        );
+        let [c0, c1, c2, c3] = self.inner.coeffs;
+        let (c0, c1, c2, c3) = (c0 as u128, c1 as u128, c2 as u128, c3 as u128);
+        for j in 0..x.len() {
+            let t = c0 + c1 * x[j] as u128 + c2 * x2[j] as u128 + c3 * x3[j] as u128;
+            out[j] = 1 - 2 * ((reduce128(t) & 1) as i64);
+        }
     }
 }
 
@@ -224,9 +295,52 @@ mod tests {
     fn different_seeds_give_different_functions() {
         let h1 = PairwiseHash::from_seed(SeedSequence::new(1), 1024);
         let h2 = PairwiseHash::from_seed(SeedSequence::new(2), 1024);
-        let agree = (0..1024u64).filter(|&x| h1.bucket(x) == h2.bucket(x)).count();
+        let agree = (0..1024u64)
+            .filter(|&x| h1.bucket(x) == h2.bucket(x))
+            .count();
         // Two random functions agree on ~1/1024 of keys.
         assert!(agree < 32, "agree={agree}");
+    }
+
+    #[test]
+    fn bucket_batch_matches_scalar_bucket() {
+        // Cover both the power-of-two mask path and the generic `%` path.
+        for range in [64usize, 100, 1, 1024, 257] {
+            let h = PairwiseHash::from_seed(SeedSequence::new(41), range);
+            let keys: Vec<u64> = (0..500u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .chain([u64::MAX, MERSENNE_P, MERSENNE_P + 1])
+                .collect();
+            let reduced: Vec<u64> = keys.iter().map(|&k| reduce(k)).collect();
+            let mut out = vec![0usize; keys.len()];
+            h.bucket_batch(&reduced, &mut out);
+            for (&k, &b) in keys.iter().zip(&out) {
+                assert_eq!(b, h.bucket(k), "range={range} key={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_batch_matches_scalar_sign() {
+        let f = SignFamily::from_seed(SeedSequence::new(43));
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95))
+            .chain([u64::MAX, MERSENNE_P, MERSENNE_P + 1])
+            .collect();
+        let reduced: Vec<u64> = keys.iter().map(|&k| reduce(k)).collect();
+        let mut out = vec![0i64; keys.len()];
+        f.sign_batch(&reduced, &mut out);
+        for (&k, &s) in keys.iter().zip(&out) {
+            assert_eq!(s, f.sign(k), "key={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bucket_batch_rejects_mismatched_lengths() {
+        let h = PairwiseHash::from_seed(SeedSequence::new(5), 16);
+        let mut out = vec![0usize; 3];
+        h.bucket_batch(&[1, 2], &mut out);
     }
 
     #[test]

@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn buckets_cover_range() {
         let h = KWiseHash::from_seed(SeedSequence::new(4), 3);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for x in 0..2000u64 {
             seen[h.bucket(x, 16)] = true;
         }

@@ -29,14 +29,14 @@ pub fn reduce(x: u64) -> u64 {
 
 /// Reduces a 128-bit value into `[0, p)`.
 #[inline]
-pub fn reduce128(mut x: u128) -> u64 {
-    // Fold 61 bits at a time until the value fits in 64 bits (at most two
-    // folds for any u128 input), then finish with the 64-bit reduction.
+pub fn reduce128(x: u128) -> u64 {
+    // `2^61 ≡ 1 (mod p)`, so the three 61-bit limbs of `x` fold straight
+    // into one branchless sum: `x = lo + mid·2^61 + hi·2^122 ≡ lo + mid +
+    // hi`, with `lo, mid < 2^61` and `hi < 2^6` — the sum stays well below
+    // `2^63`, and the 64-bit reduction canonicalizes it.
     const LOW: u128 = (1u128 << 61) - 1;
-    while x >> 64 != 0 {
-        x = (x & LOW) + (x >> 61);
-    }
-    reduce(x as u64)
+    let folded = (x & LOW) as u64 + ((x >> 61) as u64 & MERSENNE_P) + (x >> 122) as u64;
+    reduce(folded)
 }
 
 /// Modular addition in `Z_p`.

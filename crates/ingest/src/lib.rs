@@ -1,0 +1,336 @@
+//! # stream-ingest
+//!
+//! Multi-core sketch ingestion built on the linear-synopsis algebra.
+//!
+//! Every synopsis in this workspace is a linear projection of the stream's
+//! frequency vector, so sketching commutes with partitioning: shard the
+//! update stream across `N` worker threads, let each feed its own sketch
+//! under the shared schema, and merge the per-worker sketches by addition.
+//! Because integer counter addition is associative and commutative, the
+//! merged sketch is **bit-identical** to sequentially ingesting the whole
+//! stream into one sketch — no approximation is introduced by parallelism,
+//! regardless of how updates interleave across workers.
+//!
+//! [`IngestPool`] is the sharded pool: callers hand it owned
+//! `Vec<Update>` chunks (so batches move across threads without copying),
+//! workers drain them through [`StreamSink::update_batch`] — the
+//! loop-interchanged batch kernels — and [`IngestPool::finish`] (or
+//! [`IngestPool::snapshot`]) merges the workers' sketches.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use crossbeam::channel::{bounded, Sender};
+use crossbeam::thread as cb_thread;
+use std::thread::JoinHandle;
+use stream_model::update::Update;
+use stream_sketches::LinearSynopsis;
+
+/// Chunks queued per worker before [`IngestPool::dispatch`] applies
+/// backpressure by blocking the producer.
+const CHANNEL_DEPTH: usize = 8;
+
+enum Msg<S> {
+    /// A chunk of updates to absorb.
+    Batch(Vec<Update>),
+    /// Request a copy of the worker's current sketch.
+    Snapshot(Sender<S>),
+}
+
+/// A pool of worker threads, each owning a private sketch under a shared
+/// schema, absorbing chunks of updates in parallel.
+///
+/// Chunks are dispatched round-robin, so the pool is deterministic for a
+/// fixed chunk sequence — and by linearity the final merged sketch does not
+/// depend on the sharding at all.
+///
+/// # Examples
+///
+/// ```
+/// use stream_ingest::IngestPool;
+/// use stream_model::{StreamSink, Update};
+/// use stream_sketches::{HashSketch, HashSketchSchema, LinearSynopsis};
+///
+/// let schema = HashSketchSchema::new(5, 64, 42);
+/// let pool = IngestPool::new(4, || HashSketch::new(schema.clone()));
+/// for chunk in (0..100_000u64).map(Update::insert).collect::<Vec<_>>().chunks(4096) {
+///     pool.dispatch(chunk.to_vec());
+/// }
+/// let parallel = pool.finish();
+///
+/// let mut sequential = HashSketch::new(schema);
+/// for v in 0..100_000u64 {
+///     sequential.update(Update::insert(v));
+/// }
+/// assert_eq!(parallel.counters(), sequential.counters());
+/// ```
+pub struct IngestPool<S> {
+    senders: Vec<Sender<Msg<S>>>,
+    workers: Vec<JoinHandle<S>>,
+    next: std::cell::Cell<usize>,
+}
+
+impl<S> IngestPool<S>
+where
+    S: LinearSynopsis + Clone + Send + 'static,
+{
+    /// Spawns `threads` workers, each with a fresh sketch from `make`.
+    ///
+    /// `make` is called once per worker on the calling thread; build the
+    /// sketches from one shared `Arc` schema so they are compatible (the
+    /// final merge asserts it).
+    ///
+    /// # Panics
+    /// If `threads` is zero.
+    pub fn new(threads: usize, mut make: impl FnMut() -> S) -> Self {
+        assert!(threads > 0, "ingest pool needs at least one worker");
+        let mut senders = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = bounded::<Msg<S>>(CHANNEL_DEPTH);
+            let mut sketch = make();
+            workers.push(std::thread::spawn(move || {
+                for msg in rx {
+                    match msg {
+                        Msg::Batch(chunk) => sketch.update_batch(&chunk),
+                        Msg::Snapshot(reply) => {
+                            // The requester may give up (drop the receiver)
+                            // before we reply; that's not a worker error.
+                            let _ = reply.send(sketch.clone());
+                        }
+                    }
+                }
+                sketch
+            }));
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            workers,
+            next: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queues a chunk of updates on the next worker (round-robin). Blocks
+    /// when that worker's queue is full — natural backpressure for
+    /// producers that outrun the sketchers.
+    pub fn dispatch(&self, chunk: Vec<Update>) {
+        if chunk.is_empty() {
+            return;
+        }
+        let i = self.next.get();
+        self.next.set((i + 1) % self.senders.len());
+        self.senders[i]
+            .send(Msg::Batch(chunk))
+            .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
+    }
+
+    /// Merges a consistent copy of the pool's sketch without stopping it.
+    ///
+    /// Each worker finishes the chunks queued before this call, then sends
+    /// back a clone of its sketch; the clones are merged. The snapshot
+    /// therefore reflects every chunk dispatched before `snapshot` and none
+    /// dispatched after it returns.
+    pub fn snapshot(&self) -> S {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = bounded(1);
+            tx.send(Msg::Snapshot(reply_tx))
+                .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
+            replies.push(reply_rx);
+        }
+        let mut merged: Option<S> = None;
+        for rx in replies {
+            let part = rx.recv().expect("worker replies before exiting");
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => m.merge_from(&part),
+            }
+        }
+        merged.expect("pool has at least one worker")
+    }
+
+    /// Stops the workers and returns the merged sketch of everything
+    /// dispatched.
+    ///
+    /// # Panics
+    /// If a worker thread panicked.
+    pub fn finish(self) -> S {
+        drop(self.senders); // workers drain their queues and return
+        let mut merged: Option<S> = None;
+        for handle in self.workers {
+            let part = handle.join().expect("ingest worker panicked");
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => m.merge_from(&part),
+            }
+        }
+        merged.expect("pool has at least one worker")
+    }
+}
+
+/// One-shot parallel ingest: shards `updates` into `chunk_size` batches
+/// across `threads` workers and returns the merged sketch. Scoped threads,
+/// so the updates are borrowed, not copied.
+///
+/// Bit-identical to sequential ingest of `updates` into `make()`.
+pub fn ingest_parallel<S>(
+    updates: &[Update],
+    threads: usize,
+    chunk_size: usize,
+    mut make: impl FnMut() -> S,
+) -> S
+where
+    S: LinearSynopsis + Clone + Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    assert!(chunk_size > 0, "chunk size must be nonzero");
+    let sketches: Vec<S> = (0..threads).map(|_| make()).collect();
+    let parts = cb_thread::scope(|scope| {
+        let handles: Vec<_> = sketches
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut sketch)| {
+                scope.spawn(move |_| {
+                    // Worker w takes chunks w, w+threads, w+2·threads, …
+                    for chunk in updates.chunks(chunk_size).skip(w).step_by(threads) {
+                        sketch.update_batch(chunk);
+                    }
+                    sketch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest worker panicked"))
+            .collect::<Vec<S>>()
+    })
+    .expect("ingest scope");
+    let mut parts = parts.into_iter();
+    let mut merged = parts.next().expect("at least one worker");
+    for part in parts {
+        merged.merge_from(&part);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_model::update::StreamSink;
+    use stream_sketches::{
+        AgmsSchema, AgmsSketch, CountMinSchema, CountMinSketch, HashSketch, HashSketchSchema,
+    };
+
+    fn mixed_updates(n: usize) -> Vec<Update> {
+        // Deterministic mixed inserts/deletes with varied weights.
+        (0..n as u64)
+            .map(|i| {
+                let v = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 44;
+                let w = match i % 5 {
+                    0 => -2,
+                    1 => 3,
+                    2 => -1,
+                    3 => 7,
+                    _ => 1,
+                };
+                Update {
+                    value: v,
+                    weight: w,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_matches_sequential_hash_sketch() {
+        let schema = HashSketchSchema::new(7, 128, 3);
+        let updates = mixed_updates(50_000);
+        let pool = IngestPool::new(4, || HashSketch::new(schema.clone()));
+        for chunk in updates.chunks(1000) {
+            pool.dispatch(chunk.to_vec());
+        }
+        let parallel = pool.finish();
+        let mut seq = HashSketch::new(schema);
+        for &u in &updates {
+            seq.update(u);
+        }
+        assert_eq!(parallel.counters(), seq.counters());
+    }
+
+    #[test]
+    fn snapshot_is_linearizable_with_dispatch() {
+        let schema = HashSketchSchema::new(5, 64, 5);
+        let updates = mixed_updates(10_000);
+        let pool = IngestPool::new(3, || HashSketch::new(schema.clone()));
+        for chunk in updates[..5_000].chunks(500) {
+            pool.dispatch(chunk.to_vec());
+        }
+        let snap = pool.snapshot();
+        let mut seq_half = HashSketch::new(schema.clone());
+        seq_half.update_batch(&updates[..5_000]);
+        assert_eq!(snap.counters(), seq_half.counters());
+        // The pool keeps going after a snapshot.
+        for chunk in updates[5_000..].chunks(500) {
+            pool.dispatch(chunk.to_vec());
+        }
+        let full = pool.finish();
+        let mut seq_full = HashSketch::new(schema);
+        seq_full.update_batch(&updates);
+        assert_eq!(full.counters(), seq_full.counters());
+    }
+
+    #[test]
+    fn one_shot_matches_sequential_for_agms_and_countmin() {
+        let updates = mixed_updates(20_000);
+
+        let agms_schema = AgmsSchema::new(4, 16, 7);
+        let par = ingest_parallel(&updates, 4, 512, || AgmsSketch::new(agms_schema.clone()));
+        let mut seq = AgmsSketch::new(agms_schema);
+        for &u in &updates {
+            seq.update(u);
+        }
+        assert_eq!(par.counters(), seq.counters());
+
+        let cm_schema = CountMinSchema::new(4, 128, 9);
+        let par = ingest_parallel(&updates, 3, 777, || CountMinSketch::new(cm_schema.clone()));
+        let mut seq = CountMinSketch::new(cm_schema);
+        for &u in &updates {
+            seq.update(u);
+        }
+        assert_eq!(par.counters(), seq.counters());
+    }
+
+    #[test]
+    fn single_thread_pool_degenerates_to_sequential() {
+        let schema = HashSketchSchema::new(3, 32, 11);
+        let updates = mixed_updates(5_000);
+        let pool = IngestPool::new(1, || HashSketch::new(schema.clone()));
+        pool.dispatch(updates.clone());
+        let got = pool.finish();
+        let mut seq = HashSketch::new(schema);
+        seq.update_batch(&updates);
+        assert_eq!(got.counters(), seq.counters());
+    }
+
+    #[test]
+    fn empty_dispatches_are_ignored() {
+        let schema = HashSketchSchema::new(3, 32, 13);
+        let pool = IngestPool::new(2, || HashSketch::new(schema.clone()));
+        pool.dispatch(Vec::new());
+        let got = pool.finish();
+        assert!(got.counters().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let schema = HashSketchSchema::new(2, 8, 1);
+        let _ = IngestPool::new(0, || HashSketch::new(schema.clone()));
+    }
+}

@@ -170,13 +170,9 @@ mod tests {
     #[test]
     fn alarm_fires_on_regime_change() {
         let schema = SkimmedSchema::scanning(Domain::with_log2(10), 5, 128, 4);
-        let mut q = ContinuousQuery::new(
-            schema,
-            EstimatorConfig::default(),
-            Aggregate::Count,
-            1000,
-        )
-        .with_alarm(1.0);
+        let mut q =
+            ContinuousQuery::new(schema, EstimatorConfig::default(), Aggregate::Count, 1000)
+                .with_alarm(1.0);
         // Phase 1: disjoint streams (join ≈ 0 — two quiet periods).
         for i in 0..2000u64 {
             let side = if i % 2 == 0 { Side::Left } else { Side::Right };

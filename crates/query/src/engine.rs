@@ -11,10 +11,9 @@
 
 use crate::predicate::Predicate;
 use crate::record::{Op, Record};
-use skimmed_sketch::{
-    estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch,
-};
+use skimmed_sketch::{estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch};
 use std::sync::Arc;
+use stream_model::update::Update;
 use stream_sketches::LinearSynopsis as _;
 
 /// Which side of the join a record belongs to.
@@ -131,11 +130,50 @@ impl JoinQueryEngine {
         true
     }
 
-    /// Convenience: process a batch of inserts.
-    pub fn insert_all<I: IntoIterator<Item = Record>>(&mut self, side: Side, records: I) {
+    /// Processes a batch of records sharing one operation: predicates are
+    /// applied record by record, the survivors are turned into update
+    /// batches, and the synopses absorb them through their batch kernels.
+    /// Synopsis counters and accept/filter statistics end up identical to
+    /// calling [`JoinQueryEngine::process`] per record. Returns the number
+    /// of records that passed the predicate.
+    pub fn process_batch(&mut self, side: Side, op: Op, records: &[Record]) -> usize {
+        let (pred, idx) = match side {
+            Side::Left => (&self.predicate_left, 0),
+            Side::Right => (&self.predicate_right, 1),
+        };
+        let w = op.sign();
+        let mut count_updates: Vec<Update> = Vec::with_capacity(records.len());
+        let mut sum_updates: Vec<Update> = match side {
+            Side::Left => Vec::new(),
+            Side::Right => Vec::with_capacity(records.len()),
+        };
         for r in records {
-            self.process(side, Op::Insert, r);
+            if !pred.eval(r) {
+                continue;
+            }
+            count_updates.push(Update::with_measure(r.value, w));
+            if side == Side::Right {
+                sum_updates.push(Update::with_measure(r.value, w * r.measure));
+            }
         }
+        let accepted = count_updates.len();
+        self.accepted[idx] += accepted as u64;
+        self.filtered[idx] += (records.len() - accepted) as u64;
+        match side {
+            Side::Left => self.count_left.add_batch(&count_updates),
+            Side::Right => {
+                self.count_right.add_batch(&count_updates);
+                self.sum_right.add_batch(&sum_updates);
+            }
+        }
+        accepted
+    }
+
+    /// Convenience: process a batch of inserts (routed through
+    /// [`JoinQueryEngine::process_batch`] and its batch kernels).
+    pub fn insert_all<I: IntoIterator<Item = Record>>(&mut self, side: Side, records: I) {
+        let records: Vec<Record> = records.into_iter().collect();
+        self.process_batch(side, Op::Insert, &records);
     }
 
     /// Answers the aggregate from the current synopses (non-destructive —
@@ -366,6 +404,39 @@ mod tests {
         assert!((hh[0].1 - 5000).abs() < 250, "est={}", hh[0].1);
         // The untouched right side has no heavy hitters.
         assert!(e.heavy_hitters(Side::Right).is_empty());
+    }
+
+    #[test]
+    fn process_batch_matches_per_record_processing() {
+        let (l, r) = workload(10_000, 5);
+        let mut per_record = engine(20);
+        let mut batched = engine(20);
+        per_record.set_predicate(Side::Left, Predicate::ValueRange { lo: 0, hi: 2000 });
+        batched.set_predicate(Side::Left, Predicate::ValueRange { lo: 0, hi: 2000 });
+        for &rec in &l {
+            per_record.process(Side::Left, Op::Insert, rec);
+        }
+        for &rec in &r {
+            per_record.process(Side::Right, Op::Insert, rec);
+        }
+        batched.process_batch(Side::Left, Op::Insert, &l);
+        batched.process_batch(Side::Right, Op::Insert, &r);
+        assert_eq!(batched.stats(Side::Left), per_record.stats(Side::Left));
+        assert_eq!(batched.stats(Side::Right), per_record.stats(Side::Right));
+        let a = batched.answer(Aggregate::SumRightMeasure);
+        let b = per_record.answer(Aggregate::SumRightMeasure);
+        assert_eq!(a, b, "batched engine must answer identically");
+    }
+
+    #[test]
+    fn process_batch_handles_deletes() {
+        let mut e = engine(21);
+        let recs: Vec<Record> = (0..500).map(|_| Record::with_measure(7, 3)).collect();
+        e.process_batch(Side::Left, Op::Insert, &recs);
+        e.process_batch(Side::Right, Op::Insert, &recs);
+        e.process_batch(Side::Right, Op::Delete, &recs);
+        let ans = e.answer(Aggregate::Count);
+        assert!(ans.value.abs() < 100.0, "value={}", ans.value);
     }
 
     #[test]

@@ -42,8 +42,14 @@ impl GroupedJoin {
             .map(|p| SkimmedSchema::scanning(domain, tables, buckets, seed ^ p as u64))
             .collect();
         Self {
-            left: schemas.iter().map(|s| SkimmedSketch::new(s.clone())).collect(),
-            right: schemas.iter().map(|s| SkimmedSketch::new(s.clone())).collect(),
+            left: schemas
+                .iter()
+                .map(|s| SkimmedSketch::new(s.clone()))
+                .collect(),
+            right: schemas
+                .iter()
+                .map(|s| SkimmedSketch::new(s.clone()))
+                .collect(),
             groups,
             config,
         }

@@ -22,9 +22,9 @@ pub mod star;
 
 pub use continuous::{ContinuousQuery, SeriesPoint};
 pub use engine::{Aggregate, JoinQueryEngine, QueryAnswer, Side};
-pub use partitioned::{DomainPartition, PartitionedAgmsSketch, PartitionedSchema};
 pub use groupby::GroupedJoin;
 pub use multijoin::{estimate_chain_join, ChainJoinSchema, ChainRelationSketch};
+pub use partitioned::{DomainPartition, PartitionedAgmsSketch, PartitionedSchema};
 pub use predicate::Predicate;
 pub use record::{Op, Record};
 pub use sharded::{ingest_sharded, SharedSketch};

@@ -127,7 +127,10 @@ impl ChainRelationSketch {
     /// # Panics
     /// If called on an interior relation.
     pub fn update_endpoint(&mut self, v: u64, w: i64) {
-        assert!(self.is_endpoint(), "interior relations carry two attributes");
+        assert!(
+            self.is_endpoint(),
+            "interior relations carry two attributes"
+        );
         let attr = if self.position == 0 {
             0
         } else {
@@ -145,7 +148,10 @@ impl ChainRelationSketch {
     /// # Panics
     /// If called on an endpoint relation.
     pub fn update_interior(&mut self, left_value: u64, right_value: u64, w: i64) {
-        assert!(!self.is_endpoint(), "endpoint relations carry one attribute");
+        assert!(
+            !self.is_endpoint(),
+            "endpoint relations carry one attribute"
+        );
         let left_attr = self.position - 1;
         let right_attr = self.position;
         for (cell, c) in self.counters.iter_mut().enumerate() {
@@ -228,7 +234,11 @@ mod tests {
         let f1: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
         let f3: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
         let f2: Vec<Vec<i64>> = (0..dom)
-            .map(|_| (0..dom).map(|_| i64::from(rng.gen_range(0u8..10) == 0)).collect())
+            .map(|_| {
+                (0..dom)
+                    .map(|_| i64::from(rng.gen_range(0u8..10) == 0))
+                    .collect()
+            })
             .collect();
         (f1, f2, f3)
     }
@@ -238,7 +248,11 @@ mod tests {
         f1: &[i64],
         f2: &[Vec<i64>],
         f3: &[i64],
-    ) -> (ChainRelationSketch, ChainRelationSketch, ChainRelationSketch) {
+    ) -> (
+        ChainRelationSketch,
+        ChainRelationSketch,
+        ChainRelationSketch,
+    ) {
         let mut s1 = ChainRelationSketch::new(schema.clone(), 0);
         let mut s2 = ChainRelationSketch::new(schema.clone(), 1);
         let mut s3 = ChainRelationSketch::new(schema.clone(), 2);

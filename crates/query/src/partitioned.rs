@@ -31,7 +31,11 @@ pub struct DomainPartition {
 impl DomainPartition {
     /// Builds from an explicit assignment vector.
     pub fn from_assignment(domain: Domain, part_of: Vec<u32>, parts: usize) -> Self {
-        assert_eq!(part_of.len() as u64, domain.size(), "assignment must cover the domain");
+        assert_eq!(
+            part_of.len() as u64,
+            domain.size(),
+            "assignment must cover the domain"
+        );
         assert!(parts > 0, "need at least one part");
         assert!(
             part_of.iter().all(|&p| (p as usize) < parts),
@@ -107,7 +111,12 @@ pub struct PartitionedSchema {
 impl PartitionedSchema {
     /// Splits a total budget of `rows × cols_total` counters evenly over
     /// the parts (at least 2 columns each).
-    pub fn new(partition: Arc<DomainPartition>, rows: usize, cols_total: usize, seed: u64) -> Arc<Self> {
+    pub fn new(
+        partition: Arc<DomainPartition>,
+        rows: usize,
+        cols_total: usize,
+        seed: u64,
+    ) -> Arc<Self> {
         let parts = partition.parts();
         let cols_each = (cols_total / parts).max(2);
         let schemas = (0..parts)
@@ -132,7 +141,11 @@ impl PartitionedAgmsSketch {
     pub fn new(schema: &Arc<PartitionedSchema>) -> Self {
         Self {
             partition: schema.partition.clone(),
-            per_part: schema.schemas.iter().map(|s| AgmsSketch::new(s.clone())).collect(),
+            per_part: schema
+                .schemas
+                .iter()
+                .map(|s| AgmsSketch::new(s.clone()))
+                .collect(),
         }
     }
 
@@ -313,7 +326,10 @@ mod tests {
             assert_eq!(x.counters(), y.counters());
         }
         merged.clear();
-        assert!(merged.per_part.iter().all(|s| s.counters().iter().all(|&c| c == 0)));
+        assert!(merged
+            .per_part
+            .iter()
+            .all(|s| s.counters().iter().all(|&c| c == 0)));
     }
 
     #[test]

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn modulo() {
-        let p = Predicate::ValueMod { modulus: 4, residue: 3 };
+        let p = Predicate::ValueMod {
+            modulus: 4,
+            residue: 3,
+        };
         assert!(p.eval(&rec(7, 0)));
         assert!(!p.eval(&rec(8, 0)));
     }
@@ -138,7 +141,10 @@ mod tests {
     #[test]
     fn combinators() {
         let p = Predicate::ValueRange { lo: 0, hi: 100 }
-            .and(Predicate::ValueMod { modulus: 2, residue: 0 })
+            .and(Predicate::ValueMod {
+                modulus: 2,
+                residue: 0,
+            })
             .or(Predicate::value_in([777]));
         assert!(p.eval(&rec(42, 0)));
         assert!(!p.eval(&rec(43, 0)));

@@ -34,9 +34,7 @@ pub fn ingest_sharded(
                 let schema = schema.clone();
                 scope.spawn(move |_| {
                     let mut sk = SkimmedSketch::new(schema);
-                    for &u in shard {
-                        sk.add_weighted(u.value, u.weight);
-                    }
+                    sk.add_batch(shard);
                     sk
                 })
             })
@@ -47,7 +45,9 @@ pub fn ingest_sharded(
             .collect()
     })
     .expect("ingest scope panicked");
-    let mut merged = partials.pop().unwrap_or_else(|| SkimmedSketch::new(schema.clone()));
+    let mut merged = partials
+        .pop()
+        .unwrap_or_else(|| SkimmedSketch::new(schema.clone()));
     for p in &partials {
         merged.merge_from(p);
     }
@@ -75,6 +75,15 @@ impl SharedSketch {
     /// Adds `w` copies of `v`.
     pub fn add_weighted(&self, v: u64, w: i64) {
         self.inner.lock().add_weighted(v, w);
+    }
+
+    /// Adds a whole batch under a single lock acquisition, amortising both
+    /// the lock and the hash-constant loads (batch kernels).
+    pub fn add_batch(&self, batch: &[Update]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.inner.lock().add_batch(batch);
     }
 
     /// Snapshots the current synopsis (cheap: counters only).
@@ -132,11 +141,16 @@ mod tests {
         let shared = SharedSketch::new(schema.clone());
         let us = updates(8_000, 5);
         crossbeam::thread::scope(|scope| {
-            for shard in us.chunks(2_000) {
+            for (i, shard) in us.chunks(2_000).enumerate() {
                 let shared = &shared;
                 scope.spawn(move |_| {
-                    for &u in shard {
-                        shared.add_weighted(u.value, u.weight);
+                    // Mix both write paths: they must be interchangeable.
+                    if i % 2 == 0 {
+                        shared.add_batch(shard);
+                    } else {
+                        for &u in shard {
+                            shared.add_weighted(u.value, u.weight);
+                        }
                     }
                 });
             }
@@ -146,6 +160,9 @@ mod tests {
         for &u in &us {
             serial.update(u);
         }
-        assert_eq!(shared.snapshot().base().counters(), serial.base().counters());
+        assert_eq!(
+            shared.snapshot().base().counters(),
+            serial.base().counters()
+        );
     }
 }

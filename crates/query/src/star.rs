@@ -143,7 +143,11 @@ impl StarEdgeSketch {
 /// If edges don't cover attributes `0..k` in order or schemas differ.
 pub fn estimate_star_join(center: &StarCenterSketch, edges: &[&StarEdgeSketch]) -> f64 {
     let schema = &center.schema;
-    assert_eq!(edges.len(), schema.attributes, "need one edge per attribute");
+    assert_eq!(
+        edges.len(),
+        schema.attributes,
+        "need one edge per attribute"
+    );
     for (i, e) in edges.iter().enumerate() {
         assert!(
             Arc::ptr_eq(&e.schema, schema) || e.schema.seed == schema.seed,
@@ -191,7 +195,11 @@ mod tests {
         let e1: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
         let e2: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
         let c: Vec<Vec<i64>> = (0..dom)
-            .map(|_| (0..dom).map(|_| i64::from(rng.gen_range(0u8..8) == 0)).collect())
+            .map(|_| {
+                (0..dom)
+                    .map(|_| i64::from(rng.gen_range(0u8..8) == 0))
+                    .collect()
+            })
             .collect();
         (e1, c, e2)
     }

@@ -12,6 +12,7 @@
 //! and matching a given additive-error target requires
 //! `s2 = O(SJ(F)·SJ(G)/ε²J²)` — the *square* of the space lower bound.
 
+use crate::hash_sketch::BATCH_CHUNK;
 use crate::linear::LinearSynopsis;
 use std::sync::Arc;
 use stream_hash::{BchKey, BchSignFamily, SeedSequence};
@@ -155,6 +156,30 @@ impl AgmsSketch {
         }
     }
 
+    /// Applies a batch of updates with the loops interchanged: outer loop
+    /// over the `s1·s2` cells, inner loop over a chunk of the batch.
+    ///
+    /// BCH keys (the field cubes) are computed once per element per chunk
+    /// and shared by every cell; each cell's contribution is summed in a
+    /// register and written back once, so the counter array is walked a
+    /// single time per chunk instead of once per update. Counters are
+    /// bit-identical to the per-update path.
+    pub fn add_batch(&mut self, batch: &[Update]) {
+        let mut keyed: Vec<(BchKey, i64)> = Vec::with_capacity(batch.len().min(BATCH_CHUNK));
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            keyed.clear();
+            keyed.extend(chunk.iter().map(|u| (BchKey::new(u.value), u.weight)));
+            for (idx, c) in self.counters.iter_mut().enumerate() {
+                let fam = &self.schema.signs[idx];
+                let mut acc = 0i64;
+                for &(key, w) in &keyed {
+                    acc += w * fam.sign_key(key);
+                }
+                *c += acc;
+            }
+        }
+    }
+
     /// ESTJOINSIZE (Fig. 2): estimate `f·g` from two sketches under the
     /// same schema.
     ///
@@ -199,6 +224,10 @@ impl StreamSink for AgmsSketch {
     #[inline]
     fn update(&mut self, u: Update) {
         self.add_weighted(u.value, u.weight);
+    }
+
+    fn update_batch(&mut self, batch: &[Update]) {
+        self.add_batch(batch);
     }
 }
 
@@ -360,5 +389,26 @@ mod tests {
     #[test]
     fn words_counts_all_counters() {
         assert_eq!(AgmsSketch::new(AgmsSchema::new(5, 11, 0)).words(), 55);
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_updates() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for &len in &[0usize, 1, 255, 256, 257, 700] {
+            let batch: Vec<Update> = (0..len)
+                .map(|_| Update {
+                    value: rng.gen_range(0..1u64 << 20),
+                    weight: rng.gen_range(-3i64..=3),
+                })
+                .collect();
+            let schema = AgmsSchema::new(4, 8, 35);
+            let mut batched = AgmsSketch::new(schema.clone());
+            let mut scalar = AgmsSketch::new(schema);
+            batched.update_batch(&batch);
+            for &u in &batch {
+                scalar.update(u);
+            }
+            assert_eq!(batched.counters(), scalar.counters(), "len={len}");
+        }
     }
 }

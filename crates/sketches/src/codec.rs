@@ -189,9 +189,25 @@ macro_rules! impl_codec {
     };
 }
 
-impl_codec!(encode_agms, decode_agms, AgmsSketch, Kind::Agms, rows, cols, AgmsSchema::new);
+impl_codec!(
+    encode_agms,
+    decode_agms,
+    AgmsSketch,
+    Kind::Agms,
+    rows,
+    cols,
+    AgmsSchema::new
+);
 
-impl_codec!(encode_hash, decode_hash, HashSketch, Kind::Hash, tables, buckets, HashSketchSchema::new);
+impl_codec!(
+    encode_hash,
+    decode_hash,
+    HashSketch,
+    Kind::Hash,
+    tables,
+    buckets,
+    HashSketchSchema::new
+);
 
 impl_codec!(
     encode_countmin,

@@ -7,8 +7,10 @@
 //! two-sided error scales with `√(F₂/b)` — is demonstrated empirically by
 //! the `ablation_threshold` harness, which needs this implementation.
 
+use crate::hash_sketch::BATCH_CHUNK;
 use crate::linear::LinearSynopsis;
 use std::sync::Arc;
+use stream_hash::prime::reduce;
 use stream_hash::{PairwiseHash, SeedSequence};
 use stream_model::update::{StreamSink, Update};
 
@@ -115,6 +117,31 @@ impl CountMinSketch {
             .expect("depth > 0") as f64
     }
 
+    /// Applies a batch of updates with the loops interchanged: outer loop
+    /// over rows, inner loop over a stack-resident chunk of the batch.
+    /// Values are reduced into the hash field once per chunk and shared by
+    /// every row. Counters are bit-identical to the per-update path.
+    pub fn add_batch(&mut self, batch: &[Update]) {
+        let w = self.schema.width;
+        let mut reduced = [0u64; BATCH_CHUNK];
+        let mut weights = [0i64; BATCH_CHUNK];
+        let mut buckets = [0usize; BATCH_CHUNK];
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let n = chunk.len();
+            for (j, u) in chunk.iter().enumerate() {
+                reduced[j] = reduce(u.value);
+                weights[j] = u.weight;
+            }
+            for r in 0..self.schema.depth {
+                self.schema.hashes[r].bucket_batch(&reduced[..n], &mut buckets[..n]);
+                let row = &mut self.counters[r * w..(r + 1) * w];
+                for j in 0..n {
+                    row[buckets[j]] += weights[j];
+                }
+            }
+        }
+    }
+
     /// Synopsis size in words.
     pub fn words(&self) -> usize {
         self.schema.words()
@@ -139,6 +166,10 @@ impl StreamSink for CountMinSketch {
         for r in 0..self.schema.depth {
             self.counters[r * w + self.schema.bucket(r, u.value)] += u.weight;
         }
+    }
+
+    fn update_batch(&mut self, batch: &[Update]) {
+        self.add_batch(batch);
     }
 }
 
@@ -230,6 +261,33 @@ mod tests {
         let actual: i64 = tf.iter().zip(&tg).map(|(&a, &b)| a * b).sum();
         let est = f.join_estimate(&g);
         assert!(est >= actual as f64 * 0.99, "est={est} actual={actual}");
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_updates() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for &width in &[64usize, 100] {
+            for &len in &[0usize, 1, 256, 257, 900] {
+                let batch: Vec<Update> = (0..len)
+                    .map(|_| Update {
+                        value: rng.gen_range(0..1u64 << 20),
+                        weight: rng.gen_range(-3i64..=3),
+                    })
+                    .collect();
+                let schema = CountMinSchema::new(4, width, 45);
+                let mut batched = CountMinSketch::new(schema.clone());
+                let mut scalar = CountMinSketch::new(schema);
+                batched.update_batch(&batch);
+                for &u in &batch {
+                    scalar.update(u);
+                }
+                assert_eq!(
+                    batched.counters(),
+                    scalar.counters(),
+                    "width={width} len={len}"
+                );
+            }
+        }
     }
 
     #[test]

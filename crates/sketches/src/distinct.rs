@@ -15,8 +15,8 @@
 //! *ever-seen* distinct values.
 
 use std::collections::BTreeSet;
-use stream_hash::TabulationHash;
 use stream_hash::SeedSequence;
+use stream_hash::TabulationHash;
 use stream_model::update::{StreamSink, Update};
 
 /// A KMV sketch estimating the number of distinct values ever inserted.

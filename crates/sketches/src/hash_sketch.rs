@@ -14,9 +14,19 @@
 
 use crate::linear::LinearSynopsis;
 use std::sync::Arc;
+use stream_hash::prime::{mul_mod, reduce};
 use stream_hash::{PairwiseHash, SeedSequence, SignFamily};
-use stream_model::metrics::median_i64;
+use stream_model::metrics::{median_i128, median_i64};
 use stream_model::update::{StreamSink, Update};
+
+/// Batch updates are processed in chunks of this many elements so the
+/// per-chunk scratch (reduced keys, weights, buckets, signs) lives on the
+/// stack and stays in L1 while the outer loop walks the tables.
+pub(crate) const BATCH_CHUNK: usize = 256;
+
+/// Tables at or below this count get a stack-allocated median scratch in
+/// [`HashSketch::point_estimate`] (any realistic `s1` is far below it).
+const MAX_STACK_TABLES: usize = 64;
 
 /// Per-table hash functions shared by all compatible hash sketches.
 ///
@@ -160,14 +170,71 @@ impl HashSketch {
         }
     }
 
+    /// Applies a batch of updates with the loops interchanged: outer loop
+    /// over tables, inner loop over a stack-resident chunk of the batch.
+    ///
+    /// Each value is reduced into the hash field once per chunk (shared by
+    /// every table's bucket and sign evaluation), hash constants stay in
+    /// registers across the inner loop, and counter writes of one chunk hit
+    /// a single table row at a time. The counters produced are bit-identical
+    /// to applying [`HashSketch::add_weighted`] update by update.
+    pub fn add_batch(&mut self, batch: &[Update]) {
+        let t = self.schema.tables;
+        let b = self.schema.buckets;
+        let mut reduced = [0u64; BATCH_CHUNK];
+        let mut squares = [0u64; BATCH_CHUNK];
+        let mut cubes = [0u64; BATCH_CHUNK];
+        let mut weights = [0i64; BATCH_CHUNK];
+        let mut buckets = [0usize; BATCH_CHUNK];
+        let mut signs = [0i64; BATCH_CHUNK];
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let n = chunk.len();
+            for (j, u) in chunk.iter().enumerate() {
+                // Reduce each key once and precompute its square and cube —
+                // every table's degree-3 sign polynomial reuses them.
+                let x = reduce(u.value);
+                reduced[j] = x;
+                squares[j] = mul_mod(x, x);
+                cubes[j] = mul_mod(squares[j], x);
+                weights[j] = u.weight;
+            }
+            for i in 0..t {
+                self.schema.bucket_hash[i].bucket_batch(&reduced[..n], &mut buckets[..n]);
+                self.schema.sign[i].sign_batch_with_powers(
+                    &reduced[..n],
+                    &squares[..n],
+                    &cubes[..n],
+                    &mut signs[..n],
+                );
+                let row = &mut self.counters[i * b..(i + 1) * b];
+                for j in 0..n {
+                    row[buckets[j]] += weights[j] * signs[j];
+                }
+            }
+        }
+    }
+
     /// CountSketch point estimate of `f(v)`: median over tables of
     /// `ξ_i(v)·C[i][h_i(v)]`.
+    ///
+    /// Allocation-free for schemas with at most 64 tables: SKIMDENSE calls
+    /// this once per candidate value, so the median scratch lives on the
+    /// stack rather than hitting the allocator on every probe.
     pub fn point_estimate(&self, v: u64) -> i64 {
+        let t = self.schema.tables;
         let b = self.schema.buckets;
-        let mut ests: Vec<i64> = (0..self.schema.tables)
-            .map(|i| self.schema.sign(i, v) * self.counters[i * b + self.schema.bucket(i, v)])
-            .collect();
-        median_i64(&mut ests)
+        let mut stack = [0i64; MAX_STACK_TABLES];
+        let mut heap: Vec<i64>;
+        let ests: &mut [i64] = if t <= MAX_STACK_TABLES {
+            &mut stack[..t]
+        } else {
+            heap = vec![0; t];
+            &mut heap
+        };
+        for (i, e) in ests.iter_mut().enumerate() {
+            *e = self.schema.sign(i, v) * self.counters[i * b + self.schema.bucket(i, v)];
+        }
+        median_i64(ests)
     }
 
     /// Per-table point estimate (used by the skimmed sub-join estimators,
@@ -180,17 +247,21 @@ impl HashSketch {
 
     /// Estimates the self-join size `F₂` as the median over tables of
     /// `Σ_q C[i][q]²` — each table is an (s2 = b)-bucketed AMS estimator.
+    ///
+    /// Accumulates in i128: a single counter near `i32::MAX` already puts
+    /// `c²` within a factor of four of `i64::MAX`, so summing squares over
+    /// a table overflows i64 long before the counters themselves do.
     pub fn self_join_estimate(&self) -> f64 {
         let b = self.schema.buckets;
-        let mut per_table: Vec<i64> = (0..self.schema.tables)
+        let mut per_table: Vec<i128> = (0..self.schema.tables)
             .map(|i| {
                 self.counters[i * b..(i + 1) * b]
                     .iter()
-                    .map(|&c| c * c)
+                    .map(|&c| c as i128 * c as i128)
                     .sum()
             })
             .collect();
-        median_i64(&mut per_table) as f64
+        median_i128(&mut per_table) as f64
     }
 
     /// Estimates the inner product `f·g` as the median over tables of the
@@ -203,15 +274,15 @@ impl HashSketch {
             "join estimation requires sketches under the same schema"
         );
         let b = self.schema.buckets;
-        let mut per_table: Vec<i64> = (0..self.schema.tables)
+        let mut per_table: Vec<i128> = (0..self.schema.tables)
             .map(|i| {
                 let base = i * b;
                 (0..b)
-                    .map(|q| self.counters[base + q] * other.counters[base + q])
+                    .map(|q| self.counters[base + q] as i128 * other.counters[base + q] as i128)
                     .sum()
             })
             .collect();
-        median_i64(&mut per_table) as f64
+        median_i128(&mut per_table) as f64
     }
 
     /// Synopsis size in words.
@@ -232,6 +303,10 @@ impl StreamSink for HashSketch {
     #[inline]
     fn update(&mut self, u: Update) {
         self.add_weighted(u.value, u.weight);
+    }
+
+    fn update_batch(&mut self, batch: &[Update]) {
+        self.add_batch(batch);
     }
 }
 
@@ -383,5 +458,90 @@ mod tests {
     #[test]
     fn schema_words() {
         assert_eq!(HashSketchSchema::new(11, 50, 0).words(), 550);
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_updates() {
+        // Batch sizes straddling the chunk boundary, pow2 and non-pow2
+        // bucket counts, mixed inserts and deletes.
+        let mut rng = StdRng::seed_from_u64(21);
+        for &buckets in &[16usize, 100] {
+            for &len in &[0usize, 1, 255, 256, 257, 1000] {
+                let batch: Vec<Update> = (0..len)
+                    .map(|_| Update {
+                        value: rng.gen_range(0..1u64 << 20),
+                        weight: rng.gen_range(-3i64..=3),
+                    })
+                    .collect();
+                let schema = HashSketchSchema::new(5, buckets, 23);
+                let mut batched = HashSketch::new(schema.clone());
+                let mut scalar = HashSketch::new(schema);
+                batched.update_batch(&batch);
+                for &u in &batch {
+                    scalar.update(u);
+                }
+                assert_eq!(
+                    batched.counters(),
+                    scalar.counters(),
+                    "buckets={buckets} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_estimate_survives_counters_near_i32_max() {
+        // A deterministic stream of huge weights: every counter lands near
+        // ±i32::MAX, so each per-table Σ c² is ≈ b·(2³¹)² ≈ 2⁶⁵ — past
+        // i64::MAX. The i128 accumulation must return the exact value.
+        let schema = HashSketchSchema::new(3, 8, 29);
+        let mut sk = HashSketch::new(schema);
+        let w = i32::MAX as i64;
+        for v in 0..64u64 {
+            sk.add_weighted(v, w);
+        }
+        let expected: i128 = {
+            let b = 8usize;
+            let mut per_table: Vec<i128> = (0..3)
+                .map(|i| {
+                    sk.counters()[i * b..(i + 1) * b]
+                        .iter()
+                        .map(|&c| c as i128 * c as i128)
+                        .sum()
+                })
+                .collect();
+            stream_model::metrics::median_i128(&mut per_table)
+        };
+        assert!(
+            expected > i64::MAX as i128,
+            "test must actually exceed i64: {expected}"
+        );
+        assert_eq!(sk.self_join_estimate(), expected as f64);
+    }
+
+    #[test]
+    fn join_estimate_survives_counters_near_i32_max() {
+        let schema = HashSketchSchema::new(3, 8, 31);
+        let mut a = HashSketch::new(schema.clone());
+        let mut b = HashSketch::new(schema);
+        let w = i32::MAX as i64;
+        for v in 0..64u64 {
+            a.add_weighted(v, w);
+            b.add_weighted(v, w);
+        }
+        // Identical streams: join estimate equals self-join estimate, and
+        // both exceed i64::MAX.
+        let est = a.join_estimate(&b);
+        assert_eq!(est, a.self_join_estimate());
+        assert!(est > i64::MAX as f64);
+    }
+
+    #[test]
+    fn point_estimate_heap_fallback_above_stack_limit() {
+        // More tables than the stack scratch holds: exercises the heap path.
+        let schema = HashSketchSchema::new(65, 8, 37);
+        let mut sk = HashSketch::new(schema);
+        sk.add_weighted(11, -42);
+        assert_eq!(sk.point_estimate(11), -42);
     }
 }

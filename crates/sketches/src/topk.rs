@@ -43,11 +43,7 @@ impl TopKSketch {
     /// Current top-k candidates as `(value, estimated frequency)`, sorted
     /// by decreasing estimate.
     pub fn top(&self) -> Vec<(u64, i64)> {
-        let mut out: Vec<(u64, i64)> = self
-            .candidates
-            .iter()
-            .map(|(&v, &e)| (v, e))
-            .collect();
+        let mut out: Vec<(u64, i64)> = self.candidates.iter().map(|(&v, &e)| (v, e)).collect();
         out.sort_by_key(|&(v, e)| (std::cmp::Reverse(e), v));
         out.truncate(self.k);
         out

@@ -186,7 +186,10 @@ impl FrequencyVector {
         for (v, c) in self.nonzero() {
             let w = if c > 0 { 1 } else { -1 };
             for _ in 0..c.abs() {
-                out.push(Update { value: v, weight: w });
+                out.push(Update {
+                    value: v,
+                    weight: w,
+                });
             }
         }
         out

@@ -159,14 +159,11 @@ mod tests {
         let g = CensusGenerator::new();
         let mut rng = StdRng::seed_from_u64(4);
         let recs = g.generate(&mut rng, 50_000);
-        let zero_wage = recs.iter().filter(|r| r.weekly_wage == 0).count() as f64
-            / recs.len() as f64;
+        let zero_wage =
+            recs.iter().filter(|r| r.weekly_wage == 0).count() as f64 / recs.len() as f64;
         assert!((zero_wage - 0.42).abs() < 0.02, "zero_wage={zero_wage}");
-        let zero_ot = recs
-            .iter()
-            .filter(|r| r.weekly_wage_overtime == 0)
-            .count() as f64
-            / recs.len() as f64;
+        let zero_ot =
+            recs.iter().filter(|r| r.weekly_wage_overtime == 0).count() as f64 / recs.len() as f64;
         // 0.42 + 0.58*0.78 ≈ 0.872
         assert!((zero_ot - 0.872).abs() < 0.03, "zero_ot={zero_ot}");
     }

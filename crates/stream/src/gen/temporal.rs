@@ -63,13 +63,7 @@ impl PhasedWorkload {
 
     /// A drifting schedule: `steps` phases whose shift advances by
     /// `step_shift` each time — the slowly rotating head.
-    pub fn drift(
-        domain: Domain,
-        z: f64,
-        steps: usize,
-        step_shift: u64,
-        per_step: usize,
-    ) -> Self {
+    pub fn drift(domain: Domain, z: f64, steps: usize, step_shift: u64, per_step: usize) -> Self {
         assert!(steps > 0);
         Self::new(
             (0..steps)
@@ -151,11 +145,7 @@ mod tests {
         w.stream(&mut rng, |phase, u| per_phase[phase].update(u));
         for (i, fv) in per_phase.iter().enumerate() {
             let head = (i as u64 * 100) % d.size();
-            assert_eq!(
-                fv.top_k(1)[0].0,
-                head,
-                "phase {i} head should be {head}"
-            );
+            assert_eq!(fv.top_k(1)[0].0, head, "phase {i} head should be {head}");
         }
     }
 

@@ -101,7 +101,11 @@ impl ZipfGenerator {
     pub fn new(domain: Domain, z: f64, shift: u64) -> Self {
         assert!(z >= 0.0 && z.is_finite(), "zipf parameter must be >= 0");
         let n = domain.size();
-        assert!(n <= 1 << 28, "alias table over domain 2^{} too large", domain.log2_size());
+        assert!(
+            n <= 1 << 28,
+            "alias table over domain 2^{} too large",
+            domain.log2_size()
+        );
         let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-z)).collect();
         Self {
             domain,

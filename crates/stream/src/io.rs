@@ -209,9 +209,7 @@ impl TraceReader {
         if !self.domain.contains(value) {
             return Err(TraceError::ValueOutOfDomain(value).into());
         }
-        let weight = unzigzag(
-            read_varint(&mut self.input, false)?.ok_or(TraceError::Truncated)?,
-        );
+        let weight = unzigzag(read_varint(&mut self.input, false)?.ok_or(TraceError::Truncated)?);
         if let Some(r) = &mut self.remaining {
             *r -= 1;
         }
@@ -314,7 +312,10 @@ mod tests {
         f.set_len(len - 1).unwrap();
         drop(f);
         let err = read_trace_file(&path).unwrap_err();
-        assert!(matches!(err, TraceIoError::Format(TraceError::Truncated)), "{err}");
+        assert!(
+            matches!(err, TraceIoError::Format(TraceError::Truncated)),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -111,6 +111,18 @@ pub fn median_i64(xs: &mut [i64]) -> i64 {
     *m
 }
 
+/// Median of an i128 slice, with the same convention as [`median_i64`].
+///
+/// The wide variant exists for per-table sums of counter products
+/// (self-join / join estimates), where squaring i64 counters overflows
+/// i64 long before the counters themselves overflow.
+pub fn median_i128(xs: &mut [i128]) -> i128 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let n = xs.len();
+    let (_, m, _) = xs.select_nth_unstable(n / 2);
+    *m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +185,13 @@ mod tests {
         assert_eq!(median_f64(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median_i64(&mut [3, 1, 2]), 2);
         assert_eq!(median_i64(&mut [-10, 0, 10, 20]), 10); // upper midpoint
+    }
+
+    #[test]
+    fn median_i128_matches_i64_convention_and_survives_wide_values() {
+        assert_eq!(median_i128(&mut [3, 1, 2]), 2);
+        assert_eq!(median_i128(&mut [-10, 0, 10, 20]), 10); // upper midpoint
+        let big = (i64::MAX as i128) * (i64::MAX as i128);
+        assert_eq!(median_i128(&mut [big, big - 1, big - 2]), big - 1);
     }
 }

@@ -139,11 +139,7 @@ mod tests {
             let s = WorkloadStats::of(&fv);
             // Sampling flattens the tail (singletons), so the fit runs a
             // little low; accept a generous band around the truth.
-            assert!(
-                (s.zipf_fit - z).abs() < 0.4,
-                "z={z} fit={}",
-                s.zipf_fit
-            );
+            assert!((s.zipf_fit - z).abs() < 0.4, "z={z} fit={}", s.zipf_fit);
             assert!(s.kurtosis_proxy > 1.5, "z={z} kurt={}", s.kurtosis_proxy);
         }
     }

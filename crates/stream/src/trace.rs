@@ -204,9 +204,6 @@ mod tests {
         buf.put_u64_le(1);
         put_varint(&mut buf, 5);
         put_varint(&mut buf, zigzag(1));
-        assert_eq!(
-            decode(buf.freeze()),
-            Err(TraceError::ValueOutOfDomain(5))
-        );
+        assert_eq!(decode(buf.freeze()), Err(TraceError::ValueOutOfDomain(5)));
     }
 }

@@ -73,6 +73,20 @@ pub trait StreamSink {
     /// Applies one update.
     fn update(&mut self, update: Update);
 
+    /// Applies a slice of updates.
+    ///
+    /// The default simply loops over [`StreamSink::update`] and is always
+    /// semantically equivalent to it. Sketches override this with
+    /// loop-interchanged kernels (outer loop over tables, inner loop over
+    /// the batch) that hoist hash constants out of the hot loop and keep
+    /// counter rows cache-resident — same counters, far fewer instructions
+    /// per update.
+    fn update_batch(&mut self, batch: &[Update]) {
+        for &u in batch {
+            self.update(u);
+        }
+    }
+
     /// Applies a batch of updates (override when a bulk path is cheaper).
     fn extend_updates<I: IntoIterator<Item = Update>>(&mut self, updates: I)
     where
@@ -141,5 +155,27 @@ mod tests {
         let mut c = Counter(0);
         c.extend_updates((0..10).map(Update::insert));
         assert_eq!(c.0, 10);
+    }
+
+    #[test]
+    fn update_batch_default_matches_loop() {
+        let batch: Vec<Update> = (0..10)
+            .map(|v| Update::with_measure(v, if v % 3 == 0 { -2 } else { 5 }))
+            .collect();
+        let mut a = Counter(0);
+        let mut b = Counter(0);
+        a.update_batch(&batch);
+        for &u in &batch {
+            b.update(u);
+        }
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn update_batch_is_object_safe() {
+        let mut c = Counter(0);
+        let sink: &mut dyn StreamSink = &mut c;
+        sink.update_batch(&[Update::insert(1), Update::delete(2)]);
+        assert_eq!(c.0, 0);
     }
 }

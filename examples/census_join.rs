@@ -59,8 +59,12 @@ fn main() {
     let avg = engine.answer(Aggregate::AvgRightMeasure);
 
     let (accepted, filtered) = engine.stats(Side::Left);
-    println!("records processed    : {} ({} passed predicate, {} filtered)",
-        records.len(), accepted, filtered);
+    println!(
+        "records processed    : {} ({} passed predicate, {} filtered)",
+        records.len(),
+        accepted,
+        filtered
+    );
     println!("synopsis footprint   : {} words total", engine.words());
     println!();
     println!("aggregate     exact          estimate       ratio_err");

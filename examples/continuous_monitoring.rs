@@ -17,13 +17,9 @@ use stream_model::gen::{PhasedWorkload, ZipfGenerator};
 fn main() {
     let domain = Domain::with_log2(14);
     let schema = SkimmedSchema::scanning(domain, 7, 256, 0xC0117);
-    let mut query = stream_query::ContinuousQuery::new(
-        schema,
-        Default::default(),
-        Aggregate::Count,
-        50_000,
-    )
-    .with_alarm(0.75); // flag ±75% movement between evaluations
+    let mut query =
+        stream_query::ContinuousQuery::new(schema, Default::default(), Aggregate::Count, 50_000)
+            .with_alarm(0.75); // flag ±75% movement between evaluations
 
     // Left stream: stationary popular content.
     let left = ZipfGenerator::new(domain, 1.2, 0);
@@ -49,6 +45,9 @@ fn main() {
     });
 
     let alarms = query.series().iter().filter(|p| p.alarm).count();
-    println!("\n{alarms} alarm(s) raised across {} evaluations", query.series().len());
+    println!(
+        "\n{alarms} alarm(s) raised across {} evaluations",
+        query.series().len()
+    );
     assert!(alarms >= 1, "the regime shift must trip the detector");
 }

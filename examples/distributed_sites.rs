@@ -38,15 +38,26 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(100 + site as u64);
         let zf = ZipfGenerator::new(domain, 1.1, site as u64 * 3);
         let zg = ZipfGenerator::new(domain, 1.1, 64 + site as u64 * 3);
-        let mut sf = HashSketch::new(schema.clone());
-        let mut sg = HashSketch::new(schema.clone());
+        let mut batch_f = Vec::with_capacity(PER_SITE);
+        let mut batch_g = Vec::with_capacity(PER_SITE);
         for _ in 0..PER_SITE {
-            let a = zf.sample(&mut rng);
-            let b = zg.sample(&mut rng);
-            sf.add_weighted(a, 1);
-            sg.add_weighted(b, 1);
-            exact_f.update(Update::insert(a));
-            exact_g.update(Update::insert(b));
+            batch_f.push(Update::insert(zf.sample(&mut rng)));
+            batch_g.push(Update::insert(zg.sample(&mut rng)));
+        }
+        // Each site drains its buffered traffic through the batch kernels;
+        // stream F additionally splits the site's load across a two-worker
+        // ingest pool — the merged sketch is bit-identical to a sequential
+        // build, so the wire format doesn't care which path produced it.
+        let pool_f = IngestPool::new(2, || HashSketch::new(schema.clone()));
+        for chunk in batch_f.chunks(8192) {
+            pool_f.dispatch(chunk.to_vec());
+        }
+        let sf = pool_f.finish();
+        let mut sg = HashSketch::new(schema.clone());
+        sg.update_batch(&batch_g);
+        for (&uf, &ug) in batch_f.iter().zip(&batch_g) {
+            exact_f.update(uf);
+            exact_g.update(ug);
         }
         let (bf, bg) = (encode_hash(&sf), encode_hash(&sg));
         wire_bytes += bf.len() + bg.len();
@@ -71,7 +82,10 @@ fn main() {
     let actual = exact_f.join(&exact_g) as f64;
 
     println!("sites                : {SITES} per stream, {PER_SITE} elements each");
-    println!("wire bytes shipped   : {wire_bytes} ({} per sketch avg)", wire_bytes / (2 * SITES));
+    println!(
+        "wire bytes shipped   : {wire_bytes} ({} per sketch avg)",
+        wire_bytes / (2 * SITES)
+    );
     println!("exact global join    : {actual:.0}");
     println!("coordinator estimate : {est:.0}");
     println!("ratio error          : {:.4}", ratio_error(est, actual));

@@ -68,8 +68,5 @@ fn main() {
     println!("exact chain-join size: {exact:.0}");
     println!("sketch estimate      : {est:.0}");
     println!("ratio error          : {:.4}", ratio_error(est, exact));
-    assert!(
-        ratio_error(est, exact) < 1.0,
-        "chain estimate out of range"
-    );
+    assert!(ratio_error(est, exact) < 1.0, "chain estimate out of range");
 }

@@ -58,15 +58,14 @@ fn main() {
             live2.push(d2);
         }
         // ~30% of existing flows expire: deletes, handled by linearity.
-        let expire = |live: &mut Vec<u64>,
-                      sketch: &mut SkimmedSketch,
-                      exact: &mut FrequencyVector| {
-            let n_expire = live.len() / 3;
-            for d in live.drain(..n_expire) {
-                sketch.update(Update::delete(d));
-                exact.update(Update::delete(d));
-            }
-        };
+        let expire =
+            |live: &mut Vec<u64>, sketch: &mut SkimmedSketch, exact: &mut FrequencyVector| {
+                let n_expire = live.len() / 3;
+                for d in live.drain(..n_expire) {
+                    sketch.update(Update::delete(d));
+                    exact.update(Update::delete(d));
+                }
+            };
         expire(&mut live1, &mut r1, &mut exact1);
         expire(&mut live2, &mut r2, &mut exact2);
 

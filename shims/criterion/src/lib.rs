@@ -1,0 +1,425 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A wall-clock microbenchmark harness with criterion's API shape:
+//! [`Criterion`], [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros (both forms). No statistical analysis,
+//! HTML reports, or baselines — each benchmark is calibrated, sampled,
+//! and summarized as min/median/mean wall time plus throughput.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// This harness times one routine call per sample regardless of variant,
+/// so the variant only documents intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are small; many fit in cache.
+    SmallInput,
+    /// Inputs are large; one per measurement.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One benchmark's collected samples, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark path, e.g. `update/hash-sketch/8192`.
+    pub name: String,
+    /// Nanoseconds per iteration, one entry per sample.
+    pub samples_ns: Vec<f64>,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Median nanoseconds per iteration.
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let n = s.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    }
+
+    /// Mean nanoseconds per iteration.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Minimum nanoseconds per iteration.
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples_ns: &'a mut Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    target_sample: Duration,
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, averaging over enough iterations per sample for a
+    /// stable wall-clock reading.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let iters = ((self.target_sample.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// measured. Each sample times exactly one routine call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up call keeps cold-start effects out of the samples.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    target_sample: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 30,
+            warm_up: Duration::from_millis(40),
+            target_sample: Duration::from_millis(2),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (builder form, matching
+    /// criterion's `Criterion::default().sample_size(n)` config idiom).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line configuration (accepted for API parity; the
+    /// positional filter is already picked up by `default()`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(name.to_string(), sample_size, None, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples_ns = Vec::with_capacity(sample_size);
+        let mut bencher = Bencher {
+            samples_ns: &mut samples_ns,
+            sample_size,
+            warm_up: self.warm_up,
+            target_sample: self.target_sample,
+        };
+        f(&mut bencher);
+        let m = Measurement {
+            name,
+            samples_ns,
+            throughput,
+        };
+        report(&m);
+    }
+
+    /// Prints the closing summary (no-op; results stream as they finish).
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(m: &Measurement) {
+    if m.samples_ns.is_empty() {
+        println!("{:<44} (no samples)", m.name);
+        return;
+    }
+    let (min, median, mean) = (m.min_ns(), m.median_ns(), m.mean_ns());
+    print!(
+        "{:<44} time: [{} {} {}]",
+        m.name,
+        format_time(min),
+        format_time(median),
+        format_time(mean),
+    );
+    if let Some(t) = m.throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (median / 1e9);
+        print!("  thrpt: {}", format_rate(per_sec, unit));
+    }
+    println!();
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(name, sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Defines a benchmark group function, in either of criterion's forms:
+/// `criterion_group!(benches, target_a, target_b)` or
+/// `criterion_group! { name = benches; config = ...; targets = ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        c.filter = None;
+        let mut g = c.benchmark_group("shim-test");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64u32, |b, &n| {
+            b.iter(|| (0..n).map(|x| x.wrapping_mul(x)).sum::<u32>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_times_each_input() {
+        let mut c = Criterion::default().sample_size(4);
+        c.filter = None;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 1024],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn measurement_stats() {
+        let m = Measurement {
+            name: "m".into(),
+            samples_ns: vec![3.0, 1.0, 2.0],
+            throughput: None,
+        };
+        assert_eq!(m.median_ns(), 2.0);
+        assert_eq!(m.mean_ns(), 2.0);
+        assert_eq!(m.min_ns(), 1.0);
+    }
+}

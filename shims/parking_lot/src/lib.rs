@@ -1,0 +1,90 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s panic-free API:
+//! `lock()` returns the guard directly (poisoning is swallowed, matching
+//! parking_lot's no-poisoning semantics).
+
+#![warn(missing_docs)]
+
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1u32);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
+    }
+}

@@ -33,7 +33,9 @@ impl Args {
         let mut it = raw.iter();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
-                return Err(CliError(format!("unexpected argument '{tok}' (flags are --name value)")));
+                return Err(CliError(format!(
+                    "unexpected argument '{tok}' (flags are --name value)"
+                )));
             };
             let Some(value) = it.next() else {
                 return Err(CliError(format!("flag --{name} is missing its value")));

@@ -95,7 +95,11 @@ pub fn stats(args: &Args) -> Result<(), CliError> {
     }
     let s = WorkloadStats::of(&fv);
     println!("trace    : {path}");
-    println!("domain   : 2^{} ({} values)", domain.log2_size(), domain.size());
+    println!(
+        "domain   : 2^{} ({} values)",
+        domain.log2_size(),
+        domain.size()
+    );
     println!("updates  : {count}");
     println!("stats    : {}", s.summary());
     println!("top-5    : {:?}", fv.top_k(5));
@@ -116,7 +120,11 @@ pub fn exact(args: &Args) -> Result<(), CliError> {
     let fv = FrequencyVector::from_updates(dl, f);
     let gv = FrequencyVector::from_updates(dl, g);
     println!("exact join size: {}", fv.join(&gv));
-    println!("self-joins     : SJ(F)={} SJ(G)={}", fv.self_join(), gv.self_join());
+    println!(
+        "self-joins     : SJ(F)={} SJ(G)={}",
+        fv.self_join(),
+        gv.self_join()
+    );
     Ok(())
 }
 
@@ -148,7 +156,10 @@ pub fn join(args: &Args) -> Result<(), CliError> {
     }
     let cfg = EstimatorConfig::default();
     let est = estimate_join(&sf, &sg, &cfg);
-    println!("synopsis        : {tables} tables x {buckets} buckets ({} words/stream)", sf.words());
+    println!(
+        "synopsis        : {tables} tables x {buckets} buckets ({} words/stream)",
+        sf.words()
+    );
     println!("estimate        : {:.0}", est.estimate);
     println!(
         "  dense/dense {:.0} | dense/sparse {:.0} | sparse/dense {:.0} | sparse/sparse {:.0}",
@@ -185,7 +196,11 @@ pub fn heavy_hitters(args: &Args) -> Result<(), CliError> {
     let mut hits: Vec<(u64, i64)> = dense.iter().collect();
     hits.sort_by_key(|&(v, c)| (std::cmp::Reverse(c.abs()), v));
     hits.truncate(top);
-    println!("threshold {t}; {} dense values; top {}:", dense.len(), hits.len());
+    println!(
+        "threshold {t}; {} dense values; top {}:",
+        dense.len(),
+        hits.len()
+    );
     for (v, c) in hits {
         println!("  value {v:>12}  est frequency {c}");
     }

@@ -80,7 +80,12 @@ fn main() {
                 println!("{}", usage());
                 return Ok(());
             }
-            other => return Err(CliError(format!("unknown command '{other}'\n\n{}", usage()))),
+            other => {
+                return Err(CliError(format!(
+                    "unknown command '{other}'\n\n{}",
+                    usage()
+                )))
+            }
         }
         args.finish()
     })();

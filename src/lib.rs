@@ -15,12 +15,17 @@
 //!   dyadic extraction, and ESTSKIMJOINSIZE.
 //! * [`query`] (`stream-query`) — a one-pass COUNT/SUM/AVERAGE join-query
 //!   engine with predicates, sharded ingestion, and chain multi-joins.
+//! * [`ingest`] (`stream-ingest`) — batched, multi-core ingestion: a
+//!   sharded worker pool feeding per-thread sketches via the
+//!   loop-interchanged batch kernels, merged by linearity into a sketch
+//!   bit-identical to sequential ingest.
 //!
 //! See `examples/` for runnable walkthroughs and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
 pub use skimmed_sketch as skim;
 pub use stream_hash as hash;
+pub use stream_ingest as ingest;
 pub use stream_model as model;
 pub use stream_query as query;
 pub use stream_sketches as sketches;
@@ -31,6 +36,7 @@ pub mod prelude {
         estimate_join, estimate_self_join, EstimatorConfig, JoinEstimate, SkimmedSchema,
         SkimmedSketch, ThresholdPolicy,
     };
+    pub use stream_ingest::{ingest_parallel, IngestPool};
     pub use stream_model::{Domain, FrequencyVector, StreamSink, Update};
     pub use stream_query::{Aggregate, JoinQueryEngine, Op, Predicate, Record, Side};
     pub use stream_sketches::LinearSynopsis;

@@ -1,0 +1,100 @@
+//! Property-based equivalence of the batched and parallel ingestion paths.
+//!
+//! The contract of the whole ingestion pipeline is *bit-identity*: for any
+//! update sequence — inserts, deletes, mixed weights — `update_batch` and
+//! the sharded [`IngestPool`] / [`ingest_parallel`] must leave every
+//! counter of every sketch type exactly as element-at-a-time `update`
+//! would. Proptest drives all four sketch types through random mixed
+//! workloads and random batch boundaries to pin that contract down.
+
+use proptest::prelude::*;
+use skimmed_sketch::{DyadicHashSketch, DyadicSchema};
+use skimmed_sketches::prelude::*;
+use stream_sketches::{
+    AgmsSchema, AgmsSketch, CountMinSchema, CountMinSketch, HashSketch, HashSketchSchema,
+};
+
+const DOMAIN_LOG2: u32 = 8;
+
+/// Mixed inserts and deletes with varied weights (never weight 0).
+fn arb_updates(max_len: usize) -> impl Strategy<Value = Vec<Update>> {
+    prop::collection::vec(
+        (0u64..(1 << DOMAIN_LOG2), -20i64..=20).prop_map(|(value, weight)| Update {
+            value,
+            weight: if weight == 0 { 1 } else { weight },
+        }),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hash sketch: `update_batch` ≡ per-element `update`, any batch split.
+    #[test]
+    fn hash_sketch_batch_matches_scalar(us in arb_updates(600), split in 1usize..300) {
+        let schema = HashSketchSchema::new(4, 32, 21);
+        let mut scalar = HashSketch::new(schema.clone());
+        let mut batched = HashSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        for chunk in us.chunks(split) { batched.update_batch(chunk); }
+        prop_assert_eq!(scalar.counters(), batched.counters());
+    }
+
+    /// Basic AGMS: `update_batch` ≡ per-element `update`.
+    #[test]
+    fn agms_batch_matches_scalar(us in arb_updates(400), split in 1usize..200) {
+        let schema = AgmsSchema::new(3, 8, 23);
+        let mut scalar = AgmsSketch::new(schema.clone());
+        let mut batched = AgmsSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        for chunk in us.chunks(split) { batched.update_batch(chunk); }
+        prop_assert_eq!(scalar.counters(), batched.counters());
+    }
+
+    /// Count-Min: `update_batch` ≡ per-element `update`.
+    #[test]
+    fn countmin_batch_matches_scalar(us in arb_updates(400), split in 1usize..200) {
+        let schema = CountMinSchema::new(3, 16, 25);
+        let mut scalar = CountMinSketch::new(schema.clone());
+        let mut batched = CountMinSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        for chunk in us.chunks(split) { batched.update_batch(chunk); }
+        prop_assert_eq!(scalar.counters(), batched.counters());
+    }
+
+    /// Dyadic hash sketch: `update_batch` ≡ per-element `update` at every
+    /// dyadic level.
+    #[test]
+    fn dyadic_batch_matches_scalar(us in arb_updates(300), split in 1usize..150) {
+        let schema = DyadicSchema::new(Domain::with_log2(DOMAIN_LOG2), 3, 16, 27);
+        let mut scalar = DyadicHashSketch::new(schema.clone());
+        let mut batched = DyadicHashSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        for chunk in us.chunks(split) { batched.update_batch(chunk); }
+        prop_assert_eq!(scalar.level_counters(), batched.level_counters());
+    }
+
+    /// The worker pool: for any updates, chunking, and worker count the
+    /// merged sketch is bit-identical to sequential ingest.
+    #[test]
+    fn pool_matches_scalar(us in arb_updates(600), split in 1usize..200, threads in 1usize..5) {
+        let schema = HashSketchSchema::new(4, 32, 29);
+        let pool = IngestPool::new(threads, || HashSketch::new(schema.clone()));
+        for chunk in us.chunks(split) { pool.dispatch(chunk.to_vec()); }
+        let parallel = pool.finish();
+        let mut scalar = HashSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        prop_assert_eq!(parallel.counters(), scalar.counters());
+    }
+
+    /// One-shot `ingest_parallel` over borrowed updates: same contract.
+    #[test]
+    fn ingest_parallel_matches_scalar(us in arb_updates(600), chunk in 1usize..200, threads in 1usize..5) {
+        let schema = HashSketchSchema::new(4, 32, 31);
+        let parallel = ingest_parallel(&us, threads, chunk, || HashSketch::new(schema.clone()));
+        let mut scalar = HashSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        prop_assert_eq!(parallel.counters(), scalar.counters());
+    }
+}

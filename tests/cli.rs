@@ -30,13 +30,41 @@ fn full_workflow_generate_join_check() {
     let g = path(&dir, "g.trace");
 
     let out = ssketch(&[
-        "generate", "--kind", "zipf", "--z", "1.2", "--shift", "30", "--n", "30000",
-        "--domain-log2", "12", "--seed", "1", "--out", &f,
+        "generate",
+        "--kind",
+        "zipf",
+        "--z",
+        "1.2",
+        "--shift",
+        "30",
+        "--n",
+        "30000",
+        "--domain-log2",
+        "12",
+        "--seed",
+        "1",
+        "--out",
+        &f,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = ssketch(&[
-        "generate", "--kind", "zipf", "--z", "1.2", "--n", "30000",
-        "--domain-log2", "12", "--seed", "2", "--out", &g,
+        "generate",
+        "--kind",
+        "zipf",
+        "--z",
+        "1.2",
+        "--n",
+        "30000",
+        "--domain-log2",
+        "12",
+        "--seed",
+        "2",
+        "--out",
+        &g,
     ]);
     assert!(out.status.success());
 
@@ -48,7 +76,11 @@ fn full_workflow_generate_join_check() {
 
     // join --check reports a small ratio error.
     let out = ssketch(&["join", "--left", &f, "--right", &g, "--check", "true"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let err_line = text
         .lines()
@@ -69,7 +101,15 @@ fn sketch_files_round_trip_through_join_sketches() {
     let gs = path(&dir, "g.sketch");
     for (p, seed) in [(&f, "3"), (&g, "4")] {
         let out = ssketch(&[
-            "generate", "--n", "20000", "--domain-log2", "10", "--seed", seed, "--out", p,
+            "generate",
+            "--n",
+            "20000",
+            "--domain-log2",
+            "10",
+            "--seed",
+            seed,
+            "--out",
+            p,
         ]);
         assert!(out.status.success());
     }
@@ -91,8 +131,16 @@ fn mismatched_sketch_seeds_are_rejected() {
     let gs = path(&dir, "b.sketch");
     let out = ssketch(&["generate", "--n", "1000", "--domain-log2", "8", "--out", &f]);
     assert!(out.status.success());
-    assert!(ssketch(&["sketch", "--trace", &f, "--seed", "1", "--out", &fs]).status.success());
-    assert!(ssketch(&["sketch", "--trace", &f, "--seed", "2", "--out", &gs]).status.success());
+    assert!(
+        ssketch(&["sketch", "--trace", &f, "--seed", "1", "--out", &fs])
+            .status
+            .success()
+    );
+    assert!(
+        ssketch(&["sketch", "--trace", &f, "--seed", "2", "--out", &gs])
+            .status
+            .success()
+    );
     let out = ssketch(&["join-sketches", "--left", &fs, "--right", &gs]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("different shapes or seeds"));
@@ -116,15 +164,30 @@ fn hh_reports_the_planted_head() {
     let dir = tmpdir("hh");
     let f = path(&dir, "f.trace");
     let out = ssketch(&[
-        "generate", "--kind", "zipf", "--z", "1.5", "--n", "20000",
-        "--domain-log2", "10", "--seed", "7", "--out", &f,
+        "generate",
+        "--kind",
+        "zipf",
+        "--z",
+        "1.5",
+        "--n",
+        "20000",
+        "--domain-log2",
+        "10",
+        "--seed",
+        "7",
+        "--out",
+        &f,
     ]);
     assert!(out.status.success());
     let out = ssketch(&["hh", "--trace", &f, "--top", "3"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     // Zipf with shift 0: value 0 is the head.
-    assert!(text.lines().any(|l| l.contains("value") && l.split_whitespace().nth(1) == Some("0")), "{text}");
+    assert!(
+        text.lines()
+            .any(|l| l.contains("value") && l.split_whitespace().nth(1) == Some("0")),
+        "{text}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -135,8 +198,19 @@ fn skimmed_sketch_files_estimate_joins() {
     let g = path(&dir, "g.trace");
     for (p, seed) in [(&f, "11"), (&g, "12")] {
         assert!(ssketch(&[
-            "generate", "--kind", "zipf", "--z", "1.3", "--n", "20000",
-            "--domain-log2", "10", "--seed", seed, "--out", p,
+            "generate",
+            "--kind",
+            "zipf",
+            "--z",
+            "1.3",
+            "--n",
+            "20000",
+            "--domain-log2",
+            "10",
+            "--seed",
+            seed,
+            "--out",
+            p,
         ])
         .status
         .success());
@@ -145,10 +219,18 @@ fn skimmed_sketch_files_estimate_joins() {
     let gs = path(&dir, "g.skim");
     for (t, s) in [(&f, &fs), (&g, &gs)] {
         let out = ssketch(&["skim-sketch", "--trace", t, "--dyadic", "true", "--out", s]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let out = ssketch(&["join-skimmed", "--left", &fs, "--right", &gs]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("estimate"), "{text}");
     // Cross-check the file-based estimate against the exact answer.

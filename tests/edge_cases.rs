@@ -119,7 +119,11 @@ fn all_mass_on_one_value_is_fully_dense() {
     assert_eq!(est.dense_g, 1);
     // Dense⋈dense carries everything, computed exactly.
     assert_eq!(est.estimate, est.dense_dense);
-    assert!((est.estimate - 1e8).abs() / 1e8 < 0.01, "est={}", est.estimate);
+    assert!(
+        (est.estimate - 1e8).abs() / 1e8 < 0.01,
+        "est={}",
+        est.estimate
+    );
 }
 
 #[test]
@@ -144,7 +148,11 @@ fn uniform_stream_skims_nothing_but_still_estimates() {
         gv.update(Update::insert(b));
     }
     let est = skimmed_sketch::estimate_join(&f, &g, &Default::default());
-    assert_eq!(est.dense_f + est.dense_g, 0, "uniform data has no dense values");
+    assert_eq!(
+        est.dense_f + est.dense_g,
+        0,
+        "uniform data has no dense values"
+    );
     let actual = fv.join(&gv) as f64;
     let err = stream_model::ratio_error(est.estimate, actual);
     assert!(err < 0.2, "err={err}");

@@ -39,7 +39,11 @@ fn engine_answers_count_across_skews() {
         }
         let ans = engine.answer(Aggregate::Count);
         let err = ratio_error(ans.value, actual);
-        assert!(err < tol, "z={z}: err={err} est={} actual={actual}", ans.value);
+        assert!(
+            err < tol,
+            "z={z}: err={err} est={} actual={actual}",
+            ans.value
+        );
     }
 }
 

@@ -82,14 +82,8 @@ fn windowed_join_follows_a_moving_workload() {
 
         // Exact join over the live epochs (last window-1 = 2 closed).
         let live = epoch_f.len().saturating_sub(2);
-        let lf = FrequencyVector::from_updates(
-            d,
-            epoch_f[live..].iter().flatten().copied(),
-        );
-        let lg = FrequencyVector::from_updates(
-            d,
-            epoch_g[live..].iter().flatten().copied(),
-        );
+        let lf = FrequencyVector::from_updates(d, epoch_f[live..].iter().flatten().copied());
+        let lg = FrequencyVector::from_updates(d, epoch_g[live..].iter().flatten().copied());
         let actual = lf.join(&lg) as f64;
         let est = estimate_windowed_join(&wf, &wg, &cfg);
         let err = ratio_error(est.estimate, actual);
@@ -127,12 +121,7 @@ fn confidence_interval_covers_on_fresh_workloads() {
 fn continuous_query_tracks_exact_series() {
     let d = Domain::with_log2(10);
     let schema = SkimmedSchema::scanning(d, 7, 256, 9);
-    let mut q = ContinuousQuery::new(
-        schema,
-        EstimatorConfig::default(),
-        Aggregate::Count,
-        20_000,
-    );
+    let mut q = ContinuousQuery::new(schema, EstimatorConfig::default(), Aggregate::Count, 20_000);
     let mut rng = StdRng::seed_from_u64(10);
     let zf = ZipfGenerator::new(d, 1.0, 0);
     let zg = ZipfGenerator::new(d, 1.0, 8);
@@ -249,7 +238,9 @@ fn star_join_composes_with_chain_join() {
     // center has two attributes: chain F1 ⋈a F2(a,b) ⋈b F3 is the star
     // with center F2 — the two estimators must agree with each other and
     // with the exact answer.
-    use stream_query::star::{estimate_star_join, StarCenterSketch, StarEdgeSketch, StarJoinSchema};
+    use stream_query::star::{
+        estimate_star_join, StarCenterSketch, StarEdgeSketch, StarJoinSchema,
+    };
     use stream_query::{estimate_chain_join, ChainJoinSchema, ChainRelationSketch};
 
     let mut rng = StdRng::seed_from_u64(71);
@@ -257,7 +248,11 @@ fn star_join_composes_with_chain_join() {
     let f1: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
     let f3: Vec<i64> = (0..dom).map(|_| rng.gen_range(0..4)).collect();
     let f2: Vec<Vec<i64>> = (0..dom)
-        .map(|_| (0..dom).map(|_| i64::from(rng.gen_range(0u8..6) == 0)).collect())
+        .map(|_| {
+            (0..dom)
+                .map(|_| i64::from(rng.gen_range(0u8..6) == 0))
+                .collect()
+        })
         .collect();
     let mut exact = 0i64;
     for (u, &a) in f1.iter().enumerate() {
@@ -336,7 +331,10 @@ fn signed_frequencies_join_correctly() {
         *g.get_mut(v) += 500;
     }
     let actual = f.join(&g) as f64;
-    assert!(actual < 0.0, "workload should have a negative join: {actual}");
+    assert!(
+        actual < 0.0,
+        "workload should have a negative join: {actual}"
+    );
     let est = estimate_join(&sf, &sg, &EstimatorConfig::default());
     let rel = (est.estimate - actual).abs() / actual.abs();
     assert!(rel < 0.25, "est={} actual={actual}", est.estimate);
