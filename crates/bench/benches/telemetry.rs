@@ -1,0 +1,89 @@
+//! Telemetry overhead A/B — the instrumented hot path vs itself with the
+//! instrumentation compiled out.
+//!
+//! The telemetry switch is a *compile-time* feature (all gating lives in
+//! `stream-telemetry`'s `enabled` feature), so the two arms are two build
+//! configurations of the same benchmark:
+//!
+//! ```text
+//! cargo bench -p ss-bench --bench telemetry                         # arm A: enabled
+//! cargo bench -p ss-bench --bench telemetry --no-default-features   # arm B: disabled
+//! ```
+//!
+//! The group names embed the active configuration
+//! (`telemetry/enabled/...` vs `telemetry/disabled/...`) so Criterion
+//! keeps the arms as separate series and their reports can be compared
+//! directly. The guarded claim: the enabled arm stays within ~2% of the
+//! disabled arm on the batched update path, and the disabled arm is
+//! bit-identical to a build that never heard of telemetry (the counters
+//! and spans compile to nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, Update};
+use stream_sketches::{HashSketch, HashSketchSchema};
+
+const BATCH: usize = 10_000;
+
+fn config() -> &'static str {
+    if stream_telemetry::ENABLED {
+        "enabled"
+    } else {
+        "disabled"
+    }
+}
+
+fn updates(domain: Domain) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let z = ZipfGenerator::new(domain, 1.0, 0);
+    (0..BATCH)
+        .map(|_| Update::insert(z.sample(&mut rng)))
+        .collect()
+}
+
+/// The instrumented batched update kernel — the hottest counter-touching
+/// path in the workspace, and the one the ≤2% overhead budget is set on.
+fn bench_update_path(c: &mut Criterion) {
+    let domain = Domain::with_log2(18);
+    let ups = updates(domain);
+
+    let mut g = c.benchmark_group(format!("telemetry/{}/add_batch", config()));
+    for &words in &[2048usize, 8192] {
+        let schema = HashSketchSchema::new(8, words / 8, 2);
+        let mut sk = HashSketch::new(schema);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, _| {
+            b.iter(|| sk.add_batch(black_box(&ups)))
+        });
+    }
+    g.finish();
+}
+
+/// Raw primitive costs, so a regression in the overhead budget can be
+/// localized: one relaxed counter increment and one full span (two
+/// `Instant` reads + a histogram record) per iteration.
+fn bench_primitives(c: &mut Criterion) {
+    let r = stream_telemetry::global();
+    let counter = r.counter("bench_primitive_counter");
+    let hist = r.histogram("bench_primitive_span", stream_telemetry::Unit::Nanos);
+
+    let mut g = c.benchmark_group(format!("telemetry/{}/primitives", config()));
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            let span = hist.start_span();
+            black_box(&span);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_update_path, bench_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! End-to-end telemetry snapshot + overhead A/B record.
+//!
+//! Drives the whole instrumented pipeline — sharded [`IngestPool`]
+//! ingestion of two skimmed sketches (with a mid-stream snapshot),
+//! repeated ESTSKIMJOINSIZE estimates audited against exact ground truth —
+//! then dumps the global telemetry registry in both render formats, so a
+//! single run shows ingest throughput, queue depth, per-phase skim
+//! timings, and the estimator's observed ratio-error quantiles.
+//!
+//! It also times the hottest instrumented kernel (hash-sketch
+//! `add_batch`) and records the result for the overhead A/B. The
+//! telemetry switch is a compile-time feature, so the A/B spans two build
+//! configurations of this same binary:
+//!
+//! ```text
+//! cargo run -p ss-bench --release --no-default-features --bin telemetry_report
+//! cargo run -p ss-bench --release --bin telemetry_report
+//! ```
+//!
+//! The first (disabled) run writes its throughput to
+//! `BENCH_telemetry_off.json`; the second (enabled) run reads that file
+//! back and writes `BENCH_telemetry.json` with both arms and the relative
+//! overhead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{
+    audit_ratio_error, estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch,
+};
+use std::time::Instant;
+use stream_ingest::IngestPool;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, FrequencyVector, Update};
+use stream_sketches::{HashSketch, HashSketchSchema};
+
+const N: usize = 200_000;
+const REPS: usize = 5;
+const TRIALS: u64 = 8;
+
+fn zipf_updates(domain: Domain, skew: f64, seed: u64, n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(domain, skew, seed);
+    (0..n).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+/// One audited estimate: sketch both streams, estimate, stream the ratio
+/// error into the global `estimator_ratio_error` histogram.
+fn audited_trial(domain: Domain, seed: u64, n: usize) -> f64 {
+    let uf = zipf_updates(domain, 1.0, seed * 2 + 1, n);
+    let ug = zipf_updates(domain, 0.8, seed * 2 + 2, n);
+    let actual = FrequencyVector::from_updates(domain, uf.iter().copied())
+        .join(&FrequencyVector::from_updates(domain, ug.iter().copied())) as f64;
+    let schema = SkimmedSchema::scanning(domain, 7, 256, seed);
+    let mut f = SkimmedSketch::new(schema.clone());
+    let mut g = SkimmedSketch::new(schema);
+    f.add_batch(&uf);
+    g.add_batch(&ug);
+    let est = estimate_join(&f, &g, &EstimatorConfig::default());
+    audit_ratio_error(est.estimate, actual)
+}
+
+fn main() {
+    let domain = Domain::with_log2(14);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let config = if stream_telemetry::ENABLED {
+        "enabled"
+    } else {
+        "disabled"
+    };
+    println!("telemetry_report — instrumentation {config}, host cpus = {host_cpus}");
+
+    // --- pooled ingest of two skimmed sketches ---------------------------
+    let uf = zipf_updates(domain, 1.0, 11, N);
+    let ug = zipf_updates(domain, 0.8, 12, N);
+    let schema = SkimmedSchema::scanning(domain, 7, 256, 42);
+    let pool_f = IngestPool::new(2, || SkimmedSketch::new(schema.clone()));
+    let pool_g = IngestPool::new(2, || SkimmedSketch::new(schema.clone()));
+    let t = Instant::now();
+    for chunk in uf.chunks(4096) {
+        pool_f.dispatch(chunk.to_vec());
+    }
+    // Mid-stream consistent snapshot — exercises the snapshot span and the
+    // queue-depth gauge while the pool is live.
+    let _mid = pool_f.snapshot();
+    assert!(pool_f.is_empty(), "snapshot barriers behind every dispatch");
+    for chunk in ug.chunks(4096) {
+        pool_g.dispatch(chunk.to_vec());
+    }
+    let f = pool_f.finish();
+    let g = pool_g.finish();
+    let ingest_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+    println!("pooled skimmed-sketch ingest: {ingest_melem_s:.2} Melem/s (2 workers/stream)");
+
+    // --- audited estimates ----------------------------------------------
+    let actual = FrequencyVector::from_updates(domain, uf.iter().copied())
+        .join(&FrequencyVector::from_updates(domain, ug.iter().copied())) as f64;
+    let est = estimate_join(&f, &g, &EstimatorConfig::default());
+    let err = audit_ratio_error(est.estimate, actual);
+    println!(
+        "pooled join estimate: {:.0} vs exact {actual:.0} (ratio error {err:.4})",
+        est.estimate
+    );
+    for seed in 1..TRIALS {
+        let err = audited_trial(domain, seed, N / 4);
+        println!("  audit trial {seed}: ratio error {err:.4}");
+    }
+
+    // --- timed hot path: the overhead A/B arm ----------------------------
+    let hs_schema = HashSketchSchema::new(8, 1024, 2);
+    let big = zipf_updates(Domain::with_log2(18), 1.0, 7, 2 * N);
+    let mut sk = HashSketch::new(hs_schema);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        sk.add_batch(&big);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let update_melem_s = big.len() as f64 / best / 1e6;
+    println!("hash-sketch add_batch: {update_melem_s:.2} Melem/s (best of {REPS})");
+
+    // --- dump the registry ----------------------------------------------
+    let registry = stream_telemetry::global();
+    println!("\n--- snapshot (JSON lines) ---");
+    print!("{}", registry.render_json_lines());
+    println!("--- snapshot (Prometheus) ---");
+    print!("{}", registry.render_prometheus());
+
+    // --- record the A/B --------------------------------------------------
+    if !stream_telemetry::ENABLED {
+        let json = format!(
+            "{{\n  \"bench\": \"telemetry_off\",\n  \"elements\": {},\n  \"reps\": {REPS},\n  \
+             \"host_cpus\": {host_cpus},\n  \"update_melem_s\": {update_melem_s:.3}\n}}\n",
+            big.len(),
+        );
+        std::fs::write("BENCH_telemetry_off.json", &json).expect("write BENCH_telemetry_off.json");
+        println!("\nwrote BENCH_telemetry_off.json (disabled arm; rerun with default features to finish the A/B)");
+        return;
+    }
+    let off_arm = std::fs::read_to_string("BENCH_telemetry_off.json")
+        .ok()
+        .and_then(|s| {
+            let tail = s.split("\"update_melem_s\": ").nth(1)?;
+            tail.trim_end()
+                .trim_end_matches(['\n', '}'])
+                .trim()
+                .parse::<f64>()
+                .ok()
+        });
+    let (off_field, overhead_field) = match off_arm {
+        Some(off) => {
+            let overhead = (off - update_melem_s) / off * 100.0;
+            println!("\noverhead vs disabled arm ({off:.2} Melem/s): {overhead:.2}%");
+            (format!("{off:.3}"), format!("{overhead:.2}"))
+        }
+        None => {
+            println!("\nBENCH_telemetry_off.json missing — run the --no-default-features arm first for the full A/B");
+            ("null".into(), "null".into())
+        }
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"elements\": {},\n  \"reps\": {REPS},\n  \
+         \"host_cpus\": {host_cpus},\n  \"enabled_update_melem_s\": {update_melem_s:.3},\n  \
+         \"disabled_update_melem_s\": {off_field},\n  \"overhead_percent\": {overhead_field},\n  \
+         \"pooled_ingest_melem_s\": {ingest_melem_s:.3},\n  \"audit_trials\": {TRIALS}\n}}\n",
+        big.len(),
+    );
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    println!("wrote BENCH_telemetry.json");
+}

@@ -1,0 +1,62 @@
+//! Estimator self-audit: streaming ratio-error observations.
+//!
+//! The paper's accuracy claims (Theorems 3–4) are probabilistic, so a
+//! deployment can only *validate* them where ground truth exists —
+//! tests, benchmarks, or a shadow exact aggregator. Whenever a caller
+//! has both an estimate and the truth, routing the comparison through
+//! [`audit_ratio_error`] streams the paper's §5.1 ratio error into the
+//! `estimator_ratio_error` histogram of the global registry, making the
+//! estimator's observed error distribution (p50/p95/p99/max) part of
+//! every telemetry snapshot.
+
+use std::sync::{Arc, OnceLock};
+use stream_model::metrics::ratio_error;
+use stream_telemetry::{Histogram, Unit};
+
+/// The audit histogram (1e-6 fixed-point ratio errors).
+fn audit_histogram() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| {
+        stream_telemetry::global().histogram("estimator_ratio_error", Unit::Scaled1e6)
+    })
+}
+
+/// Computes the paper's symmetric ratio error between `estimate` and the
+/// ground-truth `actual`, records it into the global
+/// `estimator_ratio_error` histogram, and returns it.
+///
+/// With telemetry compiled out this is exactly
+/// [`stream_model::metrics::ratio_error`].
+pub fn audit_ratio_error(estimate: f64, actual: f64) -> f64 {
+    let err = ratio_error(estimate, actual);
+    if stream_telemetry::ENABLED {
+        audit_histogram().record_f64(err);
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_model::metrics::ERROR_SANITY_BOUND;
+
+    #[test]
+    fn audit_returns_the_ratio_error() {
+        assert_eq!(audit_ratio_error(100.0, 100.0), 0.0);
+        assert!((audit_ratio_error(200.0, 100.0) - 1.0).abs() < 1e-12);
+        assert_eq!(audit_ratio_error(0.0, 100.0), ERROR_SANITY_BOUND);
+    }
+
+    #[test]
+    fn audit_streams_into_the_global_histogram() {
+        let before = audit_histogram().count();
+        audit_ratio_error(150.0, 100.0);
+        audit_ratio_error(100.0, 100.0);
+        if stream_telemetry::ENABLED {
+            assert_eq!(audit_histogram().count(), before + 2);
+            assert!(audit_histogram().quantile_f64(1.0) >= 0.5);
+        } else {
+            assert_eq!(audit_histogram().count(), 0);
+        }
+    }
+}

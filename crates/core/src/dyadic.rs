@@ -137,6 +137,26 @@ impl DyadicHashSketch {
             return;
         }
         debug_assert!(batch.iter().all(|u| self.schema.domain.contains(u.value)));
+        if stream_telemetry::ENABLED {
+            static STATS: std::sync::OnceLock<(
+                std::sync::Arc<stream_telemetry::Counter>,
+                std::sync::Arc<stream_telemetry::Counter>,
+            )> = std::sync::OnceLock::new();
+            let (updates, bytes) = STATS.get_or_init(|| {
+                let r = stream_telemetry::global();
+                let labels = [("sketch", "dyadic")];
+                (
+                    r.counter_with("sketch_batch_updates_total", &labels),
+                    r.counter_with("sketch_batch_bytes_total", &labels),
+                )
+            });
+            // Counts the dyadic wrapper's own view (levels × tables per
+            // update); the per-level HashSketch kernels additionally
+            // report under sketch="hash".
+            updates.add(batch.len() as u64);
+            let touched = batch.len() * self.sketches.len() * self.schema.base().tables();
+            bytes.add(8 * touched as u64);
+        }
         let mut shifted: Vec<Update> = Vec::new();
         for (level, sk) in self.sketches.iter_mut().enumerate() {
             if level == 0 {

@@ -391,18 +391,51 @@ pub fn estimate_join(f: &SkimmedSketch, g: &SkimmedSketch, cfg: &EstimatorConfig
         f.compatible(g),
         "join estimation requires sketches under the same schema"
     );
+    // Telemetry handles (None when compiled out; every span below is a
+    // no-op then and the gauge updates fold away).
+    let telem = stream_telemetry::ENABLED.then(crate::telem::skim_metrics);
     let mut f = f.clone();
     let mut g = g.clone();
     // Step 1: skim both sketches.
     let tf = cfg.policy.threshold(f.base(), f.l1_mass);
     let tg = cfg.policy.threshold(g.base(), g.l1_mass);
-    let dense_f = f.skim(tf, cfg.max_candidates);
-    let dense_g = g.skim(tg, cfg.max_candidates);
+    let dense_f = {
+        let _span = telem.map(|m| m.skim_f.start_span());
+        f.skim(tf, cfg.max_candidates)
+    };
+    let dense_g = {
+        let _span = telem.map(|m| m.skim_g.start_span());
+        g.skim(tg, cfg.max_candidates)
+    };
     // Step 2: the four sub-joins.
-    let dd = dense_f.dot(&dense_g) as f64;
-    let ds = est_subjoin(&dense_f, g.base());
-    let sd = est_subjoin(&dense_g, f.base());
-    let ss = f.base().join_estimate(g.base());
+    let dd = {
+        let _span = telem.map(|m| m.dense_dense.start_span());
+        dense_f.dot(&dense_g) as f64
+    };
+    let ds = {
+        let _span = telem.map(|m| m.dense_sparse.start_span());
+        est_subjoin(&dense_f, g.base())
+    };
+    let sd = {
+        let _span = telem.map(|m| m.sparse_dense.start_span());
+        est_subjoin(&dense_g, f.base())
+    };
+    let ss = {
+        let _span = telem.map(|m| m.sparse_sparse.start_span());
+        f.base().join_estimate(g.base())
+    };
+    if let Some(m) = telem {
+        m.estimates.inc();
+        m.dense_f.set(dense_f.len() as i64);
+        m.dense_g.set(dense_g.len() as i64);
+        // Residual L2 norm of the *skimmed* sketches — how much sparse
+        // mass the sub-join estimators had to contend with (Thm 3's
+        // error scales with it).
+        m.residual_f
+            .set(f.base().self_join_estimate().max(0.0).sqrt());
+        m.residual_g
+            .set(g.base().self_join_estimate().max(0.0).sqrt());
+    }
     JoinEstimate {
         estimate: dd + ds + sd + ss,
         dense_dense: dd,

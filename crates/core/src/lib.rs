@@ -38,6 +38,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod audit;
 pub mod codec;
 pub mod confidence;
 pub mod dyadic;
@@ -45,9 +46,11 @@ pub mod estimator;
 pub mod extracted;
 pub mod planner;
 pub mod skim;
+pub(crate) mod telem;
 pub mod threshold;
 pub mod windowed;
 
+pub use audit::audit_ratio_error;
 pub use codec::{decode_skimmed, encode_skimmed, SkimCodecError};
 pub use confidence::{estimate_join_with_confidence, ConfidenceEstimate};
 pub use dyadic::{DyadicHashSketch, DyadicSchema};

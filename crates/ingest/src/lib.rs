@@ -22,9 +22,12 @@
 
 use crossbeam::channel::{bounded, Sender};
 use crossbeam::thread as cb_thread;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use stream_model::update::Update;
 use stream_sketches::LinearSynopsis;
+use stream_telemetry::{Counter, Gauge, Histogram, Unit};
 
 /// Chunks queued per worker before [`IngestPool::dispatch`] applies
 /// backpressure by blocking the producer.
@@ -35,6 +38,26 @@ enum Msg<S> {
     Batch(Vec<Update>),
     /// Request a copy of the worker's current sketch.
     Snapshot(Sender<S>),
+}
+
+/// Pool-level telemetry handles, registered once per pool construction.
+struct PoolMetrics {
+    /// Chunks dispatched but not yet fully absorbed by a worker.
+    queue_depth: Arc<Gauge>,
+    /// Updates per dispatched chunk.
+    batch_size: Arc<Histogram>,
+    /// Wall time of [`IngestPool::snapshot`] (barrier + clone + merge).
+    snapshot_latency: Arc<Histogram>,
+}
+
+/// Per-worker telemetry handles, moved into the worker thread.
+struct WorkerMetrics {
+    /// Updates this worker has absorbed.
+    updates: Arc<Counter>,
+    /// Chunks this worker has absorbed.
+    batches: Arc<Counter>,
+    /// Shared with [`PoolMetrics::queue_depth`].
+    queue_depth: Arc<Gauge>,
 }
 
 /// A pool of worker threads, each owning a private sketch under a shared
@@ -68,6 +91,12 @@ pub struct IngestPool<S> {
     senders: Vec<Sender<Msg<S>>>,
     workers: Vec<JoinHandle<S>>,
     next: std::cell::Cell<usize>,
+    /// Chunks handed to [`IngestPool::dispatch`] so far.
+    dispatched: Arc<AtomicU64>,
+    /// Chunks fully absorbed by workers (each worker increments after
+    /// its `update_batch` returns).
+    drained: Arc<AtomicU64>,
+    metrics: Option<PoolMetrics>,
 }
 
 impl<S> IngestPool<S>
@@ -84,15 +113,44 @@ where
     /// If `threads` is zero.
     pub fn new(threads: usize, mut make: impl FnMut() -> S) -> Self {
         assert!(threads > 0, "ingest pool needs at least one worker");
+        let metrics = stream_telemetry::ENABLED.then(|| {
+            let r = stream_telemetry::global();
+            PoolMetrics {
+                queue_depth: r.gauge("ingest_queue_depth"),
+                batch_size: r.histogram("ingest_batch_size", Unit::Count),
+                snapshot_latency: r.histogram("ingest_snapshot_seconds", Unit::Nanos),
+            }
+        });
+        let dispatched = Arc::new(AtomicU64::new(0));
+        let drained = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for w in 0..threads {
             let (tx, rx) = bounded::<Msg<S>>(CHANNEL_DEPTH);
             let mut sketch = make();
+            let drained = drained.clone();
+            let telem = metrics.as_ref().map(|m| {
+                let r = stream_telemetry::global();
+                let worker = w.to_string();
+                let labels = [("worker", worker.as_str())];
+                WorkerMetrics {
+                    updates: r.counter_with("ingest_worker_updates_total", &labels),
+                    batches: r.counter_with("ingest_worker_batches_total", &labels),
+                    queue_depth: m.queue_depth.clone(),
+                }
+            });
             workers.push(std::thread::spawn(move || {
                 for msg in rx {
                     match msg {
-                        Msg::Batch(chunk) => sketch.update_batch(&chunk),
+                        Msg::Batch(chunk) => {
+                            sketch.update_batch(&chunk);
+                            drained.fetch_add(1, Ordering::Release);
+                            if let Some(t) = &telem {
+                                t.updates.add(chunk.len() as u64);
+                                t.batches.inc();
+                                t.queue_depth.add(-1);
+                            }
+                        }
                         Msg::Snapshot(reply) => {
                             // The requester may give up (drop the receiver)
                             // before we reply; that's not a worker error.
@@ -108,6 +166,9 @@ where
             senders,
             workers,
             next: std::cell::Cell::new(0),
+            dispatched,
+            drained,
+            metrics,
         }
     }
 
@@ -123,6 +184,11 @@ where
         if chunk.is_empty() {
             return;
         }
+        self.dispatched.fetch_add(1, Ordering::Release);
+        if let Some(m) = &self.metrics {
+            m.queue_depth.add(1);
+            m.batch_size.record(chunk.len() as u64);
+        }
         let i = self.next.get();
         self.next.set((i + 1) % self.senders.len());
         self.senders[i]
@@ -130,13 +196,48 @@ where
             .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
     }
 
+    /// Chunks dispatched but not yet fully absorbed by a worker.
+    ///
+    /// This is an advisory count for monitoring and backpressure decisions:
+    /// it is read racily against concurrent `dispatch` calls from other
+    /// threads, so by the time the caller inspects the value it may already
+    /// be stale. A return of `0` *after* [`IngestPool::snapshot`] or a
+    /// quiescent period is exact, because workers only decrement after
+    /// `update_batch` has fully returned.
+    pub fn pending_chunks(&self) -> u64 {
+        let dispatched = self.dispatched.load(Ordering::Acquire);
+        let drained = self.drained.load(Ordering::Acquire);
+        dispatched.saturating_sub(drained)
+    }
+
+    /// `true` when every dispatched chunk has been absorbed into a worker's
+    /// sketch. Subject to the same advisory caveat as
+    /// [`IngestPool::pending_chunks`].
+    pub fn is_empty(&self) -> bool {
+        self.pending_chunks() == 0
+    }
+
     /// Merges a consistent copy of the pool's sketch without stopping it.
     ///
     /// Each worker finishes the chunks queued before this call, then sends
-    /// back a clone of its sketch; the clones are merged. The snapshot
-    /// therefore reflects every chunk dispatched before `snapshot` and none
-    /// dispatched after it returns.
+    /// back a clone of its sketch; the clones are merged.
+    ///
+    /// # Linearization contract
+    ///
+    /// The snapshot reflects **exactly** the chunks dispatched before this
+    /// call and none dispatched after it returns. This holds because each
+    /// worker's channel is FIFO: the `Snapshot` request queues behind every
+    /// `Batch` already sent to that worker, so the worker has absorbed all
+    /// of them before it clones its sketch. Chunks dispatched concurrently
+    /// from *other* threads may or may not be included (either order is a
+    /// valid linearization). After `snapshot` returns,
+    /// [`IngestPool::pending_chunks`] is `0` provided no concurrent
+    /// dispatches raced with the call.
     pub fn snapshot(&self) -> S {
+        let _span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.snapshot_latency.start_span());
         let mut replies = Vec::with_capacity(self.senders.len());
         for tx in &self.senders {
             let (reply_tx, reply_rx) = bounded(1);
@@ -325,6 +426,23 @@ mod tests {
         pool.dispatch(Vec::new());
         let got = pool.finish();
         assert!(got.counters().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn pending_chunks_drains_to_zero_after_snapshot() {
+        let schema = HashSketchSchema::new(4, 64, 17);
+        let updates = mixed_updates(8_000);
+        let pool = IngestPool::new(2, || HashSketch::new(schema.clone()));
+        assert!(pool.is_empty());
+        for chunk in updates.chunks(250) {
+            pool.dispatch(chunk.to_vec());
+        }
+        // snapshot() barriers behind every dispatched chunk, so with no
+        // concurrent producers the pool is exactly drained afterwards.
+        let _snap = pool.snapshot();
+        assert_eq!(pool.pending_chunks(), 0);
+        assert!(pool.is_empty());
+        let _ = pool.finish();
     }
 
     #[test]

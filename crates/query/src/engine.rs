@@ -12,9 +12,29 @@
 use crate::predicate::Predicate;
 use crate::record::{Op, Record};
 use skimmed_sketch::{estimate_join, EstimatorConfig, JoinEstimate, SkimmedSchema, SkimmedSketch};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use stream_model::update::Update;
 use stream_sketches::LinearSynopsis as _;
+use stream_telemetry::{Counter, Histogram, Unit};
+
+/// Engine-wide telemetry handles, shared by every [`JoinQueryEngine`].
+struct EngineMetrics {
+    answers: Arc<Histogram>,
+    accepted: Arc<Counter>,
+    filtered: Arc<Counter>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = stream_telemetry::global();
+        EngineMetrics {
+            answers: r.histogram("query_answer_seconds", Unit::Nanos),
+            accepted: r.counter("query_records_accepted_total"),
+            filtered: r.counter("query_records_filtered_total"),
+        }
+    })
+}
 
 /// Which side of the join a record belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +135,15 @@ impl JoinQueryEngine {
         };
         if !pred.eval(&record) {
             self.filtered[idx] += 1;
+            if stream_telemetry::ENABLED {
+                engine_metrics().filtered.inc();
+            }
             return false;
         }
         self.accepted[idx] += 1;
+        if stream_telemetry::ENABLED {
+            engine_metrics().accepted.inc();
+        }
         let w = op.sign();
         match side {
             Side::Left => self.count_left.add_weighted(record.value, w),
@@ -159,6 +185,11 @@ impl JoinQueryEngine {
         let accepted = count_updates.len();
         self.accepted[idx] += accepted as u64;
         self.filtered[idx] += (records.len() - accepted) as u64;
+        if stream_telemetry::ENABLED {
+            let m = engine_metrics();
+            m.accepted.add(accepted as u64);
+            m.filtered.add((records.len() - accepted) as u64);
+        }
         match side {
             Side::Left => self.count_left.add_batch(&count_updates),
             Side::Right => {
@@ -179,6 +210,7 @@ impl JoinQueryEngine {
     /// Answers the aggregate from the current synopses (non-destructive —
     /// streaming can continue afterwards).
     pub fn answer(&self, agg: Aggregate) -> QueryAnswer {
+        let _span = stream_telemetry::ENABLED.then(|| engine_metrics().answers.start_span());
         let count = estimate_join(&self.count_left, &self.count_right, &self.config);
         match agg {
             Aggregate::Count => QueryAnswer {

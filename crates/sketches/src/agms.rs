@@ -165,6 +165,13 @@ impl AgmsSketch {
     /// single time per chunk instead of once per update. Counters are
     /// bit-identical to the per-update path.
     pub fn add_batch(&mut self, batch: &[Update]) {
+        if stream_telemetry::ENABLED {
+            static STATS: std::sync::OnceLock<crate::telem::BatchStats> =
+                std::sync::OnceLock::new();
+            // Basic AGMS touches every one of the s1·s2 counters per update.
+            crate::telem::batch_stats(&STATS, "agms")
+                .note(batch.len(), batch.len() * self.schema.words());
+        }
         let mut keyed: Vec<(BchKey, i64)> = Vec::with_capacity(batch.len().min(BATCH_CHUNK));
         for chunk in batch.chunks(BATCH_CHUNK) {
             keyed.clear();

@@ -123,6 +123,12 @@ impl CountMinSketch {
     /// every row. Counters are bit-identical to the per-update path.
     pub fn add_batch(&mut self, batch: &[Update]) {
         let w = self.schema.width;
+        if stream_telemetry::ENABLED {
+            static STATS: std::sync::OnceLock<crate::telem::BatchStats> =
+                std::sync::OnceLock::new();
+            crate::telem::batch_stats(&STATS, "countmin")
+                .note(batch.len(), batch.len() * self.schema.depth);
+        }
         let mut reduced = [0u64; BATCH_CHUNK];
         let mut weights = [0i64; BATCH_CHUNK];
         let mut buckets = [0usize; BATCH_CHUNK];

@@ -13,7 +13,7 @@
 //! SKIMDENSE uses to pull the dense values out.
 
 use crate::linear::LinearSynopsis;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use stream_hash::prime::{mul_mod, reduce};
 use stream_hash::{PairwiseHash, SeedSequence, SignFamily};
 use stream_model::metrics::{median_i128, median_i64};
@@ -181,6 +181,10 @@ impl HashSketch {
     pub fn add_batch(&mut self, batch: &[Update]) {
         let t = self.schema.tables;
         let b = self.schema.buckets;
+        if stream_telemetry::ENABLED {
+            static STATS: OnceLock<crate::telem::BatchStats> = OnceLock::new();
+            crate::telem::batch_stats(&STATS, "hash").note(batch.len(), batch.len() * t);
+        }
         let mut reduced = [0u64; BATCH_CHUNK];
         let mut squares = [0u64; BATCH_CHUNK];
         let mut cubes = [0u64; BATCH_CHUNK];

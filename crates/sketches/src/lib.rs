@@ -16,6 +16,7 @@ pub mod countmin;
 pub mod distinct;
 pub mod hash_sketch;
 pub mod linear;
+pub(crate) mod telem;
 pub mod topk;
 
 pub use agms::{AgmsSchema, AgmsSketch};

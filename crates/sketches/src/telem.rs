@@ -1,0 +1,42 @@
+//! Batch-kernel telemetry: per-sketch update and bytes-touched counters.
+//!
+//! Each batch kernel owns a `OnceLock` cell so the registry lookup
+//! happens once per process; afterwards a batch costs two relaxed
+//! `fetch_add`s — amortised over hundreds of updates, far below the 2%
+//! overhead budget. When telemetry is compiled out the call sites guard
+//! on [`stream_telemetry::ENABLED`] and the whole path folds away.
+
+use std::sync::{Arc, OnceLock};
+use stream_telemetry::Counter;
+
+/// Cached handles for one kernel's throughput counters.
+pub(crate) struct BatchStats {
+    updates: Arc<Counter>,
+    bytes: Arc<Counter>,
+}
+
+impl BatchStats {
+    /// Records one batch: `updates` stream elements whose application
+    /// wrote `counters_touched` synopsis counters (8 bytes each).
+    #[inline]
+    pub(crate) fn note(&self, updates: usize, counters_touched: usize) {
+        self.updates.add(updates as u64);
+        self.bytes.add(8 * counters_touched as u64);
+    }
+}
+
+/// The `sketch`-labelled counters for one kernel, registered on first
+/// use into the global registry and cached in the kernel's `cell`.
+pub(crate) fn batch_stats(
+    cell: &'static OnceLock<BatchStats>,
+    sketch: &'static str,
+) -> &'static BatchStats {
+    cell.get_or_init(|| {
+        let registry = stream_telemetry::global();
+        let labels = [("sketch", sketch)];
+        BatchStats {
+            updates: registry.counter_with("sketch_batch_updates_total", &labels),
+            bytes: registry.counter_with("sketch_batch_bytes_total", &labels),
+        }
+    })
+}

@@ -33,10 +33,13 @@ pub fn ratio_error(estimate: f64, actual: f64) -> f64 {
 }
 
 /// Plain relative error `|Ĵ − J| / J` (reported alongside the ratio error
-/// for comparison; requires `actual != 0`).
-pub fn relative_error(estimate: f64, actual: f64) -> f64 {
-    assert!(actual != 0.0, "relative error undefined for actual == 0");
-    (estimate - actual).abs() / actual.abs()
+/// for comparison). `None` when `actual == 0`, where the quotient is
+/// undefined — an empty join has no meaningful relative scale.
+pub fn relative_error(estimate: f64, actual: f64) -> Option<f64> {
+    if actual == 0.0 {
+        return None;
+    }
+    Some((estimate - actual).abs() / actual.abs())
 }
 
 /// Absolute (additive) error `|Ĵ − J|`.
@@ -156,8 +159,15 @@ mod tests {
     fn underestimates_are_not_favored() {
         // The motivating pathology: always answering ~0 must score the
         // sanity bound, not <= 1 like plain relative error would give.
-        assert!(relative_error(1.0, 1000.0) < 1.0);
+        assert!(relative_error(1.0, 1000.0).unwrap() < 1.0);
         assert_eq!(ratio_error(1.0, 1000.0), ERROR_SANITY_BOUND);
+    }
+
+    #[test]
+    fn relative_error_is_undefined_for_zero_actual() {
+        assert_eq!(relative_error(3.0, 0.0), None);
+        assert_eq!(relative_error(0.0, 0.0), None);
+        assert!((relative_error(90.0, 100.0).unwrap() - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Scalar metrics: monotone counters and instantaneous gauges.
+//!
+//! All three types are a single atomic word updated with `Relaxed`
+//! ordering — readers get a consistent *per-metric* value, and snapshot
+//! consistency across metrics is explicitly not promised (it is
+//! monitoring data, not a linearizable view).
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    bits: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, as counters do after ~10¹⁹ events).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.bits.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current count (0 when telemetry is disabled).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.bits.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+/// An instantaneous signed value (queue depths, dense-value counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    bits: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            bits: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "enabled")]
+        self.bits.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Adds `delta` (negative to decrement).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(feature = "enabled")]
+        self.bits.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = delta;
+    }
+
+    /// Current value (0 when telemetry is disabled).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.bits.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+/// An instantaneous floating-point value (residual L2 mass, error
+/// bounds), stored as the `f64` bit pattern in one atomic word.
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    #[cfg(feature = "enabled")]
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    /// A gauge at 0.0.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Current value (0.0 when telemetry is disabled).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        #[cfg(feature = "enabled")]
+        {
+            f64::from_bits(self.bits.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0.0
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counter_concurrent_increments_from_many_threads() {
+        // 8 threads × 100k increments: no update may be lost.
+        let c = std::sync::Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 800_000);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn gauge_concurrent_inc_dec_balances() {
+        let g = std::sync::Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50_000 {
+                        g.add(if i % 2 == 0 { 1 } else { -1 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn float_gauge_round_trips() {
+        let g = FloatGauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1234.5678);
+        assert_eq!(g.get(), 1234.5678);
+        g.set(-0.25);
+        assert_eq!(g.get(), -0.25);
+    }
+}

@@ -1,0 +1,361 @@
+//! Log-scaled histograms and RAII span timers.
+//!
+//! The bucket layout is the HDR-style "log₂ groups × linear sub-buckets"
+//! scheme: values below 2⁵ land in exact unit buckets; above that, each
+//! power-of-two group is split into 32 linear sub-buckets, so every
+//! recorded value is off by at most one part in 32 (≈ 3% relative error)
+//! while the whole u64 range fits in 1920 buckets (15 KiB of atomics).
+//! Recording is one `fetch_add` per bucket plus count/sum/max updates —
+//! lock-free and allocation-free, safe inside hot kernels.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two group splits into `2^SUB_BITS`
+/// linear buckets.
+#[cfg(any(feature = "enabled", test))]
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per group.
+#[cfg(any(feature = "enabled", test))]
+const SUB: usize = 1 << SUB_BITS;
+/// Groups: one for the exact `[0, 32)` range, then one per leading bit.
+#[cfg(any(feature = "enabled", test))]
+const GROUPS: usize = 64 - SUB_BITS as usize + 1;
+/// Total buckets (1920).
+#[cfg(feature = "enabled")]
+const BUCKETS: usize = SUB * GROUPS;
+
+/// Fixed-point scale used by [`Histogram::record_f64`]: floats are stored
+/// in units of 1e-6, giving micro-resolution for ratio errors and other
+/// O(1)-magnitude observations.
+pub const F64_SCALE: f64 = 1e6;
+
+/// Bucket index of `v`.
+#[cfg(any(feature = "enabled", test))]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let group = msb - SUB_BITS as usize + 1;
+        let sub = ((v >> (msb - SUB_BITS as usize)) - SUB as u64) as usize;
+        group * SUB + sub
+    }
+}
+
+/// Representative value reported for bucket `i` (lower bound plus half
+/// the bucket width; exact for values below 64).
+#[cfg(any(feature = "enabled", test))]
+fn bucket_value(i: usize) -> u64 {
+    let (group, sub) = (i / SUB, i % SUB);
+    if group == 0 {
+        sub as u64
+    } else {
+        let width = 1u64 << (group - 1);
+        ((SUB + sub) as u64) * width + (width >> 1)
+    }
+}
+
+/// A lock-free log-scaled histogram over `u64` observations.
+///
+/// Tracks count, sum, exact max, and ~3%-accurate quantiles. Time spans
+/// are recorded in nanoseconds via [`Histogram::start_span`]; floating
+/// observations (e.g. ratio errors) via [`Histogram::record_f64`].
+#[derive(Debug)]
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    sum: AtomicU64,
+    #[cfg(feature = "enabled")]
+    max: AtomicU64,
+    #[cfg(feature = "enabled")]
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            sum: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            max: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Records a non-negative floating observation in 1e-6 fixed point
+    /// (see [`F64_SCALE`]); negative or NaN observations record as 0.
+    #[inline]
+    pub fn record_f64(&self, x: f64) {
+        let scaled = (x * F64_SCALE).round();
+        self.record(if scaled.is_finite() && scaled > 0.0 {
+            scaled as u64
+        } else {
+            0
+        });
+    }
+
+    /// Starts an RAII span: the elapsed wall time in nanoseconds is
+    /// recorded when the returned guard drops. When telemetry is
+    /// disabled the guard is a no-op that never reads the clock.
+    #[inline]
+    pub fn start_span(&self) -> Span<'_> {
+        Span {
+            #[cfg(feature = "enabled")]
+            histogram: self,
+            #[cfg(feature = "enabled")]
+            start: std::time::Instant::now(),
+            #[cfg(not(feature = "enabled"))]
+            _histogram: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Sum of observations (wrapping).
+    pub fn sum(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.sum.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Largest observation, exactly.
+    pub fn max(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.max.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank over the bucket
+    /// counts: accurate to one part in 32 of the returned value.
+    /// `quantile(1.0)` returns the exact max; an empty histogram
+    /// returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            let count = self.count();
+            if count == 0 {
+                return 0;
+            }
+            if q >= 1.0 {
+                return self.max();
+            }
+            let rank = ((q.max(0.0) * count as f64).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for (i, b) in self.buckets.iter().enumerate() {
+                seen += b.load(Ordering::Relaxed);
+                if seen >= rank {
+                    return bucket_value(i).min(self.max());
+                }
+            }
+            self.max()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = q;
+            0
+        }
+    }
+
+    /// [`Histogram::quantile`] mapped back through the [`F64_SCALE`]
+    /// fixed point, for histograms fed by [`Histogram::record_f64`].
+    pub fn quantile_f64(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / F64_SCALE
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII timer guard from [`Histogram::start_span`]: records the elapsed
+/// nanoseconds into its histogram on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    #[cfg(feature = "enabled")]
+    histogram: &'a Histogram,
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+    #[cfg(not(feature = "enabled"))]
+    _histogram: std::marker::PhantomData<&'a Histogram>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        self.histogram
+            .record(self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_64() {
+        // Group 0 is unit buckets; group 1 has width 1 too, so every
+        // value below 64 maps to its own bucket and back exactly.
+        for v in 0..64u64 {
+            assert_eq!(bucket_value(bucket_index(v)), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous_at_group_edges() {
+        for &v in &[31u64, 32, 33, 63, 64, 65, 127, 128, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            if v > 0 {
+                let prev = bucket_index(v - 1);
+                assert!(prev == i || prev + 1 == i, "v={v} i={i} prev={prev}");
+            }
+        }
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32); // first bucket of group 1
+        assert_eq!(bucket_index(u64::MAX), SUB * GROUPS - 1); // last bucket
+    }
+
+    #[test]
+    fn representative_value_is_within_one_part_in_32() {
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let rep = bucket_value(bucket_index(v));
+            let err = rep.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} rep={rep} err={err}");
+            v = v.wrapping_mul(3) + 1;
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sum_max_are_exact() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 1000, 123_456_789] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1 + 5 + 1000 + 123_456_789);
+        assert_eq!(h.max(), 123_456_789);
+    }
+
+    #[test]
+    fn quantiles_exact_on_small_values() {
+        // 1..=20 are all below 64, hence bucketed exactly.
+        let h = Histogram::new();
+        for v in 1..=20u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.95), 19);
+        assert_eq!(h.quantile(1.0), 20);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_track_large_values_within_resolution() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1_000); // 1k..1M
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn f64_round_trip_through_fixed_point() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record_f64(0.125);
+        }
+        assert!((h.quantile_f64(0.5) - 0.125).abs() < 0.01);
+        // Negative and NaN observations clamp to zero instead of panicking.
+        h.record_f64(-3.0);
+        h.record_f64(f64::NAN);
+        assert_eq!(h.count(), 12);
+    }
+
+    #[test]
+    fn span_records_elapsed_nanos() {
+        let h = Histogram::new();
+        {
+            let _span = h.start_span();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 2_000_000, "max={}", h.max());
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100_000u64 {
+                        h.record(t * 7 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 400_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! # stream-telemetry
+//!
+//! Hand-rolled, zero-dependency runtime telemetry for the skimmed-sketch
+//! workspace: lock-free [`Counter`]s, [`Gauge`]s and [`FloatGauge`]s,
+//! log-scaled latency [`Histogram`]s with RAII [`Span`] timers, and a
+//! [`Registry`] that renders consistent snapshots as JSON-lines and
+//! Prometheus text exposition format.
+//!
+//! Every recording operation is a handful of `Relaxed` atomic
+//! read-modify-writes — no locks, no allocation — so instrumentation can
+//! sit directly inside the batched update kernels and the skim pipeline.
+//! Registration (name → handle) takes a mutex, but it happens once per
+//! metric on a cold path; hot paths cache the returned `Arc` handles.
+//!
+//! ## The `enabled` feature
+//!
+//! With the (default) `enabled` feature off, the entire API keeps its
+//! shape but compiles to inline no-ops: counters hold no storage,
+//! histograms allocate no buckets, span timers never read the clock, and
+//! [`ENABLED`] is `false` so call sites can skip even the cost of
+//! computing the values they would have recorded:
+//!
+//! ```
+//! use stream_telemetry as telemetry;
+//! if telemetry::ENABLED {
+//!     // compute-and-record path, dead-code-eliminated when disabled
+//! }
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use stream_telemetry::{Registry, Unit};
+//!
+//! let registry = Registry::new();
+//! let ingested = registry.counter("demo_updates_total");
+//! let latency = registry.histogram("demo_phase_seconds", Unit::Nanos);
+//! {
+//!     let _span = latency.start_span(); // records on drop
+//!     ingested.add(512);
+//! }
+//! let text = registry.render_prometheus();
+//! if stream_telemetry::ENABLED {
+//!     assert!(text.contains("demo_updates_total 512"));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod gauges;
+mod histogram;
+mod registry;
+
+pub use gauges::{Counter, FloatGauge, Gauge};
+pub use histogram::{Histogram, Span, F64_SCALE};
+pub use registry::{Registry, Unit};
+
+/// Whether telemetry is compiled in. `false` means every operation in
+/// this crate is an inline no-op; call sites use this constant to skip
+/// computing values that would only feed telemetry.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// The process-wide registry that the workspace's instrumentation points
+/// register into. Lazily initialised; cheap to call (one atomic load
+/// after the first call).
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,347 @@
+//! Metric registration and snapshot rendering.
+//!
+//! A [`Registry`] maps `(name, labels)` pairs to shared metric handles.
+//! Registration is idempotent — asking for an existing pair returns the
+//! same handle — and takes a mutex, which is fine because it happens on
+//! cold paths (constructors, `OnceLock` initialisers). The handles
+//! themselves are lock-free.
+//!
+//! Snapshots render in registration order, deterministically, in two
+//! formats: JSON-lines (one object per metric, machine-diffable) and the
+//! Prometheus text exposition format (histograms as `summary` families
+//! with `quantile` labels plus `_sum`/`_count`/`_max` series).
+
+use crate::{Counter, FloatGauge, Gauge, Histogram};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// How a histogram's raw `u64` observations map to exported numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Raw counts (batch sizes, candidate counts).
+    Count,
+    /// Nanoseconds, exported as seconds (span timers).
+    Nanos,
+    /// 1e-6 fixed point recorded via [`Histogram::record_f64`], exported
+    /// as the original float (ratio errors).
+    Scaled1e6,
+}
+
+impl Unit {
+    fn export(self, raw: u64) -> f64 {
+        match self {
+            Unit::Count => raw as f64,
+            Unit::Nanos => raw as f64 / 1e9,
+            Unit::Scaled1e6 => raw as f64 / crate::F64_SCALE,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Float(Arc<FloatGauge>),
+    Histogram(Arc<Histogram>, Unit),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) | Handle::Float(_) => "gauge",
+            Handle::Histogram(..) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A set of named metrics that renders consistent snapshots.
+///
+/// Production code uses the process-wide [`crate::global`] registry;
+/// tests construct their own for deterministic golden output.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return e.handle.clone();
+        }
+        let handle = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    ///
+    /// # Panics
+    /// If the pair is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labelled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        if !crate::ENABLED {
+            return Arc::new(Counter::new());
+        }
+        match self.register(name, labels, || Handle::Counter(Arc::new(Counter::new()))) {
+            Handle::Counter(c) => c,
+            h => panic!("{name} already registered as a {}", h.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        if !crate::ENABLED {
+            return Arc::new(Gauge::new());
+        }
+        match self.register(name, labels, || Handle::Gauge(Arc::new(Gauge::new()))) {
+            Handle::Gauge(g) => g,
+            h => panic!("{name} already registered as a {}", h.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled floating-point gauge.
+    pub fn float_gauge(&self, name: &str) -> Arc<FloatGauge> {
+        self.float_gauge_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labelled floating-point gauge.
+    pub fn float_gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+        if !crate::ENABLED {
+            return Arc::new(FloatGauge::new());
+        }
+        match self.register(name, labels, || Handle::Float(Arc::new(FloatGauge::new()))) {
+            Handle::Float(g) => g,
+            h => panic!("{name} already registered as a {}", h.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, unit: Unit) -> Arc<Histogram> {
+        self.histogram_with(name, &[], unit)
+    }
+
+    /// Registers (or retrieves) a labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        if !crate::ENABLED {
+            return Arc::new(Histogram::new());
+        }
+        match self.register(name, labels, || {
+            Handle::Histogram(Arc::new(Histogram::new()), unit)
+        }) {
+            Handle::Histogram(h, _) => h,
+            h => panic!("{name} already registered as a {}", h.kind()),
+        }
+    }
+
+    /// Renders one JSON object per metric, one per line, in registration
+    /// order. Histograms export `count`, `sum`, `p50`/`p95`/`p99`, and
+    /// `max` in their unit's terms. Empty when telemetry is disabled.
+    pub fn render_json_lines(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for e in entries.iter() {
+            let labels = if e.labels.is_empty() {
+                String::new()
+            } else {
+                let body: Vec<String> = e
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\":\"{v}\""))
+                    .collect();
+                format!(",\"labels\":{{{}}}", body.join(","))
+            };
+            let line = match &e.handle {
+                Handle::Counter(c) => format!(
+                    "{{\"metric\":\"{}\",\"type\":\"counter\"{labels},\"value\":{}}}",
+                    e.name,
+                    c.get()
+                ),
+                Handle::Gauge(g) => format!(
+                    "{{\"metric\":\"{}\",\"type\":\"gauge\"{labels},\"value\":{}}}",
+                    e.name,
+                    g.get()
+                ),
+                Handle::Float(g) => format!(
+                    "{{\"metric\":\"{}\",\"type\":\"gauge\"{labels},\"value\":{}}}",
+                    e.name,
+                    fmt_f64(g.get())
+                ),
+                Handle::Histogram(h, unit) => format!(
+                    "{{\"metric\":\"{}\",\"type\":\"histogram\"{labels},\"count\":{},\"sum\":{},\
+                     \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                    e.name,
+                    h.count(),
+                    fmt_f64(unit.export(h.sum())),
+                    fmt_f64(unit.export(h.quantile(0.5))),
+                    fmt_f64(unit.export(h.quantile(0.95))),
+                    fmt_f64(unit.export(h.quantile(0.99))),
+                    fmt_f64(unit.export(h.max())),
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the Prometheus text exposition format: counters and gauges
+    /// verbatim, histograms as `summary` families. Empty when telemetry
+    /// is disabled.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut typed: HashSet<&str> = HashSet::new();
+        for e in entries.iter() {
+            if typed.insert(e.name.as_str()) {
+                out.push_str(&format!(
+                    "# TYPE {} {}\n",
+                    e.name,
+                    match &e.handle {
+                        Handle::Counter(_) => "counter",
+                        Handle::Gauge(_) | Handle::Float(_) => "gauge",
+                        Handle::Histogram(..) => "summary",
+                    }
+                ));
+            }
+            match &e.handle {
+                Handle::Counter(c) => out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    prom_labels(&e.labels, &[]),
+                    c.get()
+                )),
+                Handle::Gauge(g) => out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    prom_labels(&e.labels, &[]),
+                    g.get()
+                )),
+                Handle::Float(g) => out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    prom_labels(&e.labels, &[]),
+                    fmt_f64(g.get())
+                )),
+                Handle::Histogram(h, unit) => {
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            e.name,
+                            prom_labels(&e.labels, &[("quantile", label)]),
+                            fmt_f64(unit.export(h.quantile(q)))
+                        ));
+                    }
+                    let plain = prom_labels(&e.labels, &[]);
+                    out.push_str(&format!(
+                        "{}_sum{plain} {}\n",
+                        e.name,
+                        fmt_f64(unit.export(h.sum()))
+                    ));
+                    out.push_str(&format!("{}_count{plain} {}\n", e.name, h.count()));
+                    out.push_str(&format!(
+                        "{}_max{plain} {}\n",
+                        e.name,
+                        fmt_f64(unit.export(h.max()))
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a Prometheus label set: the entry's own labels plus `extra`
+/// (e.g. `quantile`), or the empty string when there are none.
+fn prom_labels(own: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if own.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = own
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .chain(extra.iter().map(|&(k, v)| format!("{k}=\"{v}\"")))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Deterministic f64 formatting: integers without a trailing `.0` would
+/// be valid JSON but ambiguous to diff, so keep Rust's shortest
+/// round-trip formatting and only special-case non-finite values.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter_with("hits_total", &[("worker", "0")]);
+        let b = r.counter_with("hits_total", &[("worker", "0")]);
+        let c = r.counter_with("hits_total", &[("worker", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same pair must share storage");
+        assert_eq!(c.get(), 0, "different labels are a different series");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("thing");
+        let _ = r.gauge("thing");
+    }
+}

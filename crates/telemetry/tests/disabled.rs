@@ -1,0 +1,55 @@
+//! The telemetry-off contract: with `--no-default-features` the API
+//! keeps its shape but records nothing, reads as zero, and renders
+//! empty snapshots. These tests pin that contract so the disabled
+//! configuration cannot rot.
+#![cfg(not(feature = "enabled"))]
+
+use stream_telemetry::{global, Registry, Unit};
+
+#[test]
+fn enabled_constant_reports_off() {
+    // Deliberately a constant assertion: the test pins the value of the
+    // compile-time switch in this build configuration.
+    #[allow(clippy::assertions_on_constants)]
+    {
+        assert!(!stream_telemetry::ENABLED);
+    }
+}
+
+#[test]
+fn all_metric_kinds_are_inert() {
+    let r = Registry::new();
+    let c = r.counter("c_total");
+    c.inc();
+    c.add(100);
+    assert_eq!(c.get(), 0);
+
+    let g = r.gauge("g");
+    g.set(7);
+    g.add(3);
+    assert_eq!(g.get(), 0);
+
+    let f = r.float_gauge("f");
+    f.set(2.5);
+    assert_eq!(f.get(), 0.0);
+
+    let h = r.histogram("h_seconds", Unit::Nanos);
+    h.record(123);
+    h.record_f64(0.5);
+    {
+        let _span = h.start_span();
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+}
+
+#[test]
+fn snapshots_render_empty() {
+    let r = Registry::new();
+    let _ = r.counter("something_total");
+    assert_eq!(r.render_json_lines(), "");
+    assert_eq!(r.render_prometheus(), "");
+    assert_eq!(global().render_prometheus(), "");
+}

@@ -1,0 +1,76 @@
+//! Golden snapshot-rendering tests: both export formats are diffed
+//! against exact expected strings, so any accidental format drift (field
+//! order, float formatting, label quoting) fails loudly.
+#![cfg(feature = "enabled")]
+
+use stream_telemetry::{Registry, Unit};
+
+/// Builds a registry with one metric of every kind, deterministically
+/// populated.
+fn populated() -> Registry {
+    let r = Registry::new();
+    let c = r.counter_with("ingest_worker_updates_total", &[("worker", "0")]);
+    c.add(4096);
+    let g = r.gauge("ingest_queue_depth");
+    g.set(3);
+    let f = r.float_gauge_with("skim_residual_l2", &[("side", "f")]);
+    f.set(1234.5);
+    let h = r.histogram("skim_phase_batch_size", Unit::Count);
+    for v in 1..=20u64 {
+        h.record(v);
+    }
+    r
+}
+
+#[test]
+fn json_lines_golden() {
+    let expected = "\
+{\"metric\":\"ingest_worker_updates_total\",\"type\":\"counter\",\"labels\":{\"worker\":\"0\"},\"value\":4096}\n\
+{\"metric\":\"ingest_queue_depth\",\"type\":\"gauge\",\"value\":3}\n\
+{\"metric\":\"skim_residual_l2\",\"type\":\"gauge\",\"labels\":{\"side\":\"f\"},\"value\":1234.5}\n\
+{\"metric\":\"skim_phase_batch_size\",\"type\":\"histogram\",\"count\":20,\"sum\":210,\"p50\":10,\"p95\":19,\"p99\":20,\"max\":20}\n";
+    assert_eq!(populated().render_json_lines(), expected);
+}
+
+#[test]
+fn prometheus_golden() {
+    let expected = "\
+# TYPE ingest_worker_updates_total counter\n\
+ingest_worker_updates_total{worker=\"0\"} 4096\n\
+# TYPE ingest_queue_depth gauge\n\
+ingest_queue_depth 3\n\
+# TYPE skim_residual_l2 gauge\n\
+skim_residual_l2{side=\"f\"} 1234.5\n\
+# TYPE skim_phase_batch_size summary\n\
+skim_phase_batch_size{quantile=\"0.5\"} 10\n\
+skim_phase_batch_size{quantile=\"0.95\"} 19\n\
+skim_phase_batch_size{quantile=\"0.99\"} 20\n\
+skim_phase_batch_size_sum 210\n\
+skim_phase_batch_size_count 20\n\
+skim_phase_batch_size_max 20\n";
+    assert_eq!(populated().render_prometheus(), expected);
+}
+
+#[test]
+fn nanos_histograms_export_seconds() {
+    let r = Registry::new();
+    let h = r.histogram("phase_seconds", Unit::Nanos);
+    h.record(2_000_000_000); // exactly 2s
+    let json = r.render_json_lines();
+    assert!(json.contains("\"max\":2"), "json={json}");
+    let prom = r.render_prometheus();
+    assert!(prom.contains("phase_seconds_max 2\n"), "prom={prom}");
+}
+
+#[test]
+fn scaled_histograms_export_the_original_float() {
+    let r = Registry::new();
+    let h = r.histogram("estimator_ratio_error", Unit::Scaled1e6);
+    h.record_f64(0.25);
+    assert!((h.quantile_f64(1.0) - 0.25).abs() < 1e-9);
+    let prom = r.render_prometheus();
+    assert!(
+        prom.contains("estimator_ratio_error_max 0.25\n"),
+        "prom={prom}"
+    );
+}
