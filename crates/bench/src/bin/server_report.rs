@@ -1,0 +1,174 @@
+//! Serving-layer throughput + latency record (`BENCH_server.json`).
+//!
+//! Stands up a loopback [`Server`], streams two zipfian update streams
+//! through a [`ServerClient`], and measures what the network boundary
+//! costs relative to in-process ingestion:
+//!
+//! * sustained wire ingest throughput (updates/s through encode → TCP →
+//!   decode → `try_dispatch`), with the THROTTLE retry count,
+//! * query latency quantiles (p50/p95/p99) for QUERY_JOIN round trips,
+//!   each of which takes two linearizable pool snapshots and runs
+//!   ESTSKIMJOINSIZE,
+//! * a correctness gate: the served answer must equal the in-process
+//!   estimate of the same updates bit-for-bit.
+//!
+//! Like `telemetry_report`, the telemetry switch is a compile-time
+//! feature, so the overhead A/B spans two builds of this binary:
+//!
+//! ```text
+//! cargo run -p ss-bench --release --no-default-features --bin server_report
+//! cargo run -p ss-bench --release --bin server_report
+//! ```
+//!
+//! The first (disabled) run writes `BENCH_server_off.json`; the second
+//! (enabled) run reads it back and writes `BENCH_server.json` with both
+//! arms and the relative serving overhead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use std::time::Instant;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, Update};
+use stream_server::{Server, ServerClient, ServerConfig};
+use stream_wire::StreamId;
+
+const N: usize = 400_000;
+const CHUNK: usize = 8_192;
+const QUERIES: usize = 200;
+
+fn zipf_updates(domain: Domain, skew: f64, seed: u64, n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(domain, skew, seed);
+    (0..n).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+fn quantile(sorted_ns: &[u64], q: f64) -> f64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3 // microseconds
+}
+
+fn main() {
+    let domain = Domain::with_log2(14);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let config = if stream_telemetry::ENABLED {
+        "enabled"
+    } else {
+        "disabled"
+    };
+    println!("server_report — instrumentation {config}, host cpus = {host_cpus}");
+
+    let schema = SkimmedSchema::scanning(domain, 7, 256, 42);
+    let mut server_config = ServerConfig::new(schema.clone());
+    server_config.handler_threads = 2;
+    server_config.ingest_workers = 2.min(host_cpus);
+    let server = Server::bind("127.0.0.1:0", server_config).expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    let uf = zipf_updates(domain, 1.0, 11, N);
+    let ug = zipf_updates(domain, 0.8, 12, N);
+
+    // --- sustained wire ingest -------------------------------------------
+    let mut client = ServerClient::connect_named(addr, "server_report").expect("connect");
+    let t = Instant::now();
+    let rf = client.send_all(StreamId::F, &uf, CHUNK).expect("send F");
+    let rg = client.send_all(StreamId::G, &ug, CHUNK).expect("send G");
+    let wire_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+    let throttled = rf.throttled + rg.throttled;
+    println!(
+        "wire ingest: {wire_melem_s:.2} Melem/s ({} batches, {throttled} throttle retries)",
+        rf.batches + rg.batches
+    );
+    assert_eq!(rf.updates + rg.updates, 2 * N as u64, "every update acked");
+
+    // --- correctness gate: served answer == in-process answer ------------
+    let mut local_f = SkimmedSketch::new(schema.clone());
+    let mut local_g = SkimmedSketch::new(schema);
+    local_f.add_batch(&uf);
+    local_g.add_batch(&ug);
+    let local = estimate_join(&local_f, &local_g, &EstimatorConfig::default());
+    let served = client.query_join().expect("query_join");
+    assert_eq!(
+        served.estimate, local.estimate,
+        "served estimate must match in-process bit-for-bit"
+    );
+    println!(
+        "join estimate over the wire: {:.0} (dense |F|={}, |G|={}) — matches in-process",
+        served.estimate, served.dense_f, served.dense_g
+    );
+
+    // --- query latency quantiles -----------------------------------------
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(QUERIES);
+    for _ in 0..QUERIES {
+        let t = Instant::now();
+        let a = client.query_join().expect("query_join");
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(a.estimate, local.estimate);
+    }
+    lat_ns.sort_unstable();
+    let (p50, p95, p99) = (
+        quantile(&lat_ns, 0.50),
+        quantile(&lat_ns, 0.95),
+        quantile(&lat_ns, 0.99),
+    );
+    println!(
+        "QUERY_JOIN latency over {QUERIES} calls: p50 {p50:.0}µs, p95 {p95:.0}µs, p99 {p99:.0}µs"
+    );
+
+    client.goodbye().expect("goodbye");
+    let (fin_f, _fin_g) = server.shutdown();
+    assert_eq!(
+        fin_f.l1_mass(),
+        local_f.l1_mass(),
+        "shutdown drains every acked update"
+    );
+
+    if stream_telemetry::ENABLED {
+        println!("\n--- server telemetry (JSON lines) ---");
+        let snapshot = stream_telemetry::global().render_json_lines();
+        for line in snapshot.lines().filter(|l| l.contains("server_")) {
+            println!("{line}");
+        }
+    }
+
+    // --- record the A/B ---------------------------------------------------
+    if !stream_telemetry::ENABLED {
+        let json = format!(
+            "{{\n  \"bench\": \"server_off\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
+             \"wire_melem_s\": {wire_melem_s:.3},\n  \"query_p50_us\": {p50:.1},\n  \
+             \"query_p95_us\": {p95:.1},\n  \"query_p99_us\": {p99:.1}\n}}\n",
+            2 * N,
+        );
+        std::fs::write("BENCH_server_off.json", &json).expect("write BENCH_server_off.json");
+        println!("\nwrote BENCH_server_off.json (disabled arm; rerun with default features to finish the A/B)");
+        return;
+    }
+    let off_arm = std::fs::read_to_string("BENCH_server_off.json")
+        .ok()
+        .and_then(|s| {
+            let tail = s.split("\"wire_melem_s\": ").nth(1)?;
+            tail.split([',', '\n']).next()?.trim().parse::<f64>().ok()
+        });
+    let (off_field, overhead_field) = match off_arm {
+        Some(off) => {
+            let overhead = (off - wire_melem_s) / off * 100.0;
+            println!("\nserving overhead vs disabled arm ({off:.2} Melem/s): {overhead:.2}%");
+            (format!("{off:.3}"), format!("{overhead:.2}"))
+        }
+        None => {
+            println!("\nBENCH_server_off.json missing — run the --no-default-features arm first for the full A/B");
+            ("null".into(), "null".into())
+        }
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"server\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
+         \"queries\": {QUERIES},\n  \"enabled_wire_melem_s\": {wire_melem_s:.3},\n  \
+         \"disabled_wire_melem_s\": {off_field},\n  \"overhead_percent\": {overhead_field},\n  \
+         \"throttle_retries\": {throttled},\n  \"query_p50_us\": {p50:.1},\n  \
+         \"query_p95_us\": {p95:.1},\n  \"query_p99_us\": {p99:.1}\n}}\n",
+        2 * N,
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

@@ -20,9 +20,9 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use crossbeam::thread as cb_thread;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use stream_model::update::Update;
@@ -90,7 +90,12 @@ struct WorkerMetrics {
 pub struct IngestPool<S> {
     senders: Vec<Sender<Msg<S>>>,
     workers: Vec<JoinHandle<S>>,
-    next: std::cell::Cell<usize>,
+    /// Round-robin cursor; atomic so the pool is `Sync` and several
+    /// producer threads (e.g. server connection handlers) can dispatch
+    /// into one pool concurrently.
+    next: AtomicUsize,
+    /// Per-worker channel depth (chunks buffered before backpressure).
+    depth: usize,
     /// Chunks handed to [`IngestPool::dispatch`] so far.
     dispatched: Arc<AtomicU64>,
     /// Chunks fully absorbed by workers (each worker increments after
@@ -111,8 +116,20 @@ where
     ///
     /// # Panics
     /// If `threads` is zero.
-    pub fn new(threads: usize, mut make: impl FnMut() -> S) -> Self {
+    pub fn new(threads: usize, make: impl FnMut() -> S) -> Self {
+        Self::with_queue_depth(threads, CHANNEL_DEPTH, make)
+    }
+
+    /// Like [`IngestPool::new`], but with an explicit per-worker queue
+    /// depth — the bounded-queue mode used by callers that want
+    /// [`IngestPool::try_dispatch`] backpressure at a chosen capacity
+    /// (e.g. the serving layer's THROTTLE replies).
+    ///
+    /// # Panics
+    /// If `threads` or `depth` is zero.
+    pub fn with_queue_depth(threads: usize, depth: usize, mut make: impl FnMut() -> S) -> Self {
         assert!(threads > 0, "ingest pool needs at least one worker");
+        assert!(depth > 0, "queue depth must be at least one chunk");
         let metrics = stream_telemetry::ENABLED.then(|| {
             let r = stream_telemetry::global();
             PoolMetrics {
@@ -126,7 +143,7 @@ where
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for w in 0..threads {
-            let (tx, rx) = bounded::<Msg<S>>(CHANNEL_DEPTH);
+            let (tx, rx) = bounded::<Msg<S>>(depth);
             let mut sketch = make();
             let drained = drained.clone();
             let telem = metrics.as_ref().map(|m| {
@@ -165,7 +182,8 @@ where
         Self {
             senders,
             workers,
-            next: std::cell::Cell::new(0),
+            next: AtomicUsize::new(0),
+            depth,
             dispatched,
             drained,
             metrics,
@@ -175,6 +193,15 @@ where
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Upper bound on [`IngestPool::pending_chunks`]: each worker can
+    /// buffer `depth` chunks in its channel plus the one it is currently
+    /// absorbing. [`IngestPool::try_dispatch`] refuses work beyond this
+    /// capacity, so a caller that only uses `try_dispatch` has a hard cap
+    /// on the memory queued inside the pool.
+    pub fn queue_capacity(&self) -> u64 {
+        (self.senders.len() * (self.depth + 1)) as u64
     }
 
     /// Queues a chunk of updates on the next worker (round-robin). Blocks
@@ -189,11 +216,50 @@ where
             m.queue_depth.add(1);
             m.batch_size.record(chunk.len() as u64);
         }
-        let i = self.next.get();
-        self.next.set((i + 1) % self.senders.len());
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.senders.len();
         self.senders[i]
             .send(Msg::Batch(chunk))
             .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
+    }
+
+    /// Queues a chunk only if a worker has buffer space free right now;
+    /// otherwise hands the chunk back so the caller can apply its own
+    /// backpressure (drop, retry later, or tell a remote producer to
+    /// throttle) instead of blocking or buffering without bound.
+    ///
+    /// Starting from the round-robin cursor, every worker is probed once,
+    /// so a single busy worker does not fail the dispatch while its
+    /// siblings are idle. By sketch linearity the final merged synopsis is
+    /// independent of which worker takes the chunk.
+    #[allow(clippy::result_large_err)] // the Err *is* the caller's chunk
+    pub fn try_dispatch(&self, chunk: Vec<Update>) -> Result<(), Vec<Update>> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let n = self.senders.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let len = chunk.len() as u64;
+        let mut msg = Msg::Batch(chunk);
+        for off in 0..n {
+            match self.senders[(start + off) % n].try_send(msg) {
+                Ok(()) => {
+                    self.dispatched.fetch_add(1, Ordering::Release);
+                    if let Some(m) = &self.metrics {
+                        m.queue_depth.add(1);
+                        m.batch_size.record(len);
+                    }
+                    return Ok(());
+                }
+                Err(TrySendError::Full(m)) => msg = m,
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("worker alive while pool holds its sender")
+                }
+            }
+        }
+        let Msg::Batch(chunk) = msg else {
+            unreachable!("try_dispatch only carries batches")
+        };
+        Err(chunk)
     }
 
     /// Chunks dispatched but not yet fully absorbed by a worker.
@@ -443,6 +509,91 @@ mod tests {
         assert_eq!(pool.pending_chunks(), 0);
         assert!(pool.is_empty());
         let _ = pool.finish();
+    }
+
+    #[test]
+    fn try_dispatch_matches_sequential_when_accepted() {
+        let schema = HashSketchSchema::new(5, 64, 19);
+        let updates = mixed_updates(12_000);
+        let pool = IngestPool::with_queue_depth(2, 4, || HashSketch::new(schema.clone()));
+        for chunk in updates.chunks(400) {
+            // Retry until accepted: equivalent to dispatch, but through
+            // the non-blocking path.
+            let mut chunk = chunk.to_vec();
+            loop {
+                match pool.try_dispatch(chunk) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        chunk = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let got = pool.finish();
+        let mut seq = HashSketch::new(schema);
+        seq.update_batch(&updates);
+        assert_eq!(got.counters(), seq.counters());
+    }
+
+    #[test]
+    fn try_dispatch_hands_the_chunk_back_when_saturated() {
+        // A worker wedged on a snapshot reply it can never receive would
+        // be contrived; instead saturate the queue faster than one worker
+        // can drain it and require at least one rejection, then verify
+        // nothing was lost or duplicated.
+        let schema = HashSketchSchema::new(7, 256, 23);
+        let updates = mixed_updates(120_000);
+        let pool = IngestPool::with_queue_depth(1, 1, || HashSketch::new(schema.clone()));
+        let mut rejected = 0u64;
+        let mut accepted: Vec<Update> = Vec::new();
+        for chunk in updates.chunks(30_000) {
+            match pool.try_dispatch(chunk.to_vec()) {
+                Ok(()) => accepted.extend_from_slice(chunk),
+                Err(back) => {
+                    assert_eq!(back, chunk.to_vec(), "rejected chunk must come back intact");
+                    rejected += 1;
+                }
+            }
+            assert!(pool.pending_chunks() <= pool.queue_capacity());
+        }
+        let got = pool.finish();
+        let mut seq = HashSketch::new(schema);
+        seq.update_batch(&accepted);
+        assert_eq!(got.counters(), seq.counters());
+        // With depth 1 and 30k-update chunks the single worker cannot keep
+        // up with a dispatch loop that does no work in between.
+        assert!(rejected > 0, "expected at least one Full rejection");
+    }
+
+    #[test]
+    fn pool_is_shareable_across_producer_threads() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let schema = HashSketchSchema::new(4, 32, 29);
+        let pool = IngestPool::new(2, || HashSketch::new(schema.clone()));
+        assert_sync(&pool);
+        let updates = mixed_updates(16_000);
+        std::thread::scope(|s| {
+            for half in updates.chunks(8_000) {
+                let pool = &pool;
+                s.spawn(move || {
+                    for chunk in half.chunks(500) {
+                        pool.dispatch(chunk.to_vec());
+                    }
+                });
+            }
+        });
+        let got = pool.finish();
+        let mut seq = HashSketch::new(schema);
+        seq.update_batch(&updates);
+        assert_eq!(got.counters(), seq.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_depth_rejected() {
+        let schema = HashSketchSchema::new(2, 8, 1);
+        let _ = IngestPool::with_queue_depth(1, 0, || HashSketch::new(schema.clone()));
     }
 
     #[test]

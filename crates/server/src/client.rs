@@ -1,0 +1,315 @@
+//! `ServerClient` — the library-side of the wire protocol, used by the
+//! integration tests, the benches, and the `ssketch` CLI.
+//!
+//! One blocking TCP connection, strict request/reply. The client owns
+//! backpressure handling: [`ServerClient::send_batch`] surfaces THROTTLE
+//! as a [`BatchOutcome`], while [`ServerClient::send_all`] retries with a
+//! small backoff until the stream is fully acknowledged.
+
+use bytes::Bytes;
+use skimmed_sketch::{decode_skimmed, SkimmedSchema, SkimmedSketch};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+use stream_model::update::Update;
+use stream_model::Domain;
+use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, VERSION};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Frame-level failure (corruption, truncation, version skew).
+    Wire(WireError),
+    /// The server answered with an ERROR frame.
+    Server {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Server-supplied context.
+        message: String,
+    },
+    /// The server sent a well-formed frame that does not answer the
+    /// request (protocol bug on one side).
+    UnexpectedFrame(&'static str),
+    /// No reply arrived within the client's patience window.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "client wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::UnexpectedFrame(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::Timeout => write!(f, "timed out waiting for a reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// Result of one non-blocking batch send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The server queued the batch; `accepted` updates acknowledged.
+    Accepted(u64),
+    /// The server's ingest queue was full; the batch was **not** queued.
+    Throttled {
+        /// Chunks pending at the server when the batch bounced.
+        pending: u64,
+        /// The server's queue capacity.
+        limit: u64,
+    },
+}
+
+/// Accounting from [`ServerClient::send_all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SendReport {
+    /// Batches acknowledged.
+    pub batches: u64,
+    /// Updates acknowledged.
+    pub updates: u64,
+    /// THROTTLE replies absorbed (each one retried until acked).
+    pub throttled: u64,
+}
+
+/// A join-size answer with its sub-join anatomy (zeros for self-joins).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinAnswer {
+    /// The estimate.
+    pub estimate: f64,
+    /// Exact dense⋈dense term.
+    pub dense_dense: f64,
+    /// Estimated dense⋈sparse term.
+    pub dense_sparse: f64,
+    /// Estimated sparse⋈dense term.
+    pub sparse_dense: f64,
+    /// Estimated sparse⋈sparse term.
+    pub sparse_sparse: f64,
+    /// Dense values skimmed from `F`.
+    pub dense_f: u64,
+    /// Dense values skimmed from `G`.
+    pub dense_g: u64,
+}
+
+/// A connected, handshaken client session.
+#[derive(Debug)]
+pub struct ServerClient {
+    sock: TcpStream,
+    info: ServerInfo,
+    max_payload: u32,
+    /// Idle-retry budget: total reply patience ≈ read timeout × retries.
+    reply_retries: u32,
+    /// Backoff between THROTTLE retries in [`ServerClient::send_all`].
+    throttle_backoff: Duration,
+}
+
+impl ServerClient {
+    /// Connects and handshakes with default patience (1 s read tick,
+    /// 30 retries ≈ 30 s per reply).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        Self::connect_named(addr, "ss-client")
+    }
+
+    /// [`ServerClient::connect`] with an explicit client name for the
+    /// server's logs.
+    pub fn connect_named<A: ToSocketAddrs>(addr: A, name: &str) -> Result<Self, ClientError> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        sock.set_read_timeout(Some(Duration::from_secs(1)))?;
+        sock.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let mut client = Self {
+            sock,
+            info: ServerInfo {
+                domain_log2: 0,
+                dyadic: false,
+                tables: 0,
+                buckets: 0,
+                seed: 0,
+                max_batch: 0,
+                queue_limit: 0,
+            },
+            max_payload: stream_wire::DEFAULT_MAX_PAYLOAD,
+            reply_retries: 30,
+            throttle_backoff: Duration::from_micros(200),
+        };
+        let reply = client.call(&Frame::Hello {
+            protocol: VERSION,
+            client: name.to_string(),
+        })?;
+        match reply {
+            Frame::HelloAck(info) => {
+                client.info = info;
+                Ok(client)
+            }
+            _ => Err(ClientError::UnexpectedFrame("handshake reply")),
+        }
+    }
+
+    /// The schema and limits the server advertised.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Rebuilds the server's synopsis schema locally (identical hash
+    /// families — decoded snapshots are mergeable with sketches built
+    /// under it).
+    pub fn schema(&self) -> Arc<SkimmedSchema> {
+        let domain = Domain::with_log2(self.info.domain_log2 as u32);
+        if self.info.dyadic {
+            SkimmedSchema::dyadic(
+                domain,
+                self.info.tables as usize,
+                self.info.buckets as usize,
+                self.info.seed,
+            )
+        } else {
+            SkimmedSchema::scanning(
+                domain,
+                self.info.tables as usize,
+                self.info.buckets as usize,
+                self.info.seed,
+            )
+        }
+    }
+
+    /// One request, one reply. ERROR replies become `ClientError::Server`.
+    fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        request.write_to(&mut self.sock)?;
+        for _ in 0..self.reply_retries {
+            match Frame::read_from(&mut self.sock, self.max_payload) {
+                Ok((Frame::Error { code, message }, _)) => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Ok((frame, _)) => return Ok(frame),
+                Err(WireError::Idle) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(ClientError::Timeout)
+    }
+
+    /// Sends one batch without retrying: THROTTLE surfaces as
+    /// [`BatchOutcome::Throttled`] and the caller owns the retry policy.
+    pub fn send_batch(
+        &mut self,
+        stream: StreamId,
+        updates: &[Update],
+    ) -> Result<BatchOutcome, ClientError> {
+        let reply = self.call(&Frame::UpdateBatch {
+            stream,
+            updates: updates.to_vec(),
+        })?;
+        match reply {
+            Frame::BatchAck { accepted } => Ok(BatchOutcome::Accepted(accepted)),
+            Frame::Throttle { pending, limit } => Ok(BatchOutcome::Throttled { pending, limit }),
+            _ => Err(ClientError::UnexpectedFrame("batch reply")),
+        }
+    }
+
+    /// Streams `updates` in `chunk`-sized batches, retrying throttled
+    /// batches with a small backoff until everything is acknowledged.
+    pub fn send_all(
+        &mut self,
+        stream: StreamId,
+        updates: &[Update],
+        chunk: usize,
+    ) -> Result<SendReport, ClientError> {
+        assert!(chunk > 0, "chunk size must be nonzero");
+        let chunk = chunk.min(self.info.max_batch.max(1) as usize);
+        let mut report = SendReport::default();
+        for batch in updates.chunks(chunk) {
+            loop {
+                match self.send_batch(stream, batch)? {
+                    BatchOutcome::Accepted(n) => {
+                        report.batches += 1;
+                        report.updates += n;
+                        break;
+                    }
+                    BatchOutcome::Throttled { .. } => {
+                        report.throttled += 1;
+                        std::thread::sleep(self.throttle_backoff);
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// `COUNT(F ⋈ G)` from linearizable snapshots of both server sketches.
+    pub fn query_join(&mut self) -> Result<JoinAnswer, ClientError> {
+        match self.call(&Frame::QueryJoin)? {
+            Frame::Answer {
+                estimate,
+                dense_dense,
+                dense_sparse,
+                sparse_dense,
+                sparse_sparse,
+                dense_f,
+                dense_g,
+            } => Ok(JoinAnswer {
+                estimate,
+                dense_dense,
+                dense_sparse,
+                sparse_dense,
+                sparse_sparse,
+                dense_f,
+                dense_g,
+            }),
+            _ => Err(ClientError::UnexpectedFrame("join reply")),
+        }
+    }
+
+    /// Self-join (second moment) estimate of one stream.
+    pub fn query_self_join(&mut self, stream: StreamId) -> Result<f64, ClientError> {
+        match self.call(&Frame::QuerySelfJoin { stream })? {
+            Frame::Answer { estimate, .. } => Ok(estimate),
+            _ => Err(ClientError::UnexpectedFrame("self-join reply")),
+        }
+    }
+
+    /// Ships a linearizable snapshot of one stream's full skimmed sketch.
+    pub fn snapshot(&mut self, stream: StreamId) -> Result<SkimmedSketch, ClientError> {
+        match self.call(&Frame::Snapshot { stream })? {
+            Frame::SnapshotReply {
+                stream: got,
+                sketch,
+            } => {
+                if got != stream {
+                    return Err(ClientError::UnexpectedFrame("snapshot for wrong stream"));
+                }
+                decode_skimmed(Bytes::from(sketch))
+                    .map_err(|_| ClientError::UnexpectedFrame("undecodable snapshot"))
+            }
+            _ => Err(ClientError::UnexpectedFrame("snapshot reply")),
+        }
+    }
+
+    /// Clean close: GOODBYE, wait for the echo, drop the socket.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        match self.call(&Frame::Goodbye)? {
+            Frame::Goodbye => Ok(()),
+            _ => Err(ClientError::UnexpectedFrame("goodbye reply")),
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! # stream-server
+//!
+//! The network serving layer over the skimmed-sketch ingest/query
+//! pipeline: a TCP acceptor plus a fixed pool of connection-handler
+//! threads speaking the [`stream_wire`] protocol, feeding decoded
+//! UPDATE_BATCH frames into two [`IngestPool`]s (one per join input) and
+//! answering join-size queries from their linearizable snapshots.
+//!
+//! This is the deployment the paper implies: remote sites *stream
+//! updates* to a processing site which maintains small sketches and
+//! answers `COUNT(F ⋈ G)` on demand — no raw tuples are stored anywhere.
+//!
+//! ## Backpressure, not buffering
+//!
+//! Every stage between the socket and the sketch is bounded:
+//!
+//! * the acceptor hands connections to handlers over a bounded queue —
+//!   when all handlers are busy, accepting stops and the OS listen
+//!   backlog (itself bounded) takes the overflow;
+//! * one request per connection is in flight at a time (the protocol is
+//!   strict request/reply), so a connection buffers at most one frame;
+//! * batches enter the ingest pool with [`IngestPool::try_dispatch`] —
+//!   when every worker's queue is full the batch is **refused** and the
+//!   client receives a THROTTLE frame naming the pool's capacity. The
+//!   server never queues unbounded memory on behalf of a fast producer.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops the acceptor, lets each handler finish its
+//! in-flight request (idle connections are closed at the next read-tick
+//! with an `ERROR {ShuttingDown}` frame), drains both ingest pools, and
+//! returns the final merged sketches — nothing acknowledged is lost.
+//!
+//! ## Example
+//!
+//! ```
+//! use skimmed_sketch::SkimmedSchema;
+//! use stream_model::{Domain, Update};
+//! use stream_server::{Server, ServerClient, ServerConfig};
+//! use stream_wire::StreamId;
+//!
+//! let schema = SkimmedSchema::scanning(Domain::with_log2(12), 5, 64, 7);
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::new(schema)).unwrap();
+//! let mut client = ServerClient::connect(server.local_addr()).unwrap();
+//! client.send_all(StreamId::F, &[Update::insert(3)], 1024).unwrap();
+//! client.send_all(StreamId::G, &[Update::insert(3)], 1024).unwrap();
+//! let answer = client.query_join().unwrap();
+//! assert!(answer.estimate.is_finite());
+//! client.goodbye().unwrap();
+//! let (_f, _g) = server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod client;
+mod telem;
+
+pub use client::{BatchOutcome, ClientError, JoinAnswer, SendReport, ServerClient};
+
+use skimmed_sketch::{
+    encode_skimmed, estimate_join, estimate_self_join, EstimatorConfig, ExtractionStrategy,
+    SkimmedSchema, SkimmedSketch,
+};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use stream_ingest::IngestPool;
+use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, VERSION};
+use telem::{server_metrics, ServerMetrics};
+
+/// Serving-layer configuration. Every queue the server owns is bounded
+/// by these knobs; see the crate docs for the backpressure story.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The synopsis schema both ingest pools sketch under (advertised to
+    /// clients in HELLO_ACK).
+    pub schema: Arc<SkimmedSchema>,
+    /// Connection-handler threads (each serves one connection at a time).
+    pub handler_threads: usize,
+    /// Ingest worker threads per stream.
+    pub ingest_workers: usize,
+    /// Chunks buffered per ingest worker before THROTTLE.
+    pub queue_depth: usize,
+    /// Largest accepted UPDATE_BATCH, in updates.
+    pub max_batch: u32,
+    /// Largest accepted frame payload, in bytes.
+    pub max_payload: u32,
+    /// Per-connection read timeout; also the tick at which idle
+    /// connections notice a shutdown.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Estimator knobs used to answer queries.
+    pub estimator: EstimatorConfig,
+}
+
+impl ServerConfig {
+    /// Defaults sized for a loopback/LAN deployment: 4 handler threads,
+    /// 2 ingest workers per stream with 8-chunk queues, 64Ki-update
+    /// batches, 250 ms read tick.
+    pub fn new(schema: Arc<SkimmedSchema>) -> Self {
+        Self {
+            schema,
+            handler_threads: 4,
+            ingest_workers: 2,
+            queue_depth: 8,
+            max_batch: 64 * 1024,
+            max_payload: stream_wire::DEFAULT_MAX_PAYLOAD,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(5),
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+/// Shared state between connection handlers.
+struct Inner {
+    config: ServerConfig,
+    /// One pool per join input, indexed by `StreamId as usize`.
+    pools: [Arc<IngestPool<SkimmedSketch>>; 2],
+    shutdown: AtomicBool,
+    metrics: Option<&'static ServerMetrics>,
+}
+
+impl Inner {
+    fn pool(&self, stream: StreamId) -> &IngestPool<SkimmedSketch> {
+        &self.pools[stream as usize]
+    }
+
+    fn info(&self) -> ServerInfo {
+        let schema = &self.config.schema;
+        ServerInfo {
+            domain_log2: schema.domain().log2_size() as u16,
+            dyadic: matches!(schema.strategy(), ExtractionStrategy::Dyadic),
+            tables: schema.base().tables() as u32,
+            buckets: schema.base().buckets() as u32,
+            seed: schema.seed(),
+            max_batch: self.config.max_batch,
+            queue_limit: self.pools[0].queue_capacity() as u32,
+        }
+    }
+}
+
+/// A running skimmed-sketch server. Dropping it without calling
+/// [`Server::shutdown`] aborts the process threads unjoined; always shut
+/// down explicitly to drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// acceptor and handler threads, and starts serving immediately.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
+        assert!(config.handler_threads > 0, "need at least one handler");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = stream_telemetry::ENABLED.then(server_metrics);
+        let schema = config.schema.clone();
+        let workers = config.ingest_workers;
+        let depth = config.queue_depth;
+        let mk_pool = || {
+            let schema = schema.clone();
+            Arc::new(IngestPool::with_queue_depth(workers, depth, move || {
+                SkimmedSketch::new(schema.clone())
+            }))
+        };
+        let inner = Arc::new(Inner {
+            pools: [mk_pool(), mk_pool()],
+            shutdown: AtomicBool::new(false),
+            metrics,
+            config,
+        });
+
+        // Bounded hand-off from acceptor to handlers: when all handlers
+        // are busy the acceptor blocks here and new connections wait in
+        // the OS listen backlog instead of a process-side queue.
+        let (conn_tx, conn_rx) =
+            std::sync::mpsc::sync_channel::<TcpStream>(inner.config.handler_threads * 2);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let handlers = (0..inner.config.handler_threads)
+            .map(|_| {
+                let inner = inner.clone();
+                let conn_rx = conn_rx.clone();
+                std::thread::spawn(move || loop {
+                    let next = {
+                        let rx = conn_rx.lock().expect("conn queue poisoned");
+                        rx.recv_timeout(Duration::from_millis(100))
+                    };
+                    match next {
+                        Ok(sock) => {
+                            if inner.shutdown.load(Ordering::Acquire) {
+                                continue; // accepted but never served: drop
+                            }
+                            handle_connection(&inner, sock);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if inner.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::spawn(move || accept_loop(&listener, &conn_tx, &inner))
+        };
+
+        Ok(Server {
+            inner,
+            local_addr,
+            acceptor,
+            handlers,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Advertised schema and limits (what clients see in HELLO_ACK).
+    pub fn info(&self) -> ServerInfo {
+        self.inner.info()
+    }
+
+    /// Chunks queued-but-unabsorbed in one stream's ingest pool
+    /// (advisory; see [`IngestPool::pending_chunks`]).
+    pub fn pending_chunks(&self, stream: StreamId) -> u64 {
+        self.inner.pool(stream).pending_chunks()
+    }
+
+    /// Hard cap on [`Server::pending_chunks`]: beyond it, batches bounce
+    /// with THROTTLE instead of queueing.
+    pub fn queue_capacity(&self) -> u64 {
+        self.inner.pools[0].queue_capacity()
+    }
+
+    /// In-process linearizable snapshot of one stream's sketch (same
+    /// contract as [`IngestPool::snapshot`]).
+    pub fn snapshot(&self, stream: StreamId) -> SkimmedSketch {
+        self.inner.pool(stream).snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let handlers finish their
+    /// in-flight request, drain both ingest pools, and return the final
+    /// `(F, G)` sketches. Everything a client saw acknowledged with
+    /// BATCH_ACK is in them.
+    pub fn shutdown(self) -> (SkimmedSketch, SkimmedSketch) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.acceptor.join().expect("acceptor panicked");
+        for h in self.handlers {
+            h.join().expect("connection handler panicked");
+        }
+        let inner =
+            Arc::try_unwrap(self.inner).unwrap_or_else(|_| unreachable!("all handler refs joined"));
+        let [pf, pg] = inner.pools;
+        let unwrap_pool = |p: Arc<IngestPool<SkimmedSketch>>| {
+            Arc::try_unwrap(p)
+                .unwrap_or_else(|_| unreachable!("pool refs live only in Inner"))
+                .finish()
+        };
+        (unwrap_pool(pf), unwrap_pool(pg))
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &Inner) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                if let Some(m) = inner.metrics {
+                    m.accepted.inc();
+                }
+                // Bounded hand-off; poll so a shutdown during a full
+                // queue cannot wedge the acceptor.
+                let mut sock = sock;
+                loop {
+                    match conn_tx.try_send(sock) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(s)) => {
+                            if inner.shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            sock = s;
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): keep serving.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Sends one frame, counting it into the tx telemetry.
+fn send(sock: &mut TcpStream, frame: &Frame, metrics: Option<&'static ServerMetrics>) -> bool {
+    match frame.write_to(sock) {
+        Ok(n) => {
+            if let Some(m) = metrics {
+                m.frames_tx.inc();
+                m.bytes_tx.add(n as u64);
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn send_error(
+    sock: &mut TcpStream,
+    code: ErrorCode,
+    message: &str,
+    metrics: Option<&'static ServerMetrics>,
+) {
+    let _ = send(
+        sock,
+        &Frame::Error {
+            code,
+            message: message.to_string(),
+        },
+        metrics,
+    );
+}
+
+/// Serves one connection to completion: handshake, then strict
+/// request/reply until GOODBYE, error, disconnect, or server shutdown.
+fn handle_connection(inner: &Inner, mut sock: TcpStream) {
+    let metrics = inner.metrics;
+    if sock.set_nodelay(true).is_err()
+        || sock
+            .set_read_timeout(Some(inner.config.read_timeout))
+            .is_err()
+        || sock
+            .set_write_timeout(Some(inner.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    if let Some(m) = metrics {
+        m.connections.add(1);
+    }
+    serve_frames(inner, &mut sock);
+    if let Some(m) = metrics {
+        m.connections.add(-1);
+    }
+}
+
+/// Reads one frame, handling idle ticks and shutdown; `None` means the
+/// connection is done (closed, errored, or the server is draining).
+fn next_frame(inner: &Inner, sock: &mut TcpStream) -> Option<Frame> {
+    let metrics = inner.metrics;
+    loop {
+        match Frame::read_from(sock, inner.config.max_payload) {
+            Ok((frame, n)) => {
+                if let Some(m) = metrics {
+                    m.frames_rx.inc();
+                    m.bytes_rx.add(n as u64);
+                }
+                return Some(frame);
+            }
+            Err(WireError::Idle) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    send_error(
+                        sock,
+                        ErrorCode::ShuttingDown,
+                        "server draining; reconnect later",
+                        metrics,
+                    );
+                    return None;
+                }
+            }
+            Err(WireError::Closed) => return None,
+            Err(WireError::Io(_)) => return None,
+            Err(decode_err) => {
+                // Header/CRC/payload-shape failures: the stream may no
+                // longer sit at a frame boundary, so report and close.
+                if let Some(m) = metrics {
+                    m.decode_errors.inc();
+                }
+                send_error(sock, ErrorCode::Protocol, &decode_err.to_string(), metrics);
+                return None;
+            }
+        }
+    }
+}
+
+fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
+    let metrics = inner.metrics;
+
+    // Handshake: the first frame must be HELLO at our protocol version.
+    match next_frame(inner, sock) {
+        Some(Frame::Hello { protocol, .. }) => {
+            if protocol != VERSION {
+                send_error(
+                    sock,
+                    ErrorCode::Protocol,
+                    &format!("protocol {protocol} unsupported (server speaks {VERSION})"),
+                    metrics,
+                );
+                return;
+            }
+            if !send(sock, &Frame::HelloAck(inner.info()), metrics) {
+                return;
+            }
+        }
+        Some(_) => {
+            send_error(sock, ErrorCode::Protocol, "expected HELLO", metrics);
+            return;
+        }
+        None => return,
+    }
+
+    while let Some(frame) = next_frame(inner, sock) {
+        match frame {
+            Frame::UpdateBatch { stream, updates } => {
+                let _span = metrics.map(|m| m.update_latency.start_span());
+                if updates.len() as u64 > inner.config.max_batch as u64 {
+                    send_error(
+                        sock,
+                        ErrorCode::BatchTooLarge,
+                        &format!(
+                            "batch of {} exceeds max_batch {}",
+                            updates.len(),
+                            inner.config.max_batch
+                        ),
+                        metrics,
+                    );
+                    continue;
+                }
+                let accepted = updates.len() as u64;
+                let pool = inner.pool(stream);
+                let reply = match pool.try_dispatch(updates) {
+                    Ok(()) => {
+                        if let Some(m) = metrics {
+                            m.updates_accepted.add(accepted);
+                        }
+                        Frame::BatchAck { accepted }
+                    }
+                    Err(_refused) => {
+                        if let Some(m) = metrics {
+                            m.throttles.inc();
+                        }
+                        Frame::Throttle {
+                            pending: pool.pending_chunks(),
+                            limit: pool.queue_capacity(),
+                        }
+                    }
+                };
+                if !send(sock, &reply, metrics) {
+                    return;
+                }
+            }
+            Frame::QueryJoin => {
+                let _span = metrics.map(|m| m.query_join_latency.start_span());
+                let f = inner.pool(StreamId::F).snapshot();
+                let g = inner.pool(StreamId::G).snapshot();
+                let est = estimate_join(&f, &g, &inner.config.estimator);
+                let reply = Frame::Answer {
+                    estimate: est.estimate,
+                    dense_dense: est.dense_dense,
+                    dense_sparse: est.dense_sparse,
+                    sparse_dense: est.sparse_dense,
+                    sparse_sparse: est.sparse_sparse,
+                    dense_f: est.dense_f as u64,
+                    dense_g: est.dense_g as u64,
+                };
+                if !send(sock, &reply, metrics) {
+                    return;
+                }
+            }
+            Frame::QuerySelfJoin { stream } => {
+                let _span = metrics.map(|m| m.query_self_latency.start_span());
+                let sk = inner.pool(stream).snapshot();
+                let estimate = estimate_self_join(&sk, &inner.config.estimator);
+                let reply = Frame::Answer {
+                    estimate,
+                    dense_dense: 0.0,
+                    dense_sparse: 0.0,
+                    sparse_dense: 0.0,
+                    sparse_sparse: 0.0,
+                    dense_f: 0,
+                    dense_g: 0,
+                };
+                if !send(sock, &reply, metrics) {
+                    return;
+                }
+            }
+            Frame::Snapshot { stream } => {
+                let _span = metrics.map(|m| m.snapshot_latency.start_span());
+                let sk = inner.pool(stream).snapshot();
+                let reply = Frame::SnapshotReply {
+                    stream,
+                    sketch: encode_skimmed(&sk).to_vec(),
+                };
+                if !send(sock, &reply, metrics) {
+                    return;
+                }
+            }
+            Frame::Goodbye => {
+                let _ = send(sock, &Frame::Goodbye, metrics);
+                return;
+            }
+            Frame::Error { .. } => return, // client gave up; nothing to reply
+            Frame::Hello { .. }
+            | Frame::HelloAck(_)
+            | Frame::BatchAck { .. }
+            | Frame::Answer { .. }
+            | Frame::SnapshotReply { .. }
+            | Frame::Throttle { .. } => {
+                send_error(
+                    sock,
+                    ErrorCode::Protocol,
+                    "unexpected frame for a client to send",
+                    metrics,
+                );
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Serving-layer telemetry, compile-gated exactly like the rest of the
+//! workspace: with `--no-default-features` every handle below is a ZST
+//! no-op and the `Option` wrappers at call sites fold away.
+//!
+//! The metric set answers the operational questions a serving front-end
+//! raises: how many connections are live, how much traffic each frame
+//! direction carries, how often decodes fail (a corruption / hostile
+//! client signal), how often producers are throttled (a capacity
+//! signal), and the latency of each request kind.
+
+use std::sync::{Arc, OnceLock};
+use stream_telemetry::{Counter, Gauge, Histogram, Unit};
+
+/// Cached handles for the server's metrics.
+pub(crate) struct ServerMetrics {
+    /// Currently open client connections.
+    pub connections: Arc<Gauge>,
+    /// Connections accepted since start.
+    pub accepted: Arc<Counter>,
+    /// Frames received from clients.
+    pub frames_rx: Arc<Counter>,
+    /// Frames sent to clients.
+    pub frames_tx: Arc<Counter>,
+    /// Wire bytes received from clients.
+    pub bytes_rx: Arc<Counter>,
+    /// Wire bytes sent to clients.
+    pub bytes_tx: Arc<Counter>,
+    /// Frames that failed header/CRC/payload decoding.
+    pub decode_errors: Arc<Counter>,
+    /// UPDATE_BATCH frames bounced with THROTTLE.
+    pub throttles: Arc<Counter>,
+    /// Updates accepted into the ingest pools over the wire.
+    pub updates_accepted: Arc<Counter>,
+    /// UPDATE_BATCH handling latency (decode excluded, dispatch + reply).
+    pub update_latency: Arc<Histogram>,
+    /// QUERY_JOIN handling latency (two snapshots + ESTSKIMJOINSIZE).
+    pub query_join_latency: Arc<Histogram>,
+    /// QUERY_SELF_JOIN handling latency.
+    pub query_self_latency: Arc<Histogram>,
+    /// SNAPSHOT handling latency (snapshot + encode).
+    pub snapshot_latency: Arc<Histogram>,
+}
+
+/// The lazily-registered process-wide [`ServerMetrics`].
+pub(crate) fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = stream_telemetry::global();
+        let lat =
+            |kind: &str| r.histogram_with("server_request_seconds", &[("kind", kind)], Unit::Nanos);
+        ServerMetrics {
+            connections: r.gauge("server_connections"),
+            accepted: r.counter("server_connections_total"),
+            frames_rx: r.counter_with("server_frames_total", &[("dir", "rx")]),
+            frames_tx: r.counter_with("server_frames_total", &[("dir", "tx")]),
+            bytes_rx: r.counter_with("server_bytes_total", &[("dir", "rx")]),
+            bytes_tx: r.counter_with("server_bytes_total", &[("dir", "tx")]),
+            decode_errors: r.counter("server_decode_errors_total"),
+            throttles: r.counter("server_throttle_total"),
+            updates_accepted: r.counter("server_updates_accepted_total"),
+            update_latency: lat("update_batch"),
+            query_join_latency: lat("query_join"),
+            query_self_latency: lat("query_self_join"),
+            snapshot_latency: lat("snapshot"),
+        }
+    })
+}

@@ -1,0 +1,618 @@
+//! Frame types and their payload codecs.
+//!
+//! Every frame is a 20-byte CRC-checked header followed by a payload
+//! whose layout depends on the frame kind (see the crate docs for the
+//! full grammar). Integers are little-endian; counts and values use the
+//! same varint/zigzag conventions as the trace codec in
+//! `stream-model::trace` and the sketch codec in `stream-sketches`.
+
+use crate::crc::crc32;
+use crate::{WireError, HEADER_LEN, MAGIC, VERSION};
+use std::io::{self, Read, Write};
+use stream_model::update::Update;
+
+/// Which of the server's two update streams a frame refers to.
+///
+/// The paper's estimand is `COUNT(F ⋈ G)`: the server maintains one
+/// skimmed sketch per side of the join and update/query frames address
+/// them by this tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StreamId {
+    /// The left join input `F`.
+    F = 0,
+    /// The right join input `G`.
+    G = 1,
+}
+
+impl StreamId {
+    /// Both stream tags, in wire order.
+    pub const ALL: [StreamId; 2] = [StreamId::F, StreamId::G];
+
+    /// Decodes a wire tag.
+    pub fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(StreamId::F),
+            1 => Ok(StreamId::G),
+            _ => Err(WireError::BadPayload("unknown stream id")),
+        }
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamId::F => write!(f, "F"),
+            StreamId::G => write!(f, "G"),
+        }
+    }
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or unexpected frame (e.g. a request before HELLO).
+    Protocol,
+    /// A stream tag the server does not serve.
+    UnknownStream,
+    /// UPDATE_BATCH larger than the advertised `max_batch`.
+    BatchTooLarge,
+    /// The server is draining; reconnect later.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+    /// A code this build does not know (forward compatibility).
+    Other(u16),
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::UnknownStream => 2,
+            ErrorCode::BatchTooLarge => 3,
+            ErrorCode::ShuttingDown => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::Other(c) => c,
+        }
+    }
+
+    /// Decodes a wire code; unknown codes are preserved, not rejected.
+    pub fn from_u16(c: u16) -> Self {
+        match c {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::UnknownStream,
+            3 => ErrorCode::BatchTooLarge,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::Internal,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+/// The schema and limits a server advertises in [`Frame::HelloAck`].
+///
+/// Carrying the full synopsis shape in the handshake means a client can
+/// rebuild an identical local `SkimmedSchema` — required both to decode
+/// SNAPSHOT replies and to reason about what the server's estimates mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// `log2` of the value domain size.
+    pub domain_log2: u16,
+    /// `true` when the server skims via dyadic levels, `false` for the
+    /// naive-scan strategy.
+    pub dyadic: bool,
+    /// Hash tables per sketch (`s1`).
+    pub tables: u32,
+    /// Buckets per table (`b`).
+    pub buckets: u32,
+    /// Root seed of the hash families.
+    pub seed: u64,
+    /// Largest number of updates accepted in one UPDATE_BATCH.
+    pub max_batch: u32,
+    /// The ingest pool's queue capacity in chunks; once `pending` reaches
+    /// this, batches bounce with THROTTLE.
+    pub queue_limit: u32,
+}
+
+/// A protocol frame.
+///
+/// The request/response pairing is strict: every client request receives
+/// exactly one reply frame (possibly [`Frame::Throttle`] or
+/// [`Frame::Error`]), so a connection never has more than one request in
+/// flight and framing errors cannot silently desynchronise the two sides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: opens a session. `protocol` is the highest wire
+    /// version the client speaks; `client` is a free-form name for logs.
+    Hello {
+        /// Highest protocol version the client understands.
+        protocol: u16,
+        /// Client name recorded in server logs/telemetry.
+        client: String,
+    },
+    /// Server → client: accepts the session and advertises the synopsis
+    /// schema plus serving limits.
+    HelloAck(ServerInfo),
+    /// Client → server: a chunk of updates for one stream.
+    UpdateBatch {
+        /// Which join input the updates belong to.
+        stream: StreamId,
+        /// The updates, in stream order.
+        updates: Vec<Update>,
+    },
+    /// Server → client: the batch was queued for ingestion.
+    BatchAck {
+        /// Number of updates accepted (echo of the batch length).
+        accepted: u64,
+    },
+    /// Client → server: estimate `COUNT(F ⋈ G)` from linearizable
+    /// snapshots of both sketches.
+    QueryJoin,
+    /// Client → server: estimate the self-join size (second moment) of
+    /// one stream.
+    QuerySelfJoin {
+        /// The stream to estimate.
+        stream: StreamId,
+    },
+    /// Server → client: an estimate, with the ESTSKIMJOINSIZE sub-join
+    /// anatomy (zeros where a sub-join does not apply, e.g. self-joins).
+    Answer {
+        /// The estimate itself.
+        estimate: f64,
+        /// Exact dense⋈dense term.
+        dense_dense: f64,
+        /// Estimated dense⋈sparse term.
+        dense_sparse: f64,
+        /// Estimated sparse⋈dense term.
+        sparse_dense: f64,
+        /// Estimated sparse⋈sparse term.
+        sparse_sparse: f64,
+        /// Dense values skimmed from `F`.
+        dense_f: u64,
+        /// Dense values skimmed from `G`.
+        dense_g: u64,
+    },
+    /// Client → server: ship a linearizable snapshot of one stream's full
+    /// skimmed sketch.
+    Snapshot {
+        /// The stream to snapshot.
+        stream: StreamId,
+    },
+    /// Server → client: the encoded sketch (the `skimmed-sketch` codec's
+    /// self-describing format, opaque at this layer).
+    SnapshotReply {
+        /// The snapshotted stream.
+        stream: StreamId,
+        /// `encode_skimmed` bytes.
+        sketch: Vec<u8>,
+    },
+    /// Server → client: the ingest queue is full; the batch was **not**
+    /// queued. Resend after backing off.
+    Throttle {
+        /// Chunks pending in the pool when the batch bounced.
+        pending: u64,
+        /// The pool's queue capacity in chunks.
+        limit: u64,
+    },
+    /// Either direction: a terminal error for the current request or, for
+    /// protocol-level failures, the session.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable context.
+        message: String,
+    },
+    /// Client → server: clean session end. The server echoes it back
+    /// after its last reply so the client can confirm a drained close.
+    Goodbye,
+}
+
+/// Wire tags for [`Frame`] kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Kind {
+    Hello = 1,
+    HelloAck = 2,
+    UpdateBatch = 3,
+    BatchAck = 4,
+    QueryJoin = 5,
+    QuerySelfJoin = 6,
+    Answer = 7,
+    Snapshot = 8,
+    SnapshotReply = 9,
+    Throttle = 10,
+    Error = 11,
+    Goodbye = 12,
+}
+
+impl Kind {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => Kind::Hello,
+            2 => Kind::HelloAck,
+            3 => Kind::UpdateBatch,
+            4 => Kind::BatchAck,
+            5 => Kind::QueryJoin,
+            6 => Kind::QuerySelfJoin,
+            7 => Kind::Answer,
+            8 => Kind::Snapshot,
+            9 => Kind::SnapshotReply,
+            10 => Kind::Throttle,
+            11 => Kind::Error,
+            12 => Kind::Goodbye,
+            other => return Err(WireError::BadKind(other)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// payload primitives
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn zigzag(w: i64) -> u64 {
+    ((w << 1) ^ (w >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Sequential reader over a payload slice; every accessor fails with
+/// [`WireError::Truncated`] instead of panicking.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut x = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            x |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(x);
+            }
+        }
+        Err(WireError::BadPayload("malformed varint"))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.varint()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload("invalid utf-8"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// frame codec
+// ---------------------------------------------------------------------
+
+impl Frame {
+    fn kind(&self) -> Kind {
+        match self {
+            Frame::Hello { .. } => Kind::Hello,
+            Frame::HelloAck(_) => Kind::HelloAck,
+            Frame::UpdateBatch { .. } => Kind::UpdateBatch,
+            Frame::BatchAck { .. } => Kind::BatchAck,
+            Frame::QueryJoin => Kind::QueryJoin,
+            Frame::QuerySelfJoin { .. } => Kind::QuerySelfJoin,
+            Frame::Answer { .. } => Kind::Answer,
+            Frame::Snapshot { .. } => Kind::Snapshot,
+            Frame::SnapshotReply { .. } => Kind::SnapshotReply,
+            Frame::Throttle { .. } => Kind::Throttle,
+            Frame::Error { .. } => Kind::Error,
+            Frame::Goodbye => Kind::Goodbye,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { protocol, client } => {
+                out.extend_from_slice(&protocol.to_le_bytes());
+                put_string(&mut out, client);
+            }
+            Frame::HelloAck(info) => {
+                out.extend_from_slice(&info.domain_log2.to_le_bytes());
+                out.push(info.dyadic as u8);
+                out.extend_from_slice(&info.tables.to_le_bytes());
+                out.extend_from_slice(&info.buckets.to_le_bytes());
+                out.extend_from_slice(&info.seed.to_le_bytes());
+                out.extend_from_slice(&info.max_batch.to_le_bytes());
+                out.extend_from_slice(&info.queue_limit.to_le_bytes());
+            }
+            Frame::UpdateBatch { stream, updates } => {
+                out.push(*stream as u8);
+                put_varint(&mut out, updates.len() as u64);
+                for u in updates {
+                    put_varint(&mut out, u.value);
+                    put_varint(&mut out, zigzag(u.weight));
+                }
+            }
+            Frame::BatchAck { accepted } => put_varint(&mut out, *accepted),
+            Frame::QueryJoin | Frame::Goodbye => {}
+            Frame::QuerySelfJoin { stream } | Frame::Snapshot { stream } => {
+                out.push(*stream as u8);
+            }
+            Frame::Answer {
+                estimate,
+                dense_dense,
+                dense_sparse,
+                sparse_dense,
+                sparse_sparse,
+                dense_f,
+                dense_g,
+            } => {
+                for v in [
+                    estimate,
+                    dense_dense,
+                    dense_sparse,
+                    sparse_dense,
+                    sparse_sparse,
+                ] {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                put_varint(&mut out, *dense_f);
+                put_varint(&mut out, *dense_g);
+            }
+            Frame::SnapshotReply { stream, sketch } => {
+                out.push(*stream as u8);
+                put_varint(&mut out, sketch.len() as u64);
+                out.extend_from_slice(sketch);
+            }
+            Frame::Throttle { pending, limit } => {
+                put_varint(&mut out, *pending);
+                put_varint(&mut out, *limit);
+            }
+            Frame::Error { code, message } => {
+                out.extend_from_slice(&code.as_u16().to_le_bytes());
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    fn decode_payload(kind: Kind, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Reader::new(payload);
+        let frame = match kind {
+            Kind::Hello => Frame::Hello {
+                protocol: r.u16()?,
+                client: r.string()?,
+            },
+            Kind::HelloAck => Frame::HelloAck(ServerInfo {
+                domain_log2: r.u16()?,
+                dyadic: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadPayload("bad strategy tag")),
+                },
+                tables: r.u32()?,
+                buckets: r.u32()?,
+                seed: r.u64()?,
+                max_batch: r.u32()?,
+                queue_limit: r.u32()?,
+            }),
+            Kind::UpdateBatch => {
+                let stream = StreamId::from_u8(r.u8()?)?;
+                let count = r.varint()? as usize;
+                // Every update needs ≥ 2 payload bytes; a declared count
+                // beyond that is truncation, caught before allocating.
+                if count > r.buf.len() {
+                    return Err(WireError::Truncated);
+                }
+                let mut updates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let value = r.varint()?;
+                    let weight = unzigzag(r.varint()?);
+                    updates.push(Update { value, weight });
+                }
+                Frame::UpdateBatch { stream, updates }
+            }
+            Kind::BatchAck => Frame::BatchAck {
+                accepted: r.varint()?,
+            },
+            Kind::QueryJoin => Frame::QueryJoin,
+            Kind::QuerySelfJoin => Frame::QuerySelfJoin {
+                stream: StreamId::from_u8(r.u8()?)?,
+            },
+            Kind::Answer => Frame::Answer {
+                estimate: r.f64()?,
+                dense_dense: r.f64()?,
+                dense_sparse: r.f64()?,
+                sparse_dense: r.f64()?,
+                sparse_sparse: r.f64()?,
+                dense_f: r.varint()?,
+                dense_g: r.varint()?,
+            },
+            Kind::Snapshot => Frame::Snapshot {
+                stream: StreamId::from_u8(r.u8()?)?,
+            },
+            Kind::SnapshotReply => {
+                let stream = StreamId::from_u8(r.u8()?)?;
+                let len = r.varint()? as usize;
+                let sketch = r.take(len)?.to_vec();
+                Frame::SnapshotReply { stream, sketch }
+            }
+            Kind::Throttle => Frame::Throttle {
+                pending: r.varint()?,
+                limit: r.varint()?,
+            },
+            Kind::Error => Frame::Error {
+                code: ErrorCode::from_u16(r.u16()?),
+                message: r.string()?,
+            },
+            Kind::Goodbye => Frame::Goodbye,
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Encodes the frame into its complete wire representation
+    /// (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind() as u8);
+        out.push(0); // flags, reserved
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let header_crc = crc32(&out[..16]);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Writes the frame to `w` as one contiguous buffer, returning the
+    /// number of wire bytes.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<usize> {
+        let bytes = self.encode();
+        w.write_all(&bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Reads one frame from `r`, returning it with its wire length.
+    ///
+    /// `max_payload` bounds the declared payload length **before** any
+    /// allocation, so a hostile or corrupt header cannot make the reader
+    /// buffer unbounded memory.
+    ///
+    /// Timeout semantics (the serving layer's idle loop relies on this):
+    /// if the *first* header byte is not available before the reader's
+    /// timeout, no bytes have been consumed and [`WireError::Idle`] is
+    /// returned — the caller may simply retry. A timeout anywhere later
+    /// is a mid-frame stall and surfaces as [`WireError::Io`]; the stream
+    /// is no longer at a frame boundary and must be closed.
+    pub fn read_from<R: Read>(r: &mut R, max_payload: u32) -> Result<(Frame, usize), WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        // First byte separately: distinguishes idle (retryable) and
+        // clean close (no data) from a stall inside a frame.
+        loop {
+            match r.read(&mut header[..1]) {
+                Ok(0) => return Err(WireError::Closed),
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(WireError::Idle)
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        r.read_exact(&mut header[1..]).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        if &header[0..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let stored_header_crc = u32::from_le_bytes(header[16..20].try_into().expect("4"));
+        if crc32(&header[..16]) != stored_header_crc {
+            return Err(WireError::HeaderCrc);
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = Kind::from_u8(header[6])?;
+        if header[7] != 0 {
+            return Err(WireError::BadFlags(header[7]));
+        }
+        let payload_len = u32::from_le_bytes(header[8..12].try_into().expect("4"));
+        if payload_len > max_payload {
+            return Err(WireError::Oversize {
+                len: payload_len,
+                max: max_payload,
+            });
+        }
+        let stored_payload_crc = u32::from_le_bytes(header[12..16].try_into().expect("4"));
+        let mut payload = vec![0u8; payload_len as usize];
+        r.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        if crc32(&payload) != stored_payload_crc {
+            return Err(WireError::PayloadCrc);
+        }
+        let frame = Frame::decode_payload(kind, &payload)?;
+        Ok((frame, HEADER_LEN + payload_len as usize))
+    }
+
+    /// Decodes one frame from the front of `buf` (slice form of
+    /// [`Frame::read_from`], used by tests and fuzz-style suites).
+    pub fn decode(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), WireError> {
+        let mut cursor = buf;
+        Frame::read_from(&mut cursor, max_payload)
+    }
+}

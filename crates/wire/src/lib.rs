@@ -1,0 +1,188 @@
+//! # stream-wire
+//!
+//! The versioned, length-prefixed binary protocol of the skimmed-sketch
+//! serving layer. Zero dependencies beyond `std` and the `stream-model`
+//! update type: the build (and deployment) environment is offline, so the
+//! whole protocol — framing, checksums, payload codecs — is hand-rolled
+//! here, reusing the varint/zigzag conventions of the trace codec
+//! (`stream-model::io`) and the sketch codec (`stream-sketches::codec`).
+//!
+//! ## Frame grammar
+//!
+//! ```text
+//! frame       := header payload
+//! header      := magic "SSWF"          (4 bytes)
+//!                version u16-le        (= 1)
+//!                kind    u8            (frame tag, 1..=12)
+//!                flags   u8            (reserved, 0)
+//!                payload_len u32-le
+//!                payload_crc u32-le    (CRC-32/IEEE of payload)
+//!                header_crc  u32-le    (CRC-32/IEEE of bytes 0..16)
+//! payload     := kind-specific (see `Frame`), ≤ the reader's max_payload
+//! ```
+//!
+//! The header CRC makes desynchronisation loud: a reader that lands
+//! mid-stream sees `BadMagic`/`HeaderCrc` immediately instead of
+//! interpreting garbage as a length and stalling. The payload CRC catches
+//! corruption that TCP's 16-bit checksum can miss on long-haul links.
+//!
+//! ## Session shape
+//!
+//! ```text
+//! client                                server
+//!   | ------------- HELLO ------------->  |
+//!   | <----------- HELLO_ACK -----------  |   (schema + limits)
+//!   | --------- UPDATE_BATCH ---------->  |
+//!   | <--- BATCH_ACK | THROTTLE | ERROR   |
+//!   | ---- QUERY_JOIN / QUERY_SELF_JOIN / SNAPSHOT ---> |
+//!   | <--- ANSWER / SNAPSHOT_REPLY / ERROR ------------ |
+//!   | ------------ GOODBYE ------------>  |
+//!   | <----------- GOODBYE -------------  |   (drained close)
+//! ```
+//!
+//! Strictly one request in flight per connection; every request gets
+//! exactly one reply. THROTTLE is a *negative acknowledgement*: the batch
+//! was not queued and the producer owns the retry.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod crc;
+mod frame;
+
+pub use crc::crc32;
+pub use frame::{ErrorCode, Frame, ServerInfo, StreamId};
+
+use std::io;
+
+/// Header magic: "Skimmed-Sketch Wire Frame".
+pub const MAGIC: &[u8; 4] = b"SSWF";
+
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Default cap on a single frame's payload (16 MiB) — far above any
+/// sensible batch, far below "attacker controls allocation".
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Errors reading or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying I/O failure (including mid-frame timeouts).
+    Io(io::Error),
+    /// The read timed out before the first header byte: the connection is
+    /// idle at a frame boundary and the read may simply be retried.
+    Idle,
+    /// Clean EOF at a frame boundary: the peer closed the connection.
+    Closed,
+    /// Header magic mismatch.
+    BadMagic,
+    /// Header CRC mismatch.
+    HeaderCrc,
+    /// Payload CRC mismatch.
+    PayloadCrc,
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Unknown frame kind tag.
+    BadKind(u8),
+    /// Non-zero reserved flags.
+    BadFlags(u8),
+    /// Frame ended before its payload was complete.
+    Truncated,
+    /// Declared payload exceeds the reader's limit.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The reader's limit.
+        max: u32,
+    },
+    /// Payload decoded cleanly but left unread bytes.
+    TrailingBytes,
+    /// Structurally invalid payload content.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Idle => write!(f, "idle: no frame before read timeout"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::HeaderCrc => write!(f, "frame header crc mismatch"),
+            WireError::PayloadCrc => write!(f, "frame payload crc mismatch"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadFlags(x) => write!(f, "non-zero reserved flags {x:#04x}"),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversize { len, max } => {
+                write!(f, "payload of {len} bytes exceeds limit {max}")
+            }
+            WireError::TrailingBytes => write!(f, "payload has trailing bytes"),
+            WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_model::update::Update;
+
+    #[test]
+    fn header_layout_is_twenty_bytes() {
+        let bytes = Frame::QueryJoin.encode();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        assert_eq!(&bytes[0..4], MAGIC);
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let frame = Frame::UpdateBatch {
+            stream: StreamId::G,
+            updates: vec![
+                Update::insert(7),
+                Update::delete(9),
+                Update::insert(1 << 40),
+            ],
+        };
+        let bytes = frame.encode();
+        let (back, n) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(n, bytes.len());
+    }
+
+    #[test]
+    fn idle_and_close_are_distinguished() {
+        // An empty reader is a clean close…
+        let err = Frame::decode(&[], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(matches!(err, WireError::Closed), "{err}");
+        // …while a cut-off frame is truncation.
+        let bytes = Frame::QueryJoin.encode();
+        let err = Frame::decode(&bytes[..HEADER_LEN - 3], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(matches!(err, WireError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn oversize_is_rejected_before_allocation() {
+        let frame = Frame::SnapshotReply {
+            stream: StreamId::F,
+            sketch: vec![0xAB; 4096],
+        };
+        let bytes = frame.encode();
+        let err = Frame::decode(&bytes, 16).unwrap_err();
+        assert!(matches!(err, WireError::Oversize { max: 16, .. }), "{err}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based contract of the wire codec.
+//!
+//! Two invariants, mirroring the trace-file tests in
+//! `stream-model::io`:
+//!
+//! * **identity** — `decode(encode(frame)) == frame` for every frame
+//!   type, across the full value ranges of every field;
+//! * **rejection** — no single-byte corruption and no truncation of a
+//!   valid frame ever decodes successfully. Every byte of a frame is
+//!   covered by either the header CRC or the payload CRC, so a flipped
+//!   bit must surface as an error, never as a silently different frame.
+
+use proptest::prelude::*;
+use stream_model::update::Update;
+use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, DEFAULT_MAX_PAYLOAD};
+
+fn arb_stream(sel: u8) -> StreamId {
+    if sel & 1 == 0 {
+        StreamId::F
+    } else {
+        StreamId::G
+    }
+}
+
+fn arb_updates(max_len: usize) -> impl Strategy<Value = Vec<Update>> {
+    prop::collection::vec(
+        (any::<u64>(), any::<i64>()).prop_map(|(value, weight)| Update { value, weight }),
+        0..max_len,
+    )
+}
+
+fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..max_len)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+/// Encode → decode → exact equality, plus exact consumed-length report.
+fn assert_round_trip(frame: &Frame) -> Result<(), proptest::TestCaseError> {
+    let bytes = frame.encode();
+    match Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Ok((back, n)) => {
+            prop_assert_eq!(&back, frame);
+            prop_assert_eq!(n, bytes.len());
+            Ok(())
+        }
+        Err(e) => {
+            prop_assert!(false, "decode failed for {:?}: {}", frame, e);
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hello_round_trips(protocol in any::<u16>(), client in ascii_string(48)) {
+        assert_round_trip(&Frame::Hello { protocol, client })?;
+    }
+
+    #[test]
+    fn hello_ack_round_trips(
+        shape in (any::<u16>(), any::<bool>(), any::<u32>(), any::<u32>()),
+        limits in (any::<u64>(), any::<u32>(), any::<u32>()),
+    ) {
+        let (domain_log2, dyadic, tables, buckets) = shape;
+        let (seed, max_batch, queue_limit) = limits;
+        assert_round_trip(&Frame::HelloAck(ServerInfo {
+            domain_log2, dyadic, tables, buckets, seed, max_batch, queue_limit,
+        }))?;
+    }
+
+    #[test]
+    fn update_batch_round_trips(sel in any::<u8>(), updates in arb_updates(200)) {
+        assert_round_trip(&Frame::UpdateBatch { stream: arb_stream(sel), updates })?;
+    }
+
+    #[test]
+    fn ack_and_throttle_round_trip(
+        accepted in any::<u64>(),
+        pending in any::<u64>(),
+        limit in any::<u64>(),
+    ) {
+        assert_round_trip(&Frame::BatchAck { accepted })?;
+        assert_round_trip(&Frame::Throttle { pending, limit })?;
+    }
+
+    #[test]
+    fn answer_round_trips(
+        terms in (-1e18f64..1e18, -1e18f64..1e18, -1e18f64..1e18, -1e18f64..1e18),
+        rest in (-1e18f64..1e18, any::<u64>(), any::<u64>()),
+    ) {
+        let (estimate, dense_dense, dense_sparse, sparse_dense) = terms;
+        let (sparse_sparse, dense_f, dense_g) = rest;
+        assert_round_trip(&Frame::Answer {
+            estimate, dense_dense, dense_sparse, sparse_dense, sparse_sparse, dense_f, dense_g,
+        })?;
+    }
+
+    #[test]
+    fn queries_and_snapshots_round_trip(
+        sel in any::<u8>(),
+        sketch in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let stream = arb_stream(sel);
+        assert_round_trip(&Frame::QueryJoin)?;
+        assert_round_trip(&Frame::QuerySelfJoin { stream })?;
+        assert_round_trip(&Frame::Snapshot { stream })?;
+        assert_round_trip(&Frame::SnapshotReply { stream, sketch })?;
+        assert_round_trip(&Frame::Goodbye)?;
+    }
+
+    #[test]
+    fn error_round_trips(code in any::<u16>(), message in ascii_string(64)) {
+        assert_round_trip(&Frame::Error {
+            code: ErrorCode::from_u16(code),
+            message,
+        })?;
+    }
+
+    /// A single flipped bit anywhere in a frame must be rejected: the
+    /// header CRC covers bytes 0..16, the header-CRC field is
+    /// self-verifying, and the payload CRC covers the rest.
+    #[test]
+    fn single_bit_corruption_is_rejected(
+        sel in any::<u8>(),
+        updates in arb_updates(64),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let frame = Frame::UpdateBatch { stream: arb_stream(sel), updates };
+        let mut bytes = frame.encode();
+        let idx = (pos % bytes.len() as u64) as usize;
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(
+            Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).is_err(),
+            "flip at byte {} bit {} decoded successfully", idx, bit
+        );
+    }
+
+    /// Any strict prefix of a valid frame must fail loudly (never hang,
+    /// never decode): empty → Closed, otherwise Truncated/Io.
+    #[test]
+    fn truncation_is_rejected(sel in any::<u8>(), updates in arb_updates(64), cut in any::<u64>()) {
+        let frame = Frame::UpdateBatch { stream: arb_stream(sel), updates };
+        let bytes = frame.encode();
+        let cut = (cut % bytes.len() as u64) as usize;
+        let err = Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        if cut == 0 {
+            prop_assert!(matches!(err, WireError::Closed), "{}", err);
+        } else {
+            prop_assert!(matches!(err, WireError::Truncated), "{}", err);
+        }
+    }
+
+    /// Back-to-back frames on one stream decode in sequence — the length
+    /// prefix alone delimits them.
+    #[test]
+    fn concatenated_frames_stay_framed(updates in arb_updates(64), accepted in any::<u64>()) {
+        let first = Frame::UpdateBatch { stream: StreamId::F, updates };
+        let second = Frame::BatchAck { accepted };
+        let mut bytes = first.encode();
+        bytes.extend_from_slice(&second.encode());
+        let mut cursor = &bytes[..];
+        let (a, _) = Frame::read_from(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap();
+        let (b, _) = Frame::read_from(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(a, first);
+        prop_assert_eq!(b, second);
+        prop_assert!(cursor.is_empty());
+    }
+}

@@ -86,6 +86,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]; the message comes back to
+    /// the caller in both cases.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is full.
+        Full(T),
+        /// The receiving side has disconnected.
+        Disconnected(T),
+    }
+
     /// Error returned when the channel is empty and disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -94,6 +104,15 @@ pub mod channel {
         /// Sends a message, blocking while the channel is full.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             self.inner.send(msg).map_err(|e| SendError(e.0))
+        }
+
+        /// Sends a message only if buffer space is free right now,
+        /// returning it to the caller otherwise.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
         }
     }
 
@@ -145,6 +164,18 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_returns_the_message() {
+        use super::channel::TrySendError;
+        let (tx, rx) = super::channel::bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

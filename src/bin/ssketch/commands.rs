@@ -8,8 +8,10 @@ use stream_model::gen::{CensusGenerator, UniformGenerator, ZipfGenerator};
 use stream_model::io::{read_trace_file, write_trace_file, TraceReader};
 use stream_model::metrics::ratio_error;
 use stream_model::{Domain, FrequencyVector, StreamSink, WorkloadStats};
+use stream_server::{Server, ServerClient, ServerConfig};
 use stream_sketches::codec::{decode_hash, encode_hash};
 use stream_sketches::{HashSketch, HashSketchSchema};
+use stream_wire::StreamId;
 
 fn io_err(e: impl std::fmt::Display) -> CliError {
     CliError(e.to_string())
@@ -270,6 +272,89 @@ pub fn join_skimmed(args: &Args) -> Result<(), CliError> {
         "  dense/dense {:.0} | dense/sparse {:.0} | sparse/dense {:.0} | sparse/sparse {:.0}",
         est.dense_dense, est.dense_sparse, est.sparse_dense, est.sparse_sparse
     );
+    Ok(())
+}
+
+/// `ssketch serve` — run the TCP serving layer until stdin closes.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    let addr = args
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let log2 = args.get_or("domain-log2", 16u32)?;
+    let (tables, buckets, seed) = synopsis_shape(args)?;
+    let dyadic = args.get_or("dyadic", false)?;
+    let domain = Domain::with_log2(log2);
+    let schema = if dyadic {
+        SkimmedSchema::dyadic(domain, tables, buckets, seed)
+    } else {
+        SkimmedSchema::scanning(domain, tables, buckets, seed)
+    };
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = args.get_or("handlers", config.handler_threads)?;
+    config.ingest_workers = args.get_or("workers", config.ingest_workers)?;
+    config.queue_depth = args.get_or("queue-depth", config.queue_depth)?;
+    config.max_batch = args.get_or("max-batch", config.max_batch)?;
+    let server = Server::bind(addr.as_str(), config).map_err(io_err)?;
+    println!(
+        "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}",
+        server.local_addr()
+    );
+    println!("press Enter (or close stdin) to drain and stop");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    let (f, g) = server.shutdown();
+    println!(
+        "drained: F carries l1 mass {}, G carries l1 mass {}",
+        f.l1_mass(),
+        g.l1_mass()
+    );
+    Ok(())
+}
+
+/// `ssketch remote-join` — stream two traces to a server and query it.
+pub fn remote_join(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let left = args.required("left")?;
+    let right = args.required("right")?;
+    let chunk = args.get_or("chunk", 8_192usize)?;
+    let (dl, fu) = read_trace_file(&left).map_err(io_err)?;
+    let (dr, gu) = read_trace_file(&right).map_err(io_err)?;
+    if dl != dr {
+        return Err(CliError("trace domains differ".into()));
+    }
+    let mut client = ServerClient::connect_named(addr.as_str(), "ssketch").map_err(io_err)?;
+    let info = *client.info();
+    if u32::from(info.domain_log2) != dl.log2_size() {
+        return Err(CliError(format!(
+            "server domain 2^{} does not match trace domain 2^{}",
+            info.domain_log2,
+            dl.log2_size()
+        )));
+    }
+    let rf = client.send_all(StreamId::F, &fu, chunk).map_err(io_err)?;
+    let rg = client.send_all(StreamId::G, &gu, chunk).map_err(io_err)?;
+    println!(
+        "streamed {} + {} updates ({} batches, {} throttle retries)",
+        rf.updates,
+        rg.updates,
+        rf.batches + rg.batches,
+        rf.throttled + rg.throttled
+    );
+    let ans = client.query_join().map_err(io_err)?;
+    println!(
+        "served synopsis : {}x{} (seed {}, dyadic={})",
+        info.tables, info.buckets, info.seed, info.dyadic
+    );
+    println!("estimate        : {:.0}", ans.estimate);
+    println!(
+        "  dense/dense {:.0} | dense/sparse {:.0} | sparse/dense {:.0} | sparse/sparse {:.0}",
+        ans.dense_dense, ans.dense_sparse, ans.sparse_dense, ans.sparse_sparse
+    );
+    println!(
+        "  skimmed {} + {} dense values server-side",
+        ans.dense_f, ans.dense_g
+    );
+    client.goodbye().map_err(io_err)?;
     Ok(())
 }
 

@@ -55,6 +55,16 @@ fn usage() -> &'static str {
          --trace PATH --tables N --buckets N --seed S --dyadic BOOL --out PATH\n\
      join-skimmed    ESTSKIMJOINSIZE from two skimmed-sketch files\n\
          --left PATH --right PATH\n\
+     serve           run the TCP serving layer (stops when stdin closes)\n\
+         --addr HOST:PORT                  listen address (127.0.0.1:7878)\n\
+         --domain-log2 N                   log2 of the value domain (16)\n\
+         --tables N --buckets N --seed S   synopsis shape (7/512/42)\n\
+         --dyadic true|false               extraction strategy (false)\n\
+         --handlers N --workers N          thread counts (4 / 2)\n\
+         --queue-depth N --max-batch N     backpressure knobs (8 / 65536)\n\
+     remote-join     stream two traces to a server and query the join\n\
+         --addr HOST:PORT --left PATH --right PATH\n\
+         --chunk N                         updates per UPDATE_BATCH (8192)\n\
      help            this text\n"
 }
 
@@ -76,6 +86,8 @@ fn main() {
             "skim-sketch" => commands::skim_sketch(&args)?,
             "join-skimmed" => commands::join_skimmed(&args)?,
             "join-sketches" => commands::join_sketches(&args)?,
+            "serve" => commands::serve(&args)?,
+            "remote-join" => commands::remote_join(&args)?,
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());
