@@ -1,0 +1,160 @@
+//! Durability cost + recovery speed record (`BENCH_durability.json`).
+//!
+//! Answers the two questions the WAL raises:
+//!
+//! 1. **What does durability cost at ingest time?** The same sequenced
+//!    wire workload is streamed three times — WAL off, WAL on, and WAL
+//!    on with per-append fsync — and the sustained throughputs are
+//!    compared. The WAL path serializes acknowledged batches through
+//!    one appender lock, so this is the honest end-to-end price, not a
+//!    microbenchmark of the file write.
+//! 2. **How fast does recovery replay?** The WAL-on server is halted
+//!    (crash semantics: no drain, no final snapshot) and re-bound over
+//!    its log directory; the bind time is the full recovery — scan,
+//!    torn-tail check, decode, and replay into fresh ingest pools —
+//!    reported normalized per million logged updates.
+//!
+//! A correctness gate runs alongside the timings: the recovered
+//! server's join answer must equal the pre-crash answer exactly.
+//!
+//! ```text
+//! cargo run -p ss-bench --release --bin durability_report
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{SkimmedSchema, SkimmedSketch};
+use std::path::PathBuf;
+use std::time::Instant;
+use stream_durability::WalConfig;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, Update};
+use stream_server::{ClientConfig, Server, ServerClient, ServerConfig};
+use stream_wire::StreamId;
+
+const N: usize = 300_000;
+const CHUNK: usize = 8_192;
+
+fn zipf_updates(domain: Domain, skew: f64, seed: u64, n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(domain, skew, seed);
+    (0..n).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ss-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn server_config(schema: std::sync::Arc<SkimmedSchema>, host_cpus: usize) -> ServerConfig {
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = 2;
+    config.ingest_workers = 2.min(host_cpus);
+    config
+}
+
+/// Streams the workload through `server` as a sequenced producer and
+/// returns the sustained throughput in Melem/s.
+fn stream_workload(server: &Server, uf: &[Update], ug: &[Update]) -> f64 {
+    let config = ClientConfig {
+        client_id: 9,
+        ..ClientConfig::default()
+    };
+    let mut client = ServerClient::connect_with(server.local_addr(), config).expect("connect");
+    let t = Instant::now();
+    client.send_all(StreamId::F, uf, CHUNK).expect("send F");
+    client.send_all(StreamId::G, ug, CHUNK).expect("send G");
+    let melem_s = (uf.len() + ug.len()) as f64 / t.elapsed().as_secs_f64() / 1e6;
+    client.goodbye().expect("goodbye");
+    melem_s
+}
+
+fn main() {
+    let domain = Domain::with_log2(14);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("durability_report — host cpus = {host_cpus}");
+
+    let schema = SkimmedSchema::scanning(domain, 7, 256, 42);
+    let uf = zipf_updates(domain, 1.0, 11, N);
+    let ug = zipf_updates(domain, 0.8, 12, N);
+
+    // --- arm 1: WAL off (the in-memory baseline) -------------------------
+    let server = Server::bind("127.0.0.1:0", server_config(schema.clone(), host_cpus))
+        .expect("bind off-arm");
+    let off_melem_s = stream_workload(&server, &uf, &ug);
+    server.shutdown().expect("clean shutdown");
+    println!("wire ingest, WAL off       : {off_melem_s:.2} Melem/s");
+
+    // --- arm 2: WAL on, buffered appends ---------------------------------
+    let dir = scratch_dir("wal");
+    let mut config = server_config(schema.clone(), host_cpus);
+    config.wal = Some(WalConfig::new(&dir));
+    let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind wal-arm");
+    let wal_melem_s = stream_workload(&server, &uf, &ug);
+    let mut client = ServerClient::connect(server.local_addr()).expect("connect");
+    let before_crash = client.query_join().expect("query_join").estimate;
+    client.goodbye().expect("goodbye");
+    let wal_overhead = (off_melem_s - wal_melem_s) / off_melem_s * 100.0;
+    println!("wire ingest, WAL on        : {wal_melem_s:.2} Melem/s ({wal_overhead:.1}% overhead)");
+
+    // --- recovery replay: crash, re-bind, time the rebuild ---------------
+    server.halt();
+    let t = Instant::now();
+    let server = Server::bind("127.0.0.1:0", config).expect("bind recovery");
+    let recovery_s = t.elapsed().as_secs_f64();
+    let report = *server.recovery().expect("recovery ran");
+    let replay_s_per_million = recovery_s * 1e6 / report.updates_replayed.max(1) as f64;
+    println!(
+        "recovery replay            : {} batches / {} updates in {:.3}s ({replay_s_per_million:.3}s per 1M updates)",
+        report.batches_replayed, report.updates_replayed, recovery_s
+    );
+    let mut client = ServerClient::connect(server.local_addr()).expect("connect");
+    let after_crash = client.query_join().expect("query_join").estimate;
+    assert_eq!(
+        after_crash, before_crash,
+        "recovered answer must equal the pre-crash answer bit-for-bit"
+    );
+    println!("correctness gate           : pre/post-crash answers identical ({after_crash:.0})");
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- arm 3: WAL on + fsync every append ------------------------------
+    // A smaller slice: per-append fsync is orders of magnitude slower and
+    // the per-batch cost is flat, so 1/8 of the stream measures it fine.
+    let dir = scratch_dir("fsync");
+    let mut config = server_config(schema.clone(), host_cpus);
+    let mut wal = WalConfig::new(&dir);
+    wal.fsync = true;
+    config.wal = Some(wal);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind fsync-arm");
+    let fsync_melem_s = stream_workload(&server, &uf[..N / 8], &ug[..N / 8]);
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("wire ingest, WAL on + fsync: {fsync_melem_s:.2} Melem/s");
+
+    // --- in-process baseline for scale -----------------------------------
+    let mut local = SkimmedSketch::new(schema);
+    let t = Instant::now();
+    local.add_batch(&uf);
+    local.add_batch(&ug);
+    let local_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+    println!("in-process add_batch       : {local_melem_s:.2} Melem/s (no wire, no WAL)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"durability\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
+         \"wal_off_melem_s\": {off_melem_s:.3},\n  \"wal_on_melem_s\": {wal_melem_s:.3},\n  \
+         \"wal_overhead_percent\": {wal_overhead:.2},\n  \"wal_fsync_melem_s\": {fsync_melem_s:.3},\n  \
+         \"recovery_batches\": {},\n  \"recovery_updates\": {},\n  \
+         \"recovery_seconds\": {recovery_s:.4},\n  \
+         \"recovery_seconds_per_million\": {replay_s_per_million:.4},\n  \
+         \"inprocess_melem_s\": {local_melem_s:.3}\n}}\n",
+        2 * N,
+        report.batches_replayed,
+        report.updates_replayed,
+    );
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    println!("wrote BENCH_durability.json");
+}

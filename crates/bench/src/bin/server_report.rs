@@ -117,7 +117,7 @@ fn main() {
     );
 
     client.goodbye().expect("goodbye");
-    let (fin_f, _fin_g) = server.shutdown();
+    let (fin_f, _fin_g) = server.shutdown().expect("clean shutdown");
     assert_eq!(
         fin_f.l1_mass(),
         local_f.l1_mass(),

@@ -81,13 +81,13 @@ fn main() {
     }
     // Mid-stream consistent snapshot — exercises the snapshot span and the
     // queue-depth gauge while the pool is live.
-    let _mid = pool_f.snapshot();
+    let _mid = pool_f.snapshot().expect("no worker panicked");
     assert!(pool_f.is_empty(), "snapshot barriers behind every dispatch");
     for chunk in ug.chunks(4096) {
         pool_g.dispatch(chunk.to_vec());
     }
-    let f = pool_f.finish();
-    let g = pool_g.finish();
+    let f = pool_f.finish().expect("no worker panicked");
+    let g = pool_g.finish().expect("no worker panicked");
     let ingest_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
     println!("pooled skimmed-sketch ingest: {ingest_melem_s:.2} Melem/s (2 workers/stream)");
 

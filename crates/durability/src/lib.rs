@@ -1,0 +1,37 @@
+//! # stream-durability
+//!
+//! The fault-tolerance layer under the skimmed-sketch serving stack.
+//!
+//! The estimator's guarantees (PAPER.md §5) are only worth deploying if
+//! the sketch state survives the realities of a long-running server:
+//! process crashes, torn writes, flaky links, poisoned batches. This
+//! crate supplies the two durable halves of that story:
+//!
+//! * [`Wal`] — a checksummed, segment-rotating **write-ahead log** whose
+//!   records are verbatim [`stream_wire::Frame`] encodings (UPDATE_BATCH
+//!   frames), so every byte on disk is protected by the same dual
+//!   CRC-32 framing as every byte on the wire. Periodic **snapshots**
+//!   (opaque encoded-sketch blobs plus the idempotency table) bound
+//!   replay time and let old segments be pruned. Recovery truncates a
+//!   torn tail at the first bad record and replays the rest — a server
+//!   restarted over the same directory answers queries **bit-identically**
+//!   to one that never crashed, because sketch ingestion is linear and
+//!   the log holds exactly the acknowledged batches.
+//! * [`FaultyTransport`] — a deterministic fault-injection TCP proxy
+//!   seeded from a `u64`, able to flip bits, truncate, stall, trickle
+//!   partial writes, and disconnect at chosen byte offsets of either
+//!   direction. The chaos suite drives every recovery path through it.
+//!
+//! The WAL knows nothing about sketches: snapshot payloads are opaque
+//! byte blobs (the server stores `encode_skimmed` output), which keeps
+//! this crate dependency-light and the codec authority where it already
+//! lives.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod fault;
+mod wal;
+
+pub use fault::{ConnPlan, Fault, FaultKind, FaultPlan, FaultyTransport};
+pub use wal::{DedupEntry, Recovered, ReplayBatch, SnapshotBlob, Wal, WalConfig};

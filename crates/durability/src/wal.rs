@@ -1,0 +1,732 @@
+//! Checksummed, segment-rotating write-ahead log of wire frames.
+//!
+//! ## On-disk layout
+//!
+//! A WAL directory holds two kinds of files:
+//!
+//! ```text
+//! wal-%016x.seg    segment: a concatenation of encoded UPDATE_BATCH frames
+//! snap-%016x.ss    snapshot: encoded sketch blobs + the idempotency table
+//! ```
+//!
+//! Segment records are **verbatim [`Frame::encode`] bytes** — the same
+//! 20-byte dual-CRC header that protects every byte on the wire protects
+//! every byte on disk, and recovery is just [`Frame::read_from`] in a
+//! loop. A torn tail (partial final record after a crash mid-write)
+//! surfaces as the first decode error; recovery truncates the segment at
+//! the last cleanly-decoded record and discards any later segments.
+//!
+//! The number in a snapshot's file name is the id of the first segment
+//! **not** covered by it: recovery loads the newest valid snapshot and
+//! replays only segments with id ≥ that number. [`Wal::install_snapshot`]
+//! first rotates to a fresh segment so the boundary is exact, writes the
+//! snapshot through a temp-file + rename (atomic on POSIX), then prunes
+//! every segment and snapshot the new one supersedes.
+//!
+//! ## Write-ahead contract
+//!
+//! The server appends a batch's frame bytes **after** the ingest pool has
+//! accepted it and **before** acknowledging the client, so the log holds
+//! exactly the acknowledged batches. Because sketch ingestion is linear
+//! (`sketch(f+g) = sketch(f) + sketch(g)`), replaying those batches into
+//! the recovered snapshot reproduces the pre-crash sketch bit-for-bit, in
+//! any order.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use stream_wire::{crc32, Frame, StreamId, WireError, DEFAULT_MAX_PAYLOAD};
+
+/// Snapshot-file magic: "Skimmed-Sketch Snapshot".
+const SNAP_MAGIC: &[u8; 4] = b"SSNP";
+/// Snapshot-file format version.
+const SNAP_VERSION: u16 = 1;
+
+/// Configuration for [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding segments and snapshots (created if missing).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the active one reaches this size.
+    pub segment_bytes: u64,
+    /// Suggest a snapshot every this many appended batches
+    /// (see [`Wal::wants_snapshot`]); `0` disables the suggestion.
+    pub snapshot_every: u64,
+    /// `fsync` after every append (durable against power loss) rather
+    /// than only on rotation and snapshot install (durable against
+    /// process crash).
+    pub fsync: bool,
+}
+
+impl WalConfig {
+    /// A config with production-ish defaults rooted at `dir`:
+    /// 64 MiB segments, a snapshot suggestion every 4096 batches, no
+    /// per-append fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: 64 << 20,
+            snapshot_every: 4096,
+            fsync: false,
+        }
+    }
+}
+
+/// One logged batch, decoded during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayBatch {
+    /// The join input the batch targets.
+    pub stream: StreamId,
+    /// Producer identity (`0` = unsequenced).
+    pub client_id: u64,
+    /// Producer sequence number.
+    pub seq: u64,
+    /// The batch's updates, in stream order.
+    pub updates: Vec<stream_model::update::Update>,
+}
+
+/// Idempotency-table entry persisted inside a snapshot: the highest
+/// applied sequence number per stream for one producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupEntry {
+    /// The producer identity.
+    pub client_id: u64,
+    /// Highest applied `seq`, indexed by `StreamId as usize`.
+    pub last_seq: [u64; 2],
+}
+
+/// A point-in-time image of the server's durable state: one opaque
+/// encoded-sketch blob per stream plus the idempotency table.
+///
+/// The blobs are whatever the caller's codec produced (the server stores
+/// `stream_sketches::codec::encode_skimmed` output); this crate only
+/// checksums and stores them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotBlob {
+    /// Encoded sketch per stream, indexed by `StreamId as usize`.
+    pub blobs: [Vec<u8>; 2],
+    /// The idempotency table at the moment of the snapshot.
+    pub dedup: Vec<DedupEntry>,
+}
+
+impl SnapshotBlob {
+    /// Serialises to the snapshot-file body + envelope:
+    ///
+    /// ```text
+    /// magic "SSNP" | version u16-le | body_crc u32-le | body_len u64-le | body
+    /// body := f_len u64-le | f blob | g_len u64-le | g blob
+    ///       | n u32-le | n × (client_id u64-le, seq_f u64-le, seq_g u64-le)
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for blob in &self.blobs {
+            body.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            body.extend_from_slice(blob);
+        }
+        // Deterministic bytes: entries sorted by producer identity.
+        let mut entries = self.dedup.clone();
+        entries.sort_by_key(|e| e.client_id);
+        body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for e in &entries {
+            body.extend_from_slice(&e.client_id.to_le_bytes());
+            body.extend_from_slice(&e.last_seq[0].to_le_bytes());
+            body.extend_from_slice(&e.last_seq[1].to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(18 + body.len());
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses [`SnapshotBlob::encode`] bytes, verifying magic, version,
+    /// length, and CRC. Any mismatch is `InvalidData`.
+    pub fn decode(bytes: &[u8]) -> io::Result<Self> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        if bytes.len() < 18 {
+            return Err(bad("snapshot shorter than its envelope"));
+        }
+        if &bytes[0..4] != SNAP_MAGIC {
+            return Err(bad("bad snapshot magic"));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != SNAP_VERSION {
+            return Err(bad("unsupported snapshot version"));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[6..10].try_into().expect("4"));
+        let body_len = u64::from_le_bytes(bytes[10..18].try_into().expect("8")) as usize;
+        let body = bytes
+            .get(18..18 + body_len)
+            .ok_or_else(|| bad("snapshot body truncated"))?;
+        if bytes.len() != 18 + body_len {
+            return Err(bad("snapshot has trailing bytes"));
+        }
+        if crc32(body) != stored_crc {
+            return Err(bad("snapshot body crc mismatch"));
+        }
+        let mut at = 0usize;
+        let mut take = |n: usize| -> io::Result<&[u8]> {
+            let slice = body
+                .get(at..at + n)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot body short"))?;
+            at += n;
+            Ok(slice)
+        };
+        let mut blobs: [Vec<u8>; 2] = [Vec::new(), Vec::new()];
+        for blob in &mut blobs {
+            let len = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+            *blob = take(len)?.to_vec();
+        }
+        let n = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+        let mut dedup = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let client_id = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+            let seq_f = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+            let seq_g = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+            dedup.push(DedupEntry {
+                client_id,
+                last_seq: [seq_f, seq_g],
+            });
+        }
+        if at != body.len() {
+            return Err(bad("snapshot body has trailing bytes"));
+        }
+        Ok(SnapshotBlob { blobs, dedup })
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The newest valid snapshot, if any.
+    pub snapshot: Option<SnapshotBlob>,
+    /// Every cleanly-logged batch after the snapshot cut, in log order.
+    pub batches: Vec<ReplayBatch>,
+    /// Segments scanned during replay.
+    pub segments_replayed: u64,
+    /// Bytes discarded from a torn tail (0 on a clean shutdown).
+    pub torn_bytes: u64,
+    /// Corrupt snapshot files that were skipped.
+    pub snapshots_skipped: u64,
+}
+
+impl Recovered {
+    /// Total updates across all replayed batches.
+    pub fn replayed_updates(&self) -> u64 {
+        self.batches.iter().map(|b| b.updates.len() as u64).sum()
+    }
+}
+
+/// A segment-rotating write-ahead log of encoded wire frames.
+///
+/// See the module docs for the on-disk layout and the write-ahead
+/// contract. All methods take `&mut self`; the server serialises access
+/// through its persist lock, which is also what makes the snapshot cut
+/// exact.
+pub struct Wal {
+    config: WalConfig,
+    /// Open handle to the active (highest-id) segment.
+    active: File,
+    active_id: u64,
+    active_len: u64,
+    appends_since_snapshot: u64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.config.dir)
+            .field("active_id", &self.active_id)
+            .field("active_len", &self.active_len)
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:016x}.seg"))
+}
+
+fn snapshot_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("snap-{id:016x}.ss"))
+}
+
+/// Parses `prefix-%016x.suffix` file names; returns the hex id.
+fn parse_id(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if rest.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(rest, 16).ok()
+}
+
+/// Lists `(id, path)` pairs for one file family, sorted by id.
+fn list_family(dir: &Path, prefix: &str, suffix: &str) -> io::Result<BTreeMap<u64, PathBuf>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(id) = parse_id(name, prefix, suffix) {
+                out.insert(id, entry.path());
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `config.dir`, running recovery:
+    /// load the newest valid snapshot, replay every later segment,
+    /// truncate a torn tail at the first bad record, and discard any
+    /// segments after the tear.
+    pub fn open(config: WalConfig) -> io::Result<(Wal, Recovered)> {
+        fs::create_dir_all(&config.dir)?;
+        let mut recovered = Recovered::default();
+
+        // Newest snapshot that actually decodes wins; corrupt ones are
+        // skipped (never deleted — they may be evidence worth keeping).
+        let snapshots = list_family(&config.dir, "snap-", ".ss")?;
+        let mut base_id = 0u64;
+        for (&id, path) in snapshots.iter().rev() {
+            match fs::read(path).and_then(|bytes| SnapshotBlob::decode(&bytes)) {
+                Ok(snap) => {
+                    recovered.snapshot = Some(snap);
+                    base_id = id;
+                    break;
+                }
+                Err(_) => recovered.snapshots_skipped += 1,
+            }
+        }
+
+        // Replay segments the snapshot does not cover, in id order.
+        let segments = list_family(&config.dir, "wal-", ".seg")?;
+        let mut torn_at: Option<u64> = None; // segment id of the tear
+        let mut active_id = base_id;
+        for (&id, path) in segments.range(base_id..) {
+            if let Some(tear) = torn_at {
+                // Everything after a tear was never acknowledged as
+                // recovered state; drop it so appends restart cleanly.
+                debug_assert!(id > tear);
+                recovered.torn_bytes += fs::metadata(path)?.len();
+                fs::remove_file(path)?;
+                continue;
+            }
+            active_id = id;
+            recovered.segments_replayed += 1;
+            let bytes = fs::read(path)?;
+            let mut at = 0usize;
+            loop {
+                match Frame::decode(&bytes[at..], DEFAULT_MAX_PAYLOAD) {
+                    Ok((
+                        Frame::UpdateBatch {
+                            stream,
+                            client_id,
+                            seq,
+                            updates,
+                        },
+                        n,
+                    )) => {
+                        at += n;
+                        recovered.batches.push(ReplayBatch {
+                            stream,
+                            client_id,
+                            seq,
+                            updates,
+                        });
+                    }
+                    Err(WireError::Closed) => break, // clean end of segment
+                    // Any other outcome — truncated record, CRC mismatch,
+                    // or a frame kind that has no business in the log —
+                    // is a torn tail: keep the clean prefix, cut the rest.
+                    Ok((_, _)) | Err(_) => {
+                        recovered.torn_bytes += (bytes.len() - at) as u64;
+                        let file = OpenOptions::new().write(true).open(path)?;
+                        file.set_len(at as u64)?;
+                        file.sync_all()?;
+                        torn_at = Some(id);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let path = segment_path(&config.dir, active_id);
+        let active = OpenOptions::new().create(true).append(true).open(&path)?;
+        let active_len = active.metadata()?.len();
+        let wal = Wal {
+            config,
+            active,
+            active_id,
+            active_len,
+            appends_since_snapshot: recovered.batches.len() as u64,
+        };
+        Ok((wal, recovered))
+    }
+
+    /// Appends one already-encoded frame (the caller passes the exact
+    /// bytes it sent or received on the wire), rotating first if the
+    /// active segment is full.
+    pub fn append_encoded(&mut self, frame_bytes: &[u8]) -> io::Result<()> {
+        if self.active_len >= self.config.segment_bytes && self.active_len > 0 {
+            self.rotate()?;
+        }
+        self.active.write_all(frame_bytes)?;
+        self.active_len += frame_bytes.len() as u64;
+        self.appends_since_snapshot += 1;
+        if self.config.fsync {
+            self.active.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// `true` once `snapshot_every` batches have been appended since the
+    /// last snapshot (always `false` when the policy is disabled).
+    pub fn wants_snapshot(&self) -> bool {
+        self.config.snapshot_every > 0 && self.appends_since_snapshot >= self.config.snapshot_every
+    }
+
+    /// Atomically installs a snapshot and prunes everything it covers.
+    ///
+    /// Rotates to a fresh segment first, so the snapshot's id — the
+    /// first segment it does *not* cover — is exact: replay after this
+    /// call starts from an empty segment. The snapshot is written to a
+    /// temp file, synced, then renamed into place; a crash at any point
+    /// leaves either the old recovery state or the new one, never a
+    /// half-written snapshot that recovery would trust.
+    pub fn install_snapshot(&mut self, snap: &SnapshotBlob) -> io::Result<()> {
+        self.rotate()?;
+        let snap_id = self.active_id;
+        let final_path = snapshot_path(&self.config.dir, snap_id);
+        let tmp_path = final_path.with_extension("ss.tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&snap.encode())?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.appends_since_snapshot = 0;
+        // Prune superseded files; failures here are cosmetic (recovery
+        // ignores covered segments and older snapshots), so best-effort.
+        for (id, path) in list_family(&self.config.dir, "wal-", ".seg")? {
+            if id < snap_id {
+                let _ = fs::remove_file(path);
+            }
+        }
+        for (id, path) in list_family(&self.config.dir, "snap-", ".ss")? {
+            if id < snap_id {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the active segment to disk (used on graceful shutdown
+    /// when per-append fsync is off).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.active.sync_data()
+    }
+
+    /// The id of the segment currently receiving appends.
+    pub fn active_segment_id(&self) -> u64 {
+        self.active_id
+    }
+
+    /// Bytes written to the active segment so far.
+    pub fn active_segment_len(&self) -> u64 {
+        self.active_len
+    }
+
+    /// Batches appended since the last snapshot install (or open).
+    pub fn appends_since_snapshot(&self) -> u64 {
+        self.appends_since_snapshot
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.active.sync_data()?;
+        self.active_id += 1;
+        let path = segment_path(&self.config.dir, self.active_id);
+        self.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.active_len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use stream_model::update::Update;
+
+    /// Process-unique temp dir under the target-adjacent tmp root; no
+    /// external tempfile crate in the offline environment.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ss-wal-{}-{}-{}", tag, std::process::id(), n));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch_frame(stream: StreamId, client_id: u64, seq: u64, base: u64) -> Vec<u8> {
+        Frame::UpdateBatch {
+            stream,
+            client_id,
+            seq,
+            updates: (0..4).map(|i| Update::insert(base + i)).collect(),
+        }
+        .encode()
+    }
+
+    fn small_config(dir: &Path) -> WalConfig {
+        WalConfig {
+            dir: dir.to_path_buf(),
+            segment_bytes: 64 << 20,
+            snapshot_every: 0,
+            fsync: false,
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = scratch_dir("replay");
+        let (mut wal, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.batches.is_empty());
+        for seq in 1..=5u64 {
+            wal.append_encoded(&batch_frame(StreamId::F, 7, seq, seq * 100))
+                .unwrap();
+        }
+        wal.append_encoded(&batch_frame(StreamId::G, 7, 1, 9000))
+            .unwrap();
+        drop(wal);
+
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(rec.batches.len(), 6);
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(rec.replayed_updates(), 24);
+        let seqs: Vec<(StreamId, u64)> = rec.batches.iter().map(|b| (b.stream, b.seq)).collect();
+        assert_eq!(
+            seqs,
+            vec![
+                (StreamId::F, 1),
+                (StreamId::F, 2),
+                (StreamId::F, 3),
+                (StreamId::F, 4),
+                (StreamId::F, 5),
+                (StreamId::G, 1),
+            ]
+        );
+        assert_eq!(rec.batches[0].updates[0], Update::insert(100));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let dir = scratch_dir("torn");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        for seq in 1..=3u64 {
+            wal.append_encoded(&batch_frame(StreamId::F, 1, seq, seq))
+                .unwrap();
+        }
+        let seg = segment_path(&dir, wal.active_segment_id());
+        drop(wal);
+
+        // Crash mid-write: the last record stops partway through.
+        let partial = &batch_frame(StreamId::F, 1, 4, 4)[..11];
+        OpenOptions::new()
+            .append(true)
+            .open(&seg)
+            .unwrap()
+            .write_all(partial)
+            .unwrap();
+
+        let (mut wal, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(rec.batches.len(), 3, "clean prefix survives");
+        assert_eq!(rec.torn_bytes, 11, "partial record measured and cut");
+
+        // The log keeps working after the cut, and the next recovery is
+        // clean: the tear never resurfaces.
+        wal.append_encoded(&batch_frame(StreamId::F, 1, 4, 44))
+            .unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(rec.batches.len(), 4);
+        assert_eq!(rec.batches[3].updates[0], Update::insert(44));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_cuts_everything_after_it() {
+        let dir = scratch_dir("corrupt");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        let frames: Vec<Vec<u8>> = (1..=4u64)
+            .map(|seq| batch_frame(StreamId::G, 2, seq, seq))
+            .collect();
+        for f in &frames {
+            wal.append_encoded(f).unwrap();
+        }
+        let seg = segment_path(&dir, wal.active_segment_id());
+        drop(wal);
+
+        // Flip one payload byte inside record 3 (offset = two whole
+        // frames + header + a bit).
+        let mut bytes = fs::read(&seg).unwrap();
+        let offset = frames[0].len() + frames[1].len() + 22;
+        bytes[offset] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        // Records 3 *and* 4 are gone: after a bad CRC the reader cannot
+        // trust it is at a frame boundary.
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.torn_bytes, (frames[2].len() + frames[3].len()) as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = scratch_dir("rotate");
+        let mut config = small_config(&dir);
+        config.segment_bytes = 1; // rotate after every record
+        let (mut wal, _) = Wal::open(config.clone()).unwrap();
+        for seq in 1..=4u64 {
+            wal.append_encoded(&batch_frame(StreamId::F, 3, seq, seq))
+                .unwrap();
+        }
+        drop(wal);
+
+        let segments = list_family(&dir, "wal-", ".seg").unwrap();
+        assert!(
+            segments.len() >= 4,
+            "expected ≥4 segments, found {}",
+            segments.len()
+        );
+        let (_, rec) = Wal::open(config).unwrap();
+        assert_eq!(rec.batches.len(), 4);
+        assert_eq!(
+            rec.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_install_prunes_and_bounds_replay() {
+        let dir = scratch_dir("snap");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        for seq in 1..=3u64 {
+            wal.append_encoded(&batch_frame(StreamId::F, 9, seq, seq))
+                .unwrap();
+        }
+        let snap = SnapshotBlob {
+            blobs: [vec![1, 2, 3], vec![4, 5]],
+            dedup: vec![DedupEntry {
+                client_id: 9,
+                last_seq: [3, 0],
+            }],
+        };
+        wal.install_snapshot(&snap).unwrap();
+        assert_eq!(wal.appends_since_snapshot(), 0);
+        // Post-snapshot traffic.
+        wal.append_encoded(&batch_frame(StreamId::F, 9, 4, 400))
+            .unwrap();
+        drop(wal);
+
+        // Pre-snapshot segments are gone.
+        let segments = list_family(&dir, "wal-", ".seg").unwrap();
+        assert!(segments.keys().all(|&id| id >= 1));
+
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap(), &snap);
+        assert_eq!(rec.batches.len(), 1, "only post-snapshot batches replay");
+        assert_eq!(rec.batches[0].seq, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_corrupt_snapshot_is_skipped_for_older_valid_one() {
+        let dir = scratch_dir("snapskip");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        wal.append_encoded(&batch_frame(StreamId::F, 5, 1, 10))
+            .unwrap();
+        let good = SnapshotBlob {
+            blobs: [vec![0xAA; 16], vec![]],
+            dedup: vec![],
+        };
+        wal.install_snapshot(&good).unwrap();
+        wal.append_encoded(&batch_frame(StreamId::F, 5, 2, 20))
+            .unwrap();
+        drop(wal);
+
+        // A later snapshot that never finished correctly: valid prefix,
+        // corrupt body.
+        let mut bad = good.encode();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        fs::write(snapshot_path(&dir, 99), &bad).unwrap();
+
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(rec.snapshots_skipped, 1);
+        assert_eq!(rec.snapshot.as_ref().unwrap(), &good);
+        // Replay still starts from the *valid* snapshot's cut.
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0].seq, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_blob_round_trips() {
+        let snap = SnapshotBlob {
+            blobs: [vec![9; 100], vec![]],
+            dedup: vec![
+                DedupEntry {
+                    client_id: 2,
+                    last_seq: [0, 7],
+                },
+                DedupEntry {
+                    client_id: 1,
+                    last_seq: [u64::MAX, 1],
+                },
+            ],
+        };
+        let bytes = snap.encode();
+        let back = SnapshotBlob::decode(&bytes).unwrap();
+        assert_eq!(back.blobs, snap.blobs);
+        // Entries come back sorted by client_id.
+        assert_eq!(back.dedup[0].client_id, 1);
+        assert_eq!(back.dedup[1].client_id, 2);
+        // Every single-byte corruption is caught.
+        for i in [0usize, 5, 9, 17, bytes.len() - 1] {
+            let mut evil = bytes.clone();
+            evil[i] ^= 0x01;
+            assert!(SnapshotBlob::decode(&evil).is_err(), "byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn wants_snapshot_follows_policy() {
+        let dir = scratch_dir("policy");
+        let mut config = small_config(&dir);
+        config.snapshot_every = 2;
+        let (mut wal, _) = Wal::open(config).unwrap();
+        assert!(!wal.wants_snapshot());
+        wal.append_encoded(&batch_frame(StreamId::F, 1, 1, 1))
+            .unwrap();
+        assert!(!wal.wants_snapshot());
+        wal.append_encoded(&batch_frame(StreamId::F, 1, 2, 2))
+            .unwrap();
+        assert!(wal.wants_snapshot());
+        wal.install_snapshot(&SnapshotBlob::default()).unwrap();
+        assert!(!wal.wants_snapshot());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -16,18 +16,60 @@
 //! workers drain them through [`StreamSink::update_batch`] — the
 //! loop-interchanged batch kernels — and [`IngestPool::finish`] (or
 //! [`IngestPool::snapshot`]) merges the workers' sketches.
+//!
+//! ## Supervision
+//!
+//! Workers are **supervised**: a panic while absorbing a chunk (a
+//! poisoned batch) is caught at the chunk boundary, counted in
+//! [`IngestPool::worker_restarts`] (and the
+//! `ingest_worker_restarts_total` telemetry counter), and the worker
+//! keeps serving with its sketch intact — every *other* chunk it has
+//! absorbed or will absorb survives, because the sketch lives outside
+//! the panic scope and merge-by-linearity does not care which worker
+//! carries which chunk. One poisoned batch therefore degrades the pool
+//! (that chunk is partially or wholly lost) instead of killing the
+//! process or poisoning [`IngestPool::finish`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use crossbeam::thread as cb_thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use stream_model::update::Update;
 use stream_sketches::LinearSynopsis;
 use stream_telemetry::{Counter, Gauge, Histogram, Unit};
+
+/// Structured failure of a pool-level operation.
+///
+/// With in-worker supervision a worker thread can only die if a panic
+/// escapes the chunk-level `catch_unwind` (e.g. the sketch's `clone`
+/// panicked while answering a snapshot); these errors replace the old
+/// behaviour of re-propagating the panic into the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// A worker thread died of an uncaught panic; its sketch (and every
+    /// chunk it had absorbed) is lost to the merge.
+    WorkerPanicked {
+        /// Index of the dead worker.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::WorkerPanicked { worker } => {
+                write!(f, "ingest worker {worker} panicked; its sketch is lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// Chunks queued per worker before [`IngestPool::dispatch`] applies
 /// backpressure by blocking the producer.
@@ -56,6 +98,8 @@ struct WorkerMetrics {
     updates: Arc<Counter>,
     /// Chunks this worker has absorbed.
     batches: Arc<Counter>,
+    /// Panics caught and survived by this worker (supervision events).
+    restarts: Arc<Counter>,
     /// Shared with [`PoolMetrics::queue_depth`].
     queue_depth: Arc<Gauge>,
 }
@@ -85,7 +129,7 @@ struct WorkerMetrics {
 /// for v in 0..100_000u64 {
 ///     sequential.update(Update::insert(v));
 /// }
-/// assert_eq!(parallel.counters(), sequential.counters());
+/// assert_eq!(parallel.unwrap().counters(), sequential.counters());
 /// ```
 pub struct IngestPool<S> {
     senders: Vec<Sender<Msg<S>>>,
@@ -101,6 +145,8 @@ pub struct IngestPool<S> {
     /// Chunks fully absorbed by workers (each worker increments after
     /// its `update_batch` returns).
     drained: Arc<AtomicU64>,
+    /// Panics caught by worker supervision (the worker survived).
+    restarts: Arc<AtomicU64>,
     metrics: Option<PoolMetrics>,
 }
 
@@ -140,12 +186,14 @@ where
         });
         let dispatched = Arc::new(AtomicU64::new(0));
         let drained = Arc::new(AtomicU64::new(0));
+        let restarts = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for w in 0..threads {
             let (tx, rx) = bounded::<Msg<S>>(depth);
             let mut sketch = make();
             let drained = drained.clone();
+            let restarts = restarts.clone();
             let telem = metrics.as_ref().map(|m| {
                 let r = stream_telemetry::global();
                 let worker = w.to_string();
@@ -153,6 +201,7 @@ where
                 WorkerMetrics {
                     updates: r.counter_with("ingest_worker_updates_total", &labels),
                     batches: r.counter_with("ingest_worker_batches_total", &labels),
+                    restarts: r.counter_with("ingest_worker_restarts_total", &labels),
                     queue_depth: m.queue_depth.clone(),
                 }
             });
@@ -160,18 +209,53 @@ where
                 for msg in rx {
                     match msg {
                         Msg::Batch(chunk) => {
-                            sketch.update_batch(&chunk);
+                            // Supervision boundary: a panic inside the
+                            // batch kernel (a poisoned update) is caught
+                            // here so the worker — and every other chunk
+                            // in its sketch — survives. The poisoned
+                            // chunk itself may be partially applied; the
+                            // durability layer's WAL is what makes it
+                            // recoverable.
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| sketch.update_batch(&chunk)));
                             drained.fetch_add(1, Ordering::Release);
                             if let Some(t) = &telem {
-                                t.updates.add(chunk.len() as u64);
-                                t.batches.inc();
                                 t.queue_depth.add(-1);
+                            }
+                            match outcome {
+                                Ok(()) => {
+                                    if let Some(t) = &telem {
+                                        t.updates.add(chunk.len() as u64);
+                                        t.batches.inc();
+                                    }
+                                }
+                                Err(_panic) => {
+                                    restarts.fetch_add(1, Ordering::Release);
+                                    if let Some(t) = &telem {
+                                        t.restarts.inc();
+                                    }
+                                }
                             }
                         }
                         Msg::Snapshot(reply) => {
-                            // The requester may give up (drop the receiver)
-                            // before we reply; that's not a worker error.
-                            let _ = reply.send(sketch.clone());
+                            // `clone` can panic too; treat it as a
+                            // supervision event. Dropping `reply` without
+                            // sending makes the requester's `recv` fail,
+                            // which `snapshot` surfaces as an error.
+                            match catch_unwind(AssertUnwindSafe(|| sketch.clone())) {
+                                Ok(copy) => {
+                                    // The requester may give up (drop the
+                                    // receiver) before we reply; that's
+                                    // not a worker error.
+                                    let _ = reply.send(copy);
+                                }
+                                Err(_panic) => {
+                                    restarts.fetch_add(1, Ordering::Release);
+                                    if let Some(t) = &telem {
+                                        t.restarts.inc();
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -186,8 +270,16 @@ where
             depth,
             dispatched,
             drained,
+            restarts,
             metrics,
         }
+    }
+
+    /// Panics caught (and survived) by worker supervision since the pool
+    /// started. Each one corresponds to a poisoned chunk or a failed
+    /// snapshot clone; the pool kept serving through all of them.
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Acquire)
     }
 
     /// Number of worker threads.
@@ -299,45 +391,62 @@ where
     /// valid linearization). After `snapshot` returns,
     /// [`IngestPool::pending_chunks`] is `0` provided no concurrent
     /// dispatches raced with the call.
-    pub fn snapshot(&self) -> S {
+    ///
+    /// # Errors
+    /// [`IngestError::WorkerPanicked`] if a worker died (or its `clone`
+    /// panicked) instead of replying — the snapshot is incomplete and no
+    /// partial sketch is returned.
+    pub fn snapshot(&self) -> Result<S, IngestError> {
         let _span = self
             .metrics
             .as_ref()
             .map(|m| m.snapshot_latency.start_span());
         let mut replies = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
+        for (worker, tx) in self.senders.iter().enumerate() {
             let (reply_tx, reply_rx) = bounded(1);
-            tx.send(Msg::Snapshot(reply_tx))
-                .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
+            if tx.send(Msg::Snapshot(reply_tx)).is_err() {
+                return Err(IngestError::WorkerPanicked { worker });
+            }
             replies.push(reply_rx);
         }
         let mut merged: Option<S> = None;
-        for rx in replies {
-            let part = rx.recv().expect("worker replies before exiting");
+        for (worker, rx) in replies.into_iter().enumerate() {
+            let part = rx
+                .recv()
+                .map_err(|_| IngestError::WorkerPanicked { worker })?;
             match &mut merged {
                 None => merged = Some(part),
                 Some(m) => m.merge_from(&part),
             }
         }
-        merged.expect("pool has at least one worker")
+        Ok(merged.expect("pool has at least one worker"))
     }
 
     /// Stops the workers and returns the merged sketch of everything
     /// dispatched.
     ///
-    /// # Panics
-    /// If a worker thread panicked.
-    pub fn finish(self) -> S {
+    /// # Errors
+    /// [`IngestError::WorkerPanicked`] if a worker thread died of a panic
+    /// that escaped supervision; surviving workers are still joined (no
+    /// threads are leaked) but the merge is abandoned because it would
+    /// silently miss the dead worker's chunks.
+    pub fn finish(self) -> Result<S, IngestError> {
         drop(self.senders); // workers drain their queues and return
         let mut merged: Option<S> = None;
-        for handle in self.workers {
-            let part = handle.join().expect("ingest worker panicked");
-            match &mut merged {
-                None => merged = Some(part),
-                Some(m) => m.merge_from(&part),
+        let mut lost: Option<usize> = None;
+        for (worker, handle) in self.workers.into_iter().enumerate() {
+            match handle.join() {
+                Ok(part) => match &mut merged {
+                    None => merged = Some(part),
+                    Some(m) => m.merge_from(&part),
+                },
+                Err(_panic) => lost = lost.or(Some(worker)),
             }
         }
-        merged.expect("pool has at least one worker")
+        if let Some(worker) = lost {
+            return Err(IngestError::WorkerPanicked { worker });
+        }
+        Ok(merged.expect("pool has at least one worker"))
     }
 }
 
@@ -422,7 +531,7 @@ mod tests {
         for chunk in updates.chunks(1000) {
             pool.dispatch(chunk.to_vec());
         }
-        let parallel = pool.finish();
+        let parallel = pool.finish().expect("no worker panicked");
         let mut seq = HashSketch::new(schema);
         for &u in &updates {
             seq.update(u);
@@ -438,7 +547,7 @@ mod tests {
         for chunk in updates[..5_000].chunks(500) {
             pool.dispatch(chunk.to_vec());
         }
-        let snap = pool.snapshot();
+        let snap = pool.snapshot().expect("no worker panicked");
         let mut seq_half = HashSketch::new(schema.clone());
         seq_half.update_batch(&updates[..5_000]);
         assert_eq!(snap.counters(), seq_half.counters());
@@ -446,7 +555,7 @@ mod tests {
         for chunk in updates[5_000..].chunks(500) {
             pool.dispatch(chunk.to_vec());
         }
-        let full = pool.finish();
+        let full = pool.finish().expect("no worker panicked");
         let mut seq_full = HashSketch::new(schema);
         seq_full.update_batch(&updates);
         assert_eq!(full.counters(), seq_full.counters());
@@ -479,7 +588,7 @@ mod tests {
         let updates = mixed_updates(5_000);
         let pool = IngestPool::new(1, || HashSketch::new(schema.clone()));
         pool.dispatch(updates.clone());
-        let got = pool.finish();
+        let got = pool.finish().expect("no worker panicked");
         let mut seq = HashSketch::new(schema);
         seq.update_batch(&updates);
         assert_eq!(got.counters(), seq.counters());
@@ -490,7 +599,7 @@ mod tests {
         let schema = HashSketchSchema::new(3, 32, 13);
         let pool = IngestPool::new(2, || HashSketch::new(schema.clone()));
         pool.dispatch(Vec::new());
-        let got = pool.finish();
+        let got = pool.finish().expect("no worker panicked");
         assert!(got.counters().iter().all(|&c| c == 0));
     }
 
@@ -505,10 +614,10 @@ mod tests {
         }
         // snapshot() barriers behind every dispatched chunk, so with no
         // concurrent producers the pool is exactly drained afterwards.
-        let _snap = pool.snapshot();
+        let _snap = pool.snapshot().expect("no worker panicked");
         assert_eq!(pool.pending_chunks(), 0);
         assert!(pool.is_empty());
-        let _ = pool.finish();
+        let _ = pool.finish().expect("no worker panicked");
     }
 
     #[test]
@@ -530,7 +639,7 @@ mod tests {
                 }
             }
         }
-        let got = pool.finish();
+        let got = pool.finish().expect("no worker panicked");
         let mut seq = HashSketch::new(schema);
         seq.update_batch(&updates);
         assert_eq!(got.counters(), seq.counters());
@@ -557,7 +666,7 @@ mod tests {
             }
             assert!(pool.pending_chunks() <= pool.queue_capacity());
         }
-        let got = pool.finish();
+        let got = pool.finish().expect("no worker panicked");
         let mut seq = HashSketch::new(schema);
         seq.update_batch(&accepted);
         assert_eq!(got.counters(), seq.counters());
@@ -583,10 +692,94 @@ mod tests {
                 });
             }
         });
-        let got = pool.finish();
+        let got = pool.finish().expect("no worker panicked");
         let mut seq = HashSketch::new(schema);
         seq.update_batch(&updates);
         assert_eq!(got.counters(), seq.counters());
+    }
+
+    /// A synopsis that panics while absorbing a poisoned value — the
+    /// supervision tests' fault injector.
+    #[derive(Clone)]
+    struct PanickySketch {
+        inner: HashSketch,
+    }
+
+    /// Updates carrying this value blow up the batch kernel.
+    const POISON: u64 = u64::MAX;
+
+    impl StreamSink for PanickySketch {
+        fn update(&mut self, u: Update) {
+            assert!(u.value != POISON, "poisoned update");
+            self.inner.update(u);
+        }
+    }
+
+    impl LinearSynopsis for PanickySketch {
+        fn compatible(&self, other: &Self) -> bool {
+            self.inner.compatible(&other.inner)
+        }
+        fn merge_from(&mut self, other: &Self) {
+            self.inner.merge_from(&other.inner);
+        }
+        fn negate(&mut self) {
+            self.inner.negate();
+        }
+        fn clear(&mut self) {
+            self.inner.clear();
+        }
+    }
+
+    #[test]
+    fn poisoned_chunk_is_survived_and_counted() {
+        let schema = HashSketchSchema::new(5, 64, 31);
+        let updates = mixed_updates(9_000);
+        let pool = IngestPool::new(2, || PanickySketch {
+            inner: HashSketch::new(schema.clone()),
+        });
+        for chunk in updates[..6_000].chunks(300) {
+            pool.dispatch(chunk.to_vec());
+        }
+        // One poisoned chunk: the worker that draws it panics inside
+        // `update_batch`, is caught by supervision, and keeps serving.
+        pool.dispatch(vec![Update::insert(POISON)]);
+        for chunk in updates[6_000..].chunks(300) {
+            pool.dispatch(chunk.to_vec());
+        }
+        // The pool still snapshots and finishes; everything except the
+        // poisoned chunk is present.
+        let snap = pool.snapshot().expect("pool serves through the panic");
+        assert_eq!(pool.worker_restarts(), 1, "exactly one supervision event");
+        let mut expected = HashSketch::new(schema.clone());
+        expected.update_batch(&updates);
+        assert_eq!(snap.inner.counters(), expected.counters());
+        let fin = pool.finish().expect("supervised workers never die");
+        assert_eq!(fin.inner.counters(), expected.counters());
+    }
+
+    #[test]
+    fn many_poisoned_chunks_only_degrade() {
+        let schema = HashSketchSchema::new(3, 32, 37);
+        let updates = mixed_updates(4_000);
+        let pool = IngestPool::new(3, || PanickySketch {
+            inner: HashSketch::new(schema.clone()),
+        });
+        let mut poisons = 0u64;
+        for (i, chunk) in updates.chunks(200).enumerate() {
+            pool.dispatch(chunk.to_vec());
+            if i % 4 == 0 {
+                pool.dispatch(vec![Update::insert(POISON)]);
+                poisons += 1;
+            }
+        }
+        // Barrier behind every dispatched chunk so the restart count is
+        // exact before the pool is consumed.
+        let _ = pool.snapshot().expect("pool serves through the panics");
+        assert_eq!(pool.worker_restarts(), poisons);
+        let fin = pool.finish().expect("pool outlives every poisoned chunk");
+        let mut expected = HashSketch::new(schema);
+        expected.update_batch(&updates);
+        assert_eq!(fin.inner.counters(), expected.counters());
     }
 
     #[test]

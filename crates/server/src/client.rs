@@ -3,8 +3,15 @@
 //!
 //! One blocking TCP connection, strict request/reply. The client owns
 //! backpressure handling: [`ServerClient::send_batch`] surfaces THROTTLE
-//! as a [`BatchOutcome`], while [`ServerClient::send_all`] retries with a
-//! small backoff until the stream is fully acknowledged.
+//! as a [`BatchOutcome`], while [`ServerClient::send_all`] retries with
+//! capped exponential backoff until the stream is fully acknowledged.
+//!
+//! With a nonzero [`ClientConfig::client_id`] every batch carries a
+//! per-stream sequence number, making sends **idempotent** at the
+//! server: after a reconnect, [`ServerClient::resume`] asks how far the
+//! server got and the producer replays only what was never applied. The
+//! reconnect loop itself lives in
+//! [`ResilientClient`](crate::ResilientClient).
 
 use bytes::Bytes;
 use skimmed_sketch::{decode_skimmed, SkimmedSchema, SkimmedSketch};
@@ -35,6 +42,14 @@ pub enum ClientError {
     UnexpectedFrame(&'static str),
     /// No reply arrived within the client's patience window.
     Timeout,
+    /// A [`ResilientClient`](crate::ResilientClient) spent its whole
+    /// reconnect budget without completing the operation.
+    Exhausted {
+        /// Reconnect attempts made.
+        attempts: u32,
+        /// The failure that ended the last attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -47,6 +62,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::UnexpectedFrame(what) => write!(f, "unexpected reply: {what}"),
             ClientError::Timeout => write!(f, "timed out waiting for a reply"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} reconnect attempts: {last}")
+            }
         }
     }
 }
@@ -64,6 +82,117 @@ impl From<WireError> for ClientError {
         match e {
             WireError::Io(io) => ClientError::Io(io),
             other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// Knobs for [`Backoff`]: capped exponential delay with deterministic
+/// jitter.
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// First delay (the exponential's starting step).
+    pub base: Duration,
+    /// Largest step the exponential is allowed to reach.
+    pub cap: Duration,
+    /// Seed of the jitter PRNG — fixed seed, fixed delay sequence, so
+    /// retry timing is reproducible in tests.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    /// 200 µs first delay (the old fixed throttle pause), capped at
+    /// 50 ms.
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(50),
+            seed: 0x5EED_BACC,
+        }
+    }
+}
+
+/// Capped exponential backoff with half-range deterministic jitter:
+/// the n-th delay is uniform in `[step/2, step]` where
+/// `step = min(base · 2ⁿ, cap)`. Jitter keeps a fleet of producers that
+/// were throttled together from retrying in lockstep; determinism (via
+/// the seeded PRNG) keeps chaos tests reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    step: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A fresh sequence starting at `config.base`.
+    pub fn new(config: &BackoffConfig) -> Self {
+        Backoff {
+            base: config.base,
+            cap: config.cap,
+            step: config.base.min(config.cap),
+            rng: config.seed | 1, // xorshift64 must not start at 0
+        }
+    }
+
+    /// The next delay; doubles the step (up to the cap) each call.
+    pub fn delay(&mut self) -> Duration {
+        let step = self.step.as_nanos() as u64;
+        self.step = (self.step * 2).min(self.cap);
+        let half = step / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            self.next_rand() % (half + 1)
+        };
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Back to the base step (call after a success).
+    pub fn reset(&mut self) {
+        self.step = self.base.min(self.cap);
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Connection-level configuration for [`ServerClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Client name recorded in server logs.
+    pub name: String,
+    /// Stable producer identity for idempotent sends; `0` (the default)
+    /// opts out of sequencing.
+    pub client_id: u64,
+    /// Socket read timeout — also the reply-poll tick.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Idle-retry budget: total reply patience ≈ read timeout × retries.
+    pub reply_retries: u32,
+    /// Backoff policy for THROTTLE retries (and reconnects, in
+    /// [`ResilientClient`](crate::ResilientClient)).
+    pub backoff: BackoffConfig,
+}
+
+impl Default for ClientConfig {
+    /// 1 s read tick × 30 retries ≈ 30 s per reply, 10 s write timeout,
+    /// unsequenced, default backoff.
+    fn default() -> Self {
+        ClientConfig {
+            name: "ss-client".to_string(),
+            client_id: 0,
+            read_timeout: Duration::from_secs(1),
+            write_timeout: Duration::from_secs(10),
+            reply_retries: 30,
+            backoff: BackoffConfig::default(),
         }
     }
 }
@@ -118,26 +247,42 @@ pub struct ServerClient {
     sock: TcpStream,
     info: ServerInfo,
     max_payload: u32,
-    /// Idle-retry budget: total reply patience ≈ read timeout × retries.
-    reply_retries: u32,
-    /// Backoff between THROTTLE retries in [`ServerClient::send_all`].
-    throttle_backoff: Duration,
+    config: ClientConfig,
+    /// Next sequence number per stream (meaningful when
+    /// `config.client_id != 0`); advanced only on BATCH_ACK.
+    next_seq: [u64; 2],
+    /// THROTTLE-retry backoff state for [`ServerClient::send_all`].
+    backoff: Backoff,
 }
 
 impl ServerClient {
-    /// Connects and handshakes with default patience (1 s read tick,
-    /// 30 retries ≈ 30 s per reply).
+    /// Connects and handshakes with the default [`ClientConfig`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
-        Self::connect_named(addr, "ss-client")
+        Self::connect_with(addr, ClientConfig::default())
     }
 
     /// [`ServerClient::connect`] with an explicit client name for the
     /// server's logs.
     pub fn connect_named<A: ToSocketAddrs>(addr: A, name: &str) -> Result<Self, ClientError> {
+        Self::connect_with(
+            addr,
+            ClientConfig {
+                name: name.to_string(),
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connects and handshakes under an explicit configuration.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
         let sock = TcpStream::connect(addr)?;
         sock.set_nodelay(true)?;
-        sock.set_read_timeout(Some(Duration::from_secs(1)))?;
-        sock.set_write_timeout(Some(Duration::from_secs(10)))?;
+        sock.set_read_timeout(Some(config.read_timeout))?;
+        sock.set_write_timeout(Some(config.write_timeout))?;
+        let backoff = Backoff::new(&config.backoff);
         let mut client = Self {
             sock,
             info: ServerInfo {
@@ -150,12 +295,13 @@ impl ServerClient {
                 queue_limit: 0,
             },
             max_payload: stream_wire::DEFAULT_MAX_PAYLOAD,
-            reply_retries: 30,
-            throttle_backoff: Duration::from_micros(200),
+            config,
+            next_seq: [1, 1],
+            backoff,
         };
         let reply = client.call(&Frame::Hello {
             protocol: VERSION,
-            client: name.to_string(),
+            client: client.config.name.clone(),
         })?;
         match reply {
             Frame::HelloAck(info) => {
@@ -169,6 +315,16 @@ impl ServerClient {
     /// The schema and limits the server advertised.
     pub fn info(&self) -> &ServerInfo {
         &self.info
+    }
+
+    /// The producer identity batches are sequenced under (0 = none).
+    pub fn client_id(&self) -> u64 {
+        self.config.client_id
+    }
+
+    /// The next sequence number this session will assign for `stream`.
+    pub fn next_seq(&self, stream: StreamId) -> u64 {
+        self.next_seq[stream as usize]
     }
 
     /// Rebuilds the server's synopsis schema locally (identical hash
@@ -196,7 +352,7 @@ impl ServerClient {
     /// One request, one reply. ERROR replies become `ClientError::Server`.
     fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
         request.write_to(&mut self.sock)?;
-        for _ in 0..self.reply_retries {
+        for _ in 0..self.config.reply_retries {
             match Frame::read_from(&mut self.sock, self.max_payload) {
                 Ok((Frame::Error { code, message }, _)) => {
                     return Err(ClientError::Server { code, message })
@@ -209,26 +365,63 @@ impl ServerClient {
         Err(ClientError::Timeout)
     }
 
+    /// Asks the server how far this producer's sequenced batches have
+    /// been applied (per stream) and fast-forwards the session's
+    /// sequence counters past them. Call after reconnecting to replay
+    /// from the first unacknowledged batch.
+    pub fn resume(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.call(&Frame::Resume {
+            client_id: self.config.client_id,
+        })? {
+            Frame::ResumeAck {
+                last_seq_f,
+                last_seq_g,
+            } => {
+                self.next_seq = [last_seq_f + 1, last_seq_g + 1];
+                Ok((last_seq_f, last_seq_g))
+            }
+            _ => Err(ClientError::UnexpectedFrame("resume reply")),
+        }
+    }
+
     /// Sends one batch without retrying: THROTTLE surfaces as
     /// [`BatchOutcome::Throttled`] and the caller owns the retry policy.
+    ///
+    /// Sequenced sessions stamp the batch with the stream's next
+    /// sequence number and advance it only on BATCH_ACK, so a throttled
+    /// (never-queued) batch re-sends under the same number.
     pub fn send_batch(
         &mut self,
         stream: StreamId,
         updates: &[Update],
     ) -> Result<BatchOutcome, ClientError> {
+        let sequenced = self.config.client_id != 0;
+        let seq = if sequenced {
+            self.next_seq[stream as usize]
+        } else {
+            0
+        };
         let reply = self.call(&Frame::UpdateBatch {
             stream,
+            client_id: self.config.client_id,
+            seq,
             updates: updates.to_vec(),
         })?;
         match reply {
-            Frame::BatchAck { accepted } => Ok(BatchOutcome::Accepted(accepted)),
+            Frame::BatchAck { accepted } => {
+                if sequenced {
+                    self.next_seq[stream as usize] = seq + 1;
+                }
+                Ok(BatchOutcome::Accepted(accepted))
+            }
             Frame::Throttle { pending, limit } => Ok(BatchOutcome::Throttled { pending, limit }),
             _ => Err(ClientError::UnexpectedFrame("batch reply")),
         }
     }
 
     /// Streams `updates` in `chunk`-sized batches, retrying throttled
-    /// batches with a small backoff until everything is acknowledged.
+    /// batches under capped exponential backoff until everything is
+    /// acknowledged.
     pub fn send_all(
         &mut self,
         stream: StreamId,
@@ -238,17 +431,19 @@ impl ServerClient {
         assert!(chunk > 0, "chunk size must be nonzero");
         let chunk = chunk.min(self.info.max_batch.max(1) as usize);
         let mut report = SendReport::default();
+        self.backoff.reset();
         for batch in updates.chunks(chunk) {
             loop {
                 match self.send_batch(stream, batch)? {
                     BatchOutcome::Accepted(n) => {
                         report.batches += 1;
                         report.updates += n;
+                        self.backoff.reset();
                         break;
                     }
                     BatchOutcome::Throttled { .. } => {
                         report.throttled += 1;
-                        std::thread::sleep(self.throttle_backoff);
+                        std::thread::sleep(self.backoff.delay());
                     }
                 }
             }
@@ -311,5 +506,48 @@ impl ServerClient {
             Frame::Goodbye => Ok(()),
             _ => Err(ClientError::UnexpectedFrame("goodbye reply")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_to_cap_and_is_deterministic() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+            seed: 42,
+        };
+        let mut a = Backoff::new(&config);
+        let mut b = Backoff::new(&config);
+        let da: Vec<Duration> = (0..8).map(|_| a.delay()).collect();
+        let db: Vec<Duration> = (0..8).map(|_| b.delay()).collect();
+        assert_eq!(da, db, "same seed, same delays");
+        // Every delay sits in [step/2, step] for its (capped) step.
+        let mut step = config.base;
+        for d in &da {
+            assert!(*d >= step / 2 && *d <= step, "delay {d:?} vs step {step:?}");
+            step = (step * 2).min(config.cap);
+        }
+        // The tail is capped: no delay beyond the cap.
+        assert!(da.iter().all(|d| *d <= config.cap));
+        // Reset rewinds the exponent.
+        a.reset();
+        assert!(a.delay() <= config.base);
+    }
+
+    #[test]
+    fn backoff_jitter_varies_with_seed() {
+        let mk = |seed| {
+            let mut b = Backoff::new(&BackoffConfig {
+                base: Duration::from_millis(4),
+                cap: Duration::from_secs(1),
+                seed,
+            });
+            (0..6).map(|_| b.delay()).collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2), "different seeds, different jitter");
     }
 }

@@ -24,12 +24,36 @@
 //!   client receives a THROTTLE frame naming the pool's capacity. The
 //!   server never queues unbounded memory on behalf of a fast producer.
 //!
+//! ## Durability and crash recovery
+//!
+//! With [`ServerConfig::wal`] set, every acknowledged UPDATE_BATCH is
+//! appended to a [`stream_durability::Wal`] *after* the ingest pool
+//! accepts it and *before* the BATCH_ACK goes out, so the log holds
+//! exactly the acknowledged batches. Periodic snapshots (encoded
+//! sketches + the idempotency table) bound replay time. A server bound
+//! over the same directory after a crash replays the log into the
+//! snapshot and — because sketch ingestion is linear — answers queries
+//! **bit-identically** to one that never crashed. Sequenced batches
+//! (`client_id != 0`) are deduplicated by `(client_id, stream, seq)`,
+//! so a client replaying after a lost BATCH_ACK can never double-count.
+//!
+//! ## Fault containment
+//!
+//! A panic inside a sketch kernel is caught by the ingest pool's worker
+//! supervision ([`IngestPool::worker_restarts`]); the pool keeps
+//! serving. A panic in the acceptor or a connection handler is absorbed
+//! at shutdown and surfaced as a [`ServerError`] instead of a
+//! propagated panic. [`Server::halt`] simulates a crash for recovery
+//! tests: threads stop, in-memory sketches are discarded, and no final
+//! snapshot is written.
+//!
 //! ## Shutdown
 //!
 //! [`Server::shutdown`] stops the acceptor, lets each handler finish its
 //! in-flight request (idle connections are closed at the next read-tick
-//! with an `ERROR {ShuttingDown}` frame), drains both ingest pools, and
-//! returns the final merged sketches — nothing acknowledged is lost.
+//! with an `ERROR {ShuttingDown}` frame), drains both ingest pools,
+//! writes a final snapshot when a WAL is configured, and returns the
+//! final merged sketches — nothing acknowledged is lost.
 //!
 //! ## Example
 //!
@@ -47,21 +71,28 @@
 //! let answer = client.query_join().unwrap();
 //! assert!(answer.estimate.is_finite());
 //! client.goodbye().unwrap();
-//! let (_f, _g) = server.shutdown();
+//! let (_f, _g) = server.shutdown().unwrap();
 //! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 mod client;
+mod resilient;
 mod telem;
 
-pub use client::{BatchOutcome, ClientError, JoinAnswer, SendReport, ServerClient};
-
-use skimmed_sketch::{
-    encode_skimmed, estimate_join, estimate_self_join, EstimatorConfig, ExtractionStrategy,
-    SkimmedSchema, SkimmedSketch,
+pub use client::{
+    Backoff, BackoffConfig, BatchOutcome, ClientConfig, ClientError, JoinAnswer, SendReport,
+    ServerClient,
 };
+pub use resilient::ResilientClient;
+
+use bytes::Bytes;
+use skimmed_sketch::{
+    decode_skimmed, encode_skimmed, estimate_join, estimate_self_join, EstimatorConfig,
+    ExtractionStrategy, SkimmedSchema, SkimmedSketch,
+};
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,7 +100,9 @@ use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use stream_ingest::IngestPool;
+use stream_durability::{DedupEntry, SnapshotBlob, Wal, WalConfig};
+use stream_ingest::{IngestError, IngestPool};
+use stream_model::StreamSink;
 use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, VERSION};
 use telem::{server_metrics, ServerMetrics};
 
@@ -97,12 +130,15 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Estimator knobs used to answer queries.
     pub estimator: EstimatorConfig,
+    /// Write-ahead logging; `None` (the default) serves purely from
+    /// memory. See the crate docs' durability section.
+    pub wal: Option<WalConfig>,
 }
 
 impl ServerConfig {
     /// Defaults sized for a loopback/LAN deployment: 4 handler threads,
     /// 2 ingest workers per stream with 8-chunk queues, 64Ki-update
-    /// batches, 250 ms read tick.
+    /// batches, 250 ms read tick, no WAL.
     pub fn new(schema: Arc<SkimmedSchema>) -> Self {
         Self {
             schema,
@@ -114,8 +150,75 @@ impl ServerConfig {
             read_timeout: Duration::from_millis(250),
             write_timeout: Duration::from_secs(5),
             estimator: EstimatorConfig::default(),
+            wal: None,
         }
     }
+}
+
+/// Failures surfaced by [`Server::shutdown`] instead of panics.
+#[derive(Debug)]
+pub enum ServerError {
+    /// An ingest worker was lost to an uncaught panic and its sketch
+    /// shard with it; the drained result would be incomplete.
+    WorkerLost {
+        /// The stream whose pool lost the worker.
+        stream: StreamId,
+        /// The lost worker's index.
+        worker: usize,
+    },
+    /// The acceptor or a connection-handler thread panicked while
+    /// serving; the sketches drained cleanly but the process had a bug.
+    ThreadPanicked {
+        /// Which thread family panicked.
+        thread: &'static str,
+    },
+    /// Writing the final WAL snapshot failed; the log itself is intact,
+    /// so recovery still works — it just replays more.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::WorkerLost { stream, worker } => {
+                write!(
+                    f,
+                    "ingest worker {worker} of stream {stream} lost to a panic"
+                )
+            }
+            ServerError::ThreadPanicked { thread } => write!(f, "{thread} thread panicked"),
+            ServerError::Io(e) => write!(f, "final snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// What crash recovery rebuilt when the server bound over an existing
+/// WAL directory (see [`Server::recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether a snapshot seeded the sketches (vs. replay from scratch).
+    pub snapshot_loaded: bool,
+    /// Logged batches replayed on top of the snapshot.
+    pub batches_replayed: u64,
+    /// Updates contained in those batches.
+    pub updates_replayed: u64,
+    /// Log segments scanned.
+    pub segments_replayed: u64,
+    /// Bytes discarded from a torn tail (0 after a clean shutdown).
+    pub torn_bytes: u64,
+    /// Corrupt snapshot files skipped in favour of an older valid one.
+    pub snapshots_skipped: u64,
+}
+
+/// Durable state shared by handlers: the WAL and the idempotency table,
+/// serialized behind one lock. Holding it across dispatch + append is
+/// what makes a snapshot an exact cut of the log.
+struct Persist {
+    wal: Option<Wal>,
+    /// Highest applied `seq` per `(client_id, stream)`.
+    dedup: HashMap<u64, [u64; 2]>,
 }
 
 /// Shared state between connection handlers.
@@ -123,6 +226,10 @@ struct Inner {
     config: ServerConfig,
     /// One pool per join input, indexed by `StreamId as usize`.
     pools: [Arc<IngestPool<SkimmedSketch>>; 2],
+    persist: Mutex<Persist>,
+    /// Cached `persist.wal.is_some()`: lets unsequenced traffic on a
+    /// WAL-less server skip the persist lock entirely.
+    has_wal: bool,
     shutdown: AtomicBool,
     metrics: Option<&'static ServerMetrics>,
 }
@@ -148,17 +255,23 @@ impl Inner {
 
 /// A running skimmed-sketch server. Dropping it without calling
 /// [`Server::shutdown`] aborts the process threads unjoined; always shut
-/// down explicitly to drain.
+/// down explicitly to drain (or [`Server::halt`] to simulate a crash).
 pub struct Server {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
     acceptor: JoinHandle<()>,
     handlers: Vec<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), spawns the
     /// acceptor and handler threads, and starts serving immediately.
+    ///
+    /// With [`ServerConfig::wal`] set this first runs crash recovery:
+    /// the newest valid snapshot is decoded, every logged batch after it
+    /// is replayed into the recovered sketches, and the idempotency
+    /// table is rebuilt — see [`Server::recovery`] for what was found.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
         assert!(config.handler_threads > 0, "need at least one handler");
         let listener = TcpListener::bind(addr)?;
@@ -166,16 +279,76 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let metrics = stream_telemetry::ENABLED.then(server_metrics);
         let schema = config.schema.clone();
+
+        // Crash recovery: rebuild sketches + dedup table before the
+        // first connection is accepted.
+        let mut seeds: [Option<SkimmedSketch>; 2] = [None, None];
+        let mut dedup: HashMap<u64, [u64; 2]> = HashMap::new();
+        let mut wal = None;
+        let mut recovery = None;
+        if let Some(wal_config) = config.wal.clone() {
+            let (opened, recovered) = Wal::open(wal_config)?;
+            let mut report = RecoveryReport {
+                snapshot_loaded: recovered.snapshot.is_some(),
+                batches_replayed: recovered.batches.len() as u64,
+                updates_replayed: recovered.replayed_updates(),
+                segments_replayed: recovered.segments_replayed,
+                torn_bytes: recovered.torn_bytes,
+                snapshots_skipped: recovered.snapshots_skipped,
+            };
+            if let Some(snap) = recovered.snapshot {
+                for (slot, blob) in seeds.iter_mut().zip(snap.blobs) {
+                    if !blob.is_empty() {
+                        *slot = Some(decode_skimmed(Bytes::from(blob)).map_err(|e| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("undecodable snapshot sketch: {e:?}"),
+                            )
+                        })?);
+                    }
+                }
+                for entry in snap.dedup {
+                    dedup.insert(entry.client_id, entry.last_seq);
+                }
+            }
+            // Linearity makes replay exact: recovered + Σ batches is the
+            // same sketch the pre-crash server held after those acks.
+            for batch in &recovered.batches {
+                let seed = seeds[batch.stream as usize]
+                    .get_or_insert_with(|| SkimmedSketch::new(schema.clone()));
+                seed.update_batch(&batch.updates);
+                if batch.client_id != 0 && batch.seq != 0 {
+                    let slot =
+                        &mut dedup.entry(batch.client_id).or_insert([0, 0])[batch.stream as usize];
+                    *slot = (*slot).max(batch.seq);
+                }
+            }
+            report.batches_replayed = recovered.batches.len() as u64;
+            if let Some(m) = metrics {
+                m.recovered_batches.add(report.batches_replayed);
+                m.wal_torn_bytes.add(report.torn_bytes);
+            }
+            wal = Some(opened);
+            recovery = Some(report);
+        }
+
         let workers = config.ingest_workers;
         let depth = config.queue_depth;
-        let mk_pool = || {
+        let mk_pool = |seed: Option<SkimmedSketch>| {
             let schema = schema.clone();
+            let mut seed = seed;
+            // Worker 0 inherits the recovered sketch; merge-by-linearity
+            // folds it into the drained result exactly once.
             Arc::new(IngestPool::with_queue_depth(workers, depth, move || {
-                SkimmedSketch::new(schema.clone())
+                seed.take()
+                    .unwrap_or_else(|| SkimmedSketch::new(schema.clone()))
             }))
         };
+        let [seed_f, seed_g] = seeds;
         let inner = Arc::new(Inner {
-            pools: [mk_pool(), mk_pool()],
+            pools: [mk_pool(seed_f), mk_pool(seed_g)],
+            persist: Mutex::new(Persist { wal, dedup }),
+            has_wal: config.wal.is_some(),
             shutdown: AtomicBool::new(false),
             metrics,
             config,
@@ -225,6 +398,7 @@ impl Server {
             local_addr,
             acceptor,
             handlers,
+            recovery,
         })
     }
 
@@ -236,6 +410,12 @@ impl Server {
     /// Advertised schema and limits (what clients see in HELLO_ACK).
     pub fn info(&self) -> ServerInfo {
         self.inner.info()
+    }
+
+    /// What crash recovery found and rebuilt at bind time; `None` when
+    /// no WAL is configured.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Chunks queued-but-unabsorbed in one stream's ingest pool
@@ -250,32 +430,121 @@ impl Server {
         self.inner.pools[0].queue_capacity()
     }
 
+    /// Panics caught (and survived) by one stream's ingest workers; the
+    /// pool keeps serving after each (see [`IngestPool::worker_restarts`]).
+    pub fn worker_restarts(&self, stream: StreamId) -> u64 {
+        self.inner.pool(stream).worker_restarts()
+    }
+
     /// In-process linearizable snapshot of one stream's sketch (same
     /// contract as [`IngestPool::snapshot`]).
-    pub fn snapshot(&self, stream: StreamId) -> SkimmedSketch {
+    pub fn snapshot(&self, stream: StreamId) -> Result<SkimmedSketch, IngestError> {
         self.inner.pool(stream).snapshot()
     }
 
     /// Graceful shutdown: stop accepting, let handlers finish their
-    /// in-flight request, drain both ingest pools, and return the final
-    /// `(F, G)` sketches. Everything a client saw acknowledged with
-    /// BATCH_ACK is in them.
-    pub fn shutdown(self) -> (SkimmedSketch, SkimmedSketch) {
+    /// in-flight request, drain both ingest pools, write a final WAL
+    /// snapshot (when configured), and return the final `(F, G)`
+    /// sketches. Everything a client saw acknowledged with BATCH_ACK is
+    /// in them. Thread panics and lost workers surface as
+    /// [`ServerError`]s instead of propagating.
+    pub fn shutdown(self) -> Result<(SkimmedSketch, SkimmedSketch), ServerError> {
+        let metrics = self.inner.metrics;
         self.inner.shutdown.store(true, Ordering::Release);
-        self.acceptor.join().expect("acceptor panicked");
+        let mut first_err: Option<ServerError> = None;
+        if self.acceptor.join().is_err() {
+            if let Some(m) = metrics {
+                m.thread_panics.inc();
+            }
+            first_err = Some(ServerError::ThreadPanicked { thread: "acceptor" });
+        }
         for h in self.handlers {
-            h.join().expect("connection handler panicked");
+            if h.join().is_err() {
+                if let Some(m) = metrics {
+                    m.thread_panics.inc();
+                }
+                first_err.get_or_insert(ServerError::ThreadPanicked {
+                    thread: "connection handler",
+                });
+            }
         }
         let inner =
             Arc::try_unwrap(self.inner).unwrap_or_else(|_| unreachable!("all handler refs joined"));
         let [pf, pg] = inner.pools;
-        let unwrap_pool = |p: Arc<IngestPool<SkimmedSketch>>| {
+        let finish = |stream: StreamId, p: Arc<IngestPool<SkimmedSketch>>| {
             Arc::try_unwrap(p)
                 .unwrap_or_else(|_| unreachable!("pool refs live only in Inner"))
                 .finish()
+                .map_err(
+                    |IngestError::WorkerPanicked { worker }| ServerError::WorkerLost {
+                        stream,
+                        worker,
+                    },
+                )
         };
-        (unwrap_pool(pf), unwrap_pool(pg))
+        // Drain both pools even if the first fails, so no worker threads
+        // leak; report the first loss.
+        let f = finish(StreamId::F, pf);
+        let g = finish(StreamId::G, pg);
+        let (f, g) = match (f, g) {
+            (Ok(f), Ok(g)) => (f, g),
+            (Err(e), _) | (_, Err(e)) => return Err(e),
+        };
+
+        // Final checkpoint: a restart over this directory replays
+        // nothing and the covered segments are pruned.
+        let mut persist = inner
+            .persist
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(wal) = persist.wal.as_mut() {
+            let snap = SnapshotBlob {
+                blobs: [encode_skimmed(&f).to_vec(), encode_skimmed(&g).to_vec()],
+                dedup: dedup_entries(&persist.dedup),
+            };
+            match wal.install_snapshot(&snap).and_then(|()| wal.sync()) {
+                Ok(()) => {
+                    if let Some(m) = metrics {
+                        m.wal_snapshots.inc();
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(ServerError::Io(e));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((f, g)),
+        }
     }
+
+    /// Crash simulation for recovery tests: stops the threads, then
+    /// **discards** all in-memory sketch state — no pool drain, no final
+    /// snapshot, no WAL sync beyond what `write(2)` already handed to
+    /// the OS. This is what `kill -9` leaves behind; a server re-bound
+    /// over the same WAL directory must rebuild from the log alone.
+    pub fn halt(self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let _ = self.acceptor.join();
+        for h in self.handlers {
+            let _ = h.join();
+        }
+        // Dropping `inner` closes the pools' channels; workers exit
+        // without being drained and their shards are lost, as in a real
+        // crash. The WAL file handle drops unsynced.
+    }
+}
+
+/// Flattens the dedup map into the snapshot's table form.
+fn dedup_entries(dedup: &HashMap<u64, [u64; 2]>) -> Vec<DedupEntry> {
+    dedup
+        .iter()
+        .map(|(&client_id, &last_seq)| DedupEntry {
+            client_id,
+            last_seq,
+        })
+        .collect()
 }
 
 fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &Inner) {
@@ -408,6 +677,164 @@ fn next_frame(inner: &Inner, sock: &mut TcpStream) -> Option<Frame> {
     }
 }
 
+/// Handles one UPDATE_BATCH: dedup, dispatch, WAL append, ack — in that
+/// order. Returns `false` when the connection must close.
+fn handle_update_batch(inner: &Inner, sock: &mut TcpStream, frame: Frame) -> bool {
+    let metrics = inner.metrics;
+    let _span = metrics.map(|m| m.update_latency.start_span());
+    let (stream, client_id, seq, len) = match &frame {
+        Frame::UpdateBatch {
+            stream,
+            client_id,
+            seq,
+            updates,
+        } => (*stream, *client_id, *seq, updates.len()),
+        _ => unreachable!("caller matched UpdateBatch"),
+    };
+    if len as u64 > inner.config.max_batch as u64 {
+        send_error(
+            sock,
+            ErrorCode::BatchTooLarge,
+            &format!(
+                "batch of {} exceeds max_batch {}",
+                len, inner.config.max_batch
+            ),
+            metrics,
+        );
+        return true;
+    }
+    let accepted = len as u64;
+    let pool = inner.pool(stream);
+
+    let ack = |sock: &mut TcpStream| send(sock, &Frame::BatchAck { accepted }, metrics);
+    let throttle = |sock: &mut TcpStream| {
+        if let Some(m) = metrics {
+            m.throttles.inc();
+        }
+        send(
+            sock,
+            &Frame::Throttle {
+                pending: pool.pending_chunks(),
+                limit: pool.queue_capacity(),
+            },
+            metrics,
+        )
+    };
+
+    // Fast path — nothing to log, nothing to dedup: unsequenced traffic
+    // on a WAL-less server keeps the original lock-free throughput.
+    if !inner.has_wal && client_id == 0 {
+        let Frame::UpdateBatch { updates, .. } = frame else {
+            unreachable!()
+        };
+        return match pool.try_dispatch(updates) {
+            Ok(()) => {
+                if let Some(m) = metrics {
+                    m.updates_accepted.add(accepted);
+                }
+                ack(sock)
+            }
+            Err(_refused) => throttle(sock),
+        };
+    }
+
+    // Persist path: dedup check, dispatch, and WAL append serialize
+    // through one lock — which is also what makes a snapshot an exact
+    // cut of the log.
+    let mut persist = inner.persist.lock().expect("persist lock poisoned");
+    if client_id != 0 && seq != 0 {
+        let last = persist
+            .dedup
+            .get(&client_id)
+            .map_or(0, |e| e[stream as usize]);
+        if seq <= last {
+            // Already applied (the ack was lost, or the producer replayed
+            // after recovery): acknowledge without applying.
+            drop(persist);
+            if let Some(m) = metrics {
+                m.dup_batches.inc();
+            }
+            return ack(sock);
+        }
+    }
+    // Encode before destructuring so the WAL record is byte-identical to
+    // the frame the client sent (and no update clone is needed).
+    let encoded = persist.wal.is_some().then(|| frame.encode());
+    let Frame::UpdateBatch { updates, .. } = frame else {
+        unreachable!()
+    };
+    if pool.try_dispatch(updates).is_err() {
+        drop(persist);
+        return throttle(sock);
+    }
+    if let Some(m) = metrics {
+        m.updates_accepted.add(accepted);
+    }
+    if let (Some(wal), Some(bytes)) = (persist.wal.as_mut(), encoded) {
+        if let Err(e) = wal.append_encoded(&bytes) {
+            // The batch is applied in memory but not durable. Record it
+            // as applied (true for this process) and refuse the ack: the
+            // producer retries, dedup absorbs the replay, and after a
+            // crash the WAL honestly lacks the batch — so the retry
+            // lands exactly once either way.
+            if client_id != 0 && seq != 0 {
+                bump_dedup(&mut persist, client_id, stream, seq);
+            }
+            drop(persist);
+            send_error(
+                sock,
+                ErrorCode::Internal,
+                &format!("wal append failed: {e}"),
+                metrics,
+            );
+            return true;
+        }
+        if let Some(m) = metrics {
+            m.wal_appends.inc();
+            m.wal_bytes.add(bytes.len() as u64);
+        }
+    }
+    if client_id != 0 && seq != 0 {
+        bump_dedup(&mut persist, client_id, stream, seq);
+    }
+    maybe_checkpoint(inner, &mut persist);
+    drop(persist);
+    ack(sock)
+}
+
+fn bump_dedup(persist: &mut Persist, client_id: u64, stream: StreamId, seq: u64) {
+    let slot = &mut persist.dedup.entry(client_id).or_insert([0, 0])[stream as usize];
+    *slot = (*slot).max(seq);
+}
+
+/// Installs a periodic snapshot when the WAL's policy asks for one.
+/// Caller holds the persist lock, so the two pool snapshots capture
+/// exactly the batches appended so far — an exact cut.
+fn maybe_checkpoint(inner: &Inner, persist: &mut Persist) {
+    let wants = persist.wal.as_ref().is_some_and(Wal::wants_snapshot);
+    if !wants {
+        return;
+    }
+    let (Ok(f), Ok(g)) = (
+        inner.pool(StreamId::F).snapshot(),
+        inner.pool(StreamId::G).snapshot(),
+    ) else {
+        // A worker shard is lost; checkpointing now would persist the
+        // loss. Keep the full log instead — replay still has everything.
+        return;
+    };
+    let snap = SnapshotBlob {
+        blobs: [encode_skimmed(&f).to_vec(), encode_skimmed(&g).to_vec()],
+        dedup: dedup_entries(&persist.dedup),
+    };
+    let wal = persist.wal.as_mut().expect("checked above");
+    if wal.install_snapshot(&snap).is_ok() {
+        if let Some(m) = inner.metrics {
+            m.wal_snapshots.inc();
+        }
+    }
+}
+
 fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
     let metrics = inner.metrics;
 
@@ -436,39 +863,19 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
 
     while let Some(frame) = next_frame(inner, sock) {
         match frame {
-            Frame::UpdateBatch { stream, updates } => {
-                let _span = metrics.map(|m| m.update_latency.start_span());
-                if updates.len() as u64 > inner.config.max_batch as u64 {
-                    send_error(
-                        sock,
-                        ErrorCode::BatchTooLarge,
-                        &format!(
-                            "batch of {} exceeds max_batch {}",
-                            updates.len(),
-                            inner.config.max_batch
-                        ),
-                        metrics,
-                    );
-                    continue;
+            Frame::UpdateBatch { .. } => {
+                if !handle_update_batch(inner, sock, frame) {
+                    return;
                 }
-                let accepted = updates.len() as u64;
-                let pool = inner.pool(stream);
-                let reply = match pool.try_dispatch(updates) {
-                    Ok(()) => {
-                        if let Some(m) = metrics {
-                            m.updates_accepted.add(accepted);
-                        }
-                        Frame::BatchAck { accepted }
-                    }
-                    Err(_refused) => {
-                        if let Some(m) = metrics {
-                            m.throttles.inc();
-                        }
-                        Frame::Throttle {
-                            pending: pool.pending_chunks(),
-                            limit: pool.queue_capacity(),
-                        }
-                    }
+            }
+            Frame::Resume { client_id } => {
+                let last = {
+                    let persist = inner.persist.lock().expect("persist lock poisoned");
+                    persist.dedup.get(&client_id).copied().unwrap_or([0, 0])
+                };
+                let reply = Frame::ResumeAck {
+                    last_seq_f: last[StreamId::F as usize],
+                    last_seq_g: last[StreamId::G as usize],
                 };
                 if !send(sock, &reply, metrics) {
                     return;
@@ -476,8 +883,13 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             }
             Frame::QueryJoin => {
                 let _span = metrics.map(|m| m.query_join_latency.start_span());
-                let f = inner.pool(StreamId::F).snapshot();
-                let g = inner.pool(StreamId::G).snapshot();
+                let (Ok(f), Ok(g)) = (
+                    inner.pool(StreamId::F).snapshot(),
+                    inner.pool(StreamId::G).snapshot(),
+                ) else {
+                    send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
+                    return;
+                };
                 let est = estimate_join(&f, &g, &inner.config.estimator);
                 let reply = Frame::Answer {
                     estimate: est.estimate,
@@ -494,7 +906,10 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             }
             Frame::QuerySelfJoin { stream } => {
                 let _span = metrics.map(|m| m.query_self_latency.start_span());
-                let sk = inner.pool(stream).snapshot();
+                let Ok(sk) = inner.pool(stream).snapshot() else {
+                    send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
+                    return;
+                };
                 let estimate = estimate_self_join(&sk, &inner.config.estimator);
                 let reply = Frame::Answer {
                     estimate,
@@ -511,7 +926,10 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             }
             Frame::Snapshot { stream } => {
                 let _span = metrics.map(|m| m.snapshot_latency.start_span());
-                let sk = inner.pool(stream).snapshot();
+                let Ok(sk) = inner.pool(stream).snapshot() else {
+                    send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
+                    return;
+                };
                 let reply = Frame::SnapshotReply {
                     stream,
                     sketch: encode_skimmed(&sk).to_vec(),
@@ -530,7 +948,8 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             | Frame::BatchAck { .. }
             | Frame::Answer { .. }
             | Frame::SnapshotReply { .. }
-            | Frame::Throttle { .. } => {
+            | Frame::Throttle { .. }
+            | Frame::ResumeAck { .. } => {
                 send_error(
                     sock,
                     ErrorCode::Protocol,

@@ -31,6 +31,21 @@ pub(crate) struct ServerMetrics {
     pub throttles: Arc<Counter>,
     /// Updates accepted into the ingest pools over the wire.
     pub updates_accepted: Arc<Counter>,
+    /// Sequenced batches acknowledged without being re-applied
+    /// (idempotent replay after a reconnect or server recovery).
+    pub dup_batches: Arc<Counter>,
+    /// Batches appended to the write-ahead log.
+    pub wal_appends: Arc<Counter>,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: Arc<Counter>,
+    /// Snapshots installed (periodic checkpoints + the shutdown one).
+    pub wal_snapshots: Arc<Counter>,
+    /// Batches replayed from the log during crash recovery.
+    pub recovered_batches: Arc<Counter>,
+    /// Bytes discarded from torn WAL tails during crash recovery.
+    pub wal_torn_bytes: Arc<Counter>,
+    /// Acceptor / connection-handler threads lost to panics.
+    pub thread_panics: Arc<Counter>,
     /// UPDATE_BATCH handling latency (decode excluded, dispatch + reply).
     pub update_latency: Arc<Histogram>,
     /// QUERY_JOIN handling latency (two snapshots + ESTSKIMJOINSIZE).
@@ -58,6 +73,13 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             decode_errors: r.counter("server_decode_errors_total"),
             throttles: r.counter("server_throttle_total"),
             updates_accepted: r.counter("server_updates_accepted_total"),
+            dup_batches: r.counter("server_dup_batches_total"),
+            wal_appends: r.counter("server_wal_appends_total"),
+            wal_bytes: r.counter("server_wal_bytes_total"),
+            wal_snapshots: r.counter("server_wal_snapshots_total"),
+            recovered_batches: r.counter("server_recovered_batches_total"),
+            wal_torn_bytes: r.counter("server_wal_torn_bytes_total"),
+            thread_panics: r.counter("server_thread_panics_total"),
             update_latency: lat("update_batch"),
             query_join_latency: lat("query_join"),
             query_self_latency: lat("query_self_join"),

@@ -1,0 +1,541 @@
+//! Chaos suite: the serving layer under crashes, corruption, and
+//! partial failure.
+//!
+//! Three fault families, one invariant. The families:
+//!
+//! * **process crash** — [`Server::halt`] drops the process state with
+//!   no drain and no final snapshot; recovery must rebuild the sketches
+//!   from the WAL alone;
+//! * **wire faults** — a seeded [`FaultyTransport`] proxy flips bits,
+//!   truncates, stalls, trickles, and disconnects at deterministic byte
+//!   offsets while a [`ResilientClient`] streams through it;
+//! * **thread faults** — a poisoned update panics an ingest worker
+//!   mid-batch; supervision must contain it.
+//!
+//! The invariant, every time: **no panic escapes, no batch is applied
+//! twice, and the served ESTSKIMJOINSIZE equals the in-process estimate
+//! of the same updates exactly** — faults may cost retries and
+//! replays, never accuracy.
+//!
+//! Tests serialize on a process-wide mutex: several assert on global
+//! telemetry (the connection gauge) and all of them spin up thread
+//! pools, so running them concurrently would make both racy.
+
+use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use stream_durability::{ConnPlan, Fault, FaultKind, FaultPlan, FaultyTransport, WalConfig};
+use stream_model::{Domain, Update};
+use stream_server::{
+    BackoffConfig, ClientConfig, ResilientClient, Server, ServerClient, ServerConfig,
+};
+use stream_wire::{Frame, StreamId, WireError, DEFAULT_MAX_PAYLOAD, VERSION};
+
+/// Global test lock — see the module docs.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ss-chaos-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Deterministic mixed inserts/deletes within `domain_log2`.
+fn mixed_updates(n: usize, domain_log2: u32, salt: u64) -> Vec<Update> {
+    (0..n as u64)
+        .map(|i| {
+            let v = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - domain_log2);
+            let w = match i % 5 {
+                0 => -1,
+                1 => 3,
+                _ => 1,
+            };
+            Update {
+                value: v,
+                weight: w,
+            }
+        })
+        .collect()
+}
+
+/// Server config tuned for fast failure detection in tests.
+fn test_config(schema: std::sync::Arc<SkimmedSchema>) -> ServerConfig {
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = 2;
+    config.ingest_workers = 2;
+    config.read_timeout = Duration::from_millis(50);
+    config
+}
+
+/// Client config with a stable identity and impatient timeouts, so a
+/// faulted session is declared dead in milliseconds, not seconds.
+fn test_client_config(client_id: u64) -> ClientConfig {
+    ClientConfig {
+        name: "chaos".into(),
+        client_id,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_millis(500),
+        reply_retries: 5,
+        backoff: BackoffConfig {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(5),
+            seed: 0xC4A0_5EED,
+        },
+    }
+}
+
+/// In-process ground truth for the served estimate.
+fn local_estimate(
+    schema: &std::sync::Arc<SkimmedSchema>,
+    uf: &[Update],
+    ug: &[Update],
+) -> (SkimmedSketch, SkimmedSketch, f64) {
+    let mut f = SkimmedSketch::new(schema.clone());
+    let mut g = SkimmedSketch::new(schema.clone());
+    f.add_batch(uf);
+    g.add_batch(ug);
+    let est = estimate_join(&f, &g, &EstimatorConfig::default()).estimate;
+    (f, g, est)
+}
+
+fn read_reply(sock: &mut TcpStream) -> Frame {
+    for _ in 0..100 {
+        match Frame::read_from(sock, DEFAULT_MAX_PAYLOAD) {
+            Ok((frame, _)) => return frame,
+            Err(WireError::Idle) => continue,
+            Err(e) => panic!("reply read failed: {e}"),
+        }
+    }
+    panic!("no reply within patience window");
+}
+
+fn gauge_connections() -> i64 {
+    stream_telemetry::global().gauge("server_connections").get()
+}
+
+/// Polls `cond` for up to two seconds.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+// ---------------------------------------------------------------------
+// process crash + WAL recovery
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_recovery_replays_wal_to_the_exact_answer() {
+    let _guard = serial();
+    let domain_log2 = 12;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(domain_log2), 5, 128, 7);
+    let dir = scratch_dir("crash");
+
+    let uf = mixed_updates(20_000, domain_log2, 0xF00D);
+    let ug = mixed_updates(20_000, domain_log2, 0xBEEF);
+    let (local_f, local_g, local_est) = local_estimate(&schema, &uf, &ug);
+
+    // Epoch 1: stream everything, observe the answer, then crash hard —
+    // no drain, no final snapshot; the WAL is all that survives.
+    let mut config = test_config(schema.clone());
+    config.wal = Some(WalConfig::new(&dir));
+    let server = Server::bind("127.0.0.1:0", config.clone()).unwrap();
+    assert_eq!(
+        server.recovery(),
+        Some(&stream_server::RecoveryReport::default()),
+        "fresh WAL dir: nothing to recover"
+    );
+    let mut client =
+        ServerClient::connect_with(server.local_addr(), test_client_config(11)).unwrap();
+    client.send_all(StreamId::F, &uf, 1_000).unwrap();
+    client.send_all(StreamId::G, &ug, 1_000).unwrap();
+    let before_crash = client.query_join().unwrap();
+    assert_eq!(before_crash.estimate, local_est);
+    drop(client);
+    server.halt();
+
+    // Epoch 2: bind over the same WAL directory. Recovery replays the
+    // acknowledged batches and the answer is bit-identical.
+    let server = Server::bind("127.0.0.1:0", config.clone()).unwrap();
+    let report = *server.recovery().expect("recovery ran");
+    assert_eq!(
+        report.batches_replayed, 40,
+        "every acknowledged batch is in the log"
+    );
+    assert_eq!(report.updates_replayed, 40_000);
+    assert_eq!(report.torn_bytes, 0, "halt never tears a record");
+    let snap_f = server.snapshot(StreamId::F).unwrap();
+    let snap_g = server.snapshot(StreamId::G).unwrap();
+    assert_eq!(snap_f.level_counters(), local_f.level_counters());
+    assert_eq!(snap_g.level_counters(), local_g.level_counters());
+
+    let mut client =
+        ServerClient::connect_with(server.local_addr(), test_client_config(11)).unwrap();
+    let after_crash = client.query_join().unwrap();
+    assert_eq!(
+        after_crash.estimate, before_crash.estimate,
+        "recovered server must answer exactly as before the crash"
+    );
+    // The idempotency table also survived: RESUME knows our progress.
+    let (last_f, last_g) = client.resume().unwrap();
+    assert_eq!((last_f, last_g), (20, 20));
+    client.goodbye().unwrap();
+
+    // Epoch 3: a clean shutdown writes a final snapshot; the next bind
+    // recovers from it with zero replay.
+    server.shutdown().unwrap();
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let report = *server.recovery().expect("recovery ran");
+    assert!(report.snapshot_loaded, "clean shutdown left a snapshot");
+    assert_eq!(report.batches_replayed, 0, "snapshot covers the whole log");
+    let mut client = ServerClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.query_join().unwrap().estimate, local_est);
+    client.goodbye().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_sequenced_batches_are_acked_but_applied_once() {
+    let _guard = serial();
+    let schema = SkimmedSchema::scanning(Domain::with_log2(8), 3, 32, 1);
+    let server = Server::bind("127.0.0.1:0", test_config(schema)).unwrap();
+
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    Frame::Hello {
+        protocol: VERSION,
+        client: "dup".into(),
+    }
+    .write_to(&mut sock)
+    .unwrap();
+    assert!(matches!(read_reply(&mut sock), Frame::HelloAck(_)));
+
+    // The same sequenced batch three times: first applies, replays are
+    // acknowledged (the client must be able to make progress) without
+    // touching the sketch.
+    let batch = Frame::UpdateBatch {
+        stream: StreamId::F,
+        client_id: 77,
+        seq: 1,
+        updates: vec![Update::insert(5); 16],
+    };
+    for _ in 0..3 {
+        batch.write_to(&mut sock).unwrap();
+        assert!(matches!(
+            read_reply(&mut sock),
+            Frame::BatchAck { accepted: 16 }
+        ));
+    }
+    // A later sequence number still lands.
+    Frame::UpdateBatch {
+        stream: StreamId::F,
+        client_id: 77,
+        seq: 2,
+        updates: vec![Update::insert(6); 4],
+    }
+    .write_to(&mut sock)
+    .unwrap();
+    assert!(matches!(
+        read_reply(&mut sock),
+        Frame::BatchAck { accepted: 4 }
+    ));
+
+    // RESUME reports the high-water mark, not the ack count.
+    Frame::Resume { client_id: 77 }.write_to(&mut sock).unwrap();
+    assert!(matches!(
+        read_reply(&mut sock),
+        Frame::ResumeAck {
+            last_seq_f: 2,
+            last_seq_g: 0
+        }
+    ));
+    drop(sock);
+
+    let snap = server.snapshot(StreamId::F).unwrap();
+    assert_eq!(snap.l1_mass(), 16 + 4, "duplicates added no mass");
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// wire faults through the deterministic proxy
+// ---------------------------------------------------------------------
+
+/// Runs one fault scenario: a `ResilientClient` streams both inputs
+/// through a `FaultyTransport` carrying `plan`, then the server-side
+/// sketches must match the in-process ground truth exactly.
+fn run_faulted_session(plan: FaultPlan, client_id: u64) {
+    let domain_log2 = 10;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(domain_log2), 4, 64, 3);
+    let server = Server::bind("127.0.0.1:0", test_config(schema.clone())).unwrap();
+    let proxy = FaultyTransport::start(server.local_addr(), plan).unwrap();
+
+    let uf = mixed_updates(6_000, domain_log2, 0x0DDB * client_id);
+    let ug = mixed_updates(6_000, domain_log2, 0x1EE7 * client_id);
+    let (local_f, local_g, local_est) = local_estimate(&schema, &uf, &ug);
+
+    let mut client = ResilientClient::new(proxy.local_addr(), test_client_config(client_id))
+        .with_max_reconnects(20);
+    let rf = client.send_all(StreamId::F, &uf, 500).unwrap();
+    let rg = client.send_all(StreamId::G, &ug, 500).unwrap();
+    assert_eq!(rf.updates + rg.updates, 12_000, "every update accounted");
+    let answer = client.query_join().unwrap();
+    client.goodbye().ok(); // the proxy may already be wedged; close is best-effort
+
+    // Exactness survives the faults: nothing lost, nothing doubled.
+    let snap_f = server.snapshot(StreamId::F).unwrap();
+    let snap_g = server.snapshot(StreamId::G).unwrap();
+    assert_eq!(snap_f.level_counters(), local_f.level_counters());
+    assert_eq!(snap_g.level_counters(), local_g.level_counters());
+    assert_eq!(answer.estimate, local_est);
+
+    proxy.stop();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn every_fault_kind_preserves_exactness() {
+    let _guard = serial();
+    // One scenario per fault kind, each pinned mid-stream (offset 600 is
+    // inside the sequenced UPDATE_BATCH traffic on both directions).
+    let kinds: [FaultKind; 5] = [
+        FaultKind::BitFlip { bit: 3 },
+        FaultKind::Truncate,
+        FaultKind::Stall { millis: 150 },
+        FaultKind::PartialWrite {
+            trickle: 7,
+            millis: 20,
+        },
+        FaultKind::Disconnect,
+    ];
+    for (i, kind) in kinds.into_iter().enumerate() {
+        // Odd scenarios fault the reply direction: losing a BATCH_ACK is
+        // exactly where idempotent replay earns its keep.
+        let fault = Fault { offset: 600, kind };
+        let mut conn = ConnPlan::clean();
+        if i % 2 == 0 {
+            conn.c2s.push(fault);
+        } else {
+            conn.s2c.push(fault);
+        }
+        let plan = FaultPlan { conns: vec![conn] };
+        run_faulted_session(plan, i as u64 + 1);
+    }
+}
+
+#[test]
+fn seeded_fault_plans_preserve_exactness() {
+    let _guard = serial();
+    // The fixed-seed matrix the CI chaos-smoke job also runs: each seed
+    // derives a multi-connection fault plan deterministically.
+    for seed in [0xC0FFEE, 0xDECADE, 0xFACADE] {
+        let plan = FaultPlan::from_seed(seed, 6);
+        run_faulted_session(plan, seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// socket kills at the worst moments
+// ---------------------------------------------------------------------
+
+#[test]
+fn socket_kill_mid_update_batch_leaves_no_partial_state() {
+    let _guard = serial();
+    let schema = SkimmedSchema::scanning(Domain::with_log2(8), 3, 32, 1);
+    let server = Server::bind("127.0.0.1:0", test_config(schema)).unwrap();
+    let base = gauge_connections();
+
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    Frame::Hello {
+        protocol: VERSION,
+        client: "killer".into(),
+    }
+    .write_to(&mut sock)
+    .unwrap();
+    assert!(matches!(read_reply(&mut sock), Frame::HelloAck(_)));
+    if stream_telemetry::ENABLED {
+        assert!(eventually(|| gauge_connections() == base + 1));
+    }
+
+    // Half an UPDATE_BATCH, then a hard kill. The server must treat the
+    // torn frame as a dead session — not apply a prefix of the batch.
+    let bytes = Frame::UpdateBatch {
+        stream: StreamId::F,
+        client_id: 0,
+        seq: 0,
+        updates: vec![Update::insert(3); 256],
+    }
+    .encode();
+    sock.write_all(&bytes[..bytes.len() / 2]).unwrap();
+    sock.shutdown(Shutdown::Both).unwrap();
+    drop(sock);
+
+    // The session is reaped: the gauge returns to its baseline.
+    if stream_telemetry::ENABLED {
+        assert!(
+            eventually(|| gauge_connections() == base),
+            "half-open session never reaped"
+        );
+    }
+    // And no half-applied batch: the sketch is untouched.
+    let snap = server.snapshot(StreamId::F).unwrap();
+    assert_eq!(snap.l1_mass(), 0, "torn batch must not be applied");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn socket_kill_mid_answer_reaps_the_session_and_serving_continues() {
+    let _guard = serial();
+    let domain_log2 = 10;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(domain_log2), 4, 64, 9);
+    let server = Server::bind("127.0.0.1:0", test_config(schema.clone())).unwrap();
+    let base = gauge_connections();
+
+    let uf = mixed_updates(2_000, domain_log2, 0xAB);
+    let mut client = ServerClient::connect(server.local_addr()).unwrap();
+    client.send_all(StreamId::F, &uf, 500).unwrap();
+
+    // Ask for an answer, then vanish before reading it: the server's
+    // reply write hits a dead socket mid-ANSWER.
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    Frame::Hello {
+        protocol: VERSION,
+        client: "vanisher".into(),
+    }
+    .write_to(&mut sock)
+    .unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    assert!(matches!(read_reply(&mut sock), Frame::HelloAck(_)));
+    Frame::QueryJoin.write_to(&mut sock).unwrap();
+    sock.shutdown(Shutdown::Both).unwrap();
+    drop(sock);
+
+    if stream_telemetry::ENABLED {
+        assert!(
+            eventually(|| gauge_connections() == base + 1),
+            "vanished session never reaped (live client remains)"
+        );
+    }
+    // The surviving session still gets exact answers.
+    let mut local_f = SkimmedSketch::new(schema.clone());
+    local_f.add_batch(&uf);
+    let answer = client.query_self_join(StreamId::F).unwrap();
+    assert_eq!(
+        answer,
+        skimmed_sketch::estimate_self_join(&local_f, &EstimatorConfig::default())
+    );
+    client.goodbye().unwrap();
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// worker panic containment
+// ---------------------------------------------------------------------
+
+#[test]
+fn worker_panic_is_contained_and_counted() {
+    let _guard = serial();
+    if !cfg!(debug_assertions) {
+        // The poison below trips the sketch kernel's domain
+        // debug-assertion; release builds hash it harmlessly.
+        return;
+    }
+    let domain_log2 = 8;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(domain_log2), 3, 32, 1);
+    let server = Server::bind("127.0.0.1:0", test_config(schema)).unwrap();
+    assert_eq!(server.worker_restarts(StreamId::F), 0);
+
+    let mut client = ServerClient::connect(server.local_addr()).unwrap();
+    // An out-of-domain value: the wire layer carries it (the protocol
+    // does not know the domain), and the sketch kernel panics on it
+    // inside the worker. Supervision must contain the blast.
+    let poison = vec![Update::insert(1 << 60)];
+    client.send_batch(StreamId::F, &poison).unwrap();
+    assert!(
+        eventually(|| server.worker_restarts(StreamId::F) >= 1),
+        "supervised worker never recorded the panic"
+    );
+
+    // The pool is still serving: a good batch lands and is queryable.
+    let good = vec![Update::insert(5); 32];
+    client.send_batch(StreamId::F, &good).unwrap();
+    let snap = server.snapshot(StreamId::F).unwrap();
+    assert_eq!(snap.l1_mass(), 32, "pool must keep serving after a panic");
+    assert!(client.query_join().is_ok());
+    client.goodbye().unwrap();
+
+    // Shutdown still succeeds: the worker survived its panic, so the
+    // drain is complete (the poisoned chunk was dropped, not the worker).
+    let (fin_f, _g) = server.shutdown().unwrap();
+    assert_eq!(fin_f.l1_mass(), 32);
+}
+
+// ---------------------------------------------------------------------
+// crash + wire faults combined
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_behind_a_faulty_wire_still_converges_exactly() {
+    let _guard = serial();
+    let domain_log2 = 10;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(domain_log2), 4, 64, 5);
+    let dir = scratch_dir("combo");
+    let mut config = test_config(schema.clone());
+    config.wal = Some(WalConfig::new(&dir));
+
+    let uf = mixed_updates(8_000, domain_log2, 0xCAB);
+    let (local_f, _, _) = local_estimate(&schema, &uf, &[]);
+
+    // Phase 1: stream half the input through a lossy wire, then crash.
+    let server = Server::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = server.local_addr();
+    let plan = FaultPlan::from_seed(0xBAD5EED, 4);
+    let proxy = FaultyTransport::start(addr, plan).unwrap();
+    let mut client =
+        ResilientClient::new(proxy.local_addr(), test_client_config(42)).with_max_reconnects(20);
+    client.send_all(StreamId::F, &uf[..4_000], 500).unwrap();
+    proxy.stop();
+    server.halt();
+
+    // Phase 2: recover and finish the stream over a clean wire. RESUME
+    // hides the crash from the producer: it just keeps sending, and the
+    // recovered dedup table drops anything the WAL already holds.
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    assert!(server.recovery().expect("recovery ran").batches_replayed >= 8);
+    let mut client =
+        ResilientClient::new(server.local_addr(), test_client_config(42)).with_max_reconnects(20);
+    client.send_all(StreamId::F, &uf[4_000..], 500).unwrap();
+
+    let snap = server.snapshot(StreamId::F).unwrap();
+    assert_eq!(
+        snap.level_counters(),
+        local_f.level_counters(),
+        "crash + faults + resume must still converge to the exact sketch"
+    );
+    client.goodbye().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

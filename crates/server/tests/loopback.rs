@@ -104,7 +104,7 @@ fn wire_ingestion_is_bit_identical_to_in_process() {
 
     // Shutdown drains the pools; the final sketches hold every
     // acknowledged update.
-    let (fin_f, fin_g) = server.shutdown();
+    let (fin_f, fin_g) = server.shutdown().unwrap();
     assert_eq!(fin_f.level_counters(), local_f.level_counters());
     assert_eq!(fin_g.level_counters(), local_g.level_counters());
 }
@@ -153,7 +153,7 @@ fn overload_gets_throttled_and_the_queue_stays_bounded() {
 
     // Accounting stays exact under overload: the drained sketch holds
     // exactly the acknowledged updates (each batch adds the same mass).
-    let (fin_f, _g) = server.shutdown();
+    let (fin_f, _g) = server.shutdown().unwrap();
     assert_eq!(fin_f.l1_mass() % batch_l1(&batch), 0);
     assert_eq!(
         fin_f.l1_mass() / batch_l1(&batch),
@@ -181,7 +181,7 @@ fn requests_before_hello_are_rejected() {
         Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
         other => panic!("expected ERROR, got {other:?}"),
     }
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -215,6 +215,8 @@ fn garbage_and_corruption_get_error_frames_then_close() {
     assert!(matches!(read_reply(&mut sock), Frame::HelloAck(_)));
     let mut bytes = Frame::UpdateBatch {
         stream: StreamId::F,
+        client_id: 0,
+        seq: 0,
         updates: vec![Update::insert(1); 16],
     }
     .encode();
@@ -225,7 +227,7 @@ fn garbage_and_corruption_get_error_frames_then_close() {
         Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
         other => panic!("expected ERROR, got {other:?}"),
     }
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -246,7 +248,7 @@ fn oversized_batches_are_refused_without_closing_the_session() {
     let ok = client.send_batch(StreamId::G, &too_big[..10]).unwrap();
     assert_eq!(ok, BatchOutcome::Accepted(10));
     client.goodbye().unwrap();
-    let (_f, g) = server.shutdown();
+    let (_f, g) = server.shutdown().unwrap();
     assert_eq!(g.l1_mass(), 10);
 }
 
@@ -263,7 +265,7 @@ fn shutdown_closes_idle_connections_and_drains() {
 
     // Shut down while the client connection is still open and idle: the
     // handler notices at the next read tick and the pools drain fully.
-    let (fin_f, fin_g) = server.shutdown();
+    let (fin_f, fin_g) = server.shutdown().unwrap();
     let mut local = SkimmedSketch::new(schema);
     local.add_batch(&updates);
     assert_eq!(fin_f.level_counters(), local.level_counters());

@@ -136,9 +136,20 @@ pub enum Frame {
     /// schema plus serving limits.
     HelloAck(ServerInfo),
     /// Client → server: a chunk of updates for one stream.
+    ///
+    /// `client_id`/`seq` make batches **idempotent**: a server that has
+    /// already applied `(client_id, stream, seq)` acknowledges a resend
+    /// without applying it again, so a client that lost a BATCH_ACK to a
+    /// crash or disconnect can safely replay. `client_id = 0` opts out of
+    /// sequencing (the server applies unconditionally and keeps no state).
     UpdateBatch {
         /// Which join input the updates belong to.
         stream: StreamId,
+        /// Stable producer identity for dedup; `0` = unsequenced.
+        client_id: u64,
+        /// Per-`(client_id, stream)` batch sequence number, starting at 1
+        /// and incremented only after the batch is acknowledged.
+        seq: u64,
         /// The updates, in stream order.
         updates: Vec<Update>,
     },
@@ -207,6 +218,23 @@ pub enum Frame {
     /// Client → server: clean session end. The server echoes it back
     /// after its last reply so the client can confirm a drained close.
     Goodbye,
+    /// Client → server: after a reconnect, ask how far the server has
+    /// durably applied this producer's sequenced batches, so the client
+    /// can replay from the first unacknowledged batch instead of either
+    /// resending everything or losing the tail.
+    Resume {
+        /// The producer identity whose progress is being queried.
+        client_id: u64,
+    },
+    /// Server → client: the highest applied sequence number per stream
+    /// for the queried `client_id` (`0` = nothing applied / unknown
+    /// client — replay from the start).
+    ResumeAck {
+        /// Highest applied `seq` for stream `F`.
+        last_seq_f: u64,
+        /// Highest applied `seq` for stream `G`.
+        last_seq_g: u64,
+    },
 }
 
 /// Wire tags for [`Frame`] kinds.
@@ -225,6 +253,8 @@ enum Kind {
     Throttle = 10,
     Error = 11,
     Goodbye = 12,
+    Resume = 13,
+    ResumeAck = 14,
 }
 
 impl Kind {
@@ -242,6 +272,8 @@ impl Kind {
             10 => Kind::Throttle,
             11 => Kind::Error,
             12 => Kind::Goodbye,
+            13 => Kind::Resume,
+            14 => Kind::ResumeAck,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -364,6 +396,8 @@ impl Frame {
             Frame::Throttle { .. } => Kind::Throttle,
             Frame::Error { .. } => Kind::Error,
             Frame::Goodbye => Kind::Goodbye,
+            Frame::Resume { .. } => Kind::Resume,
+            Frame::ResumeAck { .. } => Kind::ResumeAck,
         }
     }
 
@@ -383,8 +417,15 @@ impl Frame {
                 out.extend_from_slice(&info.max_batch.to_le_bytes());
                 out.extend_from_slice(&info.queue_limit.to_le_bytes());
             }
-            Frame::UpdateBatch { stream, updates } => {
+            Frame::UpdateBatch {
+                stream,
+                client_id,
+                seq,
+                updates,
+            } => {
                 out.push(*stream as u8);
+                put_varint(&mut out, *client_id);
+                put_varint(&mut out, *seq);
                 put_varint(&mut out, updates.len() as u64);
                 for u in updates {
                     put_varint(&mut out, u.value);
@@ -430,6 +471,14 @@ impl Frame {
                 out.extend_from_slice(&code.as_u16().to_le_bytes());
                 put_string(&mut out, message);
             }
+            Frame::Resume { client_id } => put_varint(&mut out, *client_id),
+            Frame::ResumeAck {
+                last_seq_f,
+                last_seq_g,
+            } => {
+                put_varint(&mut out, *last_seq_f);
+                put_varint(&mut out, *last_seq_g);
+            }
         }
         out
     }
@@ -456,6 +505,8 @@ impl Frame {
             }),
             Kind::UpdateBatch => {
                 let stream = StreamId::from_u8(r.u8()?)?;
+                let client_id = r.varint()?;
+                let seq = r.varint()?;
                 let count = r.varint()? as usize;
                 // Every update needs ≥ 2 payload bytes; a declared count
                 // beyond that is truncation, caught before allocating.
@@ -468,7 +519,12 @@ impl Frame {
                     let weight = unzigzag(r.varint()?);
                     updates.push(Update { value, weight });
                 }
-                Frame::UpdateBatch { stream, updates }
+                Frame::UpdateBatch {
+                    stream,
+                    client_id,
+                    seq,
+                    updates,
+                }
             }
             Kind::BatchAck => Frame::BatchAck {
                 accepted: r.varint()?,
@@ -504,6 +560,13 @@ impl Frame {
                 message: r.string()?,
             },
             Kind::Goodbye => Frame::Goodbye,
+            Kind::Resume => Frame::Resume {
+                client_id: r.varint()?,
+            },
+            Kind::ResumeAck => Frame::ResumeAck {
+                last_seq_f: r.varint()?,
+                last_seq_g: r.varint()?,
+            },
         };
         r.finish()?;
         Ok(frame)

@@ -12,8 +12,8 @@
 //! ```text
 //! frame       := header payload
 //! header      := magic "SSWF"          (4 bytes)
-//!                version u16-le        (= 1)
-//!                kind    u8            (frame tag, 1..=12)
+//!                version u16-le        (= 2)
+//!                kind    u8            (frame tag, 1..=14)
 //!                flags   u8            (reserved, 0)
 //!                payload_len u32-le
 //!                payload_crc u32-le    (CRC-32/IEEE of payload)
@@ -32,7 +32,9 @@
 //! client                                server
 //!   | ------------- HELLO ------------->  |
 //!   | <----------- HELLO_ACK -----------  |   (schema + limits)
-//!   | --------- UPDATE_BATCH ---------->  |
+//!   | ------------- RESUME ------------>  |   (optional, after reconnect)
+//!   | <----------- RESUME_ACK ----------  |   (last applied seq per stream)
+//!   | --------- UPDATE_BATCH ---------->  |   (client_id + seq for dedup)
 //!   | <--- BATCH_ACK | THROTTLE | ERROR   |
 //!   | ---- QUERY_JOIN / QUERY_SELF_JOIN / SNAPSHOT ---> |
 //!   | <--- ANSWER / SNAPSHOT_REPLY / ERROR ------------ |
@@ -43,6 +45,13 @@
 //! Strictly one request in flight per connection; every request gets
 //! exactly one reply. THROTTLE is a *negative acknowledgement*: the batch
 //! was not queued and the producer owns the retry.
+//!
+//! Version 2 added `client_id`/`seq` to UPDATE_BATCH and the
+//! RESUME/RESUME_ACK pair: sequenced batches are idempotent at the
+//! server (a replayed `(client_id, stream, seq)` is acknowledged without
+//! being re-applied), so a client that loses a connection — or a server
+//! that crashes and replays its write-ahead log — can never double-count
+//! a batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -59,7 +68,7 @@ use std::io;
 pub const MAGIC: &[u8; 4] = b"SSWF";
 
 /// Current protocol version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -152,6 +161,8 @@ mod tests {
     fn batch_round_trips() {
         let frame = Frame::UpdateBatch {
             stream: StreamId::G,
+            client_id: 0xD1CE_F00D,
+            seq: 41,
             updates: vec![
                 Update::insert(7),
                 Update::delete(9),
@@ -162,6 +173,24 @@ mod tests {
         let (back, n) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(back, frame);
         assert_eq!(n, bytes.len());
+    }
+
+    #[test]
+    fn resume_round_trips() {
+        for frame in [
+            Frame::Resume {
+                client_id: u64::MAX,
+            },
+            Frame::ResumeAck {
+                last_seq_f: 7,
+                last_seq_g: 0,
+            },
+        ] {
+            let bytes = frame.encode();
+            let (back, n) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(n, bytes.len());
+        }
     }
 
     #[test]

@@ -71,8 +71,19 @@ proptest! {
     }
 
     #[test]
-    fn update_batch_round_trips(sel in any::<u8>(), updates in arb_updates(200)) {
-        assert_round_trip(&Frame::UpdateBatch { stream: arb_stream(sel), updates })?;
+    fn update_batch_round_trips(
+        sel in any::<u8>(),
+        client_id in any::<u64>(),
+        seq in any::<u64>(),
+        updates in arb_updates(200),
+    ) {
+        assert_round_trip(&Frame::UpdateBatch { stream: arb_stream(sel), client_id, seq, updates })?;
+    }
+
+    #[test]
+    fn resume_round_trips(client_id in any::<u64>(), last_f in any::<u64>(), last_g in any::<u64>()) {
+        assert_round_trip(&Frame::Resume { client_id })?;
+        assert_round_trip(&Frame::ResumeAck { last_seq_f: last_f, last_seq_g: last_g })?;
     }
 
     #[test]
@@ -128,7 +139,7 @@ proptest! {
         pos in any::<u64>(),
         bit in 0u8..8,
     ) {
-        let frame = Frame::UpdateBatch { stream: arb_stream(sel), updates };
+        let frame = Frame::UpdateBatch { stream: arb_stream(sel), client_id: 9, seq: 1, updates };
         let mut bytes = frame.encode();
         let idx = (pos % bytes.len() as u64) as usize;
         bytes[idx] ^= 1 << bit;
@@ -142,7 +153,7 @@ proptest! {
     /// never decode): empty → Closed, otherwise Truncated/Io.
     #[test]
     fn truncation_is_rejected(sel in any::<u8>(), updates in arb_updates(64), cut in any::<u64>()) {
-        let frame = Frame::UpdateBatch { stream: arb_stream(sel), updates };
+        let frame = Frame::UpdateBatch { stream: arb_stream(sel), client_id: 9, seq: 1, updates };
         let bytes = frame.encode();
         let cut = (cut % bytes.len() as u64) as usize;
         let err = Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
@@ -157,7 +168,7 @@ proptest! {
     /// prefix alone delimits them.
     #[test]
     fn concatenated_frames_stay_framed(updates in arb_updates(64), accepted in any::<u64>()) {
-        let first = Frame::UpdateBatch { stream: StreamId::F, updates };
+        let first = Frame::UpdateBatch { stream: StreamId::F, client_id: 3, seq: 2, updates };
         let second = Frame::BatchAck { accepted };
         let mut bytes = first.encode();
         bytes.extend_from_slice(&second.encode());

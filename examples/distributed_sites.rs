@@ -52,7 +52,7 @@ fn main() {
         for chunk in batch_f.chunks(8192) {
             pool_f.dispatch(chunk.to_vec());
         }
-        let sf = pool_f.finish();
+        let sf = pool_f.finish().expect("no worker panicked");
         let mut sg = HashSketch::new(schema.clone());
         sg.update_batch(&batch_g);
         for (&uf, &ug) in batch_f.iter().zip(&batch_g) {

@@ -89,7 +89,7 @@ fn main() {
     for chunk in stream_f.chunks(4096) {
         pool.dispatch(chunk.to_vec());
     }
-    let parallel_f = pool.finish();
+    let parallel_f = pool.finish().expect("no worker panicked");
     assert_eq!(
         parallel_f.base().counters(),
         sketch_f.base().counters(),

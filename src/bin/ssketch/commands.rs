@@ -4,11 +4,13 @@ use crate::cli::{Args, CliError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use std::net::ToSocketAddrs;
+use stream_durability::WalConfig;
 use stream_model::gen::{CensusGenerator, UniformGenerator, ZipfGenerator};
 use stream_model::io::{read_trace_file, write_trace_file, TraceReader};
 use stream_model::metrics::ratio_error;
 use stream_model::{Domain, FrequencyVector, StreamSink, WorkloadStats};
-use stream_server::{Server, ServerClient, ServerConfig};
+use stream_server::{ClientConfig, ResilientClient, Server, ServerClient, ServerConfig};
 use stream_sketches::codec::{decode_hash, encode_hash};
 use stream_sketches::{HashSketch, HashSketchSchema};
 use stream_wire::StreamId;
@@ -294,20 +296,58 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     config.ingest_workers = args.get_or("workers", config.ingest_workers)?;
     config.queue_depth = args.get_or("queue-depth", config.queue_depth)?;
     config.max_batch = args.get_or("max-batch", config.max_batch)?;
+    if let Some(dir) = args.optional("wal-dir") {
+        let mut wal = WalConfig::new(dir);
+        wal.segment_bytes = args.get_or("wal-segment-bytes", wal.segment_bytes)?;
+        wal.snapshot_every = args.get_or("wal-snapshot-every", wal.snapshot_every)?;
+        wal.fsync = args.get_or("wal-fsync", wal.fsync)?;
+        config.wal = Some(wal);
+    }
     let server = Server::bind(addr.as_str(), config).map_err(io_err)?;
     println!(
         "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}",
         server.local_addr()
     );
+    if let Some(r) = server.recovery() {
+        println!(
+            "recovery: snapshot={}, replayed {} batches / {} updates from {} segment(s), \
+             torn bytes cut {}, corrupt snapshots skipped {}",
+            if r.snapshot_loaded { "loaded" } else { "none" },
+            r.batches_replayed,
+            r.updates_replayed,
+            r.segments_replayed,
+            r.torn_bytes,
+            r.snapshots_skipped
+        );
+    }
     println!("press Enter (or close stdin) to drain and stop");
     let mut line = String::new();
     let _ = std::io::stdin().read_line(&mut line);
-    let (f, g) = server.shutdown();
+    let (f, g) = server.shutdown().map_err(io_err)?;
     println!(
         "drained: F carries l1 mass {}, G carries l1 mass {}",
         f.l1_mass(),
         g.l1_mass()
     );
+    Ok(())
+}
+
+/// `ssketch remote-query` — query a running server without streaming
+/// anything (used to compare answers across a server crash + restart).
+pub fn remote_query(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let mut client = ServerClient::connect_named(addr.as_str(), "ssketch-query").map_err(io_err)?;
+    let ans = client.query_join().map_err(io_err)?;
+    println!("estimate        : {:.0}", ans.estimate);
+    println!(
+        "  dense/dense {:.0} | dense/sparse {:.0} | sparse/dense {:.0} | sparse/sparse {:.0}",
+        ans.dense_dense, ans.dense_sparse, ans.sparse_dense, ans.sparse_sparse
+    );
+    println!(
+        "  skimmed {} + {} dense values server-side",
+        ans.dense_f, ans.dense_g
+    );
+    client.goodbye().map_err(io_err)?;
     Ok(())
 }
 
@@ -321,6 +361,12 @@ pub fn remote_join(args: &Args) -> Result<(), CliError> {
     let (dr, gu) = read_trace_file(&right).map_err(io_err)?;
     if dl != dr {
         return Err(CliError("trace domains differ".into()));
+    }
+    // A nonzero --client-id turns on sequenced, reconnect-resumable
+    // streaming (exactly-once across disconnects and server restarts).
+    let client_id = args.get_or("client-id", 0u64)?;
+    if client_id != 0 {
+        return remote_join_resilient(addr, client_id, &fu, &gu, chunk);
     }
     let mut client = ServerClient::connect_named(addr.as_str(), "ssketch").map_err(io_err)?;
     let info = *client.info();
@@ -353,6 +399,45 @@ pub fn remote_join(args: &Args) -> Result<(), CliError> {
     println!(
         "  skimmed {} + {} dense values server-side",
         ans.dense_f, ans.dense_g
+    );
+    client.goodbye().map_err(io_err)?;
+    Ok(())
+}
+
+/// The `--client-id` arm of [`remote_join`]: sequenced batches through a
+/// [`ResilientClient`], surviving disconnects and server restarts.
+fn remote_join_resilient(
+    addr: String,
+    client_id: u64,
+    fu: &[stream_model::Update],
+    gu: &[stream_model::Update],
+    chunk: usize,
+) -> Result<(), CliError> {
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(io_err)?
+        .next()
+        .ok_or_else(|| CliError(format!("cannot resolve {addr}")))?;
+    let config = ClientConfig {
+        name: "ssketch-resilient".to_string(),
+        client_id,
+        ..ClientConfig::default()
+    };
+    let mut client = ResilientClient::new(sock_addr, config);
+    let rf = client.send_all(StreamId::F, fu, chunk).map_err(io_err)?;
+    let rg = client.send_all(StreamId::G, gu, chunk).map_err(io_err)?;
+    println!(
+        "streamed {} + {} updates ({} batches, {} throttle retries) as client {client_id}",
+        rf.updates,
+        rg.updates,
+        rf.batches + rg.batches,
+        rf.throttled + rg.throttled
+    );
+    let ans = client.query_join().map_err(io_err)?;
+    println!("estimate        : {:.0}", ans.estimate);
+    println!(
+        "  dense/dense {:.0} | dense/sparse {:.0} | sparse/dense {:.0} | sparse/sparse {:.0}",
+        ans.dense_dense, ans.dense_sparse, ans.sparse_dense, ans.sparse_sparse
     );
     client.goodbye().map_err(io_err)?;
     Ok(())

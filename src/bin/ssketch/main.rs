@@ -62,9 +62,16 @@ fn usage() -> &'static str {
          --dyadic true|false               extraction strategy (false)\n\
          --handlers N --workers N          thread counts (4 / 2)\n\
          --queue-depth N --max-batch N     backpressure knobs (8 / 65536)\n\
+         --wal-dir PATH                    write-ahead log + crash recovery (off)\n\
+         --wal-segment-bytes N             segment rotation size (64 MiB)\n\
+         --wal-snapshot-every N            batches between snapshots (4096)\n\
+         --wal-fsync true|false            fsync every append (false)\n\
      remote-join     stream two traces to a server and query the join\n\
          --addr HOST:PORT --left PATH --right PATH\n\
          --chunk N                         updates per UPDATE_BATCH (8192)\n\
+         --client-id N                     nonzero: sequenced + reconnect-resumable (0)\n\
+     remote-query    query a running server's join estimate (no streaming)\n\
+         --addr HOST:PORT\n\
      help            this text\n"
 }
 
@@ -88,6 +95,7 @@ fn main() {
             "join-sketches" => commands::join_sketches(&args)?,
             "serve" => commands::serve(&args)?,
             "remote-join" => commands::remote_join(&args)?,
+            "remote-query" => commands::remote_query(&args)?,
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());

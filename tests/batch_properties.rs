@@ -82,7 +82,7 @@ proptest! {
         let schema = HashSketchSchema::new(4, 32, 29);
         let pool = IngestPool::new(threads, || HashSketch::new(schema.clone()));
         for chunk in us.chunks(split) { pool.dispatch(chunk.to_vec()); }
-        let parallel = pool.finish();
+        let parallel = pool.finish().expect("no worker panicked");
         let mut scalar = HashSketch::new(schema);
         for &u in &us { scalar.update(u); }
         prop_assert_eq!(parallel.counters(), scalar.counters());
