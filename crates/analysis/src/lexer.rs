@@ -1,0 +1,707 @@
+//! A hand-rolled Rust lexer, sufficient for lexical lints.
+//!
+//! The build environment is offline, so `syn`/`proc-macro2` are not an
+//! option; instead this module tokenizes Rust source directly. It is not
+//! a full grammar — it only has to get the *lexical* structure right so
+//! that lints never mistake the inside of a string or comment for code:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary hash fences (`r##"…"##`), raw byte
+//!   strings, byte strings and byte char literals,
+//! * raw identifiers (`r#match`) vs raw strings (`r#"…"#`),
+//! * lifetimes vs char literals (`'a` vs `'a'`),
+//! * `//` and `/*` sequences inside string literals.
+//!
+//! Tokens carry 1-based line/column spans. Comments are collected
+//! separately (with a `trailing` flag) because the lint layer reads them
+//! for suppressions and justification comments.
+
+/// The coarse kind of a significant token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_` and raw identifiers).
+    Ident,
+    /// A lifetime or loop label such as `'a` (without a closing quote).
+    Lifetime,
+    /// A char or byte-char literal, e.g. `'x'` or `b'\n'`.
+    Char,
+    /// Any string literal form (plain, byte, raw, raw-byte, C string).
+    Str,
+    /// A numeric literal (integer or float, any base).
+    Num,
+    /// Punctuation. `::` and `=>` are single tokens; everything else is
+    /// one character per token.
+    Punct,
+}
+
+/// One significant (non-comment, non-whitespace) token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. String/char literals keep their quotes and
+    /// prefixes so the text is unambiguous.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
+}
+
+/// A comment, kept out of the significant-token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its delimiters (`//…` or `/*…*/`).
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// `true` when a significant token precedes the comment on the same
+    /// line (a trailing comment annotates its own line; a standalone
+    /// comment annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: significant tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`, returning significant tokens and comments.
+///
+/// The lexer never fails: malformed input (e.g. an unterminated string)
+/// degrades to consuming the rest of the file as that token, which is
+/// the safe direction for a lint tool — it can only under-report inside
+/// text it could not segment, never misread text as code.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut last_tok_line = 0u32;
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            let text = take_line_comment(&mut cur);
+            out.comments.push(Comment {
+                text,
+                line,
+                trailing: last_tok_line == line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let text = take_block_comment(&mut cur);
+            out.comments.push(Comment {
+                text,
+                line,
+                trailing: last_tok_line == line,
+            });
+            continue;
+        }
+        let tok = if let Some(tok) = take_prefixed_literal(&mut cur, line, col) {
+            tok
+        } else if is_ident_start(c) {
+            take_ident(&mut cur, line, col)
+        } else if c.is_ascii_digit() {
+            take_number(&mut cur, line, col)
+        } else if c == '"' {
+            take_string(&mut cur, line, col)
+        } else if c == '\'' {
+            take_quote(&mut cur, line, col)
+        } else {
+            take_punct(&mut cur, line, col)
+        };
+        last_tok_line = tok.line;
+        out.toks.push(tok);
+    }
+    out
+}
+
+fn take_line_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+fn take_block_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    text
+}
+
+/// Handles every literal form that starts with what would otherwise be
+/// an identifier or a lone `r`/`b`/`c`: raw strings, byte strings, byte
+/// chars, C strings and raw identifiers. Returns `None` when the cursor
+/// is not at such a prefix, leaving it untouched.
+fn take_prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let c = cur.peek(0)?;
+    let prefix_len = match c {
+        'r' | 'b' | 'c' => {
+            if (c == 'b' || c == 'c') && cur.peek(1) == Some('r') {
+                2
+            } else {
+                1
+            }
+        }
+        _ => return None,
+    };
+    let has_r = c == 'r' || (prefix_len == 2 && cur.peek(1) == Some('r'));
+    // Count a hash fence after the prefix (raw strings / raw idents).
+    let mut hashes = 0usize;
+    while cur.peek(prefix_len + hashes) == Some('#') {
+        hashes += 1;
+    }
+    let after = cur.peek(prefix_len + hashes);
+    if has_r && after == Some('"') {
+        return Some(take_raw_string(cur, prefix_len, hashes, line, col));
+    }
+    if c == 'r' && prefix_len == 1 && hashes == 1 && after.map(is_ident_start) == Some(true) {
+        // Raw identifier `r#ident`.
+        let mut text = String::new();
+        text.push(cur.bump()?); // r
+        cur.bump(); // #
+        text.push('#');
+        while let Some(n) = cur.peek(0) {
+            if !is_ident_continue(n) {
+                break;
+            }
+            text.push(n);
+            cur.bump();
+        }
+        return Some(Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+            col,
+        });
+    }
+    if hashes == 0 && !has_r {
+        // `b"…"`, `c"…"`, `b'…'`.
+        match cur.peek(prefix_len) {
+            Some('"') => {
+                let mut tok = {
+                    cur.bump();
+                    take_string(cur, line, col)
+                };
+                tok.text.insert(0, c);
+                return Some(tok);
+            }
+            Some('\'') if c == 'b' => {
+                cur.bump();
+                let mut tok = take_quote(cur, line, col);
+                tok.kind = TokKind::Char;
+                tok.text.insert(0, 'b');
+                return Some(tok);
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn take_raw_string(cur: &mut Cursor, prefix_len: usize, hashes: usize, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    for _ in 0..prefix_len + hashes + 1 {
+        if let Some(ch) = cur.bump() {
+            text.push(ch);
+        }
+    }
+    // Body runs, escape-free, until `"` followed by the same fence.
+    'body: while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            let mut matched = true;
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some('#') {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                for _ in 0..hashes + 1 {
+                    if let Some(q) = cur.bump() {
+                        text.push(q);
+                    }
+                }
+                break 'body;
+            }
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn take_ident(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn take_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else if c == '.'
+            && cur.peek(1).map(|d| d.is_ascii_digit()) == Some(true)
+            && !text.contains('.')
+        {
+            // `1.5` but not the range `0..10` (second char is `.`) and
+            // not a method call `1.0_f64.sqrt()` (already has a dot).
+            text.push(c);
+            cur.bump();
+        } else if (c == '+' || c == '-')
+            && matches!(text.chars().last(), Some('e') | Some('E'))
+            && (text.contains('.') || text.starts_with(|d: char| d.is_ascii_digit()))
+        {
+            // Float exponent sign: `1e-9`, `2.5E+3`.
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Num,
+        text,
+        line,
+        col,
+    }
+}
+
+fn take_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q); // opening quote
+    }
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime/label) after a
+/// single quote.
+fn take_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume `\x`, then everything up to
+            // the closing quote (covers `\x41`, `\u{1F600}`, `\n`, `\'`).
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            while let Some(c) = cur.peek(0) {
+                text.push(c);
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if cur.peek(1) == Some('\'') => {
+            // `'x'` — exactly one char then a closing quote. This wins
+            // over the lifetime reading (`'a` followed by `'b'` never
+            // parses this way in real code).
+            text.push(c);
+            cur.bump();
+            text.push('\'');
+            cur.bump();
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // Lifetime or loop label: `'a`, `'static`, `'outer`.
+            while let Some(n) = cur.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            }
+        }
+        _ => Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+fn take_punct(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let c = cur.bump().unwrap_or(' ');
+    let mut text = String::from(c);
+    // Only the two-char puncts the lints care about are fused; all other
+    // punctuation stays one char per token.
+    if (c == ':' && cur.peek(0) == Some(':')) || (c == '=' && cur.peek(0) == Some('>')) {
+        if let Some(second) = cur.bump() {
+            text.push(second);
+        }
+    }
+    Tok {
+        kind: TokKind::Punct,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Computes, for each token, whether it sits inside test-only code: an
+/// item annotated `#[test]`/`#[cfg(test)]` (or any attribute whose
+/// argument list mentions `test`, e.g. `#[cfg(any(test, fuzzing))]`).
+///
+/// The marked region runs from the attribute through the end of the
+/// annotated item — either the matching `}` of its first block or a `;`
+/// at item depth — so a `#[cfg(test)] mod tests { … }` masks its whole
+/// body.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[")) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute to its matching `]`.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut bracket_depth = 1usize;
+        let mut mentions_test = false;
+        while j < toks.len() && bracket_depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => bracket_depth += 1,
+                "]" => bracket_depth -= 1,
+                "test" if toks[j].kind == TokKind::Ident => {
+                    // `#[cfg(not(test))]` gates *production* code; only a
+                    // positive `test` mention marks a test region.
+                    let negated = j >= 2 && toks[j - 1].text == "(" && toks[j - 2].text == "not";
+                    if !negated {
+                        mentions_test = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while j < toks.len()
+            && toks[j].text == "#"
+            && toks.get(j + 1).map(|t| t.text.as_str()) == Some("[")
+        {
+            let mut depth = 1usize;
+            j += 2;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Consume the annotated item: to the matching `}` of its first
+        // brace, or to a `;` before any brace opens.
+        let mut brace_depth = 0usize;
+        let mut saw_brace = false;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => {
+                    brace_depth += 1;
+                    saw_brace = true;
+                }
+                "}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if saw_brace && brace_depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                ";" if !saw_brace => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(j).skip(attr_start) {
+            *m = true;
+        }
+        i = j;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comment_sequences_inside_strings_are_not_comments() {
+        let l = lex(r#"let url = "https://example.org"; x()"#);
+        assert!(l.comments.is_empty());
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("https://")));
+    }
+
+    #[test]
+    fn block_comment_openers_inside_strings_are_not_comments() {
+        let l = lex(r#"let s = "/* not a comment */"; y"#);
+        assert!(l.comments.is_empty());
+        assert!(l.toks.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_embedded_quotes() {
+        let l = lex(r###"let s = r#"she said "hi" // not a comment"#; z"###);
+        assert!(l.comments.is_empty());
+        let s = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string token");
+        assert!(s.text.contains(r#""hi""#));
+        assert!(l.toks.iter().any(|t| t.text == "z"));
+    }
+
+    #[test]
+    fn raw_string_backslash_is_not_an_escape() {
+        // In a cooked string `"\"` would swallow the quote; raw must not.
+        let l = lex(r#"let s = r"\"; tail"#);
+        assert!(l.toks.iter().any(|t| t.text == "tail"));
+    }
+
+    #[test]
+    fn raw_identifier_vs_raw_string() {
+        let toks = kinds_and_texts(r##"r#match r"str" r#"raw"#"##);
+        assert_eq!(toks[0], (TokKind::Ident, "r#match".into()));
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::Str);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds_and_texts(r"fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds_and_texts(r"'\n' '\'' '\u{1F600}' 'static");
+        assert_eq!(toks[0], (TokKind::Char, r"'\n'".into()));
+        assert_eq!(toks[1], (TokKind::Char, r"'\''".into()));
+        assert_eq!(toks[2].0, TokKind::Char);
+        assert_eq!(toks[3], (TokKind::Lifetime, "'static".into()));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds_and_texts(r##"b'x' b"bytes" br#"raw bytes"# "##);
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::Str);
+    }
+
+    #[test]
+    fn fused_puncts_and_numbers() {
+        let toks = kinds_and_texts("Ordering::Relaxed => 1.5e-3 0..10 x.0");
+        assert!(toks.contains(&(TokKind::Punct, "::".into())));
+        assert!(toks.contains(&(TokKind::Punct, "=>".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3".into())));
+        // `0..10` must not lex `0.` as a float.
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Num, "10".into())));
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let l = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn inner() { x.unwrap(); } }\nfn live2() {}";
+        let l = lex(src);
+        let mask = test_mask(&l.toks);
+        let masked: Vec<_> = l
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"unwrap"));
+        assert!(!masked.contains(&"live"));
+        assert!(!masked.contains(&"live2"));
+    }
+
+    #[test]
+    fn test_mask_covers_test_fn_and_stacked_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { panic!(\"x\") }\nfn fine() {}";
+        let l = lex(src);
+        let mask = test_mask(&l.toks);
+        let unmasked: Vec<_> = l
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| !**m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(unmasked.contains(&"fine"));
+        assert!(!unmasked.contains(&"panic"));
+    }
+}

@@ -1,0 +1,166 @@
+//! `ss-analyze`: the workspace static-analysis gate.
+//!
+//! A zero-dependency engine — hand-rolled Rust [`lexer`], minimal
+//! [`manifest`] reader, [`lints`] A1–A6 plus suppression hygiene (A0) —
+//! that mechanically checks the invariants the skimmed-sketch serving
+//! stack depends on: justified atomic orderings, panic-free hot paths,
+//! telemetry feature-edge discipline, lock-free hot paths, overflow-safe
+//! codec arithmetic, and exhaustive wire-frame matches. See DESIGN.md
+//! §10 for the invariant catalog and the suppression/baseline policy.
+//!
+//! The engine is purely lexical (the offline build environment rules
+//! out `syn`) and purely deterministic: same tree, same findings, in
+//! path/line order.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod manifest;
+pub mod source;
+pub mod suppress;
+pub mod walk;
+
+use findings::{lint_info, Finding, Severity};
+use manifest::Manifest;
+use source::SourceFile;
+use std::io;
+use std::path::Path;
+use suppress::FileSuppressions;
+
+/// The outcome of analyzing a workspace (before baseline subtraction).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by (path, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Number of Rust sources analyzed.
+    pub sources: usize,
+    /// Number of manifests analyzed.
+    pub manifests: usize,
+}
+
+/// Runs every lint over the workspace rooted at `root`.
+pub fn analyze(root: &Path) -> io::Result<Analysis> {
+    let inputs = walk::collect(root)?;
+    let files: Vec<SourceFile> = inputs
+        .sources
+        .iter()
+        .map(|i| SourceFile::parse(&i.path, &i.text))
+        .collect();
+    let manifests: Vec<Manifest> = inputs
+        .manifests
+        .iter()
+        .map(|i| manifest::parse(&i.path, &i.text))
+        .collect();
+    Ok(analyze_parsed(&files, &manifests))
+}
+
+/// Analysis over already-parsed inputs (the test seam: fixtures build
+/// [`SourceFile`]s and [`Manifest`]s directly from strings).
+pub fn analyze_parsed(files: &[SourceFile], manifests: &[Manifest]) -> Analysis {
+    let variants = files
+        .iter()
+        .find(|f| f.path.ends_with("wire/src/frame.rs"))
+        .map(lints::frame_variants)
+        .unwrap_or_default();
+
+    let mut out = Vec::new();
+    for file in files {
+        let mut raw = Vec::new();
+        raw.extend(lints::a1_atomic_ordering(file));
+        raw.extend(lints::a2_panic_free(file));
+        raw.extend(lints::a4_blocking_hot_path(file));
+        raw.extend(lints::a5_numeric_narrowing(file));
+        raw.extend(lints::a6_frame_exhaustive(file, &variants));
+        out.extend(filter_suppressed(raw, &file.path, &file.suppressions));
+    }
+
+    // A3 findings anchor in manifests; route each through the
+    // suppression table of the manifest it landed in.
+    let a3 = lints::a3_telemetry_edges(manifests);
+    for m in manifests {
+        let sups = FileSuppressions::new(m.suppressions.clone());
+        let mine: Vec<Finding> = a3.iter().filter(|f| f.path == m.path).cloned().collect();
+        out.extend(filter_suppressed(mine, &m.path, &sups));
+    }
+
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
+    });
+    Analysis {
+        findings: out,
+        sources: files.len(),
+        manifests: manifests.len(),
+    }
+}
+
+/// Drops findings covered by a suppression, then reports suppression
+/// hygiene: malformed directives, unknown lint ids, and suppressions
+/// that covered nothing (stale).
+fn filter_suppressed(raw: Vec<Finding>, path: &str, sups: &FileSuppressions) -> Vec<Finding> {
+    let mut used = vec![false; sups.entries.len()];
+    let mut out = Vec::new();
+    for f in raw {
+        let hit = sups
+            .entries
+            .iter()
+            .position(|s| s.applies_to == f.line && s.lints.iter().any(|l| l == f.lint));
+        match hit {
+            Some(i) => used[i] = true,
+            None => out.push(f),
+        }
+    }
+    for bad in &sups.bad {
+        out.push(Finding {
+            lint: "a0-bad-suppression",
+            severity: Severity::Error,
+            path: path.to_string(),
+            line: bad.line,
+            col: 1,
+            message: format!(
+                "malformed suppression: {}",
+                bad.problem.unwrap_or("unparseable directive")
+            ),
+            hint: lint_info("a0-bad-suppression")
+                .map(|l| l.hint)
+                .unwrap_or(""),
+        });
+    }
+    for (i, s) in sups.entries.iter().enumerate() {
+        let unknown: Vec<&str> = s
+            .lints
+            .iter()
+            .map(String::as_str)
+            .filter(|l| lint_info(l).is_none())
+            .collect();
+        if !unknown.is_empty() {
+            out.push(Finding {
+                lint: "a0-unknown-lint",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "suppression names unknown lint id(s): {}",
+                    unknown.join(", ")
+                ),
+                hint: lint_info("a0-unknown-lint").map(|l| l.hint).unwrap_or(""),
+            });
+        } else if !used[i] {
+            out.push(Finding {
+                lint: "a0-unused-suppression",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: s.line,
+                col: 1,
+                message: format!("suppression for {} matches no finding", s.lints.join(", ")),
+                hint: lint_info("a0-unused-suppression")
+                    .map(|l| l.hint)
+                    .unwrap_or(""),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,229 @@
+//! CLI for the workspace static-analysis gate.
+//!
+//! ```text
+//! cargo run -p ss-analyze -- check             # the gate: exit 2 on new findings
+//! cargo run -p ss-analyze -- report --json     # machine-readable summary
+//! cargo run -p ss-analyze -- baseline --write  # regenerate the baseline file
+//! cargo run -p ss-analyze -- lints             # print the lint catalog
+//! ```
+//!
+//! `check` subtracts the checked-in baseline
+//! (`crates/analysis/baseline.txt`); policy is ratchet-only and the
+//! baseline ships empty. Exit codes: 0 clean, 1 usage/IO error, 2 new
+//! findings.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use ss_analyze::findings::{apply_baseline, parse_baseline, Finding, LINTS};
+use ss_analyze::{analyze, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_REL: &str = "crates/analysis/baseline.txt";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut json = false;
+    let mut write = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "report" | "baseline" | "lints" if cmd.is_none() => cmd = Some(a.to_string()),
+            "--root" => root = it.next().map(PathBuf::from),
+            "--json" => json = true,
+            "--write" => write = true,
+            other => {
+                eprintln!("ss-analyze: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(cmd) = cmd else {
+        return usage();
+    };
+    if cmd == "lints" {
+        for l in LINTS {
+            println!("{:<24} {}", l.id, l.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| walk::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("ss-analyze: could not locate the workspace root (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match analyze(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ss-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = root.join(BASELINE_REL);
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default();
+
+    match cmd.as_str() {
+        "baseline" if write => {
+            let mut text = String::from(
+                "# ss-analyze baseline: fingerprints of findings the gate tolerates.\n\
+                 # Policy is ratchet-only (CI asserts this file never grows); new code\n\
+                 # must use `// ss-analyze: allow(<lint>) -- <reason>` instead.\n",
+            );
+            for f in &analysis.findings {
+                text.push_str(&f.fingerprint());
+                text.push('\n');
+            }
+            if let Err(e) = std::fs::write(&baseline_path, text) {
+                eprintln!("ss-analyze: writing baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} entries to {}",
+                analysis.findings.len(),
+                baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        "baseline" => {
+            println!("{} baseline entries", baseline.len());
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let (new, old, stale) = apply_baseline(analysis.findings, &baseline);
+            for f in &new {
+                println!("{f}");
+            }
+            for s in &stale {
+                println!("warning: stale baseline entry (fix landed — remove it): {s}");
+            }
+            println!(
+                "ss-analyze: {} source files, {} manifests; {} new finding(s), \
+                 {} baselined, {} stale baseline entr(ies)",
+                analysis.sources,
+                analysis.manifests,
+                new.len(),
+                old.len(),
+                stale.len()
+            );
+            if new.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        "report" => {
+            let (new, old, stale) = apply_baseline(analysis.findings.clone(), &baseline);
+            if json {
+                println!(
+                    "{}",
+                    render_json(
+                        &analysis.findings,
+                        &new,
+                        &old,
+                        &stale,
+                        baseline.len(),
+                        analysis.sources,
+                        analysis.manifests
+                    )
+                );
+            } else {
+                for f in &analysis.findings {
+                    println!("{f}");
+                }
+                println!(
+                    "{} finding(s) total, {} new",
+                    analysis.findings.len(),
+                    new.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ss-analyze <check|report|baseline|lints> [--root <path>] [--json] [--write]");
+    ExitCode::FAILURE
+}
+
+/// Minimal JSON escaping for finding messages and paths.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    all: &[Finding],
+    new: &[Finding],
+    old: &[Finding],
+    stale: &[String],
+    baseline_entries: usize,
+    sources: usize,
+    manifests: usize,
+) -> String {
+    let mut per_lint: Vec<(&str, usize)> = Vec::new();
+    for l in LINTS {
+        let n = all.iter().filter(|f| f.lint == l.id).count();
+        if n > 0 {
+            per_lint.push((l.id, n));
+        }
+    }
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"sources\": {sources},\n"));
+    s.push_str(&format!("  \"manifests\": {manifests},\n"));
+    s.push_str(&format!("  \"total_findings\": {},\n", all.len()));
+    s.push_str(&format!("  \"new_findings\": {},\n", new.len()));
+    s.push_str(&format!("  \"baselined_findings\": {},\n", old.len()));
+    s.push_str(&format!("  \"baseline_entries\": {baseline_entries},\n"));
+    s.push_str(&format!("  \"stale_baseline_entries\": {},\n", stale.len()));
+    s.push_str("  \"per_lint\": {");
+    s.push_str(
+        &per_lint
+            .iter()
+            .map(|(id, n)| format!("\"{id}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    s.push_str("},\n  \"findings\": [\n");
+    let rendered: Vec<String> = new
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"lint\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+                f.lint,
+                f.severity,
+                esc(&f.path),
+                f.line,
+                f.col,
+                esc(&f.message)
+            )
+        })
+        .collect();
+    s.push_str(&rendered.join(",\n"));
+    s.push_str("\n  ]\n}");
+    s
+}

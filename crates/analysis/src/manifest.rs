@@ -1,0 +1,368 @@
+//! A minimal `Cargo.toml` reader for the dependency-edge lint.
+//!
+//! This is not a general TOML parser: it understands exactly the subset
+//! cargo manifests in this workspace use — section headers, `key =
+//! value` with strings/booleans, dotted keys (`foo.workspace = true`),
+//! inline tables (`{ path = "…", default-features = false }`),
+//! `[dependencies.foo]` sub-sections, and (possibly multiline) string
+//! arrays for `[features]`. Comments are stripped quote-aware, and
+//! `# ss-analyze: allow(...)` suppressions are collected with the same
+//! trailing/standalone semantics as in Rust sources.
+
+use crate::suppress::{parse_suppression, RawSuppression};
+use std::collections::BTreeMap;
+
+/// One dependency edge declared in a manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Dep {
+    /// The dependency's package name (the table key; `package = "…"`
+    /// renames are not used in this workspace).
+    pub name: String,
+    /// 1-based manifest line the edge is declared on.
+    pub line: u32,
+    /// `workspace = true` — the edge inherits `[workspace.dependencies]`.
+    pub workspace: bool,
+    /// Explicit `default-features = …` on the edge, if any.
+    pub default_features: Option<bool>,
+}
+
+/// The parts of a `Cargo.toml` the lints look at.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Repo-relative path of the manifest.
+    pub path: String,
+    /// `[package] name`, absent for a virtual manifest.
+    pub package_name: Option<String>,
+    /// `[features]`: feature name → list of enabled features/edges.
+    pub features: BTreeMap<String, Vec<String>>,
+    /// `[dependencies]` edges.
+    pub deps: Vec<Dep>,
+    /// `[dev-dependencies]` edges.
+    pub dev_deps: Vec<Dep>,
+    /// `[workspace.dependencies]` entries (only on the root manifest).
+    pub workspace_deps: Vec<Dep>,
+    /// `# ss-analyze: allow(...)` suppressions found in the manifest.
+    pub suppressions: Vec<RawSuppression>,
+}
+
+/// Splits a line into (content, comment) at the first `#` outside a
+/// double-quoted string.
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..i], Some(&line[i + 1..])),
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Section {
+    Package,
+    Deps,
+    DevDeps,
+    WorkspaceDeps,
+    Features,
+    /// `[dependencies.foo]` — keys apply to one named dep.
+    OneDep,
+    Other,
+}
+
+/// Parses manifest text. `path` is recorded verbatim for findings.
+pub fn parse(path: &str, text: &str) -> Manifest {
+    let mut m = Manifest {
+        path: path.to_string(),
+        ..Manifest::default()
+    };
+    let mut section = Section::Other;
+    let mut dev = false;
+    // Pending standalone suppression comments waiting for the next
+    // significant line.
+    let mut pending: Vec<RawSuppression> = Vec::new();
+    // Accumulator for a multiline `feature = [ … ]` array.
+    let mut open_feature: Option<(String, String)> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let (content, comment) = split_comment(raw_line);
+        let content = content.trim();
+        if let Some(c) = comment {
+            if let Some(mut s) = parse_suppression(c, line_no) {
+                if content.is_empty() {
+                    pending.push(s);
+                } else {
+                    s.applies_to = line_no;
+                    m.suppressions.push(s);
+                }
+            }
+        }
+        if content.is_empty() {
+            continue;
+        }
+        // A pending standalone suppression applies to this line.
+        for mut s in pending.drain(..) {
+            s.applies_to = line_no;
+            m.suppressions.push(s);
+        }
+
+        if let Some((name, acc)) = open_feature.as_mut() {
+            acc.push(' ');
+            acc.push_str(content);
+            if balanced(acc) {
+                let items = parse_string_array(acc);
+                m.features.insert(name.clone(), items);
+                open_feature = None;
+            }
+            continue;
+        }
+
+        if content.starts_with('[') {
+            let header = content.trim_matches(|c| c == '[' || c == ']').trim();
+            section = match header {
+                "package" => Section::Package,
+                "dependencies" | "build-dependencies" => {
+                    dev = false;
+                    Section::Deps
+                }
+                "dev-dependencies" => {
+                    dev = true;
+                    Section::DevDeps
+                }
+                "workspace.dependencies" => Section::WorkspaceDeps,
+                "features" => Section::Features,
+                h if h.starts_with("dependencies.") || h.starts_with("dev-dependencies.") => {
+                    let (is_dev, name) = match h.strip_prefix("dependencies.") {
+                        Some(n) => (false, n),
+                        None => (true, h.trim_start_matches("dev-dependencies.")),
+                    };
+                    let dep = Dep {
+                        name: name.to_string(),
+                        line: line_no,
+                        ..Dep::default()
+                    };
+                    if is_dev {
+                        m.dev_deps.push(dep);
+                    } else {
+                        m.deps.push(dep);
+                    }
+                    dev = is_dev;
+                    Section::OneDep
+                }
+                _ => Section::Other,
+            };
+            continue;
+        }
+
+        let Some((key, value)) = content.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match section {
+            Section::Package => {
+                if key == "name" {
+                    m.package_name = Some(unquote(value));
+                }
+            }
+            Section::Deps | Section::DevDeps | Section::WorkspaceDeps => {
+                let (name, dotted) = match key.split_once('.') {
+                    Some((n, rest)) => (n.trim(), Some(rest.trim())),
+                    None => (key, None),
+                };
+                let mut dep = Dep {
+                    name: name.to_string(),
+                    line: line_no,
+                    ..Dep::default()
+                };
+                match dotted {
+                    // `foo.workspace = true`
+                    Some("workspace") => dep.workspace = value == "true",
+                    Some("default-features") => dep.default_features = Some(value == "true"),
+                    Some(_) => {}
+                    None => {
+                        if value.starts_with('{') {
+                            apply_inline_table(&mut dep, value);
+                        }
+                        // A bare version string needs no fields.
+                    }
+                }
+                match section {
+                    Section::WorkspaceDeps => m.workspace_deps.push(dep),
+                    _ if dev => m.dev_deps.push(dep),
+                    _ => m.deps.push(dep),
+                }
+            }
+            Section::OneDep => {
+                let target = if dev {
+                    m.dev_deps.last_mut()
+                } else {
+                    m.deps.last_mut()
+                };
+                if let Some(dep) = target {
+                    match key {
+                        "workspace" => dep.workspace = value == "true",
+                        "default-features" => dep.default_features = Some(value == "true"),
+                        _ => {}
+                    }
+                }
+            }
+            Section::Features => {
+                if value.starts_with('[') && !balanced(value) {
+                    open_feature = Some((unquote(key), value.to_string()));
+                } else {
+                    m.features.insert(unquote(key), parse_string_array(value));
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    m
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+/// `true` when every `[` in `s` outside strings has a matching `]`.
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Extracts the quoted strings of a `[ "a", "b" ]` array.
+fn parse_string_array(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                if in_str {
+                    out.push(std::mem::take(&mut cur));
+                }
+                in_str = !in_str;
+            }
+            _ if in_str => cur.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Applies the keys of an inline table `{ path = "…", workspace = true,
+/// default-features = false, … }` to `dep`.
+fn apply_inline_table(dep: &mut Dep, value: &str) {
+    let body = value.trim_start_matches('{').trim_end_matches('}');
+    // Split on commas outside strings and brackets (features arrays).
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else {
+            continue;
+        };
+        match (k.trim(), v.trim()) {
+            ("workspace", v) => dep.workspace = v == "true",
+            ("default-features", v) => dep.default_features = Some(v == "true"),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "demo"
+
+[dependencies]
+plain = "1.0"
+ws-dep.workspace = true
+inline = { path = "../x", default-features = false, features = ["a"] }
+
+[dependencies.sectioned]
+workspace = true
+default-features = false
+
+[dev-dependencies]
+dev-inline = { path = "../y", default-features = false }
+
+[features]
+default = ["telemetry"]
+telemetry = [
+    "stream-telemetry/enabled",
+    "inline/telemetry",
+]
+"#;
+
+    #[test]
+    fn parses_all_dependency_forms() {
+        let m = parse("Cargo.toml", SAMPLE);
+        assert_eq!(m.package_name.as_deref(), Some("demo"));
+        let by_name = |n: &str| m.deps.iter().find(|d| d.name == n).expect(n);
+        assert!(by_name("ws-dep").workspace);
+        assert_eq!(by_name("inline").default_features, Some(false));
+        let sectioned = by_name("sectioned");
+        assert!(sectioned.workspace);
+        assert_eq!(sectioned.default_features, Some(false));
+        assert_eq!(m.dev_deps.len(), 1);
+        assert_eq!(m.dev_deps[0].default_features, Some(false));
+    }
+
+    #[test]
+    fn parses_multiline_feature_arrays() {
+        let m = parse("Cargo.toml", SAMPLE);
+        let telem = &m.features["telemetry"];
+        assert_eq!(telem.len(), 2);
+        assert!(telem.contains(&"inline/telemetry".to_string()));
+    }
+
+    #[test]
+    fn collects_toml_suppressions() {
+        let src = "\n[dependencies]\n# ss-analyze: allow(a3-telemetry-edge) -- vendored shim\nfoo = \"1\"\nbar = \"1\" # ss-analyze: allow(a3-telemetry-edge) -- trailing\n";
+        let m = parse("Cargo.toml", src);
+        assert_eq!(m.suppressions.len(), 2);
+        assert_eq!(m.suppressions[0].applies_to, 4); // standalone → next line
+        assert_eq!(m.suppressions[1].applies_to, 5); // trailing → own line
+    }
+
+    #[test]
+    fn comments_inside_strings_are_not_comments() {
+        let m = parse("Cargo.toml", "[package]\nname = \"has#hash\"\n");
+        assert_eq!(m.package_name.as_deref(), Some("has#hash"));
+    }
+}

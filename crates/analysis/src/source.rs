@@ -1,0 +1,189 @@
+//! Per-file analysis context: tokens, test mask, attached comments and
+//! suppressions with their target lines resolved.
+
+use crate::lexer::{lex, test_mask, Comment, Lexed, Tok};
+use crate::suppress::{parse_suppression, FileSuppressions, RawSuppression};
+
+/// One Rust source file, lexed and indexed for the lints.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path.
+    pub path: String,
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// `mask[i]` — token `i` sits inside `#[test]`/`#[cfg(test)]` code.
+    pub mask: Vec<bool>,
+    /// Indexed `ss-analyze: allow(...)` directives.
+    pub suppressions: FileSuppressions,
+}
+
+/// `true` for rustdoc comments, which never carry live directives —
+/// they *describe* the suppression syntax (as this sentence does), so
+/// reading them as directives would turn documentation into stale
+/// suppressions.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+impl SourceFile {
+    /// Lexes `text` and resolves each suppression to the line it
+    /// covers: a trailing comment covers its own line, a standalone
+    /// comment covers the next line carrying a significant token.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let Lexed { toks, comments } = lex(text);
+        let mask = test_mask(&toks);
+        let mut raw: Vec<RawSuppression> = Vec::new();
+        for c in &comments {
+            if is_doc_comment(&c.text) {
+                continue;
+            }
+            if let Some(mut s) = parse_suppression(&c.text, c.line) {
+                if !c.trailing {
+                    s.applies_to = toks
+                        .iter()
+                        .find(|t| t.line > c.line)
+                        .map(|t| t.line)
+                        .unwrap_or(0);
+                }
+                raw.push(s);
+            }
+        }
+        SourceFile {
+            path: path.to_string(),
+            toks,
+            comments,
+            mask,
+            suppressions: FileSuppressions::new(raw),
+        }
+    }
+
+    /// All comment text attached to `line`: trailing comments on the
+    /// line itself plus the contiguous standalone comment block
+    /// directly above it (doc comments included — a justification may
+    /// live in rustdoc). Used by A1 to find `ordering:` justifications.
+    pub fn comments_attached(&self, line: u32) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        // The standalone block above: walk upward while each line going
+        // up holds a standalone comment.
+        let mut above: Vec<&str> = Vec::new();
+        let mut want = line;
+        for c in self.comments.iter().rev() {
+            if c.line >= line || c.trailing {
+                continue;
+            }
+            let end_line = c.line + c.text.matches('\n').count() as u32;
+            if end_line + 1 == want || end_line == want {
+                above.push(&c.text);
+                want = c.line;
+            } else if c.line < want {
+                break;
+            }
+        }
+        parts.extend(above.into_iter().rev());
+        parts.extend(
+            self.comments
+                .iter()
+                .filter(|c| c.trailing && c.line == line)
+                .map(|c| c.text.as_str()),
+        );
+        parts.join("\n")
+    }
+
+    /// `true` when the statement containing token `i` is a `use`
+    /// declaration (imports of `Ordering::Relaxed` etc. are not uses of
+    /// the ordering and carry no justification).
+    pub fn in_use_statement(&self, i: usize) -> bool {
+        let mut j = i;
+        while j > 0 {
+            let t = &self.toks[j - 1];
+            // Braces end the walk *except* inside a use-group
+            // (`use a::{B, C}`), recognisable by the `::` before `{`
+            // (and, for `}`, by still being short of any `;`).
+            if t.text == ";" {
+                break;
+            }
+            if t.text == "{"
+                && self.toks.get(j.wrapping_sub(2)).map(|p| p.text.as_str()) != Some("::")
+            {
+                break;
+            }
+            if t.text == "}" {
+                // A `}` inside a use-group is always followed (eventually)
+                // by `;` before any `{`; a block `}` is not worth chasing —
+                // treat it as a boundary unless the next token is `,` or
+                // `;`, which only use-groups produce after `}`.
+                let next = self.toks.get(j).map(|n| n.text.as_str());
+                if !matches!(next, Some(",") | Some(";") | Some("}")) {
+                    break;
+                }
+            }
+            j -= 1;
+        }
+        self.toks.get(j).map(|t| t.text.as_str()) == Some("use")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_suppression_covers_its_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = b.unwrap(); // ss-analyze: allow(a2-panic-free) -- test\n",
+        );
+        assert!(f.suppressions.is_suppressed("a2-panic-free", 1));
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let src =
+            "\n// ss-analyze: allow(a2-panic-free) -- reason\n// more prose\nlet a = b.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressions.is_suppressed("a2-panic-free", 4));
+        assert!(!f.suppressions.is_suppressed("a2-panic-free", 2));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// example: `// ss-analyze: allow(a2-panic-free) -- why`\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressions.entries.is_empty());
+        assert!(f.suppressions.bad.is_empty());
+    }
+
+    #[test]
+    fn attached_comments_span_block_above_and_trailing() {
+        let src = "// ordering: relaxed is fine here\nx.load(O); // and trailing\n";
+        let f = SourceFile::parse("x.rs", src);
+        let c = f.comments_attached(2);
+        assert!(c.contains("ordering:"));
+        assert!(c.contains("trailing"));
+    }
+
+    #[test]
+    fn use_statement_detection() {
+        let src = "use std::sync::atomic::Ordering::Relaxed;\nfn f() { x.load(Relaxed); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let first = f.toks.iter().position(|t| t.text == "Relaxed").unwrap();
+        let last = f.toks.iter().rposition(|t| t.text == "Relaxed").unwrap();
+        assert!(f.in_use_statement(first));
+        assert!(!f.in_use_statement(last));
+    }
+
+    #[test]
+    fn use_group_members_are_inside_the_use() {
+        let src = "use std::sync::{Arc, Mutex};\nfn f() { let m = Mutex::new(0); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let first = f.toks.iter().position(|t| t.text == "Mutex").unwrap();
+        let last = f.toks.iter().rposition(|t| t.text == "Mutex").unwrap();
+        assert!(f.in_use_statement(first));
+        assert!(!f.in_use_statement(last));
+    }
+}

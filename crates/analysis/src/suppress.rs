@@ -1,0 +1,120 @@
+//! Inline suppression comments.
+//!
+//! A finding is silenced with a justified allow comment:
+//!
+//! ```text
+//! // ss-analyze: allow(a2-panic-free) -- index bounded by the modulo above
+//! ```
+//!
+//! (in `Cargo.toml`, the same syntax after `#`). A *trailing* comment
+//! suppresses findings on its own line; a *standalone* comment
+//! suppresses the next line that carries code. The `-- reason` is
+//! mandatory: an allow without a written justification is itself a
+//! finding (`a0-bad-suppression`), so the suppression mechanism cannot
+//! silently erode the invariants it guards.
+
+/// One parsed `ss-analyze: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct RawSuppression {
+    /// Lint ids listed inside `allow(...)`.
+    pub lints: Vec<String>,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based line whose findings this comment suppresses.
+    pub applies_to: u32,
+    /// `None` when well-formed; otherwise why the comment is rejected
+    /// (rejected suppressions suppress nothing and are reported).
+    pub problem: Option<&'static str>,
+}
+
+/// Parses an `ss-analyze:` directive out of a comment's text, if one is
+/// present. `applies_to` is initialised to `line`; the caller adjusts it
+/// for standalone comments.
+pub fn parse_suppression(comment_text: &str, line: u32) -> Option<RawSuppression> {
+    let at = comment_text.find("ss-analyze:")?;
+    let rest = comment_text[at + "ss-analyze:".len()..].trim_start();
+    let mut sup = RawSuppression {
+        lints: Vec::new(),
+        line,
+        applies_to: line,
+        problem: None,
+    };
+    let Some(args) = rest.strip_prefix("allow(") else {
+        sup.problem = Some("expected `allow(<lint-id>, …)` after `ss-analyze:`");
+        return Some(sup);
+    };
+    let Some(close) = args.find(')') else {
+        sup.problem = Some("unclosed `allow(` — missing `)`");
+        return Some(sup);
+    };
+    sup.lints = args[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if sup.lints.is_empty() {
+        sup.problem = Some("`allow()` lists no lint ids");
+        return Some(sup);
+    }
+    let tail = args[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        sup.problem = Some("missing `-- <reason>` justification");
+        return Some(sup);
+    };
+    if reason.trim().is_empty() {
+        sup.problem = Some("empty `-- <reason>` justification");
+        return Some(sup);
+    }
+    Some(sup)
+}
+
+/// The suppressions of one file, indexed for lookup during linting.
+#[derive(Debug, Default)]
+pub struct FileSuppressions {
+    /// All well-formed suppressions.
+    pub entries: Vec<RawSuppression>,
+    /// Malformed directives, reported as `a0-bad-suppression`.
+    pub bad: Vec<RawSuppression>,
+}
+
+impl FileSuppressions {
+    /// Builds the index from raw parses, separating malformed ones.
+    pub fn new(raw: Vec<RawSuppression>) -> Self {
+        let (bad, entries) = raw.into_iter().partition(|s| s.problem.is_some());
+        FileSuppressions { entries, bad }
+    }
+
+    /// Is `lint` suppressed on `line`?
+    pub fn is_suppressed(&self, lint: &str, line: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|s| s.applies_to == line && s.lints.iter().any(|l| l == lint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed() {
+        let s = parse_suppression(
+            "// ss-analyze: allow(a1-atomic-ordering, a4-blocking-hot-path) -- startup only",
+            7,
+        )
+        .expect("directive");
+        assert!(s.problem.is_none());
+        assert_eq!(s.lints, ["a1-atomic-ordering", "a4-blocking-hot-path"]);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let s = parse_suppression("// ss-analyze: allow(a2-panic-free)", 3).expect("directive");
+        assert!(s.problem.is_some());
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        assert!(parse_suppression("// just a comment about allow lists", 1).is_none());
+    }
+}

@@ -1,0 +1,321 @@
+//! Golden fixtures: one pair per lint. Each lint gets a minimal source
+//! (or manifest) that must trigger exactly the expected finding, and a
+//! suppressed twin whose `ss-analyze: allow` directive must silence it
+//! without tripping the A0 hygiene lints. Together they pin both halves
+//! of the contract: true positives are caught, justified false
+//! positives stay quiet.
+
+use ss_analyze::manifest::{self, Manifest};
+use ss_analyze::source::SourceFile;
+use ss_analyze::{analyze_parsed, Analysis};
+
+fn run(files: &[(&str, &str)]) -> Analysis {
+    let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+    analyze_parsed(&parsed, &[])
+}
+
+fn run_manifests(manifests: &[(&str, &str)]) -> Analysis {
+    let parsed: Vec<Manifest> = manifests
+        .iter()
+        .map(|(p, s)| manifest::parse(p, s))
+        .collect();
+    analyze_parsed(&[], &parsed)
+}
+
+fn lints(a: &Analysis) -> Vec<&'static str> {
+    a.findings.iter().map(|f| f.lint).collect()
+}
+
+// ---------------------------------------------------------------- A1
+
+#[test]
+fn a1_unjustified_relaxed_is_caught() {
+    let a = run(&[(
+        "crates/core/src/thing.rs",
+        "fn f(x: &std::sync::atomic::AtomicU64) -> u64 {\n\
+         \u{20}   x.load(Ordering::Relaxed)\n\
+         }\n",
+    )]);
+    assert_eq!(lints(&a), ["a1-atomic-ordering"]);
+    assert_eq!(a.findings[0].line, 2);
+}
+
+#[test]
+fn a1_ordering_comment_and_suppression_are_both_honored() {
+    // A trailing `ordering:` justification satisfies the lint directly…
+    let a = run(&[(
+        "crates/core/src/thing.rs",
+        "fn f(x: &A) -> u64 { x.load(Ordering::Relaxed) } // ordering: monotone counter, no edge needed\n",
+    )]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // …and an explicit allow directive silences it too, without going
+    // stale (no a0-unused-suppression).
+    let b = run(&[(
+        "crates/core/src/thing.rs",
+        "// ss-analyze: allow(a1-atomic-ordering) -- fixture: justified elsewhere\n\
+         fn f(x: &A) -> u64 { x.load(Ordering::Relaxed) }\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ---------------------------------------------------------------- A2
+
+#[test]
+fn a2_unwrap_in_serving_code_is_caught() {
+    let a = run(&[(
+        "crates/server/src/lib.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )]);
+    assert_eq!(lints(&a), ["a2-panic-free"]);
+}
+
+#[test]
+fn a2_index_expression_is_caught_but_slice_pattern_is_not() {
+    let a = run(&[(
+        "crates/wire/src/frame.rs",
+        "fn f(v: &[u8]) -> u8 { v[0] }\n",
+    )]);
+    assert_eq!(lints(&a), ["a2-panic-free"]);
+    let b = run(&[(
+        "crates/wire/src/frame.rs",
+        "fn f(v: [u8; 2]) -> u8 { let [a, _b] = v; a }\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+#[test]
+fn a2_is_scoped_suppressed_and_test_masked() {
+    // Same source outside the serving crates: not a finding.
+    let a = run(&[(
+        "crates/bench/src/grid.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )]);
+    assert!(a.findings.is_empty());
+    // Suppression with a reason silences it in scope.
+    let b = run(&[(
+        "crates/ingest/src/lib.rs",
+        "fn f(x: Option<u8>) -> u8 {\n\
+         \u{20}   // ss-analyze: allow(a2-panic-free) -- fixture: invariant holds\n\
+         \u{20}   x.unwrap()\n\
+         }\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+    // `#[cfg(test)] mod tests` is masked wholesale.
+    let c = run(&[(
+        "crates/durability/src/wal.rs",
+        "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}\n",
+    )]);
+    assert!(c.findings.is_empty(), "{:?}", c.findings);
+}
+
+// ---------------------------------------------------------------- A3
+
+const A3_TELEMETRY_TOML: &str = "[package]\n\
+    name = \"stream-telemetry\"\n\
+    [features]\n\
+    enabled = []\n";
+
+#[test]
+fn a3_default_features_edge_is_caught() {
+    let a = run_manifests(&[
+        ("crates/telemetry/Cargo.toml", A3_TELEMETRY_TOML),
+        (
+            "crates/foo/Cargo.toml",
+            "[package]\n\
+             name = \"foo\"\n\
+             [dependencies]\n\
+             stream-telemetry = { path = \"../telemetry\" }\n",
+        ),
+    ]);
+    assert_eq!(lints(&a), ["a3-telemetry-edge"]);
+    assert_eq!(a.findings[0].path, "crates/foo/Cargo.toml");
+}
+
+#[test]
+fn a3_clean_edge_and_suppressed_edge_are_quiet() {
+    // default-features = false + gate forwarding: clean.
+    let a = run_manifests(&[
+        ("crates/telemetry/Cargo.toml", A3_TELEMETRY_TOML),
+        (
+            "crates/foo/Cargo.toml",
+            "[package]\n\
+             name = \"foo\"\n\
+             [dependencies]\n\
+             stream-telemetry = { path = \"../telemetry\", default-features = false }\n\
+             [features]\n\
+             telemetry = [\"stream-telemetry/enabled\"]\n",
+        ),
+    ]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // TOML suppressions use `#` comments and the same directive grammar.
+    let b = run_manifests(&[
+        ("crates/telemetry/Cargo.toml", A3_TELEMETRY_TOML),
+        (
+            "crates/foo/Cargo.toml",
+            "[package]\n\
+             name = \"foo\"\n\
+             [dependencies]\n\
+             # ss-analyze: allow(a3-telemetry-edge) -- fixture: intentional default edge\n\
+             stream-telemetry = { path = \"../telemetry\" }\n",
+        ),
+    ]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ---------------------------------------------------------------- A4
+
+#[test]
+fn a4_mutex_in_hot_path_is_caught() {
+    let a = run(&[(
+        "crates/sketches/src/agms.rs",
+        "fn f() { let _m = Mutex::new(0u8); }\n",
+    )]);
+    assert_eq!(lints(&a), ["a4-blocking-hot-path"]);
+}
+
+#[test]
+fn a4_use_statement_and_suppression_are_quiet() {
+    // `use std::sync::{Arc, Mutex};` is an import, not a lock.
+    let a = run(&[(
+        "crates/telemetry/src/gauges.rs",
+        "use std::sync::{Arc, Mutex};\nfn f() {}\n",
+    )]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    let b = run(&[(
+        "crates/core/src/estimator.rs",
+        "// ss-analyze: allow(a4-blocking-hot-path) -- fixture: cold registration path\n\
+         fn f() { let _m = Mutex::new(0u8); }\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ---------------------------------------------------------------- A5
+
+#[test]
+fn a5_narrowing_cast_in_codec_is_caught() {
+    let a = run(&[(
+        "crates/sketches/src/codec.rs",
+        "fn f(x: u64) -> u32 { x as u32 }\n",
+    )]);
+    assert_eq!(lints(&a), ["a5-numeric-narrowing"]);
+}
+
+#[test]
+fn a5_scope_usize_and_suppression_are_quiet() {
+    // Out of scope (not a codec/estimator module): quiet.
+    let a = run(&[(
+        "crates/stream/src/model.rs",
+        "fn f(x: u64) -> u32 { x as u32 }\n",
+    )]);
+    assert!(a.findings.is_empty());
+    // `as usize` is sanctioned (bounds-checked at the use site).
+    let b = run(&[(
+        "crates/core/src/estimator.rs",
+        "fn f(x: u64) -> usize { x as usize }\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+    let c = run(&[(
+        "crates/core/src/dyadic.rs",
+        "// ss-analyze: allow(a5-numeric-narrowing) -- fixture: format-bounded field\n\
+         fn f(x: u64) -> u32 { x as u32 }\n",
+    )]);
+    assert!(c.findings.is_empty(), "{:?}", c.findings);
+}
+
+// ---------------------------------------------------------------- A6
+
+/// The fixture frame enum: three kinds, so a match naming only one and
+/// absorbing the rest with `_` is a hole.
+const A6_FRAME_RS: &str = "pub enum Frame {\n\
+    \u{20}   Hello,\n\
+    \u{20}   BatchAck { seq: u64 },\n\
+    \u{20}   Goodbye,\n\
+    }\n";
+
+#[test]
+fn a6_catch_all_over_frame_is_caught() {
+    let a = run(&[
+        ("crates/wire/src/frame.rs", A6_FRAME_RS),
+        (
+            "crates/server/src/lib.rs",
+            "fn f(fr: Frame) -> u8 {\n\
+             \u{20}   match fr {\n\
+             \u{20}       Frame::Hello => 1,\n\
+             \u{20}       _ => 0,\n\
+             \u{20}   }\n\
+             }\n",
+        ),
+    ]);
+    assert_eq!(lints(&a), ["a6-frame-exhaustive"]);
+    assert!(
+        a.findings[0].message.contains("BatchAck") && a.findings[0].message.contains("Goodbye"),
+        "{}",
+        a.findings[0].message
+    );
+}
+
+#[test]
+fn a6_exhaustive_match_and_suppression_are_quiet() {
+    // Naming every variant (struct patterns included) is clean even
+    // with no catch-all possible.
+    let a = run(&[
+        ("crates/wire/src/frame.rs", A6_FRAME_RS),
+        (
+            "crates/server/src/lib.rs",
+            "fn f(fr: Frame) -> u8 {\n\
+             \u{20}   match fr {\n\
+             \u{20}       Frame::Hello => 1,\n\
+             \u{20}       Frame::BatchAck { .. } => 2,\n\
+             \u{20}       Frame::Goodbye => 3,\n\
+             \u{20}   }\n\
+             }\n",
+        ),
+    ]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // A justified catch-all stays quiet via the directive on the arm.
+    let b = run(&[
+        ("crates/wire/src/frame.rs", A6_FRAME_RS),
+        (
+            "crates/server/src/lib.rs",
+            "fn f(fr: Frame) -> u8 {\n\
+             \u{20}   match fr {\n\
+             \u{20}       Frame::Hello => 1,\n\
+             \u{20}       // ss-analyze: allow(a6-frame-exhaustive) -- fixture: uniform rejection\n\
+             \u{20}       _ => 0,\n\
+             \u{20}   }\n\
+             }\n",
+        ),
+    ]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ------------------------------------------------------- A0 hygiene
+
+#[test]
+fn a0_stale_suppression_is_itself_a_finding() {
+    let a = run(&[(
+        "crates/core/src/estimator.rs",
+        "// ss-analyze: allow(a5-numeric-narrowing) -- fixture: nothing here narrows\n\
+         fn f(x: u64) -> u64 { x }\n",
+    )]);
+    assert_eq!(lints(&a), ["a0-unused-suppression"]);
+}
+
+#[test]
+fn a0_missing_reason_and_unknown_lint_are_findings() {
+    let a = run(&[(
+        "crates/core/src/estimator.rs",
+        "// ss-analyze: allow(a5-numeric-narrowing)\n\
+         fn f(x: u64) -> u32 { x as u32 }\n",
+    )]);
+    assert!(
+        lints(&a).contains(&"a0-bad-suppression"),
+        "{:?}",
+        a.findings
+    );
+    let b = run(&[(
+        "crates/core/src/estimator.rs",
+        "// ss-analyze: allow(a9-no-such-lint) -- fixture\nfn f(x: u64) -> u64 { x }\n",
+    )]);
+    assert!(lints(&b).contains(&"a0-unknown-lint"), "{:?}", b.findings);
+}

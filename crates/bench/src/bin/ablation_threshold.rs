@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin ablation_threshold [--paper]`
 
+#![forbid(unsafe_code)]
+
 use skimmed_sketch::{EstimatorConfig, ThresholdPolicy};
 use ss_bench::{skimmed_estimate, JoinWorkload, Scale};
 use stream_model::metrics::{ratio_error, Summary};

@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin anatomy [--paper]`
 
+#![forbid(unsafe_code)]
+
 use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
 use ss_bench::{JoinWorkload, Scale};
 use stream_model::metrics::ratio_error;

@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin census [--paper]`
 
+#![forbid(unsafe_code)]
+
 use ss_bench::{figures, JoinWorkload, Scale};
 
 fn main() {

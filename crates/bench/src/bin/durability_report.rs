@@ -21,6 +21,8 @@
 //! cargo run -p ss-bench --release --bin durability_report
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{SkimmedSchema, SkimmedSketch};

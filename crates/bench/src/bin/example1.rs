@@ -6,6 +6,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin example1`
 
+#![forbid(unsafe_code)]
+
 use skimmed_sketch::analysis::{agms_additive_error, SkimDecomposition};
 use skimmed_sketch::{
     estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch, ThresholdPolicy,

@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin fig5a [--paper]`
 
+#![forbid(unsafe_code)]
+
 use ss_bench::{figures, JoinWorkload, Scale};
 use stream_model::Domain;
 

@@ -5,6 +5,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin fig5b [--paper]`
 
+#![forbid(unsafe_code)]
+
 use ss_bench::{figures, JoinWorkload, Scale};
 use stream_model::Domain;
 

@@ -12,6 +12,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin ingest_report`
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

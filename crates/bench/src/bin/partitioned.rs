@@ -18,6 +18,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin partitioned [--paper]`
 
+#![forbid(unsafe_code)]
+
 use skimmed_sketch::EstimatorConfig;
 use ss_bench::{skimmed_estimate, JoinWorkload, Scale};
 use std::sync::Arc;

@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin scaling [--paper]`
 
+#![forbid(unsafe_code)]
+
 use skimmed_sketch::EstimatorConfig;
 use ss_bench::{compare_at_space, JoinWorkload, Scale};
 use stream_model::table::{fmt_f64, Table};

@@ -12,6 +12,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin selfjoin [--paper]`
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{estimate_self_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};

@@ -24,6 +24,8 @@
 //! (enabled) run reads it back and writes `BENCH_server.json` with both
 //! arms and the relative serving overhead.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};

@@ -22,6 +22,8 @@
 //! back and writes `BENCH_telemetry.json` with both arms and the relative
 //! overhead.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{

@@ -6,6 +6,8 @@
 //!
 //! Run: `cargo run -p ss-bench --release --bin thm34 [--paper]`
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::skim::skim_dense_scan;

@@ -6,7 +6,8 @@
 //! `ablation_threshold`, `anatomy`). Criterion micro-benchmarks live in
 //! `benches/`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod figures;

@@ -53,6 +53,7 @@ impl std::error::Error for SkimCodecError {}
 
 fn put_varint(buf: &mut BytesMut, mut x: u64) {
     loop {
+        // ss-analyze: allow(a5-numeric-narrowing) -- masked to 7 bits, fits u8 by construction
         let byte = (x & 0x7F) as u8;
         x >>= 7;
         if x == 0 {
@@ -70,7 +71,7 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, SkimCodecError> {
             return Err(SkimCodecError::Truncated);
         }
         let byte = buf.get_u8();
-        x |= ((byte & 0x7F) as u64) << shift;
+        x |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Ok(x);
         }
@@ -80,11 +81,13 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, SkimCodecError> {
 
 #[inline]
 fn zigzag(w: i64) -> u64 {
+    // ss-analyze: allow(a5-numeric-narrowing) -- deliberate two's-complement reinterpretation; zigzag is a bijection on the full 64-bit range
     ((w << 1) ^ (w >> 63)) as u64
 }
 
 #[inline]
 fn unzigzag(z: u64) -> i64 {
+    // ss-analyze: allow(a5-numeric-narrowing) -- inverse of the zigzag bijection; both casts reinterpret bits on purpose
     ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
 
@@ -99,13 +102,18 @@ pub fn encode_skimmed(sk: &SkimmedSketch) -> Bytes {
         ExtractionStrategy::NaiveScan => 0,
         ExtractionStrategy::Dyadic => 1,
     });
+    // ss-analyze: allow(a5-numeric-narrowing) -- `log2_size() <= 64` by `Domain`'s invariant, fits u8
     buf.put_u8(schema.domain().log2_size() as u8);
+    // ss-analyze: allow(a5-numeric-narrowing) -- header fields are u32 by format; a schema with 2^32 tables or buckets is not constructible in memory
     buf.put_u32_le(schema.base().tables() as u32);
+    // ss-analyze: allow(a5-numeric-narrowing) -- same u32 format bound as `tables`
     buf.put_u32_le(schema.base().buckets() as u32);
     buf.put_u64_le(schema.seed());
     buf.put_u64_le(sk.l1_mass());
+    // ss-analyze: allow(a5-numeric-narrowing) -- at most `log2(domain)+1 <= 65` levels, fits u16
     buf.put_u16_le(levels.len() as u16);
     for level in levels {
+        // ss-analyze: allow(a5-numeric-narrowing) -- per-level counter count is tables*buckets, already bounded by the u32 header fields above
         buf.put_u32_le(level.len() as u32);
         for &c in level {
             put_varint(&mut buf, zigzag(c));
@@ -133,7 +141,7 @@ pub fn decode_skimmed(mut buf: Bytes) -> Result<SkimmedSketch, SkimCodecError> {
         1 => ExtractionStrategy::Dyadic,
         s => return Err(SkimCodecError::BadStrategy(s)),
     };
-    let log2 = buf.get_u8() as u32;
+    let log2 = u32::from(buf.get_u8());
     let tables = buf.get_u32_le() as usize;
     let buckets = buf.get_u32_le() as usize;
     let seed = buf.get_u64_le();

@@ -35,10 +35,11 @@ impl DyadicSchema {
     /// buckets — no point hashing 4 intervals into 500 buckets.
     pub fn new(domain: Domain, tables: usize, buckets: usize, seed: u64) -> Arc<Self> {
         let root_seed =
-            |level: u32| seed ^ (0xD1AD1C00u64 + level as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            |level: u32| seed ^ (0xD1AD1C00u64 + u64::from(level)).wrapping_mul(0x9E3779B97F4A7C15);
         let levels = (0..domain.levels())
             .map(|level| {
                 let intervals = domain.intervals_at(level);
+                // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
                 let b = (buckets as u64).min(intervals.saturating_mul(2).max(2)) as usize;
                 HashSketchSchema::new(tables, b, root_seed(level))
             })
@@ -67,6 +68,7 @@ impl DyadicSchema {
 
     /// Number of levels.
     pub fn num_levels(&self) -> u32 {
+        // ss-analyze: allow(a5-numeric-narrowing) -- at most `log2(domain)+1 <= 65` levels
         self.levels.len() as u32
     }
 
@@ -153,8 +155,10 @@ impl DyadicHashSketch {
             // Counts the dyadic wrapper's own view (levels × tables per
             // update); the per-level HashSketch kernels additionally
             // report under sketch="hash".
+            // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
             updates.add(batch.len() as u64);
             let touched = batch.len() * self.sketches.len() * self.schema.base().tables();
+            // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
             bytes.add(8 * touched as u64);
         }
         let mut shifted: Vec<Update> = Vec::new();

@@ -34,7 +34,8 @@
 //! assert!(est.estimate > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod analysis;

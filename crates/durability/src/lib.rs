@@ -27,7 +27,8 @@
 //! this crate dependency-light and the codec authority where it already
 //! lives.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod fault;

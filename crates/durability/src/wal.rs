@@ -130,9 +130,10 @@ impl SnapshotBlob {
         entries.sort_by_key(|e| e.client_id);
         body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
         for e in &entries {
+            let [seq_f, seq_g] = e.last_seq;
             body.extend_from_slice(&e.client_id.to_le_bytes());
-            body.extend_from_slice(&e.last_seq[0].to_le_bytes());
-            body.extend_from_slice(&e.last_seq[1].to_le_bytes());
+            body.extend_from_slice(&seq_f.to_le_bytes());
+            body.extend_from_slice(&seq_g.to_le_bytes());
         }
         let mut out = Vec::with_capacity(18 + body.len());
         out.extend_from_slice(SNAP_MAGIC);
@@ -146,56 +147,77 @@ impl SnapshotBlob {
     /// Parses [`SnapshotBlob::encode`] bytes, verifying magic, version,
     /// length, and CRC. Any mismatch is `InvalidData`.
     pub fn decode(bytes: &[u8]) -> io::Result<Self> {
-        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-        if bytes.len() < 18 {
-            return Err(bad("snapshot shorter than its envelope"));
+        let mut env = SnapCursor { buf: bytes };
+        if env.take(4, "snapshot shorter than its envelope")? != SNAP_MAGIC {
+            return Err(bad_snapshot("bad snapshot magic"));
         }
-        if &bytes[0..4] != SNAP_MAGIC {
-            return Err(bad("bad snapshot magic"));
-        }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        let version = u16::from_le_bytes(env.array("snapshot shorter than its envelope")?);
         if version != SNAP_VERSION {
-            return Err(bad("unsupported snapshot version"));
+            return Err(bad_snapshot("unsupported snapshot version"));
         }
-        let stored_crc = u32::from_le_bytes(bytes[6..10].try_into().expect("4"));
-        let body_len = u64::from_le_bytes(bytes[10..18].try_into().expect("8")) as usize;
-        let body = bytes
-            .get(18..18 + body_len)
-            .ok_or_else(|| bad("snapshot body truncated"))?;
-        if bytes.len() != 18 + body_len {
-            return Err(bad("snapshot has trailing bytes"));
+        let stored_crc = u32::from_le_bytes(env.array("snapshot shorter than its envelope")?);
+        let body_len =
+            u64::from_le_bytes(env.array("snapshot shorter than its envelope")?) as usize;
+        let body = env.take(body_len, "snapshot body truncated")?;
+        if !env.buf.is_empty() {
+            return Err(bad_snapshot("snapshot has trailing bytes"));
         }
         if crc32(body) != stored_crc {
-            return Err(bad("snapshot body crc mismatch"));
+            return Err(bad_snapshot("snapshot body crc mismatch"));
         }
-        let mut at = 0usize;
-        let mut take = |n: usize| -> io::Result<&[u8]> {
-            let slice = body
-                .get(at..at + n)
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot body short"))?;
-            at += n;
-            Ok(slice)
-        };
+        let mut cur = SnapCursor { buf: body };
         let mut blobs: [Vec<u8>; 2] = [Vec::new(), Vec::new()];
         for blob in &mut blobs {
-            let len = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
-            *blob = take(len)?.to_vec();
+            let len = u64::from_le_bytes(cur.array("snapshot body short")?) as usize;
+            *blob = cur.take(len, "snapshot body short")?.to_vec();
         }
-        let n = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+        let n = u32::from_le_bytes(cur.array("snapshot body short")?) as usize;
         let mut dedup = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
-            let client_id = u64::from_le_bytes(take(8)?.try_into().expect("8"));
-            let seq_f = u64::from_le_bytes(take(8)?.try_into().expect("8"));
-            let seq_g = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+            let client_id = u64::from_le_bytes(cur.array("snapshot body short")?);
+            let seq_f = u64::from_le_bytes(cur.array("snapshot body short")?);
+            let seq_g = u64::from_le_bytes(cur.array("snapshot body short")?);
             dedup.push(DedupEntry {
                 client_id,
                 last_seq: [seq_f, seq_g],
             });
         }
-        if at != body.len() {
-            return Err(bad("snapshot body has trailing bytes"));
+        if !cur.buf.is_empty() {
+            return Err(bad_snapshot("snapshot body has trailing bytes"));
         }
         Ok(SnapshotBlob { blobs, dedup })
+    }
+}
+
+/// `InvalidData` with a static description — every snapshot-decode
+/// failure funnels through here.
+fn bad_snapshot(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Panic-free little-endian cursor over snapshot bytes: every read is a
+/// checked `split_at`, so a truncated or corrupt file surfaces as
+/// `InvalidData` instead of an index panic.
+struct SnapCursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> SnapCursor<'a> {
+    /// Consumes `n` bytes, or fails with `what`.
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad_snapshot(what));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Consumes exactly `N` bytes as a fixed array, or fails with `what`.
+    fn array<const N: usize>(&mut self, what: &str) -> io::Result<[u8; N]> {
+        self.take(N, what)?
+            .try_into()
+            .map_err(|_| bad_snapshot(what))
     }
 }
 
@@ -319,7 +341,10 @@ impl Wal {
             let bytes = fs::read(path)?;
             let mut at = 0usize;
             loop {
-                match Frame::decode(&bytes[at..], DEFAULT_MAX_PAYLOAD) {
+                // `at` only advances by decoded-frame lengths, so it never
+                // passes `bytes.len()`; `.get(..)` keeps that invariant
+                // panic-free even if a decoder bug broke it.
+                match Frame::decode(bytes.get(at..).unwrap_or_default(), DEFAULT_MAX_PAYLOAD) {
                     Ok((
                         Frame::UpdateBatch {
                             stream,

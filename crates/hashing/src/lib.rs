@@ -16,7 +16,8 @@
 //! the hypotheses of the skimmed-sketch error theorems (Thms 2–5 of
 //! Ganguly, Garofalakis & Rastogi, EDBT 2004).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bch;

@@ -30,7 +30,8 @@
 //! (that chunk is partially or wholly lost) instead of killing the
 //! process or poisoning [`IngestPool::finish`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
@@ -57,6 +58,10 @@ pub enum IngestError {
         /// Index of the dead worker.
         worker: usize,
     },
+    /// The pool has no workers, so there is no sketch to merge. The
+    /// constructor rejects zero-thread pools, so seeing this indicates a
+    /// construction bypass rather than a runtime fault.
+    NoWorkers,
 }
 
 impl std::fmt::Display for IngestError {
@@ -65,6 +70,7 @@ impl std::fmt::Display for IngestError {
             IngestError::WorkerPanicked { worker } => {
                 write!(f, "ingest worker {worker} panicked; its sketch is lost")
             }
+            IngestError::NoWorkers => write!(f, "ingest pool has no workers"),
         }
     }
 }
@@ -308,9 +314,14 @@ where
             m.queue_depth.add(1);
             m.batch_size.record(chunk.len() as u64);
         }
+        // ordering: Relaxed — the cursor is a load-balancing hint only; by
+        // sketch linearity the merged result is identical whichever worker
+        // takes the chunk, so no happens-before edge is required.
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        // ss-analyze: allow(a2-panic-free) -- `i` is reduced mod `senders.len()` and the constructor rejects zero workers; `send` only fails if a supervisor dropped its receiver, which would already be a supervision bug worth a loud stop
         self.senders[i]
             .send(Msg::Batch(chunk))
+            // ss-analyze: allow(a2-panic-free) -- send fails only if the supervisor dropped its receiver; supervision restarts workers for the life of the pool, so a failure here is a supervision bug that must stop the process, not lose the chunk silently
             .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
     }
 
@@ -329,10 +340,13 @@ where
             return Ok(());
         }
         let n = self.senders.len();
+        // ordering: Relaxed — same as `dispatch`: the cursor only spreads
+        // load; correctness never depends on which worker wins the race.
         let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
         let len = chunk.len() as u64;
         let mut msg = Msg::Batch(chunk);
         for off in 0..n {
+            // ss-analyze: allow(a2-panic-free) -- `(start + off) % n` is in bounds by the modulus; the constructor rejects zero workers
             match self.senders[(start + off) % n].try_send(msg) {
                 Ok(()) => {
                     self.dispatched.fetch_add(1, Ordering::Release);
@@ -344,11 +358,13 @@ where
                 }
                 Err(TrySendError::Full(m)) => msg = m,
                 Err(TrySendError::Disconnected(_)) => {
+                    // ss-analyze: allow(a2-panic-free) -- disconnection means the supervisor dropped its receiver mid-lifetime, a supervision bug; stopping loudly beats silently dropping acknowledged-to-caller capacity
                     unreachable!("worker alive while pool holds its sender")
                 }
             }
         }
         let Msg::Batch(chunk) = msg else {
+            // ss-analyze: allow(a2-panic-free) -- `msg` is constructed as `Msg::Batch` a few lines up and only ever reassigned from `TrySendError::Full`, which returns the same value
             unreachable!("try_dispatch only carries batches")
         };
         Err(chunk)
@@ -419,7 +435,7 @@ where
                 Some(m) => m.merge_from(&part),
             }
         }
-        Ok(merged.expect("pool has at least one worker"))
+        merged.ok_or(IngestError::NoWorkers)
     }
 
     /// Stops the workers and returns the merged sketch of everything
@@ -446,7 +462,7 @@ where
         if let Some(worker) = lost {
             return Err(IngestError::WorkerPanicked { worker });
         }
-        Ok(merged.expect("pool has at least one worker"))
+        merged.ok_or(IngestError::NoWorkers)
     }
 }
 
@@ -483,11 +499,14 @@ where
             .collect();
         handles
             .into_iter()
+            // ss-analyze: allow(a2-panic-free) -- one-shot research/bench path (not the serving pool): a worker panic here is a sketch bug and re-propagating it to the caller is the correct behaviour
             .map(|h| h.join().expect("ingest worker panicked"))
             .collect::<Vec<S>>()
     })
+    // ss-analyze: allow(a2-panic-free) -- crossbeam's scope only errs when a child panicked, which the join above already re-propagated
     .expect("ingest scope");
     let mut parts = parts.into_iter();
+    // ss-analyze: allow(a2-panic-free) -- `threads > 0` is asserted at entry, so one part per worker exists
     let mut merged = parts.next().expect("at least one worker");
     for part in parts {
         merged.merge_from(&part);

@@ -7,7 +7,8 @@
 //! the chain multi-join extension of Dobra et al. that §1/§6 of the paper
 //! point to.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod continuous;

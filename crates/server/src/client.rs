@@ -308,6 +308,7 @@ impl ServerClient {
                 client.info = info;
                 Ok(client)
             }
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("handshake reply")),
         }
     }
@@ -324,6 +325,7 @@ impl ServerClient {
 
     /// The next sequence number this session will assign for `stream`.
     pub fn next_seq(&self, stream: StreamId) -> u64 {
+        // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
         self.next_seq[stream as usize]
     }
 
@@ -380,6 +382,7 @@ impl ServerClient {
                 self.next_seq = [last_seq_f + 1, last_seq_g + 1];
                 Ok((last_seq_f, last_seq_g))
             }
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("resume reply")),
         }
     }
@@ -397,6 +400,7 @@ impl ServerClient {
     ) -> Result<BatchOutcome, ClientError> {
         let sequenced = self.config.client_id != 0;
         let seq = if sequenced {
+            // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
             self.next_seq[stream as usize]
         } else {
             0
@@ -410,11 +414,13 @@ impl ServerClient {
         match reply {
             Frame::BatchAck { accepted } => {
                 if sequenced {
+                    // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
                     self.next_seq[stream as usize] = seq + 1;
                 }
                 Ok(BatchOutcome::Accepted(accepted))
             }
             Frame::Throttle { pending, limit } => Ok(BatchOutcome::Throttled { pending, limit }),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("batch reply")),
         }
     }
@@ -471,6 +477,7 @@ impl ServerClient {
                 dense_f,
                 dense_g,
             }),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("join reply")),
         }
     }
@@ -479,6 +486,7 @@ impl ServerClient {
     pub fn query_self_join(&mut self, stream: StreamId) -> Result<f64, ClientError> {
         match self.call(&Frame::QuerySelfJoin { stream })? {
             Frame::Answer { estimate, .. } => Ok(estimate),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("self-join reply")),
         }
     }
@@ -496,6 +504,7 @@ impl ServerClient {
                 decode_skimmed(Bytes::from(sketch))
                     .map_err(|_| ClientError::UnexpectedFrame("undecodable snapshot"))
             }
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("snapshot reply")),
         }
     }
@@ -504,6 +513,7 @@ impl ServerClient {
     pub fn goodbye(mut self) -> Result<(), ClientError> {
         match self.call(&Frame::Goodbye)? {
             Frame::Goodbye => Ok(()),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("goodbye reply")),
         }
     }

@@ -74,7 +74,8 @@
 //! let (_f, _g) = server.shutdown().unwrap();
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod client;
@@ -175,6 +176,10 @@ pub enum ServerError {
     /// Writing the final WAL snapshot failed; the log itself is intact,
     /// so recovery still works — it just replays more.
     Io(io::Error),
+    /// A reference to the server's shared state survived the thread
+    /// joins, so the pools cannot be drained by value. This indicates a
+    /// leaked `Arc` (a bug), reported instead of panicking.
+    StateHeld,
 }
 
 impl std::fmt::Display for ServerError {
@@ -188,6 +193,9 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::ThreadPanicked { thread } => write!(f, "{thread} thread panicked"),
             ServerError::Io(e) => write!(f, "final snapshot failed: {e}"),
+            ServerError::StateHeld => {
+                write!(f, "server state still referenced after thread joins")
+            }
         }
     }
 }
@@ -226,6 +234,7 @@ struct Inner {
     config: ServerConfig,
     /// One pool per join input, indexed by `StreamId as usize`.
     pools: [Arc<IngestPool<SkimmedSketch>>; 2],
+    // ss-analyze: allow(a4-blocking-hot-path) -- the persist lock IS the durability design: dedup + WAL append must serialize to make snapshots exact cuts; the lock-free fast path (`has_wal == false`, unsequenced) never touches it
     persist: Mutex<Persist>,
     /// Cached `persist.wal.is_some()`: lets unsequenced traffic on a
     /// WAL-less server skip the persist lock entirely.
@@ -236,6 +245,7 @@ struct Inner {
 
 impl Inner {
     fn pool(&self, stream: StreamId) -> &IngestPool<SkimmedSketch> {
+        // ss-analyze: allow(a2-panic-free) -- `StreamId` has exactly two variants (0 and 1) indexing a `[_; 2]`; in bounds by construction
         &self.pools[stream as usize]
     }
 
@@ -248,6 +258,7 @@ impl Inner {
             buckets: schema.base().buckets() as u32,
             seed: schema.seed(),
             max_batch: self.config.max_batch,
+            // ss-analyze: allow(a2-panic-free) -- constant index into `[_; 2]`
             queue_limit: self.pools[0].queue_capacity() as u32,
         }
     }
@@ -314,12 +325,14 @@ impl Server {
             // Linearity makes replay exact: recovered + Σ batches is the
             // same sketch the pre-crash server held after those acks.
             for batch in &recovered.batches {
+                // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[_; 2]`
                 let seed = seeds[batch.stream as usize]
                     .get_or_insert_with(|| SkimmedSketch::new(schema.clone()));
                 seed.update_batch(&batch.updates);
                 if batch.client_id != 0 && batch.seq != 0 {
-                    let slot =
-                        &mut dedup.entry(batch.client_id).or_insert([0, 0])[batch.stream as usize];
+                    let entry = dedup.entry(batch.client_id).or_insert([0, 0]);
+                    // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
+                    let slot = &mut entry[batch.stream as usize];
                     *slot = (*slot).max(batch.seq);
                 }
             }
@@ -347,6 +360,7 @@ impl Server {
         let [seed_f, seed_g] = seeds;
         let inner = Arc::new(Inner {
             pools: [mk_pool(seed_f), mk_pool(seed_g)],
+            // ss-analyze: allow(a4-blocking-hot-path) -- see the `persist` field: serialization is the durability contract
             persist: Mutex::new(Persist { wal, dedup }),
             has_wal: config.wal.is_some(),
             shutdown: AtomicBool::new(false),
@@ -359,6 +373,7 @@ impl Server {
         // the OS listen backlog instead of a process-side queue.
         let (conn_tx, conn_rx) =
             std::sync::mpsc::sync_channel::<TcpStream>(inner.config.handler_threads * 2);
+        // ss-analyze: allow(a4-blocking-hot-path) -- accept-path hand-off, taken once per connection (not per frame); contention is bounded by the handler count
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
         let handlers = (0..inner.config.handler_threads)
@@ -367,7 +382,10 @@ impl Server {
                 let conn_rx = conn_rx.clone();
                 std::thread::spawn(move || loop {
                     let next = {
-                        let rx = conn_rx.lock().expect("conn queue poisoned");
+                        // A poisoned lock only means a sibling handler
+                        // panicked mid-recv; the receiver itself is still
+                        // coherent, so keep serving instead of cascading.
+                        let rx = conn_rx.lock().unwrap_or_else(|p| p.into_inner());
                         rx.recv_timeout(Duration::from_millis(100))
                     };
                     match next {
@@ -427,6 +445,7 @@ impl Server {
     /// Hard cap on [`Server::pending_chunks`]: beyond it, batches bounce
     /// with THROTTLE instead of queueing.
     pub fn queue_capacity(&self) -> u64 {
+        // ss-analyze: allow(a2-panic-free) -- constant index into `[_; 2]`
         self.inner.pools[0].queue_capacity()
     }
 
@@ -468,19 +487,22 @@ impl Server {
                 });
             }
         }
-        let inner =
-            Arc::try_unwrap(self.inner).unwrap_or_else(|_| unreachable!("all handler refs joined"));
+        // Every thread holding a clone is joined above, so this is the
+        // last reference; a failure means an `Arc` leaked somewhere.
+        let inner = Arc::try_unwrap(self.inner).map_err(|_| ServerError::StateHeld)?;
         let [pf, pg] = inner.pools;
         let finish = |stream: StreamId, p: Arc<IngestPool<SkimmedSketch>>| {
             Arc::try_unwrap(p)
-                .unwrap_or_else(|_| unreachable!("pool refs live only in Inner"))
+                .map_err(|_| ServerError::StateHeld)?
                 .finish()
-                .map_err(
-                    |IngestError::WorkerPanicked { worker }| ServerError::WorkerLost {
-                        stream,
-                        worker,
+                .map_err(|e| match e {
+                    IngestError::WorkerPanicked { worker } => {
+                        ServerError::WorkerLost { stream, worker }
+                    }
+                    IngestError::NoWorkers => ServerError::ThreadPanicked {
+                        thread: "ingest pool",
                     },
-                )
+                })
         };
         // Drain both pools even if the first fails, so no worker threads
         // leak; report the first loss.
@@ -568,6 +590,7 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &
                                 return;
                             }
                             sock = s;
+                            // ss-analyze: allow(a4-blocking-hot-path) -- acceptor backoff while every handler is busy; no frame is in flight on this thread
                             std::thread::sleep(Duration::from_millis(2));
                         }
                         Err(TrySendError::Disconnected(_)) => return,
@@ -575,10 +598,12 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // ss-analyze: allow(a4-blocking-hot-path) -- nonblocking-accept poll tick; the acceptor owns no data-path work
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => {
                 // Transient accept errors (e.g. ECONNABORTED): keep serving.
+                // ss-analyze: allow(a4-blocking-hot-path) -- accept-error backoff on the acceptor thread, off the data path
                 std::thread::sleep(Duration::from_millis(2));
             }
         }
@@ -677,20 +702,20 @@ fn next_frame(inner: &Inner, sock: &mut TcpStream) -> Option<Frame> {
     }
 }
 
-/// Handles one UPDATE_BATCH: dedup, dispatch, WAL append, ack — in that
-/// order. Returns `false` when the connection must close.
-fn handle_update_batch(inner: &Inner, sock: &mut TcpStream, frame: Frame) -> bool {
+/// Handles one UPDATE_BATCH (already destructured by the dispatch
+/// match): dedup, dispatch, WAL append, ack — in that order. Returns
+/// `false` when the connection must close.
+fn handle_update_batch(
+    inner: &Inner,
+    sock: &mut TcpStream,
+    stream: StreamId,
+    client_id: u64,
+    seq: u64,
+    updates: Vec<stream_model::update::Update>,
+) -> bool {
     let metrics = inner.metrics;
     let _span = metrics.map(|m| m.update_latency.start_span());
-    let (stream, client_id, seq, len) = match &frame {
-        Frame::UpdateBatch {
-            stream,
-            client_id,
-            seq,
-            updates,
-        } => (*stream, *client_id, *seq, updates.len()),
-        _ => unreachable!("caller matched UpdateBatch"),
-    };
+    let len = updates.len();
     if len as u64 > inner.config.max_batch as u64 {
         send_error(
             sock,
@@ -724,9 +749,6 @@ fn handle_update_batch(inner: &Inner, sock: &mut TcpStream, frame: Frame) -> boo
     // Fast path — nothing to log, nothing to dedup: unsequenced traffic
     // on a WAL-less server keeps the original lock-free throughput.
     if !inner.has_wal && client_id == 0 {
-        let Frame::UpdateBatch { updates, .. } = frame else {
-            unreachable!()
-        };
         return match pool.try_dispatch(updates) {
             Ok(()) => {
                 if let Some(m) = metrics {
@@ -740,12 +762,16 @@ fn handle_update_batch(inner: &Inner, sock: &mut TcpStream, frame: Frame) -> boo
 
     // Persist path: dedup check, dispatch, and WAL append serialize
     // through one lock — which is also what makes a snapshot an exact
-    // cut of the log.
-    let mut persist = inner.persist.lock().expect("persist lock poisoned");
+    // cut of the log. Poison recovery is sound here: dedup writes are
+    // single-map inserts and WAL appends are atomic at record
+    // granularity (recovery treats a torn record as a torn tail), so a
+    // handler that panicked mid-critical-section leaves consistent state.
+    let mut persist = inner.persist.lock().unwrap_or_else(|p| p.into_inner());
     if client_id != 0 && seq != 0 {
         let last = persist
             .dedup
             .get(&client_id)
+            // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
             .map_or(0, |e| e[stream as usize]);
         if seq <= last {
             // Already applied (the ack was lost, or the producer replayed
@@ -757,12 +783,12 @@ fn handle_update_batch(inner: &Inner, sock: &mut TcpStream, frame: Frame) -> boo
             return ack(sock);
         }
     }
-    // Encode before destructuring so the WAL record is byte-identical to
-    // the frame the client sent (and no update clone is needed).
-    let encoded = persist.wal.is_some().then(|| frame.encode());
-    let Frame::UpdateBatch { updates, .. } = frame else {
-        unreachable!()
-    };
+    // Encode from the borrowed parts so the WAL record is byte-identical
+    // to the frame the client sent (and no update clone is needed).
+    let encoded = persist
+        .wal
+        .is_some()
+        .then(|| stream_wire::encode_update_batch(stream, client_id, seq, &updates));
     if pool.try_dispatch(updates).is_err() {
         drop(persist);
         return throttle(sock);
@@ -803,6 +829,7 @@ fn handle_update_batch(inner: &Inner, sock: &mut TcpStream, frame: Frame) -> boo
 }
 
 fn bump_dedup(persist: &mut Persist, client_id: u64, stream: StreamId, seq: u64) {
+    // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
     let slot = &mut persist.dedup.entry(client_id).or_insert([0, 0])[stream as usize];
     *slot = (*slot).max(seq);
 }
@@ -811,8 +838,10 @@ fn bump_dedup(persist: &mut Persist, client_id: u64, stream: StreamId, seq: u64)
 /// Caller holds the persist lock, so the two pool snapshots capture
 /// exactly the batches appended so far — an exact cut.
 fn maybe_checkpoint(inner: &Inner, persist: &mut Persist) {
-    let wants = persist.wal.as_ref().is_some_and(Wal::wants_snapshot);
-    if !wants {
+    let Some(wal) = persist.wal.as_mut() else {
+        return;
+    };
+    if !wal.wants_snapshot() {
         return;
     }
     let (Ok(f), Ok(g)) = (
@@ -827,7 +856,6 @@ fn maybe_checkpoint(inner: &Inner, persist: &mut Persist) {
         blobs: [encode_skimmed(&f).to_vec(), encode_skimmed(&g).to_vec()],
         dedup: dedup_entries(&persist.dedup),
     };
-    let wal = persist.wal.as_mut().expect("checked above");
     if wal.install_snapshot(&snap).is_ok() {
         if let Some(m) = inner.metrics {
             m.wal_snapshots.inc();
@@ -863,19 +891,26 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
 
     while let Some(frame) = next_frame(inner, sock) {
         match frame {
-            Frame::UpdateBatch { .. } => {
-                if !handle_update_batch(inner, sock, frame) {
+            Frame::UpdateBatch {
+                stream,
+                client_id,
+                seq,
+                updates,
+            } => {
+                if !handle_update_batch(inner, sock, stream, client_id, seq, updates) {
                     return;
                 }
             }
             Frame::Resume { client_id } => {
                 let last = {
-                    let persist = inner.persist.lock().expect("persist lock poisoned");
+                    // Same poison-recovery argument as the persist path.
+                    let persist = inner.persist.lock().unwrap_or_else(|p| p.into_inner());
                     persist.dedup.get(&client_id).copied().unwrap_or([0, 0])
                 };
+                let [last_seq_f, last_seq_g] = last;
                 let reply = Frame::ResumeAck {
-                    last_seq_f: last[StreamId::F as usize],
-                    last_seq_g: last[StreamId::G as usize],
+                    last_seq_f,
+                    last_seq_g,
                 };
                 if !send(sock, &reply, metrics) {
                     return;

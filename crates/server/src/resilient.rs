@@ -67,9 +67,9 @@ impl ResilientClient {
     /// none is open. Mostly useful for one-off requests the wrapper has
     /// no verb for.
     pub fn session(&mut self) -> Result<&mut ServerClient, ClientError> {
+        let mut last: Option<ClientError> = None;
         if self.session.is_none() {
             let mut backoff = Backoff::new(&self.config.backoff);
-            let mut last: Option<ClientError> = None;
             for _ in 0..=self.max_reconnects {
                 match ServerClient::connect_with(self.addr, self.config.clone()) {
                     // RESUME inside the same attempt: a session that
@@ -85,14 +85,14 @@ impl ResilientClient {
                 }
                 std::thread::sleep(backoff.delay());
             }
-            if self.session.is_none() {
-                return Err(ClientError::Exhausted {
-                    attempts: self.max_reconnects + 1,
-                    last: Box::new(last.unwrap_or(ClientError::Timeout)),
-                });
-            }
         }
-        Ok(self.session.as_mut().expect("just connected"))
+        match self.session.as_mut() {
+            Some(session) => Ok(session),
+            None => Err(ClientError::Exhausted {
+                attempts: self.max_reconnects + 1,
+                last: Box::new(last.unwrap_or(ClientError::Timeout)),
+            }),
+        }
     }
 
     /// Streams `updates` in `chunk`-sized batches with exactly-once
@@ -122,14 +122,19 @@ impl ResilientClient {
             // they are done — never re-sent.
             let applied = session.next_seq(stream).saturating_sub(base_seq) as usize;
             if applied > idx {
-                for done in &chunks[idx..applied.min(chunks.len())] {
+                for done in chunks.iter().take(applied.min(chunks.len())).skip(idx) {
                     report.batches += 1;
                     report.updates += done.len() as u64;
                 }
                 idx = applied.min(chunks.len());
                 continue;
             }
-            match session.send_batch(stream, chunks[idx]) {
+            // The loop condition keeps `idx` in bounds; `get` makes the
+            // exit typed rather than a panic if that ever changes.
+            let Some(current) = chunks.get(idx) else {
+                break;
+            };
+            match session.send_batch(stream, current) {
                 Ok(BatchOutcome::Accepted(n)) => {
                     report.batches += 1;
                     report.updates += n;

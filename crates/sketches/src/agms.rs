@@ -39,6 +39,7 @@ impl AgmsSchema {
         assert!(rows > 0 && cols > 0, "schema must have at least one cell");
         let root = SeedSequence::new(seed).fork(0x41474D53 /* "AGMS" */);
         let signs = (0..rows * cols)
+            // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
             .map(|i| BchSignFamily::from_seed(root.fork(i as u64)))
             .collect();
         Arc::new(Self {

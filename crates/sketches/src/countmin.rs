@@ -29,6 +29,7 @@ impl CountMinSchema {
         assert!(depth > 0 && width > 0, "schema must be non-degenerate");
         let root = SeedSequence::new(seed).fork(0x434D /* "CM" */);
         let hashes = (0..depth)
+            // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
             .map(|i| PairwiseHash::from_seed(root.fork(i as u64), width))
             .collect();
         Arc::new(Self {

@@ -49,9 +49,11 @@ impl HashSketchSchema {
         assert!(tables > 0 && buckets > 0, "schema must be non-degenerate");
         let root = SeedSequence::new(seed).fork(0x48534B /* "HSK" */);
         let bucket_hash = (0..tables)
+            // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
             .map(|i| PairwiseHash::from_seed(root.fork(2 * i as u64), buckets))
             .collect();
         let sign = (0..tables)
+            // ss-analyze: allow(a5-numeric-narrowing) -- usize -> u64 is lossless on every supported platform
             .map(|i| SignFamily::from_seed(root.fork(2 * i as u64 + 1)))
             .collect();
         Arc::new(Self {

@@ -7,7 +7,8 @@
 //! merge, negate, subtract — which is what makes delete handling and
 //! distributed ingestion correct by construction.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod agms;

@@ -8,7 +8,8 @@
 //! Nothing in this crate approximates anything; it is the ground truth that
 //! the sketch crates are tested and benchmarked against.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod domain;

@@ -34,6 +34,8 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         #[cfg(feature = "enabled")]
+        // ordering: Relaxed — atomicity alone keeps the count exact; no other
+        // memory is published with it, so no happens-before edge is needed.
         self.bits.fetch_add(n, Ordering::Relaxed);
         #[cfg(not(feature = "enabled"))]
         let _ = n;
@@ -44,6 +46,8 @@ impl Counter {
     pub fn get(&self) -> u64 {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed — a monitoring read; staleness is acceptable
+            // and per-metric atomicity is all that is promised.
             self.bits.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "enabled"))]
@@ -73,6 +77,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         #[cfg(feature = "enabled")]
+        // ordering: Relaxed — the gauge value is self-contained; readers never
+        // infer other state from it, so no release edge is required.
         self.bits.store(v, Ordering::Relaxed);
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -82,6 +88,8 @@ impl Gauge {
     #[inline]
     pub fn add(&self, delta: i64) {
         #[cfg(feature = "enabled")]
+        // ordering: Relaxed — atomic RMW keeps the sum exact; monitoring
+        // readers need no synchronizes-with edge.
         self.bits.fetch_add(delta, Ordering::Relaxed);
         #[cfg(not(feature = "enabled"))]
         let _ = delta;
@@ -92,6 +100,8 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed — a monitoring read; staleness is acceptable
+            // and per-metric atomicity is all that is promised.
             self.bits.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "enabled"))]
@@ -122,6 +132,8 @@ impl FloatGauge {
     #[inline]
     pub fn set(&self, v: f64) {
         #[cfg(feature = "enabled")]
+        // ordering: Relaxed — single-word bit pattern, self-contained; no
+        // other memory is published through this store.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -132,6 +144,7 @@ impl FloatGauge {
     pub fn get(&self) -> f64 {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed — monitoring read of a self-contained word.
             f64::from_bits(self.bits.load(Ordering::Relaxed))
         }
         #[cfg(not(feature = "enabled"))]

@@ -93,10 +93,14 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed on all four words — each is independently
+            // exact under atomic RMW; readers tolerate observing them at
+            // slightly different instants (count/sum/max may momentarily
+            // disagree), which is the documented monitoring contract.
             self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-            self.count.fetch_add(1, Ordering::Relaxed);
-            self.sum.fetch_add(v, Ordering::Relaxed);
-            self.max.fetch_max(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed); // ordering: see block above
+            self.sum.fetch_add(v, Ordering::Relaxed); // ordering: see block above
+            self.max.fetch_max(v, Ordering::Relaxed); // ordering: see block above
         }
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -133,6 +137,7 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed — monitoring read; staleness is fine.
             self.count.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "enabled"))]
@@ -145,6 +150,7 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed — monitoring read; staleness is fine.
             self.sum.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "enabled"))]
@@ -157,6 +163,7 @@ impl Histogram {
     pub fn max(&self) -> u64 {
         #[cfg(feature = "enabled")]
         {
+            // ordering: Relaxed — monitoring read; staleness is fine.
             self.max.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "enabled"))]
@@ -182,6 +189,8 @@ impl Histogram {
             let rank = ((q.max(0.0) * count as f64).ceil() as u64).max(1);
             let mut seen = 0u64;
             for (i, b) in self.buckets.iter().enumerate() {
+                // ordering: Relaxed — bucket counts race with writers by
+                // design; the quantile is advisory monitoring data.
                 seen += b.load(Ordering::Relaxed);
                 if seen >= rank {
                     return bucket_value(i).min(self.max());

@@ -45,7 +45,8 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod gauges;

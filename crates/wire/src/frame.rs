@@ -325,20 +325,28 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// `take` as a fixed array; the length mismatch arm is statically
+    /// dead (`take(N)` returns exactly `N` bytes) but stays a typed
+    /// error rather than a panic.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -381,6 +389,57 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 // frame codec
 // ---------------------------------------------------------------------
 
+/// Serialises the UPDATE_BATCH payload body (shared between
+/// [`Frame::encode`] and [`encode_update_batch`], so the two are
+/// byte-identical by construction).
+fn update_batch_payload(
+    out: &mut Vec<u8>,
+    stream: StreamId,
+    client_id: u64,
+    seq: u64,
+    updates: &[Update],
+) {
+    out.push(stream as u8);
+    put_varint(out, client_id);
+    put_varint(out, seq);
+    put_varint(out, updates.len() as u64);
+    for u in updates {
+        put_varint(out, u.value);
+        put_varint(out, zigzag(u.weight));
+    }
+}
+
+/// Wraps a finished payload in the dual-CRC frame header.
+fn assemble(kind: Kind, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    // `out` holds exactly the 16 checked header bytes at this point.
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encodes an UPDATE_BATCH frame from borrowed parts — byte-identical
+/// to `Frame::UpdateBatch { .. }.encode()` without taking ownership of
+/// the updates. The serving layer uses this to write the WAL record and
+/// then hand the same vector to ingest without a clone.
+pub fn encode_update_batch(
+    stream: StreamId,
+    client_id: u64,
+    seq: u64,
+    updates: &[Update],
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    update_batch_payload(&mut payload, stream, client_id, seq, updates);
+    assemble(Kind::UpdateBatch, payload)
+}
+
 impl Frame {
     fn kind(&self) -> Kind {
         match self {
@@ -422,16 +481,7 @@ impl Frame {
                 client_id,
                 seq,
                 updates,
-            } => {
-                out.push(*stream as u8);
-                put_varint(&mut out, *client_id);
-                put_varint(&mut out, *seq);
-                put_varint(&mut out, updates.len() as u64);
-                for u in updates {
-                    put_varint(&mut out, u.value);
-                    put_varint(&mut out, zigzag(u.weight));
-                }
-            }
+            } => update_batch_payload(&mut out, *stream, *client_id, *seq, updates),
             Frame::BatchAck { accepted } => put_varint(&mut out, *accepted),
             Frame::QueryJoin | Frame::Goodbye => {}
             Frame::QuerySelfJoin { stream } | Frame::Snapshot { stream } => {
@@ -575,18 +625,7 @@ impl Frame {
     /// Encodes the frame into its complete wire representation
     /// (header + payload).
     pub fn encode(&self) -> Vec<u8> {
-        let payload = self.encode_payload();
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
-        out.push(self.kind() as u8);
-        out.push(0); // flags, reserved
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&crc32(&payload).to_le_bytes());
-        let header_crc = crc32(&out[..16]);
-        out.extend_from_slice(&header_crc.to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        assemble(self.kind(), self.encode_payload())
     }
 
     /// Writes the frame to `w` as one contiguous buffer, returning the
@@ -611,52 +650,60 @@ impl Frame {
     /// is no longer at a frame boundary and must be closed.
     pub fn read_from<R: Read>(r: &mut R, max_payload: u32) -> Result<(Frame, usize), WireError> {
         let mut header = [0u8; HEADER_LEN];
-        // First byte separately: distinguishes idle (retryable) and
-        // clean close (no data) from a stall inside a frame.
-        loop {
-            match r.read(&mut header[..1]) {
-                Ok(0) => return Err(WireError::Closed),
-                Ok(_) => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    return Err(WireError::Idle)
+        {
+            // First byte separately: distinguishes idle (retryable) and
+            // clean close (no data) from a stall inside a frame.
+            let (first, rest) = header.split_at_mut(1);
+            loop {
+                match r.read(first) {
+                    Ok(0) => return Err(WireError::Closed),
+                    Ok(_) => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        return Err(WireError::Idle)
+                    }
+                    Err(e) => return Err(WireError::Io(e)),
                 }
-                Err(e) => return Err(WireError::Io(e)),
             }
+            r.read_exact(rest).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    WireError::Truncated
+                } else {
+                    WireError::Io(e)
+                }
+            })?;
         }
-        r.read_exact(&mut header[1..]).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                WireError::Truncated
-            } else {
-                WireError::Io(e)
-            }
-        })?;
-        if &header[0..4] != MAGIC {
+        // Destructure the fixed-size header once; every field access
+        // below is a binding, not an index.
+        let [m0, m1, m2, m3, v0, v1, kind_byte, flags, l0, l1, l2, l3, p0, p1, p2, p3, h0, h1, h2, h3] =
+            header;
+        if [m0, m1, m2, m3] != *MAGIC {
             return Err(WireError::BadMagic);
         }
-        let stored_header_crc = u32::from_le_bytes(header[16..20].try_into().expect("4"));
-        if crc32(&header[..16]) != stored_header_crc {
+        let stored_header_crc = u32::from_le_bytes([h0, h1, h2, h3]);
+        let (checked, _stored) = header.split_at(16);
+        if crc32(checked) != stored_header_crc {
             return Err(WireError::HeaderCrc);
         }
-        let version = u16::from_le_bytes([header[4], header[5]]);
+        let version = u16::from_le_bytes([v0, v1]);
         if version != VERSION {
             return Err(WireError::BadVersion(version));
         }
-        let kind = Kind::from_u8(header[6])?;
-        if header[7] != 0 {
-            return Err(WireError::BadFlags(header[7]));
+        let kind = Kind::from_u8(kind_byte)?;
+        if flags != 0 {
+            return Err(WireError::BadFlags(flags));
         }
-        let payload_len = u32::from_le_bytes(header[8..12].try_into().expect("4"));
+        let payload_len = u32::from_le_bytes([l0, l1, l2, l3]);
         if payload_len > max_payload {
             return Err(WireError::Oversize {
                 len: payload_len,
                 max: max_payload,
             });
         }
-        let stored_payload_crc = u32::from_le_bytes(header[12..16].try_into().expect("4"));
+        let stored_payload_crc = u32::from_le_bytes([p0, p1, p2, p3]);
         let mut payload = vec![0u8; payload_len as usize];
         r.read_exact(&mut payload).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {

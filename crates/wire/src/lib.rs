@@ -53,14 +53,15 @@
 //! that crashes and replays its write-ahead log — can never double-count
 //! a batch.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod crc;
 mod frame;
 
 pub use crc::crc32;
-pub use frame::{ErrorCode, Frame, ServerInfo, StreamId};
+pub use frame::{encode_update_batch, ErrorCode, Frame, ServerInfo, StreamId};
 
 use std::io;
 
@@ -173,6 +174,27 @@ mod tests {
         let (back, n) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(back, frame);
         assert_eq!(n, bytes.len());
+    }
+
+    #[test]
+    fn encode_update_batch_matches_frame_encode() {
+        // The server WAL-logs batches via `encode_update_batch` without
+        // materialising a `Frame`; recovery decodes them as frames, so
+        // the two encoders must agree byte for byte.
+        let updates = vec![
+            Update::insert(7),
+            Update::delete(9),
+            Update::insert(1 << 40),
+        ];
+        let direct = encode_update_batch(StreamId::G, 0xD1CE_F00D, 41, &updates);
+        let via_frame = Frame::UpdateBatch {
+            stream: StreamId::G,
+            client_id: 0xD1CE_F00D,
+            seq: 41,
+            updates,
+        }
+        .encode();
+        assert_eq!(direct, via_frame);
     }
 
     #[test]

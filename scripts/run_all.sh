@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 SCALE_FLAG="${1:-}"
 mkdir -p results
 
+echo "== ss-analyze gate =="
+cargo run --release -q -p ss-analyze -- check
+
 BINS=(fig5a fig5b census example1 thm34 scaling partitioned ablation_threshold anatomy selfjoin vary_shift)
 for bin in "${BINS[@]}"; do
     echo "== $bin $SCALE_FLAG =="
