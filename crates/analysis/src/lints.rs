@@ -37,7 +37,10 @@ const A4_SCOPE: &[&str] = &[
 ];
 
 /// File name stems in A5 scope: codec and estimator arithmetic, where
-/// the i128 overflow class of PR 1 lived.
+/// the i128 overflow class of PR 1 lived, plus the limb-lane kernel
+/// modules (`lanes.rs`, `family.rs`) whose correctness rests on exact
+/// 32/30-bit limb bounds — an unnoticed narrowing cast there would
+/// silently break the bit-identity contract.
 const A5_STEMS: &[&str] = &[
     "estimator.rs",
     "skim.rs",
@@ -47,6 +50,8 @@ const A5_STEMS: &[&str] = &[
     "hash_sketch.rs",
     "countmin.rs",
     "linear.rs",
+    "lanes.rs",
+    "family.rs",
 ];
 
 /// Cast targets A5 flags: every numeric type narrower than 128 bits

@@ -142,6 +142,89 @@ fn bench_batched(c: &mut Criterion) {
     g.finish();
 }
 
+/// Blocked limb-lane kernels vs the lazy-`u128` kernels, pinned
+/// explicitly (bypassing the `add_batch` selector) so both are measured
+/// on every host regardless of what [`stream_hash::lanes::VECTOR_KERNEL`]
+/// would pick. The blocked kernel only pays off where the compiler can
+/// autovectorize the 32×32→64 limb multiplies (AVX2 or wider; see
+/// DESIGN.md "Counter memory layout & vectorization").
+fn bench_blocked_kernels(c: &mut Criterion) {
+    let domain = Domain::with_log2(18);
+    let vals = values(domain);
+    let updates: Vec<stream_model::Update> = vals
+        .iter()
+        .map(|&v| stream_model::Update::insert(v))
+        .collect();
+
+    let mut g = c.benchmark_group("update/blocked-hash-sketch");
+    for &words in &[512usize, 2048, 8192] {
+        let schema = HashSketchSchema::new(8, words / 8, 2);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        let mut sk = HashSketch::new(schema.clone());
+        g.bench_with_input(BenchmarkId::new("limb-lanes", words), &words, |b, _| {
+            b.iter(|| sk.add_batch_limb_lanes(black_box(&updates)))
+        });
+        let mut sk = HashSketch::new(schema);
+        g.bench_with_input(BenchmarkId::new("lazy128", words), &words, |b, _| {
+            b.iter(|| sk.add_batch_lazy128(black_box(&updates)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("update/blocked-count-min");
+    for &width in &[256usize, 1024] {
+        let schema = CountMinSchema::new(8, width, 4);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        let mut sk = CountMinSketch::new(schema.clone());
+        g.bench_with_input(BenchmarkId::new("limb-lanes", width * 8), &width, |b, _| {
+            b.iter(|| sk.add_batch_limb_lanes(black_box(&updates)))
+        });
+        let mut sk = CountMinSketch::new(schema);
+        g.bench_with_input(BenchmarkId::new("lazy128", width * 8), &width, |b, _| {
+            b.iter(|| sk.add_batch_lazy128(black_box(&updates)))
+        });
+    }
+    g.finish();
+}
+
+/// Frame-encode cost on the wire send path: the old materialise-a-`Frame`
+/// `encode()` (header + payload concatenated into one fresh `Vec`) vs the
+/// vectored borrowed-parts path (`write_update_batch` into a reused
+/// buffer — what the client and server actually run per batch).
+fn bench_wire_encode(c: &mut Criterion) {
+    use stream_wire::{Frame, StreamId};
+
+    let domain = Domain::with_log2(18);
+    let vals = values(domain);
+    let updates: Vec<stream_model::Update> = vals
+        .iter()
+        .map(|&v| stream_model::Update::insert(v))
+        .collect();
+
+    let mut g = c.benchmark_group("wire-encode-vectored");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("frame-encode-owned", |b| {
+        b.iter(|| {
+            let frame = Frame::UpdateBatch {
+                stream: StreamId::F,
+                client_id: 7,
+                seq: 1,
+                updates: black_box(&updates).to_vec(),
+            };
+            frame.encode()
+        })
+    });
+    let mut sink = Vec::with_capacity(1 << 20);
+    g.bench_function("write-batch-vectored", |b| {
+        b.iter(|| {
+            sink.clear();
+            stream_wire::write_update_batch(&mut sink, StreamId::F, 7, 1, black_box(&updates))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 /// Multi-core ingestion through the sharded pool. Each sample ingests the
 /// whole stream via `ingest_parallel`, so the timing includes thread spawn
 /// and the final merge — the honest end-to-end cost. Scaling beyond one
@@ -235,6 +318,7 @@ fn bench_sign_families(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_updates, bench_batched, bench_parallel, bench_sign_families
+    targets = bench_updates, bench_batched, bench_blocked_kernels, bench_wire_encode,
+        bench_parallel, bench_sign_families
 }
 criterion_main!(benches);

@@ -88,13 +88,21 @@ fn main() {
     let mut reference = HashSketch::new(schema.clone());
     reference.add_batch(&updates);
 
+    // On a 1-CPU host the thread pool time-slices one core, so the
+    // "speedup" column would only report scheduler noise; mark the group
+    // degenerate and omit the misleading ratio instead.
+    let degenerate = host_cpus == 1;
     let mut parallel_rows = Vec::new();
     let mut base = 0.0f64;
     println!();
     println!(
         "sharded parallel ingest (hash sketch, 8192 words, chunk 4096), host cpus = {host_cpus}:"
     );
-    println!("{:>8} {:>14} {:>14}", "threads", "Melem/s", "vs 1-thread");
+    if degenerate {
+        println!("{:>8} {:>14}", "threads", "Melem/s");
+    } else {
+        println!("{:>8} {:>14} {:>14}", "threads", "Melem/s", "vs 1-thread");
+    }
     for &threads in &[1usize, 2, 4, 8] {
         let got = stream_ingest::ingest_parallel(&updates, threads, 4096, || {
             HashSketch::new(schema.clone())
@@ -115,11 +123,18 @@ fn main() {
         if threads == 1 {
             base = melem;
         }
-        let speedup = melem / base;
-        println!("{threads:>8} {melem:>14.2} {speedup:>13.2}x");
-        parallel_rows.push(format!(
-            "    {{\"threads\": {threads}, \"melem_s\": {melem:.3}, \"speedup_vs_1\": {speedup:.3}}}"
-        ));
+        if degenerate {
+            println!("{threads:>8} {melem:>14.2}");
+            parallel_rows.push(format!(
+                "    {{\"threads\": {threads}, \"melem_s\": {melem:.3}}}"
+            ));
+        } else {
+            let speedup = melem / base;
+            println!("{threads:>8} {melem:>14.2} {speedup:>13.2}x");
+            parallel_rows.push(format!(
+                "    {{\"threads\": {threads}, \"melem_s\": {melem:.3}, \"speedup_vs_1\": {speedup:.3}}}"
+            ));
+        }
     }
     if host_cpus < 4 {
         println!("  (host exposes {host_cpus} cpu(s): thread scaling cannot exceed 1x here;");
@@ -130,7 +145,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"update\",\n  \"elements\": {N},\n  \"reps\": {REPS},\n  \
          \"host_cpus\": {host_cpus},\n  \"batched_hash_sketch\": [\n{}\n  ],\n  \
-         \"parallel_hash_sketch_8192_words\": [\n{}\n  ],\n  \"bit_identical\": true\n}}\n",
+         \"parallel_hash_sketch_8192_words\": {{\"degenerate\": {degenerate}, \"rows\": [\n{}\n  ]}},\n  \
+         \"bit_identical\": true\n}}\n",
         batched_rows.join(",\n"),
         parallel_rows.join(",\n"),
     );

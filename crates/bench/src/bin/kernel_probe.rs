@@ -1,0 +1,542 @@
+//! Scratch probe for the blocked-kernel PR: measures candidate hash-sketch
+//! update kernels against the current `add_batch` before integration.
+//!
+//! Temporary tool — variants live here until the winner is promoted into
+//! `stream-hash`/`stream-sketches`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const M61: u64 = (1u64 << 61) - 1;
+const CHUNK: usize = 256;
+const TABLES: usize = 8;
+
+#[inline]
+fn reduce(x: u64) -> u64 {
+    let r = (x & M61) + (x >> 61);
+    if r >= M61 {
+        r - M61
+    } else {
+        r
+    }
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let prod = (a as u128) * (b as u128);
+    let lo = (prod as u64) & M61;
+    let hi = (prod >> 61) as u64;
+    let mut r = lo + hi;
+    r = (r & M61) + (r >> 61);
+    if r >= M61 {
+        r - M61
+    } else {
+        r
+    }
+}
+
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    const LOW: u128 = (1u128 << 61) - 1;
+    let folded = (x & LOW) as u64 + ((x >> 61) as u64 & M61) + (x >> 122) as u64;
+    reduce(folded)
+}
+
+struct Table {
+    a: u64,
+    b: u64,
+    c: [u64; 4],
+}
+
+fn tables(seed: u64) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..TABLES)
+        .map(|_| Table {
+            a: rng.gen_range(1..M61),
+            b: rng.gen_range(0..M61),
+            c: [
+                rng.gen_range(0..M61),
+                rng.gen_range(0..M61),
+                rng.gen_range(0..M61),
+                rng.gen_range(0..M61),
+            ],
+        })
+        .collect()
+}
+
+/// Reference: scalar per-element path.
+fn scalar(counters: &mut [i64], buckets: usize, ts: &[Table], keys: &[u64], ws: &[i64]) {
+    for (&k, &w) in keys.iter().zip(ws) {
+        let x = reduce(k);
+        for (i, t) in ts.iter().enumerate() {
+            let q = (reduce(mul_mod(t.a, x) + t.b) % buckets as u64) as usize;
+            let e = {
+                let x2 = mul_mod(x, x);
+                let x3 = mul_mod(x2, x);
+                reduce(
+                    t.c[0]
+                        .wrapping_add(mul_mod(t.c[1], x))
+                        .wrapping_add(mul_mod(t.c[2], x2))
+                        .wrapping_add(mul_mod(t.c[3], x3)),
+                )
+            };
+            let s = 1 - 2 * ((e & 1) as i64);
+            counters[i * buckets + q] += w * s;
+        }
+    }
+}
+
+/// Current shipped structure: per-chunk shared powers, per-table
+/// bucket-lane + sign-lane passes (u128 lazy accumulate), then scatter.
+fn current(counters: &mut [i64], buckets: usize, ts: &[Table], keys: &[u64], ws: &[i64]) {
+    let mask = buckets - 1;
+    let mut red = [0u64; CHUNK];
+    let mut sq = [0u64; CHUNK];
+    let mut cu = [0u64; CHUNK];
+    let mut w = [0i64; CHUNK];
+    let mut qs = [0usize; CHUNK];
+    let mut ss = [0i64; CHUNK];
+    for (kc, wc) in keys.chunks(CHUNK).zip(ws.chunks(CHUNK)) {
+        let n = kc.len();
+        for j in 0..n {
+            let x = reduce(kc[j]);
+            red[j] = x;
+            sq[j] = mul_mod(x, x);
+            cu[j] = mul_mod(sq[j], x);
+            w[j] = wc[j];
+        }
+        for (i, t) in ts.iter().enumerate() {
+            let (a, b) = (t.a as u128, t.b as u128);
+            for j in 0..n {
+                qs[j] = (reduce128(a * red[j] as u128 + b) as usize) & mask;
+            }
+            let (c0, c1, c2, c3) = (
+                t.c[0] as u128,
+                t.c[1] as u128,
+                t.c[2] as u128,
+                t.c[3] as u128,
+            );
+            for j in 0..n {
+                let e = c0 + c1 * red[j] as u128 + c2 * sq[j] as u128 + c3 * cu[j] as u128;
+                ss[j] = 1 - 2 * ((reduce128(e) & 1) as i64);
+            }
+            let row = &mut counters[i * buckets..(i + 1) * buckets];
+            for j in 0..n {
+                row[qs[j]] += w[j] * ss[j];
+            }
+        }
+    }
+}
+
+// ---- variant B: 31/30-bit limb split, autovectorizable -----------------
+
+const MASK31: u64 = (1u64 << 31) - 1;
+const MASK30: u64 = (1u64 << 30) - 1;
+
+#[inline(always)]
+fn split(x: u64) -> (u64, u64) {
+    (x & MASK31, x >> 31)
+}
+
+/// `S ≡ a·x (mod p)`, `S < 2^63 + 2^32`, from pre-split operands.
+#[inline(always)]
+fn mm_split(a0: u64, a1: u64, x0: u64, x1: u64) -> u64 {
+    let p00 = a0 * x0;
+    let p11 = a1 * x1;
+    let m = a0 * x1 + a1 * x0;
+    let m0 = m & MASK30;
+    let m1 = m >> 30;
+    p00 + (p11 << 1) + (m0 << 31) + m1
+}
+
+#[inline(always)]
+fn fold(s: u64) -> u64 {
+    (s & M61) + (s >> 61)
+}
+
+#[inline(always)]
+fn canon(s: u64) -> u64 {
+    let r = fold(s);
+    if r >= M61 {
+        r - M61
+    } else {
+        r
+    }
+}
+
+fn lanes(counters: &mut [i64], buckets: usize, ts: &[Table], keys: &[u64], ws: &[i64]) {
+    let mask = (buckets - 1) as u64;
+    let mut x0 = [0u64; CHUNK];
+    let mut x1 = [0u64; CHUNK];
+    let mut y0 = [0u64; CHUNK];
+    let mut y1 = [0u64; CHUNK];
+    let mut z0 = [0u64; CHUNK];
+    let mut z1 = [0u64; CHUNK];
+    let mut w = [0i64; CHUNK];
+    let mut qs = [0usize; CHUNK];
+    let mut ss = [0i64; CHUNK];
+    for (kc, wc) in keys.chunks(CHUNK).zip(ws.chunks(CHUNK)) {
+        let n = kc.len().min(CHUNK);
+        for j in 0..n {
+            let x = reduce(kc[j]);
+            let (a, b) = split(x);
+            x0[j] = a;
+            x1[j] = b;
+            let x2 = canon(mm_split(a, b, a, b));
+            let (a2, b2) = split(x2);
+            y0[j] = a2;
+            y1[j] = b2;
+            let x3 = canon(mm_split(a2, b2, a, b));
+            let (a3, b3) = split(x3);
+            z0[j] = a3;
+            z1[j] = b3;
+            w[j] = wc[j];
+        }
+        for (i, t) in ts.iter().enumerate() {
+            let (a0, a1) = split(t.a);
+            let badd = t.b;
+            let (c10, c11) = split(t.c[1]);
+            let (c20, c21) = split(t.c[2]);
+            let (c30, c31) = split(t.c[3]);
+            let c0 = t.c[0];
+            for j in 0..n {
+                let q = canon(mm_split(a0, a1, x0[j], x1[j]) + badd);
+                qs[j] = (q & mask) as usize;
+                let e = c0
+                    + fold(mm_split(c10, c11, x0[j], x1[j]))
+                    + fold(mm_split(c20, c21, y0[j], y1[j]))
+                    + fold(mm_split(c30, c31, z0[j], z1[j]));
+                let r = canon(e);
+                ss[j] = if r & 1 == 1 {
+                    w[j].wrapping_neg()
+                } else {
+                    w[j]
+                };
+            }
+            let row = &mut counters[i * buckets..(i + 1) * buckets];
+            let rmask = row.len() - 1;
+            for j in 0..n {
+                row[qs[j] & rmask] += ss[j];
+            }
+        }
+    }
+}
+
+/// Variant B2: like `lanes`, but every multiplicand is re-masked inside
+/// the lane loop so LLVM can prove operands fit 32 bits and emit
+/// `vpmuludq` (1 uop) instead of `vpmullq` (3 uops).
+fn lanes2(counters: &mut [i64], buckets: usize, ts: &[Table], keys: &[u64], ws: &[i64]) {
+    #[inline(always)]
+    fn mm(a0: u64, a1: u64, x0: u64, x1: u64) -> u64 {
+        let (a0, a1, x0, x1) = (a0 & MASK31, a1 & MASK30, x0 & MASK31, x1 & MASK30);
+        let p00 = a0 * x0;
+        let p11 = a1 * x1;
+        let m = a0 * x1 + a1 * x0;
+        p00 + (p11 << 1) + ((m & MASK30) << 31) + (m >> 30)
+    }
+    let mask = (buckets - 1) as u64;
+    let mut x0 = [0u64; CHUNK];
+    let mut x1 = [0u64; CHUNK];
+    let mut y0 = [0u64; CHUNK];
+    let mut y1 = [0u64; CHUNK];
+    let mut z0 = [0u64; CHUNK];
+    let mut z1 = [0u64; CHUNK];
+    let mut w = [0i64; CHUNK];
+    let mut qs = [0usize; CHUNK];
+    let mut ss = [0i64; CHUNK];
+    for (kc, wc) in keys.chunks(CHUNK).zip(ws.chunks(CHUNK)) {
+        let n = kc.len().min(CHUNK);
+        for j in 0..n {
+            let x = reduce(kc[j]);
+            let (a, b) = split(x);
+            x0[j] = a;
+            x1[j] = b;
+            let x2 = canon(mm(a, b, a, b));
+            let (a2, b2) = split(x2);
+            y0[j] = a2;
+            y1[j] = b2;
+            let x3 = canon(mm(a2, b2, a, b));
+            let (a3, b3) = split(x3);
+            z0[j] = a3;
+            z1[j] = b3;
+            w[j] = wc[j];
+        }
+        for (i, t) in ts.iter().enumerate() {
+            let (a0, a1) = split(t.a);
+            let badd = t.b;
+            let (c10, c11) = split(t.c[1]);
+            let (c20, c21) = split(t.c[2]);
+            let (c30, c31) = split(t.c[3]);
+            let c0 = t.c[0];
+            for j in 0..n {
+                let q = canon(mm(a0, a1, x0[j], x1[j]) + badd);
+                qs[j] = (q & mask) as usize;
+                let e = c0
+                    + fold(mm(c10, c11, x0[j], x1[j]))
+                    + fold(mm(c20, c21, y0[j], y1[j]))
+                    + fold(mm(c30, c31, z0[j], z1[j]));
+                let r = canon(e);
+                ss[j] = if r & 1 == 1 {
+                    w[j].wrapping_neg()
+                } else {
+                    w[j]
+                };
+            }
+            let row = &mut counters[i * buckets..(i + 1) * buckets];
+            let rmask = row.len() - 1;
+            for j in 0..n {
+                row[qs[j] & rmask] += ss[j];
+            }
+        }
+    }
+}
+
+/// Variant B2i: `lanes2` math over an interleaved (bucket-major) counter
+/// layout — counter of table `i`, bucket `q` lives at `q·T + i`, so one
+/// key's eight table counters for equal bucket indices are adjacent.
+/// Output converted back to row-major by the caller for comparison.
+fn lanes2_interleaved(
+    counters: &mut [i64],
+    buckets: usize,
+    ts: &[Table],
+    keys: &[u64],
+    ws: &[i64],
+) {
+    #[inline(always)]
+    fn mm(a0: u64, a1: u64, x0: u64, x1: u64) -> u64 {
+        let (a0, a1, x0, x1) = (a0 & MASK31, a1 & MASK30, x0 & MASK31, x1 & MASK30);
+        let p00 = a0 * x0;
+        let p11 = a1 * x1;
+        let m = a0 * x1 + a1 * x0;
+        p00 + (p11 << 1) + ((m & MASK30) << 31) + (m >> 30)
+    }
+    let t_count = ts.len();
+    let mask = (buckets - 1) as u64;
+    let mut x0 = [0u64; CHUNK];
+    let mut x1 = [0u64; CHUNK];
+    let mut y0 = [0u64; CHUNK];
+    let mut y1 = [0u64; CHUNK];
+    let mut z0 = [0u64; CHUNK];
+    let mut z1 = [0u64; CHUNK];
+    let mut w = [0i64; CHUNK];
+    let mut qs = [0usize; CHUNK];
+    let mut ss = [0i64; CHUNK];
+    for (kc, wc) in keys.chunks(CHUNK).zip(ws.chunks(CHUNK)) {
+        let n = kc.len().min(CHUNK);
+        for j in 0..n {
+            let x = reduce(kc[j]);
+            let (a, b) = split(x);
+            x0[j] = a;
+            x1[j] = b;
+            let x2 = canon(mm(a, b, a, b));
+            let (a2, b2) = split(x2);
+            y0[j] = a2;
+            y1[j] = b2;
+            let x3 = canon(mm(a2, b2, a, b));
+            let (a3, b3) = split(x3);
+            z0[j] = a3;
+            z1[j] = b3;
+            w[j] = wc[j];
+        }
+        for (i, t) in ts.iter().enumerate() {
+            let (a0, a1) = split(t.a);
+            let badd = t.b;
+            let (c10, c11) = split(t.c[1]);
+            let (c20, c21) = split(t.c[2]);
+            let (c30, c31) = split(t.c[3]);
+            let c0 = t.c[0];
+            for j in 0..n {
+                let q = canon(mm(a0, a1, x0[j], x1[j]) + badd);
+                qs[j] = (q & mask) as usize;
+                let e = c0
+                    + fold(mm(c10, c11, x0[j], x1[j]))
+                    + fold(mm(c20, c21, y0[j], y1[j]))
+                    + fold(mm(c30, c31, z0[j], z1[j]));
+                let r = canon(e);
+                ss[j] = if r & 1 == 1 {
+                    w[j].wrapping_neg()
+                } else {
+                    w[j]
+                };
+            }
+            for j in 0..n {
+                counters[qs[j] * t_count + i] += ss[j];
+            }
+        }
+    }
+}
+
+/// Variant C: same limb math, fused single pass per table (no scratch
+/// bucket/sign arrays — bucket, sign, scatter per key inline).
+fn fused(counters: &mut [i64], buckets: usize, ts: &[Table], keys: &[u64], ws: &[i64]) {
+    let mask = (buckets - 1) as u64;
+    let mut x0 = [0u64; CHUNK];
+    let mut x1 = [0u64; CHUNK];
+    let mut y0 = [0u64; CHUNK];
+    let mut y1 = [0u64; CHUNK];
+    let mut z0 = [0u64; CHUNK];
+    let mut z1 = [0u64; CHUNK];
+    let mut w = [0i64; CHUNK];
+    for (kc, wc) in keys.chunks(CHUNK).zip(ws.chunks(CHUNK)) {
+        let n = kc.len().min(CHUNK);
+        for j in 0..n {
+            let x = reduce(kc[j]);
+            let (a, b) = split(x);
+            x0[j] = a;
+            x1[j] = b;
+            let x2 = canon(mm_split(a, b, a, b));
+            let (a2, b2) = split(x2);
+            y0[j] = a2;
+            y1[j] = b2;
+            let x3 = canon(mm_split(a2, b2, a, b));
+            let (a3, b3) = split(x3);
+            z0[j] = a3;
+            z1[j] = b3;
+            w[j] = wc[j];
+        }
+        for (i, t) in ts.iter().enumerate() {
+            let (a0, a1) = split(t.a);
+            let badd = t.b;
+            let (c10, c11) = split(t.c[1]);
+            let (c20, c21) = split(t.c[2]);
+            let (c30, c31) = split(t.c[3]);
+            let c0 = t.c[0];
+            let row = &mut counters[i * buckets..(i + 1) * buckets];
+            let rmask = row.len() - 1;
+            for j in 0..n {
+                let q = canon(mm_split(a0, a1, x0[j], x1[j]) + badd);
+                let e = c0
+                    + fold(mm_split(c10, c11, x0[j], x1[j]))
+                    + fold(mm_split(c20, c21, y0[j], y1[j]))
+                    + fold(mm_split(c30, c31, z0[j], z1[j]));
+                let r = canon(e);
+                let s = if r & 1 == 1 {
+                    w[j].wrapping_neg()
+                } else {
+                    w[j]
+                };
+                row[(q & mask) as usize & rmask] += s;
+            }
+        }
+    }
+}
+
+fn best(reps: usize, n: usize, mut f: impl FnMut()) -> f64 {
+    let mut b = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        b = b.min(t.elapsed().as_secs_f64());
+    }
+    n as f64 / b / 1e6
+}
+
+fn wire_probe() {
+    use std::io::Cursor;
+    use stream_model::Update;
+    use stream_wire::{write_update_batch, Frame, StreamId};
+    const N: usize = 400_000;
+    const CHUNK_W: usize = 8_192;
+    let mut rng = StdRng::seed_from_u64(11);
+    let updates: Vec<Update> = (0..N)
+        .map(|_| Update::insert(rng.gen_range(0..1u64 << 14)))
+        .collect();
+
+    // encode (varint payload + 2 CRC passes) into a reused sink
+    let mut sink: Vec<u8> = Vec::new();
+    let t = Instant::now();
+    let mut reps = 0u32;
+    while t.elapsed().as_millis() < 400 {
+        sink.clear();
+        for (seq, chunk) in updates.chunks(CHUNK_W).enumerate() {
+            write_update_batch(&mut sink, StreamId::F, 1, seq as u64, chunk).unwrap();
+        }
+        reps += 1;
+    }
+    let enc = reps as f64 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+    let bytes_per = sink.len() as f64 / N as f64;
+
+    // decode (header verify + payload CRC + varint parse) from those bytes
+    let mut scratch = Vec::new();
+    let t = Instant::now();
+    let mut reps = 0u32;
+    while t.elapsed().as_millis() < 400 {
+        let mut cur = Cursor::new(&sink[..]);
+        while (cur.position() as usize) < sink.len() {
+            let (f, _len) = Frame::read_from_with_scratch(&mut cur, 1 << 24, &mut scratch).unwrap();
+            assert!(matches!(f, Frame::UpdateBatch { .. }));
+        }
+        reps += 1;
+    }
+    let dec = reps as f64 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+
+    // CRC alone over the same byte volume
+    let t = Instant::now();
+    let mut reps = 0u32;
+    let mut acc = 0u32;
+    while t.elapsed().as_millis() < 400 {
+        acc ^= stream_wire::crc32(&sink);
+        reps += 1;
+    }
+    let crc_gbs = reps as f64 * sink.len() as f64 / t.elapsed().as_secs_f64() / 1e9;
+    println!(
+        "wire: encode={enc:.1} Melem/s  decode={dec:.1} Melem/s  \
+         ({bytes_per:.1} B/update, crc {crc_gbs:.2} GB/s, acc {acc})"
+    );
+}
+
+fn main() {
+    wire_probe();
+    const N: usize = 400_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys: Vec<u64> = (0..N).map(|_| rng.gen_range(0..1u64 << 18)).collect();
+    let ws: Vec<i64> = (0..N).map(|_| 1i64).collect();
+    let ts = tables(3);
+
+    for &buckets in &[64usize, 256, 1024] {
+        let words = TABLES * buckets;
+        let mut c_ref = vec![0i64; words];
+        scalar(&mut c_ref, buckets, &ts, &keys, &ws);
+        let mut c1 = vec![0i64; words];
+        current(&mut c1, buckets, &ts, &keys, &ws);
+        assert_eq!(c_ref, c1, "current mismatch at {buckets}");
+        let mut c2 = vec![0i64; words];
+        lanes(&mut c2, buckets, &ts, &keys, &ws);
+        assert_eq!(c_ref, c2, "lanes mismatch at {buckets}");
+        let mut c3 = vec![0i64; words];
+        fused(&mut c3, buckets, &ts, &keys, &ws);
+        assert_eq!(c_ref, c3, "fused mismatch at {buckets}");
+        let mut c4 = vec![0i64; words];
+        lanes2(&mut c4, buckets, &ts, &keys, &ws);
+        assert_eq!(c_ref, c4, "lanes2 mismatch at {buckets}");
+        let mut c5 = vec![0i64; words];
+        lanes2_interleaved(&mut c5, buckets, &ts, &keys, &ws);
+        let deinterleaved: Vec<i64> = (0..TABLES)
+            .flat_map(|i| {
+                (0..buckets).map({
+                    let c5 = &c5;
+                    move |q| c5[q * TABLES + i]
+                })
+            })
+            .collect();
+        assert_eq!(c_ref, deinterleaved, "interleaved mismatch at {buckets}");
+
+        let mut c = vec![0i64; words];
+        let t_scalar = best(3, N, || scalar(&mut c, buckets, &ts, &keys, &ws));
+        let t_current = best(5, N, || current(&mut c, buckets, &ts, &keys, &ws));
+        let t_lanes = best(5, N, || lanes(&mut c, buckets, &ts, &keys, &ws));
+        let t_lanes2 = best(5, N, || lanes2(&mut c, buckets, &ts, &keys, &ws));
+        let t_inter = best(5, N, || {
+            lanes2_interleaved(&mut c, buckets, &ts, &keys, &ws)
+        });
+        let t_fused = best(5, N, || fused(&mut c, buckets, &ts, &keys, &ws));
+        println!(
+            "words={words:>6}  scalar={t_scalar:7.2}  current={t_current:7.2}  \
+             lanes={t_lanes:7.2}  lanes2={t_lanes2:7.2}  interleaved={t_inter:7.2}  \
+             fused={t_fused:7.2}  (Melem/s)"
+        );
+    }
+}

@@ -64,6 +64,10 @@ fn main() {
     let mut server_config = ServerConfig::new(schema.clone());
     server_config.handler_threads = 2;
     server_config.ingest_workers = 2.min(host_cpus);
+    // Deep enough that pipelined sends are paced by ingest speed, not by
+    // THROTTLE/backoff round trips (the queue is slack, not backpressure,
+    // at bench scale: 64 chunks × 8192 updates ≈ 8 MiB per stream).
+    server_config.queue_depth = 64;
     let server = Server::bind("127.0.0.1:0", server_config).expect("bind loopback");
     let addr = server.local_addr();
     println!("serving on {addr}");
@@ -76,6 +80,11 @@ fn main() {
     let t = Instant::now();
     let rf = client.send_all(StreamId::F, &uf, CHUNK).expect("send F");
     let rg = client.send_all(StreamId::G, &ug, CHUNK).expect("send G");
+    // Ingest barrier: BATCH_ACK means *queued*, not absorbed, and the
+    // deep bench queue can hold many chunks when send_all returns. A
+    // QUERY_JOIN takes linearizable snapshots through both worker FIFOs,
+    // so everything acked above is sketched before the clock stops.
+    client.query_join().expect("ingest barrier");
     let wire_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
     let throttled = rf.throttled + rg.throttled;
     println!(
@@ -84,11 +93,56 @@ fn main() {
     );
     assert_eq!(rf.updates + rg.updates, 2 * N as u64, "every update acked");
 
+    // --- in-process baseline: the same ingest pools, no socket -----------
+    // Same worker count, queue depth, and chunking as the server's pools;
+    // the only difference is the wire (encode → TCP → decode) is gone.
+    // `wire_gap_percent` below is what the network boundary costs.
+    let workers = 2.min(host_cpus);
+    let mk_pool = || {
+        let schema = schema.clone();
+        stream_ingest::IngestPool::with_queue_depth(workers, 8, move || {
+            SkimmedSketch::new(schema.clone())
+        })
+    };
+    let (pool_f, pool_g) = (mk_pool(), mk_pool());
+    let t = Instant::now();
+    for chunk in uf.chunks(CHUNK) {
+        pool_f.dispatch(chunk.to_vec());
+    }
+    for chunk in ug.chunks(CHUNK) {
+        pool_g.dispatch(chunk.to_vec());
+    }
+    let inproc_f = pool_f.finish().expect("in-process pool F");
+    let inproc_g = pool_g.finish().expect("in-process pool G");
+    let inproc_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+    let wire_gap = (inproc_melem_s - wire_melem_s) / inproc_melem_s * 100.0;
+    // On a single-CPU host the comparison is degenerate: client encode,
+    // server decode, and the sketch workers all serialize on one core,
+    // so the wire arm pays the full codec + scheduler tax on top of the
+    // same ingest work. With ≥2 cores the pipelined client overlaps
+    // encode with server-side ingest and the gap closes toward the ack
+    // latency. See DESIGN.md, "Counter memory layout & vectorization".
+    let degenerate = host_cpus == 1;
+    let note = if degenerate {
+        " (degenerate: 1 host cpu serializes both sides)"
+    } else {
+        ""
+    };
+    println!(
+        "in-process ingest (same pools, no socket): {inproc_melem_s:.2} Melem/s — wire gap {wire_gap:.2}%{note}"
+    );
+
     // --- correctness gate: served answer == in-process answer ------------
     let mut local_f = SkimmedSketch::new(schema.clone());
     let mut local_g = SkimmedSketch::new(schema);
     local_f.add_batch(&uf);
     local_g.add_batch(&ug);
+    assert_eq!(
+        inproc_f.l1_mass(),
+        local_f.l1_mass(),
+        "pooled in-process ingest drains every update"
+    );
+    assert_eq!(inproc_g.l1_mass(), local_g.l1_mass());
     let local = estimate_join(&local_f, &local_g, &EstimatorConfig::default());
     let served = client.query_join().expect("query_join");
     assert_eq!(
@@ -138,7 +192,9 @@ fn main() {
     if !stream_telemetry::ENABLED {
         let json = format!(
             "{{\n  \"bench\": \"server_off\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
-             \"wire_melem_s\": {wire_melem_s:.3},\n  \"query_p50_us\": {p50:.1},\n  \
+             \"wire_melem_s\": {wire_melem_s:.3},\n  \"inproc_melem_s\": {inproc_melem_s:.3},\n  \
+             \"wire_gap_percent\": {wire_gap:.2},\n  \"degenerate\": {degenerate},\n  \
+             \"query_p50_us\": {p50:.1},\n  \
              \"query_p95_us\": {p95:.1},\n  \"query_p99_us\": {p99:.1}\n}}\n",
             2 * N,
         );
@@ -167,6 +223,8 @@ fn main() {
         "{{\n  \"bench\": \"server\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
          \"queries\": {QUERIES},\n  \"enabled_wire_melem_s\": {wire_melem_s:.3},\n  \
          \"disabled_wire_melem_s\": {off_field},\n  \"overhead_percent\": {overhead_field},\n  \
+         \"inproc_melem_s\": {inproc_melem_s:.3},\n  \"wire_gap_percent\": {wire_gap:.2},\n  \
+         \"degenerate\": {degenerate},\n  \
          \"throttle_retries\": {throttled},\n  \"query_p50_us\": {p50:.1},\n  \
          \"query_p95_us\": {p95:.1},\n  \"query_p99_us\": {p99:.1}\n}}\n",
         2 * N,

@@ -9,6 +9,7 @@
 //!   is what the AMS second-moment analysis requires (four-wise independence
 //!   makes `E[ξ_u ξ_v ξ_w ξ_x]` factor for any four distinct values).
 
+use crate::lanes::{canon61, fold61, mul_limbs, split61};
 use crate::prime::{add_mod, mul_mod, poly_eval, reduce, reduce128};
 use crate::seed::SeedSequence;
 
@@ -43,7 +44,7 @@ impl PairwiseHash {
         Self {
             a: g.next_nonzero_field_element(),
             b: g.next_field_element(),
-            range: range as u64,
+            range: u64::try_from(range).expect("usize range fits in u64"),
         }
     }
 
@@ -86,6 +87,34 @@ impl PairwiseHash {
         } else {
             for (o, &x) in out.iter_mut().zip(reduced) {
                 *o = (reduce128(a * x as u128 + b) % range) as usize;
+            }
+        }
+    }
+
+    /// Evaluates the hash on a block of pre-split keys (`x = x0 + x1·2^31`,
+    /// see [`crate::lanes`]), writing one bucket per key into `out`.
+    ///
+    /// This is the vector-lane form of [`PairwiseHash::bucket_batch`]: all
+    /// multiplies are 32×32→64 limb products, so with AVX2 or wider the
+    /// whole loop autovectorizes around `vpmuludq`. The lazy product plus
+    /// the canonical `b` stays below `2^64` and is canonicalized once, so
+    /// buckets are bit-identical to [`PairwiseHash::bucket`].
+    pub fn bucket_block(&self, x0: &[u64], x1: &[u64], out: &mut [usize]) {
+        let n = out.len();
+        assert!(x0.len() == n && x1.len() == n, "batch length mismatch");
+        let (x0, x1) = (&x0[..n], &x1[..n]);
+        let (a0, a1) = split61(self.a);
+        let (b, range) = (self.b, self.range);
+        if range.is_power_of_two() {
+            let mask = range - 1;
+            for j in 0..n {
+                let v = canon61(mul_limbs(a0, a1, x0[j], x1[j]) + b);
+                out[j] = (v & mask) as usize;
+            }
+        } else {
+            for j in 0..n {
+                let v = canon61(mul_limbs(a0, a1, x0[j], x1[j]) + b);
+                out[j] = (v % range) as usize;
             }
         }
     }
@@ -141,7 +170,7 @@ impl SignFamily {
     #[inline]
     pub fn sign(&self, x: u64) -> i64 {
         // Branchless: map parity bit {0,1} to {+1,-1}.
-        1 - 2 * ((self.inner.eval(x) & 1) as i64)
+        1 - 2 * i64::from((self.inner.eval(x) & 1) == 1)
     }
 
     /// Returns the sign as an `f64` (`+1.0` / `-1.0`).
@@ -192,7 +221,65 @@ impl SignFamily {
         let (c0, c1, c2, c3) = (c0 as u128, c1 as u128, c2 as u128, c3 as u128);
         for j in 0..x.len() {
             let t = c0 + c1 * x[j] as u128 + c2 * x2[j] as u128 + c3 * x3[j] as u128;
-            out[j] = 1 - 2 * ((reduce128(t) & 1) as i64);
+            out[j] = 1 - 2 * i64::from((reduce128(t) & 1) == 1);
+        }
+    }
+
+    /// Evaluates `w·ξ(x)` for a block of keys given as split power limbs
+    /// (`x`, `x²`, `x³` each as `lo + hi·2^31`; see
+    /// [`crate::lanes::power_limbs`]), writing each key's **signed weight**
+    /// into `out`.
+    ///
+    /// This is the vector-lane form of
+    /// [`SignFamily::sign_batch_with_powers`], fused with the weight
+    /// multiply: the three degree terms are 32×32→64 limb products folded
+    /// once each (every partial sum stays in `u64` — bounds in
+    /// [`crate::lanes`]), one final canonicalization recovers the exact
+    /// field value, and its parity selects `w` or `-w` branchlessly. The
+    /// signed weights are bit-identical to `weight * sign(x)` from the
+    /// scalar path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn signed_weight_block(
+        &self,
+        x0: &[u64],
+        x1: &[u64],
+        sq0: &[u64],
+        sq1: &[u64],
+        cu0: &[u64],
+        cu1: &[u64],
+        weights: &[i64],
+        out: &mut [i64],
+    ) {
+        let n = out.len();
+        assert!(
+            x0.len() == n
+                && x1.len() == n
+                && sq0.len() == n
+                && sq1.len() == n
+                && cu0.len() == n
+                && cu1.len() == n
+                && weights.len() == n,
+            "batch length mismatch"
+        );
+        let (x0, x1) = (&x0[..n], &x1[..n]);
+        let (sq0, sq1) = (&sq0[..n], &sq1[..n]);
+        let (cu0, cu1) = (&cu0[..n], &cu1[..n]);
+        let weights = &weights[..n];
+        let [k0, k1, k2, k3] = self.inner.coeffs;
+        let (c10, c11) = split61(k1);
+        let (c20, c21) = split61(k2);
+        let (c30, c31) = split61(k3);
+        for j in 0..n {
+            let e = k0
+                + fold61(mul_limbs(c10, c11, x0[j], x1[j]))
+                + fold61(mul_limbs(c20, c21, sq0[j], sq1[j]))
+                + fold61(mul_limbs(c30, c31, cu0[j], cu1[j]));
+            let r = canon61(e);
+            out[j] = if r & 1 == 1 {
+                weights[j].wrapping_neg()
+            } else {
+                weights[j]
+            };
         }
     }
 }
@@ -223,9 +310,10 @@ pub mod selftest {
     /// independence of the signs.
     pub fn sign_pair_correlation(seed: u64, trials: usize, x: u64, y: u64) -> f64 {
         assert_ne!(x, y);
+        let trials_u64 = u64::try_from(trials).expect("usize trials fits in u64");
         let mut sum = 0i64;
-        for t in 0..trials {
-            let fam = SignFamily::from_seed(SeedSequence::new(seed).fork(t as u64));
+        for t in 0..trials_u64 {
+            let fam = SignFamily::from_seed(SeedSequence::new(seed).fork(t));
             sum += fam.sign(x) * fam.sign(y);
         }
         sum as f64 / trials as f64
@@ -333,6 +421,66 @@ mod tests {
         for (&k, &s) in keys.iter().zip(&out) {
             assert_eq!(s, f.sign(k), "key={k}");
         }
+    }
+
+    #[test]
+    fn bucket_block_matches_scalar_bucket() {
+        use crate::lanes::split61;
+        for range in [64usize, 100, 1, 1024, 257] {
+            let h = PairwiseHash::from_seed(SeedSequence::new(47), range);
+            let keys: Vec<u64> = (0..500u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .chain([u64::MAX, MERSENNE_P, MERSENNE_P + 1])
+                .collect();
+            let x0: Vec<u64> = keys.iter().map(|&k| split61(reduce(k)).0).collect();
+            let x1: Vec<u64> = keys.iter().map(|&k| split61(reduce(k)).1).collect();
+            let mut out = vec![0usize; keys.len()];
+            h.bucket_block(&x0, &x1, &mut out);
+            for (&k, &b) in keys.iter().zip(&out) {
+                assert_eq!(b, h.bucket(k), "range={range} key={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_weight_block_matches_scalar_sign() {
+        use crate::lanes::power_limbs;
+        let f = SignFamily::from_seed(SeedSequence::new(53));
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95))
+            .chain([u64::MAX, MERSENNE_P, MERSENNE_P + 1])
+            .collect();
+        let mut limbs = vec![[0u64; 6]; keys.len()];
+        for (l, &k) in limbs.iter_mut().zip(&keys) {
+            *l = power_limbs(reduce(k));
+        }
+        let col = |i: usize| limbs.iter().map(|l| l[i]).collect::<Vec<u64>>();
+        let (x0, x1, sq0, sq1, cu0, cu1) = (col(0), col(1), col(2), col(3), col(4), col(5));
+        // Varied weights, including the extremes of i64.
+        let weights: Vec<i64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match i % 5 {
+                0 => 1,
+                1 => -3,
+                2 => i64::MAX,
+                3 => 0,
+                _ => i as i64 - 250,
+            })
+            .collect();
+        let mut out = vec![0i64; keys.len()];
+        f.signed_weight_block(&x0, &x1, &sq0, &sq1, &cu0, &cu1, &weights, &mut out);
+        for ((&k, &w), &sw) in keys.iter().zip(&weights).zip(&out) {
+            assert_eq!(sw, w * f.sign(k), "key={k} weight={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bucket_block_rejects_mismatched_lengths() {
+        let h = PairwiseHash::from_seed(SeedSequence::new(5), 16);
+        let mut out = vec![0usize; 3];
+        h.bucket_block(&[1, 2], &[0, 0], &mut out);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Lane-friendly limb arithmetic over `Z_p`, `p = 2^61 − 1`, for the
+//! blocked batch kernels.
+//!
+//! The scalar field routines in [`crate::prime`] widen to `u128` and rely
+//! on the `mulx`-style 64×64→128 multiply. That is the right shape for one
+//! element at a time, but it pins the whole evaluation to the scalar
+//! multiplier: LLVM will not autovectorize a loop of `u128` products.
+//!
+//! This module re-expresses the same field operations over **32-bit
+//! limbs** so that every multiply in the hot loops is a 32×32→64 product —
+//! exactly the shape of `vpmuludq`, which exists at every x86 vector width
+//! (2 lanes under SSE2, 4 under AVX2, 8 under AVX-512) and costs a single
+//! µop. A canonical field element `x < 2^61` is split as
+//!
+//! ```text
+//! x = x0 + x1·2^31,   x0 < 2^31,  x1 < 2^30
+//! ```
+//!
+//! and a product `a·x` of two split canonical elements is rebuilt from the
+//! four partial products using `2^62 ≡ 2` and `2^61 ≡ 1 (mod p)`:
+//!
+//! ```text
+//! a·x = a0·x0 + (a0·x1 + a1·x0)·2^31 + a1·x1·2^62
+//!     ≡ a0·x0 + 2·(a1·x1) + m0·2^31 + m1          (mod p)
+//!       where m = a0·x1 + a1·x0,  m0 = m mod 2^30,  m1 = ⌊m / 2^30⌋
+//! ```
+//!
+//! (the `m` recombination uses `m·2^31 = m0·2^31 + m1·2^61 ≡ m0·2^31 + m1`).
+//! Every intermediate stays in `u64`:
+//!
+//! * `a0·x0 < 2^62`, `2·(a1·x1) < 2^61`, `m < 2^62` (no overflow in the
+//!   cross-term sum), `m0·2^31 < 2^61`, `m1 < 2^32`;
+//! * the lazy sum returned by [`mul_limbs`] is `< 2^63 + 2^32`.
+//!
+//! Lazy sums are folded back below `2^61` with [`fold61`] (one shift, one
+//! mask, one add — the result is `≡ (mod p)` but may still be ≥ `p`) and
+//! canonicalized with [`canon61`] (fold plus one conditional subtract).
+//! Because the scalar path also ends in a single canonicalization, kernels
+//! built from these primitives produce **bit-identical** field values, and
+//! therefore bit-identical sketch counters.
+//!
+//! The limb kernels only pay off when the target actually has ≥4-lane
+//! 64-bit vectors: under bare SSE2 the extra split/recombine ALU work
+//! cancels the multiplier win. [`VECTOR_KERNEL`] captures that decision at
+//! compile time; the batch entry points in `stream-sketches` consult it to
+//! pick between this path and the lazy-`u128` path. The workspace's
+//! `.cargo/config.toml` compiles with `-C target-cpu=native`, so any
+//! 2013-or-later x86-64 host (and every CI runner) takes the lane path.
+
+use crate::prime::MERSENNE_P;
+
+/// True when the compile target's vector ISA makes the 32-bit limb kernels
+/// profitable. AVX2 is the threshold measured on real hardware: 4-lane
+/// `vpmuludq` roughly doubles the blocked hash-sketch kernel, while under
+/// bare SSE2 the limb path is marginally *slower* than the lazy-`u128`
+/// path, so baseline builds keep the scalar-multiplier kernels.
+pub const VECTOR_KERNEL: bool = cfg!(target_feature = "avx2");
+
+/// Mask of the low limb: 31 bits.
+pub const LIMB0_MASK: u64 = (1u64 << 31) - 1;
+
+/// Mask of the high limb: 30 bits.
+pub const LIMB1_MASK: u64 = (1u64 << 30) - 1;
+
+/// Splits a canonical field element (`x < 2^61`) into `(x mod 2^31,
+/// ⌊x / 2^31⌋)`.
+#[inline(always)]
+pub fn split61(x: u64) -> (u64, u64) {
+    (x & LIMB0_MASK, x >> 31)
+}
+
+/// Lazy product of two split canonical field elements: returns
+/// `S ≡ a·x (mod p)` with `S < 2^63 + 2^32`.
+///
+/// Operands are re-masked on entry. The masks are no-ops for genuinely
+/// split inputs, but they let the compiler *prove* every operand fits in
+/// 32 bits, which is what turns the four multiplies into `vpmuludq`
+/// instead of the 3-µop 64-bit `vpmullq` inside autovectorized loops.
+#[inline(always)]
+pub fn mul_limbs(a0: u64, a1: u64, x0: u64, x1: u64) -> u64 {
+    let (a0, a1, x0, x1) = (
+        a0 & LIMB0_MASK,
+        a1 & LIMB1_MASK,
+        x0 & LIMB0_MASK,
+        x1 & LIMB1_MASK,
+    );
+    let p00 = a0 * x0;
+    let p11 = a1 * x1;
+    let m = a0 * x1 + a1 * x0;
+    p00 + (p11 << 1) + ((m & LIMB1_MASK) << 31) + (m >> 30)
+}
+
+/// Folds a lazy sum (`< 2^64`) once: the result is `≡ s (mod p)` and
+/// `< 2^61 + 8`, small enough to add three more folded terms without
+/// overflow, but **not** necessarily canonical.
+#[inline(always)]
+pub fn fold61(s: u64) -> u64 {
+    (s & MERSENNE_P) + (s >> 61)
+}
+
+/// Canonicalizes a lazy sum (`< 2^64`) into `[0, p)`.
+#[inline(always)]
+pub fn canon61(s: u64) -> u64 {
+    let r = fold61(s);
+    if r >= MERSENNE_P {
+        r - MERSENNE_P
+    } else {
+        r
+    }
+}
+
+/// Limbs of a canonical key and its square and cube: the shared per-key
+/// precomputation of the blocked sketch kernels, `[x0, x1, x²0, x²1, x³0,
+/// x³1]`.
+///
+/// One pairwise bucket hash and one degree-3 sign polynomial per table all
+/// consume the same powers, so the batch kernels compute these six limbs
+/// once per key per chunk and reuse them across every table.
+#[inline(always)]
+pub fn power_limbs(x: u64) -> [u64; 6] {
+    debug_assert!(x < MERSENNE_P);
+    let (x0, x1) = split61(x);
+    let sq = canon61(mul_limbs(x0, x1, x0, x1));
+    let (s0, s1) = split61(sq);
+    let cu = canon61(mul_limbs(s0, s1, x0, x1));
+    let (c0, c1) = split61(cu);
+    [x0, x1, s0, s1, c0, c1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::{mul_mod, reduce};
+    use crate::seed::SplitMix64;
+
+    #[test]
+    fn split_round_trips() {
+        for x in [0u64, 1, LIMB0_MASK, MERSENNE_P - 1, 1 << 60] {
+            let (lo, hi) = split61(x);
+            assert!(lo < (1 << 31) && hi < (1 << 30));
+            assert_eq!(lo + (hi << 31), x);
+        }
+    }
+
+    #[test]
+    fn mul_limbs_matches_mul_mod() {
+        let mut g = SplitMix64::new(0xC0FFEE);
+        for _ in 0..20_000 {
+            let a = reduce(g.next_u64());
+            let x = reduce(g.next_u64());
+            let (a0, a1) = split61(a);
+            let (x0, x1) = split61(x);
+            let lazy = mul_limbs(a0, a1, x0, x1);
+            assert_eq!(canon61(lazy), mul_mod(a, x), "a={a} x={x}");
+        }
+    }
+
+    #[test]
+    fn mul_limbs_extremes() {
+        let edge = [0u64, 1, 2, LIMB0_MASK, LIMB0_MASK + 1, MERSENNE_P - 1];
+        for &a in &edge {
+            for &x in &edge {
+                let (a0, a1) = split61(a);
+                let (x0, x1) = split61(x);
+                assert_eq!(canon61(mul_limbs(a0, a1, x0, x1)), mul_mod(a, x));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_product_stays_below_folding_headroom() {
+        // The kernels add a canonical constant (< 2^61) to one lazy product
+        // (< 2^63 + 2^32) — assert the documented bound with the most
+        // extreme representable limbs.
+        let m = mul_limbs(LIMB0_MASK, LIMB1_MASK, LIMB0_MASK, LIMB1_MASK);
+        assert!(m < (1u64 << 63) + (1u64 << 32));
+        // Adding p - 1 on top must not wrap u64.
+        assert!(m.checked_add(MERSENNE_P - 1).is_some());
+    }
+
+    #[test]
+    fn fold_then_canon_equals_modulus() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..20_000 {
+            let s = g.next_u64();
+            let folded = fold61(s);
+            assert!(folded < (1u64 << 61) + 8);
+            assert_eq!(
+                u128::from(folded) % u128::from(MERSENNE_P),
+                u128::from(s) % u128::from(MERSENNE_P)
+            );
+            assert_eq!(
+                u128::from(canon61(s)),
+                u128::from(s) % u128::from(MERSENNE_P)
+            );
+        }
+    }
+
+    #[test]
+    fn four_folded_terms_cannot_overflow() {
+        // The sign kernel sums one canonical coefficient and three folded
+        // products; the documented bound keeps that in u64.
+        let worst_fold = (1u64 << 61) + 7;
+        let sum = (MERSENNE_P - 1)
+            .checked_add(worst_fold)
+            .and_then(|s| s.checked_add(worst_fold))
+            .and_then(|s| s.checked_add(worst_fold));
+        assert!(sum.is_some());
+    }
+
+    #[test]
+    fn power_limbs_are_split_powers() {
+        let mut g = SplitMix64::new(99);
+        for _ in 0..5_000 {
+            let x = reduce(g.next_u64());
+            let [x0, x1, s0, s1, c0, c1] = power_limbs(x);
+            assert_eq!(x0 + (x1 << 31), x);
+            assert_eq!(s0 + (s1 << 31), mul_mod(x, x));
+            assert_eq!(c0 + (c1 << 31), mul_mod(mul_mod(x, x), x));
+        }
+    }
+}

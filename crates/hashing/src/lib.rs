@@ -24,6 +24,7 @@ pub mod bch;
 pub mod family;
 pub mod gf2;
 pub mod kwise;
+pub mod lanes;
 pub mod prime;
 pub mod seed;
 pub mod tabulation;

@@ -1,10 +1,13 @@
 //! `ServerClient` — the library-side of the wire protocol, used by the
 //! integration tests, the benches, and the `ssketch` CLI.
 //!
-//! One blocking TCP connection, strict request/reply. The client owns
-//! backpressure handling: [`ServerClient::send_batch`] surfaces THROTTLE
-//! as a [`BatchOutcome`], while [`ServerClient::send_all`] retries with
-//! capped exponential backoff until the stream is fully acknowledged.
+//! One blocking TCP connection. Queries and sequenced sends are strict
+//! request/reply; unsequenced [`ServerClient::send_all`] pipelines a
+//! small window of batches so encode overlaps the server's decode +
+//! ingest. The client owns backpressure handling:
+//! [`ServerClient::send_batch`] surfaces THROTTLE as a [`BatchOutcome`],
+//! while [`ServerClient::send_all`] retries with capped exponential
+//! backoff until the stream is fully acknowledged.
 //!
 //! With a nonzero [`ClientConfig::client_id`] every batch carries a
 //! per-stream sequence number, making sends **idempotent** at the
@@ -241,6 +244,17 @@ pub struct JoinAnswer {
     pub dense_g: u64,
 }
 
+/// How many batches an unsequenced [`ServerClient::send_all`] keeps in
+/// flight before waiting for the oldest ack. A few are enough to hide
+/// the ack round trip (the next batches are already encoded and in the
+/// socket while the previous ack travels back); much larger windows
+/// just overrun the server's per-worker ingest queue and convert the
+/// headroom into THROTTLE round trips. Deadlock-free by sizing: the
+/// replies for a full window are a few hundred bytes, far below any
+/// socket buffer, so the server can always finish writing an ack and
+/// return to draining the data the client is blocked sending.
+const PIPELINE_WINDOW: usize = 4;
+
 /// A connected, handshaken client session.
 #[derive(Debug)]
 pub struct ServerClient {
@@ -253,6 +267,9 @@ pub struct ServerClient {
     next_seq: [u64; 2],
     /// THROTTLE-retry backoff state for [`ServerClient::send_all`].
     backoff: Backoff,
+    /// Reusable payload buffer for replies: grows to the largest reply
+    /// seen (a snapshot, typically), then no reply allocates.
+    scratch: Vec<u8>,
 }
 
 impl ServerClient {
@@ -298,6 +315,7 @@ impl ServerClient {
             config,
             next_seq: [1, 1],
             backoff,
+            scratch: Vec::new(),
         };
         let reply = client.call(&Frame::Hello {
             protocol: VERSION,
@@ -354,8 +372,15 @@ impl ServerClient {
     /// One request, one reply. ERROR replies become `ClientError::Server`.
     fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
         request.write_to(&mut self.sock)?;
+        self.read_reply()
+    }
+
+    /// Waits out the strict-request/reply turnaround for one reply frame,
+    /// absorbing idle ticks up to the configured patience budget.
+    fn read_reply(&mut self) -> Result<Frame, ClientError> {
         for _ in 0..self.config.reply_retries {
-            match Frame::read_from(&mut self.sock, self.max_payload) {
+            match Frame::read_from_with_scratch(&mut self.sock, self.max_payload, &mut self.scratch)
+            {
                 Ok((Frame::Error { code, message }, _)) => {
                     return Err(ClientError::Server { code, message })
                 }
@@ -405,12 +430,18 @@ impl ServerClient {
         } else {
             0
         };
-        let reply = self.call(&Frame::UpdateBatch {
+        // Vectored borrowed-parts send: no `Frame` is materialised and the
+        // updates are never cloned — header + payload go out in one
+        // `write_vectored` call.
+        stream_wire::write_update_batch(
+            &mut self.sock,
             stream,
-            client_id: self.config.client_id,
+            self.config.client_id,
             seq,
-            updates: updates.to_vec(),
-        })?;
+            updates,
+        )
+        .map_err(ClientError::Io)?;
+        let reply = self.read_reply()?;
         match reply {
             Frame::BatchAck { accepted } => {
                 if sequenced {
@@ -428,6 +459,16 @@ impl ServerClient {
     /// Streams `updates` in `chunk`-sized batches, retrying throttled
     /// batches under capped exponential backoff until everything is
     /// acknowledged.
+    ///
+    /// Unsequenced sessions (`client_id == 0`) pipeline up to
+    /// [`PIPELINE_WINDOW`] batches before waiting for the oldest ack, so
+    /// the producer's encode overlaps the server's decode + ingest
+    /// instead of idling through a full round trip per batch. Sketch
+    /// updates commute, so a throttled batch can be retried after the
+    /// main pass without reordering concerns. Sequenced sessions keep
+    /// strict request/reply: their per-stream sequence number advances
+    /// only on BATCH_ACK, and the server's idempotence high-water mark
+    /// assumes no gaps.
     pub fn send_all(
         &mut self,
         stream: StreamId,
@@ -438,23 +479,85 @@ impl ServerClient {
         let chunk = chunk.min(self.info.max_batch.max(1) as usize);
         let mut report = SendReport::default();
         self.backoff.reset();
+        if self.config.client_id != 0 {
+            for batch in updates.chunks(chunk) {
+                loop {
+                    match self.send_batch(stream, batch)? {
+                        BatchOutcome::Accepted(n) => {
+                            report.batches += 1;
+                            report.updates += n;
+                            self.backoff.reset();
+                            break;
+                        }
+                        BatchOutcome::Throttled { .. } => {
+                            report.throttled += 1;
+                            std::thread::sleep(self.backoff.delay());
+                        }
+                    }
+                }
+            }
+            return Ok(report);
+        }
+        // Pipelined pass: the server answers strictly in order, so the
+        // i-th reply always belongs to the oldest in-flight batch.
+        let mut inflight: std::collections::VecDeque<&[Update]> = std::collections::VecDeque::new();
+        let mut retry: Vec<&[Update]> = Vec::new();
         for batch in updates.chunks(chunk) {
-            loop {
+            stream_wire::write_update_batch(&mut self.sock, stream, 0, 0, batch)
+                .map_err(ClientError::Io)?;
+            inflight.push_back(batch);
+            if inflight.len() >= PIPELINE_WINDOW {
+                self.absorb_reply(&mut inflight, &mut retry, &mut report)?;
+            }
+        }
+        while !inflight.is_empty() {
+            self.absorb_reply(&mut inflight, &mut retry, &mut report)?;
+        }
+        // Throttled batches were never queued server-side; re-send them
+        // strictly, a backoff pause per round.
+        while !retry.is_empty() {
+            std::thread::sleep(self.backoff.delay());
+            for batch in std::mem::take(&mut retry) {
                 match self.send_batch(stream, batch)? {
                     BatchOutcome::Accepted(n) => {
                         report.batches += 1;
                         report.updates += n;
-                        self.backoff.reset();
-                        break;
                     }
                     BatchOutcome::Throttled { .. } => {
                         report.throttled += 1;
-                        std::thread::sleep(self.backoff.delay());
+                        retry.push(batch);
                     }
                 }
             }
         }
         Ok(report)
+    }
+
+    /// Consumes the reply for the oldest in-flight pipelined batch:
+    /// BATCH_ACK lands in the report, THROTTLE parks the batch for the
+    /// retry pass.
+    fn absorb_reply<'u>(
+        &mut self,
+        inflight: &mut std::collections::VecDeque<&'u [Update]>,
+        retry: &mut Vec<&'u [Update]>,
+        report: &mut SendReport,
+    ) -> Result<(), ClientError> {
+        let Some(batch) = inflight.pop_front() else {
+            return Ok(());
+        };
+        match self.read_reply()? {
+            Frame::BatchAck { accepted } => {
+                report.batches += 1;
+                report.updates += accepted;
+            }
+            Frame::Throttle { .. } => {
+                report.throttled += 1;
+                retry.push(batch);
+            }
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => return Err(ClientError::UnexpectedFrame("batch reply")),
+        }
+        Ok(())
     }
 
     /// `COUNT(F ⋈ G)` from linearizable snapshots of both server sketches.

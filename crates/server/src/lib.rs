@@ -665,10 +665,14 @@ fn handle_connection(inner: &Inner, mut sock: TcpStream) {
 
 /// Reads one frame, handling idle ticks and shutdown; `None` means the
 /// connection is done (closed, errored, or the server is draining).
-fn next_frame(inner: &Inner, sock: &mut TcpStream) -> Option<Frame> {
+///
+/// `scratch` is the connection's reusable payload buffer: it grows to the
+/// largest payload the connection has seen and is reused for every frame
+/// after, so steady-state ingest performs no per-frame allocation.
+fn next_frame(inner: &Inner, sock: &mut TcpStream, scratch: &mut Vec<u8>) -> Option<Frame> {
     let metrics = inner.metrics;
     loop {
-        match Frame::read_from(sock, inner.config.max_payload) {
+        match Frame::read_from_with_scratch(sock, inner.config.max_payload, scratch) {
             Ok((frame, n)) => {
                 if let Some(m) = metrics {
                     m.frames_rx.inc();
@@ -865,9 +869,11 @@ fn maybe_checkpoint(inner: &Inner, persist: &mut Persist) {
 
 fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
     let metrics = inner.metrics;
+    // One payload buffer for the connection's whole life (see `next_frame`).
+    let mut scratch = Vec::new();
 
     // Handshake: the first frame must be HELLO at our protocol version.
-    match next_frame(inner, sock) {
+    match next_frame(inner, sock, &mut scratch) {
         Some(Frame::Hello { protocol, .. }) => {
             if protocol != VERSION {
                 send_error(
@@ -889,7 +895,7 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
         None => return,
     }
 
-    while let Some(frame) = next_frame(inner, sock) {
+    while let Some(frame) = next_frame(inner, sock, &mut scratch) {
         match frame {
             Frame::UpdateBatch {
                 stream,

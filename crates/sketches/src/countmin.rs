@@ -10,6 +10,7 @@
 use crate::hash_sketch::BATCH_CHUNK;
 use crate::linear::LinearSynopsis;
 use std::sync::Arc;
+use stream_hash::lanes;
 use stream_hash::prime::reduce;
 use stream_hash::{PairwiseHash, SeedSequence};
 use stream_model::update::{StreamSink, Update};
@@ -121,15 +122,67 @@ impl CountMinSketch {
     /// Applies a batch of updates with the loops interchanged: outer loop
     /// over rows, inner loop over a stack-resident chunk of the batch.
     /// Values are reduced into the hash field once per chunk and shared by
-    /// every row. Counters are bit-identical to the per-update path.
+    /// every row. On AVX2-or-wider targets ([`lanes::VECTOR_KERNEL`]) the
+    /// bucket hashes run the blocked 32-bit limb-lane kernel. Counters are
+    /// bit-identical to the per-update path either way.
     pub fn add_batch(&mut self, batch: &[Update]) {
-        let w = self.schema.width;
         if stream_telemetry::ENABLED {
             static STATS: std::sync::OnceLock<crate::telem::BatchStats> =
                 std::sync::OnceLock::new();
             crate::telem::batch_stats(&STATS, "countmin")
                 .note(batch.len(), batch.len() * self.schema.depth);
         }
+        if lanes::VECTOR_KERNEL {
+            self.add_batch_limb_lanes(batch);
+        } else {
+            self.add_batch_lazy128(batch);
+        }
+    }
+
+    /// Blocked limb-lane kernel: keys split into 32-bit limbs once per
+    /// chunk, buckets evaluated per row via [`PairwiseHash::bucket_block`].
+    ///
+    /// Public so benches and property tests can pin this kernel regardless
+    /// of what [`CountMinSketch::add_batch`] would select; production code
+    /// should call `add_batch` and let the selector pick.
+    pub fn add_batch_limb_lanes(&mut self, batch: &[Update]) {
+        let w = self.schema.width;
+        let mut x0 = [0u64; BATCH_CHUNK];
+        let mut x1 = [0u64; BATCH_CHUNK];
+        let mut weights = [0i64; BATCH_CHUNK];
+        let mut buckets = [0usize; BATCH_CHUNK];
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let n = chunk.len();
+            for (j, u) in chunk.iter().enumerate() {
+                let (lo, hi) = lanes::split61(reduce(u.value));
+                x0[j] = lo;
+                x1[j] = hi;
+                weights[j] = u.weight;
+            }
+            for r in 0..self.schema.depth {
+                self.schema.hashes[r].bucket_block(&x0[..n], &x1[..n], &mut buckets[..n]);
+                let row = &mut self.counters[r * w..(r + 1) * w];
+                if w.is_power_of_two() {
+                    let m = w - 1;
+                    for j in 0..n {
+                        row[buckets[j] & m] += weights[j];
+                    }
+                } else {
+                    for j in 0..n {
+                        row[buckets[j]] += weights[j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lazy-`u128` kernel (the scalar-multiplier path).
+    ///
+    /// Public so benches and property tests can pin this kernel regardless
+    /// of what [`CountMinSketch::add_batch`] would select; production code
+    /// should call `add_batch` and let the selector pick.
+    pub fn add_batch_lazy128(&mut self, batch: &[Update]) {
+        let w = self.schema.width;
         let mut reduced = [0u64; BATCH_CHUNK];
         let mut weights = [0i64; BATCH_CHUNK];
         let mut buckets = [0usize; BATCH_CHUNK];
@@ -283,8 +336,12 @@ mod tests {
                     .collect();
                 let schema = CountMinSchema::new(4, width, 45);
                 let mut batched = CountMinSketch::new(schema.clone());
+                let mut limb = CountMinSketch::new(schema.clone());
+                let mut lazy = CountMinSketch::new(schema.clone());
                 let mut scalar = CountMinSketch::new(schema);
                 batched.update_batch(&batch);
+                limb.add_batch_limb_lanes(&batch);
+                lazy.add_batch_lazy128(&batch);
                 for &u in &batch {
                     scalar.update(u);
                 }
@@ -292,6 +349,16 @@ mod tests {
                     batched.counters(),
                     scalar.counters(),
                     "width={width} len={len}"
+                );
+                assert_eq!(
+                    limb.counters(),
+                    scalar.counters(),
+                    "limb-lane kernel, width={width} len={len}"
+                );
+                assert_eq!(
+                    lazy.counters(),
+                    scalar.counters(),
+                    "lazy128 kernel, width={width} len={len}"
                 );
             }
         }

@@ -14,6 +14,7 @@
 
 use crate::linear::LinearSynopsis;
 use std::sync::{Arc, OnceLock};
+use stream_hash::lanes;
 use stream_hash::prime::{mul_mod, reduce};
 use stream_hash::{PairwiseHash, SeedSequence, SignFamily};
 use stream_model::metrics::{median_i128, median_i64};
@@ -178,15 +179,97 @@ impl HashSketch {
     /// Each value is reduced into the hash field once per chunk (shared by
     /// every table's bucket and sign evaluation), hash constants stay in
     /// registers across the inner loop, and counter writes of one chunk hit
-    /// a single table row at a time. The counters produced are bit-identical
-    /// to applying [`HashSketch::add_weighted`] update by update.
+    /// a single table row at a time. On targets with ≥4-lane 64-bit vectors
+    /// (AVX2 or wider; [`lanes::VECTOR_KERNEL`]) the hash math runs the
+    /// blocked 32-bit limb-lane kernel, which the compiler autovectorizes;
+    /// elsewhere the lazy-`u128` kernel is kept. Both produce counters
+    /// bit-identical to applying [`HashSketch::add_weighted`] update by
+    /// update.
     pub fn add_batch(&mut self, batch: &[Update]) {
-        let t = self.schema.tables;
-        let b = self.schema.buckets;
         if stream_telemetry::ENABLED {
             static STATS: OnceLock<crate::telem::BatchStats> = OnceLock::new();
-            crate::telem::batch_stats(&STATS, "hash").note(batch.len(), batch.len() * t);
+            crate::telem::batch_stats(&STATS, "hash")
+                .note(batch.len(), batch.len() * self.schema.tables);
         }
+        if lanes::VECTOR_KERNEL {
+            self.add_batch_limb_lanes(batch);
+        } else {
+            self.add_batch_lazy128(batch);
+        }
+    }
+
+    /// Blocked limb-lane kernel: per chunk, split each key's powers into
+    /// 32-bit limbs once ([`lanes::power_limbs`]), then per table evaluate
+    /// buckets and signed weights as flat lane loops
+    /// ([`PairwiseHash::bucket_block`] /
+    /// [`SignFamily::signed_weight_block`]) and scatter into the table row.
+    ///
+    /// Public so benches and property tests can pin this kernel regardless
+    /// of what [`HashSketch::add_batch`] would select; production code
+    /// should call `add_batch` and let the selector pick.
+    pub fn add_batch_limb_lanes(&mut self, batch: &[Update]) {
+        let t = self.schema.tables;
+        let b = self.schema.buckets;
+        let mut x0 = [0u64; BATCH_CHUNK];
+        let mut x1 = [0u64; BATCH_CHUNK];
+        let mut sq0 = [0u64; BATCH_CHUNK];
+        let mut sq1 = [0u64; BATCH_CHUNK];
+        let mut cu0 = [0u64; BATCH_CHUNK];
+        let mut cu1 = [0u64; BATCH_CHUNK];
+        let mut weights = [0i64; BATCH_CHUNK];
+        let mut buckets = [0usize; BATCH_CHUNK];
+        let mut signed = [0i64; BATCH_CHUNK];
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let n = chunk.len();
+            for (j, u) in chunk.iter().enumerate() {
+                let [a, b, c, d, e, f] = lanes::power_limbs(reduce(u.value));
+                x0[j] = a;
+                x1[j] = b;
+                sq0[j] = c;
+                sq1[j] = d;
+                cu0[j] = e;
+                cu1[j] = f;
+                weights[j] = u.weight;
+            }
+            for i in 0..t {
+                self.schema.bucket_hash[i].bucket_block(&x0[..n], &x1[..n], &mut buckets[..n]);
+                self.schema.sign[i].signed_weight_block(
+                    &x0[..n],
+                    &x1[..n],
+                    &sq0[..n],
+                    &sq1[..n],
+                    &cu0[..n],
+                    &cu1[..n],
+                    &weights[..n],
+                    &mut signed[..n],
+                );
+                let row = &mut self.counters[i * b..(i + 1) * b];
+                if b.is_power_of_two() {
+                    // Re-masking lets the bounds check vanish; `bucket_block`
+                    // already produced in-range buckets, so this is a no-op.
+                    let m = b - 1;
+                    for j in 0..n {
+                        row[buckets[j] & m] += signed[j];
+                    }
+                } else {
+                    for j in 0..n {
+                        row[buckets[j]] += signed[j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lazy-`u128` kernel (the scalar-multiplier path): shared power
+    /// precomputation per chunk, then per-table `bucket_batch` /
+    /// `sign_batch_with_powers` lane passes.
+    ///
+    /// Public so benches and property tests can pin this kernel regardless
+    /// of what [`HashSketch::add_batch`] would select; production code
+    /// should call `add_batch` and let the selector pick.
+    pub fn add_batch_lazy128(&mut self, batch: &[Update]) {
+        let t = self.schema.tables;
+        let b = self.schema.buckets;
         let mut reduced = [0u64; BATCH_CHUNK];
         let mut squares = [0u64; BATCH_CHUNK];
         let mut cubes = [0u64; BATCH_CHUNK];
@@ -469,10 +552,12 @@ mod tests {
     #[test]
     fn update_batch_matches_scalar_updates() {
         // Batch sizes straddling the chunk boundary, pow2 and non-pow2
-        // bucket counts, mixed inserts and deletes.
+        // bucket counts, mixed inserts and deletes. Both kernels are pinned
+        // directly so the test covers them no matter which one the compile
+        // target selects behind `update_batch`.
         let mut rng = StdRng::seed_from_u64(21);
         for &buckets in &[16usize, 100] {
-            for &len in &[0usize, 1, 255, 256, 257, 1000] {
+            for &len in &[0usize, 1, 7, 255, 256, 257, 1000] {
                 let batch: Vec<Update> = (0..len)
                     .map(|_| Update {
                         value: rng.gen_range(0..1u64 << 20),
@@ -481,8 +566,12 @@ mod tests {
                     .collect();
                 let schema = HashSketchSchema::new(5, buckets, 23);
                 let mut batched = HashSketch::new(schema.clone());
+                let mut limb = HashSketch::new(schema.clone());
+                let mut lazy = HashSketch::new(schema.clone());
                 let mut scalar = HashSketch::new(schema);
                 batched.update_batch(&batch);
+                limb.add_batch_limb_lanes(&batch);
+                lazy.add_batch_lazy128(&batch);
                 for &u in &batch {
                     scalar.update(u);
                 }
@@ -490,6 +579,16 @@ mod tests {
                     batched.counters(),
                     scalar.counters(),
                     "buckets={buckets} len={len}"
+                );
+                assert_eq!(
+                    limb.counters(),
+                    scalar.counters(),
+                    "limb-lane kernel, buckets={buckets} len={len}"
+                );
+                assert_eq!(
+                    lazy.counters(),
+                    scalar.counters(),
+                    "lazy128 kernel, buckets={buckets} len={len}"
                 );
             }
         }

@@ -61,7 +61,7 @@ mod crc;
 mod frame;
 
 pub use crc::crc32;
-pub use frame::{encode_update_batch, ErrorCode, Frame, ServerInfo, StreamId};
+pub use frame::{encode_update_batch, write_update_batch, ErrorCode, Frame, ServerInfo, StreamId};
 
 use std::io;
 

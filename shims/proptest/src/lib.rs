@@ -3,7 +3,9 @@
 //! Implements the subset of proptest this workspace's property tests use:
 //! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! [`Strategy`] implementations for integer/float ranges, tuples, and
-//! `prop::collection::vec`, the [`any`] strategy, `prop_map`, and the
+//! `prop::collection::vec`, the [`any`] and [`Just`] strategies,
+//! `prop_map`/`prop_flat_map`, the [`prop_oneof!`] union and
+//! `prop::sample::select`, and the
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros. Failing cases
 //! are reported with their generated inputs but are **not shrunk** —
 //! acceptable for CI-style regression testing, which is how the workspace
@@ -105,6 +107,15 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a second strategy from each generated value and draws the
+    /// final value from it (dependent generation).
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -119,6 +130,71 @@ impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value every time.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform union over boxed strategies of one value type — what
+/// [`prop_oneof!`] builds. (Real proptest supports per-arm weights; the
+/// workspace's tests only use the uniform form.)
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// A union choosing uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Self { options }
+    }
+}
+
+impl<V: Debug> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Picks uniformly among the listed strategies (all producing the same
+/// value type). Mirrors proptest's macro without the weighted form.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
 }
 
 macro_rules! impl_int_strategies {
@@ -282,16 +358,43 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from a fixed list of values.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "empty select");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
 /// The `prop::` namespace as the prelude exposes it.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::sample;
 }
 
 /// Everything a property test needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
     };
 }
 
@@ -447,6 +550,18 @@ mod tests {
         fn assume_rejects(x in 0u32..10) {
             prop_assume!(x % 2 == 0);
             prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(0usize), 10usize..20, prop::sample::select(vec![77usize])]) {
+            prop_assert!(x == 0usize || (10usize..20).contains(&x) || x == 77);
+        }
+
+        #[test]
+        fn flat_map_derives_dependent_values(
+            v in (1usize..9).prop_flat_map(|n| prop::collection::vec(0u8..10, n..=n))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
         }
     }
 

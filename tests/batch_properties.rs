@@ -98,3 +98,70 @@ proptest! {
         prop_assert_eq!(parallel.counters(), scalar.counters());
     }
 }
+
+/// Batch lengths that exercise the blocked kernels' chunking edges: empty
+/// batches, lengths that don't fill a vector lane (`len % 8 ≠ 0`), lengths
+/// straddling the 256-key L1 block boundary, and arbitrary non-power-of-two
+/// sizes in between.
+fn arb_awkward_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),                                 // empty batch: kernels must be no-ops
+        1usize..8,                                    // less than one vector lane
+        249usize..=263,                               // straddling the 256-key block boundary
+        505usize..=519,                               // straddling two blocks
+        prop::sample::select(vec![3usize, 100, 777]), // assorted non-pow2
+    ]
+}
+
+fn updates_of_len(len: usize) -> impl Strategy<Value = Vec<Update>> {
+    prop::collection::vec(
+        (0u64..(1 << DOMAIN_LOG2), -20i64..=20).prop_map(|(value, weight)| Update {
+            value,
+            weight: if weight == 0 { 1 } else { weight },
+        }),
+        len..=len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both hash-sketch batch kernels — the blocked limb-lane kernel and
+    /// the lazy-`u128` kernel — are bit-identical to per-element `update`
+    /// at awkward batch lengths, on power-of-two and non-power-of-two
+    /// bucket counts (the two scatter paths).
+    #[test]
+    fn hash_sketch_kernels_match_at_awkward_lengths(
+        us in arb_awkward_len().prop_flat_map(updates_of_len),
+        pow2 in any::<bool>(),
+    ) {
+        let buckets = if pow2 { 32 } else { 37 };
+        let schema = HashSketchSchema::new(4, buckets, 33);
+        let mut scalar = HashSketch::new(schema.clone());
+        let mut limb = HashSketch::new(schema.clone());
+        let mut lazy = HashSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        limb.add_batch_limb_lanes(&us);
+        lazy.add_batch_lazy128(&us);
+        prop_assert_eq!(scalar.counters(), limb.counters());
+        prop_assert_eq!(scalar.counters(), lazy.counters());
+    }
+
+    /// Same contract for both Count-Min batch kernels.
+    #[test]
+    fn countmin_kernels_match_at_awkward_lengths(
+        us in arb_awkward_len().prop_flat_map(updates_of_len),
+        pow2 in any::<bool>(),
+    ) {
+        let width = if pow2 { 16 } else { 19 };
+        let schema = CountMinSchema::new(3, width, 35);
+        let mut scalar = CountMinSketch::new(schema.clone());
+        let mut limb = CountMinSketch::new(schema.clone());
+        let mut lazy = CountMinSketch::new(schema);
+        for &u in &us { scalar.update(u); }
+        limb.add_batch_limb_lanes(&us);
+        lazy.add_batch_lazy128(&us);
+        prop_assert_eq!(scalar.counters(), limb.counters());
+        prop_assert_eq!(scalar.counters(), lazy.counters());
+    }
+}
