@@ -19,6 +19,9 @@ const A2_SCOPE: &[&str] = &[
     "crates/server/src/",
     "crates/durability/src/",
     "crates/ingest/src/",
+    // The flight recorder runs inside every handler and worker; a panic
+    // while recording would take down the very thread it is observing.
+    "crates/trace/src/",
 ];
 
 /// Hot-path modules for A4: code on the per-update / per-frame path
@@ -34,6 +37,10 @@ const A4_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/server/src/lib.rs",
     "crates/durability/src/wal.rs",
+    // Span recording sits on the per-frame and per-batch paths; the
+    // seqlock rings must stay lock-free (the registry mutex at ring
+    // creation and the post-mortem path carry explicit allows).
+    "crates/trace/src/",
 ];
 
 /// File name stems in A5 scope: codec and estimator arithmetic, where
@@ -188,7 +195,10 @@ pub fn a2_panic_free(file: &SourceFile) -> Vec<Finding> {
 /// builds workspace-wide (cargo unifies features).
 pub fn a3_telemetry_edges(manifests: &[Manifest]) -> Vec<Finding> {
     let instrumented = |name: &str| {
+        // `stream-telemetry` and `ss-trace` gate on `enabled` rather
+        // than declaring a `telemetry` feature of their own.
         name == "stream-telemetry"
+            || name == "ss-trace"
             || manifests.iter().any(|m| {
                 m.package_name.as_deref() == Some(name) && m.features.contains_key("telemetry")
             })
@@ -264,7 +274,14 @@ pub fn a3_telemetry_edges(manifests: &[Manifest]) -> Vec<Finding> {
             // (b) forwarding, for non-dev edges from gated crates.
             if !dev && m.features.contains_key("telemetry") {
                 let fwd = m.features["telemetry"].iter().any(|f| {
-                    f == "stream-telemetry/enabled" || *f == format!("{}/telemetry", dep.name)
+                    if dep.name == "ss-trace" {
+                        // `stream-telemetry/enabled` does not imply the
+                        // flight recorder: edges onto `ss-trace` must
+                        // forward its own gate explicitly.
+                        f == "ss-trace/enabled"
+                    } else {
+                        f == "stream-telemetry/enabled" || *f == format!("{}/telemetry", dep.name)
+                    }
                 });
                 if !fwd {
                     out.push(Finding {

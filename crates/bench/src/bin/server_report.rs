@@ -172,6 +172,36 @@ fn main() {
         "QUERY_JOIN latency over {QUERIES} calls: p50 {p50:.0}µs, p95 {p95:.0}µs, p99 {p99:.0}µs"
     );
 
+    // --- traced queries: request-tracing overhead on the same server -----
+    // A second client with `trace: true` stamps every frame with a trace
+    // context, so each query pays the 16-byte wire envelope plus the
+    // flight-recorder spans on both sides. The p50 delta against the
+    // untraced client above is the end-to-end cost of causal tracing.
+    let mut traced_client = ServerClient::connect_with(
+        addr,
+        stream_server::ClientConfig {
+            name: "server_report_traced".to_string(),
+            trace: true,
+            ..stream_server::ClientConfig::default()
+        },
+    )
+    .expect("connect traced");
+    let mut traced_lat_ns: Vec<u64> = Vec::with_capacity(QUERIES);
+    for _ in 0..QUERIES {
+        let t = Instant::now();
+        let a = traced_client.query_join().expect("traced query_join");
+        traced_lat_ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(a.estimate, local.estimate);
+    }
+    traced_lat_ns.sort_unstable();
+    let traced_p50 = quantile(&traced_lat_ns, 0.50);
+    println!(
+        "traced QUERY_JOIN latency over {QUERIES} calls: p50 {traced_p50:.0}µs \
+         (last trace {:016x})",
+        traced_client.last_trace_id()
+    );
+    traced_client.goodbye().expect("traced goodbye");
+
     client.goodbye().expect("goodbye");
     let (fin_f, _fin_g) = server.shutdown().expect("clean shutdown");
     assert_eq!(
@@ -226,7 +256,8 @@ fn main() {
          \"inproc_melem_s\": {inproc_melem_s:.3},\n  \"wire_gap_percent\": {wire_gap:.2},\n  \
          \"degenerate\": {degenerate},\n  \
          \"throttle_retries\": {throttled},\n  \"query_p50_us\": {p50:.1},\n  \
-         \"query_p95_us\": {p95:.1},\n  \"query_p99_us\": {p99:.1}\n}}\n",
+         \"query_p95_us\": {p95:.1},\n  \"query_p99_us\": {p99:.1},\n  \
+         \"traced_query_p50_us\": {traced_p50:.1}\n}}\n",
         2 * N,
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

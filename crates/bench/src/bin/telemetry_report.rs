@@ -110,7 +110,7 @@ fn main() {
     // --- timed hot path: the overhead A/B arm ----------------------------
     let hs_schema = HashSketchSchema::new(8, 1024, 2);
     let big = zipf_updates(Domain::with_log2(18), 1.0, 7, 2 * N);
-    let mut sk = HashSketch::new(hs_schema);
+    let mut sk = HashSketch::new(hs_schema.clone());
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let t = Instant::now();
@@ -119,6 +119,46 @@ fn main() {
     }
     let update_melem_s = big.len() as f64 / best / 1e6;
     println!("hash-sketch add_batch: {update_melem_s:.2} Melem/s (best of {REPS})");
+
+    // --- flight-recorder overhead: traced vs untraced batches -------------
+    // Same kernel, same chunking as the serving layer (one span per
+    // UPDATE_BATCH-sized chunk); the only difference between the arms is
+    // the `ss_trace` span around each chunk. Both arms run inside this
+    // binary, so the comparison is immune to build-to-build noise. With
+    // tracing compiled out the span is a ZST and both arms are the same
+    // machine code.
+    const TRACE_CHUNK: usize = 8_192;
+    let mut plain_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut plain = HashSketch::new(hs_schema.clone());
+        let t = Instant::now();
+        for chunk in big.chunks(TRACE_CHUNK) {
+            plain.add_batch(chunk);
+        }
+        plain_best = plain_best.min(t.elapsed().as_secs_f64());
+
+        let mut traced = HashSketch::new(hs_schema.clone());
+        let trace = ss_trace::new_trace_id();
+        let t = Instant::now();
+        for chunk in big.chunks(TRACE_CHUNK) {
+            let span = ss_trace::span(ss_trace::Phase::Ingest, trace, 0, chunk.len() as u64);
+            traced.add_batch(chunk);
+            drop(span);
+        }
+        traced_best = traced_best.min(t.elapsed().as_secs_f64());
+    }
+    let plain_melem_s = big.len() as f64 / plain_best / 1e6;
+    let traced_melem_s = big.len() as f64 / traced_best / 1e6;
+    let tracing_overhead = (plain_melem_s - traced_melem_s) / plain_melem_s * 100.0;
+    println!(
+        "flight-recorder overhead: untraced {plain_melem_s:.2} vs traced {traced_melem_s:.2} \
+         Melem/s ({tracing_overhead:.2}% for one span per {TRACE_CHUNK}-update batch)"
+    );
+    assert!(
+        tracing_overhead < 2.0,
+        "tracing must stay under the 2% budget, measured {tracing_overhead:.2}%"
+    );
 
     // --- dump the registry ----------------------------------------------
     let registry = stream_telemetry::global();
@@ -131,7 +171,8 @@ fn main() {
     if !stream_telemetry::ENABLED {
         let json = format!(
             "{{\n  \"bench\": \"telemetry_off\",\n  \"elements\": {},\n  \"reps\": {REPS},\n  \
-             \"host_cpus\": {host_cpus},\n  \"update_melem_s\": {update_melem_s:.3}\n}}\n",
+             \"host_cpus\": {host_cpus},\n  \"update_melem_s\": {update_melem_s:.3},\n  \
+             \"tracing_overhead_percent\": {tracing_overhead:.2}\n}}\n",
             big.len(),
         );
         std::fs::write("BENCH_telemetry_off.json", &json).expect("write BENCH_telemetry_off.json");
@@ -142,11 +183,7 @@ fn main() {
         .ok()
         .and_then(|s| {
             let tail = s.split("\"update_melem_s\": ").nth(1)?;
-            tail.trim_end()
-                .trim_end_matches(['\n', '}'])
-                .trim()
-                .parse::<f64>()
-                .ok()
+            tail.split([',', '\n']).next()?.trim().parse::<f64>().ok()
         });
     let (off_field, overhead_field) = match off_arm {
         Some(off) => {
@@ -163,6 +200,9 @@ fn main() {
         "{{\n  \"bench\": \"telemetry\",\n  \"elements\": {},\n  \"reps\": {REPS},\n  \
          \"host_cpus\": {host_cpus},\n  \"enabled_update_melem_s\": {update_melem_s:.3},\n  \
          \"disabled_update_melem_s\": {off_field},\n  \"overhead_percent\": {overhead_field},\n  \
+         \"untraced_update_melem_s\": {plain_melem_s:.3},\n  \
+         \"traced_update_melem_s\": {traced_melem_s:.3},\n  \
+         \"tracing_overhead_percent\": {tracing_overhead:.2},\n  \
          \"pooled_ingest_melem_s\": {ingest_melem_s:.3},\n  \"audit_trials\": {TRIALS}\n}}\n",
         big.len(),
     );

@@ -81,11 +81,17 @@ impl std::error::Error for IngestError {}
 /// backpressure by blocking the producer.
 const CHANNEL_DEPTH: usize = 8;
 
+/// The causal trace tag carried alongside pool messages:
+/// `Some((trace_id, parent_span_id))` when the originating request is
+/// being traced, `None` otherwise. Plain ids rather than `ss-trace`
+/// types so the tag costs nothing to pass in uninstrumented builds.
+pub type TraceTag = Option<(u64, u64)>;
+
 enum Msg<S> {
     /// A chunk of updates to absorb.
-    Batch(Vec<Update>),
+    Batch(Vec<Update>, TraceTag),
     /// Request a copy of the worker's current sketch.
-    Snapshot(Sender<S>),
+    Snapshot(Sender<S>, TraceTag),
 }
 
 /// Pool-level telemetry handles, registered once per pool construction.
@@ -214,7 +220,7 @@ where
             workers.push(std::thread::spawn(move || {
                 for msg in rx {
                     match msg {
-                        Msg::Batch(chunk) => {
+                        Msg::Batch(chunk, tag) => {
                             // Supervision boundary: a panic inside the
                             // batch kernel (a poisoned update) is caught
                             // here so the worker — and every other chunk
@@ -222,8 +228,17 @@ where
                             // chunk itself may be partially applied; the
                             // durability layer's WAL is what makes it
                             // recoverable.
+                            let span = tag.map(|(trace, parent)| {
+                                ss_trace::span(
+                                    ss_trace::Phase::Ingest,
+                                    trace,
+                                    parent,
+                                    chunk.len() as u64,
+                                )
+                            });
                             let outcome =
                                 catch_unwind(AssertUnwindSafe(|| sketch.update_batch(&chunk)));
+                            drop(span);
                             drained.fetch_add(1, Ordering::Release);
                             if let Some(t) = &telem {
                                 t.queue_depth.add(-1);
@@ -240,15 +255,25 @@ where
                                     if let Some(t) = &telem {
                                         t.restarts.inc();
                                     }
+                                    // Leave a post-mortem trail of the
+                                    // events leading into the poisoned
+                                    // chunk (no-op unless the host
+                                    // process configured a dump path).
+                                    let _ = ss_trace::postmortem("ingest-worker-panic");
                                 }
                             }
                         }
-                        Msg::Snapshot(reply) => {
+                        Msg::Snapshot(reply, tag) => {
                             // `clone` can panic too; treat it as a
                             // supervision event. Dropping `reply` without
                             // sending makes the requester's `recv` fail,
                             // which `snapshot` surfaces as an error.
-                            match catch_unwind(AssertUnwindSafe(|| sketch.clone())) {
+                            let span = tag.map(|(trace, parent)| {
+                                ss_trace::span(ss_trace::Phase::SnapshotClone, trace, parent, 0)
+                            });
+                            let outcome = catch_unwind(AssertUnwindSafe(|| sketch.clone()));
+                            drop(span);
+                            match outcome {
                                 Ok(copy) => {
                                     // The requester may give up (drop the
                                     // receiver) before we reply; that's
@@ -260,6 +285,7 @@ where
                                     if let Some(t) = &telem {
                                         t.restarts.inc();
                                     }
+                                    let _ = ss_trace::postmortem("ingest-snapshot-panic");
                                 }
                             }
                         }
@@ -306,6 +332,14 @@ where
     /// when that worker's queue is full — natural backpressure for
     /// producers that outrun the sketchers.
     pub fn dispatch(&self, chunk: Vec<Update>) {
+        self.dispatch_traced(chunk, None);
+    }
+
+    /// [`IngestPool::dispatch`] carrying a trace tag: the worker that
+    /// absorbs the chunk records an `ingest` span parented under the
+    /// tag's span id, extending the request's causal trace across the
+    /// thread hop.
+    pub fn dispatch_traced(&self, chunk: Vec<Update>, tag: TraceTag) {
         if chunk.is_empty() {
             return;
         }
@@ -320,7 +354,7 @@ where
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.senders.len();
         // ss-analyze: allow(a2-panic-free) -- `i` is reduced mod `senders.len()` and the constructor rejects zero workers; `send` only fails if a supervisor dropped its receiver, which would already be a supervision bug worth a loud stop
         self.senders[i]
-            .send(Msg::Batch(chunk))
+            .send(Msg::Batch(chunk, tag))
             // ss-analyze: allow(a2-panic-free) -- send fails only if the supervisor dropped its receiver; supervision restarts workers for the life of the pool, so a failure here is a supervision bug that must stop the process, not lose the chunk silently
             .unwrap_or_else(|_| unreachable!("worker alive while pool holds its sender"));
     }
@@ -336,6 +370,17 @@ where
     /// independent of which worker takes the chunk.
     #[allow(clippy::result_large_err)] // the Err *is* the caller's chunk
     pub fn try_dispatch(&self, chunk: Vec<Update>) -> Result<(), Vec<Update>> {
+        self.try_dispatch_traced(chunk, None)
+    }
+
+    /// [`IngestPool::try_dispatch`] carrying a trace tag (see
+    /// [`IngestPool::dispatch_traced`]).
+    #[allow(clippy::result_large_err)] // the Err *is* the caller's chunk
+    pub fn try_dispatch_traced(
+        &self,
+        chunk: Vec<Update>,
+        tag: TraceTag,
+    ) -> Result<(), Vec<Update>> {
         if chunk.is_empty() {
             return Ok(());
         }
@@ -344,7 +389,7 @@ where
         // load; correctness never depends on which worker wins the race.
         let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
         let len = chunk.len() as u64;
-        let mut msg = Msg::Batch(chunk);
+        let mut msg = Msg::Batch(chunk, tag);
         for off in 0..n {
             // ss-analyze: allow(a2-panic-free) -- `(start + off) % n` is in bounds by the modulus; the constructor rejects zero workers
             match self.senders[(start + off) % n].try_send(msg) {
@@ -363,7 +408,7 @@ where
                 }
             }
         }
-        let Msg::Batch(chunk) = msg else {
+        let Msg::Batch(chunk, _tag) = msg else {
             // ss-analyze: allow(a2-panic-free) -- `msg` is constructed as `Msg::Batch` a few lines up and only ever reassigned from `TrySendError::Full`, which returns the same value
             unreachable!("try_dispatch only carries batches")
         };
@@ -413,6 +458,13 @@ where
     /// panicked) instead of replying — the snapshot is incomplete and no
     /// partial sketch is returned.
     pub fn snapshot(&self) -> Result<S, IngestError> {
+        self.snapshot_traced(None)
+    }
+
+    /// [`IngestPool::snapshot`] carrying a trace tag: each worker
+    /// records a `snapshot_clone` span parented under the tag's span
+    /// id, so a traced query shows the per-worker clone barrier.
+    pub fn snapshot_traced(&self, tag: TraceTag) -> Result<S, IngestError> {
         let _span = self
             .metrics
             .as_ref()
@@ -420,7 +472,7 @@ where
         let mut replies = Vec::with_capacity(self.senders.len());
         for (worker, tx) in self.senders.iter().enumerate() {
             let (reply_tx, reply_rx) = bounded(1);
-            if tx.send(Msg::Snapshot(reply_tx)).is_err() {
+            if tx.send(Msg::Snapshot(reply_tx, tag)).is_err() {
                 return Err(IngestError::WorkerPanicked { worker });
             }
             replies.push(reply_rx);

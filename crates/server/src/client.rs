@@ -24,7 +24,10 @@ use std::sync::Arc;
 use std::time::Duration;
 use stream_model::update::Update;
 use stream_model::Domain;
-use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, VERSION};
+use stream_wire::{
+    ErrorCode, Frame, InspectReport, ServerInfo, StreamId, TraceContext, WireError, INSPECT_ALL,
+    VERSION,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -183,6 +186,12 @@ pub struct ClientConfig {
     /// Backoff policy for THROTTLE retries (and reconnects, in
     /// [`ResilientClient`](crate::ResilientClient)).
     pub backoff: BackoffConfig,
+    /// Stamp every request with a fresh causal trace id (see the wire
+    /// grammar's trace extension) and record client-side Request spans
+    /// in the flight recorder. Requires the `telemetry` feature to have
+    /// any effect; without it requests go out byte-identical to a
+    /// pre-trace client's.
+    pub trace: bool,
 }
 
 impl Default for ClientConfig {
@@ -196,6 +205,7 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(10),
             reply_retries: 30,
             backoff: BackoffConfig::default(),
+            trace: false,
         }
     }
 }
@@ -267,6 +277,9 @@ pub struct ServerClient {
     next_seq: [u64; 2],
     /// THROTTLE-retry backoff state for [`ServerClient::send_all`].
     backoff: Backoff,
+    /// Trace id stamped on the most recent traced request (0 = none),
+    /// for pairing CLI output with server-side INSPECT events.
+    last_trace: u64,
     /// Reusable payload buffer for replies: grows to the largest reply
     /// seen (a snapshot, typically), then no reply allocates.
     scratch: Vec<u8>,
@@ -315,6 +328,7 @@ impl ServerClient {
             config,
             next_seq: [1, 1],
             backoff,
+            last_trace: 0,
             scratch: Vec::new(),
         };
         let reply = client.call(&Frame::Hello {
@@ -369,9 +383,37 @@ impl ServerClient {
         }
     }
 
+    /// The trace id stamped on the most recent traced request (0 when
+    /// tracing is off or nothing has been sent yet). `ssketch trace`
+    /// prints it so the operator can grep the server's INSPECT events.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace
+    }
+
+    /// Starts a client-side Request span when tracing is on: the
+    /// returned context goes out on the wire; the returned guard ends
+    /// the span (hold it across the reply to time the round trip).
+    /// `None`/`None` when tracing is off or compiled out — the frame
+    /// encoding is then byte-identical to an untraced client's.
+    fn begin_trace(&mut self, arg: u64) -> (Option<TraceContext>, Option<ss_trace::SpanGuard>) {
+        if !self.config.trace || !ss_trace::ENABLED {
+            return (None, None);
+        }
+        let trace_id = ss_trace::new_trace_id();
+        let span = ss_trace::span(ss_trace::Phase::Request, trace_id, 0, arg);
+        self.last_trace = trace_id;
+        let ctx = TraceContext {
+            trace_id,
+            span_id: span.id(),
+        };
+        (Some(ctx), Some(span))
+    }
+
     /// One request, one reply. ERROR replies become `ClientError::Server`.
+    /// The Request span (when tracing) covers the full round trip.
     fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
-        request.write_to(&mut self.sock)?;
+        let (ctx, _span) = self.begin_trace(0);
+        request.write_to_traced(&mut self.sock, ctx)?;
         self.read_reply()
     }
 
@@ -433,12 +475,14 @@ impl ServerClient {
         // Vectored borrowed-parts send: no `Frame` is materialised and the
         // updates are never cloned — header + payload go out in one
         // `write_vectored` call.
-        stream_wire::write_update_batch(
+        let (ctx, _span) = self.begin_trace(updates.len() as u64);
+        stream_wire::write_update_batch_traced(
             &mut self.sock,
             stream,
             self.config.client_id,
             seq,
             updates,
+            ctx,
         )
         .map_err(ClientError::Io)?;
         let reply = self.read_reply()?;
@@ -503,7 +547,11 @@ impl ServerClient {
         let mut inflight: std::collections::VecDeque<&[Update]> = std::collections::VecDeque::new();
         let mut retry: Vec<&[Update]> = Vec::new();
         for batch in updates.chunks(chunk) {
-            stream_wire::write_update_batch(&mut self.sock, stream, 0, 0, batch)
+            // Each pipelined batch is its own trace; the Request span
+            // covers encode + socket write (replies are absorbed later,
+            // out of span scope, by the pipeline's nature).
+            let (ctx, _span) = self.begin_trace(batch.len() as u64);
+            stream_wire::write_update_batch_traced(&mut self.sock, stream, 0, 0, batch, ctx)
                 .map_err(ClientError::Io)?;
             inflight.push_back(batch);
             if inflight.len() >= PIPELINE_WINDOW {
@@ -610,6 +658,35 @@ impl ServerClient {
             // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("snapshot reply")),
         }
+    }
+
+    /// Fetches the server's live introspection snapshot: metrics,
+    /// recent flight-recorder events, the slow-query log, and the
+    /// online accuracy audit — whichever of those `sections` requests
+    /// (see the `INSPECT_*` bit constants; [`INSPECT_ALL`] for
+    /// everything). `last_events` / `slow_limit` cap the event and
+    /// slow-query lists (0 = no cap). Sections a server build cannot
+    /// produce come back empty.
+    pub fn inspect(
+        &mut self,
+        sections: u8,
+        last_events: u32,
+        slow_limit: u32,
+    ) -> Result<InspectReport, ClientError> {
+        match self.call(&Frame::Inspect {
+            sections,
+            last_events,
+            slow_limit,
+        })? {
+            Frame::InspectReply(report) => Ok(*report),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("inspect reply")),
+        }
+    }
+
+    /// [`ServerClient::inspect`] with every section and no caps.
+    pub fn inspect_all(&mut self) -> Result<InspectReport, ClientError> {
+        self.inspect(INSPECT_ALL, 0, 0)
     }
 
     /// Clean close: GOODBYE, wait for the echo, drop the socket.

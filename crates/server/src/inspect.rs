@@ -1,0 +1,253 @@
+//! Live-introspection state behind the INSPECT frame: the bounded
+//! slow-query log and the online §5.1 accuracy audit.
+//!
+//! Both structures are deliberately tiny and bounded:
+//!
+//! * the slow-query log is a fixed-capacity ring of
+//!   [`SlowQueryEntry`] records (oldest evicted first), written only
+//!   when a query's end-to-end time crosses the configured threshold —
+//!   a quiet, healthy server never takes its lock on the query path;
+//! * the audit tracks **exact** frequencies for a deterministic hash
+//!   sample of the key domain (the paper's §5.1 methodology turned
+//!   into a live gauge): a key is sampled iff the low `shift` bits of
+//!   its SplitMix64 image are zero, so every handler thread agrees on
+//!   the sample with no coordination and the expected tracked fraction
+//!   is `2^-shift`. The map is capped — once full, existing keys keep
+//!   accumulating but new keys are ignored — so audit memory is
+//!   bounded regardless of stream length.
+//!
+//! An INSPECT request with the audit section bit compares each tracked
+//! key's exact count against the skimmed sketch's CountSketch point
+//! estimate and summarises the absolute ratio-error distribution.
+
+use skimmed_sketch::SkimmedSketch;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use stream_model::update::Update;
+use stream_wire::{AuditSummary, SlowQueryEntry, StreamId};
+
+/// Hard cap on distinct keys the audit tracks per stream.
+const AUDIT_KEY_CAP: usize = 4096;
+
+/// Fixed-capacity slow-query ring. Entries are recorded newest-last;
+/// eviction drops the oldest.
+pub(crate) struct SlowLog {
+    cap: usize,
+    entries: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log retaining at most `cap` entries.
+    pub(crate) fn new(cap: usize) -> Self {
+        SlowLog {
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends one entry, evicting the oldest past capacity.
+    pub(crate) fn record(&self, entry: SlowQueryEntry) {
+        // Poison recovery: a panicking writer leaves at worst a ring
+        // missing its newest entry — still structurally sound.
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if entries.len() >= self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// The newest `limit` entries, oldest first (`limit == 0` means all
+    /// retained).
+    pub(crate) fn snapshot(&self, limit: usize) -> Vec<SlowQueryEntry> {
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let skip = if limit > 0 {
+            entries.len().saturating_sub(limit)
+        } else {
+            0
+        };
+        entries.iter().skip(skip).copied().collect()
+    }
+}
+
+/// SplitMix64 finalizer — the sampling hash. Statistically independent
+/// of every sketch hash family (those are seeded polynomial schemes),
+/// so the sample cannot correlate with bucket placement.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Online accuracy-audit state: exact counts of the sampled keys.
+pub(crate) struct Audit {
+    /// Sampling predicate: track `v` iff `mix(v) & mask == 0`.
+    mask: u64,
+    active: bool,
+    /// Exact `f(v)` per sampled key, one map per stream.
+    exact: Mutex<[HashMap<u64, i64>; 2]>,
+}
+
+impl Audit {
+    /// `shift = None` disables the audit entirely; `Some(s)` samples an
+    /// expected `2^-s` fraction of distinct keys.
+    pub(crate) fn new(shift: Option<u32>) -> Self {
+        let shift = shift.map(|s| s.min(63));
+        Audit {
+            mask: shift.map_or(0, |s| (1u64 << s) - 1),
+            active: shift.is_some(),
+            exact: Mutex::new([HashMap::new(), HashMap::new()]),
+        }
+    }
+
+    /// Whether [`Audit::observe`] does anything (callers can skip the
+    /// scan entirely when not).
+    pub(crate) fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Folds a batch into the exact counts of whichever of its keys are
+    /// sampled. The scan is lock-free; the lock is taken only when the
+    /// batch actually contains sampled keys (an expected `2^-shift`
+    /// fraction of updates).
+    pub(crate) fn observe(&self, stream: StreamId, updates: &[Update]) {
+        if !self.active {
+            return;
+        }
+        let mut hits: Vec<(u64, i64)> = Vec::new();
+        for u in updates {
+            if mix(u.value) & self.mask == 0 {
+                hits.push((u.value, u.weight));
+            }
+        }
+        if hits.is_empty() {
+            return;
+        }
+        let mut exact = self.exact.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(map) = exact.get_mut(stream as usize) else {
+            return;
+        };
+        for (value, weight) in hits {
+            if let Some(slot) = map.get_mut(&value) {
+                *slot += weight;
+            } else if map.len() < AUDIT_KEY_CAP {
+                map.insert(value, weight);
+            }
+        }
+    }
+
+    /// One audit pass: every tracked key's exact count vs the sketch's
+    /// point estimate, summarised as an absolute ratio-error
+    /// distribution (`|est − exact| / max(1, |exact|)`). `observe` is
+    /// called once per comparison (the metrics histogram feed). `None`
+    /// when the audit is off or no keys are tracked yet.
+    pub(crate) fn summarize(
+        &self,
+        sketches: [&SkimmedSketch; 2],
+        mut observe: impl FnMut(f64),
+    ) -> Option<AuditSummary> {
+        if !self.active {
+            return None;
+        }
+        let exact = self.exact.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ratios: Vec<f64> = Vec::new();
+        let mut sampled_keys = 0u64;
+        let mut worst = (0.0f64, 0u64);
+        for (map, sketch) in exact.iter().zip(sketches) {
+            sampled_keys += map.len() as u64;
+            for (&value, &count) in map.iter() {
+                let est = sketch.base().point_estimate(value);
+                // i128: both operands span the full i64 range.
+                let abs_err = (est as i128 - count as i128).unsigned_abs() as f64;
+                let err = abs_err / count.unsigned_abs().max(1) as f64;
+                if err > worst.0 {
+                    worst = (err, value);
+                }
+                observe(err);
+                ratios.push(err);
+            }
+        }
+        drop(exact);
+        if ratios.is_empty() {
+            return None;
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let n = ratios.len();
+        let q = |p: f64| -> f64 {
+            let idx = ((n - 1) as f64 * p).round() as usize;
+            ratios.get(idx).copied().unwrap_or(worst.0)
+        };
+        Some(AuditSummary {
+            sampled_keys,
+            comparisons: n as u64,
+            mean_ratio_error: ratios.iter().sum::<f64>() / n as f64,
+            p50: q(0.5),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: worst.0,
+            worst_value: worst.1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ts: u64) -> SlowQueryEntry {
+        SlowQueryEntry {
+            ts_ns: ts,
+            trace_id: 0,
+            kind: 5,
+            total_ns: ts,
+            snapshot_ns: 0,
+            estimate_ns: 0,
+            encode_ns: 0,
+        }
+    }
+
+    #[test]
+    fn slow_log_evicts_oldest_and_caps_snapshot() {
+        let log = SlowLog::new(3);
+        for ts in 1..=5 {
+            log.record(entry(ts));
+        }
+        let all = log.snapshot(0);
+        assert_eq!(
+            all.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        let newest = log.snapshot(2);
+        assert_eq!(
+            newest.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+    }
+
+    #[test]
+    fn audit_sampling_is_deterministic_and_bounded() {
+        let audit = Audit::new(Some(0)); // mask 0: every key sampled
+        assert!(audit.active());
+        let updates: Vec<Update> = (0..10_000).map(Update::insert).collect();
+        audit.observe(StreamId::F, &updates);
+        audit.observe(StreamId::F, &updates);
+        let exact = audit.exact.lock().unwrap_or_else(|p| p.into_inner());
+        let map = exact.first().map(HashMap::len).unwrap_or(0);
+        assert!(
+            map <= AUDIT_KEY_CAP,
+            "tracked {map} keys, cap {AUDIT_KEY_CAP}"
+        );
+        // Keys admitted before the cap filled kept accumulating.
+        let some = exact.first().and_then(|m| m.get(&0)).copied();
+        assert_eq!(some, Some(2));
+    }
+
+    #[test]
+    fn disabled_audit_is_inert() {
+        let audit = Audit::new(None);
+        assert!(!audit.active());
+        audit.observe(StreamId::G, &[Update::insert(1)]);
+        let exact = audit.exact.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(exact.iter().all(HashMap::is_empty));
+    }
+}

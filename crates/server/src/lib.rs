@@ -79,6 +79,7 @@
 #![warn(clippy::all)]
 
 mod client;
+mod inspect;
 mod resilient;
 mod telem;
 
@@ -89,22 +90,28 @@ pub use client::{
 pub use resilient::ResilientClient;
 
 use bytes::Bytes;
+use inspect::{Audit, SlowLog};
 use skimmed_sketch::{
     decode_skimmed, encode_skimmed, estimate_join, estimate_self_join, EstimatorConfig,
     ExtractionStrategy, SkimmedSchema, SkimmedSketch,
 };
+use ss_trace::Phase;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use stream_durability::{DedupEntry, SnapshotBlob, Wal, WalConfig};
-use stream_ingest::{IngestError, IngestPool};
+use stream_ingest::{IngestError, IngestPool, TraceTag};
 use stream_model::StreamSink;
-use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, VERSION};
+use stream_wire::{
+    ErrorCode, Frame, InspectReport, ServerInfo, SlowQueryEntry, StreamId, TraceContext, WireError,
+    INSPECT_AUDIT, INSPECT_EVENTS, INSPECT_METRICS, INSPECT_SLOW, VERSION,
+};
 use telem::{server_metrics, ServerMetrics};
 
 /// Serving-layer configuration. Every queue the server owns is bounded
@@ -134,6 +141,23 @@ pub struct ServerConfig {
     /// Write-ahead logging; `None` (the default) serves purely from
     /// memory. See the crate docs' durability section.
     pub wal: Option<WalConfig>,
+    /// Queries whose end-to-end handler time reaches this threshold are
+    /// recorded in the slow-query log with a per-phase latency
+    /// breakdown (INSPECT's slow section). `Duration::ZERO` logs every
+    /// query.
+    pub slow_query: Duration,
+    /// Entries retained in the slow-query log before the oldest is
+    /// evicted.
+    pub slow_log: usize,
+    /// Online §5.1 accuracy audit: `Some(s)` tracks exact counts for an
+    /// expected `2^-s` fraction of distinct keys and compares them
+    /// against sketch point estimates on INSPECT; `None` disables the
+    /// audit. Only meaningful with telemetry compiled in.
+    pub audit_shift: Option<u32>,
+    /// Directory for flight-recorder post-mortem dumps (written on
+    /// [`Server::halt`] and on supervised panics); `None` disables
+    /// dumping.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -152,6 +176,10 @@ impl ServerConfig {
             write_timeout: Duration::from_secs(5),
             estimator: EstimatorConfig::default(),
             wal: None,
+            slow_query: Duration::from_millis(100),
+            slow_log: 64,
+            audit_shift: Some(6),
+            postmortem_dir: None,
         }
     }
 }
@@ -241,6 +269,12 @@ struct Inner {
     has_wal: bool,
     shutdown: AtomicBool,
     metrics: Option<&'static ServerMetrics>,
+    /// Bounded slow-query log served over INSPECT.
+    slow: SlowLog,
+    /// Online §5.1 accuracy-audit state.
+    audit: Audit,
+    /// Server start, the epoch for uptime and slow-query timestamps.
+    started: Instant,
 }
 
 impl Inner {
@@ -290,6 +324,10 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let metrics = stream_telemetry::ENABLED.then(server_metrics);
         let schema = config.schema.clone();
+        if let Some(dir) = &config.postmortem_dir {
+            std::fs::create_dir_all(dir)?;
+            ss_trace::set_postmortem_path(&dir.join("flight-recorder.jsonl"));
+        }
 
         // Crash recovery: rebuild sketches + dedup table before the
         // first connection is accepted.
@@ -365,6 +403,13 @@ impl Server {
             has_wal: config.wal.is_some(),
             shutdown: AtomicBool::new(false),
             metrics,
+            slow: SlowLog::new(config.slow_log),
+            audit: Audit::new(if stream_telemetry::ENABLED {
+                config.audit_shift
+            } else {
+                None
+            }),
+            started: Instant::now(),
             config,
         });
 
@@ -475,6 +520,7 @@ impl Server {
             if let Some(m) = metrics {
                 m.thread_panics.inc();
             }
+            let _ = ss_trace::postmortem("acceptor-panic");
             first_err = Some(ServerError::ThreadPanicked { thread: "acceptor" });
         }
         for h in self.handlers {
@@ -482,6 +528,7 @@ impl Server {
                 if let Some(m) = metrics {
                     m.thread_panics.inc();
                 }
+                let _ = ss_trace::postmortem("handler-panic");
                 first_err.get_or_insert(ServerError::ThreadPanicked {
                     thread: "connection handler",
                 });
@@ -548,6 +595,9 @@ impl Server {
     /// over the same WAL directory must rebuild from the log alone.
     pub fn halt(self) {
         self.inner.shutdown.store(true, Ordering::Release);
+        // The crash dump a real SIGKILL could never write: the flight
+        // recorder's last events, for the post-mortem that follows.
+        let _ = ss_trace::postmortem("halt");
         let _ = self.acceptor.join();
         for h in self.handlers {
             let _ = h.join();
@@ -610,9 +660,16 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &
     }
 }
 
-/// Sends one frame, counting it into the tx telemetry.
-fn send(sock: &mut TcpStream, frame: &Frame, metrics: Option<&'static ServerMetrics>) -> bool {
-    match frame.write_to(sock) {
+/// Sends one frame, counting it into the tx telemetry. The reply echoes
+/// the request's trace context (when it carried one) so the client can
+/// pair its Request span with the server's Handler span.
+fn send(
+    sock: &mut TcpStream,
+    frame: &Frame,
+    ctx: Option<TraceContext>,
+    metrics: Option<&'static ServerMetrics>,
+) -> bool {
+    match frame.write_to_traced(sock, ctx) {
         Ok(n) => {
             if let Some(m) = metrics {
                 m.frames_tx.inc();
@@ -636,6 +693,7 @@ fn send_error(
             code,
             message: message.to_string(),
         },
+        None,
         metrics,
     );
 }
@@ -669,16 +727,20 @@ fn handle_connection(inner: &Inner, mut sock: TcpStream) {
 /// `scratch` is the connection's reusable payload buffer: it grows to the
 /// largest payload the connection has seen and is reused for every frame
 /// after, so steady-state ingest performs no per-frame allocation.
-fn next_frame(inner: &Inner, sock: &mut TcpStream, scratch: &mut Vec<u8>) -> Option<Frame> {
+fn next_frame(
+    inner: &Inner,
+    sock: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+) -> Option<(Frame, Option<TraceContext>)> {
     let metrics = inner.metrics;
     loop {
-        match Frame::read_from_with_scratch(sock, inner.config.max_payload, scratch) {
-            Ok((frame, n)) => {
+        match Frame::read_traced_from_with_scratch(sock, inner.config.max_payload, scratch) {
+            Ok((frame, n, ctx)) => {
                 if let Some(m) = metrics {
                     m.frames_rx.inc();
                     m.bytes_rx.add(n as u64);
                 }
-                return Some(frame);
+                return Some((frame, ctx));
             }
             Err(WireError::Idle) => {
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -706,6 +768,15 @@ fn next_frame(inner: &Inner, sock: &mut TcpStream, scratch: &mut Vec<u8>) -> Opt
     }
 }
 
+/// The per-request trace handles threaded through a handler: the wire
+/// context to echo on the reply, and the `(trace, parent-span)` tag
+/// downstream stages (queue, ingest, WAL) parent their spans under.
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    ctx: Option<TraceContext>,
+    tag: TraceTag,
+}
+
 /// Handles one UPDATE_BATCH (already destructured by the dispatch
 /// match): dedup, dispatch, WAL append, ack — in that order. Returns
 /// `false` when the connection must close.
@@ -716,7 +787,9 @@ fn handle_update_batch(
     client_id: u64,
     seq: u64,
     updates: Vec<stream_model::update::Update>,
+    trace: ReqTrace,
 ) -> bool {
+    let ReqTrace { ctx, tag } = trace;
     let metrics = inner.metrics;
     let _span = metrics.map(|m| m.update_latency.start_span());
     let len = updates.len();
@@ -733,9 +806,15 @@ fn handle_update_batch(
         return true;
     }
     let accepted = len as u64;
+    // §5.1 audit: fold sampled keys into the exact counts before the
+    // updates are moved into the pool. `ENABLED` is a compile-time
+    // const, so the scan vanishes entirely from uninstrumented builds.
+    if stream_telemetry::ENABLED && inner.audit.active() {
+        inner.audit.observe(stream, &updates);
+    }
     let pool = inner.pool(stream);
 
-    let ack = |sock: &mut TcpStream| send(sock, &Frame::BatchAck { accepted }, metrics);
+    let ack = |sock: &mut TcpStream| send(sock, &Frame::BatchAck { accepted }, ctx, metrics);
     let throttle = |sock: &mut TcpStream| {
         if let Some(m) = metrics {
             m.throttles.inc();
@@ -746,6 +825,7 @@ fn handle_update_batch(
                 pending: pool.pending_chunks(),
                 limit: pool.queue_capacity(),
             },
+            ctx,
             metrics,
         )
     };
@@ -753,8 +833,11 @@ fn handle_update_batch(
     // Fast path — nothing to log, nothing to dedup: unsequenced traffic
     // on a WAL-less server keeps the original lock-free throughput.
     if !inner.has_wal && client_id == 0 {
-        return match pool.try_dispatch(updates) {
+        return match pool.try_dispatch_traced(updates, tag) {
             Ok(()) => {
+                if let Some((trace, parent)) = tag {
+                    ss_trace::instant(Phase::Queue, trace, parent, accepted);
+                }
                 if let Some(m) = metrics {
                     m.updates_accepted.add(accepted);
                 }
@@ -793,14 +876,20 @@ fn handle_update_batch(
         .wal
         .is_some()
         .then(|| stream_wire::encode_update_batch(stream, client_id, seq, &updates));
-    if pool.try_dispatch(updates).is_err() {
+    if pool.try_dispatch_traced(updates, tag).is_err() {
         drop(persist);
         return throttle(sock);
+    }
+    if let Some((trace, parent)) = tag {
+        ss_trace::instant(Phase::Queue, trace, parent, accepted);
     }
     if let Some(m) = metrics {
         m.updates_accepted.add(accepted);
     }
     if let (Some(wal), Some(bytes)) = (persist.wal.as_mut(), encoded) {
+        let _wal_span = tag.map(|(trace, parent)| {
+            ss_trace::span(Phase::WalAppend, trace, parent, bytes.len() as u64)
+        });
         if let Err(e) = wal.append_encoded(&bytes) {
             // The batch is applied in memory but not durable. Record it
             // as applied (true for this process) and refuse the ack: the
@@ -874,7 +963,7 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
 
     // Handshake: the first frame must be HELLO at our protocol version.
     match next_frame(inner, sock, &mut scratch) {
-        Some(Frame::Hello { protocol, .. }) => {
+        Some((Frame::Hello { protocol, .. }, ctx)) => {
             if protocol != VERSION {
                 send_error(
                     sock,
@@ -884,7 +973,7 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                 );
                 return;
             }
-            if !send(sock, &Frame::HelloAck(inner.info()), metrics) {
+            if !send(sock, &Frame::HelloAck(inner.info()), ctx, metrics) {
                 return;
             }
         }
@@ -895,7 +984,17 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
         None => return,
     }
 
-    while let Some(frame) = next_frame(inner, sock, &mut scratch) {
+    while let Some((frame, ctx)) = next_frame(inner, sock, &mut scratch) {
+        // The request's Handler span: child of the client's Request
+        // span when the frame carried a trace context; downstream work
+        // (queueing, ingest, WAL, estimation) parents under it.
+        let handler_span = ctx.map(|c| ss_trace::span(Phase::Handler, c.trace_id, c.span_id, 0));
+        let tag: TraceTag = ctx.map(|c| {
+            let parent = handler_span
+                .as_ref()
+                .map_or(c.span_id, ss_trace::SpanGuard::id);
+            (c.trace_id, parent)
+        });
         match frame {
             Frame::UpdateBatch {
                 stream,
@@ -903,7 +1002,8 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                 seq,
                 updates,
             } => {
-                if !handle_update_batch(inner, sock, stream, client_id, seq, updates) {
+                let trace = ReqTrace { ctx, tag };
+                if !handle_update_batch(inner, sock, stream, client_id, seq, updates, trace) {
                     return;
                 }
             }
@@ -918,20 +1018,28 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                     last_seq_f,
                     last_seq_g,
                 };
-                if !send(sock, &reply, metrics) {
+                if !send(sock, &reply, ctx, metrics) {
                     return;
                 }
             }
             Frame::QueryJoin => {
                 let _span = metrics.map(|m| m.query_join_latency.start_span());
-                let (Ok(f), Ok(g)) = (
-                    inner.pool(StreamId::F).snapshot(),
-                    inner.pool(StreamId::G).snapshot(),
-                ) else {
+                let t0 = Instant::now();
+                let snap_span = tag.map(|(t, p)| ss_trace::span(Phase::Snapshot, t, p, 0));
+                let snaps = (
+                    inner.pool(StreamId::F).snapshot_traced(tag),
+                    inner.pool(StreamId::G).snapshot_traced(tag),
+                );
+                drop(snap_span);
+                let t1 = Instant::now();
+                let (Ok(f), Ok(g)) = snaps else {
                     send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
                     return;
                 };
+                let est_span = tag.map(|(t, p)| ss_trace::span(Phase::Estimate, t, p, 0));
                 let est = estimate_join(&f, &g, &inner.config.estimator);
+                drop(est_span);
+                let t2 = Instant::now();
                 let reply = Frame::Answer {
                     estimate: est.estimate,
                     dense_dense: est.dense_dense,
@@ -941,17 +1049,29 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                     dense_f: est.dense_f as u64,
                     dense_g: est.dense_g as u64,
                 };
-                if !send(sock, &reply, metrics) {
+                let enc_span = tag.map(|(t, p)| ss_trace::span(Phase::Encode, t, p, 0));
+                let sent = send(sock, &reply, ctx, metrics);
+                drop(enc_span);
+                record_if_slow(inner, ctx, KIND_QUERY_JOIN, t0, t1, t2);
+                if !sent {
                     return;
                 }
             }
             Frame::QuerySelfJoin { stream } => {
                 let _span = metrics.map(|m| m.query_self_latency.start_span());
-                let Ok(sk) = inner.pool(stream).snapshot() else {
+                let t0 = Instant::now();
+                let snap_span = tag.map(|(t, p)| ss_trace::span(Phase::Snapshot, t, p, 0));
+                let snap = inner.pool(stream).snapshot_traced(tag);
+                drop(snap_span);
+                let t1 = Instant::now();
+                let Ok(sk) = snap else {
                     send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
                     return;
                 };
+                let est_span = tag.map(|(t, p)| ss_trace::span(Phase::Estimate, t, p, 0));
                 let estimate = estimate_self_join(&sk, &inner.config.estimator);
+                drop(est_span);
+                let t2 = Instant::now();
                 let reply = Frame::Answer {
                     estimate,
                     dense_dense: 0.0,
@@ -961,26 +1081,52 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                     dense_f: 0,
                     dense_g: 0,
                 };
-                if !send(sock, &reply, metrics) {
+                let enc_span = tag.map(|(t, p)| ss_trace::span(Phase::Encode, t, p, 0));
+                let sent = send(sock, &reply, ctx, metrics);
+                drop(enc_span);
+                record_if_slow(inner, ctx, KIND_QUERY_SELF_JOIN, t0, t1, t2);
+                if !sent {
                     return;
                 }
             }
             Frame::Snapshot { stream } => {
                 let _span = metrics.map(|m| m.snapshot_latency.start_span());
-                let Ok(sk) = inner.pool(stream).snapshot() else {
+                let t0 = Instant::now();
+                let snap_span = tag.map(|(t, p)| ss_trace::span(Phase::Snapshot, t, p, 0));
+                let snap = inner.pool(stream).snapshot_traced(tag);
+                drop(snap_span);
+                let t1 = Instant::now();
+                let Ok(sk) = snap else {
                     send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
                     return;
                 };
+                let enc_span = tag.map(|(t, p)| ss_trace::span(Phase::Encode, t, p, 0));
                 let reply = Frame::SnapshotReply {
                     stream,
                     sketch: encode_skimmed(&sk).to_vec(),
                 };
-                if !send(sock, &reply, metrics) {
+                let sent = send(sock, &reply, ctx, metrics);
+                drop(enc_span);
+                record_if_slow(inner, ctx, KIND_SNAPSHOT, t0, t1, t1);
+                if !sent {
+                    return;
+                }
+            }
+            Frame::Inspect {
+                sections,
+                last_events,
+                slow_limit,
+            } => {
+                let report = build_inspect_report(inner, sections, last_events, slow_limit);
+                if let Some(m) = metrics {
+                    m.inspects.inc();
+                }
+                if !send(sock, &Frame::InspectReply(Box::new(report)), ctx, metrics) {
                     return;
                 }
             }
             Frame::Goodbye => {
-                let _ = send(sock, &Frame::Goodbye, metrics);
+                let _ = send(sock, &Frame::Goodbye, ctx, metrics);
                 return;
             }
             Frame::Error { .. } => return, // client gave up; nothing to reply
@@ -990,7 +1136,8 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             | Frame::Answer { .. }
             | Frame::SnapshotReply { .. }
             | Frame::Throttle { .. }
-            | Frame::ResumeAck { .. } => {
+            | Frame::ResumeAck { .. }
+            | Frame::InspectReply(_) => {
                 send_error(
                     sock,
                     ErrorCode::Protocol,
@@ -1001,4 +1148,95 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             }
         }
     }
+}
+
+/// Wire kind tags recorded in slow-query entries (the `Kind` enum is
+/// private to `stream-wire`; these mirror its documented grammar).
+const KIND_QUERY_JOIN: u8 = 5;
+const KIND_QUERY_SELF_JOIN: u8 = 6;
+const KIND_SNAPSHOT: u8 = 8;
+
+/// Folds one finished query's phase timing into the slow-query log when
+/// it crossed the configured threshold. `t0`→`t1` is snapshot
+/// acquisition, `t1`→`t2` estimation, `t2`→now encode + reply write.
+fn record_if_slow(
+    inner: &Inner,
+    ctx: Option<TraceContext>,
+    kind: u8,
+    t0: Instant,
+    t1: Instant,
+    t2: Instant,
+) {
+    let done = Instant::now();
+    let total = done.duration_since(t0);
+    if total < inner.config.slow_query {
+        return;
+    }
+    if let Some(m) = inner.metrics {
+        m.slow_queries.inc();
+    }
+    inner.slow.record(SlowQueryEntry {
+        ts_ns: inner.started.elapsed().as_nanos() as u64,
+        trace_id: ctx.map_or(0, |c| c.trace_id),
+        kind,
+        total_ns: total.as_nanos() as u64,
+        snapshot_ns: t1.duration_since(t0).as_nanos() as u64,
+        estimate_ns: t2.duration_since(t1).as_nanos() as u64,
+        encode_ns: done.duration_since(t2).as_nanos() as u64,
+    });
+}
+
+/// Assembles the INSPECT reply: each requested section is gathered
+/// fresh, sections this build cannot produce (telemetry compiled out)
+/// come back empty rather than erroring.
+fn build_inspect_report(
+    inner: &Inner,
+    sections: u8,
+    last_events: u32,
+    slow_limit: u32,
+) -> InspectReport {
+    let mut report = InspectReport {
+        uptime_ns: inner.started.elapsed().as_nanos() as u64,
+        ..InspectReport::default()
+    };
+    // The audit pass runs first so the gauge and histogram it feeds are
+    // already current when the metrics section of the same reply renders.
+    if sections & INSPECT_AUDIT != 0 && stream_telemetry::ENABLED && inner.audit.active() {
+        if let (Ok(f), Ok(g)) = (
+            inner.pool(StreamId::F).snapshot(),
+            inner.pool(StreamId::G).snapshot(),
+        ) {
+            let metrics = inner.metrics;
+            report.audit = inner.audit.summarize([&f, &g], |ratio| {
+                if let Some(m) = metrics {
+                    m.audit_ratio_hist.record_f64(ratio);
+                }
+            });
+            if let (Some(m), Some(a)) = (metrics, report.audit.as_ref()) {
+                m.audit_ratio_error.set(a.mean_ratio_error);
+            }
+        }
+    }
+    if sections & INSPECT_METRICS != 0 && stream_telemetry::ENABLED {
+        report.metrics_json = stream_telemetry::global().render_json_lines();
+    }
+    if sections & INSPECT_EVENTS != 0 {
+        report.events = ss_trace::recent_events(last_events as usize)
+            .iter()
+            .map(|e| stream_wire::WireSpanEvent {
+                ts_ns: e.ts_ns,
+                trace_id: e.trace_id,
+                span_id: e.span_id,
+                parent_id: e.parent_id,
+                phase: e.phase,
+                kind: e.kind,
+                thread: e.thread,
+                arg: e.arg,
+            })
+            .collect();
+    }
+    if sections & INSPECT_SLOW != 0 {
+        report.slow = inner.slow.snapshot(slow_limit as usize);
+    }
+    report
 }

@@ -9,7 +9,7 @@
 //! signal), and the latency of each request kind.
 
 use std::sync::{Arc, OnceLock};
-use stream_telemetry::{Counter, Gauge, Histogram, Unit};
+use stream_telemetry::{Counter, FloatGauge, Gauge, Histogram, Unit};
 
 /// Cached handles for the server's metrics.
 pub(crate) struct ServerMetrics {
@@ -46,6 +46,14 @@ pub(crate) struct ServerMetrics {
     pub wal_torn_bytes: Arc<Counter>,
     /// Acceptor / connection-handler threads lost to panics.
     pub thread_panics: Arc<Counter>,
+    /// INSPECT requests answered.
+    pub inspects: Arc<Counter>,
+    /// Queries that crossed the slow-query threshold.
+    pub slow_queries: Arc<Counter>,
+    /// Mean absolute ratio error of the last §5.1 audit pass.
+    pub audit_ratio_error: Arc<FloatGauge>,
+    /// Per-comparison absolute ratio errors across audit passes.
+    pub audit_ratio_hist: Arc<Histogram>,
     /// UPDATE_BATCH handling latency (decode excluded, dispatch + reply).
     pub update_latency: Arc<Histogram>,
     /// QUERY_JOIN handling latency (two snapshots + ESTSKIMJOINSIZE).
@@ -80,6 +88,10 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             recovered_batches: r.counter("server_recovered_batches_total"),
             wal_torn_bytes: r.counter("server_wal_torn_bytes_total"),
             thread_panics: r.counter("server_thread_panics_total"),
+            inspects: r.counter("server_inspect_total"),
+            slow_queries: r.counter("server_slow_queries_total"),
+            audit_ratio_error: r.float_gauge("server_audit_ratio_error"),
+            audit_ratio_hist: r.histogram("server_audit_ratio", Unit::Scaled1e6),
             update_latency: lat("update_batch"),
             query_join_latency: lat("query_join"),
             query_self_latency: lat("query_self_join"),

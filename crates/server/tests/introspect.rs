@@ -1,0 +1,233 @@
+//! Tracing and introspection contract over a real loopback connection:
+//! a traced QUERY_JOIN must produce one causally-connected trace
+//! (client Request span → server Handler span → downstream phases),
+//! INSPECT must serve the slow-query log and the §5.1 accuracy audit,
+//! and an untraced client must interoperate with a tracing-enabled
+//! server byte-for-byte as before.
+//!
+//! Everything here runs in both feature configurations: with telemetry
+//! compiled out the same requests must still round-trip, with the
+//! introspection sections degrading to empty rather than erroring.
+
+use skimmed_sketch::SkimmedSchema;
+use std::time::Duration;
+use stream_model::{Domain, Update};
+use stream_server::{ClientConfig, Server, ServerClient, ServerConfig};
+use stream_wire::{StreamId, INSPECT_ALL, INSPECT_EVENTS, INSPECT_SLOW};
+
+fn test_config() -> ServerConfig {
+    let schema = SkimmedSchema::scanning(Domain::with_log2(12), 5, 128, 7);
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = 2;
+    config.ingest_workers = 2;
+    config.read_timeout = Duration::from_millis(50);
+    // Log every query, sample every key: introspection sections are
+    // guaranteed non-empty after the first traffic.
+    config.slow_query = Duration::ZERO;
+    config.audit_shift = Some(0);
+    config
+}
+
+fn traced_client(server: &Server) -> ServerClient {
+    ServerClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            trace: true,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect")
+}
+
+fn updates(n: u64) -> Vec<Update> {
+    (0..n).map(|i| Update::insert(i % 64)).collect()
+}
+
+#[test]
+fn traced_query_join_produces_one_connected_trace() {
+    let server = Server::bind("127.0.0.1:0", test_config()).expect("bind");
+    let mut client = traced_client(&server);
+    client
+        .send_all(StreamId::F, &updates(512), 128)
+        .expect("send F");
+    client
+        .send_all(StreamId::G, &updates(512), 128)
+        .expect("send G");
+    let answer = client.query_join().expect("query");
+    assert!(answer.estimate.is_finite());
+
+    let trace = client.last_trace_id();
+    let report = client.inspect(INSPECT_EVENTS, 0, 0).expect("inspect");
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("shutdown");
+
+    if !ss_trace::ENABLED {
+        assert_eq!(trace, 0, "untraceable build stamps nothing");
+        assert!(report.events.is_empty());
+        return;
+    }
+    assert_ne!(trace, 0);
+
+    // The server's flight recorder saw the query under the client's
+    // trace id, with the Handler span parenting the inner phases.
+    let server_events: Vec<_> = report
+        .events
+        .iter()
+        .filter(|e| e.trace_id == trace)
+        .collect();
+    let handler = server_events
+        .iter()
+        .find(|e| e.phase == ss_trace::Phase::Handler.code())
+        .expect("handler span recorded under the client's trace id");
+    assert_ne!(handler.span_id, 0);
+    for phase in [ss_trace::Phase::Snapshot, ss_trace::Phase::Estimate] {
+        let inner = server_events
+            .iter()
+            .find(|e| e.phase == phase.code())
+            .unwrap_or_else(|| panic!("{} span recorded", phase.name()));
+        assert_eq!(
+            inner.parent_id,
+            handler.span_id,
+            "{} parents under the handler",
+            phase.name()
+        );
+    }
+
+    // Client-side Request span for the same trace id, from this
+    // process's own recorder.
+    let client_events: Vec<ss_trace::TraceEvent> = ss_trace::recent_events(0)
+        .into_iter()
+        .filter(|e| e.trace_id == trace)
+        .collect();
+    assert!(
+        client_events
+            .iter()
+            .any(|e| e.phase == ss_trace::Phase::Request.code()),
+        "client recorded its Request span"
+    );
+
+    // Merged export is valid Chrome trace JSON naming both processes
+    // and carrying the shared trace id.
+    let server_side: Vec<ss_trace::TraceEvent> = report
+        .events
+        .iter()
+        .map(|e| ss_trace::TraceEvent {
+            ts_ns: e.ts_ns,
+            trace_id: e.trace_id,
+            span_id: e.span_id,
+            parent_id: e.parent_id,
+            phase: e.phase,
+            kind: e.kind,
+            thread: e.thread,
+            arg: e.arg,
+        })
+        .collect();
+    let doc = ss_trace::chrome_trace_json(&[("client", &client_events), ("server", &server_side)]);
+    assert!(doc.starts_with('[') && doc.ends_with(']'));
+    assert!(doc.contains(&format!("{trace:016x}")));
+    assert!(doc.contains("\"name\":\"handler\""));
+    assert!(doc.contains("\"name\":\"request\""));
+}
+
+#[test]
+fn inspect_serves_slow_query_entries_with_phase_anatomy() {
+    let server = Server::bind("127.0.0.1:0", test_config()).expect("bind");
+    let mut client = traced_client(&server);
+    client
+        .send_all(StreamId::F, &updates(256), 128)
+        .expect("send F");
+    client
+        .send_all(StreamId::G, &updates(256), 128)
+        .expect("send G");
+    client.query_join().expect("query");
+    let query_trace = client.last_trace_id();
+    client.query_self_join(StreamId::F).expect("self join");
+
+    let report = client.inspect(INSPECT_SLOW, 0, 0).expect("inspect");
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("shutdown");
+
+    // slow_query = 0 logs every query regardless of telemetry config.
+    assert!(
+        report.slow.len() >= 2,
+        "both queries crossed the zero threshold: {:?}",
+        report.slow
+    );
+    let join_entry = report
+        .slow
+        .iter()
+        .find(|e| e.kind == 5)
+        .expect("QUERY_JOIN slow entry");
+    assert!(join_entry.total_ns > 0);
+    assert!(
+        join_entry.snapshot_ns + join_entry.estimate_ns + join_entry.encode_ns
+            <= join_entry.total_ns,
+        "phase anatomy sums within the total"
+    );
+    if ss_trace::ENABLED {
+        assert_eq!(join_entry.trace_id, query_trace, "entry names the trace");
+    }
+}
+
+#[test]
+fn inspect_audit_compares_exact_counts_with_estimates() {
+    let server = Server::bind("127.0.0.1:0", test_config()).expect("bind");
+    let mut client = traced_client(&server);
+    // 64 distinct keys, each with exact frequency 8.
+    client
+        .send_all(StreamId::F, &updates(512), 512)
+        .expect("send F");
+    client
+        .send_all(StreamId::G, &updates(512), 512)
+        .expect("send G");
+    // Queue is drained before INSPECT snapshots the sketches: a query
+    // linearizes behind the batches.
+    client.query_join().expect("query");
+
+    let report = client.inspect_all().expect("inspect");
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("shutdown");
+
+    assert!(report.uptime_ns > 0);
+    if !ss_trace::ENABLED {
+        assert!(report.audit.is_none(), "no audit without telemetry");
+        assert!(report.metrics_json.is_empty());
+        return;
+    }
+    let audit = report.audit.expect("audit section present");
+    assert_eq!(audit.sampled_keys, 128, "64 keys per stream, shift 0");
+    assert_eq!(audit.comparisons, 128);
+    // The sketch is far wider than 64 keys, so point estimates are
+    // near-exact and the ratio error tiny.
+    assert!(
+        audit.mean_ratio_error.is_finite() && audit.mean_ratio_error < 0.5,
+        "mean ratio error {}",
+        audit.mean_ratio_error
+    );
+    assert!(audit.p50 <= audit.p95 && audit.p95 <= audit.p99 && audit.p99 <= audit.max);
+    assert!(
+        report.metrics_json.contains("server_audit_ratio_error"),
+        "audit pass feeds the metrics registry"
+    );
+}
+
+#[test]
+fn untraced_client_interops_with_tracing_server() {
+    let server = Server::bind("127.0.0.1:0", test_config()).expect("bind");
+    // Default config: trace = false — frames carry no trace extension.
+    let mut client = ServerClient::connect(server.local_addr()).expect("connect");
+    client
+        .send_all(StreamId::F, &updates(256), 64)
+        .expect("send F");
+    client
+        .send_all(StreamId::G, &updates(256), 64)
+        .expect("send G");
+    let answer = client.query_join().expect("query");
+    assert!(answer.estimate.is_finite());
+    assert_eq!(client.last_trace_id(), 0, "nothing stamped");
+    // The v2-compatible client can still ask for introspection.
+    let report = client.inspect(INSPECT_ALL, 16, 16).expect("inspect");
+    assert!(report.slow.len() <= 16);
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("shutdown");
+}

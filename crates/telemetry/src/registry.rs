@@ -214,17 +214,29 @@ impl Registry {
                     e.name,
                     fmt_f64(g.get())
                 ),
-                Handle::Histogram(h, unit) => format!(
-                    "{{\"metric\":\"{}\",\"type\":\"histogram\"{labels},\"count\":{},\"sum\":{},\
-                     \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
-                    e.name,
-                    h.count(),
-                    fmt_f64(unit.export(h.sum())),
-                    fmt_f64(unit.export(h.quantile(0.5))),
-                    fmt_f64(unit.export(h.quantile(0.95))),
-                    fmt_f64(unit.export(h.quantile(0.99))),
-                    fmt_f64(unit.export(h.max())),
-                ),
+                Handle::Histogram(h, unit) => {
+                    // Quantiles of zero observations are undefined, not
+                    // zero: a dashboard must be able to tell "no latency
+                    // samples yet" apart from "p99 of 0 seconds".
+                    let q = |p: f64| {
+                        if h.count() == 0 {
+                            "null".to_string()
+                        } else {
+                            fmt_f64(unit.export(h.quantile(p)))
+                        }
+                    };
+                    format!(
+                        "{{\"metric\":\"{}\",\"type\":\"histogram\"{labels},\"count\":{},\"sum\":{},\
+                         \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                        e.name,
+                        h.count(),
+                        fmt_f64(unit.export(h.sum())),
+                        q(0.5),
+                        q(0.95),
+                        q(0.99),
+                        fmt_f64(unit.export(h.max())),
+                    )
+                }
             };
             out.push_str(&line);
             out.push('\n');
@@ -272,11 +284,17 @@ impl Registry {
                 )),
                 Handle::Histogram(h, unit) => {
                     for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-                        out.push_str(&format!(
-                            "{}{} {}\n",
-                            e.name,
-                            prom_labels(&e.labels, &[("quantile", label)]),
+                        // Prometheus summaries export undefined quantiles
+                        // as NaN, never a fake zero.
+                        let rendered = if h.count() == 0 {
+                            "NaN".to_string()
+                        } else {
                             fmt_f64(unit.export(h.quantile(q)))
+                        };
+                        out.push_str(&format!(
+                            "{}{} {rendered}\n",
+                            e.name,
+                            prom_labels(&e.labels, &[("quantile", label)])
                         ));
                     }
                     let plain = prom_labels(&e.labels, &[]);

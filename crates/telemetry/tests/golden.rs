@@ -52,6 +52,43 @@ skim_phase_batch_size_max 20\n";
 }
 
 #[test]
+fn empty_histogram_quantiles_render_as_null_and_nan() {
+    let r = Registry::new();
+    let _ = r.histogram_with(
+        "server_request_seconds",
+        &[("kind", "snapshot")],
+        Unit::Nanos,
+    );
+    let json = r.render_json_lines();
+    assert_eq!(
+        json,
+        "{\"metric\":\"server_request_seconds\",\"type\":\"histogram\",\
+         \"labels\":{\"kind\":\"snapshot\"},\"count\":0,\"sum\":0,\
+         \"p50\":null,\"p95\":null,\"p99\":null,\"max\":0}\n",
+        "undefined quantiles must be JSON null, not 0"
+    );
+    let prom = r.render_prometheus();
+    let expected = "\
+# TYPE server_request_seconds summary\n\
+server_request_seconds{kind=\"snapshot\",quantile=\"0.5\"} NaN\n\
+server_request_seconds{kind=\"snapshot\",quantile=\"0.95\"} NaN\n\
+server_request_seconds{kind=\"snapshot\",quantile=\"0.99\"} NaN\n\
+server_request_seconds_sum{kind=\"snapshot\"} 0\n\
+server_request_seconds_count{kind=\"snapshot\"} 0\n\
+server_request_seconds_max{kind=\"snapshot\"} 0\n";
+    assert_eq!(prom, expected);
+    // One observation flips every quantile back to a real number.
+    let h = r.histogram_with(
+        "server_request_seconds",
+        &[("kind", "snapshot")],
+        Unit::Nanos,
+    );
+    h.record(1_000_000_000);
+    assert!(!r.render_json_lines().contains("null"));
+    assert!(!r.render_prometheus().contains("NaN"));
+}
+
+#[test]
 fn nanos_histograms_export_seconds() {
     let r = Registry::new();
     let h = r.histogram("phase_seconds", Unit::Nanos);

@@ -1,0 +1,106 @@
+//! Event exporters: Chrome trace JSON (`chrome://tracing` / Perfetto's
+//! legacy loader) and plain JSON lines. Hand-rolled serialisation — the
+//! event model is flat and fixed, and the build environment is offline,
+//! so no JSON dependency is warranted.
+//!
+//! Both exporters are compiled in every feature configuration: an
+//! uninstrumented client still renders events it received over INSPECT
+//! from an instrumented server.
+
+use crate::{EventKind, Phase, TraceEvent};
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Nanoseconds → Chrome's microsecond timestamps, with the sub-µs part
+/// kept as decimals so event order survives the unit change.
+fn micros(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1000, ts_ns % 1000)
+}
+
+fn event_args(e: &TraceEvent) -> String {
+    format!(
+        "{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\"arg\":{}}}",
+        e.trace_id, e.span_id, e.parent_id, e.arg
+    )
+}
+
+/// Renders named event groups as one Chrome trace JSON document (the
+/// "JSON array format"). Each `(label, events)` pair becomes one
+/// process in the viewer — e.g. `[("client", …), ("server", …)]` for a
+/// merged end-to-end trace — with recorder threads as tracks.
+pub fn chrome_trace_json(parts: &[(&str, &[TraceEvent])]) -> String {
+    let mut items: Vec<String> = Vec::new();
+    for (pid0, (label, events)) in parts.iter().enumerate() {
+        let pid = pid0 + 1;
+        items.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+            json_string(label)
+        ));
+        for e in *events {
+            let name = json_string(Phase::from_code(e.phase).name());
+            let ts = micros(e.ts_ns);
+            let tid = e.thread;
+            let item = match EventKind::from_code(e.kind) {
+                EventKind::Begin => format!(
+                    "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"name\":{name},\"args\":{}}}",
+                    event_args(e)
+                ),
+                EventKind::End => format!(
+                    "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"name\":{name}}}"
+                ),
+                EventKind::Instant => format!(
+                    "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"name\":{name},\"s\":\"t\",\"args\":{}}}",
+                    event_args(e)
+                ),
+            };
+            items.push(item);
+        }
+    }
+    format!("[{}]", items.join(",\n"))
+}
+
+/// Renders events as JSON lines: one flat object per event, ids in hex
+/// (JSON numbers lose precision past 2⁵³), oldest first. This is the
+/// post-mortem dump format and the `ssketch trace --jsonl` output.
+pub fn json_lines(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let kind = match EventKind::from_code(e.kind) {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        out.push_str(&format!(
+            "{{\"ts_ns\":{},\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\
+             \"phase\":{},\"kind\":\"{}\",\"thread\":{},\"arg\":{}}}\n",
+            e.ts_ns,
+            e.trace_id,
+            e.span_id,
+            e.parent_id,
+            json_string(Phase::from_code(e.phase).name()),
+            kind,
+            e.thread,
+            e.arg
+        ));
+    }
+    out
+}

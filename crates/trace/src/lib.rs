@@ -1,0 +1,169 @@
+//! # ss-trace
+//!
+//! The flight recorder behind the serving layer's causal request
+//! tracing. Each thread that records events owns a fixed-size ring
+//! buffer of typed span events ([`TraceEvent`]): begin/end pairs and
+//! instants carrying a trace id, parent span id, a [`Phase`] tag, and a
+//! nanosecond timestamp on a process-wide monotonic epoch. Recording
+//! costs a handful of atomic stores and never blocks; readers
+//! ([`recent_events`], the INSPECT handler, post-mortem dumps) detect
+//! concurrently overwritten slots with a per-slot sequence word and drop
+//! them instead of observing torn events.
+//!
+//! ## Memory bound
+//!
+//! A ring holds [`RING_EVENTS`] events of [`SLOT_WORDS`] 8-byte words:
+//! 4096 × 7 × 8 = 224 KiB per recording thread, allocated lazily on the
+//! thread's first event and never resized. A process with `h` handler
+//! threads and `w` ingest workers tops out at `(h + w + 2) × 224 KiB`
+//! of recorder memory regardless of uptime or event rate.
+//!
+//! ## Feature gating
+//!
+//! With the `enabled` feature off (the workspace's
+//! `--no-default-features` configuration) every recording entry point is
+//! an inline empty function, [`SpanGuard`] is a zero-sized type, and no
+//! ring is ever allocated — the contract test asserts the sizes. The
+//! event model and the exporters ([`chrome_trace_json`],
+//! [`json_lines`]) remain available so an uninstrumented client can
+//! still render events served by an instrumented peer.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod export;
+mod recorder;
+
+pub use export::{chrome_trace_json, json_lines};
+pub use recorder::{
+    instant, new_trace_id, now_ns, postmortem, recent_events, set_postmortem_path, span, SpanGuard,
+};
+
+/// `true` when the crate was built with the `enabled` feature, i.e.
+/// recording is compiled in. Callers branch on this `const` to let the
+/// optimizer delete whole traced paths in uninstrumented builds.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Events per thread ring. Power of two; oldest events are overwritten.
+pub const RING_EVENTS: usize = 4096;
+
+/// 8-byte words per ring slot (sequence word + 6 event fields).
+pub const SLOT_WORDS: usize = 7;
+
+/// What a span event describes. Stored as a `u8` code on the wire and
+/// in the ring; unknown codes survive round trips as [`Phase::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Anything this build cannot name (forward compatibility).
+    Other = 0,
+    /// A client-side request, from first byte written to reply decoded.
+    Request = 1,
+    /// A server handler processing one request frame.
+    Handler = 2,
+    /// Hand-off of a batch chunk into the ingest pool (instant).
+    Queue = 3,
+    /// An ingest worker applying a chunk to its local sketch.
+    Ingest = 4,
+    /// Appending a batch record to the write-ahead log.
+    WalAppend = 5,
+    /// Acquiring linearizable sketch snapshots for a query.
+    Snapshot = 6,
+    /// A worker cloning its local sketch for a snapshot.
+    SnapshotClone = 7,
+    /// Running the join/self-join estimator over the snapshots.
+    Estimate = 8,
+    /// Encoding and writing a reply frame.
+    Encode = 9,
+    /// The online accuracy audit pass.
+    Audit = 10,
+}
+
+impl Phase {
+    /// The wire/ring code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a code, mapping unknown values to [`Phase::Other`].
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => Phase::Request,
+            2 => Phase::Handler,
+            3 => Phase::Queue,
+            4 => Phase::Ingest,
+            5 => Phase::WalAppend,
+            6 => Phase::Snapshot,
+            7 => Phase::SnapshotClone,
+            8 => Phase::Estimate,
+            9 => Phase::Encode,
+            10 => Phase::Audit,
+            _ => Phase::Other,
+        }
+    }
+
+    /// Stable lowercase name, used by both exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Other => "other",
+            Phase::Request => "request",
+            Phase::Handler => "handler",
+            Phase::Queue => "queue",
+            Phase::Ingest => "ingest",
+            Phase::WalAppend => "wal_append",
+            Phase::Snapshot => "snapshot",
+            Phase::SnapshotClone => "snapshot_clone",
+            Phase::Estimate => "estimate",
+            Phase::Encode => "encode",
+            Phase::Audit => "audit",
+        }
+    }
+}
+
+/// Event kind codes: `0` span begin, `1` span end, `2` instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A span opened.
+    Begin = 0,
+    /// A span closed.
+    End = 1,
+    /// A point-in-time marker.
+    Instant = 2,
+}
+
+impl EventKind {
+    /// Decodes a code; unknown codes read as instants (harmless in both
+    /// exporters).
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => EventKind::Begin,
+            1 => EventKind::End,
+            _ => EventKind::Instant,
+        }
+    }
+}
+
+/// One recorded event. Plain data in both feature configurations —
+/// INSPECT replies are converted into this type for export regardless
+/// of whether the local build records anything itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process recorder epoch.
+    pub ts_ns: u64,
+    /// The trace this event belongs to (0 = untraced background work).
+    pub trace_id: u64,
+    /// The event's own span id (for instants: the enclosing span).
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_id: u64,
+    /// [`Phase`] code.
+    pub phase: u8,
+    /// [`EventKind`] code.
+    pub kind: u8,
+    /// Recorder thread index (registration order within the process).
+    pub thread: u32,
+    /// Free-form argument: batch length, payload bytes, …
+    pub arg: u64,
+}

@@ -1,0 +1,394 @@
+//! The recording half: per-thread seqlock rings, span guards, trace-id
+//! allocation, and post-mortem dumps. Everything here compiles to
+//! inline no-ops (and zero-sized types) without the `enabled` feature.
+
+#[cfg(feature = "enabled")]
+pub use enabled::*;
+
+#[cfg(not(feature = "enabled"))]
+pub use disabled::*;
+
+#[cfg(feature = "enabled")]
+mod enabled {
+    use crate::{EventKind, Phase, TraceEvent, RING_EVENTS, SLOT_WORDS};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// One thread's ring. The owning thread is the only writer; any
+    /// thread may read. Each slot is a miniature seqlock: the sequence
+    /// word is `2·idx + 1` while the slot is being written and
+    /// `2·idx + 2` once stable, where `idx` is the global event index —
+    /// a reader that sees an odd word, a mismatched pair, or a zero
+    /// skips the slot, so overwritten slots are dropped rather than
+    /// read torn.
+    struct Ring {
+        thread: u32,
+        /// Next event index; written only by the owner, read by anyone.
+        cursor: AtomicU64,
+        /// `RING_EVENTS × SLOT_WORDS` words: per slot
+        /// `[seq, ts, trace, span, parent, phase|kind|thread, arg]`.
+        words: Box<[AtomicU64]>,
+    }
+
+    impl Ring {
+        fn new(thread: u32) -> Self {
+            let mut words = Vec::with_capacity(RING_EVENTS * SLOT_WORDS);
+            words.resize_with(RING_EVENTS * SLOT_WORDS, || AtomicU64::new(0));
+            Ring {
+                thread,
+                cursor: AtomicU64::new(0),
+                words: words.into_boxed_slice(),
+            }
+        }
+
+        /// Packs phase, kind, and thread into one word.
+        fn meta(&self, phase: Phase, kind: EventKind) -> u64 {
+            u64::from(phase.code()) | (u64::from(kind as u8) << 8) | (u64::from(self.thread) << 32)
+        }
+
+        fn record(&self, ev: &TraceEvent, kind: EventKind) {
+            // ordering: single-writer counter; the Release store below
+            // publishes the slot, the cursor itself needs no edge here.
+            let idx = self.cursor.load(Ordering::Relaxed);
+            let base = (idx as usize % RING_EVENTS) * SLOT_WORDS;
+            let Some([seq, ts, trace, span, parent, meta, arg]) =
+                self.words.get(base..base + SLOT_WORDS)
+            else {
+                return;
+            };
+            // ordering: mark the slot in-flight before the field stores;
+            // readers only need to *detect* the overlap, not order it —
+            // the stable-store below carries the Release edge.
+            seq.store(idx * 2 + 1, Ordering::Relaxed);
+            // ordering: field stores are published by the Release on the
+            // sequence word; readers re-check it after loading them.
+            ts.store(ev.ts_ns, Ordering::Relaxed);
+            // ordering: see `ts` above.
+            trace.store(ev.trace_id, Ordering::Relaxed);
+            // ordering: see `ts` above.
+            span.store(ev.span_id, Ordering::Relaxed);
+            // ordering: see `ts` above.
+            parent.store(ev.parent_id, Ordering::Relaxed);
+            meta.store(
+                self.meta(Phase::from_code(ev.phase), kind),
+                Ordering::Relaxed, // ordering: see `ts` above.
+            );
+            // ordering: see `ts` above.
+            arg.store(ev.arg, Ordering::Relaxed);
+            seq.store(idx * 2 + 2, Ordering::Release);
+            // ordering: owner-only increment; publication rides the
+            // Release store on the sequence word.
+            self.cursor.store(idx + 1, Ordering::Relaxed);
+        }
+
+        /// Reads every stable slot into `out` (skipping slots being
+        /// overwritten concurrently).
+        fn collect_into(&self, out: &mut Vec<TraceEvent>) {
+            // ordering: pairs with the Release publication of each slot.
+            let cursor = self.cursor.load(Ordering::Acquire);
+            let n = (cursor as usize).min(RING_EVENTS);
+            for idx in (cursor - n as u64)..cursor {
+                let base = (idx as usize % RING_EVENTS) * SLOT_WORDS;
+                let Some([seq, ts, trace, span, parent, meta, arg]) =
+                    self.words.get(base..base + SLOT_WORDS)
+                else {
+                    continue;
+                };
+                let s1 = seq.load(Ordering::Acquire);
+                if s1 != idx * 2 + 2 {
+                    continue; // overwritten or in-flight
+                }
+                // Acquire loads keep the field reads between the two
+                // sequence-word checks.
+                let m = meta.load(Ordering::Acquire);
+                let event = TraceEvent {
+                    ts_ns: ts.load(Ordering::Acquire),
+                    trace_id: trace.load(Ordering::Acquire),
+                    span_id: span.load(Ordering::Acquire),
+                    parent_id: parent.load(Ordering::Acquire),
+                    phase: (m & 0xFF) as u8,
+                    kind: ((m >> 8) & 0xFF) as u8,
+                    thread: (m >> 32) as u32,
+                    arg: arg.load(Ordering::Acquire),
+                };
+                let s2 = seq.load(Ordering::Acquire);
+                if s1 == s2 {
+                    out.push(event);
+                }
+            }
+        }
+    }
+
+    /// Registry of every ring ever created, so readers can sweep all
+    /// threads. Rings are never removed: a dead thread's tail events
+    /// stay inspectable, which is exactly what a post-mortem wants.
+    ///
+    /// The mutex guards ring *registration* (once per thread lifetime)
+    /// and reader-side sweeps — the record path never touches it.
+    // ss-analyze: allow(a4-blocking-hot-path) -- locked at thread registration and by inspection sweeps only; every recorded event is lock-free
+    type RingRegistry = Mutex<Vec<Arc<Ring>>>;
+
+    fn registry() -> &'static RingRegistry {
+        static REGISTRY: OnceLock<RingRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(Default::default)
+    }
+
+    thread_local! {
+        static RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    }
+
+    fn with_ring<F: FnOnce(&Ring)>(f: F) {
+        RING.with(|cell| {
+            let ring = cell.get_or_init(|| {
+                // Taken once per thread lifetime, at ring registration;
+                // every recorded event thereafter is lock-free.
+                let mut regs = registry().lock().unwrap_or_else(|p| p.into_inner());
+                let ring = Arc::new(Ring::new(regs.len() as u32));
+                regs.push(Arc::clone(&ring));
+                ring
+            });
+            f(ring);
+        });
+    }
+
+    fn epoch() -> &'static Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Nanoseconds since the process recorder epoch (the first call in
+    /// the process). Shared by every thread, so per-thread events
+    /// interleave on one timeline.
+    pub fn now_ns() -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+
+    /// SplitMix64 finalizer: decorrelates sequential counter values
+    /// into well-spread ids.
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn id_seed() -> u64 {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        *SEED.get_or_init(|| {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            mix(t ^ (u64::from(std::process::id()) << 32))
+        })
+    }
+
+    /// Allocates a fresh id: unique within the process by a counter,
+    /// decorrelated across processes by a per-process seed, and odd so
+    /// it can never collide with the reserved 0 ("no trace" / "root").
+    fn next_id() -> u64 {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        // ordering: uniqueness only; no data is published through this.
+        mix(id_seed() ^ NEXT.fetch_add(1, Ordering::Relaxed)) | 1
+    }
+
+    /// Allocates a fresh trace id (odd, never 0).
+    pub fn new_trace_id() -> u64 {
+        next_id()
+    }
+
+    /// RAII span: records a begin event now and the matching end event
+    /// on drop. Obtain via [`span`].
+    pub struct SpanGuard {
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        phase: Phase,
+    }
+
+    impl SpanGuard {
+        /// The span's id — the parent for child spans and for the
+        /// trace context stamped on outgoing frames.
+        pub fn id(&self) -> u64 {
+            self.span_id
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            record(
+                self.phase,
+                EventKind::End,
+                self.trace_id,
+                self.span_id,
+                self.parent_id,
+                0,
+            );
+        }
+    }
+
+    fn record(
+        phase: Phase,
+        kind: EventKind,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        arg: u64,
+    ) {
+        let ev = TraceEvent {
+            ts_ns: now_ns(),
+            trace_id,
+            span_id,
+            parent_id,
+            phase: phase.code(),
+            kind: kind as u8,
+            thread: 0, // stamped by the ring
+            arg,
+        };
+        with_ring(|ring| ring.record(&ev, kind));
+    }
+
+    /// Opens a span: records a begin event and returns the guard whose
+    /// drop records the end. `parent_id = 0` starts a root span.
+    pub fn span(phase: Phase, trace_id: u64, parent_id: u64, arg: u64) -> SpanGuard {
+        let span_id = next_id();
+        record(phase, EventKind::Begin, trace_id, span_id, parent_id, arg);
+        SpanGuard {
+            trace_id,
+            span_id,
+            parent_id,
+            phase,
+        }
+    }
+
+    /// Records a point-in-time event inside `span_id`.
+    pub fn instant(phase: Phase, trace_id: u64, span_id: u64, arg: u64) {
+        record(phase, EventKind::Instant, trace_id, span_id, 0, arg);
+    }
+
+    /// Sweeps every thread ring and returns the most recent events,
+    /// oldest first. `limit = 0` means "everything still buffered".
+    pub fn recent_events(limit: usize) -> Vec<TraceEvent> {
+        let rings: Vec<Arc<Ring>> = {
+            // Reader-side sweep (INSPECT / post-mortem), never on the
+            // record path.
+            let regs = registry().lock().unwrap_or_else(|p| p.into_inner());
+            regs.clone()
+        };
+        let mut out = Vec::new();
+        for ring in rings {
+            ring.collect_into(&mut out);
+        }
+        out.sort_by_key(|e| e.ts_ns);
+        if limit > 0 && out.len() > limit {
+            out.drain(..out.len() - limit);
+        }
+        out
+    }
+
+    // ss-analyze: allow(a4-blocking-hot-path) -- configuration cell, written once at server start and read only when a dump fires
+    static POSTMORTEM_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+    /// Configures where [`postmortem`] writes its dump. Unset by
+    /// default, in which case dumps are skipped.
+    pub fn set_postmortem_path(path: &Path) {
+        let mut slot = POSTMORTEM_PATH.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(path.to_path_buf());
+    }
+
+    /// Dumps the flight recorder to the configured post-mortem file
+    /// (JSON lines: one `{"postmortem": reason, …}` header, then the
+    /// buffered events) and returns the path written. Appends, so
+    /// repeated dumps — say, several supervised worker panics —
+    /// accumulate with their headers instead of clobbering each other.
+    /// Returns `None` when no path is configured or the write fails:
+    /// the dump is best-effort and must never turn a crash path into a
+    /// second crash.
+    pub fn postmortem(reason: &str) -> Option<PathBuf> {
+        let path = {
+            let slot = POSTMORTEM_PATH.lock().unwrap_or_else(|p| p.into_inner());
+            slot.clone()?
+        };
+        let events = recent_events(0);
+        let mut doc = format!(
+            "{{\"postmortem\":{},\"ts_ns\":{},\"events\":{}}}\n",
+            crate::export::json_string(reason),
+            now_ns(),
+            events.len()
+        );
+        doc.push_str(&crate::export::json_lines(&events));
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .ok()?;
+        f.write_all(doc.as_bytes()).ok()?;
+        f.flush().ok()?;
+        Some(path)
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod disabled {
+    use crate::{Phase, TraceEvent};
+    use std::path::{Path, PathBuf};
+
+    /// Zero-sized stand-in for the recording span guard.
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        /// Always 0 ("no span") in uninstrumented builds.
+        #[inline(always)]
+        pub fn id(&self) -> u64 {
+            0
+        }
+    }
+
+    // Both configurations expose the same drop-to-end-span contract, so
+    // callers can `drop(guard)` without config-dependent lint noise.
+    impl Drop for SpanGuard {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+
+    /// No-op: uninstrumented builds have no timeline.
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    /// Always 0 ("no trace"): callers gate stamping on [`crate::ENABLED`].
+    #[inline(always)]
+    pub fn new_trace_id() -> u64 {
+        0
+    }
+
+    /// No-op span.
+    #[inline(always)]
+    pub fn span(_phase: Phase, _trace_id: u64, _parent_id: u64, _arg: u64) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// No-op instant.
+    #[inline(always)]
+    pub fn instant(_phase: Phase, _trace_id: u64, _span_id: u64, _arg: u64) {}
+
+    /// Always empty: nothing records.
+    #[inline(always)]
+    pub fn recent_events(_limit: usize) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// No-op: there is no recorder to dump.
+    #[inline(always)]
+    pub fn set_postmortem_path(_path: &Path) {}
+
+    /// Always `None`: there is no recorder to dump.
+    #[inline(always)]
+    pub fn postmortem(_reason: &str) -> Option<PathBuf> {
+        None
+    }
+}

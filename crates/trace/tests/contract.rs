@@ -1,0 +1,316 @@
+//! The feature contract: with `enabled` off every recording type is a
+//! ZST and every entry point a no-op; with it on, events land in the
+//! ring, sweep out in order, and export as valid JSON.
+
+use ss_trace::{EventKind, Phase, TraceEvent};
+
+/// Minimal JSON syntax checker: validates one value (object / array /
+/// string / number / literal) and that nothing trails it. Enough to
+/// prove the hand-rolled exporters emit structurally valid documents.
+fn check_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    ws(b, i);
+                    string(b, i)?;
+                    ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if b[*i..].starts_with(lit.as_bytes()) {
+                        *i += lit.len();
+                        return Ok(());
+                    }
+                }
+                Err(format!("unexpected byte at {i}"))
+            }
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    value(b, &mut i)?;
+    ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at {i}"));
+    }
+    Ok(())
+}
+
+fn sample_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent {
+            ts_ns: 1000,
+            trace_id: 0xAB,
+            span_id: 1,
+            parent_id: 0,
+            phase: Phase::Request.code(),
+            kind: EventKind::Begin as u8,
+            thread: 0,
+            arg: 64,
+        },
+        TraceEvent {
+            ts_ns: 1500,
+            trace_id: 0xAB,
+            span_id: 2,
+            parent_id: 1,
+            phase: Phase::Queue.code(),
+            kind: EventKind::Instant as u8,
+            thread: 1,
+            arg: 0,
+        },
+        TraceEvent {
+            ts_ns: 2000,
+            trace_id: 0xAB,
+            span_id: 1,
+            parent_id: 0,
+            phase: Phase::Request.code(),
+            kind: EventKind::End as u8,
+            thread: 0,
+            arg: 0,
+        },
+    ]
+}
+
+#[test]
+fn chrome_export_is_valid_json_in_both_configs() {
+    let events = sample_events();
+    let doc = ss_trace::chrome_trace_json(&[("client", &events), ("server", &[])]);
+    check_json(&doc).expect("chrome trace JSON must parse");
+    assert!(doc.contains("\"ph\":\"B\""));
+    assert!(doc.contains("\"ph\":\"E\""));
+    assert!(doc.contains("\"ph\":\"i\""));
+    assert!(doc.contains("process_name"));
+}
+
+#[test]
+fn json_lines_are_each_valid_json() {
+    let events = sample_events();
+    let lines = ss_trace::json_lines(&events);
+    let mut n = 0;
+    for line in lines.lines() {
+        check_json(line).expect("each event line must parse");
+        n += 1;
+    }
+    assert_eq!(n, events.len());
+}
+
+#[test]
+fn phase_codes_round_trip() {
+    for phase in [
+        Phase::Other,
+        Phase::Request,
+        Phase::Handler,
+        Phase::Queue,
+        Phase::Ingest,
+        Phase::WalAppend,
+        Phase::Snapshot,
+        Phase::SnapshotClone,
+        Phase::Estimate,
+        Phase::Encode,
+        Phase::Audit,
+    ] {
+        assert_eq!(Phase::from_code(phase.code()), phase);
+        assert!(!phase.name().is_empty());
+    }
+    assert_eq!(Phase::from_code(255), Phase::Other);
+}
+
+#[cfg(not(feature = "enabled"))]
+mod disabled {
+    #[test]
+    fn recording_types_are_zero_sized() {
+        // The ratchet the CI no-telemetry job relies on: traced code
+        // paths carry provably zero data when compiled out.
+        assert_eq!(std::mem::size_of::<ss_trace::SpanGuard>(), 0);
+        assert_eq!(u8::from(ss_trace::ENABLED), 0, "feature gate must be off");
+    }
+
+    #[test]
+    fn entry_points_are_inert() {
+        assert_eq!(ss_trace::new_trace_id(), 0);
+        assert_eq!(ss_trace::now_ns(), 0);
+        let guard = ss_trace::span(ss_trace::Phase::Handler, 1, 0, 0);
+        assert_eq!(guard.id(), 0);
+        ss_trace::instant(ss_trace::Phase::Queue, 1, 0, 0);
+        drop(guard);
+        assert!(ss_trace::recent_events(0).is_empty());
+        assert_eq!(ss_trace::postmortem("test"), None);
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod enabled {
+    use ss_trace::{EventKind, Phase};
+
+    #[test]
+    fn spans_record_begin_end_pairs_with_causality() {
+        assert_eq!(u8::from(ss_trace::ENABLED), 1, "feature gate must be on");
+        let trace = ss_trace::new_trace_id();
+        assert_ne!(trace, 0);
+        let root = ss_trace::span(Phase::Request, trace, 0, 42);
+        let root_id = root.id();
+        assert_ne!(root_id, 0);
+        let child = ss_trace::span(Phase::Handler, trace, root_id, 0);
+        let child_id = child.id();
+        ss_trace::instant(Phase::Queue, trace, child_id, 7);
+        drop(child);
+        drop(root);
+
+        let events: Vec<_> = ss_trace::recent_events(0)
+            .into_iter()
+            .filter(|e| e.trace_id == trace)
+            .collect();
+        assert_eq!(events.len(), 5, "2 begins + 2 ends + 1 instant");
+        // Oldest-first and monotone.
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_ns <= pair[1].ts_ns);
+        }
+        let child_begin = events
+            .iter()
+            .find(|e| e.span_id == child_id && e.kind == EventKind::Begin as u8)
+            .expect("child begin recorded");
+        assert_eq!(child_begin.parent_id, root_id, "causal parent preserved");
+        let root_begin = events
+            .iter()
+            .find(|e| e.span_id == root_id && e.kind == EventKind::Begin as u8)
+            .expect("root begin recorded");
+        assert_eq!(root_begin.arg, 42);
+        assert_eq!(root_begin.parent_id, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_bounds_memory() {
+        let trace = ss_trace::new_trace_id();
+        // Overfill the ring from this thread; the sweep must return at
+        // most RING_EVENTS events and the newest must survive.
+        for i in 0..(ss_trace::RING_EVENTS + 100) {
+            ss_trace::instant(Phase::Ingest, trace, 0, i as u64);
+        }
+        let events: Vec<_> = ss_trace::recent_events(0)
+            .into_iter()
+            .filter(|e| e.trace_id == trace)
+            .collect();
+        assert!(events.len() <= ss_trace::RING_EVENTS);
+        let newest = events.last().expect("ring retains the newest events");
+        assert_eq!(newest.arg, (ss_trace::RING_EVENTS + 100 - 1) as u64);
+    }
+
+    #[test]
+    fn recent_events_honours_the_limit() {
+        let trace = ss_trace::new_trace_id();
+        for i in 0..10 {
+            ss_trace::instant(Phase::Audit, trace, 0, i);
+        }
+        let capped = ss_trace::recent_events(3);
+        assert!(capped.len() <= 3);
+    }
+
+    #[test]
+    fn threads_get_distinct_recorder_indices() {
+        let trace = ss_trace::new_trace_id();
+        ss_trace::instant(Phase::Handler, trace, 0, 0);
+        let t2 = std::thread::spawn(move || {
+            ss_trace::instant(Phase::Ingest, trace, 0, 0);
+        });
+        t2.join().unwrap();
+        let events: Vec<_> = ss_trace::recent_events(0)
+            .into_iter()
+            .filter(|e| e.trace_id == trace)
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].thread, events[1].thread);
+    }
+
+    #[test]
+    fn postmortem_appends_dumps_to_the_configured_file() {
+        let dir = std::env::temp_dir().join(format!("ss-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("postmortem.jsonl");
+        let _ = std::fs::remove_file(&path);
+        ss_trace::set_postmortem_path(&path);
+        let trace = ss_trace::new_trace_id();
+        ss_trace::instant(Phase::Handler, trace, 0, 1);
+        let written = ss_trace::postmortem("first").expect("dump path configured");
+        assert_eq!(written, path);
+        ss_trace::postmortem("second").expect("second dump");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"postmortem\":\"first\""));
+        assert!(text.contains("\"postmortem\":\"second\""), "dumps append");
+        assert!(text.contains(&format!("{trace:016x}")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -48,6 +48,145 @@ impl std::fmt::Display for StreamId {
     }
 }
 
+/// Flags-byte bit: the payload is prefixed by a 16-byte trace context
+/// ([`TraceContext`]) — `trace_id u64-le` then `span_id u64-le` — before
+/// the kind-specific payload body. Both CRCs cover the prefix. Readers
+/// that predate the extension reject the bit with
+/// [`WireError::BadFlags`]; writers therefore only set it when the peer
+/// is known to understand it (for a server: when the request carried it).
+pub const FLAG_TRACE: u8 = 0x01;
+
+/// All flag bits this build understands; anything else is `BadFlags`.
+const KNOWN_FLAGS: u8 = FLAG_TRACE;
+
+/// The causal trace context a frame may carry (see [`FLAG_TRACE`]).
+///
+/// `trace_id` names the end-to-end request trace; `span_id` is the
+/// sender's span at the moment the frame was written, which the receiver
+/// uses as the parent of the spans it records while handling the frame.
+/// Plain data at this layer — the semantics live in `ss-trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// End-to-end trace identity (non-zero by convention).
+    pub trace_id: u64,
+    /// The sender's current span, parent for the receiver's spans.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    const WIRE_LEN: usize = 16;
+
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.span_id.to_le_bytes());
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TraceContext {
+            trace_id: r.u64()?,
+            span_id: r.u64()?,
+        })
+    }
+}
+
+/// Section bits for [`Frame::Inspect`]: metrics + histogram snapshot.
+pub const INSPECT_METRICS: u8 = 0x01;
+/// Section bits for [`Frame::Inspect`]: recent flight-recorder events.
+pub const INSPECT_EVENTS: u8 = 0x02;
+/// Section bits for [`Frame::Inspect`]: the slow-query log.
+pub const INSPECT_SLOW: u8 = 0x04;
+/// Section bits for [`Frame::Inspect`]: the online accuracy audit.
+pub const INSPECT_AUDIT: u8 = 0x08;
+/// All sections, the common client default.
+pub const INSPECT_ALL: u8 = INSPECT_METRICS | INSPECT_EVENTS | INSPECT_SLOW | INSPECT_AUDIT;
+
+/// One flight-recorder event as carried by [`Frame::InspectReply`].
+///
+/// `phase` and `kind` are opaque codes at this layer (`ss-trace` defines
+/// the enums); the wire only promises to carry them faithfully so a
+/// client can merge server events with its own and export Chrome trace
+/// JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSpanEvent {
+    /// Nanoseconds since the recorder's epoch (per-process monotonic).
+    pub ts_ns: u64,
+    /// Trace this event belongs to (0 = untraced background work).
+    pub trace_id: u64,
+    /// The event's own span id.
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_id: u64,
+    /// Phase code (`ss-trace::Phase`).
+    pub phase: u8,
+    /// Event kind code: 0 = span begin, 1 = span end, 2 = instant.
+    pub kind: u8,
+    /// Recorder thread index the event was written from.
+    pub thread: u32,
+    /// Free-form argument (batch length, payload bytes, …).
+    pub arg: u64,
+}
+
+/// One slow-query log entry carried by [`Frame::InspectReply`]: the
+/// per-phase latency anatomy of a request that exceeded the server's
+/// configured threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// Nanoseconds since server start when the request finished.
+    pub ts_ns: u64,
+    /// Trace id if the request carried one, else 0.
+    pub trace_id: u64,
+    /// The request's frame-kind tag (e.g. 5 = QUERY_JOIN).
+    pub kind: u8,
+    /// End-to-end handler time.
+    pub total_ns: u64,
+    /// Time acquiring linearizable sketch snapshots.
+    pub snapshot_ns: u64,
+    /// Time in the estimator (skim + sub-join sum).
+    pub estimate_ns: u64,
+    /// Time encoding and writing the reply.
+    pub encode_ns: u64,
+}
+
+/// The online §5.1 accuracy audit summary carried by
+/// [`Frame::InspectReply`]: exact counts of a deterministic key sample
+/// vs the skimmed sketch's point estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditSummary {
+    /// Distinct sampled keys currently tracked.
+    pub sampled_keys: u64,
+    /// Estimate/exact comparisons performed in this audit pass.
+    pub comparisons: u64,
+    /// Mean absolute ratio error over the comparisons.
+    pub mean_ratio_error: f64,
+    /// Median ratio error.
+    pub p50: f64,
+    /// 95th-percentile ratio error.
+    pub p95: f64,
+    /// 99th-percentile ratio error.
+    pub p99: f64,
+    /// Worst ratio error observed in this pass.
+    pub max: f64,
+    /// The key with the worst ratio error.
+    pub worst_value: u64,
+}
+
+/// The full introspection snapshot carried by [`Frame::InspectReply`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InspectReport {
+    /// Nanoseconds the server has been up.
+    pub uptime_ns: u64,
+    /// The telemetry registry rendered as JSON lines (empty when the
+    /// server was built with telemetry compiled out or the section was
+    /// not requested).
+    pub metrics_json: String,
+    /// Most recent flight-recorder events, oldest first.
+    pub events: Vec<WireSpanEvent>,
+    /// Slow-query log entries, oldest first.
+    pub slow: Vec<SlowQueryEntry>,
+    /// Online accuracy audit, when requested and enabled.
+    pub audit: Option<AuditSummary>,
+}
+
 /// Error codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -235,6 +374,18 @@ pub enum Frame {
         /// Highest applied `seq` for stream `G`.
         last_seq_g: u64,
     },
+    /// Client → server: ask for a live introspection snapshot.
+    Inspect {
+        /// Bitmask of sections to include (`INSPECT_*`).
+        sections: u8,
+        /// Cap on flight-recorder events returned (0 = server default).
+        last_events: u32,
+        /// Cap on slow-query entries returned (0 = server default).
+        slow_limit: u32,
+    },
+    /// Server → client: the introspection snapshot (boxed: the report is
+    /// much larger than any other frame body).
+    InspectReply(Box<InspectReport>),
 }
 
 /// Wire tags for [`Frame`] kinds.
@@ -255,6 +406,8 @@ enum Kind {
     Goodbye = 12,
     Resume = 13,
     ResumeAck = 14,
+    Inspect = 15,
+    InspectReply = 16,
 }
 
 impl Kind {
@@ -274,6 +427,8 @@ impl Kind {
             12 => Kind::Goodbye,
             13 => Kind::Resume,
             14 => Kind::ResumeAck,
+            15 => Kind::Inspect,
+            16 => Kind::InspectReply,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -409,17 +564,119 @@ fn update_batch_payload(
     }
 }
 
+/// Serialises the INSPECT_REPLY payload body.
+fn inspect_report_payload(out: &mut Vec<u8>, report: &InspectReport) {
+    put_varint(out, report.uptime_ns);
+    put_string(out, &report.metrics_json);
+    put_varint(out, report.events.len() as u64);
+    for e in &report.events {
+        put_varint(out, e.ts_ns);
+        out.extend_from_slice(&e.trace_id.to_le_bytes());
+        out.extend_from_slice(&e.span_id.to_le_bytes());
+        out.extend_from_slice(&e.parent_id.to_le_bytes());
+        out.push(e.phase);
+        out.push(e.kind);
+        put_varint(out, e.thread as u64);
+        put_varint(out, e.arg);
+    }
+    put_varint(out, report.slow.len() as u64);
+    for s in &report.slow {
+        put_varint(out, s.ts_ns);
+        out.extend_from_slice(&s.trace_id.to_le_bytes());
+        out.push(s.kind);
+        put_varint(out, s.total_ns);
+        put_varint(out, s.snapshot_ns);
+        put_varint(out, s.estimate_ns);
+        put_varint(out, s.encode_ns);
+    }
+    match &report.audit {
+        None => out.push(0),
+        Some(a) => {
+            out.push(1);
+            put_varint(out, a.sampled_keys);
+            put_varint(out, a.comparisons);
+            for v in [a.mean_ratio_error, a.p50, a.p95, a.p99, a.max] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            put_varint(out, a.worst_value);
+        }
+    }
+}
+
+/// Decodes the INSPECT_REPLY payload body. Declared counts are bounded
+/// by the remaining payload before any allocation (every element needs
+/// at least one byte), mirroring the UPDATE_BATCH guard.
+fn decode_inspect_report(r: &mut Reader<'_>) -> Result<InspectReport, WireError> {
+    let uptime_ns = r.varint()?;
+    let metrics_json = r.string()?;
+    let n_events = r.varint()? as usize;
+    if n_events > r.buf.len() {
+        return Err(WireError::Truncated);
+    }
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        events.push(WireSpanEvent {
+            ts_ns: r.varint()?,
+            trace_id: r.u64()?,
+            span_id: r.u64()?,
+            parent_id: r.u64()?,
+            phase: r.u8()?,
+            kind: r.u8()?,
+            thread: u32::try_from(r.varint()?)
+                .map_err(|_| WireError::BadPayload("event thread index overflows u32"))?,
+            arg: r.varint()?,
+        });
+    }
+    let n_slow = r.varint()? as usize;
+    if n_slow > r.buf.len() {
+        return Err(WireError::Truncated);
+    }
+    let mut slow = Vec::with_capacity(n_slow);
+    for _ in 0..n_slow {
+        slow.push(SlowQueryEntry {
+            ts_ns: r.varint()?,
+            trace_id: r.u64()?,
+            kind: r.u8()?,
+            total_ns: r.varint()?,
+            snapshot_ns: r.varint()?,
+            estimate_ns: r.varint()?,
+            encode_ns: r.varint()?,
+        });
+    }
+    let audit = match r.u8()? {
+        0 => None,
+        1 => Some(AuditSummary {
+            sampled_keys: r.varint()?,
+            comparisons: r.varint()?,
+            mean_ratio_error: r.f64()?,
+            p50: r.f64()?,
+            p95: r.f64()?,
+            p99: r.f64()?,
+            max: r.f64()?,
+            worst_value: r.varint()?,
+        }),
+        _ => return Err(WireError::BadPayload("bad audit presence tag")),
+    };
+    Ok(InspectReport {
+        uptime_ns,
+        metrics_json,
+        events,
+        slow,
+        audit,
+    })
+}
+
 /// Builds the 20-byte dual-CRC header for a finished payload.
 /// Panic-free by construction: every byte lands by destructuring and
 /// array literals, with no index expression anywhere.
-fn header_bytes(kind: Kind, payload: &[u8]) -> [u8; HEADER_LEN] {
+fn header_bytes(kind: Kind, flags: u8, payload: &[u8]) -> [u8; HEADER_LEN] {
     let [m0, m1, m2, m3] = *MAGIC;
     let [v0, v1] = VERSION.to_le_bytes();
     let [l0, l1, l2, l3] = (payload.len() as u32).to_le_bytes();
     let [p0, p1, p2, p3] = crc32(payload).to_le_bytes();
-    // The 16 bytes the header CRC covers (flags byte reserved as 0).
+    // The 16 bytes the header CRC covers.
     let checked = [
-        m0, m1, m2, m3, v0, v1, kind as u8, 0, l0, l1, l2, l3, p0, p1, p2, p3,
+        m0, m1, m2, m3, v0, v1, kind as u8, flags, l0, l1, l2, l3, p0, p1, p2, p3,
     ];
     let [h0, h1, h2, h3] = crc32(&checked).to_le_bytes();
     let [m0, m1, m2, m3, v0, v1, k, f, l0, l1, l2, l3, p0, p1, p2, p3] = checked;
@@ -429,12 +686,24 @@ fn header_bytes(kind: Kind, payload: &[u8]) -> [u8; HEADER_LEN] {
 }
 
 /// Wraps a finished payload in the dual-CRC frame header.
-fn assemble(kind: Kind, payload: Vec<u8>) -> Vec<u8> {
-    let header = header_bytes(kind, &payload);
+fn assemble(kind: Kind, flags: u8, payload: Vec<u8>) -> Vec<u8> {
+    let header = header_bytes(kind, flags, &payload);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&header);
     out.extend_from_slice(&payload);
     out
+}
+
+/// Flags byte plus trace-context prefix for an outgoing payload.
+fn traced_payload_prefix(ctx: Option<TraceContext>) -> (u8, Vec<u8>) {
+    let mut out = Vec::new();
+    match ctx {
+        None => (0, out),
+        Some(c) => {
+            c.put(&mut out);
+            (FLAG_TRACE, out)
+        }
+    }
 }
 
 /// Encodes an UPDATE_BATCH frame from borrowed parts — byte-identical
@@ -449,7 +718,7 @@ pub fn encode_update_batch(
 ) -> Vec<u8> {
     let mut payload = Vec::new();
     update_batch_payload(&mut payload, stream, client_id, seq, updates);
-    assemble(Kind::UpdateBatch, payload)
+    assemble(Kind::UpdateBatch, 0, payload)
 }
 
 /// Writes an UPDATE_BATCH frame from borrowed parts straight to `w` —
@@ -463,15 +732,33 @@ pub fn write_update_batch<W: Write>(
     seq: u64,
     updates: &[Update],
 ) -> io::Result<usize> {
-    let mut payload = Vec::new();
+    write_update_batch_traced(w, stream, client_id, seq, updates, None)
+}
+
+/// [`write_update_batch`] with an optional trace context. With
+/// `ctx = None` the wire bytes are identical to the untraced writer.
+pub fn write_update_batch_traced<W: Write>(
+    w: &mut W,
+    stream: StreamId,
+    client_id: u64,
+    seq: u64,
+    updates: &[Update],
+    ctx: Option<TraceContext>,
+) -> io::Result<usize> {
+    let (flags, mut payload) = traced_payload_prefix(ctx);
     update_batch_payload(&mut payload, stream, client_id, seq, updates);
-    write_frame_vectored(w, Kind::UpdateBatch, &payload)
+    write_frame_vectored(w, Kind::UpdateBatch, flags, &payload)
 }
 
 /// One vectored write of header + payload (short writes completed, EINTR
 /// retried), returning the total wire length.
-fn write_frame_vectored<W: Write>(w: &mut W, kind: Kind, payload: &[u8]) -> io::Result<usize> {
-    let header = header_bytes(kind, payload);
+fn write_frame_vectored<W: Write>(
+    w: &mut W,
+    kind: Kind,
+    flags: u8,
+    payload: &[u8],
+) -> io::Result<usize> {
+    let header = header_bytes(kind, flags, payload);
     let total = HEADER_LEN + payload.len();
     let mut written = 0usize;
     while written < total {
@@ -512,15 +799,16 @@ impl Frame {
             Frame::Goodbye => Kind::Goodbye,
             Frame::Resume { .. } => Kind::Resume,
             Frame::ResumeAck { .. } => Kind::ResumeAck,
+            Frame::Inspect { .. } => Kind::Inspect,
+            Frame::InspectReply(_) => Kind::InspectReply,
         }
     }
 
-    fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+    fn encode_payload_into(&self, out: &mut Vec<u8>) {
         match self {
             Frame::Hello { protocol, client } => {
                 out.extend_from_slice(&protocol.to_le_bytes());
-                put_string(&mut out, client);
+                put_string(out, client);
             }
             Frame::HelloAck(info) => {
                 out.extend_from_slice(&info.domain_log2.to_le_bytes());
@@ -536,8 +824,8 @@ impl Frame {
                 client_id,
                 seq,
                 updates,
-            } => update_batch_payload(&mut out, *stream, *client_id, *seq, updates),
-            Frame::BatchAck { accepted } => put_varint(&mut out, *accepted),
+            } => update_batch_payload(out, *stream, *client_id, *seq, updates),
+            Frame::BatchAck { accepted } => put_varint(out, *accepted),
             Frame::QueryJoin | Frame::Goodbye => {}
             Frame::QuerySelfJoin { stream } | Frame::Snapshot { stream } => {
                 out.push(*stream as u8);
@@ -560,32 +848,41 @@ impl Frame {
                 ] {
                     out.extend_from_slice(&v.to_bits().to_le_bytes());
                 }
-                put_varint(&mut out, *dense_f);
-                put_varint(&mut out, *dense_g);
+                put_varint(out, *dense_f);
+                put_varint(out, *dense_g);
             }
             Frame::SnapshotReply { stream, sketch } => {
                 out.push(*stream as u8);
-                put_varint(&mut out, sketch.len() as u64);
+                put_varint(out, sketch.len() as u64);
                 out.extend_from_slice(sketch);
             }
             Frame::Throttle { pending, limit } => {
-                put_varint(&mut out, *pending);
-                put_varint(&mut out, *limit);
+                put_varint(out, *pending);
+                put_varint(out, *limit);
             }
             Frame::Error { code, message } => {
                 out.extend_from_slice(&code.as_u16().to_le_bytes());
-                put_string(&mut out, message);
+                put_string(out, message);
             }
-            Frame::Resume { client_id } => put_varint(&mut out, *client_id),
+            Frame::Resume { client_id } => put_varint(out, *client_id),
             Frame::ResumeAck {
                 last_seq_f,
                 last_seq_g,
             } => {
-                put_varint(&mut out, *last_seq_f);
-                put_varint(&mut out, *last_seq_g);
+                put_varint(out, *last_seq_f);
+                put_varint(out, *last_seq_g);
             }
+            Frame::Inspect {
+                sections,
+                last_events,
+                slow_limit,
+            } => {
+                out.push(*sections);
+                put_varint(out, *last_events as u64);
+                put_varint(out, *slow_limit as u64);
+            }
+            Frame::InspectReply(report) => inspect_report_payload(out, report),
         }
-        out
     }
 
     fn decode_payload(kind: Kind, payload: &[u8]) -> Result<Frame, WireError> {
@@ -672,6 +969,14 @@ impl Frame {
                 last_seq_f: r.varint()?,
                 last_seq_g: r.varint()?,
             },
+            Kind::Inspect => Frame::Inspect {
+                sections: r.u8()?,
+                last_events: u32::try_from(r.varint()?)
+                    .map_err(|_| WireError::BadPayload("inspect event cap overflows u32"))?,
+                slow_limit: u32::try_from(r.varint()?)
+                    .map_err(|_| WireError::BadPayload("inspect slow cap overflows u32"))?,
+            },
+            Kind::InspectReply => Frame::InspectReply(Box::new(decode_inspect_report(&mut r)?)),
         };
         r.finish()?;
         Ok(frame)
@@ -680,7 +985,17 @@ impl Frame {
     /// Encodes the frame into its complete wire representation
     /// (header + payload).
     pub fn encode(&self) -> Vec<u8> {
-        assemble(self.kind(), self.encode_payload())
+        self.encode_traced(None)
+    }
+
+    /// [`Frame::encode`] with an optional trace context. With
+    /// `ctx = None` the result is byte-identical to [`Frame::encode`],
+    /// so untraced peers are unaffected by this build speaking the
+    /// extension.
+    pub fn encode_traced(&self, ctx: Option<TraceContext>) -> Vec<u8> {
+        let (flags, mut payload) = traced_payload_prefix(ctx);
+        self.encode_payload_into(&mut payload);
+        assemble(self.kind(), flags, payload)
     }
 
     /// Writes the frame to `w` with a single vectored write of the
@@ -693,8 +1008,19 @@ impl Frame {
     /// vectored writes (short `writev`) are completed with `write_all` on
     /// the remainder.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<usize> {
-        let payload = self.encode_payload();
-        write_frame_vectored(w, self.kind(), &payload)
+        self.write_to_traced(w, None)
+    }
+
+    /// [`Frame::write_to`] with an optional trace context. With
+    /// `ctx = None` the wire bytes are identical to [`Frame::write_to`].
+    pub fn write_to_traced<W: Write>(
+        &self,
+        w: &mut W,
+        ctx: Option<TraceContext>,
+    ) -> io::Result<usize> {
+        let (flags, mut payload) = traced_payload_prefix(ctx);
+        self.encode_payload_into(&mut payload);
+        write_frame_vectored(w, self.kind(), flags, &payload)
     }
 
     /// Reads one frame from `r`, returning it with its wire length.
@@ -713,6 +1039,16 @@ impl Frame {
         Frame::read_from_with_scratch(r, max_payload, &mut Vec::new())
     }
 
+    /// [`Frame::read_from`] that also surfaces the frame's trace context
+    /// when the [`FLAG_TRACE`] extension is present (`None` for plain
+    /// frames, so untraced peers decode identically).
+    pub fn read_traced_from<R: Read>(
+        r: &mut R,
+        max_payload: u32,
+    ) -> Result<(Frame, usize, Option<TraceContext>), WireError> {
+        Frame::read_traced_from_with_scratch(r, max_payload, &mut Vec::new())
+    }
+
     /// [`Frame::read_from`] with a caller-owned payload scratch buffer.
     ///
     /// The payload bytes are read into `scratch` (grown once to the
@@ -725,6 +1061,17 @@ impl Frame {
         max_payload: u32,
         scratch: &mut Vec<u8>,
     ) -> Result<(Frame, usize), WireError> {
+        let (frame, n, _ctx) = Frame::read_traced_from_with_scratch(r, max_payload, scratch)?;
+        Ok((frame, n))
+    }
+
+    /// [`Frame::read_from_with_scratch`] that also surfaces the frame's
+    /// trace context (see [`Frame::read_traced_from`]).
+    pub fn read_traced_from_with_scratch<R: Read>(
+        r: &mut R,
+        max_payload: u32,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(Frame, usize, Option<TraceContext>), WireError> {
         let mut header = [0u8; HEADER_LEN];
         {
             // First byte separately: distinguishes idle (retryable) and
@@ -769,7 +1116,7 @@ impl Frame {
             return Err(WireError::BadVersion(version));
         }
         let kind = Kind::from_u8(kind_byte)?;
-        if flags != 0 {
+        if flags & !KNOWN_FLAGS != 0 {
             return Err(WireError::BadFlags(flags));
         }
         let payload_len = u32::from_le_bytes([l0, l1, l2, l3]);
@@ -798,8 +1145,19 @@ impl Frame {
         if crc32(payload) != stored_payload_crc {
             return Err(WireError::PayloadCrc);
         }
-        let frame = Frame::decode_payload(kind, payload)?;
-        Ok((frame, HEADER_LEN + need))
+        let (ctx, body) = if flags & FLAG_TRACE != 0 {
+            if need < TraceContext::WIRE_LEN {
+                return Err(WireError::Truncated);
+            }
+            let (prefix, rest) = payload.split_at(TraceContext::WIRE_LEN);
+            let mut pr = Reader::new(prefix);
+            let ctx = TraceContext::read(&mut pr)?;
+            (Some(ctx), rest)
+        } else {
+            (None, &*payload)
+        };
+        let frame = Frame::decode_payload(kind, body)?;
+        Ok((frame, HEADER_LEN + need, ctx))
     }
 
     /// Decodes one frame from the front of `buf` (slice form of
@@ -807,5 +1165,14 @@ impl Frame {
     pub fn decode(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), WireError> {
         let mut cursor = buf;
         Frame::read_from(&mut cursor, max_payload)
+    }
+
+    /// Slice form of [`Frame::read_traced_from`].
+    pub fn decode_traced(
+        buf: &[u8],
+        max_payload: u32,
+    ) -> Result<(Frame, usize, Option<TraceContext>), WireError> {
+        let mut cursor = buf;
+        Frame::read_traced_from(&mut cursor, max_payload)
     }
 }

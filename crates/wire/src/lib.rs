@@ -13,12 +13,14 @@
 //! frame       := header payload
 //! header      := magic "SSWF"          (4 bytes)
 //!                version u16-le        (= 2)
-//!                kind    u8            (frame tag, 1..=14)
-//!                flags   u8            (reserved, 0)
+//!                kind    u8            (frame tag, 1..=16)
+//!                flags   u8            (bit 0 = trace ctx, rest reserved 0)
 //!                payload_len u32-le
 //!                payload_crc u32-le    (CRC-32/IEEE of payload)
 //!                header_crc  u32-le    (CRC-32/IEEE of bytes 0..16)
-//! payload     := kind-specific (see `Frame`), ≤ the reader's max_payload
+//! payload     := [trace_ctx]? body     (≤ the reader's max_payload)
+//! trace_ctx   := trace_id u64-le span_id u64-le   (iff flags bit 0)
+//! body        := kind-specific (see `Frame`)
 //! ```
 //!
 //! The header CRC makes desynchronisation loud: a reader that lands
@@ -52,6 +54,18 @@
 //! being re-applied), so a client that loses a connection — or a server
 //! that crashes and replays its write-ahead log — can never double-count
 //! a batch.
+//!
+//! ## Trace extension (still version 2)
+//!
+//! Flags bit 0 ([`FLAG_TRACE`]) marks a 16-byte causal trace context
+//! (`trace_id`, `span_id`) prefixed to the payload. The extension is
+//! strictly opt-in per frame: a frame written without a context is
+//! byte-identical to a pre-extension writer's output, so traced and
+//! untraced peers interoperate. A server only stamps the context on
+//! replies to requests that carried it, which is how it knows the peer
+//! understands the bit. INSPECT/INSPECT_REPLY (kinds 15/16) serve live
+//! introspection snapshots — metrics, flight-recorder events, the
+//! slow-query log, and the online accuracy audit.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -61,7 +75,11 @@ mod crc;
 mod frame;
 
 pub use crc::crc32;
-pub use frame::{encode_update_batch, write_update_batch, ErrorCode, Frame, ServerInfo, StreamId};
+pub use frame::{
+    encode_update_batch, write_update_batch, write_update_batch_traced, AuditSummary, ErrorCode,
+    Frame, InspectReport, ServerInfo, SlowQueryEntry, StreamId, TraceContext, WireSpanEvent,
+    FLAG_TRACE, INSPECT_ALL, INSPECT_AUDIT, INSPECT_EVENTS, INSPECT_METRICS, INSPECT_SLOW,
+};
 
 use std::io;
 

@@ -12,7 +12,10 @@
 
 use proptest::prelude::*;
 use stream_model::update::Update;
-use stream_wire::{ErrorCode, Frame, ServerInfo, StreamId, WireError, DEFAULT_MAX_PAYLOAD};
+use stream_wire::{
+    AuditSummary, ErrorCode, Frame, InspectReport, ServerInfo, SlowQueryEntry, StreamId,
+    TraceContext, WireError, WireSpanEvent, DEFAULT_MAX_PAYLOAD,
+};
 
 fn arb_stream(sel: u8) -> StreamId {
     if sel & 1 == 0 {
@@ -32,6 +35,76 @@ fn arb_updates(max_len: usize) -> impl Strategy<Value = Vec<Update>> {
 fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
     prop::collection::vec(32u8..127, 0..max_len)
         .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+fn arb_span_events(max_len: usize) -> impl Strategy<Value = Vec<WireSpanEvent>> {
+    prop::collection::vec(
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u8>(), any::<u8>(), any::<u32>(), any::<u64>()),
+        )
+            .prop_map(|(ids, rest)| {
+                let (ts_ns, trace_id, span_id, parent_id) = ids;
+                let (phase, kind, thread, arg) = rest;
+                WireSpanEvent {
+                    ts_ns,
+                    trace_id,
+                    span_id,
+                    parent_id,
+                    phase,
+                    kind,
+                    thread,
+                    arg,
+                }
+            }),
+        0..max_len,
+    )
+}
+
+fn arb_slow_entries(max_len: usize) -> impl Strategy<Value = Vec<SlowQueryEntry>> {
+    prop::collection::vec(
+        (
+            (any::<u64>(), any::<u64>(), any::<u8>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(|(head, ns)| {
+                let (ts_ns, trace_id, kind) = head;
+                let (total_ns, snapshot_ns, estimate_ns, encode_ns) = ns;
+                SlowQueryEntry {
+                    ts_ns,
+                    trace_id,
+                    kind,
+                    total_ns,
+                    snapshot_ns,
+                    estimate_ns,
+                    encode_ns,
+                }
+            }),
+        0..max_len,
+    )
+}
+
+fn arb_audit() -> impl Strategy<Value = Option<AuditSummary>> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+        (0f64..1e12, 0f64..1e12),
+        (0f64..1e12, 0f64..1e12, 0f64..1e12),
+    )
+        .prop_map(|(head, lo, hi)| {
+            let (sampled_keys, comparisons, worst_value, present) = head;
+            let (mean_ratio_error, p50) = lo;
+            let (p95, p99, max) = hi;
+            present.then_some(AuditSummary {
+                sampled_keys,
+                comparisons,
+                mean_ratio_error,
+                p50,
+                p95,
+                p99,
+                max,
+                worst_value,
+            })
+        })
 }
 
 /// Encode → decode → exact equality, plus exact consumed-length report.
@@ -154,6 +227,122 @@ proptest! {
     #[test]
     fn truncation_is_rejected(sel in any::<u8>(), updates in arb_updates(64), cut in any::<u64>()) {
         let frame = Frame::UpdateBatch { stream: arb_stream(sel), client_id: 9, seq: 1, updates };
+        let bytes = frame.encode();
+        let cut = (cut % bytes.len() as u64) as usize;
+        let err = Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        if cut == 0 {
+            prop_assert!(matches!(err, WireError::Closed), "{}", err);
+        } else {
+            prop_assert!(matches!(err, WireError::Truncated), "{}", err);
+        }
+    }
+
+    /// INSPECT requests and their full replies round-trip across the
+    /// value ranges of every section.
+    #[test]
+    fn inspect_frames_round_trip(
+        sections in any::<u8>(),
+        last_events in any::<u32>(),
+        slow_limit in any::<u32>(),
+        uptime_ns in any::<u64>(),
+        metrics_json in ascii_string(256),
+        events in arb_span_events(16),
+        slow in arb_slow_entries(8),
+        audit in arb_audit(),
+    ) {
+        assert_round_trip(&Frame::Inspect { sections, last_events, slow_limit })?;
+        assert_round_trip(&Frame::InspectReply(Box::new(InspectReport {
+            uptime_ns, metrics_json, events, slow, audit,
+        })))?;
+    }
+
+    /// The trace extension is a pure envelope: any frame encoded with a
+    /// context decodes to the same frame plus the same context, and the
+    /// plain (v2) decode path still recovers the frame while discarding
+    /// the envelope.
+    #[test]
+    fn traced_frames_round_trip_with_their_context(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        sel in any::<u8>(),
+        updates in arb_updates(64),
+        sections in any::<u8>(),
+    ) {
+        let ctx = TraceContext { trace_id, span_id };
+        for frame in [
+            Frame::UpdateBatch { stream: arb_stream(sel), client_id: 7, seq: 3, updates },
+            Frame::QueryJoin,
+            Frame::Inspect { sections, last_events: 4, slow_limit: 4 },
+            Frame::Goodbye,
+        ] {
+            let bytes = frame.encode_traced(Some(ctx));
+            let (back, n, got) = Frame::decode_traced(&bytes, DEFAULT_MAX_PAYLOAD)
+                .expect("traced frame decodes");
+            prop_assert_eq!(&back, &frame);
+            prop_assert_eq!(n, bytes.len());
+            prop_assert_eq!(got, Some(ctx));
+            // A decoder that never asks for the context sees the same
+            // frame: the extension cannot change v2 semantics.
+            let (plain, m) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+                .expect("plain decode path accepts traced frames");
+            prop_assert_eq!(&plain, &frame);
+            prop_assert_eq!(m, bytes.len());
+            // The envelope costs exactly its 16-byte context, nothing else.
+            prop_assert_eq!(bytes.len(), frame.encode().len() + 16);
+        }
+    }
+
+    /// An untraced sender is bit-identical to a pre-extension v2 peer:
+    /// `ctx = None` must leave no fingerprint on the wire, on either the
+    /// contiguous or the vectored write path.
+    #[test]
+    fn untraced_encoding_is_bit_identical_to_v2(
+        sel in any::<u8>(),
+        client_id in any::<u64>(),
+        seq in any::<u64>(),
+        updates in arb_updates(64),
+    ) {
+        let frame = Frame::UpdateBatch { stream: arb_stream(sel), client_id, seq, updates };
+        let v2 = frame.encode();
+        prop_assert_eq!(frame.encode_traced(None), v2.clone());
+        let mut vectored = Vec::new();
+        frame.write_to_traced(&mut vectored, None).expect("write");
+        prop_assert_eq!(vectored, v2);
+    }
+
+    /// Corruption coverage for the extended envelope: a flipped bit
+    /// anywhere in a traced frame — header, trace context, or payload —
+    /// must be rejected, exactly as for plain frames.
+    #[test]
+    fn traced_single_bit_corruption_is_rejected(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        events in arb_span_events(8),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let frame = Frame::InspectReply(Box::new(InspectReport {
+            uptime_ns: 1, metrics_json: String::new(), events, slow: Vec::new(), audit: None,
+        }));
+        let mut bytes = frame.encode_traced(Some(TraceContext { trace_id, span_id }));
+        let idx = (pos % bytes.len() as u64) as usize;
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(
+            Frame::decode_traced(&bytes, DEFAULT_MAX_PAYLOAD).is_err(),
+            "flip at byte {} bit {} decoded successfully", idx, bit
+        );
+    }
+
+    /// Truncation coverage for INSPECT_REPLY, the largest variable frame.
+    #[test]
+    fn inspect_reply_truncation_is_rejected(
+        events in arb_span_events(8),
+        slow in arb_slow_entries(4),
+        cut in any::<u64>(),
+    ) {
+        let frame = Frame::InspectReply(Box::new(InspectReport {
+            uptime_ns: 9, metrics_json: "x".repeat(32), events, slow, audit: None,
+        }));
         let bytes = frame.encode();
         let cut = (cut % bytes.len() as u64) as usize;
         let err = Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();

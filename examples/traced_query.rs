@@ -1,0 +1,128 @@
+//! Causal request tracing end to end: one traced QUERY_JOIN, one trace.
+//!
+//! A client with `trace: true` stamps every frame with a 16-byte trace
+//! context (trace id + parent span). The server threads that id through
+//! its handler thread, the ingest workers, and the estimator, recording
+//! typed spans into per-thread flight recorders. This example stands up
+//! a loopback server, streams both sides of a join through a traced
+//! client, queries, then pulls the server's flight recorder over
+//! INSPECT and merges it with the client's own — producing a single
+//! causally-connected Chrome trace (`traced_query_trace.json`, load via
+//! chrome://tracing or ui.perfetto.dev).
+//!
+//! With `--no-default-features` the recorder is compiled out: spans are
+//! zero-sized, trace ids are zero, and the export is empty — the
+//! example still runs, demonstrating the zero-cost configuration.
+//!
+//! Run: `cargo run --release --example traced_query`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::SkimmedSchema;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, Update};
+use stream_server::{ClientConfig, Server, ServerClient, ServerConfig};
+use stream_wire::{StreamId, INSPECT_ALL};
+
+const N: usize = 100_000;
+const CHUNK: usize = 8_192;
+
+fn zipf(domain: Domain, skew: f64, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(domain, skew, seed);
+    (0..N).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+fn main() {
+    let domain = Domain::with_log2(14);
+    let mut config = ServerConfig::new(SkimmedSchema::scanning(domain, 7, 256, 42));
+    config.ingest_workers = 2;
+    // Log every query, so the INSPECT below shows the per-phase
+    // breakdown (snapshot / estimate / encode) for our request.
+    config.slow_query = std::time::Duration::ZERO;
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // --- traced client: every frame carries a trace context --------------
+    let mut client = ServerClient::connect_with(
+        addr,
+        ClientConfig {
+            name: "traced_query_example".to_string(),
+            trace: true,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let mut traces = Vec::new();
+    for (stream, skew, seed) in [(StreamId::F, 1.0, 11), (StreamId::G, 0.8, 12)] {
+        client
+            .send_all(stream, &zipf(domain, skew, seed), CHUNK)
+            .expect("send updates");
+        traces.push(client.last_trace_id());
+    }
+    let answer = client.query_join().expect("query_join");
+    let query_trace = client.last_trace_id();
+    traces.push(query_trace);
+    println!("estimate     : {:.0}", answer.estimate);
+    println!("query trace  : {query_trace:016x}");
+
+    // --- pull the server's side of the story over INSPECT -----------------
+    let report = client.inspect(INSPECT_ALL, 0, 16).expect("inspect");
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("clean shutdown");
+
+    for entry in &report.slow {
+        println!(
+            "slow-query   : kind {} total {}us (snapshot {}us, estimate {}us, encode {}us) trace {:016x}",
+            entry.kind,
+            entry.total_ns / 1_000,
+            entry.snapshot_ns / 1_000,
+            entry.estimate_ns / 1_000,
+            entry.encode_ns / 1_000,
+            entry.trace_id
+        );
+    }
+
+    // --- merge both flight recorders into one Chrome trace ----------------
+    let ours = |id: u64| !ss_trace::ENABLED || traces.contains(&id);
+    let client_events: Vec<ss_trace::TraceEvent> = ss_trace::recent_events(0)
+        .into_iter()
+        .filter(|e| ours(e.trace_id))
+        .collect();
+    let server_events: Vec<ss_trace::TraceEvent> = report
+        .events
+        .iter()
+        .filter(|e| ours(e.trace_id))
+        .map(|e| ss_trace::TraceEvent {
+            ts_ns: e.ts_ns,
+            trace_id: e.trace_id,
+            span_id: e.span_id,
+            parent_id: e.parent_id,
+            phase: e.phase,
+            kind: e.kind,
+            thread: e.thread,
+            arg: e.arg,
+        })
+        .collect();
+    println!(
+        "events       : {} client-side, {} server-side",
+        client_events.len(),
+        server_events.len()
+    );
+    if ss_trace::ENABLED {
+        // The causal link: the id the client minted for its QUERY_JOIN
+        // shows up in spans recorded by the *server's* threads.
+        assert!(
+            server_events.iter().any(|e| e.trace_id == query_trace),
+            "server flight recorder never saw the query's trace id"
+        );
+        assert!(
+            report.slow.iter().any(|s| s.trace_id == query_trace),
+            "slow-query log (threshold 0) should hold the traced query"
+        );
+    }
+    let doc =
+        ss_trace::chrome_trace_json(&[("client", &client_events), ("server", &server_events)]);
+    std::fs::write("traced_query_trace.json", doc).expect("write trace");
+    println!("chrome trace : traced_query_trace.json (one connected timeline, two processes)");
+}

@@ -9,11 +9,11 @@ use stream_durability::WalConfig;
 use stream_model::gen::{CensusGenerator, UniformGenerator, ZipfGenerator};
 use stream_model::io::{read_trace_file, write_trace_file, TraceReader};
 use stream_model::metrics::ratio_error;
-use stream_model::{Domain, FrequencyVector, StreamSink, WorkloadStats};
+use stream_model::{Domain, FrequencyVector, StreamSink, Update, WorkloadStats};
 use stream_server::{ClientConfig, ResilientClient, Server, ServerClient, ServerConfig};
 use stream_sketches::codec::{decode_hash, encode_hash};
 use stream_sketches::{HashSketch, HashSketchSchema};
-use stream_wire::StreamId;
+use stream_wire::{StreamId, INSPECT_ALL, INSPECT_EVENTS};
 
 fn io_err(e: impl std::fmt::Display) -> CliError {
     CliError(e.to_string())
@@ -303,6 +303,23 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         wal.fsync = args.get_or("wal-fsync", wal.fsync)?;
         config.wal = Some(wal);
     }
+    let slow_ms = args.get_or("slow-query-ms", config.slow_query.as_millis() as u64)?;
+    config.slow_query = std::time::Duration::from_millis(slow_ms);
+    config.slow_log = args.get_or("slow-log", config.slow_log)?;
+    if let Some(v) = args.optional("audit-shift") {
+        config.audit_shift = if v == "off" {
+            None
+        } else {
+            Some(v.parse().map_err(|_| {
+                CliError(format!(
+                    "flag --audit-shift has invalid value '{v}' (N or off)"
+                ))
+            })?)
+        };
+    }
+    if let Some(dir) = args.optional("postmortem-dir") {
+        config.postmortem_dir = Some(dir.into());
+    }
     let server = Server::bind(addr.as_str(), config).map_err(io_err)?;
     println!(
         "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}",
@@ -440,6 +457,163 @@ fn remote_join_resilient(
         ans.dense_dense, ans.dense_sparse, ans.sparse_dense, ans.sparse_sparse
     );
     client.goodbye().map_err(io_err)?;
+    Ok(())
+}
+
+/// `ssketch top` — one-shot introspection snapshot of a running server:
+/// uptime, telemetry metrics, the slow-query log, and the online §5.1
+/// accuracy audit, all over a single INSPECT round trip.
+pub fn top(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let events = args.get_or("events", 8u32)?;
+    let slow = args.get_or("slow", 16u32)?;
+    let mut client = ServerClient::connect_named(addr.as_str(), "ssketch-top").map_err(io_err)?;
+    let report = client.inspect(INSPECT_ALL, events, slow).map_err(io_err)?;
+    client.goodbye().map_err(io_err)?;
+
+    println!("uptime          : {:.1}s", report.uptime_ns as f64 / 1e9);
+    if report.metrics_json.is_empty() {
+        println!("metrics         : (telemetry compiled out on the server)");
+    } else {
+        println!("metrics         :");
+        for line in report.metrics_json.lines() {
+            println!("  {line}");
+        }
+    }
+    println!("slow queries    : {} (newest last)", report.slow.len());
+    for e in &report.slow {
+        println!(
+            "  +{:>9.3}s kind {:>2}  total {:>8}us  snapshot {:>6}us  \
+             estimate {:>6}us  encode {:>6}us  trace {:016x}",
+            e.ts_ns as f64 / 1e9,
+            e.kind,
+            e.total_ns / 1_000,
+            e.snapshot_ns / 1_000,
+            e.estimate_ns / 1_000,
+            e.encode_ns / 1_000,
+            e.trace_id
+        );
+    }
+    match &report.audit {
+        None => println!("accuracy audit  : (disabled or telemetry compiled out)"),
+        Some(a) => {
+            println!(
+                "accuracy audit  : {} sampled keys, {} comparisons",
+                a.sampled_keys, a.comparisons
+            );
+            println!(
+                "  ratio error mean {:.4}  p50 {:.4}  p95 {:.4}  p99 {:.4}  \
+                 max {:.4} (value {})",
+                a.mean_ratio_error, a.p50, a.p95, a.p99, a.max, a.worst_value
+            );
+        }
+    }
+    println!("recent events   : {} (newest last)", report.events.len());
+    for e in &report.events {
+        println!(
+            "  {:>12}ns {:<14} {:7} trace {:016x} span {:016x} arg {}",
+            e.ts_ns,
+            ss_trace::Phase::from_code(e.phase).name(),
+            match e.kind {
+                0 => "begin",
+                1 => "end",
+                _ => "instant",
+            },
+            e.trace_id,
+            e.span_id,
+            e.arg
+        );
+    }
+    Ok(())
+}
+
+/// `ssketch trace` — run traced requests against a server, then merge
+/// this process's flight recorder with the server's (via INSPECT) and
+/// export the causally-connected view as Chrome trace JSON or JSON
+/// lines.
+pub fn trace(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let chrome = args.optional("chrome");
+    let jsonl = args.optional("jsonl");
+    let queries = args.get_or("queries", 1usize)?;
+    let n = args.get_or("updates", 0u64)?;
+    let chunk = args.get_or("chunk", 8_192usize)?;
+    if !ss_trace::ENABLED {
+        println!(
+            "note: telemetry is compiled out of this build — requests go \
+             untraced and exports carry only what the server volunteers"
+        );
+    }
+    let config = ClientConfig {
+        name: "ssketch-trace".to_string(),
+        trace: true,
+        ..ClientConfig::default()
+    };
+    let mut client = ServerClient::connect_with(addr.as_str(), config).map_err(io_err)?;
+    let mut traces: Vec<u64> = Vec::new();
+    if n > 0 {
+        let domain = 1u64 << client.info().domain_log2;
+        let ups: Vec<Update> = (0..n).map(|i| Update::insert(i % domain)).collect();
+        for stream in [StreamId::F, StreamId::G] {
+            client.send_all(stream, &ups, chunk).map_err(io_err)?;
+            traces.push(client.last_trace_id());
+        }
+        println!("streamed {n} synthetic updates to each stream");
+    }
+    let mut answer = None;
+    for _ in 0..queries.max(1) {
+        answer = Some(client.query_join().map_err(io_err)?);
+        traces.push(client.last_trace_id());
+    }
+    if let Some(ans) = answer {
+        println!("estimate        : {:.0}", ans.estimate);
+    }
+
+    let report = client.inspect(INSPECT_EVENTS, 0, 0).map_err(io_err)?;
+    client.goodbye().map_err(io_err)?;
+
+    // Keep only the traces this invocation minted (everything, when the
+    // build records nothing and all ids are zero).
+    let ours = |id: u64| !ss_trace::ENABLED || traces.contains(&id);
+    let client_events: Vec<ss_trace::TraceEvent> = ss_trace::recent_events(0)
+        .into_iter()
+        .filter(|e| ours(e.trace_id))
+        .collect();
+    let server_events: Vec<ss_trace::TraceEvent> = report
+        .events
+        .iter()
+        .filter(|e| ours(e.trace_id))
+        .map(|e| ss_trace::TraceEvent {
+            ts_ns: e.ts_ns,
+            trace_id: e.trace_id,
+            span_id: e.span_id,
+            parent_id: e.parent_id,
+            phase: e.phase,
+            kind: e.kind,
+            thread: e.thread,
+            arg: e.arg,
+        })
+        .collect();
+    for id in &traces {
+        println!("trace           : {id:016x}");
+    }
+    println!(
+        "events          : {} client-side, {} server-side",
+        client_events.len(),
+        server_events.len()
+    );
+    if let Some(path) = chrome {
+        let doc =
+            ss_trace::chrome_trace_json(&[("client", &client_events), ("server", &server_events)]);
+        std::fs::write(&path, doc).map_err(io_err)?;
+        println!("chrome trace    : {path} (load via chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = jsonl {
+        let mut text = ss_trace::json_lines(&client_events);
+        text.push_str(&ss_trace::json_lines(&server_events));
+        std::fs::write(&path, text).map_err(io_err)?;
+        println!("json lines      : {path}");
+    }
     Ok(())
 }
 

@@ -66,12 +66,27 @@ fn usage() -> &'static str {
          --wal-segment-bytes N             segment rotation size (64 MiB)\n\
          --wal-snapshot-every N            batches between snapshots (4096)\n\
          --wal-fsync true|false            fsync every append (false)\n\
+         --slow-query-ms N                 slow-query log threshold (100; 0 logs all)\n\
+         --slow-log N                      slow-query entries retained (64)\n\
+         --audit-shift N|off               accuracy-audit sampling: keep 2^-N of keys (6)\n\
+         --postmortem-dir PATH             flight-recorder dumps on panic/halt (off)\n\
      remote-join     stream two traces to a server and query the join\n\
          --addr HOST:PORT --left PATH --right PATH\n\
          --chunk N                         updates per UPDATE_BATCH (8192)\n\
          --client-id N                     nonzero: sequenced + reconnect-resumable (0)\n\
      remote-query    query a running server's join estimate (no streaming)\n\
          --addr HOST:PORT\n\
+     top             one-shot INSPECT snapshot of a running server\n\
+         --addr HOST:PORT\n\
+         --events N                        recent flight-recorder events shown (8)\n\
+         --slow N                          slow-query entries shown (16)\n\
+     trace           traced requests + merged client/server trace export\n\
+         --addr HOST:PORT\n\
+         --queries N                       traced QUERY_JOIN round trips (1)\n\
+         --updates N                       synthetic updates per stream first (0)\n\
+         --chunk N                         updates per UPDATE_BATCH (8192)\n\
+         --chrome PATH                     write merged Chrome trace JSON\n\
+         --jsonl PATH                      write merged JSON-lines events\n\
      help            this text\n"
 }
 
@@ -96,6 +111,8 @@ fn main() {
             "serve" => commands::serve(&args)?,
             "remote-join" => commands::remote_join(&args)?,
             "remote-query" => commands::remote_query(&args)?,
+            "top" => commands::top(&args)?,
+            "trace" => commands::trace(&args)?,
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());
