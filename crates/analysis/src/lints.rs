@@ -22,6 +22,10 @@ const A2_SCOPE: &[&str] = &[
     // The flight recorder runs inside every handler and worker; a panic
     // while recording would take down the very thread it is observing.
     "crates/trace/src/",
+    // The cluster router's handlers make the same promise as the
+    // server's: a panic while routing drops every session the handler
+    // owns and silently degrades the fleet.
+    "crates/cluster/src/",
 ];
 
 /// Hot-path modules for A4: code on the per-update / per-frame path
@@ -41,6 +45,10 @@ const A4_SCOPE: &[&str] = &[
     // seqlock rings must stay lock-free (the registry mutex at ring
     // creation and the post-mortem path carry explicit allows).
     "crates/trace/src/",
+    // Router fan-out sits on the per-batch path end to end; the
+    // accept-loop hand-off mutex and the shard-retry backoff sleeps
+    // carry explicit allows, mirroring the server crate.
+    "crates/cluster/src/",
 ];
 
 /// File name stems in A5 scope: codec and estimator arithmetic, where

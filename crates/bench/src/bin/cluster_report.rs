@@ -1,0 +1,223 @@
+//! Sharded-cluster throughput + latency record (`BENCH_cluster.json`).
+//!
+//! Stands up a loopback cluster — S shard servers behind one
+//! [`Router`] — for S ∈ {1, 2, 4}, streams two zipfian update streams
+//! through the router, and measures what domain-partitioned routing
+//! costs relative to a single node fed the same stream:
+//!
+//! * sustained routed ingest throughput (updates/s through split →
+//!   fan-out → per-shard ack),
+//! * QUERY_JOIN latency quantiles (p50/p95/p99), each answer built by
+//!   fetching every shard's unskimmed state and merging via linearity,
+//! * a correctness gate: every routed answer must equal the single
+//!   node's bit for bit (the cluster's core contract).
+//!
+//! Like `server_report`, the telemetry switch is a compile-time
+//! feature, so the overhead A/B spans two builds of this binary:
+//!
+//! ```text
+//! cargo run -p ss-bench --release --no-default-features --bin cluster_report
+//! cargo run -p ss-bench --release --bin cluster_report
+//! ```
+//!
+//! The first (disabled) run writes `BENCH_cluster_off.json`; the second
+//! (enabled) run reads it back and writes `BENCH_cluster.json` with
+//! both arms. On a 1-CPU host every shard, the router, and the client
+//! serialize on one core, so scaling numbers are marked
+//! `"degenerate": true` exactly like `server_report`'s.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use ss_cluster::{Router, RouterConfig};
+use std::time::Instant;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, Update};
+use stream_server::{Server, ServerClient, ServerConfig};
+use stream_wire::StreamId;
+
+const N: usize = 200_000;
+const CHUNK: usize = 8_192;
+const QUERIES: usize = 50;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn zipf_updates(domain: Domain, skew: f64, seed: u64, n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(domain, skew, seed);
+    (0..n).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+fn quantile(sorted_ns: &[u64], q: f64) -> f64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3 // microseconds
+}
+
+struct Arm {
+    label: String,
+    ingest_melem_s: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// Streams both workloads through `addr`, takes the latency quantiles,
+/// and asserts the answer matches `expected` bit for bit.
+fn drive(addr: std::net::SocketAddr, uf: &[Update], ug: &[Update], expected: f64) -> Arm {
+    let mut client = ServerClient::connect_named(addr, "cluster_report").expect("connect");
+    let t = Instant::now();
+    let rf = client.send_all(StreamId::F, uf, CHUNK).expect("send F");
+    let rg = client.send_all(StreamId::G, ug, CHUNK).expect("send G");
+    // Ingest barrier, same as server_report: the query's linearizable
+    // snapshots (on every shard) prove everything acked was absorbed.
+    let first = client.query_join().expect("ingest barrier");
+    let ingest_melem_s = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+    assert_eq!(rf.updates + rg.updates, 2 * N as u64, "every update acked");
+    assert_eq!(
+        first.estimate, expected,
+        "answer must match the single node bit-for-bit"
+    );
+
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(QUERIES);
+    for _ in 0..QUERIES {
+        let t = Instant::now();
+        let a = client.query_join().expect("query_join");
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(a.estimate, expected);
+    }
+    lat_ns.sort_unstable();
+    client.goodbye().expect("goodbye");
+    Arm {
+        label: String::new(),
+        ingest_melem_s,
+        p50: quantile(&lat_ns, 0.50),
+        p95: quantile(&lat_ns, 0.95),
+        p99: quantile(&lat_ns, 0.99),
+    }
+}
+
+fn shard_config(schema: std::sync::Arc<SkimmedSchema>, host_cpus: usize) -> ServerConfig {
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = 2;
+    config.ingest_workers = 2.min(host_cpus);
+    config.queue_depth = 64;
+    config.shard = true;
+    config
+}
+
+fn main() {
+    let domain = Domain::with_log2(14);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let config = if stream_telemetry::ENABLED {
+        "enabled"
+    } else {
+        "disabled"
+    };
+    println!("cluster_report — instrumentation {config}, host cpus = {host_cpus}");
+    let degenerate = host_cpus == 1;
+    if degenerate {
+        println!("note: 1 host cpu — router, shards, and client serialize; scaling numbers are degenerate");
+    }
+
+    let schema = SkimmedSchema::scanning(domain, 7, 256, 42);
+    let uf = zipf_updates(domain, 1.0, 11, N);
+    let ug = zipf_updates(domain, 0.8, 12, N);
+
+    // Ground truth for the correctness gate, computed in-process.
+    let mut local_f = SkimmedSketch::new(schema.clone());
+    let mut local_g = SkimmedSketch::new(schema.clone());
+    local_f.add_batch(&uf);
+    local_g.add_batch(&ug);
+    let expected = estimate_join(&local_f, &local_g, &EstimatorConfig::default()).estimate;
+
+    // --- single-node baseline --------------------------------------------
+    let single = Server::bind("127.0.0.1:0", shard_config(schema.clone(), host_cpus))
+        .expect("bind single node");
+    let mut baseline = drive(single.local_addr(), &uf, &ug, expected);
+    baseline.label = "single_node".into();
+    println!(
+        "single node: ingest {:.2} Melem/s, QUERY_JOIN p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs",
+        baseline.ingest_melem_s, baseline.p50, baseline.p95, baseline.p99
+    );
+    single.shutdown().expect("single shutdown");
+
+    // --- routed arms ------------------------------------------------------
+    let mut arms: Vec<Arm> = vec![baseline];
+    for shard_count in SHARD_COUNTS {
+        let shards: Vec<Server> = (0..shard_count)
+            .map(|_| {
+                Server::bind("127.0.0.1:0", shard_config(schema.clone(), host_cpus))
+                    .expect("bind shard")
+            })
+            .collect();
+        let addrs = shards.iter().map(|s| s.local_addr().to_string()).collect();
+        let mut router_config = RouterConfig::new(addrs);
+        router_config.handler_threads = 2;
+        let router = Router::bind("127.0.0.1:0", router_config).expect("bind router");
+
+        let mut arm = drive(router.local_addr(), &uf, &ug, expected);
+        arm.label = format!("routed_s{shard_count}");
+        println!(
+            "routed S={shard_count}: ingest {:.2} Melem/s, QUERY_JOIN p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs",
+            arm.ingest_melem_s, arm.p50, arm.p95, arm.p99
+        );
+        arms.push(arm);
+
+        router.shutdown().expect("router shutdown");
+        for shard in shards {
+            shard.shutdown().expect("shard shutdown");
+        }
+    }
+
+    // --- record -----------------------------------------------------------
+    let arm_rows: Vec<String> = arms
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{\"arm\": \"{}\", \"ingest_melem_s\": {:.3}, \"query_p50_us\": {:.1}, \
+                 \"query_p95_us\": {:.1}, \"query_p99_us\": {:.1}}}",
+                a.label, a.ingest_melem_s, a.p50, a.p95, a.p99
+            )
+        })
+        .collect();
+    let arms_json = arm_rows.join(",\n");
+
+    if !stream_telemetry::ENABLED {
+        let json = format!(
+            "{{\n  \"bench\": \"cluster_off\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
+             \"degenerate\": {degenerate},\n  \"bit_identical\": true,\n  \"arms\": [\n{arms_json}\n  ]\n}}\n",
+            2 * N,
+        );
+        std::fs::write("BENCH_cluster_off.json", &json).expect("write BENCH_cluster_off.json");
+        println!("\nwrote BENCH_cluster_off.json (disabled arm; rerun with default features to finish the A/B)");
+        return;
+    }
+
+    // Pull the disabled arm's single-node ingest figure for the headline
+    // instrumentation-overhead number, when that arm has been recorded.
+    let off_single = std::fs::read_to_string("BENCH_cluster_off.json")
+        .ok()
+        .and_then(|s| {
+            let tail = s.split("\"ingest_melem_s\": ").nth(1)?;
+            tail.split([',', '}']).next()?.trim().parse::<f64>().ok()
+        });
+    let off_field = match off_single {
+        Some(off) => {
+            println!("\ndisabled-arm single-node ingest: {off:.2} Melem/s");
+            format!("{off:.3}")
+        }
+        None => {
+            println!("\nBENCH_cluster_off.json missing — run the --no-default-features arm first for the full A/B");
+            "null".into()
+        }
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \
+         \"queries\": {QUERIES},\n  \"degenerate\": {degenerate},\n  \"bit_identical\": true,\n  \
+         \"disabled_single_node_melem_s\": {off_field},\n  \"arms\": [\n{arms_json}\n  ]\n}}\n",
+        2 * N,
+    );
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json");
+}

@@ -1,0 +1,1039 @@
+//! The cluster router: one TCP front speaking the same wire protocol as
+//! a single [`stream_server::Server`], fanning writes across a set of
+//! shard servers by domain partition and answering queries by merging
+//! per-shard sketch state via linearity.
+//!
+//! ## Why the answers are bit-identical to a single node
+//!
+//! Sketch ingestion is *linear*: every counter is an i64 sum of
+//! per-update contributions, and i64 addition is exact, commutative,
+//! and associative. Partitioning the key domain across shards therefore
+//! changes nothing about the final counters — `sketch(F)` equals
+//! `Σ_s sketch(F restricted to shard s)` bit for bit, in any order.
+//! The router exploits this twice:
+//!
+//! * **writes** — each UPDATE_BATCH is split by the manifest's
+//!   partition function and the sub-batches are forwarded to their
+//!   owning shards;
+//! * **reads** — each query fetches every shard's **unskimmed** encoded
+//!   sketch state (SHARD_QUERY), merges them with
+//!   [`stream_sketches::merge_parts`], and runs the estimator on the
+//!   merged sketch. Skimming happens *after* the merge because the skim
+//!   threshold depends on global L1 mass; skimming per shard first
+//!   would break the identity.
+//!
+//! ## Exactly-once forwarding
+//!
+//! Sequenced upstream batches (`client_id != 0`) are forwarded **as the
+//! upstream producer** — same `(client_id, seq)` on every sub-batch —
+//! so each shard's own idempotency table deduplicates end to end. The
+//! router keeps no durable state at all: after a router restart (or an
+//! upstream retry through a different handler thread) a re-forwarded
+//! sub-batch is absorbed by the shard exactly like a direct client's
+//! replay. An upstream RESUME is answered with the per-stream *minimum*
+//! of the shards' high-water marks, so the producer replays everything
+//! any shard might be missing and the shards that already applied it
+//! dedup the overlap. Unsequenced upstream batches are forwarded under
+//! a handler-unique router identity (see [`RouterConfig::client_id_base`])
+//! so shard crashes mid-forward still cannot double-count; like on a
+//! single node, an unsequenced *upstream* retry after an error reply
+//! may.
+//!
+//! ## Degraded mode
+//!
+//! When a shard stays unreachable past the retry budget the router
+//! answers with the typed [`ErrorCode::ShardUnavailable`] error naming
+//! the missing partition — never a silently under-counted answer.
+
+use skimmed_sketch::{
+    decode_skimmed, encode_skimmed, estimate_join, estimate_self_join, EstimatorConfig,
+    SkimmedSketch,
+};
+use ss_retry::BackoffConfig;
+use ss_trace::Phase;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use stream_server::{ClientConfig, ClientError, ServerClient};
+use stream_sketches::merge_parts;
+use stream_wire::{
+    ErrorCode, Frame, InspectReport, ServerInfo, StreamId, TraceContext, WireError, INSPECT_EVENTS,
+    INSPECT_METRICS, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, SHARD_STREAM_BOTH, SHARD_STREAM_F,
+    SHARD_STREAM_G,
+};
+
+use crate::manifest::{ClusterManifest, Partitioner};
+use crate::session::{ShardError, ShardSession};
+use crate::telem::{router_metrics, RouterMetrics};
+
+/// Router configuration: the shard set plus the knobs of both faces —
+/// the client-facing listener and the shard-facing sessions.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard server addresses; partition `i` is `shards[i]`. Order is
+    /// part of the cluster identity (it defines the partition map).
+    pub shards: Vec<String>,
+    /// Seed of the partitioning hash, recorded in the manifest. Routers
+    /// that must agree on a partition map must share it.
+    pub partition_seed: u64,
+    /// Client-facing connection-handler threads; each owns one session
+    /// per shard.
+    pub handler_threads: usize,
+    /// Base for handler-unique shard identities: handler `h` forwards
+    /// *unsequenced* upstream traffic under `client_id_base + h`, making
+    /// those forwards idempotent across shard reconnects. `0` opts the
+    /// unsequenced path out of sequencing (sequenced upstream traffic is
+    /// unaffected — it is always forwarded under the upstream identity).
+    pub client_id_base: u64,
+    /// Attempts per shard operation before the typed degraded error.
+    pub retry_budget: u32,
+    /// Backoff between shard retry attempts.
+    pub backoff: BackoffConfig,
+    /// Client-facing read timeout; also the shutdown-notice tick.
+    pub read_timeout: Duration,
+    /// Write timeout, both faces.
+    pub write_timeout: Duration,
+    /// Shard-facing socket read tick.
+    pub shard_read_timeout: Duration,
+    /// Shard-facing reply patience, in read ticks.
+    pub shard_reply_retries: u32,
+    /// Largest accepted frame payload, client-facing.
+    pub max_payload: u32,
+    /// Estimator knobs for merged-sketch answers. Must match the
+    /// single-node configuration being compared against for answers to
+    /// be bit-identical.
+    pub estimator: EstimatorConfig,
+}
+
+impl RouterConfig {
+    /// Defaults for a loopback/LAN cluster: 4 handlers, 5 attempts per
+    /// shard operation, 500 ms shard read tick × 20 retries.
+    pub fn new(shards: Vec<String>) -> Self {
+        RouterConfig {
+            shards,
+            partition_seed: 0xC1A5_7E8D,
+            handler_threads: 4,
+            client_id_base: 0xC1A5_7E00_0000_0000,
+            retry_budget: 5,
+            backoff: BackoffConfig::default(),
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(5),
+            shard_read_timeout: Duration::from_millis(500),
+            shard_reply_retries: 20,
+            max_payload: stream_wire::DEFAULT_MAX_PAYLOAD,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+/// Failures surfaced by [`Router::bind`] and [`Router::shutdown`].
+#[derive(Debug)]
+pub enum RouterError {
+    /// Listener-level failure.
+    Io(io::Error),
+    /// A shard could not be probed at bind time (unreachable, or not a
+    /// shard-role server).
+    Probe {
+        /// The partition that failed its probe.
+        partition: usize,
+        /// Its address.
+        addr: String,
+        /// What the probe died of.
+        error: ClientError,
+    },
+    /// Two shards advertised different sketch schemas; merging their
+    /// state would be meaningless, so the router refuses to start.
+    SchemaMismatch {
+        /// The partition that disagrees with partition 0.
+        partition: usize,
+        /// Its address.
+        addr: String,
+        /// Which advertised field differs.
+        field: &'static str,
+    },
+    /// The acceptor or a handler thread panicked while serving.
+    ThreadPanicked {
+        /// Which thread family panicked.
+        thread: &'static str,
+    },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Io(e) => write!(f, "router i/o error: {e}"),
+            RouterError::Probe {
+                partition,
+                addr,
+                error,
+            } => write!(f, "probing partition {partition} ({addr}) failed: {error}"),
+            RouterError::SchemaMismatch {
+                partition,
+                addr,
+                field,
+            } => write!(
+                f,
+                "partition {partition} ({addr}) advertises a different `{field}` \
+                 than partition 0; all shards must share one schema"
+            ),
+            RouterError::ThreadPanicked { thread } => write!(f, "{thread} thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<io::Error> for RouterError {
+    fn from(e: io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+/// Shared state between router connection handlers.
+struct Inner {
+    config: RouterConfig,
+    manifest: ClusterManifest,
+    partitioner: Partitioner,
+    /// The schema/limits advertised to clients: partition 0's schema
+    /// with the fleet-minimum `max_batch` and `queue_limit`.
+    info: ServerInfo,
+    /// Last-known per-shard health, written by whichever handler talked
+    /// to the shard most recently; served in SHARD_MAP.
+    health: Vec<AtomicBool>,
+    shutdown: AtomicBool,
+    metrics: Option<&'static RouterMetrics>,
+    started: std::time::Instant,
+}
+
+/// A running cluster router. Shut down explicitly with
+/// [`Router::shutdown`]; dropping it leaves the threads unjoined.
+pub struct Router {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `addr` and starts routing over `config.shards`.
+    ///
+    /// Bind-time checks fail loud instead of mis-merging later: every
+    /// shard is probed (it must be reachable *and* serve SHARD_QUERY —
+    /// i.e. run with [`stream_server::ServerConfig::shard`] set), and
+    /// all shards must advertise the identical sketch schema.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: RouterConfig) -> Result<Router, RouterError> {
+        assert!(!config.shards.is_empty(), "need at least one shard");
+        assert!(config.handler_threads > 0, "need at least one handler");
+        let metrics = stream_telemetry::ENABLED.then(router_metrics);
+
+        // Probe the fleet before accepting anything.
+        let mut infos: Vec<ServerInfo> = Vec::with_capacity(config.shards.len());
+        for (partition, addr) in config.shards.iter().enumerate() {
+            let probe_config = ClientConfig {
+                name: format!("ss-router/probe{partition}"),
+                read_timeout: config.shard_read_timeout,
+                write_timeout: config.write_timeout,
+                reply_retries: config.shard_reply_retries,
+                backoff: config.backoff.clone(),
+                ..ClientConfig::default()
+            };
+            let fail = |error| RouterError::Probe {
+                partition,
+                addr: addr.clone(),
+                error,
+            };
+            let mut probe = ServerClient::connect_with(addr, probe_config).map_err(fail)?;
+            // Role check: a plain (non-shard) server rejects SHARD_QUERY
+            // with a protocol error, so a mis-pointed router dies here.
+            probe.shard_query(SHARD_STREAM_F).map_err(fail)?;
+            infos.push(*probe.info());
+            let _ = probe.goodbye();
+        }
+        // ss-analyze: allow(a2-panic-free) -- `shards` is non-empty (asserted above), so `infos` has a first element
+        let first = infos[0];
+        for (partition, info) in infos.iter().enumerate() {
+            let field = if info.domain_log2 != first.domain_log2 {
+                Some("domain_log2")
+            } else if info.dyadic != first.dyadic {
+                Some("dyadic")
+            } else if info.tables != first.tables {
+                Some("tables")
+            } else if info.buckets != first.buckets {
+                Some("buckets")
+            } else if info.seed != first.seed {
+                Some("seed")
+            } else {
+                None
+            };
+            if let Some(field) = field {
+                return Err(RouterError::SchemaMismatch {
+                    partition,
+                    // ss-analyze: allow(a2-panic-free) -- `infos` was built with one entry per `config.shards` element, so `partition` is in bounds
+                    addr: config.shards[partition].clone(),
+                    field,
+                });
+            }
+        }
+        // Advertise the fleet minimum of each limit: a batch the router
+        // accepts must be acceptable to every shard it fans out to.
+        let info = ServerInfo {
+            max_batch: infos.iter().map(|i| i.max_batch).min().unwrap_or(0),
+            queue_limit: infos.iter().map(|i| i.queue_limit).min().unwrap_or(0),
+            ..first
+        };
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let manifest = ClusterManifest::new(config.partition_seed, config.shards.clone());
+        let partitioner = manifest.partitioner();
+        let health = config
+            .shards
+            .iter()
+            .map(|_| AtomicBool::new(true))
+            .collect();
+        let inner = Arc::new(Inner {
+            manifest,
+            partitioner,
+            info,
+            health,
+            shutdown: AtomicBool::new(false),
+            metrics,
+            started: std::time::Instant::now(),
+            config,
+        });
+
+        // Same bounded hand-off as the server: a full handler pool
+        // pushes new connections back into the OS listen backlog.
+        let (conn_tx, conn_rx) =
+            std::sync::mpsc::sync_channel::<TcpStream>(inner.config.handler_threads * 2);
+        // ss-analyze: allow(a4-blocking-hot-path) -- accept-path hand-off, taken once per connection (not per frame); contention is bounded by the handler count
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let handlers = (0..inner.config.handler_threads)
+            .map(|h| {
+                let inner = inner.clone();
+                let conn_rx = conn_rx.clone();
+                std::thread::spawn(move || {
+                    // Each handler owns one session per shard, sequenced
+                    // under a handler-unique identity (see the module
+                    // docs' exactly-once story).
+                    let mut sessions = make_sessions(&inner, h);
+                    loop {
+                        let next = {
+                            // A poisoned lock only means a sibling
+                            // handler panicked mid-recv; keep serving.
+                            let rx = conn_rx.lock().unwrap_or_else(|p| p.into_inner());
+                            rx.recv_timeout(Duration::from_millis(100))
+                        };
+                        match next {
+                            Ok(sock) => {
+                                if inner.shutdown.load(Ordering::Acquire) {
+                                    continue; // accepted but never served: drop
+                                }
+                                handle_connection(&inner, &mut sessions, sock);
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if inner.shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::spawn(move || accept_loop(&listener, &conn_tx, &inner))
+        };
+
+        Ok(Router {
+            inner,
+            local_addr,
+            acceptor,
+            handlers,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The cluster manifest this router routes by.
+    pub fn manifest(&self) -> &ClusterManifest {
+        &self.inner.manifest
+    }
+
+    /// Schema and limits advertised to clients (partition 0's schema,
+    /// fleet-minimum limits).
+    pub fn info(&self) -> ServerInfo {
+        self.inner.info
+    }
+
+    /// Last-known per-shard health, in partition order.
+    pub fn health(&self) -> Vec<bool> {
+        self.inner
+            .health
+            .iter()
+            // ordering: health flags are advisory monitoring state; no
+            // other memory is published through them.
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Stops accepting, lets handlers finish their in-flight request,
+    /// and joins every thread. The shards keep running — a router is
+    /// stateless and restartable by design.
+    pub fn shutdown(self) -> Result<(), RouterError> {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let mut first_err: Option<RouterError> = None;
+        if self.acceptor.join().is_err() {
+            first_err = Some(RouterError::ThreadPanicked { thread: "acceptor" });
+        }
+        for h in self.handlers {
+            if h.join().is_err() {
+                first_err.get_or_insert(RouterError::ThreadPanicked {
+                    thread: "connection handler",
+                });
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Builds handler `h`'s per-shard sessions.
+fn make_sessions(inner: &Inner, h: usize) -> Vec<ShardSession> {
+    let config = &inner.config;
+    inner
+        .manifest
+        .addrs()
+        .iter()
+        .enumerate()
+        .map(|(partition, addr)| {
+            let client_id = if config.client_id_base == 0 {
+                0
+            } else {
+                config.client_id_base.wrapping_add(h as u64)
+            };
+            ShardSession::new(
+                partition,
+                addr.clone(),
+                ClientConfig {
+                    name: format!("ss-router/h{h}"),
+                    client_id,
+                    read_timeout: config.shard_read_timeout,
+                    write_timeout: config.write_timeout,
+                    reply_retries: config.shard_reply_retries,
+                    backoff: config.backoff.clone(),
+                    trace: false,
+                },
+                config.retry_budget,
+            )
+        })
+        .collect()
+}
+
+fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &Inner) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                if let Some(m) = inner.metrics {
+                    m.accepted.inc();
+                }
+                let mut sock = sock;
+                loop {
+                    match conn_tx.try_send(sock) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(s)) => {
+                            if inner.shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            sock = s;
+                            // ss-analyze: allow(a4-blocking-hot-path) -- acceptor backoff while every handler is busy; no frame is in flight on this thread
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // ss-analyze: allow(a4-blocking-hot-path) -- nonblocking-accept poll tick; the acceptor owns no data-path work
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept errors: keep serving.
+                // ss-analyze: allow(a4-blocking-hot-path) -- accept-error backoff on the acceptor thread, off the data path
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn send(
+    sock: &mut TcpStream,
+    frame: &Frame,
+    ctx: Option<TraceContext>,
+    metrics: Option<&'static RouterMetrics>,
+) -> bool {
+    match frame.write_to_traced(sock, ctx) {
+        Ok(_) => {
+            if let Some(m) = metrics {
+                m.frames_tx.inc();
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn send_error(
+    sock: &mut TcpStream,
+    code: ErrorCode,
+    message: &str,
+    ctx: Option<TraceContext>,
+    metrics: Option<&'static RouterMetrics>,
+) {
+    let _ = send(
+        sock,
+        &Frame::Error {
+            code,
+            message: message.to_string(),
+        },
+        ctx,
+        metrics,
+    );
+}
+
+/// Replies with the typed degraded-mode error naming the unreachable
+/// partition, and records it.
+fn send_degraded(
+    sock: &mut TcpStream,
+    e: &ShardError,
+    ctx: Option<TraceContext>,
+    metrics: Option<&'static RouterMetrics>,
+) {
+    if let Some(m) = metrics {
+        m.degraded_replies.inc();
+    }
+    send_error(
+        sock,
+        ErrorCode::ShardUnavailable,
+        &e.to_string(),
+        ctx,
+        metrics,
+    );
+}
+
+fn handle_connection(inner: &Inner, sessions: &mut [ShardSession], mut sock: TcpStream) {
+    let metrics = inner.metrics;
+    if sock.set_nodelay(true).is_err()
+        || sock
+            .set_read_timeout(Some(inner.config.read_timeout))
+            .is_err()
+        || sock
+            .set_write_timeout(Some(inner.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    if let Some(m) = metrics {
+        m.connections.add(1);
+    }
+    serve_frames(inner, sessions, &mut sock);
+    if let Some(m) = metrics {
+        m.connections.add(-1);
+    }
+}
+
+/// Reads one frame, handling idle ticks and shutdown; `None` means the
+/// connection is done.
+fn next_frame(
+    inner: &Inner,
+    sock: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+) -> Option<(Frame, Option<TraceContext>)> {
+    let metrics = inner.metrics;
+    loop {
+        match Frame::read_traced_from_with_scratch(sock, inner.config.max_payload, scratch) {
+            Ok((frame, _n, ctx)) => {
+                if let Some(m) = metrics {
+                    m.frames_rx.inc();
+                }
+                return Some((frame, ctx));
+            }
+            Err(WireError::Idle) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    send_error(
+                        sock,
+                        ErrorCode::ShuttingDown,
+                        "router draining; reconnect later",
+                        None,
+                        metrics,
+                    );
+                    return None;
+                }
+            }
+            Err(WireError::Closed) => return None,
+            Err(WireError::Io(_)) => return None,
+            Err(decode_err) => {
+                if let Some(m) = metrics {
+                    m.decode_errors.inc();
+                }
+                send_error(
+                    sock,
+                    ErrorCode::Protocol,
+                    &decode_err.to_string(),
+                    None,
+                    metrics,
+                );
+                return None;
+            }
+        }
+    }
+}
+
+/// Fans one query across every shard, decodes the requested streams,
+/// and merges each stream by linearity. `streams` is a `SHARD_STREAM_*`
+/// mask. Each shard's reply is one linearizable cut of that shard's
+/// acknowledged prefix; linearity makes the merge order irrelevant.
+fn merged_snapshots(
+    inner: &Inner,
+    sessions: &mut [ShardSession],
+    streams: u8,
+    ctx: Option<TraceContext>,
+) -> Result<(Option<SkimmedSketch>, Option<SkimmedSketch>), MergeError> {
+    let mut parts_f: Vec<SkimmedSketch> = Vec::new();
+    let mut parts_g: Vec<SkimmedSketch> = Vec::new();
+    for sess in sessions.iter_mut() {
+        let partition = sess.partition();
+        let reply = sess.query(streams, ctx);
+        note_health(inner, partition, reply.is_ok());
+        let (bytes_f, bytes_g) = reply.map_err(MergeError::Shard)?;
+        if streams & SHARD_STREAM_F != 0 {
+            parts_f.push(
+                decode_skimmed(bytes::Bytes::from(bytes_f))
+                    .map_err(|_| MergeError::Undecodable(partition))?,
+            );
+        }
+        if streams & SHARD_STREAM_G != 0 {
+            parts_g.push(
+                decode_skimmed(bytes::Bytes::from(bytes_g))
+                    .map_err(|_| MergeError::Undecodable(partition))?,
+            );
+        }
+    }
+    Ok((merge_parts(parts_f), merge_parts(parts_g)))
+}
+
+/// Why a cross-shard merge failed.
+enum MergeError {
+    /// A shard stayed unreachable past the retry budget.
+    Shard(ShardError),
+    /// A shard's reply did not decode as a sketch (schema drift after
+    /// bind, or corruption) — an internal error, not a degraded answer.
+    Undecodable(usize),
+}
+
+/// Records `partition`'s last-interaction health for SHARD_MAP replies.
+fn note_health(inner: &Inner, partition: usize, up: bool) {
+    if let Some(flag) = inner.health.get(partition) {
+        // ordering: health flags are advisory monitoring state with no
+        // happens-before obligations; last-writer-wins is the semantics.
+        flag.store(up, Ordering::Relaxed);
+    }
+}
+
+/// Sends the merge failure as the right wire error. Returns whether the
+/// connection may continue (degraded replies keep it open so the client
+/// can retry once the shard returns; decode failures close it).
+fn send_merge_error(
+    sock: &mut TcpStream,
+    e: &MergeError,
+    ctx: Option<TraceContext>,
+    metrics: Option<&'static RouterMetrics>,
+) -> bool {
+    match e {
+        MergeError::Shard(se) => {
+            send_degraded(sock, se, ctx, metrics);
+            true
+        }
+        MergeError::Undecodable(partition) => {
+            send_error(
+                sock,
+                ErrorCode::Internal,
+                &format!("partition {partition} returned an undecodable sketch"),
+                ctx,
+                metrics,
+            );
+            false
+        }
+    }
+}
+
+/// Builds an Answer frame from a merged-join estimate.
+fn answer_frame(est: &skimmed_sketch::JoinEstimate) -> Frame {
+    Frame::Answer {
+        estimate: est.estimate,
+        dense_dense: est.dense_dense,
+        dense_sparse: est.dense_sparse,
+        sparse_dense: est.sparse_dense,
+        sparse_sparse: est.sparse_sparse,
+        dense_f: est.dense_f as u64,
+        dense_g: est.dense_g as u64,
+    }
+}
+
+fn serve_frames(inner: &Inner, sessions: &mut [ShardSession], sock: &mut TcpStream) {
+    let metrics = inner.metrics;
+    let mut scratch = Vec::new();
+
+    // Handshake: identical negotiation to the single-node server, so a
+    // v2 client cannot tell a router from a server (until it asks for
+    // SHARD_MAP, which needs a v3 session).
+    let session_protocol;
+    match next_frame(inner, sock, &mut scratch) {
+        Some((Frame::Hello { protocol, .. }, ctx)) => {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) {
+                send_error(
+                    sock,
+                    ErrorCode::UnsupportedVersion,
+                    &format!(
+                        "protocol {protocol} unsupported (router speaks \
+                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                    ),
+                    None,
+                    metrics,
+                );
+                return;
+            }
+            session_protocol = protocol;
+            if !send(sock, &Frame::HelloAck(inner.info), ctx, metrics) {
+                return;
+            }
+        }
+        Some(_) => {
+            send_error(sock, ErrorCode::Protocol, "expected HELLO", None, metrics);
+            return;
+        }
+        None => return,
+    }
+
+    while let Some((frame, ctx)) = next_frame(inner, sock, &mut scratch) {
+        // The router's Handler span, child of the client's Request
+        // span; shard fan-out calls carry it so shard-side spans join
+        // the same end-to-end trace.
+        let handler_span = ctx.map(|c| ss_trace::span(Phase::Handler, c.trace_id, c.span_id, 0));
+        let fwd = ctx.map(|c| TraceContext {
+            trace_id: c.trace_id,
+            span_id: handler_span
+                .as_ref()
+                .map_or(c.span_id, ss_trace::SpanGuard::id),
+        });
+        match frame {
+            Frame::UpdateBatch {
+                stream,
+                client_id,
+                seq,
+                updates,
+            } => {
+                let _span = metrics.map(|m| m.update_latency.start_span());
+                let len = updates.len();
+                if len as u64 > inner.info.max_batch as u64 {
+                    send_error(
+                        sock,
+                        ErrorCode::BatchTooLarge,
+                        &format!(
+                            "batch of {len} exceeds cluster max_batch {}",
+                            inner.info.max_batch
+                        ),
+                        ctx,
+                        metrics,
+                    );
+                    continue;
+                }
+                if let Some(m) = metrics {
+                    m.batches_in.inc();
+                }
+                let parts = inner.partitioner.split(&updates);
+                let mut failed: Option<ShardError> = None;
+                for (sess, part) in sessions.iter_mut().zip(&parts) {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let partition = sess.partition();
+                    let sequenced = client_id != 0 && seq != 0;
+                    let result = if sequenced {
+                        // Upstream identity pass-through: the shard
+                        // dedups this sub-batch end to end.
+                        sess.send_batch_as(stream, client_id, seq, part, fwd)
+                    } else {
+                        sess.send_batch(stream, part, fwd)
+                    };
+                    note_health(inner, partition, result.is_ok());
+                    if let Err(e) = result {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                match failed {
+                    Some(e) => {
+                        // No ack: the upstream producer retries, the
+                        // shards that already applied their sub-batch
+                        // dedup the replay.
+                        send_degraded(sock, &e, ctx, metrics);
+                    }
+                    None => {
+                        if let Some(m) = metrics {
+                            m.updates_routed.add(len as u64);
+                        }
+                        let reply = Frame::BatchAck {
+                            accepted: len as u64,
+                        };
+                        if !send(sock, &reply, ctx, metrics) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Frame::QueryJoin => {
+                let _span = metrics.map(|m| m.query_latency.start_span());
+                if let Some(m) = metrics {
+                    m.queries.inc();
+                }
+                let merged = merged_snapshots(inner, sessions, SHARD_STREAM_BOTH, fwd);
+                match merged {
+                    Ok((Some(f), Some(g))) => {
+                        let est_span =
+                            fwd.map(|c| ss_trace::span(Phase::Estimate, c.trace_id, c.span_id, 0));
+                        let est = estimate_join(&f, &g, &inner.config.estimator);
+                        drop(est_span);
+                        if !send(sock, &answer_frame(&est), ctx, metrics) {
+                            return;
+                        }
+                    }
+                    Ok(_) => {
+                        // Unreachable with a non-empty manifest; treat
+                        // as internal rather than panicking.
+                        send_error(sock, ErrorCode::Internal, "empty shard set", ctx, metrics);
+                        return;
+                    }
+                    Err(e) => {
+                        if !send_merge_error(sock, &e, ctx, metrics) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Frame::QuerySelfJoin { stream } => {
+                let _span = metrics.map(|m| m.query_latency.start_span());
+                if let Some(m) = metrics {
+                    m.queries.inc();
+                }
+                let mask = match stream {
+                    StreamId::F => SHARD_STREAM_F,
+                    StreamId::G => SHARD_STREAM_G,
+                };
+                match merged_snapshots(inner, sessions, mask, fwd) {
+                    Ok((f, g)) => {
+                        let Some(sk) = (match stream {
+                            StreamId::F => f,
+                            StreamId::G => g,
+                        }) else {
+                            send_error(sock, ErrorCode::Internal, "empty shard set", ctx, metrics);
+                            return;
+                        };
+                        let est_span =
+                            fwd.map(|c| ss_trace::span(Phase::Estimate, c.trace_id, c.span_id, 0));
+                        let estimate = estimate_self_join(&sk, &inner.config.estimator);
+                        drop(est_span);
+                        let reply = Frame::Answer {
+                            estimate,
+                            dense_dense: 0.0,
+                            dense_sparse: 0.0,
+                            sparse_dense: 0.0,
+                            sparse_sparse: 0.0,
+                            dense_f: 0,
+                            dense_g: 0,
+                        };
+                        if !send(sock, &reply, ctx, metrics) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        if !send_merge_error(sock, &e, ctx, metrics) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Frame::Snapshot { stream } => {
+                let _span = metrics.map(|m| m.query_latency.start_span());
+                let mask = match stream {
+                    StreamId::F => SHARD_STREAM_F,
+                    StreamId::G => SHARD_STREAM_G,
+                };
+                match merged_snapshots(inner, sessions, mask, fwd) {
+                    Ok((f, g)) => {
+                        let Some(sk) = (match stream {
+                            StreamId::F => f,
+                            StreamId::G => g,
+                        }) else {
+                            send_error(sock, ErrorCode::Internal, "empty shard set", ctx, metrics);
+                            return;
+                        };
+                        let reply = Frame::SnapshotReply {
+                            stream,
+                            sketch: encode_skimmed(&sk).to_vec(),
+                        };
+                        if !send(sock, &reply, ctx, metrics) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        if !send_merge_error(sock, &e, ctx, metrics) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Frame::Resume { client_id } => {
+                // The producer may resume from the highest seq *every*
+                // shard has applied: per-stream minimum over the fleet.
+                // Conservative under per-shard gaps (a shard that owned
+                // no keys of a batch never saw its seq), but replays of
+                // already-applied batches are absorbed by shard dedup.
+                let mut low_f = u64::MAX;
+                let mut low_g = u64::MAX;
+                let mut failed: Option<ShardError> = None;
+                for sess in sessions.iter_mut() {
+                    let partition = sess.partition();
+                    let reply = sess.resume_of(client_id, fwd);
+                    note_health(inner, partition, reply.is_ok());
+                    match reply {
+                        Ok((f, g)) => {
+                            low_f = low_f.min(f);
+                            low_g = low_g.min(g);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    Some(e) => send_degraded(sock, &e, ctx, metrics),
+                    None => {
+                        let reply = Frame::ResumeAck {
+                            last_seq_f: low_f,
+                            last_seq_g: low_g,
+                        };
+                        if !send(sock, &reply, ctx, metrics) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Frame::ShardMap(_) => {
+                if session_protocol < 3 {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "SHARD_MAP requires a protocol-v3 session",
+                        ctx,
+                        metrics,
+                    );
+                    return;
+                }
+                let healthy: Vec<bool> = inner
+                    .health
+                    .iter()
+                    // ordering: advisory monitoring reads; see note_health
+                    .map(|h| h.load(Ordering::Relaxed))
+                    .collect();
+                let reply = Frame::ShardMap(inner.manifest.to_wire(&healthy));
+                if !send(sock, &reply, ctx, metrics) {
+                    return;
+                }
+            }
+            Frame::Inspect {
+                sections,
+                last_events,
+                ..
+            } => {
+                let mut report = InspectReport {
+                    uptime_ns: inner.started.elapsed().as_nanos() as u64,
+                    ..InspectReport::default()
+                };
+                if sections & INSPECT_METRICS != 0 && stream_telemetry::ENABLED {
+                    report.metrics_json = stream_telemetry::global().render_json_lines();
+                }
+                if sections & INSPECT_EVENTS != 0 {
+                    report.events = ss_trace::recent_events(last_events as usize)
+                        .iter()
+                        .map(|e| stream_wire::WireSpanEvent {
+                            ts_ns: e.ts_ns,
+                            trace_id: e.trace_id,
+                            span_id: e.span_id,
+                            parent_id: e.parent_id,
+                            phase: e.phase,
+                            kind: e.kind,
+                            thread: e.thread,
+                            arg: e.arg,
+                        })
+                        .collect();
+                }
+                if !send(sock, &Frame::InspectReply(Box::new(report)), ctx, metrics) {
+                    return;
+                }
+            }
+            Frame::ShardQuery { .. } => {
+                send_error(
+                    sock,
+                    ErrorCode::Protocol,
+                    "not a shard: routers do not serve SHARD_QUERY",
+                    ctx,
+                    metrics,
+                );
+                return;
+            }
+            Frame::Goodbye => {
+                let _ = send(sock, &Frame::Goodbye, ctx, metrics);
+                return;
+            }
+            Frame::Error { .. } => return, // client gave up; nothing to reply
+            Frame::Hello { .. }
+            | Frame::HelloAck(_)
+            | Frame::BatchAck { .. }
+            | Frame::Answer { .. }
+            | Frame::SnapshotReply { .. }
+            | Frame::Throttle { .. }
+            | Frame::ResumeAck { .. }
+            | Frame::InspectReply(_)
+            | Frame::ShardQueryReply { .. } => {
+                send_error(
+                    sock,
+                    ErrorCode::Protocol,
+                    "unexpected frame for a client to send",
+                    ctx,
+                    metrics,
+                );
+                return;
+            }
+        }
+    }
+}

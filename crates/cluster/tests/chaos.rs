@@ -1,0 +1,199 @@
+//! Cluster chaos suite: kill a shard mid-UPDATE_BATCH stream, restart
+//! it from its WAL on the same address, and prove the routed cluster
+//! converges to answers **bit-identical** to an uninterrupted single
+//! node fed the same stream.
+//!
+//! The convergence story under test is the exactly-once pass-through
+//! design: sequenced upstream batches are forwarded *as the upstream
+//! producer*, so the recovering shard's `(client_id, stream, seq)`
+//! dedup — itself rebuilt from the WAL — absorbs every router retry
+//! without double-counting. The suite must pass identically with and
+//! without the `telemetry` feature (CI runs both).
+
+use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use ss_cluster::{Router, RouterConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+use stream_durability::WalConfig;
+use stream_model::{Domain, Update};
+use stream_server::{BackoffConfig, ClientConfig, Server, ServerClient, ServerConfig};
+use stream_wire::StreamId;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ss-cluster-chaos-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Deterministic mixed inserts/deletes within `domain_log2`.
+fn mixed_updates(n: usize, domain_log2: u32, salt: u64) -> Vec<Update> {
+    (0..n as u64)
+        .map(|i| {
+            let v = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - domain_log2);
+            let w = match i % 5 {
+                0 => -1,
+                1 => 3,
+                _ => 1,
+            };
+            Update {
+                value: v,
+                weight: w,
+            }
+        })
+        .collect()
+}
+
+fn shard_config(schema: Arc<SkimmedSchema>, wal_dir: &PathBuf) -> ServerConfig {
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = 2;
+    config.ingest_workers = 2;
+    config.read_timeout = Duration::from_millis(50);
+    config.shard = true;
+    config.wal = Some(WalConfig::new(wal_dir));
+    config
+}
+
+/// A router that rides out a shard restart: enough retry budget to
+/// cover several hundred milliseconds of downtime before degrading.
+fn patient_router_config(addrs: Vec<String>) -> RouterConfig {
+    let mut config = RouterConfig::new(addrs);
+    config.handler_threads = 2;
+    config.shard_read_timeout = Duration::from_millis(100);
+    config.shard_reply_retries = 10;
+    config.retry_budget = 400;
+    config.backoff = BackoffConfig {
+        base: Duration::from_micros(500),
+        cap: Duration::from_millis(10),
+        seed: 0xC4A0_5EED,
+    };
+    config
+}
+
+/// Sequenced upstream producer with enough reply patience to sit out
+/// the router's recovery retries.
+fn producer_config(client_id: u64) -> ClientConfig {
+    ClientConfig {
+        name: "chaos-producer".into(),
+        client_id,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_millis(500),
+        reply_retries: 100,
+        backoff: BackoffConfig::default(),
+        trace: false,
+    }
+}
+
+#[test]
+fn shard_killed_mid_stream_restarts_from_wal_and_converges_bit_identically() {
+    let _guard = serial();
+    let domain_log2 = 12;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(domain_log2), 5, 64, 7);
+    let uf = mixed_updates(16_000, domain_log2, 0xF00D);
+    let ug = mixed_updates(16_000, domain_log2, 0xBEEF);
+
+    // Ground truth: an uninterrupted single node fed the same stream.
+    let mut local_f = SkimmedSketch::new(schema.clone());
+    let mut local_g = SkimmedSketch::new(schema.clone());
+    local_f.add_batch(&uf);
+    local_g.add_batch(&ug);
+    let single_config = {
+        let mut c = ServerConfig::new(schema.clone());
+        c.handler_threads = 2;
+        c.ingest_workers = 2;
+        c.read_timeout = Duration::from_millis(50);
+        c.shard = true;
+        c
+    };
+    let single = Server::bind("127.0.0.1:0", single_config).unwrap();
+    let mut truth = ServerClient::connect_with(single.local_addr(), producer_config(77)).unwrap();
+    truth.send_all(StreamId::F, &uf, 500).unwrap();
+    truth.send_all(StreamId::G, &ug, 500).unwrap();
+    let single_join = truth.query_join().unwrap().estimate;
+    assert_eq!(
+        single_join,
+        estimate_join(&local_f, &local_g, &EstimatorConfig::default()).estimate
+    );
+    truth.goodbye().unwrap();
+    single.shutdown().unwrap();
+
+    // The cluster: two WAL-backed shards behind a patient router.
+    let dirs = [scratch_dir("s0"), scratch_dir("s1")];
+    let shard0 = Server::bind("127.0.0.1:0", shard_config(schema.clone(), &dirs[0])).unwrap();
+    let shard1 = Server::bind("127.0.0.1:0", shard_config(schema.clone(), &dirs[1])).unwrap();
+    let shard1_addr = shard1.local_addr();
+    let addrs = vec![shard0.local_addr().to_string(), shard1_addr.to_string()];
+    let router = Router::bind("127.0.0.1:0", patient_router_config(addrs)).unwrap();
+
+    let mut producer =
+        ServerClient::connect_with(router.local_addr(), producer_config(77)).unwrap();
+
+    // First half flows normally.
+    producer.send_all(StreamId::F, &uf[..8_000], 500).unwrap();
+    producer.send_all(StreamId::G, &ug[..8_000], 500).unwrap();
+
+    // Kill partition 1 mid-stream. Its listener port is freed on halt;
+    // a restart thread brings it back on the SAME address (the manifest
+    // pins it) from the WAL, while the producer keeps streaming and the
+    // router's shard sessions retry through the outage.
+    shard1.halt();
+    let restart_schema = schema.clone();
+    let restart_dir = dirs[1].clone();
+    let restart = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(200));
+        Server::bind(shard1_addr, shard_config(restart_schema, &restart_dir))
+            .expect("shard restart on its manifest address")
+    });
+
+    producer.send_all(StreamId::F, &uf[8_000..], 500).unwrap();
+    producer.send_all(StreamId::G, &ug[8_000..], 500).unwrap();
+    let shard1 = restart.join().expect("restart thread");
+    assert!(
+        shard1.recovery().is_some_and(|r| r.batches_replayed > 0),
+        "the restarted shard must have replayed WAL batches"
+    );
+
+    // Convergence: the routed answer equals the uninterrupted single
+    // node's, bit for bit — no update lost to the crash window, none
+    // double-counted by the retries that bridged it.
+    let routed_join = producer.query_join().unwrap().estimate;
+    assert_eq!(routed_join, single_join);
+    let merged_f = producer.snapshot(StreamId::F).unwrap();
+    assert_eq!(merged_f.level_counters(), local_f.level_counters());
+    let merged_g = producer.snapshot(StreamId::G).unwrap();
+    assert_eq!(merged_g.level_counters(), local_g.level_counters());
+
+    // The map reflects recovery: the restarted shard answered the
+    // queries above, so its health flag is back up.
+    let map = producer.shard_map().unwrap();
+    assert!(map.shards.iter().all(|s| s.healthy));
+
+    // A full sequenced replay after the chaos is still absorbed.
+    drop(producer);
+    let mut replayer =
+        ServerClient::connect_with(router.local_addr(), producer_config(77)).unwrap();
+    replayer.send_all(StreamId::F, &uf, 500).unwrap();
+    replayer.send_all(StreamId::G, &ug, 500).unwrap();
+    assert_eq!(replayer.query_join().unwrap().estimate, single_join);
+    replayer.goodbye().unwrap();
+
+    router.shutdown().unwrap();
+    shard0.shutdown().unwrap();
+    shard1.shutdown().unwrap();
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

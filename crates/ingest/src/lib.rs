@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use stream_model::update::Update;
-use stream_sketches::LinearSynopsis;
+use stream_sketches::{merge_parts, LinearSynopsis};
 use stream_telemetry::{Counter, Gauge, Histogram, Unit};
 
 /// Structured failure of a pool-level operation.
@@ -477,17 +477,16 @@ where
             }
             replies.push(reply_rx);
         }
-        let mut merged: Option<S> = None;
+        let mut parts = Vec::with_capacity(self.senders.len());
         for (worker, rx) in replies.into_iter().enumerate() {
-            let part = rx
-                .recv()
-                .map_err(|_| IngestError::WorkerPanicked { worker })?;
-            match &mut merged {
-                None => merged = Some(part),
-                Some(m) => m.merge_from(&part),
-            }
+            parts.push(
+                rx.recv()
+                    .map_err(|_| IngestError::WorkerPanicked { worker })?,
+            );
         }
-        merged.ok_or(IngestError::NoWorkers)
+        // Per-worker partials combine exactly like per-shard sketches
+        // from remote nodes: same linearity, same entry point.
+        merge_parts(parts).ok_or(IngestError::NoWorkers)
     }
 
     /// Stops the workers and returns the merged sketch of everything
@@ -500,21 +499,18 @@ where
     /// silently miss the dead worker's chunks.
     pub fn finish(self) -> Result<S, IngestError> {
         drop(self.senders); // workers drain their queues and return
-        let mut merged: Option<S> = None;
+        let mut parts = Vec::with_capacity(self.workers.len());
         let mut lost: Option<usize> = None;
         for (worker, handle) in self.workers.into_iter().enumerate() {
             match handle.join() {
-                Ok(part) => match &mut merged {
-                    None => merged = Some(part),
-                    Some(m) => m.merge_from(&part),
-                },
+                Ok(part) => parts.push(part),
                 Err(_panic) => lost = lost.or(Some(worker)),
             }
         }
         if let Some(worker) = lost {
             return Err(IngestError::WorkerPanicked { worker });
         }
-        merged.ok_or(IngestError::NoWorkers)
+        merge_parts(parts).ok_or(IngestError::NoWorkers)
     }
 }
 
@@ -557,13 +553,8 @@ where
     })
     // ss-analyze: allow(a2-panic-free) -- crossbeam's scope only errs when a child panicked, which the join above already re-propagated
     .expect("ingest scope");
-    let mut parts = parts.into_iter();
     // ss-analyze: allow(a2-panic-free) -- `threads > 0` is asserted at entry, so one part per worker exists
-    let mut merged = parts.next().expect("at least one worker");
-    for part in parts {
-        merged.merge_from(&part);
-    }
-    merged
+    merge_parts(parts).expect("at least one worker")
 }
 
 #[cfg(test)]

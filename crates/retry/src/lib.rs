@@ -1,0 +1,164 @@
+//! # ss-retry
+//!
+//! The workspace's one retry-delay policy: capped exponential backoff
+//! with deterministic half-range jitter.
+//!
+//! Every retry loop in the system — the client absorbing THROTTLE
+//! negative-acks, [`ResilientClient`]'s reconnect ladder, the cluster
+//! router re-dialling a crashed shard — backs off through this type, so
+//! retry timing has exactly one definition and one test pinning it.
+//! Determinism is load-bearing: the jitter PRNG is seeded, so a chaos
+//! test that replays the same fault schedule sees the same delays, while
+//! different seeds keep a fleet of producers that were throttled
+//! together from retrying in lockstep.
+//!
+//! [`ResilientClient`]: https://docs.rs/stream-server
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::time::Duration;
+
+/// Knobs for [`Backoff`]: capped exponential delay with deterministic
+/// jitter.
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// First delay (the exponential's starting step).
+    pub base: Duration,
+    /// Largest step the exponential is allowed to reach.
+    pub cap: Duration,
+    /// Seed of the jitter PRNG — fixed seed, fixed delay sequence, so
+    /// retry timing is reproducible in tests.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    /// 200 µs first delay (the old fixed throttle pause), capped at
+    /// 50 ms.
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(50),
+            seed: 0x5EED_BACC,
+        }
+    }
+}
+
+/// Capped exponential backoff with half-range deterministic jitter:
+/// the n-th delay is uniform in `[step/2, step]` where
+/// `step = min(base · 2ⁿ, cap)`. Jitter keeps a fleet of producers that
+/// were throttled together from retrying in lockstep; determinism (via
+/// the seeded PRNG) keeps chaos tests reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    step: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A fresh sequence starting at `config.base`.
+    pub fn new(config: &BackoffConfig) -> Self {
+        Backoff {
+            base: config.base,
+            cap: config.cap,
+            step: config.base.min(config.cap),
+            rng: config.seed | 1, // xorshift64 must not start at 0
+        }
+    }
+
+    /// The next delay; doubles the step (up to the cap) each call.
+    pub fn delay(&mut self) -> Duration {
+        let step = self.step.as_nanos() as u64;
+        self.step = (self.step * 2).min(self.cap);
+        let half = step / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            self.next_rand() % (half + 1)
+        };
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Back to the base step (call after a success).
+    pub fn reset(&mut self) {
+        self.step = self.base.min(self.cap);
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_to_cap_and_is_deterministic() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+            seed: 42,
+        };
+        let mut a = Backoff::new(&config);
+        let mut b = Backoff::new(&config);
+        let da: Vec<Duration> = (0..8).map(|_| a.delay()).collect();
+        let db: Vec<Duration> = (0..8).map(|_| b.delay()).collect();
+        assert_eq!(da, db, "same seed, same delays");
+        // Every delay sits in [step/2, step] for its (capped) step.
+        let mut step = config.base;
+        for d in &da {
+            assert!(*d >= step / 2 && *d <= step, "delay {d:?} vs step {step:?}");
+            step = (step * 2).min(config.cap);
+        }
+        // The tail is capped: no delay beyond the cap.
+        assert!(da.iter().all(|d| *d <= config.cap));
+        // Reset rewinds the exponent.
+        a.reset();
+        assert!(a.delay() <= config.base);
+    }
+
+    #[test]
+    fn backoff_jitter_varies_with_seed() {
+        let mk = |seed| {
+            let mut b = Backoff::new(&BackoffConfig {
+                base: Duration::from_millis(4),
+                cap: Duration::from_secs(1),
+                seed,
+            });
+            (0..6).map(|_| b.delay()).collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2), "different seeds, different jitter");
+    }
+
+    /// Pins the exact jitter sequence for a fixed seed. This is the
+    /// hoisted policy's compatibility contract: the serving client and
+    /// the cluster router both retry on these delays, and a refactor
+    /// that changes the PRNG, the halving, or the capping would silently
+    /// change retry behaviour everywhere at once. If this test fails,
+    /// the policy changed — that must be a deliberate decision, not a
+    /// side effect.
+    #[test]
+    fn jitter_sequence_is_pinned_for_fixed_seed() {
+        let mut b = Backoff::new(&BackoffConfig {
+            base: Duration::from_nanos(1_000),
+            cap: Duration::from_nanos(16_000),
+            seed: 0xDEAD_BEEF,
+        });
+        let got: Vec<u64> = (0..8).map(|_| b.delay().as_nanos() as u64).collect();
+        // Derived once from the xorshift64* stream of seed 0xDEAD_BEEF
+        // (seed | 1, taps 13/7/17, odd multiplier 0x2545_F491_4F6C_DD1D),
+        // delay_n = step_n/2 + rand_n % (step_n/2 + 1),
+        // step_n = min(1000 · 2ⁿ, 16000).
+        let expected = [633, 1536, 3100, 7649, 11326, 11376, 15621, 13138];
+        assert_eq!(got, expected, "pinned delay sequence changed");
+    }
+}

@@ -25,8 +25,8 @@ use std::time::Duration;
 use stream_model::update::Update;
 use stream_model::Domain;
 use stream_wire::{
-    ErrorCode, Frame, InspectReport, ServerInfo, StreamId, TraceContext, WireError, INSPECT_ALL,
-    VERSION,
+    ErrorCode, Frame, InspectReport, ServerInfo, ShardMapInfo, StreamId, TraceContext, WireError,
+    INSPECT_ALL, PROTOCOL_VERSION,
 };
 
 /// Client-side failures.
@@ -48,6 +48,17 @@ pub enum ClientError {
     UnexpectedFrame(&'static str),
     /// No reply arrived within the client's patience window.
     Timeout,
+    /// The handshake was rejected with [`ErrorCode::UnsupportedVersion`]:
+    /// the server does not speak the protocol version this client
+    /// offered. Typed so mixed v2/v3 fleets fail loud during rollout —
+    /// callers can distinguish "wrong software version" from a generic
+    /// protocol error and name both sides in their diagnostics.
+    VersionMismatch {
+        /// The protocol version this client offered in HELLO.
+        offered: u16,
+        /// Server-supplied context (names the server's accepted range).
+        message: String,
+    },
     /// A [`ResilientClient`](crate::ResilientClient) spent its whole
     /// reconnect budget without completing the operation.
     Exhausted {
@@ -68,6 +79,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::UnexpectedFrame(what) => write!(f, "unexpected reply: {what}"),
             ClientError::Timeout => write!(f, "timed out waiting for a reply"),
+            ClientError::VersionMismatch { offered, message } => {
+                write!(f, "protocol version {offered} rejected: {message}")
+            }
             ClientError::Exhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} reconnect attempts: {last}")
             }
@@ -92,82 +106,10 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// Knobs for [`Backoff`]: capped exponential delay with deterministic
-/// jitter.
-#[derive(Debug, Clone)]
-pub struct BackoffConfig {
-    /// First delay (the exponential's starting step).
-    pub base: Duration,
-    /// Largest step the exponential is allowed to reach.
-    pub cap: Duration,
-    /// Seed of the jitter PRNG — fixed seed, fixed delay sequence, so
-    /// retry timing is reproducible in tests.
-    pub seed: u64,
-}
-
-impl Default for BackoffConfig {
-    /// 200 µs first delay (the old fixed throttle pause), capped at
-    /// 50 ms.
-    fn default() -> Self {
-        BackoffConfig {
-            base: Duration::from_micros(200),
-            cap: Duration::from_millis(50),
-            seed: 0x5EED_BACC,
-        }
-    }
-}
-
-/// Capped exponential backoff with half-range deterministic jitter:
-/// the n-th delay is uniform in `[step/2, step]` where
-/// `step = min(base · 2ⁿ, cap)`. Jitter keeps a fleet of producers that
-/// were throttled together from retrying in lockstep; determinism (via
-/// the seeded PRNG) keeps chaos tests reproducible.
-#[derive(Debug, Clone)]
-pub struct Backoff {
-    base: Duration,
-    cap: Duration,
-    step: Duration,
-    rng: u64,
-}
-
-impl Backoff {
-    /// A fresh sequence starting at `config.base`.
-    pub fn new(config: &BackoffConfig) -> Self {
-        Backoff {
-            base: config.base,
-            cap: config.cap,
-            step: config.base.min(config.cap),
-            rng: config.seed | 1, // xorshift64 must not start at 0
-        }
-    }
-
-    /// The next delay; doubles the step (up to the cap) each call.
-    pub fn delay(&mut self) -> Duration {
-        let step = self.step.as_nanos() as u64;
-        self.step = (self.step * 2).min(self.cap);
-        let half = step / 2;
-        let jitter = if half == 0 {
-            0
-        } else {
-            self.next_rand() % (half + 1)
-        };
-        Duration::from_nanos(half + jitter)
-    }
-
-    /// Back to the base step (call after a success).
-    pub fn reset(&mut self) {
-        self.step = self.base.min(self.cap);
-    }
-
-    fn next_rand(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-}
+// The backoff policy is shared with the cluster router's shard-retry
+// path; the single definition (and the test pinning its jitter
+// sequence) lives in `ss-retry`.
+pub use ss_retry::{Backoff, BackoffConfig};
 
 /// Connection-level configuration for [`ServerClient`].
 #[derive(Debug, Clone)]
@@ -280,6 +222,10 @@ pub struct ServerClient {
     /// Trace id stamped on the most recent traced request (0 = none),
     /// for pairing CLI output with server-side INSPECT events.
     last_trace: u64,
+    /// When set, requests carry this exact context instead of starting
+    /// fresh client-side traces — the cluster router uses it to
+    /// propagate an incoming request's trace across its shard fan-out.
+    forward_trace: Option<TraceContext>,
     /// Reusable payload buffer for replies: grows to the largest reply
     /// seen (a snapshot, typically), then no reply allocates.
     scratch: Vec<u8>,
@@ -329,19 +275,29 @@ impl ServerClient {
             next_seq: [1, 1],
             backoff,
             last_trace: 0,
+            forward_trace: None,
             scratch: Vec::new(),
         };
         let reply = client.call(&Frame::Hello {
-            protocol: VERSION,
+            protocol: PROTOCOL_VERSION,
             client: client.config.name.clone(),
-        })?;
+        });
         match reply {
-            Frame::HelloAck(info) => {
+            Ok(Frame::HelloAck(info)) => {
                 client.info = info;
                 Ok(client)
             }
-            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
-            _ => Err(ClientError::UnexpectedFrame("handshake reply")),
+            // The typed handshake rejection: surface which version was
+            // refused, not just a generic server error.
+            Err(ClientError::Server {
+                code: ErrorCode::UnsupportedVersion,
+                message,
+            }) => Err(ClientError::VersionMismatch {
+                offered: PROTOCOL_VERSION,
+                message,
+            }),
+            Err(e) => Err(e),
+            Ok(_) => Err(ClientError::UnexpectedFrame("handshake reply")),
         }
     }
 
@@ -396,6 +352,12 @@ impl ServerClient {
     /// `None`/`None` when tracing is off or compiled out — the frame
     /// encoding is then byte-identical to an untraced client's.
     fn begin_trace(&mut self, arg: u64) -> (Option<TraceContext>, Option<ss_trace::SpanGuard>) {
+        if let Some(ctx) = self.forward_trace {
+            // Propagation, not origination: the caller owns the span
+            // tree; we just stamp its context on the wire.
+            self.last_trace = ctx.trace_id;
+            return (Some(ctx), None);
+        }
         if !self.config.trace || !ss_trace::ENABLED {
             return (None, None);
         }
@@ -497,6 +459,54 @@ impl ServerClient {
             Frame::Throttle { pending, limit } => Ok(BatchOutcome::Throttled { pending, limit }),
             // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("batch reply")),
+        }
+    }
+
+    /// Sends one batch under an explicit `(client_id, seq)` identity,
+    /// leaving this session's own sequence counters untouched. The
+    /// cluster router forwards an upstream producer's sequenced batches
+    /// *as that producer*: the shard's `(client_id, stream, seq)` dedup
+    /// then absorbs duplicates end to end, no matter which router
+    /// handler — or which router incarnation, after a restart — resends
+    /// them. Plain clients should prefer [`ServerClient::send_batch`].
+    pub fn send_batch_as(
+        &mut self,
+        stream: StreamId,
+        client_id: u64,
+        seq: u64,
+        updates: &[Update],
+    ) -> Result<BatchOutcome, ClientError> {
+        let (ctx, _span) = self.begin_trace(updates.len() as u64);
+        stream_wire::write_update_batch_traced(
+            &mut self.sock,
+            stream,
+            client_id,
+            seq,
+            updates,
+            ctx,
+        )
+        .map_err(ClientError::Io)?;
+        match self.read_reply()? {
+            Frame::BatchAck { accepted } => Ok(BatchOutcome::Accepted(accepted)),
+            Frame::Throttle { pending, limit } => Ok(BatchOutcome::Throttled { pending, limit }),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("batch reply")),
+        }
+    }
+
+    /// Reads another producer's applied high-water marks (RESUME for an
+    /// explicit `client_id`) without touching this session's own
+    /// counters. The cluster router fans this across every shard to
+    /// answer an upstream RESUME: the per-stream minimum is the highest
+    /// sequence number *every* shard has applied.
+    pub fn resume_of(&mut self, client_id: u64) -> Result<(u64, u64), ClientError> {
+        match self.call(&Frame::Resume { client_id })? {
+            Frame::ResumeAck {
+                last_seq_f,
+                last_seq_g,
+            } => Ok((last_seq_f, last_seq_g)),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("resume reply")),
         }
     }
 
@@ -689,6 +699,58 @@ impl ServerClient {
         self.inspect(INSPECT_ALL, 0, 0)
     }
 
+    /// Stamps subsequent requests with `ctx` verbatim instead of
+    /// starting fresh client-side traces (pass `None` to return to
+    /// normal tracing). The cluster router sets this per incoming
+    /// request so its shard fan-out joins the client's causal trace.
+    pub fn set_forward_trace(&mut self, ctx: Option<TraceContext>) {
+        self.forward_trace = ctx;
+    }
+
+    /// Shard-role fetch (protocol ≥ 3, [`ServerConfig::shard`] servers
+    /// only): the shard's raw encoded sketch state for the streams
+    /// selected by the `SHARD_STREAM_*` bits of `streams`, captured as
+    /// one linearizable cut. Unrequested streams come back as empty
+    /// vectors. The cluster router merges these by sketch linearity;
+    /// shipping the *unskimmed* state is what keeps merged answers
+    /// bit-identical to a single node (skimming is global, not
+    /// per-shard).
+    ///
+    /// [`ServerConfig::shard`]: crate::ServerConfig::shard
+    pub fn shard_query(&mut self, streams: u8) -> Result<(Vec<u8>, Vec<u8>), ClientError> {
+        match self.call(&Frame::ShardQuery { streams })? {
+            Frame::ShardQueryReply {
+                streams: got,
+                sketch_f,
+                sketch_g,
+            } => {
+                if got != streams {
+                    return Err(ClientError::UnexpectedFrame("shard reply stream mask"));
+                }
+                Ok((sketch_f, sketch_g))
+            }
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("shard query reply")),
+        }
+    }
+
+    /// Asks a cluster router for its versioned [`ShardMapInfo`]
+    /// manifest (protocol ≥ 3). Plain servers reject this with a
+    /// protocol error — which is how `ssketch top` tells a router from
+    /// a single node.
+    pub fn shard_map(&mut self) -> Result<ShardMapInfo, ClientError> {
+        let request = Frame::ShardMap(ShardMapInfo {
+            version: 0,
+            seed: 0,
+            shards: Vec::new(),
+        });
+        match self.call(&request)? {
+            Frame::ShardMap(map) => Ok(map),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("shard map reply")),
+        }
+    }
+
     /// Clean close: GOODBYE, wait for the echo, drop the socket.
     pub fn goodbye(mut self) -> Result<(), ClientError> {
         match self.call(&Frame::Goodbye)? {
@@ -699,45 +761,5 @@ impl ServerClient {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn backoff_grows_to_cap_and_is_deterministic() {
-        let config = BackoffConfig {
-            base: Duration::from_millis(1),
-            cap: Duration::from_millis(8),
-            seed: 42,
-        };
-        let mut a = Backoff::new(&config);
-        let mut b = Backoff::new(&config);
-        let da: Vec<Duration> = (0..8).map(|_| a.delay()).collect();
-        let db: Vec<Duration> = (0..8).map(|_| b.delay()).collect();
-        assert_eq!(da, db, "same seed, same delays");
-        // Every delay sits in [step/2, step] for its (capped) step.
-        let mut step = config.base;
-        for d in &da {
-            assert!(*d >= step / 2 && *d <= step, "delay {d:?} vs step {step:?}");
-            step = (step * 2).min(config.cap);
-        }
-        // The tail is capped: no delay beyond the cap.
-        assert!(da.iter().all(|d| *d <= config.cap));
-        // Reset rewinds the exponent.
-        a.reset();
-        assert!(a.delay() <= config.base);
-    }
-
-    #[test]
-    fn backoff_jitter_varies_with_seed() {
-        let mk = |seed| {
-            let mut b = Backoff::new(&BackoffConfig {
-                base: Duration::from_millis(4),
-                cap: Duration::from_secs(1),
-                seed,
-            });
-            (0..6).map(|_| b.delay()).collect::<Vec<_>>()
-        };
-        assert_ne!(mk(1), mk(2), "different seeds, different jitter");
-    }
-}
+// Backoff's unit tests (growth/cap/determinism, per-seed jitter, and
+// the pinned jitter sequence) live with the policy in `ss-retry`.

@@ -110,7 +110,8 @@ use stream_ingest::{IngestError, IngestPool, TraceTag};
 use stream_model::StreamSink;
 use stream_wire::{
     ErrorCode, Frame, InspectReport, ServerInfo, SlowQueryEntry, StreamId, TraceContext, WireError,
-    INSPECT_AUDIT, INSPECT_EVENTS, INSPECT_METRICS, INSPECT_SLOW, VERSION,
+    INSPECT_AUDIT, INSPECT_EVENTS, INSPECT_METRICS, INSPECT_SLOW, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION, SHARD_STREAM_F, SHARD_STREAM_G,
 };
 use telem::{server_metrics, ServerMetrics};
 
@@ -158,6 +159,11 @@ pub struct ServerConfig {
     /// [`Server::halt`] and on supervised panics); `None` disables
     /// dumping.
     pub postmortem_dir: Option<PathBuf>,
+    /// Shard role: serve SHARD_QUERY (raw encoded sketch state for a
+    /// cluster router to merge by linearity) on protocol-v3 sessions.
+    /// Off by default — a plain server rejects cluster frames, so a
+    /// stray router pointed at a non-shard fails loud.
+    pub shard: bool,
 }
 
 impl ServerConfig {
@@ -180,6 +186,7 @@ impl ServerConfig {
             slow_log: 64,
             audit_shift: Some(6),
             postmortem_dir: None,
+            shard: false,
         }
     }
 }
@@ -961,18 +968,28 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
     // One payload buffer for the connection's whole life (see `next_frame`).
     let mut scratch = Vec::new();
 
-    // Handshake: the first frame must be HELLO at our protocol version.
+    // Handshake: the first frame must be HELLO offering a protocol
+    // version in our accepted range. The session then speaks the
+    // *offered* version: a v2 client never sees (and may not send) the
+    // v3 cluster vocabulary. Out-of-range offers get the typed
+    // UNSUPPORTED_VERSION code so mixed fleets fail loud at rollout
+    // instead of tripping generic protocol errors mid-session.
+    let session_protocol;
     match next_frame(inner, sock, &mut scratch) {
         Some((Frame::Hello { protocol, .. }, ctx)) => {
-            if protocol != VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) {
                 send_error(
                     sock,
-                    ErrorCode::Protocol,
-                    &format!("protocol {protocol} unsupported (server speaks {VERSION})"),
+                    ErrorCode::UnsupportedVersion,
+                    &format!(
+                        "protocol {protocol} unsupported (server speaks \
+                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                    ),
                     metrics,
                 );
                 return;
             }
+            session_protocol = protocol;
             if !send(sock, &Frame::HelloAck(inner.info()), ctx, metrics) {
                 return;
             }
@@ -1125,6 +1142,58 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                     return;
                 }
             }
+            Frame::ShardQuery { streams } => {
+                if session_protocol < 3 {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "SHARD_QUERY requires a protocol-v3 session",
+                        metrics,
+                    );
+                    return;
+                }
+                if !inner.config.shard {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "not a shard: this server does not serve SHARD_QUERY",
+                        metrics,
+                    );
+                    return;
+                }
+                let _span = metrics.map(|m| m.shard_query_latency.start_span());
+                let t0 = Instant::now();
+                let snap_span = tag.map(|(t, p)| ss_trace::span(Phase::Snapshot, t, p, 0));
+                // Snapshot both streams under one request so the reply is
+                // a single linearizable cut of this shard's state.
+                let want_f = streams & SHARD_STREAM_F != 0;
+                let want_g = streams & SHARD_STREAM_G != 0;
+                let snap_f = want_f.then(|| inner.pool(StreamId::F).snapshot_traced(tag));
+                let snap_g = want_g.then(|| inner.pool(StreamId::G).snapshot_traced(tag));
+                drop(snap_span);
+                let t1 = Instant::now();
+                let unpack = |snap: Option<Result<_, _>>| match snap {
+                    None => Some(Vec::new()),
+                    Some(Ok(sk)) => Some(encode_skimmed(&sk).to_vec()),
+                    Some(Err(_)) => None,
+                };
+                let (Some(sketch_f), Some(sketch_g)) = (unpack(snap_f), unpack(snap_g)) else {
+                    send_error(sock, ErrorCode::Internal, "ingest worker lost", metrics);
+                    return;
+                };
+                let enc_span = tag.map(|(t, p)| ss_trace::span(Phase::Encode, t, p, 0));
+                let reply = Frame::ShardQueryReply {
+                    streams,
+                    sketch_f,
+                    sketch_g,
+                };
+                let sent = send(sock, &reply, ctx, metrics);
+                drop(enc_span);
+                record_if_slow(inner, ctx, KIND_SHARD_QUERY, t0, t1, t1);
+                if !sent {
+                    return;
+                }
+            }
             Frame::Goodbye => {
                 let _ = send(sock, &Frame::Goodbye, ctx, metrics);
                 return;
@@ -1137,7 +1206,9 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
             | Frame::SnapshotReply { .. }
             | Frame::Throttle { .. }
             | Frame::ResumeAck { .. }
-            | Frame::InspectReply(_) => {
+            | Frame::InspectReply(_)
+            | Frame::ShardMap(_)
+            | Frame::ShardQueryReply { .. } => {
                 send_error(
                     sock,
                     ErrorCode::Protocol,
@@ -1155,6 +1226,7 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
 const KIND_QUERY_JOIN: u8 = 5;
 const KIND_QUERY_SELF_JOIN: u8 = 6;
 const KIND_SNAPSHOT: u8 = 8;
+const KIND_SHARD_QUERY: u8 = 18;
 
 /// Folds one finished query's phase timing into the slow-query log when
 /// it crossed the configured threshold. `t0`→`t1` is snapshot

@@ -62,6 +62,9 @@ pub(crate) struct ServerMetrics {
     pub query_self_latency: Arc<Histogram>,
     /// SNAPSHOT handling latency (snapshot + encode).
     pub snapshot_latency: Arc<Histogram>,
+    /// SHARD_QUERY handling latency (shard role: both snapshots +
+    /// encode, one linearizable cut).
+    pub shard_query_latency: Arc<Histogram>,
 }
 
 /// The lazily-registered process-wide [`ServerMetrics`].
@@ -96,6 +99,7 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             query_join_latency: lat("query_join"),
             query_self_latency: lat("query_self_join"),
             snapshot_latency: lat("snapshot"),
+            shard_query_latency: lat("shard_query"),
         }
     })
 }

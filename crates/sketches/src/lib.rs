@@ -25,5 +25,5 @@ pub use codec::CodecError;
 pub use countmin::{CountMinSchema, CountMinSketch};
 pub use distinct::DistinctSketch;
 pub use hash_sketch::{HashSketch, HashSketchSchema};
-pub use linear::LinearSynopsis;
+pub use linear::{merge_parts, LinearSynopsis};
 pub use topk::TopKSketch;

@@ -48,6 +48,34 @@ pub trait LinearSynopsis: StreamSink {
     fn clear(&mut self);
 }
 
+/// Merges any number of compatible synopses into the synopsis of the
+/// concatenated streams, or `None` for an empty iterator.
+///
+/// This is the cross-node merge entry point: a cluster router feeds it
+/// the per-shard sketches fetched over the wire, the in-process
+/// `IngestPool` feeds it per-worker partials — same algebra either way.
+/// Counter addition over `i64` is exact, commutative, and associative,
+/// so the result is **bit-identical** regardless of how the stream was
+/// partitioned or in which order the parts arrive; that invariant is
+/// what lets a sharded cluster answer queries byte-for-byte like a
+/// single node.
+///
+/// # Panics
+/// If any two parts are incompatible (different shape or hash
+/// families), per [`LinearSynopsis::merge_from`].
+pub fn merge_parts<S, I>(parts: I) -> Option<S>
+where
+    S: LinearSynopsis,
+    I: IntoIterator<Item = S>,
+{
+    let mut parts = parts.into_iter();
+    let mut merged = parts.next()?;
+    for part in parts {
+        merged.merge_from(&part);
+    }
+    Some(merged)
+}
+
 /// Replays updates into a fresh default-constructed synopsis — convenience
 /// used throughout the tests.
 pub fn synopsis_of<S, I>(mut empty: S, updates: I) -> S

@@ -200,6 +200,14 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Unexpected server-side failure.
     Internal,
+    /// HELLO offered a protocol version outside the server's accepted
+    /// range. Terminal for the session; the message names both sides'
+    /// versions so mixed v2/v3 fleets fail loud during rollout.
+    UnsupportedVersion,
+    /// A cluster query cannot be answered completely: a shard is down
+    /// past the router's retry budget. The message names the missing
+    /// partition. Returned *instead of* a silently under-counted answer.
+    ShardUnavailable,
     /// A code this build does not know (forward compatibility).
     Other(u16),
 }
@@ -213,6 +221,8 @@ impl ErrorCode {
             ErrorCode::BatchTooLarge => 3,
             ErrorCode::ShuttingDown => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::UnsupportedVersion => 6,
+            ErrorCode::ShardUnavailable => 7,
             ErrorCode::Other(c) => c,
         }
     }
@@ -225,10 +235,48 @@ impl ErrorCode {
             3 => ErrorCode::BatchTooLarge,
             4 => ErrorCode::ShuttingDown,
             5 => ErrorCode::Internal,
+            6 => ErrorCode::UnsupportedVersion,
+            7 => ErrorCode::ShardUnavailable,
             other => ErrorCode::Other(other),
         }
     }
 }
+
+/// One shard in a [`ShardMapInfo`] manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard server's address, as the router dials it.
+    pub addr: String,
+    /// Whether the router currently considers the shard healthy (its
+    /// last interaction succeeded within the retry budget).
+    pub healthy: bool,
+}
+
+/// The router's versioned cluster manifest, served via
+/// [`Frame::ShardMap`].
+///
+/// Keys are assigned to shard `i` iff the 2^61−1 pairwise hash family
+/// seeded with `seed` buckets them to `i` over range `shards.len()` —
+/// carrying `seed` in the manifest lets any client recompute the
+/// partition function. `version` starts at 1 and increments whenever
+/// the shard set changes; a request frame carries `version == 0` and an
+/// empty shard list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMapInfo {
+    /// Manifest version (`0` marks a request).
+    pub version: u64,
+    /// Seed of the partitioning hash.
+    pub seed: u64,
+    /// The shard set, in partition order (index = partition id).
+    pub shards: Vec<ShardEntry>,
+}
+
+/// [`Frame::ShardQuery`] stream-selection bit: include stream `F`.
+pub const SHARD_STREAM_F: u8 = 0x01;
+/// [`Frame::ShardQuery`] stream-selection bit: include stream `G`.
+pub const SHARD_STREAM_G: u8 = 0x02;
+/// Both streams in one SHARD_QUERY round trip.
+pub const SHARD_STREAM_BOTH: u8 = SHARD_STREAM_F | SHARD_STREAM_G;
 
 /// The schema and limits a server advertises in [`Frame::HelloAck`].
 ///
@@ -386,6 +434,28 @@ pub enum Frame {
     /// Server → client: the introspection snapshot (boxed: the report is
     /// much larger than any other frame body).
     InspectReply(Box<InspectReport>),
+    /// Both directions (protocol ≥ 3): the cluster manifest. A client
+    /// sends a request (`version == 0`, no shards) to a router; the
+    /// router replies with its current versioned [`ShardMapInfo`].
+    ShardMap(ShardMapInfo),
+    /// Router → shard (protocol ≥ 3): fetch the shard's raw encoded
+    /// sketch state for the selected streams in one round trip.
+    ShardQuery {
+        /// Bitmask of streams to ship ([`SHARD_STREAM_F`] |
+        /// [`SHARD_STREAM_G`]).
+        streams: u8,
+    },
+    /// Shard → router (protocol ≥ 3): the linearizable encoded sketches
+    /// for the streams requested. A stream whose bit is clear in
+    /// `streams` has an empty byte vector here and must be ignored.
+    ShardQueryReply {
+        /// Echo of the request's stream bitmask.
+        streams: u8,
+        /// `encode_skimmed` bytes for stream `F` (empty if not asked).
+        sketch_f: Vec<u8>,
+        /// `encode_skimmed` bytes for stream `G` (empty if not asked).
+        sketch_g: Vec<u8>,
+    },
 }
 
 /// Wire tags for [`Frame`] kinds.
@@ -408,6 +478,9 @@ enum Kind {
     ResumeAck = 14,
     Inspect = 15,
     InspectReply = 16,
+    ShardMap = 17,
+    ShardQuery = 18,
+    ShardQueryReply = 19,
 }
 
 impl Kind {
@@ -429,6 +502,9 @@ impl Kind {
             14 => Kind::ResumeAck,
             15 => Kind::Inspect,
             16 => Kind::InspectReply,
+            17 => Kind::ShardMap,
+            18 => Kind::ShardQuery,
+            19 => Kind::ShardQueryReply,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -801,6 +877,9 @@ impl Frame {
             Frame::ResumeAck { .. } => Kind::ResumeAck,
             Frame::Inspect { .. } => Kind::Inspect,
             Frame::InspectReply(_) => Kind::InspectReply,
+            Frame::ShardMap(_) => Kind::ShardMap,
+            Frame::ShardQuery { .. } => Kind::ShardQuery,
+            Frame::ShardQueryReply { .. } => Kind::ShardQueryReply,
         }
     }
 
@@ -882,6 +961,27 @@ impl Frame {
                 put_varint(out, *slow_limit as u64);
             }
             Frame::InspectReply(report) => inspect_report_payload(out, report),
+            Frame::ShardMap(map) => {
+                put_varint(out, map.version);
+                out.extend_from_slice(&map.seed.to_le_bytes());
+                put_varint(out, map.shards.len() as u64);
+                for shard in &map.shards {
+                    put_string(out, &shard.addr);
+                    out.push(shard.healthy as u8);
+                }
+            }
+            Frame::ShardQuery { streams } => out.push(*streams),
+            Frame::ShardQueryReply {
+                streams,
+                sketch_f,
+                sketch_g,
+            } => {
+                out.push(*streams);
+                put_varint(out, sketch_f.len() as u64);
+                out.extend_from_slice(sketch_f);
+                put_varint(out, sketch_g.len() as u64);
+                out.extend_from_slice(sketch_g);
+            }
         }
     }
 
@@ -977,6 +1077,54 @@ impl Frame {
                     .map_err(|_| WireError::BadPayload("inspect slow cap overflows u32"))?,
             },
             Kind::InspectReply => Frame::InspectReply(Box::new(decode_inspect_report(&mut r)?)),
+            Kind::ShardMap => {
+                let version = r.varint()?;
+                let seed = r.u64()?;
+                let count = r.varint()? as usize;
+                // Every shard entry needs ≥ 2 payload bytes; a declared
+                // count beyond that is truncation, caught before
+                // allocating.
+                if count > r.buf.len() {
+                    return Err(WireError::Truncated);
+                }
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let addr = r.string()?;
+                    let healthy = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(WireError::BadPayload("bad shard health tag")),
+                    };
+                    shards.push(ShardEntry { addr, healthy });
+                }
+                Frame::ShardMap(ShardMapInfo {
+                    version,
+                    seed,
+                    shards,
+                })
+            }
+            Kind::ShardQuery => {
+                let streams = r.u8()?;
+                if streams & !SHARD_STREAM_BOTH != 0 || streams == 0 {
+                    return Err(WireError::BadPayload("bad shard-query stream mask"));
+                }
+                Frame::ShardQuery { streams }
+            }
+            Kind::ShardQueryReply => {
+                let streams = r.u8()?;
+                if streams & !SHARD_STREAM_BOTH != 0 {
+                    return Err(WireError::BadPayload("bad shard-reply stream mask"));
+                }
+                let len_f = r.varint()? as usize;
+                let sketch_f = r.take(len_f)?.to_vec();
+                let len_g = r.varint()? as usize;
+                let sketch_g = r.take(len_g)?.to_vec();
+                Frame::ShardQueryReply {
+                    streams,
+                    sketch_f,
+                    sketch_g,
+                }
+            }
         };
         r.finish()?;
         Ok(frame)

@@ -12,8 +12,8 @@
 //! ```text
 //! frame       := header payload
 //! header      := magic "SSWF"          (4 bytes)
-//!                version u16-le        (= 2)
-//!                kind    u8            (frame tag, 1..=16)
+//!                version u16-le        (= 2, the frame-format version)
+//!                kind    u8            (frame tag, 1..=19)
 //!                flags   u8            (bit 0 = trace ctx, rest reserved 0)
 //!                payload_len u32-le
 //!                payload_crc u32-le    (CRC-32/IEEE of payload)
@@ -66,6 +66,30 @@
 //! understands the bit. INSPECT/INSPECT_REPLY (kinds 15/16) serve live
 //! introspection snapshots — metrics, flight-recorder events, the
 //! slow-query log, and the online accuracy audit.
+//!
+//! ## Protocol version 3: cluster frames
+//!
+//! The *frame format* above is unchanged (headers still stamp `2`), but
+//! HELLO now negotiates a *protocol* version: the session's vocabulary
+//! of frame kinds. A client offers its [`PROTOCOL_VERSION`] in
+//! `Frame::Hello.protocol`; a server accepts any offer in
+//! `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]` and rejects the rest with
+//! the typed [`ErrorCode::UnsupportedVersion`] — mixed fleets fail loud
+//! at the handshake, not deep in a session. Version 3 adds the cluster
+//! vocabulary, legal only on sessions that negotiated ≥ 3:
+//!
+//! * SHARD_MAP (kind 17) — request/reply for the router's versioned
+//!   [`ShardMapInfo`] cluster manifest (a request is a `ShardMapInfo`
+//!   with `version == 0` and no shards).
+//! * SHARD_QUERY / SHARD_QUERY_REPLY (kinds 18/19) — fetch a shard
+//!   server's raw encoded sketch state for the requested streams (see
+//!   [`SHARD_STREAM_F`]/[`SHARD_STREAM_G`]) in one round trip, so the
+//!   router can merge per-shard sketches by linearity and answer joins
+//!   bit-identically to a single node.
+//!
+//! Plain v2 clients still interoperate with v3 servers (single-node or
+//! shard): they offer 2, the server accepts, and no cluster frame ever
+//! appears on the session.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -77,8 +101,9 @@ mod frame;
 pub use crc::crc32;
 pub use frame::{
     encode_update_batch, write_update_batch, write_update_batch_traced, AuditSummary, ErrorCode,
-    Frame, InspectReport, ServerInfo, SlowQueryEntry, StreamId, TraceContext, WireSpanEvent,
-    FLAG_TRACE, INSPECT_ALL, INSPECT_AUDIT, INSPECT_EVENTS, INSPECT_METRICS, INSPECT_SLOW,
+    Frame, InspectReport, ServerInfo, ShardEntry, ShardMapInfo, SlowQueryEntry, StreamId,
+    TraceContext, WireSpanEvent, FLAG_TRACE, INSPECT_ALL, INSPECT_AUDIT, INSPECT_EVENTS,
+    INSPECT_METRICS, INSPECT_SLOW, SHARD_STREAM_BOTH, SHARD_STREAM_F, SHARD_STREAM_G,
 };
 
 use std::io;
@@ -86,8 +111,21 @@ use std::io;
 /// Header magic: "Skimmed-Sketch Wire Frame".
 pub const MAGIC: &[u8; 4] = b"SSWF";
 
-/// Current protocol version.
+/// Frame-format version stamped in every header. This is the *framing*
+/// version (layout of the 20-byte header, CRC discipline); the
+/// session's *vocabulary* is negotiated separately via
+/// [`PROTOCOL_VERSION`] in HELLO.
 pub const VERSION: u16 = 2;
+
+/// Newest protocol (frame-vocabulary) version this build speaks; offered
+/// by clients in HELLO. Version 3 adds the cluster frames
+/// (SHARD_MAP/SHARD_QUERY/SHARD_QUERY_REPLY).
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// Oldest protocol version a server still accepts in HELLO. Offers
+/// outside `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]` are rejected with
+/// [`ErrorCode::UnsupportedVersion`].
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -242,6 +280,99 @@ mod tests {
         let bytes = Frame::QueryJoin.encode();
         let err = Frame::decode(&bytes[..HEADER_LEN - 3], DEFAULT_MAX_PAYLOAD).unwrap_err();
         assert!(matches!(err, WireError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn shard_frames_round_trip() {
+        for frame in [
+            // A manifest request: version 0, no shards.
+            Frame::ShardMap(ShardMapInfo {
+                version: 0,
+                seed: 0,
+                shards: vec![],
+            }),
+            Frame::ShardMap(ShardMapInfo {
+                version: 3,
+                seed: 0xFEED_5EED,
+                shards: vec![
+                    ShardEntry {
+                        addr: "127.0.0.1:7401".into(),
+                        healthy: true,
+                    },
+                    ShardEntry {
+                        addr: "127.0.0.1:7402".into(),
+                        healthy: false,
+                    },
+                ],
+            }),
+            Frame::ShardQuery {
+                streams: SHARD_STREAM_F,
+            },
+            Frame::ShardQuery {
+                streams: SHARD_STREAM_BOTH,
+            },
+            Frame::ShardQueryReply {
+                streams: SHARD_STREAM_BOTH,
+                sketch_f: vec![1, 2, 3],
+                sketch_g: vec![9; 100],
+            },
+            Frame::ShardQueryReply {
+                streams: SHARD_STREAM_G,
+                sketch_f: vec![],
+                sketch_g: vec![7, 7],
+            },
+        ] {
+            let bytes = frame.encode();
+            let (back, n) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn shard_query_rejects_bad_stream_masks() {
+        // An empty or out-of-range mask is a structural error, not a
+        // silently-empty query.
+        let mut bytes = Frame::ShardQuery {
+            streams: SHARD_STREAM_F,
+        }
+        .encode();
+        let payload_at = HEADER_LEN;
+        for bad in [0u8, 0x04, 0xFF] {
+            bytes[payload_at] = bad;
+            let crc = crc32(&bytes[payload_at..]);
+            bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+            // The header CRC covers the payload-CRC field just patched.
+            let hcrc = crc32(&bytes[..16]);
+            bytes[16..20].copy_from_slice(&hcrc.to_le_bytes());
+            let err = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err();
+            assert!(matches!(err, WireError::BadPayload(_)), "{bad:#04x}: {err}");
+        }
+    }
+
+    #[test]
+    fn version_error_codes_round_trip_typed() {
+        for (code, raw) in [
+            (ErrorCode::UnsupportedVersion, 6),
+            (ErrorCode::ShardUnavailable, 7),
+        ] {
+            assert_eq!(code.as_u16(), raw);
+            assert_eq!(ErrorCode::from_u16(raw), code);
+            let frame = Frame::Error {
+                code,
+                message: "partition 1 (127.0.0.1:7402) unreachable".into(),
+            };
+            let bytes = frame.encode();
+            let (back, _) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn protocol_version_range_is_sane() {
+        const { assert!(MIN_PROTOCOL_VERSION <= PROTOCOL_VERSION) }
+        // The frame format itself did not change with protocol v3.
+        assert_eq!(VERSION, 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::cli::{Args, CliError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use ss_cluster::{Router, RouterConfig};
 use std::net::ToSocketAddrs;
 use stream_durability::WalConfig;
 use stream_model::gen::{CensusGenerator, UniformGenerator, ZipfGenerator};
@@ -303,6 +304,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         wal.fsync = args.get_or("wal-fsync", wal.fsync)?;
         config.wal = Some(wal);
     }
+    config.shard = args.get_or("shard", false)?;
     let slow_ms = args.get_or("slow-query-ms", config.slow_query.as_millis() as u64)?;
     config.slow_query = std::time::Duration::from_millis(slow_ms);
     config.slow_log = args.get_or("slow-log", config.slow_log)?;
@@ -320,10 +322,16 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     if let Some(dir) = args.optional("postmortem-dir") {
         config.postmortem_dir = Some(dir.into());
     }
+    let shard = config.shard;
     let server = Server::bind(addr.as_str(), config).map_err(io_err)?;
     println!(
-        "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}",
-        server.local_addr()
+        "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}{}",
+        server.local_addr(),
+        if shard {
+            " (shard role: SHARD_QUERY enabled)"
+        } else {
+            ""
+        }
     );
     if let Some(r) = server.recovery() {
         println!(
@@ -460,6 +468,126 @@ fn remote_join_resilient(
     Ok(())
 }
 
+/// `ssketch route` — run a cluster router in front of shard servers
+/// (started with `ssketch serve --shard true`) until stdin closes.
+pub fn route(args: &Args) -> Result<(), CliError> {
+    let addr = args
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:7979".into());
+    let shards: Vec<String> = args
+        .required("shards")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err(CliError(
+            "--shards needs a comma-separated list of HOST:PORT".into(),
+        ));
+    }
+    let mut config = RouterConfig::new(shards);
+    config.partition_seed = args.get_or("partition-seed", config.partition_seed)?;
+    config.handler_threads = args.get_or("handlers", config.handler_threads)?;
+    config.retry_budget = args.get_or("retry-budget", config.retry_budget)?;
+    let router = Router::bind(addr.as_str(), config).map_err(io_err)?;
+    let manifest = router.manifest();
+    let info = router.info();
+    println!(
+        "routing on {} — manifest v{}, partition seed {:#x}, domain 2^{}, \
+         {}x{} synopsis",
+        router.local_addr(),
+        manifest.version(),
+        manifest.seed(),
+        info.domain_log2,
+        info.tables,
+        info.buckets
+    );
+    for (i, shard_addr) in manifest.addrs().iter().enumerate() {
+        println!("  partition {i:>2}: {shard_addr}");
+    }
+    println!("press Enter (or close stdin) to drain and stop");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    router.shutdown().map_err(io_err)?;
+    Ok(())
+}
+
+/// `ssketch cluster-join` — stream traces through a cluster router and
+/// query the linearity-merged join estimate; prints the shard map first.
+pub fn cluster_join(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let chunk = args.get_or("chunk", 8_192usize)?;
+    let client_id = args.get_or("client-id", 0u64)?;
+    let config = ClientConfig {
+        name: "ssketch-cluster".to_string(),
+        client_id,
+        ..ClientConfig::default()
+    };
+    let mut client = ServerClient::connect_with(addr.as_str(), config).map_err(io_err)?;
+    let map = client.shard_map().map_err(|e| {
+        CliError(format!(
+            "{addr} does not serve SHARD_MAP — is it a cluster router? ({e})"
+        ))
+    })?;
+    println!(
+        "cluster         : manifest v{}, partition seed {:#x}, {} partition(s)",
+        map.version,
+        map.seed,
+        map.shards.len()
+    );
+    for (i, shard) in map.shards.iter().enumerate() {
+        println!(
+            "  partition {i:>2} [{:>4}] {}",
+            if shard.healthy { "up" } else { "DOWN" },
+            shard.addr
+        );
+    }
+    match (args.optional("left"), args.optional("right")) {
+        (None, None) => {}
+        (Some(left), Some(right)) => {
+            let (dl, fu) = read_trace_file(&left).map_err(io_err)?;
+            let (dr, gu) = read_trace_file(&right).map_err(io_err)?;
+            if dl != dr {
+                return Err(CliError("trace domains differ".into()));
+            }
+            if u32::from(client.info().domain_log2) != dl.log2_size() {
+                return Err(CliError(format!(
+                    "cluster domain 2^{} does not match trace domain 2^{}",
+                    client.info().domain_log2,
+                    dl.log2_size()
+                )));
+            }
+            let rf = client.send_all(StreamId::F, &fu, chunk).map_err(io_err)?;
+            let rg = client.send_all(StreamId::G, &gu, chunk).map_err(io_err)?;
+            println!(
+                "streamed {} + {} updates ({} batches, {} throttle retries){}",
+                rf.updates,
+                rg.updates,
+                rf.batches + rg.batches,
+                rf.throttled + rg.throttled,
+                if client_id != 0 {
+                    format!(" as client {client_id}")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        _ => return Err(CliError("--left and --right must be given together".into())),
+    }
+    let ans = client.query_join().map_err(io_err)?;
+    println!("estimate        : {:.0}", ans.estimate);
+    println!(
+        "  dense/dense {:.0} | dense/sparse {:.0} | sparse/dense {:.0} | sparse/sparse {:.0}",
+        ans.dense_dense, ans.dense_sparse, ans.sparse_dense, ans.sparse_sparse
+    );
+    println!(
+        "  skimmed {} + {} dense values from the merged sketches",
+        ans.dense_f, ans.dense_g
+    );
+    client.goodbye().map_err(io_err)?;
+    Ok(())
+}
+
 /// `ssketch top` — one-shot introspection snapshot of a running server:
 /// uptime, telemetry metrics, the slow-query log, and the online §5.1
 /// accuracy audit, all over a single INSPECT round trip.
@@ -469,7 +597,6 @@ pub fn top(args: &Args) -> Result<(), CliError> {
     let slow = args.get_or("slow", 16u32)?;
     let mut client = ServerClient::connect_named(addr.as_str(), "ssketch-top").map_err(io_err)?;
     let report = client.inspect(INSPECT_ALL, events, slow).map_err(io_err)?;
-    client.goodbye().map_err(io_err)?;
 
     println!("uptime          : {:.1}s", report.uptime_ns as f64 / 1e9);
     if report.metrics_json.is_empty() {
@@ -523,6 +650,36 @@ pub fn top(args: &Args) -> Result<(), CliError> {
             e.span_id,
             e.arg
         );
+    }
+
+    // When `addr` is a cluster router, add one row per shard. A plain
+    // server rejects SHARD_MAP with a protocol error and drops the
+    // connection, so this probe goes last and skips the goodbye then.
+    match client.shard_map() {
+        Err(_) => {}
+        Ok(map) => {
+            println!(
+                "cluster         : manifest v{}, {} partition(s)",
+                map.version,
+                map.shards.len()
+            );
+            for (i, shard) in map.shards.iter().enumerate() {
+                let detail = match ServerClient::connect_named(shard.addr.as_str(), "ssketch-top") {
+                    Ok(mut shard_client) => {
+                        let r = shard_client.inspect(INSPECT_ALL, 0, 0).map_err(io_err)?;
+                        let _ = shard_client.goodbye();
+                        format!("uptime {:.1}s", r.uptime_ns as f64 / 1e9)
+                    }
+                    Err(e) => format!("unreachable: {e}"),
+                };
+                println!(
+                    "  partition {i:>2} [{:>4}] {:<21} {detail}",
+                    if shard.healthy { "up" } else { "DOWN" },
+                    shard.addr
+                );
+            }
+            client.goodbye().map_err(io_err)?;
+        }
     }
     Ok(())
 }

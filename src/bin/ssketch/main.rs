@@ -70,6 +70,18 @@ fn usage() -> &'static str {
          --slow-log N                      slow-query entries retained (64)\n\
          --audit-shift N|off               accuracy-audit sampling: keep 2^-N of keys (6)\n\
          --postmortem-dir PATH             flight-recorder dumps on panic/halt (off)\n\
+         --shard true|false                shard role: serve SHARD_QUERY to routers (false)\n\
+     route           run a cluster router over shard servers (stops when stdin closes)\n\
+         --addr HOST:PORT                  listen address (127.0.0.1:7979)\n\
+         --shards A:P,B:P,...              shard addresses in partition order (required)\n\
+         --partition-seed S                partitioning hash seed (pinned default)\n\
+         --handlers N                      connection-handler threads (4)\n\
+         --retry-budget N                  shard attempts before degraded replies (5)\n\
+     cluster-join    shard map + merged join estimate from a cluster router\n\
+         --addr HOST:PORT\n\
+         --left PATH --right PATH          optional traces to stream first\n\
+         --chunk N                         updates per UPDATE_BATCH (8192)\n\
+         --client-id N                     nonzero: sequenced, dedup-protected streaming (0)\n\
      remote-join     stream two traces to a server and query the join\n\
          --addr HOST:PORT --left PATH --right PATH\n\
          --chunk N                         updates per UPDATE_BATCH (8192)\n\
@@ -77,6 +89,7 @@ fn usage() -> &'static str {
      remote-query    query a running server's join estimate (no streaming)\n\
          --addr HOST:PORT\n\
      top             one-shot INSPECT snapshot of a running server\n\
+                     (adds one row per shard when --addr is a cluster router)\n\
          --addr HOST:PORT\n\
          --events N                        recent flight-recorder events shown (8)\n\
          --slow N                          slow-query entries shown (16)\n\
@@ -109,6 +122,8 @@ fn main() {
             "join-skimmed" => commands::join_skimmed(&args)?,
             "join-sketches" => commands::join_sketches(&args)?,
             "serve" => commands::serve(&args)?,
+            "route" => commands::route(&args)?,
+            "cluster-join" => commands::cluster_join(&args)?,
             "remote-join" => commands::remote_join(&args)?,
             "remote-query" => commands::remote_query(&args)?,
             "top" => commands::top(&args)?,
