@@ -40,7 +40,14 @@ const A4_SCOPE: &[&str] = &[
     "crates/hashing/src/",
     "crates/core/src/",
     "crates/server/src/lib.rs",
+    // The replication module's poll loop and ack gate sit between the
+    // persist lock and every sequenced ack; its deliberate waits (gate
+    // tick, poll pacing, reconnect backoff) carry explicit allows.
+    "crates/server/src/replication.rs",
     "crates/durability/src/wal.rs",
+    // The WAL tailer serves every replication poll on a handler
+    // thread; it must stay a bounded, lock-free directory read.
+    "crates/durability/src/tailer.rs",
     // Span recording sits on the per-frame and per-batch paths; the
     // seqlock rings must stay lock-free (the registry mutex at ring
     // creation and the post-mortem path carry explicit allows).

@@ -189,6 +189,31 @@ fn a4_use_statement_and_suppression_are_quiet() {
     assert!(b.findings.is_empty(), "{:?}", b.findings);
 }
 
+#[test]
+fn a4_scope_covers_replication_modules() {
+    // The replication poll/gate module and the WAL tailer joined the
+    // hot-path scope with the failover work: both serve every
+    // replication poll (and the ack gate sits before every sequenced
+    // ack), so an unjustified block there stalls producers fleet-wide.
+    let a = run(&[(
+        "crates/server/src/replication.rs",
+        "fn f() { std::thread::sleep(d); }\n",
+    )]);
+    assert_eq!(lints(&a), ["a4-blocking-hot-path"]);
+    let b = run(&[(
+        "crates/durability/src/tailer.rs",
+        "fn f() { let _m = Mutex::new(0u8); }\n",
+    )]);
+    assert_eq!(lints(&b), ["a4-blocking-hot-path"]);
+    // Client-side retry code stays out of scope: its sleeps are the
+    // backoff design, not a hot-path hazard.
+    let c = run(&[(
+        "crates/server/src/resilient.rs",
+        "fn f() { std::thread::sleep(d); }\n",
+    )]);
+    assert!(c.findings.is_empty(), "{:?}", c.findings);
+}
+
 // ---------------------------------------------------------------- A5
 
 #[test]

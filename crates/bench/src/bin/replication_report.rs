@@ -1,0 +1,197 @@
+//! Replication + failover robustness record (`BENCH_replication.json`).
+//!
+//! Stands up one replicated shard — a WAL-backed primary with a
+//! follower tailing its log — behind a [`Router`] running the
+//! heartbeat failure detector, and measures what the durability
+//! guarantees cost and buy:
+//!
+//! * sustained sequenced ingest throughput through the router with the
+//!   replication ack gate engaged (an ack now implies the follower has
+//!   the bytes),
+//! * steady-state replication lag: the follower's byte lag sampled
+//!   every 5 ms while the stream is in flight (max + final drain time),
+//! * failover-to-first-answer: the primary is halted mid-service and
+//!   the clock runs until a query through the router succeeds again —
+//!   detector misses, PROMOTE, shard-map republish, and the client's
+//!   own reconnect all included,
+//! * a correctness gate: the promoted follower's answer must equal the
+//!   in-process ground truth bit for bit (the failover contract).
+//!
+//! Runs under either telemetry build; the JSON records which arm it
+//! was:
+//!
+//! ```text
+//! cargo run -p ss-bench --release --bin replication_report
+//! ```
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skimmed_sketch::{estimate_join, EstimatorConfig, SkimmedSchema, SkimmedSketch};
+use ss_cluster::{Router, RouterConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use stream_durability::WalConfig;
+use stream_model::gen::ZipfGenerator;
+use stream_model::{Domain, Update};
+use stream_server::{BackoffConfig, ClientConfig, ResilientClient, Server, ServerConfig};
+use stream_wire::StreamId;
+
+const N: usize = 100_000;
+const CHUNK: usize = 4_096;
+
+fn zipf_updates(domain: Domain, skew: f64, seed: u64, n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(domain, skew, seed);
+    (0..n).map(|_| Update::insert(z.sample(&mut rng))).collect()
+}
+
+fn node_config(schema: std::sync::Arc<SkimmedSchema>, dir: &std::path::Path) -> ServerConfig {
+    let mut config = ServerConfig::new(schema);
+    config.handler_threads = 2;
+    config.ingest_workers = 2;
+    config.queue_depth = 64;
+    config.shard = true;
+    config.read_timeout = Duration::from_millis(50);
+    config.replication_poll = Duration::from_millis(5);
+    config.wal = Some(WalConfig::new(dir));
+    config
+}
+
+fn producer_config(client_id: u64) -> ClientConfig {
+    ClientConfig {
+        name: "replication_report".into(),
+        client_id,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_millis(500),
+        reply_retries: 100,
+        backoff: BackoffConfig::default(),
+        trace: false,
+    }
+}
+
+fn main() {
+    let domain = Domain::with_log2(14);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let config = if stream_telemetry::ENABLED {
+        "enabled"
+    } else {
+        "disabled"
+    };
+    println!("replication_report — instrumentation {config}, host cpus = {host_cpus}");
+
+    let schema = SkimmedSchema::scanning(domain, 7, 256, 42);
+    let uf = zipf_updates(domain, 1.0, 21, N);
+    let ug = zipf_updates(domain, 0.8, 22, N);
+
+    // Ground truth for the bit-identity gates.
+    let mut local_f = SkimmedSketch::new(schema.clone());
+    let mut local_g = SkimmedSketch::new(schema.clone());
+    local_f.add_batch(&uf);
+    local_g.add_batch(&ug);
+    let expected = estimate_join(&local_f, &local_g, &EstimatorConfig::default()).estimate;
+
+    let scratch = std::env::temp_dir().join(format!("ss-repl-report-{}", std::process::id()));
+    let pdir = scratch.join("primary");
+    let fdir = scratch.join("follower");
+    std::fs::create_dir_all(&pdir).expect("primary dir");
+    std::fs::create_dir_all(&fdir).expect("follower dir");
+
+    let primary =
+        Server::bind("127.0.0.1:0", node_config(schema.clone(), &pdir)).expect("bind primary");
+    let mut follower_cfg = node_config(schema.clone(), &fdir);
+    follower_cfg.follower_of = Some(primary.local_addr().to_string());
+    let follower = Server::bind("127.0.0.1:0", follower_cfg).expect("bind follower");
+
+    let mut router_config = RouterConfig::new(vec![primary.local_addr().to_string()]);
+    router_config.handler_threads = 2;
+    router_config.followers = vec![follower.local_addr().to_string()];
+    router_config.heartbeat_every = Duration::from_millis(30);
+    router_config.heartbeat_timeout = Duration::from_millis(80);
+    router_config.heartbeat_misses = 2;
+    router_config.retry_budget = 400;
+    router_config.shard_read_timeout = Duration::from_millis(100);
+    router_config.shard_reply_retries = 10;
+    router_config.backoff = BackoffConfig {
+        base: Duration::from_micros(500),
+        cap: Duration::from_millis(10),
+        seed: 0x005E_ED0F,
+    };
+    let router = Router::bind("127.0.0.1:0", router_config).expect("bind router");
+
+    // --- replicated ingest + steady-state lag ----------------------------
+    let done = AtomicBool::new(false);
+    let (ingest_melem_s, lag_max, drain_ms) = std::thread::scope(|scope| {
+        let sampler = scope.spawn(|| {
+            let mut max = 0u64;
+            while !done.load(Ordering::Acquire) {
+                if let Some(lag) = follower.replication_lag_bytes() {
+                    max = max.max(lag);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            max
+        });
+        let mut producer =
+            ResilientClient::new(router.local_addr(), producer_config(91)).with_max_reconnects(40);
+        let t = Instant::now();
+        let rf = producer.send_all(StreamId::F, &uf, CHUNK).expect("send F");
+        let rg = producer.send_all(StreamId::G, &ug, CHUNK).expect("send G");
+        let ingest = 2.0 * N as f64 / t.elapsed().as_secs_f64() / 1e6;
+        assert_eq!(rf.updates + rg.updates, 2 * N as u64, "every update acked");
+
+        // With the ack gate engaged the follower should already be at
+        // (or within one poll of) the frontier; time the last drain.
+        let t = Instant::now();
+        while follower.replication_lag_bytes() != Some(0) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drain = t.elapsed().as_secs_f64() * 1e3;
+
+        let answer = producer.query_join().expect("routed query");
+        assert_eq!(answer.estimate, expected, "routed answer diverged");
+        producer.goodbye().expect("goodbye");
+        done.store(true, Ordering::Release);
+        let max = sampler.join().expect("lag sampler");
+        (ingest, max, drain)
+    });
+    println!(
+        "replicated ingest {ingest_melem_s:.2} Melem/s, steady-state lag max {lag_max} B, \
+         final drain {drain_ms:.1} ms"
+    );
+
+    // --- failover-to-first-answer ----------------------------------------
+    let version_before = router.manifest().version();
+    primary.halt();
+    let t = Instant::now();
+    let mut reader =
+        ResilientClient::new(router.local_addr(), producer_config(92)).with_max_reconnects(40);
+    let answer = reader.query_join().expect("post-failover query");
+    let failover_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        answer.estimate, expected,
+        "promoted follower's answer diverged"
+    );
+    assert!(
+        router.manifest().version() > version_before,
+        "failover must republish the shard map"
+    );
+    reader.goodbye().expect("reader goodbye");
+    println!("failover to first bit-identical answer: {failover_ms:.0} ms");
+
+    router.shutdown().expect("router shutdown");
+    follower.shutdown().expect("follower shutdown");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // --- record -----------------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"replication\",\n  \"telemetry\": \"{config}\",\n  \
+         \"elements\": {},\n  \"host_cpus\": {host_cpus},\n  \"bit_identical\": true,\n  \
+         \"ingest_melem_s\": {ingest_melem_s:.3},\n  \"steady_lag_max_bytes\": {lag_max},\n  \
+         \"lag_drain_ms\": {drain_ms:.1},\n  \"failover_first_answer_ms\": {failover_ms:.1}\n}}\n",
+        2 * N,
+    );
+    std::fs::write("BENCH_replication.json", &json).expect("write BENCH_replication.json");
+    println!("wrote BENCH_replication.json");
+}

@@ -1,0 +1,283 @@
+//! Failure detection and failover bookkeeping.
+//!
+//! Everything in this module is pure state: the [`FailureDetector`] is
+//! a per-shard miss counter driven by explicit [`Instant`]s (the
+//! supervisor injects a [`Clock`], tests inject arithmetic instants —
+//! no test ever sleeps to make a detector fire), and the
+//! [`AddressBook`] is the versioned primary/follower table the
+//! supervisor rewrites on promotion and handler sessions re-read on
+//! version mismatch. The I/O half of failover — heartbeat probes and
+//! the PROMOTE call — lives in the router's supervisor thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source for the failure detector's probe schedule.
+///
+/// The supervisor runs on [`SystemClock`]; detector tests drive
+/// [`FailureDetector`] with hand-built instants instead, so detection
+/// logic is exercised without wall-clock time or sleeps.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real monotonic clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// Tunables for a [`FailureDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// How often each primary is probed with HEARTBEAT.
+    pub probe_every: Duration,
+    /// Consecutive missed probes before the primary is declared down.
+    pub miss_threshold: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            probe_every: Duration::from_millis(150),
+            miss_threshold: 3,
+        }
+    }
+}
+
+/// Per-shard heartbeat failure detector: a probe schedule plus a
+/// consecutive-miss counter.
+///
+/// The contract is deliberately conservative: one successful probe
+/// clears the count (a single slow reply never accumulates toward a
+/// failover), and `record_miss` keeps reporting "down" on every miss at
+/// or past the threshold, so a failover attempt that itself fails (the
+/// follower is still starting, say) is retried at probe cadence rather
+/// than armed exactly once.
+#[derive(Debug)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    last_probe: Option<Instant>,
+    misses: u32,
+}
+
+impl FailureDetector {
+    /// A fresh detector; the first `due` is immediate.
+    pub fn new(config: DetectorConfig) -> Self {
+        FailureDetector {
+            config,
+            last_probe: None,
+            misses: 0,
+        }
+    }
+
+    /// Whether a probe should be sent at `now`.
+    pub fn due(&self, now: Instant) -> bool {
+        match self.last_probe {
+            None => true,
+            Some(at) => now.duration_since(at) >= self.config.probe_every,
+        }
+    }
+
+    /// Records a successful probe at `now`, clearing the miss count.
+    pub fn record_ok(&mut self, now: Instant) {
+        self.last_probe = Some(now);
+        self.misses = 0;
+    }
+
+    /// Records a missed probe at `now`. Returns `true` when the shard
+    /// is now considered down (miss count at or past the threshold).
+    pub fn record_miss(&mut self, now: Instant) -> bool {
+        self.last_probe = Some(now);
+        self.misses = self.misses.saturating_add(1);
+        self.is_down()
+    }
+
+    /// Whether the consecutive-miss count has reached the threshold.
+    pub fn is_down(&self) -> bool {
+        self.misses >= self.config.miss_threshold
+    }
+
+    /// Current consecutive-miss count.
+    pub fn misses(&self) -> u32 {
+        self.misses
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BookEntry {
+    addr: String,
+    follower: String,
+}
+
+/// The live primary/follower address table, shared between the
+/// supervisor (writer, on promotion) and every handler's shard sessions
+/// (readers). The version counter makes the read path cheap: sessions
+/// compare one atomic against their cached copy and only take the lock
+/// when a failover actually happened.
+#[derive(Debug)]
+pub struct AddressBook {
+    version: AtomicU64,
+    // ss-analyze: allow(a4-blocking-hot-path) -- taken by the supervisor and by sessions only on a version change (failover), never on the per-frame path
+    entries: Mutex<Vec<BookEntry>>,
+}
+
+impl AddressBook {
+    /// A book over `addrs`, with `followers` (empty string = no
+    /// follower for that partition; an empty slice = none anywhere).
+    ///
+    /// # Panics
+    /// If `followers` is non-empty and not one entry per shard.
+    pub fn new(addrs: &[String], followers: &[String]) -> Self {
+        assert!(
+            followers.is_empty() || followers.len() == addrs.len(),
+            "one follower entry per shard (empty string for none)"
+        );
+        let entries = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| BookEntry {
+                addr: a.clone(),
+                follower: followers.get(i).cloned().unwrap_or_default(),
+            })
+            .collect();
+        AddressBook {
+            version: AtomicU64::new(1),
+            // ss-analyze: allow(a4-blocking-hot-path) -- construction, off the data path
+            entries: Mutex::new(entries),
+        }
+    }
+
+    /// Current version; bumps on every [`AddressBook::promote`].
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, Vec<BookEntry>> {
+        // A poisoned lock only means a sibling thread panicked between
+        // load and store of plain data; the table itself stays valid.
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The current primary address of `partition`.
+    pub fn primary(&self, partition: usize) -> Option<String> {
+        self.entries().get(partition).map(|e| e.addr.clone())
+    }
+
+    /// The follower address of `partition` (`None` when it has none).
+    pub fn follower(&self, partition: usize) -> Option<String> {
+        self.entries()
+            .get(partition)
+            .and_then(|e| (!e.follower.is_empty()).then(|| e.follower.clone()))
+    }
+
+    /// Follower addresses in partition order, empty string for none —
+    /// the SHARD_MAP wire shape.
+    pub fn followers(&self) -> Vec<String> {
+        self.entries().iter().map(|e| e.follower.clone()).collect()
+    }
+
+    /// Installs the follower of `partition` as its primary (the
+    /// follower slot empties: the shard runs unreplicated until an
+    /// operator attaches a new follower) and bumps the version.
+    /// Returns the new primary address, or `None` when the partition is
+    /// out of range or has no follower to promote.
+    pub fn promote(&self, partition: usize) -> Option<String> {
+        let mut entries = self.entries();
+        let e = entries.get_mut(partition)?;
+        if e.follower.is_empty() {
+            return None;
+        }
+        e.addr = std::mem::take(&mut e.follower);
+        let addr = e.addr.clone();
+        drop(entries);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        Some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ms: u64, misses: u32) -> DetectorConfig {
+        DetectorConfig {
+            probe_every: Duration::from_millis(ms),
+            miss_threshold: misses,
+        }
+    }
+
+    #[test]
+    fn detector_fires_only_after_consecutive_misses() {
+        let base = Instant::now();
+        let at = |ms: u64| base + Duration::from_millis(ms);
+        let mut d = FailureDetector::new(cfg(100, 3));
+        assert!(d.due(at(0)), "first probe is immediate");
+        assert!(!d.record_miss(at(0)));
+        assert!(!d.due(at(50)), "not due again until probe_every elapses");
+        assert!(d.due(at(100)));
+        assert!(!d.record_miss(at(100)));
+        // A success between misses clears the count entirely.
+        d.record_ok(at(200));
+        assert_eq!(d.misses(), 0);
+        assert!(!d.record_miss(at(300)));
+        assert!(!d.record_miss(at(400)));
+        assert!(d.record_miss(at(500)), "third consecutive miss fires");
+        assert!(d.is_down());
+        // It keeps reporting down on later misses (failover retries).
+        assert!(d.record_miss(at(600)));
+        // Recovery (or a successful promotion) rearms it.
+        d.record_ok(at(700));
+        assert!(!d.is_down());
+    }
+
+    #[test]
+    fn detector_schedule_is_clock_driven() {
+        let base = Instant::now();
+        let mut d = FailureDetector::new(cfg(150, 2));
+        d.record_ok(base);
+        assert!(!d.due(base + Duration::from_millis(149)));
+        assert!(d.due(base + Duration::from_millis(150)));
+        assert!(d.due(base + Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn address_book_promotion_swaps_and_bumps() {
+        let addrs = vec!["p0:1".to_string(), "p1:1".to_string()];
+        let followers = vec![String::new(), "f1:1".to_string()];
+        let book = AddressBook::new(&addrs, &followers);
+        assert_eq!(book.version(), 1);
+        assert_eq!(book.primary(1).as_deref(), Some("p1:1"));
+        assert_eq!(book.follower(1).as_deref(), Some("f1:1"));
+        assert_eq!(book.follower(0), None);
+
+        // Partition 0 has no follower: promotion refused, no bump.
+        assert_eq!(book.promote(0), None);
+        assert_eq!(book.promote(7), None);
+        assert_eq!(book.version(), 1);
+
+        // Partition 1 fails over to its follower.
+        assert_eq!(book.promote(1).as_deref(), Some("f1:1"));
+        assert_eq!(book.version(), 2);
+        assert_eq!(book.primary(1).as_deref(), Some("f1:1"));
+        assert_eq!(book.follower(1), None, "promoted shard runs bare");
+        assert_eq!(book.followers(), vec![String::new(), String::new()]);
+
+        // A second promotion of the same partition has nothing to do.
+        assert_eq!(book.promote(1), None);
+        assert_eq!(book.version(), 2);
+    }
+
+    #[test]
+    fn address_book_defaults_to_no_followers() {
+        let book = AddressBook::new(&["a:1".to_string()], &[]);
+        assert_eq!(book.follower(0), None);
+        assert_eq!(book.followers(), vec![String::new()]);
+    }
+}

@@ -21,20 +21,30 @@
 //!   shard: capped-jitter retries, reconnect-and-RESUME, exactly-once
 //!   forwarding, per-shard health/latency telemetry. [`ShardError`] is
 //!   the typed ingredient of the degraded-mode SHARD_UNAVAILABLE reply.
+//! * [`FailureDetector`] / [`AddressBook`] — the failover machinery:
+//!   when [`RouterConfig::followers`] names per-shard replicas, a
+//!   supervisor thread heartbeats every primary, and after a run of
+//!   missed probes PROMOTEs the follower under the next fencing epoch,
+//!   repointing the shared address book (handler sessions re-dial and
+//!   RESUME) and bumping the manifest version. Replicated WAL state is
+//!   byte-identical, so answers stay bit-identical across a failover.
 //!
 //! See `DESIGN.md` §11 for the full architecture and failure-semantics
-//! discussion, and the crate's integration tests for the bit-identity
-//! and kill/restart convergence proofs.
+//! discussion (§12 for the replication/failover contract), and the
+//! crate's integration tests for the bit-identity and kill/restart
+//! convergence proofs.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod failover;
 mod manifest;
 mod router;
 mod session;
 mod telem;
 
+pub use failover::{AddressBook, Clock, DetectorConfig, FailureDetector, SystemClock};
 pub use manifest::{ClusterManifest, Partitioner};
 pub use router::{Router, RouterConfig, RouterError};
 pub use session::{ShardError, ShardSession};

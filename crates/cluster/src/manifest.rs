@@ -66,12 +66,39 @@ impl ClusterManifest {
         Partitioner::new(self.seed, self.addrs.len())
     }
 
-    /// The wire form served for SHARD_MAP, with live per-shard health.
+    /// Repoints partition `partition` at `addr` (a failover: the
+    /// follower took over) and bumps the version so every SHARD_MAP
+    /// consumer sees a changed manifest. Returns `false` (no bump) for
+    /// an out-of-range partition or an unchanged address.
+    ///
+    /// The partition *function* is untouched — it depends only on
+    /// `(seed, shard_count)` — which is exactly why failover preserves
+    /// the exactly-once story: the new primary owns the same key set,
+    /// and its replicated idempotency table dedups upstream replays.
+    pub fn set_addr(&mut self, partition: usize, addr: &str) -> bool {
+        match self.addrs.get_mut(partition) {
+            Some(slot) if slot != addr => {
+                *slot = addr.to_string();
+                self.version += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The wire form served for SHARD_MAP, with live per-shard health,
+    /// follower addresses (empty string = none) and replication lag.
     ///
     /// # Panics
-    /// If `healthy` is not one flag per shard.
-    pub fn to_wire(&self, healthy: &[bool]) -> ShardMapInfo {
+    /// If `healthy`, `followers`, or `lags` is not one entry per shard.
+    pub fn to_wire(&self, healthy: &[bool], followers: &[String], lags: &[u64]) -> ShardMapInfo {
         assert_eq!(healthy.len(), self.addrs.len(), "one health flag per shard");
+        assert_eq!(
+            followers.len(),
+            self.addrs.len(),
+            "one follower entry per shard"
+        );
+        assert_eq!(lags.len(), self.addrs.len(), "one lag entry per shard");
         ShardMapInfo {
             version: self.version,
             seed: self.seed,
@@ -79,9 +106,12 @@ impl ClusterManifest {
                 .addrs
                 .iter()
                 .zip(healthy)
-                .map(|(addr, h)| ShardEntry {
+                .zip(followers.iter().zip(lags))
+                .map(|((addr, h), (follower, lag))| ShardEntry {
                     addr: addr.clone(),
                     healthy: *h,
+                    follower: follower.clone(),
+                    lag_bytes: *lag,
                 })
                 .collect(),
         }
@@ -185,15 +215,35 @@ mod tests {
     fn manifest_round_trips_to_wire() {
         let m = ClusterManifest::new(42, vec!["a:1".into(), "b:2".into()]);
         assert_eq!(m.version(), 1);
-        let wire = m.to_wire(&[true, false]);
+        let followers = vec![String::from("f:1"), String::new()];
+        let wire = m.to_wire(&[true, false], &followers, &[128, 0]);
         assert_eq!(wire.version, 1);
         assert_eq!(wire.seed, 42);
         assert_eq!(wire.shards.len(), 2);
         assert!(wire.shards[0].healthy && !wire.shards[1].healthy);
         assert_eq!(wire.shards[1].addr, "b:2");
+        assert_eq!(wire.shards[0].follower, "f:1");
+        assert_eq!(wire.shards[0].lag_bytes, 128);
+        assert!(wire.shards[1].follower.is_empty());
         // The partitioner rebuilt from the wire form routes identically.
         let remote = Partitioner::new(wire.seed, wire.shards.len());
         let local = m.partitioner();
         assert!((0..2048u64).all(|v| local.shard_of(v) == remote.shard_of(v)));
+    }
+
+    #[test]
+    fn set_addr_bumps_version_and_repartitions_nothing() {
+        let mut m = ClusterManifest::new(42, vec!["a:1".into(), "b:2".into()]);
+        let before = m.partitioner();
+        assert!(m.set_addr(1, "c:3"));
+        assert_eq!(m.version(), 2);
+        assert_eq!(m.addrs()[1], "c:3");
+        // Same address or bad partition: no change, no version bump.
+        assert!(!m.set_addr(1, "c:3"));
+        assert!(!m.set_addr(9, "d:4"));
+        assert_eq!(m.version(), 2);
+        // Routing is identical before and after the repoint.
+        let after = m.partitioner();
+        assert!((0..2048u64).all(|v| before.shard_of(v) == after.shard_of(v)));
     }
 }

@@ -44,6 +44,23 @@
 //! When a shard stays unreachable past the retry budget the router
 //! answers with the typed [`ErrorCode::ShardUnavailable`] error naming
 //! the missing partition — never a silently under-counted answer.
+//!
+//! ## Failover
+//!
+//! When [`RouterConfig::followers`] names a replica per shard, a
+//! supervisor thread probes every primary with HEARTBEAT at
+//! [`RouterConfig::heartbeat_every`]. After
+//! [`RouterConfig::heartbeat_misses`] consecutive misses it sends
+//! PROMOTE to the shard's follower under the next fencing epoch,
+//! repoints the shared [`AddressBook`](crate::AddressBook), and bumps
+//! the manifest version (visible in SHARD_MAP). Handler sessions notice
+//! the book's version change on their next dial, reconnect to the
+//! promoted follower, and RESUME — the follower's replicated
+//! idempotency table absorbs anything the dead primary already applied,
+//! so exactly-once forwarding survives the failover. Because replicated
+//! state is byte-identical WAL state and sketches are linear, the
+//! promoted follower's answers are bit-identical to the answers the
+//! primary would have given at the same acknowledged prefix.
 
 use skimmed_sketch::{
     decode_skimmed, encode_skimmed, estimate_join, estimate_self_join, EstimatorConfig,
@@ -53,7 +70,7 @@ use ss_retry::BackoffConfig;
 use ss_trace::Phase;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -66,6 +83,7 @@ use stream_wire::{
     SHARD_STREAM_G,
 };
 
+use crate::failover::{AddressBook, Clock, DetectorConfig, FailureDetector, SystemClock};
 use crate::manifest::{ClusterManifest, Partitioner};
 use crate::session::{ShardError, ShardSession};
 use crate::telem::{router_metrics, RouterMetrics};
@@ -107,6 +125,25 @@ pub struct RouterConfig {
     /// single-node configuration being compared against for answers to
     /// be bit-identical.
     pub estimator: EstimatorConfig,
+    /// Follower address per partition (empty string = no follower), or
+    /// an empty vec for an unreplicated cluster. When any entry is
+    /// non-empty the router runs the heartbeat supervisor and fails
+    /// over to the follower when a primary goes quiet.
+    pub followers: Vec<String>,
+    /// How often the supervisor probes each primary with HEARTBEAT.
+    pub heartbeat_every: Duration,
+    /// Patience per heartbeat probe (connect + reply) before it counts
+    /// as a miss.
+    pub heartbeat_timeout: Duration,
+    /// Consecutive missed heartbeats before failover is attempted.
+    pub heartbeat_misses: u32,
+    /// The shards' WAL segment size, used to turn cross-segment
+    /// `(segment, offset)` frontier gaps into a byte lag estimate for
+    /// SHARD_MAP / `top`. Same-segment lag (the caught-up steady state)
+    /// is exact regardless. Must match the shards'
+    /// `WalConfig::segment_bytes` for cross-segment estimates to be
+    /// meaningful.
+    pub wal_segment_bytes: u64,
 }
 
 impl RouterConfig {
@@ -126,6 +163,12 @@ impl RouterConfig {
             shard_reply_retries: 20,
             max_payload: stream_wire::DEFAULT_MAX_PAYLOAD,
             estimator: EstimatorConfig::default(),
+            followers: Vec::new(),
+            heartbeat_every: Duration::from_millis(150),
+            heartbeat_timeout: Duration::from_millis(250),
+            heartbeat_misses: 3,
+            // stream_durability::WalConfig's default segment size.
+            wal_segment_bytes: 64 << 20,
         }
     }
 }
@@ -196,8 +239,17 @@ impl From<io::Error> for RouterError {
 /// Shared state between router connection handlers.
 struct Inner {
     config: RouterConfig,
-    manifest: ClusterManifest,
+    /// The versioned cluster manifest; the supervisor rewrites a
+    /// partition's address (and bumps the version) on failover.
+    // ss-analyze: allow(a4-blocking-hot-path) -- locked by SHARD_MAP replies and the (rare) failover write, never on the batch/query fan-out path
+    manifest: Mutex<ClusterManifest>,
     partitioner: Partitioner,
+    /// Live primary/follower table shared with every handler session;
+    /// its version counter is what routes new dials after a failover.
+    book: Arc<AddressBook>,
+    /// Per-shard follower lag in bytes (supervisor's estimate), served
+    /// in SHARD_MAP for `ssketch top`.
+    lag: Vec<AtomicU64>,
     /// The schema/limits advertised to clients: partition 0's schema
     /// with the fleet-minimum `max_batch` and `queue_limit`.
     info: ServerInfo,
@@ -209,6 +261,14 @@ struct Inner {
     started: std::time::Instant,
 }
 
+impl Inner {
+    fn manifest(&self) -> std::sync::MutexGuard<'_, ClusterManifest> {
+        // A poisoned lock only means a thread panicked between reads of
+        // plain data; the manifest itself stays valid.
+        self.manifest.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
 /// A running cluster router. Shut down explicitly with
 /// [`Router::shutdown`]; dropping it leaves the threads unjoined.
 pub struct Router {
@@ -216,6 +276,7 @@ pub struct Router {
     local_addr: SocketAddr,
     acceptor: JoinHandle<()>,
     handlers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Router {
@@ -228,6 +289,10 @@ impl Router {
     pub fn bind<A: ToSocketAddrs>(addr: A, config: RouterConfig) -> Result<Router, RouterError> {
         assert!(!config.shards.is_empty(), "need at least one shard");
         assert!(config.handler_threads > 0, "need at least one handler");
+        assert!(
+            config.followers.is_empty() || config.followers.len() == config.shards.len(),
+            "followers must be empty or one entry per shard (empty string for none)"
+        );
         let metrics = stream_telemetry::ENABLED.then(router_metrics);
 
         // Probe the fleet before accepting anything.
@@ -292,14 +357,20 @@ impl Router {
 
         let manifest = ClusterManifest::new(config.partition_seed, config.shards.clone());
         let partitioner = manifest.partitioner();
+        let book = Arc::new(AddressBook::new(&config.shards, &config.followers));
+        let lag = config.shards.iter().map(|_| AtomicU64::new(0)).collect();
         let health = config
             .shards
             .iter()
             .map(|_| AtomicBool::new(true))
             .collect();
+        let replicated = config.followers.iter().any(|f| !f.is_empty());
         let inner = Arc::new(Inner {
-            manifest,
+            // ss-analyze: allow(a4-blocking-hot-path) -- construction, off the data path
+            manifest: Mutex::new(manifest),
             partitioner,
+            book,
+            lag,
             info,
             health,
             shutdown: AtomicBool::new(false),
@@ -355,11 +426,31 @@ impl Router {
             std::thread::spawn(move || accept_loop(&listener, &conn_tx, &inner))
         };
 
+        // The failure-detection / failover supervisor only runs when a
+        // follower is configured somewhere; an unreplicated cluster
+        // behaves exactly as before.
+        let supervisor = replicated.then(|| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("ss-supervisor".into())
+                .spawn(move || supervise(&inner, &SystemClock))
+        });
+        let supervisor = match supervisor {
+            Some(Ok(handle)) => Some(handle),
+            Some(Err(e)) => {
+                // Let the already-spawned threads drain and bail.
+                inner.shutdown.store(true, Ordering::Release);
+                return Err(RouterError::Io(e));
+            }
+            None => None,
+        };
+
         Ok(Router {
             inner,
             local_addr,
             acceptor,
             handlers,
+            supervisor,
         })
     }
 
@@ -368,9 +459,10 @@ impl Router {
         self.local_addr
     }
 
-    /// The cluster manifest this router routes by.
-    pub fn manifest(&self) -> &ClusterManifest {
-        &self.inner.manifest
+    /// A snapshot of the cluster manifest this router routes by (its
+    /// version moves when a failover repoints a partition).
+    pub fn manifest(&self) -> ClusterManifest {
+        self.inner.manifest().clone()
     }
 
     /// Schema and limits advertised to clients (partition 0's schema,
@@ -399,6 +491,13 @@ impl Router {
         if self.acceptor.join().is_err() {
             first_err = Some(RouterError::ThreadPanicked { thread: "acceptor" });
         }
+        if let Some(s) = self.supervisor {
+            if s.join().is_err() {
+                first_err.get_or_insert(RouterError::ThreadPanicked {
+                    thread: "supervisor",
+                });
+            }
+        }
         for h in self.handlers {
             if h.join().is_err() {
                 first_err.get_or_insert(RouterError::ThreadPanicked {
@@ -413,15 +512,13 @@ impl Router {
     }
 }
 
-/// Builds handler `h`'s per-shard sessions.
+/// Builds handler `h`'s per-shard sessions, wired to the failover
+/// address book so post-promotion dials go to the new primary.
 fn make_sessions(inner: &Inner, h: usize) -> Vec<ShardSession> {
     let config = &inner.config;
-    inner
-        .manifest
-        .addrs()
-        .iter()
-        .enumerate()
-        .map(|(partition, addr)| {
+    (0..config.shards.len())
+        .map(|partition| {
+            let addr = inner.book.primary(partition).unwrap_or_default();
             let client_id = if config.client_id_base == 0 {
                 0
             } else {
@@ -429,7 +526,7 @@ fn make_sessions(inner: &Inner, h: usize) -> Vec<ShardSession> {
             };
             ShardSession::new(
                 partition,
-                addr.clone(),
+                addr,
                 ClientConfig {
                     name: format!("ss-router/h{h}"),
                     client_id,
@@ -441,6 +538,7 @@ fn make_sessions(inner: &Inner, h: usize) -> Vec<ShardSession> {
                 },
                 config.retry_budget,
             )
+            .with_address_book(inner.book.clone())
         })
         .collect()
 }
@@ -482,6 +580,198 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &
             }
         }
     }
+}
+
+/// One partition's supervisor-side state: its failure detector, the
+/// fencing epoch the supervisor will promote under, and a persistent
+/// heartbeat connection to the current primary.
+struct Watch {
+    detector: FailureDetector,
+    /// Highest fencing epoch observed from this partition's primary; a
+    /// failover promotes the follower under `epoch + 1`, so a
+    /// resurrected ex-primary's replication traffic is fenced off.
+    epoch: u64,
+    /// The address `probe` is connected to (dropped when the book moves
+    /// the primary).
+    addr: String,
+    probe: Option<ServerClient>,
+}
+
+/// The heartbeat/promotion client configuration: short patience (one
+/// missed tick is one detector miss, not a long stall) and no sequence
+/// identity (heartbeats carry no batches).
+fn probe_config(config: &RouterConfig, name: String) -> ClientConfig {
+    ClientConfig {
+        name,
+        read_timeout: config.heartbeat_timeout,
+        write_timeout: config.heartbeat_timeout,
+        reply_retries: 1,
+        backoff: config.backoff.clone(),
+        ..ClientConfig::default()
+    }
+}
+
+/// The heartbeat failure-detection / failover loop (the `ss-supervisor`
+/// thread). Probes every primary at `heartbeat_every`; on
+/// `heartbeat_misses` consecutive misses promotes the partition's
+/// follower under the next fencing epoch and repoints the address book
+/// and manifest. Also probes followers opportunistically to publish
+/// replication-lag estimates for SHARD_MAP / `top`.
+fn supervise(inner: &Inner, clock: &dyn Clock) {
+    let config = &inner.config;
+    let detector = DetectorConfig {
+        probe_every: config.heartbeat_every,
+        miss_threshold: config.heartbeat_misses.max(1),
+    };
+    let mut watches: Vec<Watch> = (0..config.shards.len())
+        .map(|_| Watch {
+            detector: FailureDetector::new(detector),
+            epoch: 1,
+            addr: String::new(),
+            probe: None,
+        })
+        .collect();
+    let shard_metrics: Vec<_> = (0..config.shards.len())
+        .map(|p| stream_telemetry::ENABLED.then(|| crate::telem::shard_metrics(p)))
+        .collect();
+    // Poll tick: fine-grained enough to hit `heartbeat_every` with low
+    // jitter, coarse enough to stay off the profile.
+    let tick =
+        (config.heartbeat_every / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    while !inner.shutdown.load(Ordering::Acquire) {
+        for (partition, watch) in watches.iter_mut().enumerate() {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let now = clock.now();
+            if !watch.detector.due(now) {
+                continue;
+            }
+            let Some(addr) = inner.book.primary(partition) else {
+                continue;
+            };
+            if addr != watch.addr {
+                // The primary moved (failover, possibly by another
+                // supervisor probe cycle): dial the new one.
+                watch.addr = addr.clone();
+                watch.probe = None;
+            }
+            match probe_primary(inner, partition, watch) {
+                Ok(status) => {
+                    watch.detector.record_ok(now);
+                    watch.epoch = watch.epoch.max(status.epoch);
+                    note_health(inner, partition, true);
+                    publish_lag(inner, partition, &status, shard_metrics.get(partition));
+                }
+                Err(_) => {
+                    watch.probe = None;
+                    note_health(inner, partition, false);
+                    if let Some(m) = inner.metrics {
+                        m.heartbeat_misses.inc();
+                    }
+                    if watch.detector.record_miss(now)
+                        && try_failover(inner, partition, watch.epoch.saturating_add(1))
+                    {
+                        watch.epoch = watch.epoch.saturating_add(1);
+                        watch.detector.record_ok(now);
+                        watch.addr = String::new(); // re-dial next probe
+                    }
+                }
+            }
+        }
+        // ss-analyze: allow(a4-blocking-hot-path) -- supervisor poll tick; this thread owns no data-path work
+        std::thread::sleep(tick);
+    }
+}
+
+/// One heartbeat round-trip to `watch`'s primary, dialing if needed.
+fn probe_primary(
+    inner: &Inner,
+    partition: usize,
+    watch: &mut Watch,
+) -> Result<stream_server::ReplicaStatus, ClientError> {
+    if watch.probe.is_none() {
+        let cfg = probe_config(&inner.config, format!("ss-router/hb{partition}"));
+        watch.probe = Some(ServerClient::connect_with(&*watch.addr, cfg)?);
+    }
+    let Some(client) = watch.probe.as_mut() else {
+        // Unreachable: the branch above just filled the slot; treated
+        // as a miss rather than panicking.
+        return Err(ClientError::Timeout);
+    };
+    client.heartbeat(watch.epoch)
+}
+
+/// Estimates the follower's byte lag behind the primary's durable
+/// frontier `status` and publishes it (atomic for SHARD_MAP, gauge for
+/// scrapes). Probes the follower with a one-shot heartbeat; skipped
+/// when the partition has no follower.
+fn publish_lag(
+    inner: &Inner,
+    partition: usize,
+    status: &stream_server::ReplicaStatus,
+    metrics: Option<&Option<crate::telem::ShardMetrics>>,
+) {
+    let Some(follower) = inner.book.follower(partition) else {
+        return;
+    };
+    let cfg = probe_config(&inner.config, format!("ss-router/lag{partition}"));
+    let Ok(mut client) = ServerClient::connect_with(&*follower, cfg) else {
+        return;
+    };
+    let Ok(fs) = client.heartbeat(status.epoch) else {
+        return;
+    };
+    let _ = client.goodbye();
+    let seg_bytes = i128::from(inner.config.wal_segment_bytes);
+    let lag = (i128::from(status.segment) - i128::from(fs.segment)) * seg_bytes
+        + i128::from(status.offset)
+        - i128::from(fs.offset);
+    let lag = u64::try_from(lag.max(0)).unwrap_or(u64::MAX);
+    if let Some(slot) = inner.lag.get(partition) {
+        // ordering: advisory monitoring state; see note_health.
+        slot.store(lag, Ordering::Relaxed);
+    }
+    if let Some(Some(m)) = metrics {
+        m.replica_lag.set(i64::try_from(lag).unwrap_or(i64::MAX));
+    }
+}
+
+/// Promotes `partition`'s follower under fencing epoch `epoch` and, on
+/// success, repoints the address book and the manifest (version bump →
+/// SHARD_MAP changes). Returns whether the failover completed.
+fn try_failover(inner: &Inner, partition: usize, epoch: u64) -> bool {
+    let Some(follower) = inner.book.follower(partition) else {
+        return false; // unreplicated partition: stay degraded
+    };
+    // PROMOTE seals and fsyncs the follower's WAL before replying, so
+    // it gets the shard-facing patience, not the heartbeat one.
+    let cfg = ClientConfig {
+        read_timeout: inner.config.shard_read_timeout,
+        reply_retries: inner.config.shard_reply_retries,
+        ..probe_config(&inner.config, format!("ss-router/promote{partition}"))
+    };
+    let Ok(mut client) = ServerClient::connect_with(&*follower, cfg) else {
+        return false;
+    };
+    if client.promote(epoch).is_err() {
+        return false;
+    }
+    let _ = client.goodbye();
+    let Some(addr) = inner.book.promote(partition) else {
+        return false; // raced with another promotion of the same slot
+    };
+    inner.manifest().set_addr(partition, &addr);
+    if let Some(slot) = inner.lag.get(partition) {
+        // The shard runs unreplicated after promotion: no lag to show.
+        // ordering: advisory gauge read by INSPECT only; no edge
+        slot.store(0, Ordering::Relaxed);
+    }
+    note_health(inner, partition, true);
+    if let Some(m) = inner.metrics {
+        m.promotions.inc();
+    }
+    true
 }
 
 fn send(
@@ -965,7 +1255,14 @@ fn serve_frames(inner: &Inner, sessions: &mut [ShardSession], sock: &mut TcpStre
                     // ordering: advisory monitoring reads; see note_health
                     .map(|h| h.load(Ordering::Relaxed))
                     .collect();
-                let reply = Frame::ShardMap(inner.manifest.to_wire(&healthy));
+                let followers = inner.book.followers();
+                let lags: Vec<u64> = inner
+                    .lag
+                    .iter()
+                    // ordering: advisory monitoring reads; see note_health
+                    .map(|l| l.load(Ordering::Relaxed))
+                    .collect();
+                let reply = Frame::ShardMap(inner.manifest().to_wire(&healthy, &followers, &lags));
                 if !send(sock, &reply, ctx, metrics) {
                     return;
                 }
@@ -1010,6 +1307,32 @@ fn serve_frames(inner: &Inner, sessions: &mut [ShardSession], sock: &mut TcpStre
                     metrics,
                 );
                 return;
+            }
+            Frame::Replicate { .. } | Frame::ReplicateAck { .. } | Frame::Promote { .. } => {
+                // Replication and promotion run shard-to-shard and
+                // supervisor-to-shard; the router is stateless and owns
+                // no WAL to stream or seal.
+                send_error(
+                    sock,
+                    ErrorCode::Protocol,
+                    "routers do not replicate; speak to the shard directly",
+                    ctx,
+                    metrics,
+                );
+                return;
+            }
+            Frame::Heartbeat { .. } => {
+                // Answered so liveness probes work against a router
+                // front too; a router has no WAL frontier or epoch.
+                let reply = Frame::Heartbeat {
+                    epoch: 0,
+                    primary: false,
+                    segment: 0,
+                    offset: 0,
+                };
+                if !send(sock, &reply, ctx, metrics) {
+                    return;
+                }
             }
             Frame::Goodbye => {
                 let _ = send(sock, &Frame::Goodbye, ctx, metrics);

@@ -16,11 +16,13 @@
 //! the crash, otherwise it is resent under the same number. Either way
 //! the shard applies it exactly once.
 
+use std::sync::Arc;
 use std::time::Instant;
 use stream_model::update::Update;
 use stream_server::{BatchOutcome, ClientConfig, ClientError, ServerClient};
 use stream_wire::{StreamId, TraceContext};
 
+use crate::failover::AddressBook;
 use crate::telem::ShardMetrics;
 use ss_retry::Backoff;
 
@@ -68,6 +70,11 @@ pub struct ShardSession {
     backoff: Backoff,
     client: Option<ServerClient>,
     metrics: Option<ShardMetrics>,
+    /// The failover address table; when its version moves past
+    /// `book_version` the next `ensure` re-reads this partition's
+    /// primary (a promotion happened) before dialing.
+    book: Option<Arc<AddressBook>>,
+    book_version: u64,
 }
 
 impl ShardSession {
@@ -85,7 +92,22 @@ impl ShardSession {
             backoff,
             client: None,
             metrics,
+            book: None,
+            book_version: 0,
         }
+    }
+
+    /// Attaches the failover address book: the session will follow
+    /// promotions by re-reading its partition's primary whenever the
+    /// book's version moves. The dropped-and-redialed connection then
+    /// RESUMEs against the new primary, whose replicated idempotency
+    /// table dedups anything the old primary already applied.
+    pub fn with_address_book(mut self, book: Arc<AddressBook>) -> Self {
+        // Version 0 is below any real book version, so the first
+        // `ensure` syncs the address even if a promotion raced bind.
+        self.book_version = 0;
+        self.book = Some(book);
+        self
     }
 
     /// The partition this session feeds.
@@ -108,6 +130,7 @@ impl ShardSession {
     /// RESUMEs first, fast-forwarding past everything the shard already
     /// applied — the heart of kill/restart convergence.
     fn ensure(&mut self) -> Result<&mut ServerClient, ClientError> {
+        self.refresh_addr();
         if self.client.is_none() {
             let mut client = ServerClient::connect_with(&*self.addr, self.config.clone())?;
             if client.client_id() != 0 {
@@ -122,6 +145,25 @@ impl ShardSession {
     /// Drops the connection so the next attempt re-dials and RESUMEs.
     fn disconnect(&mut self) {
         self.client = None;
+    }
+
+    /// Syncs this session's address with the failover book. Cheap when
+    /// nothing changed (one atomic load); on a version change, a moved
+    /// primary drops the connection so the next dial goes to the
+    /// promoted follower.
+    fn refresh_addr(&mut self) {
+        let Some(book) = &self.book else { return };
+        let version = book.version();
+        if version == self.book_version {
+            return;
+        }
+        self.book_version = version;
+        if let Some(addr) = book.primary(self.partition) {
+            if addr != self.addr {
+                self.addr = addr;
+                self.disconnect();
+            }
+        }
     }
 
     fn set_health(&self, up: bool) {

@@ -31,6 +31,11 @@ pub(crate) struct RouterMetrics {
     /// Queries refused with the typed SHARD_UNAVAILABLE partial-answer
     /// error (degraded mode).
     pub degraded_replies: Arc<Counter>,
+    /// Heartbeat probes that went unanswered (supervisor-side misses;
+    /// `heartbeat_misses` consecutive ones trigger a failover attempt).
+    pub heartbeat_misses: Arc<Counter>,
+    /// Followers promoted to primary by the supervisor.
+    pub promotions: Arc<Counter>,
     /// End-to-end routed UPDATE_BATCH handling latency.
     pub update_latency: Arc<Histogram>,
     /// End-to-end routed query latency (fan-out + merge + estimate).
@@ -54,6 +59,8 @@ pub(crate) fn router_metrics() -> &'static RouterMetrics {
             updates_routed: r.counter("router_updates_routed_total"),
             queries: r.counter("router_queries_total"),
             degraded_replies: r.counter("router_degraded_replies_total"),
+            heartbeat_misses: r.counter("router_heartbeat_misses_total"),
+            promotions: r.counter("router_promotions_total"),
             update_latency: lat("update_batch"),
             query_latency: lat("query"),
         }
@@ -76,6 +83,9 @@ pub(crate) struct ShardMetrics {
     pub retries: Arc<Counter>,
     /// Operations abandoned after the retry budget (degraded mode).
     pub failures: Arc<Counter>,
+    /// Follower replication lag behind this shard's primary, in bytes
+    /// (supervisor's estimate; 0 when caught up or unreplicated).
+    pub replica_lag: Arc<Gauge>,
 }
 
 /// Registers (or re-resolves) the per-shard handles for `partition`.
@@ -88,5 +98,6 @@ pub(crate) fn shard_metrics(partition: usize) -> ShardMetrics {
         healthy: r.gauge_with("cluster_shard_healthy", labels),
         retries: r.counter_with("cluster_shard_retries_total", labels),
         failures: r.counter_with("cluster_shard_failures_total", labels),
+        replica_lag: r.gauge_with("cluster_replica_lag_bytes", labels),
     }
 }

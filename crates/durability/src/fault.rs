@@ -84,6 +84,30 @@ impl ConnPlan {
     pub fn clean() -> Self {
         Self::default()
     }
+
+    /// An asymmetric per-direction stall schedule: each `(offset,
+    /// millis)` pair pauses its direction once that many bytes of it
+    /// have been forwarded. The directions are independent — a
+    /// client→server stall never delays server→client bytes — which is
+    /// what makes replication-lag and heartbeat-miss tests
+    /// deterministic: stall only the direction under test (e.g. the
+    /// primary's REPLICATE chunks) at exact byte offsets instead of
+    /// calibrating sleeps against the unstalled traffic.
+    pub fn stalls(c2s: &[(u64, u64)], s2c: &[(u64, u64)]) -> Self {
+        fn schedule(pairs: &[(u64, u64)]) -> Vec<Fault> {
+            pairs
+                .iter()
+                .map(|&(offset, millis)| Fault {
+                    offset,
+                    kind: FaultKind::Stall { millis },
+                })
+                .collect()
+        }
+        ConnPlan {
+            c2s: schedule(c2s),
+            s2c: schedule(s2c),
+        }
+    }
 }
 
 /// A full fault schedule: one [`ConnPlan`] per accepted connection, in
@@ -156,6 +180,16 @@ impl FaultPlan {
             plan.conns.push(conn);
         }
         plan
+    }
+
+    /// The same per-connection plan for each of `conns` accepted
+    /// connections — reconnect loops (a follower's capped-jitter
+    /// redial, a router's retry) keep hitting the same schedule instead
+    /// of falling off the end of the list into clean forwarding.
+    pub fn repeated(conn: ConnPlan, conns: usize) -> Self {
+        FaultPlan {
+            conns: vec![conn; conns],
+        }
     }
 }
 
@@ -588,6 +622,54 @@ mod tests {
             started.elapsed() >= Duration::from_millis(50),
             "the stall was observable"
         );
+        proxy.stop();
+        stop.store(true, Ordering::Release);
+    }
+
+    #[test]
+    fn stall_schedule_fires_every_entry_in_one_direction() {
+        let (upstream, stop) = echo_server();
+        // Three stalls on the request path only; the reply direction is
+        // untouched.
+        let plan = FaultPlan::repeated(ConnPlan::stalls(&[(8, 30), (16, 30), (24, 30)], &[]), 1);
+        let proxy = FaultyTransport::start(upstream, plan).unwrap();
+        let payload = vec![5u8; 64];
+        let started = std::time::Instant::now();
+        let back = talk(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back, payload, "stalls delay, never drop or corrupt");
+        assert!(
+            started.elapsed() >= Duration::from_millis(80),
+            "all three stalls were observable, got {:?}",
+            started.elapsed()
+        );
+        proxy.stop();
+        stop.store(true, Ordering::Release);
+    }
+
+    #[test]
+    fn asymmetric_schedules_stall_each_direction_independently() {
+        let (upstream, stop) = echo_server();
+        // Different shapes per direction on the same connection: a
+        // short early request stall, a long reply stall. Both fire, the
+        // stream survives both.
+        let plan = FaultPlan::repeated(ConnPlan::stalls(&[(4, 20)], &[(32, 60)]), 2);
+        assert_eq!(plan.conns.len(), 2);
+        assert_eq!(plan.conns[0], plan.conns[1], "repeated() clones the plan");
+        let proxy = FaultyTransport::start(upstream, plan).unwrap();
+        let payload: Vec<u8> = (0..200u8).collect();
+        let started = std::time::Instant::now();
+        let back = talk(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back, payload);
+        assert!(
+            started.elapsed() >= Duration::from_millis(70),
+            "both directions' stalls add up, got {:?}",
+            started.elapsed()
+        );
+        // The second connection gets the same schedule (not clean
+        // forwarding).
+        let back = talk(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(proxy.connections(), 2);
         proxy.stop();
         stop.store(true, Ordering::Release);
     }

@@ -21,6 +21,16 @@
 //!   seeded from a `u64`, able to flip bits, truncate, stall, trickle
 //!   partial writes, and disconnect at chosen byte offsets of either
 //!   direction. The chaos suite drives every recovery path through it.
+//!   [`ConnPlan::stalls`] builds asymmetric per-direction stall
+//!   schedules for deterministic replication-lag and heartbeat-miss
+//!   tests.
+//!
+//! Replication rides on the same records: [`WalTailer`] reads a live
+//! WAL directory and serves the byte stream (or a snapshot re-base for
+//! pruned positions) in frame-boundary chunks, so a follower's log is
+//! byte-identical to its primary's and the follower's own
+//! `(active_segment_id, active_segment_len)` doubles as its replication
+//! offset.
 //!
 //! The WAL knows nothing about sketches: snapshot payloads are opaque
 //! byte blobs (the server stores `encode_skimmed` output), which keeps
@@ -32,7 +42,9 @@
 #![warn(clippy::all)]
 
 mod fault;
+mod tailer;
 mod wal;
 
 pub use fault::{ConnPlan, Fault, FaultKind, FaultPlan, FaultyTransport};
+pub use tailer::{TailChunk, WalTailer, DEFAULT_CHUNK_BYTES};
 pub use wal::{DedupEntry, Recovered, ReplayBatch, SnapshotBlob, Wal, WalConfig};

@@ -1,0 +1,462 @@
+//! Primary-side WAL shipping: serving replication chunks out of a live
+//! WAL directory.
+//!
+//! [`WalTailer`] reads the same `wal-%016x.seg` / `snap-%016x.ss` files
+//! that [`crate::Wal`] writes and answers one question: *given a
+//! position `(segment, offset)` in the primary's WAL byte stream, what
+//! should a follower receive next?* Three answers are possible:
+//!
+//! * [`TailChunk::Records`] — the next run of **complete** WAL records
+//!   from that position, cut at a frame boundary. Records are verbatim
+//!   `Frame::encode` bytes, so the cut only needs the 20-byte header's
+//!   declared payload length; a record the primary is still writing
+//!   (its bytes only partially visible) is simply excluded and shipped
+//!   by a later poll.
+//! * [`TailChunk::Snapshot`] — the requested position was pruned by a
+//!   snapshot install; the follower must re-base onto the snapshot
+//!   (see [`crate::Wal::adopt_snapshot`]) and resume at
+//!   `(snap_id, 0)`, which is exactly where the primary's stream
+//!   continues after its prune.
+//! * [`TailChunk::CaughtUp`] — nothing new past the position.
+//!
+//! The tailer is stateless between calls (every poll re-lists the
+//! directory), which is what makes it safe to run against a WAL that is
+//! concurrently appending, rotating, and pruning under the server's
+//! persist lock: the worst a race can produce is a smaller chunk or a
+//! one-poll-late snapshot redirect, never a torn record.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::wal::list_family;
+use stream_wire::HEADER_LEN;
+
+/// Default cap on one [`TailChunk::Records`] payload (256 KiB): small
+/// enough to keep poll replies prompt, large enough that a catching-up
+/// follower drains whole segments in a few round trips.
+pub const DEFAULT_CHUNK_BYTES: usize = 256 << 10;
+
+/// What a replication poll at some position should carry back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailChunk {
+    /// Complete WAL records starting at `(segment, offset)` — which may
+    /// be *ahead* of the polled position when the poll landed at the
+    /// end of a sealed segment (the follower must rotate to `segment`
+    /// before appending).
+    Records {
+        /// Segment the chunk starts in.
+        segment: u64,
+        /// Byte offset within `segment` the chunk starts at.
+        offset: u64,
+        /// Verbatim record bytes, ending on a frame boundary.
+        bytes: Vec<u8>,
+    },
+    /// The polled position was pruned; re-base onto this snapshot and
+    /// resume the stream at `(snap_id, 0)`.
+    Snapshot {
+        /// The snapshot's id — the first segment it does not cover.
+        snap_id: u64,
+        /// The encoded [`crate::SnapshotBlob`] file bytes.
+        bytes: Vec<u8>,
+    },
+    /// Nothing new at or past the polled position.
+    CaughtUp,
+}
+
+/// A stateless reader of a (possibly live) WAL directory that serves
+/// replication chunks. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct WalTailer {
+    dir: PathBuf,
+    chunk_bytes: usize,
+}
+
+impl WalTailer {
+    /// A tailer over `dir` with the default chunk cap.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalTailer {
+            dir: dir.into(),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+
+    /// A tailer with an explicit chunk cap (tests use tiny caps to
+    /// force multi-chunk catch-up).
+    pub fn with_chunk_bytes(dir: impl Into<PathBuf>, chunk_bytes: usize) -> Self {
+        WalTailer {
+            dir: dir.into(),
+            chunk_bytes: chunk_bytes.max(HEADER_LEN),
+        }
+    }
+
+    /// The directory being tailed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Answers a replication poll at `(segment, offset)`.
+    ///
+    /// Errors are real I/O trouble or a structurally impossible
+    /// position (an offset beyond a sealed segment's length, a pruned
+    /// position with no snapshot to re-base on) — a poll loop should
+    /// surface them, not retry blindly.
+    pub fn read_from(&self, segment: u64, offset: u64) -> io::Result<TailChunk> {
+        let segments = list_family(&self.dir, "wal-", ".seg")?;
+        let Some((&lowest, _)) = segments.iter().next() else {
+            // No segments at all: a WAL that has never been written (or
+            // a directory race during adoption). Nothing to ship.
+            return Ok(TailChunk::CaughtUp);
+        };
+        if segment < lowest {
+            return self.snapshot_chunk(lowest);
+        }
+        let mut seg = segment;
+        let mut off = offset;
+        loop {
+            let Some(path) = segments.get(&seg) else {
+                // Past the highest segment: caught up (the id can only
+                // be one the follower previously saw, so it is the
+                // frontier, not garbage).
+                return Ok(TailChunk::CaughtUp);
+            };
+            let bytes = fs::read(path)?;
+            if off > bytes.len() as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "replication offset beyond segment length",
+                ));
+            }
+            let rest = bytes.get(off as usize..).unwrap_or_default();
+            let take = complete_frames_prefix(rest, self.chunk_bytes);
+            if take > 0 {
+                let chunk = rest.get(..take).unwrap_or_default().to_vec();
+                return Ok(TailChunk::Records {
+                    segment: seg,
+                    offset: off,
+                    bytes: chunk,
+                });
+            }
+            // Nothing complete here. If a later segment exists, this one
+            // is sealed (rotation creates the successor before the first
+            // append to it) and the stream continues at the next id.
+            match segments.range(seg + 1..).next() {
+                Some((&next, _)) => {
+                    seg = next;
+                    off = 0;
+                }
+                None => return Ok(TailChunk::CaughtUp),
+            }
+        }
+    }
+
+    /// Builds the snapshot re-base chunk for a pruned position: the
+    /// newest snapshot whose cut the surviving segments start at.
+    fn snapshot_chunk(&self, lowest_segment: u64) -> io::Result<TailChunk> {
+        let snapshots = list_family(&self.dir, "snap-", ".ss")?;
+        let Some((&snap_id, path)) = snapshots.range(..=lowest_segment).next_back() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "replication position pruned and no snapshot covers it",
+            ));
+        };
+        let bytes = fs::read(path)?;
+        Ok(TailChunk::Snapshot { snap_id, bytes })
+    }
+}
+
+/// Length of the longest prefix of `buf` made of complete frames, at
+/// most `cap` bytes — except that the first frame is always taken whole
+/// (a single record larger than the cap must still ship). Walks the
+/// 20-byte headers' declared payload lengths; a partially-visible tail
+/// record is excluded.
+fn complete_frames_prefix(buf: &[u8], cap: usize) -> usize {
+    let mut at = 0usize;
+    loop {
+        let Some(header) = buf.get(at..at + HEADER_LEN) else {
+            return at;
+        };
+        let Some(len_bytes) = header.get(8..12) else {
+            return at;
+        };
+        let Ok(len_arr) = <[u8; 4]>::try_from(len_bytes) else {
+            return at;
+        };
+        let payload_len = u32::from_le_bytes(len_arr) as usize;
+        let Some(end) = at
+            .checked_add(HEADER_LEN)
+            .and_then(|x| x.checked_add(payload_len))
+        else {
+            return at;
+        };
+        if end > buf.len() {
+            return at; // tail record not fully visible yet
+        }
+        if at > 0 && end > cap {
+            return at; // chunk full; the next poll picks this frame up
+        }
+        at = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{segment_path, DedupEntry, SnapshotBlob, Wal, WalConfig};
+    use std::io::Write;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use stream_model::update::Update;
+    use stream_wire::{Frame, StreamId};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("ss-tailer-{}-{}-{}", tag, std::process::id(), n));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch_frame(seq: u64, base: u64) -> Vec<u8> {
+        Frame::UpdateBatch {
+            stream: StreamId::F,
+            client_id: 3,
+            seq,
+            updates: (0..4).map(|i| Update::insert(base + i)).collect(),
+        }
+        .encode()
+    }
+
+    fn config(dir: &Path) -> WalConfig {
+        WalConfig {
+            dir: dir.to_path_buf(),
+            segment_bytes: 64 << 20,
+            snapshot_every: 0,
+            fsync: false,
+        }
+    }
+
+    /// Drains the tailer from `(0, 0)` into a flat byte vector the way
+    /// a follower would, returning the bytes and the final position.
+    fn drain(tailer: &WalTailer) -> (Vec<u8>, u64, u64) {
+        let (mut seg, mut off) = (0u64, 0u64);
+        let mut out = Vec::new();
+        loop {
+            match tailer.read_from(seg, off).unwrap() {
+                TailChunk::Records {
+                    segment,
+                    offset,
+                    bytes,
+                } => {
+                    assert!(
+                        segment > seg || (segment == seg && offset == off),
+                        "chunk position {segment}/{offset} must continue {seg}/{off}"
+                    );
+                    seg = segment;
+                    off = offset + bytes.len() as u64;
+                    out.extend_from_slice(&bytes);
+                }
+                TailChunk::Snapshot { .. } => panic!("unexpected snapshot chunk"),
+                TailChunk::CaughtUp => return (out, seg, off),
+            }
+        }
+    }
+
+    #[test]
+    fn tails_records_and_reports_caught_up() {
+        let dir = scratch_dir("basic");
+        let (mut wal, _) = Wal::open(config(&dir)).unwrap();
+        let mut expect = Vec::new();
+        for seq in 1..=5u64 {
+            let f = batch_frame(seq, seq * 10);
+            wal.append_encoded(&f).unwrap();
+            expect.extend_from_slice(&f);
+        }
+        let tailer = WalTailer::new(&dir);
+        let (got, seg, off) = drain(&tailer);
+        assert_eq!(got, expect, "the shipped stream is the WAL byte stream");
+        // At the frontier the tailer reports caught up, and stays there.
+        assert_eq!(tailer.read_from(seg, off).unwrap(), TailChunk::CaughtUp);
+        // New appends become visible to the same position.
+        let f = batch_frame(6, 60);
+        wal.append_encoded(&f).unwrap();
+        match tailer.read_from(seg, off).unwrap() {
+            TailChunk::Records { bytes, .. } => assert_eq!(bytes, f),
+            other => panic!("expected records, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_cap_cuts_at_frame_boundaries() {
+        let dir = scratch_dir("cap");
+        let (mut wal, _) = Wal::open(config(&dir)).unwrap();
+        let record = batch_frame(1, 1);
+        let mut expect = Vec::new();
+        for seq in 1..=6u64 {
+            let f = batch_frame(seq, seq);
+            wal.append_encoded(&f).unwrap();
+            expect.extend_from_slice(&f);
+        }
+        // Cap of ~1.5 records: every chunk must still be whole frames.
+        let tailer = WalTailer::with_chunk_bytes(&dir, record.len() * 3 / 2);
+        let mut polls = 0;
+        let (mut seg, mut off) = (0u64, 0u64);
+        let mut out = Vec::new();
+        loop {
+            match tailer.read_from(seg, off).unwrap() {
+                TailChunk::Records {
+                    segment,
+                    offset,
+                    bytes,
+                } => {
+                    polls += 1;
+                    assert_eq!(bytes.len() % record.len(), 0, "cut on a frame boundary");
+                    seg = segment;
+                    off = offset + bytes.len() as u64;
+                    out.extend_from_slice(&bytes);
+                }
+                TailChunk::Snapshot { .. } => panic!("unexpected snapshot"),
+                TailChunk::CaughtUp => break,
+            }
+        }
+        assert_eq!(out, expect);
+        assert!(polls >= 6, "the cap forced multiple polls, got {polls}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follows_rotation_across_segments() {
+        let dir = scratch_dir("rotation");
+        let record = batch_frame(1, 1);
+        let mut cfg = config(&dir);
+        cfg.segment_bytes = 2 * record.len() as u64; // two records per segment
+        let (mut wal, _) = Wal::open(cfg).unwrap();
+        let mut expect = Vec::new();
+        for seq in 1..=5u64 {
+            let f = batch_frame(seq, seq);
+            wal.append_encoded(&f).unwrap();
+            expect.extend_from_slice(&f);
+        }
+        assert!(wal.active_segment_id() >= 2, "rotation actually happened");
+        let tailer = WalTailer::new(&dir);
+        let (got, seg, _) = drain(&tailer);
+        assert_eq!(got, expect, "rotation is invisible in the byte stream");
+        assert_eq!(seg, wal.active_segment_id());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_tail_record_is_excluded_until_complete() {
+        let dir = scratch_dir("partial");
+        let (mut wal, _) = Wal::open(config(&dir)).unwrap();
+        let f1 = batch_frame(1, 1);
+        wal.append_encoded(&f1).unwrap();
+        // Simulate a record the primary is still writing: append only a
+        // prefix of the next frame directly to the segment file.
+        let f2 = batch_frame(2, 2);
+        let seg_path = segment_path(&dir, wal.active_segment_id());
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&seg_path)
+            .unwrap()
+            .write_all(&f2[..f2.len() - 5])
+            .unwrap();
+
+        let tailer = WalTailer::new(&dir);
+        match tailer.read_from(0, 0).unwrap() {
+            TailChunk::Records { bytes, .. } => {
+                assert_eq!(bytes, f1, "only the complete record ships");
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+        // Once the rest lands, the record ships whole.
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&seg_path)
+            .unwrap()
+            .write_all(&f2[f2.len() - 5..])
+            .unwrap();
+        match tailer.read_from(0, f1.len() as u64).unwrap() {
+            TailChunk::Records { bytes, .. } => assert_eq!(bytes, f2),
+            other => panic!("expected records, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_position_redirects_to_snapshot_bootstrap() {
+        let dir = scratch_dir("pruned");
+        let (mut wal, _) = Wal::open(config(&dir)).unwrap();
+        for seq in 1..=3u64 {
+            wal.append_encoded(&batch_frame(seq, seq)).unwrap();
+        }
+        let snap = SnapshotBlob {
+            blobs: [vec![1, 2, 3], vec![4]],
+            dedup: vec![DedupEntry {
+                client_id: 3,
+                last_seq: [3, 0],
+            }],
+        };
+        wal.install_snapshot(&snap).unwrap();
+        let snap_id = wal.active_segment_id();
+        let post = batch_frame(4, 40);
+        wal.append_encoded(&post).unwrap();
+
+        // A follower still at the pruned position gets the snapshot…
+        let tailer = WalTailer::new(&dir);
+        let chunk = tailer.read_from(0, 0).unwrap();
+        let TailChunk::Snapshot {
+            snap_id: got,
+            bytes,
+        } = chunk
+        else {
+            panic!("expected snapshot chunk, got {chunk:?}");
+        };
+        assert_eq!(got, snap_id);
+        assert_eq!(SnapshotBlob::decode(&bytes).unwrap(), snap);
+
+        // …adopts it into its own WAL, and resumes the byte stream at
+        // (snap_id, 0) — picking up the post-snapshot record.
+        let follower_dir = scratch_dir("pruned-follower");
+        let (mut follower, _) = Wal::open(config(&follower_dir)).unwrap();
+        follower.adopt_snapshot(got, &bytes).unwrap();
+        match tailer.read_from(got, 0).unwrap() {
+            TailChunk::Records {
+                segment,
+                offset,
+                bytes,
+            } => {
+                assert_eq!((segment, offset), (snap_id, 0));
+                assert_eq!(bytes, post);
+                follower.append_encoded(&bytes).unwrap();
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+        assert_eq!(follower.active_segment_id(), wal.active_segment_id());
+        assert_eq!(follower.active_segment_len(), wal.active_segment_len());
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&follower_dir).unwrap();
+    }
+
+    #[test]
+    fn bad_positions_are_typed_errors() {
+        let dir = scratch_dir("badpos");
+        let (mut wal, _) = Wal::open(config(&dir)).unwrap();
+        wal.append_encoded(&batch_frame(1, 1)).unwrap();
+        let tailer = WalTailer::new(&dir);
+        // Offset beyond the segment is an error, not an empty chunk.
+        let err = tailer.read_from(0, 1 << 30).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // An empty directory is just "caught up".
+        let empty = scratch_dir("badpos-empty");
+        fs::create_dir_all(&empty).unwrap();
+        assert_eq!(
+            WalTailer::new(&empty).read_from(0, 0).unwrap(),
+            TailChunk::CaughtUp
+        );
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&empty).unwrap();
+    }
+}

@@ -232,6 +232,13 @@ pub struct Recovered {
     pub segments_replayed: u64,
     /// Bytes discarded from a torn tail (0 on a clean shutdown).
     pub torn_bytes: u64,
+    /// Torn-tail truncation events this recovery performed (a segment
+    /// cut at its last clean record counts once, whatever it dragged
+    /// down with it). Kept as a count rather than a flag so the serving
+    /// layer can feed it straight into a monotonic counter — silent
+    /// truncation hides exactly the disk trouble that replication lag
+    /// would otherwise surface first.
+    pub torn_tail_truncations: u64,
     /// Corrupt snapshot files that were skipped.
     pub snapshots_skipped: u64,
 }
@@ -268,11 +275,11 @@ impl std::fmt::Debug for Wal {
     }
 }
 
-fn segment_path(dir: &Path, id: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("wal-{id:016x}.seg"))
 }
 
-fn snapshot_path(dir: &Path, id: u64) -> PathBuf {
+pub(crate) fn snapshot_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("snap-{id:016x}.ss"))
 }
 
@@ -286,7 +293,11 @@ fn parse_id(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 }
 
 /// Lists `(id, path)` pairs for one file family, sorted by id.
-fn list_family(dir: &Path, prefix: &str, suffix: &str) -> io::Result<BTreeMap<u64, PathBuf>> {
+pub(crate) fn list_family(
+    dir: &Path,
+    prefix: &str,
+    suffix: &str,
+) -> io::Result<BTreeMap<u64, PathBuf>> {
     let mut out = BTreeMap::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -368,6 +379,7 @@ impl Wal {
                     // is a torn tail: keep the clean prefix, cut the rest.
                     Ok((_, _)) | Err(_) => {
                         recovered.torn_bytes += (bytes.len() - at) as u64;
+                        recovered.torn_tail_truncations += 1;
                         let file = OpenOptions::new().write(true).open(path)?;
                         file.set_len(at as u64)?;
                         file.sync_all()?;
@@ -474,6 +486,84 @@ impl Wal {
         &self.config.dir
     }
 
+    /// The configured segment-rotation threshold in bytes.
+    ///
+    /// Replication relies on rotation being a pure function of the
+    /// appended byte stream and this threshold: a follower configured
+    /// with the same value rotates at exactly the same records as its
+    /// primary, which is what makes the follower's own
+    /// `(active_segment_id, active_segment_len)` double as its offset
+    /// into the primary's stream.
+    pub fn segment_bytes(&self) -> u64 {
+        self.config.segment_bytes
+    }
+
+    /// Seals the active segment and starts a fresh one: syncs, then
+    /// rotates. Promotion uses this so a newly-promoted primary never
+    /// appends into a segment that replicated bytes also landed in —
+    /// the replicated prefix stays byte-identical to the dead primary's
+    /// stream, frozen in its sealed segments.
+    pub fn seal(&mut self) -> io::Result<()> {
+        self.rotate()
+    }
+
+    /// Rotates directly to segment `id`: the replication apply path
+    /// calls this when the primary's byte stream moved to a new segment
+    /// (an early rotation from `install_snapshot`, invisible to the
+    /// pure length rule), so the follower's log cuts its own segment at
+    /// exactly the same record. No-op when `id` is already active;
+    /// moving backwards is `InvalidInput`.
+    pub fn rotate_to(&mut self, id: u64) -> io::Result<()> {
+        if id == self.active_id {
+            return Ok(());
+        }
+        if id < self.active_id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "rotate_to would move the log backwards",
+            ));
+        }
+        self.active.sync_data()?;
+        self.active_id = id;
+        let path = segment_path(&self.config.dir, id);
+        self.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.active_len = self.active.metadata()?.len();
+        Ok(())
+    }
+
+    /// Adopts a snapshot received from a replication primary, re-basing
+    /// this log onto it. Every local segment and snapshot is removed
+    /// (state not reachable through the adopted snapshot must never
+    /// replay on top of it), the encoded blob is written as snapshot
+    /// `snap_id` through the usual temp-file + rename, and an empty
+    /// active segment `snap_id` is opened — so the next replicated byte
+    /// lands at exactly `(snap_id, 0)`, the position the primary's
+    /// stream resumes from after its prune. Returns the decoded blob
+    /// for the caller to load into its live state.
+    pub fn adopt_snapshot(&mut self, snap_id: u64, encoded: &[u8]) -> io::Result<SnapshotBlob> {
+        let snap = SnapshotBlob::decode(encoded)?;
+        for (_, path) in list_family(&self.config.dir, "wal-", ".seg")? {
+            fs::remove_file(path)?;
+        }
+        for (_, path) in list_family(&self.config.dir, "snap-", ".ss")? {
+            fs::remove_file(path)?;
+        }
+        let final_path = snapshot_path(&self.config.dir, snap_id);
+        let tmp_path = final_path.with_extension("ss.tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(encoded)?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        let path = segment_path(&self.config.dir, snap_id);
+        self.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.active_id = snap_id;
+        self.active_len = 0;
+        self.appends_since_snapshot = 0;
+        Ok(snap)
+    }
+
     fn rotate(&mut self) -> io::Result<()> {
         self.active.sync_data()?;
         self.active_id += 1;
@@ -576,6 +666,7 @@ mod tests {
         let (mut wal, rec) = Wal::open(small_config(&dir)).unwrap();
         assert_eq!(rec.batches.len(), 3, "clean prefix survives");
         assert_eq!(rec.torn_bytes, 11, "partial record measured and cut");
+        assert_eq!(rec.torn_tail_truncations, 1, "the cut is counted");
 
         // The log keeps working after the cut, and the next recovery is
         // clean: the tear never resurfaces.
@@ -584,6 +675,7 @@ mod tests {
         drop(wal);
         let (_, rec) = Wal::open(small_config(&dir)).unwrap();
         assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(rec.torn_tail_truncations, 0);
         assert_eq!(rec.batches.len(), 4);
         assert_eq!(rec.batches[3].updates[0], Update::insert(44));
         fs::remove_dir_all(&dir).unwrap();
@@ -705,6 +797,143 @@ mod tests {
         // Replay still starts from the *valid* snapshot's cut.
         assert_eq!(rec.batches.len(), 1);
         assert_eq!(rec.batches[0].seq, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_landing_on_snapshot_cut_boundary() {
+        // A segment rotation that lands exactly where a snapshot cuts:
+        // fill segments to their rotation point, install a snapshot (its
+        // own rotation makes the cut), keep appending, and check that
+        // prune + recovery agree on the boundary — rotation, prune, and
+        // replay in one test instead of incidentally via the chaos
+        // suite.
+        let dir = scratch_dir("cutboundary");
+        let record = batch_frame(StreamId::F, 6, 1, 1);
+        let mut config = small_config(&dir);
+        // Exactly two records per segment: the third append rotates.
+        config.segment_bytes = 2 * record.len() as u64;
+        let (mut wal, _) = Wal::open(config.clone()).unwrap();
+        for seq in 1..=4u64 {
+            wal.append_encoded(&batch_frame(StreamId::F, 6, seq, seq))
+                .unwrap();
+        }
+        // Segment 0 holds seqs 1-2 (full), segment 1 holds seqs 3-4
+        // (full): the next append would rotate anyway, so the snapshot's
+        // rotation lands exactly on the length-rule boundary.
+        assert_eq!(wal.active_segment_id(), 1);
+        assert_eq!(wal.active_segment_len(), config.segment_bytes);
+        let snap = SnapshotBlob {
+            blobs: [vec![0xCC; 8], vec![]],
+            dedup: vec![DedupEntry {
+                client_id: 6,
+                last_seq: [4, 0],
+            }],
+        };
+        wal.install_snapshot(&snap).unwrap();
+        assert_eq!(wal.active_segment_id(), 2, "cut opened a fresh segment");
+        assert_eq!(wal.active_segment_len(), 0);
+        // Post-cut traffic lands in segment 2.
+        for seq in 5..=6u64 {
+            wal.append_encoded(&batch_frame(StreamId::F, 6, seq, seq * 10))
+                .unwrap();
+        }
+        drop(wal);
+
+        // Prune removed exactly the covered segments…
+        let segments = list_family(&dir, "wal-", ".seg").unwrap();
+        assert_eq!(segments.keys().copied().collect::<Vec<_>>(), vec![2]);
+        // …and recovery replays only from the cut.
+        let (wal, rec) = Wal::open(config).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap(), &snap);
+        assert_eq!(
+            rec.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(wal.active_segment_id(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotate_to_cuts_segments_at_the_callers_boundary() {
+        let dir = scratch_dir("rotateto");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        wal.append_encoded(&batch_frame(StreamId::F, 2, 1, 1))
+            .unwrap();
+        // Jump to the primary's (non-adjacent) segment id.
+        wal.rotate_to(5).unwrap();
+        assert_eq!(wal.active_segment_id(), 5);
+        assert_eq!(wal.active_segment_len(), 0);
+        wal.append_encoded(&batch_frame(StreamId::F, 2, 2, 2))
+            .unwrap();
+        // Idempotent at the same id, refused backwards.
+        wal.rotate_to(5).unwrap();
+        assert!(wal.rotate_to(3).is_err());
+        drop(wal);
+
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(
+            rec.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn adopt_snapshot_rebases_the_log() {
+        let dir = scratch_dir("adopt");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        // Local state that the adopted snapshot must wipe out.
+        wal.append_encoded(&batch_frame(StreamId::F, 8, 1, 1))
+            .unwrap();
+
+        let snap = SnapshotBlob {
+            blobs: [vec![7; 32], vec![9; 16]],
+            dedup: vec![DedupEntry {
+                client_id: 8,
+                last_seq: [12, 0],
+            }],
+        };
+        let decoded = wal.adopt_snapshot(9, &snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(wal.active_segment_id(), 9);
+        assert_eq!(wal.active_segment_len(), 0);
+        // The stream resumes at (9, 0).
+        wal.append_encoded(&batch_frame(StreamId::F, 8, 13, 13))
+            .unwrap();
+        drop(wal);
+
+        let (_, rec) = Wal::open(small_config(&dir)).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap(), &snap);
+        assert_eq!(rec.batches.len(), 1, "pre-adoption record is gone");
+        assert_eq!(rec.batches[0].seq, 13);
+
+        // A corrupt blob is refused without touching the log.
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        assert!(wal.adopt_snapshot(11, &[1, 2, 3]).is_err());
+        assert_eq!(wal.active_segment_id(), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seal_freezes_the_replicated_prefix() {
+        let dir = scratch_dir("seal");
+        let (mut wal, _) = Wal::open(small_config(&dir)).unwrap();
+        wal.append_encoded(&batch_frame(StreamId::G, 4, 1, 1))
+            .unwrap();
+        let sealed = wal.active_segment_id();
+        wal.seal().unwrap();
+        assert_eq!(wal.active_segment_id(), sealed + 1);
+        assert_eq!(wal.active_segment_len(), 0);
+        // Post-seal appends never touch the sealed segment.
+        let before = fs::metadata(segment_path(&dir, sealed)).unwrap().len();
+        wal.append_encoded(&batch_frame(StreamId::G, 4, 2, 2))
+            .unwrap();
+        assert_eq!(
+            fs::metadata(segment_path(&dir, sealed)).unwrap().len(),
+            before
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -196,6 +196,40 @@ pub struct JoinAnswer {
     pub dense_g: u64,
 }
 
+/// One chunk of a primary's WAL byte stream, as returned by
+/// [`ServerClient::replicate_poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaChunk {
+    /// The primary's fencing epoch.
+    pub epoch: u64,
+    /// Segment the chunk starts in (snapshot id when `snapshot`).
+    pub segment: u64,
+    /// Byte offset of the chunk within `segment`.
+    pub offset: u64,
+    /// `bytes` is an encoded snapshot blob (pruned-position bootstrap)
+    /// rather than record bytes.
+    pub snapshot: bool,
+    /// The primary's durable frontier: active segment id…
+    pub frontier_segment: u64,
+    /// …and its length, when the chunk was cut.
+    pub frontier_offset: u64,
+    /// Frame-aligned record bytes (empty = caught up).
+    pub bytes: Vec<u8>,
+}
+
+/// A node's replication-facing state, from [`ServerClient::heartbeat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// The node's fencing epoch.
+    pub epoch: u64,
+    /// Whether the node currently accepts writes.
+    pub primary: bool,
+    /// Durable frontier: active segment id…
+    pub segment: u64,
+    /// …and its length.
+    pub offset: u64,
+}
+
 /// How many batches an unsequenced [`ServerClient::send_all`] keeps in
 /// flight before waiting for the oldest ack. A few are enough to hide
 /// the ack round trip (the next batches are already encoded and in the
@@ -748,6 +782,114 @@ impl ServerClient {
             Frame::ShardMap(map) => Ok(map),
             // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
             _ => Err(ClientError::UnexpectedFrame("shard map reply")),
+        }
+    }
+
+    /// One replication long-poll (protocol ≥ 3): offers `(segment,
+    /// offset)` — the caller's durable frontier, which doubles as the
+    /// ack for everything before it — and returns the next chunk of
+    /// the primary's WAL byte stream (see [`ReplicaChunk`]).
+    pub fn replicate_poll(
+        &mut self,
+        epoch: u64,
+        segment: u64,
+        offset: u64,
+    ) -> Result<ReplicaChunk, ClientError> {
+        let request = Frame::ReplicateAck {
+            epoch,
+            segment,
+            offset,
+        };
+        match self.call(&request)? {
+            Frame::Replicate {
+                epoch,
+                segment,
+                offset,
+                snapshot,
+                frontier_segment,
+                frontier_offset,
+                bytes,
+            } => Ok(ReplicaChunk {
+                epoch,
+                segment,
+                offset,
+                snapshot,
+                frontier_segment,
+                frontier_offset,
+                bytes,
+            }),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("replicate poll reply")),
+        }
+    }
+
+    /// Pushes one frame-aligned chunk of record bytes at `(segment,
+    /// offset)` to a follower (protocol ≥ 3) and returns its acked
+    /// frontier. A stale `epoch` is refused with
+    /// [`ErrorCode::Fenced`] — the split-brain check the chaos suite
+    /// exercises with a deposed primary.
+    pub fn replicate_push(
+        &mut self,
+        epoch: u64,
+        segment: u64,
+        offset: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(u64, u64), ClientError> {
+        let frontier_offset = offset + bytes.len() as u64;
+        let request = Frame::Replicate {
+            epoch,
+            segment,
+            offset,
+            snapshot: false,
+            frontier_segment: segment,
+            frontier_offset,
+            bytes,
+        };
+        match self.call(&request)? {
+            Frame::ReplicateAck {
+                segment, offset, ..
+            } => Ok((segment, offset)),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("replicate push reply")),
+        }
+    }
+
+    /// Probes a node's replication state (protocol ≥ 3): role, fencing
+    /// epoch, and durable frontier. The cluster router's failure
+    /// detector is built on this round trip.
+    pub fn heartbeat(&mut self, epoch: u64) -> Result<ReplicaStatus, ClientError> {
+        let request = Frame::Heartbeat {
+            epoch,
+            primary: false,
+            segment: 0,
+            offset: 0,
+        };
+        match self.call(&request)? {
+            Frame::Heartbeat {
+                epoch,
+                primary,
+                segment,
+                offset,
+            } => Ok(ReplicaStatus {
+                epoch,
+                primary,
+                segment,
+                offset,
+            }),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("heartbeat reply")),
+        }
+    }
+
+    /// Promotes a follower to primary under fencing epoch `epoch`
+    /// (protocol ≥ 3, must exceed the follower's current epoch). The
+    /// follower seals its log, stops replicating, and starts accepting
+    /// writes; the echoed epoch is returned. Idempotent for retries.
+    pub fn promote(&mut self, epoch: u64) -> Result<u64, ClientError> {
+        match self.call(&Frame::Promote { epoch })? {
+            Frame::Promote { epoch } => Ok(epoch),
+            // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed
+            _ => Err(ClientError::UnexpectedFrame("promote reply")),
         }
     }
 

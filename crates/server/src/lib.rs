@@ -37,6 +37,22 @@
 //! (`client_id != 0`) are deduplicated by `(client_id, stream, seq)`,
 //! so a client replaying after a lost BATCH_ACK can never double-count.
 //!
+//! ## Replication and failover
+//!
+//! With [`ServerConfig::follower_of`] set (requires a WAL) the server
+//! starts as a [`Role::Follower`]: it long-polls the named primary's
+//! WAL byte stream (REPLICATE frames, protocol ≥ 3), appends the same
+//! record bytes to its own log at the same positions, applies each
+//! batch to its sketches, and refuses client writes with a typed
+//! `NOT_PRIMARY` error. Because sketch ingestion is linear and the log
+//! bytes are identical, a caught-up follower answers queries
+//! **bit-identically** to its primary. A PROMOTE frame (carrying a
+//! fencing epoch greater than the follower's) seals the log and flips
+//! the role to primary; late REPLICATE traffic from a deposed primary
+//! is rejected by the epoch check (`FENCED`), so a network that heals
+//! after a failover cannot split-brain the sketch state. See
+//! DESIGN.md §12 for the full contract.
+//!
 //! ## Fault containment
 //!
 //! A panic inside a sketch kernel is caught by the ingest pool's worker
@@ -80,12 +96,13 @@
 
 mod client;
 mod inspect;
+mod replication;
 mod resilient;
 mod telem;
 
 pub use client::{
-    Backoff, BackoffConfig, BatchOutcome, ClientConfig, ClientError, JoinAnswer, SendReport,
-    ServerClient,
+    Backoff, BackoffConfig, BatchOutcome, ClientConfig, ClientError, JoinAnswer, ReplicaChunk,
+    ReplicaStatus, SendReport, ServerClient,
 };
 pub use resilient::ResilientClient;
 
@@ -100,12 +117,12 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use stream_durability::{DedupEntry, SnapshotBlob, Wal, WalConfig};
+use stream_durability::{DedupEntry, SnapshotBlob, Wal, WalConfig, WalTailer};
 use stream_ingest::{IngestError, IngestPool, TraceTag};
 use stream_model::StreamSink;
 use stream_wire::{
@@ -164,7 +181,29 @@ pub struct ServerConfig {
     /// Off by default — a plain server rejects cluster frames, so a
     /// stray router pointed at a non-shard fails loud.
     pub shard: bool,
+    /// Start as a [`Role::Follower`] replicating from this primary
+    /// address. Requires [`ServerConfig::wal`]; the follower applies
+    /// the primary's WAL byte stream and refuses client writes with
+    /// `NOT_PRIMARY` until a PROMOTE flips it to primary.
+    pub follower_of: Option<String>,
+    /// Idle tick between replication long-polls once a follower is
+    /// caught up (non-empty chunks re-poll immediately).
+    pub replication_poll: Duration,
 }
+
+/// Whether a node accepts client writes or replicates them from a
+/// primary. Queries are served in both roles (a follower answers from
+/// its replicated state); only UPDATE_BATCH is role-gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes, serves replication polls, owns the fencing epoch.
+    Primary,
+    /// Applies replicated records; refuses writes with `NOT_PRIMARY`.
+    Follower,
+}
+
+const ROLE_PRIMARY: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
 
 impl ServerConfig {
     /// Defaults sized for a loopback/LAN deployment: 4 handler threads,
@@ -187,6 +226,8 @@ impl ServerConfig {
             audit_shift: Some(6),
             postmortem_dir: None,
             shard: false,
+            follower_of: None,
+            replication_poll: Duration::from_millis(20),
         }
     }
 }
@@ -253,6 +294,10 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
     /// Corrupt snapshot files skipped in favour of an older valid one.
     pub snapshots_skipped: u64,
+    /// Torn-tail truncations performed (1 when a partial record was cut
+    /// off the newest segment, 0 after a clean shutdown). Also counted
+    /// into the `wal_torn_tail_truncations_total` metric.
+    pub torn_tail_truncations: u64,
 }
 
 /// Durable state shared by handlers: the WAL and the idempotency table,
@@ -282,12 +327,61 @@ struct Inner {
     audit: Audit,
     /// Server start, the epoch for uptime and slow-query timestamps.
     started: Instant,
+    /// Current role ([`ROLE_PRIMARY`] / [`ROLE_FOLLOWER`]); flipped by
+    /// PROMOTE, read on every UPDATE_BATCH.
+    role: AtomicU8,
+    /// Fencing epoch: bumped by PROMOTE, checked on every REPLICATE.
+    epoch: AtomicU64,
+    /// Serves replication polls over the WAL directory (primaries with
+    /// a WAL only).
+    tailer: Option<WalTailer>,
+    /// Follower-side replication state (present iff `follower_of`).
+    repl: Option<replication::ReplState>,
+    /// Primary-side follower tracking: the acked replication frontier
+    /// each poll carries, feeding the sequenced-write ack gate
+    /// ([`replication::gate_ack`]).
+    follower_ack: replication::FollowerAck,
+    /// Overflow connection handlers: when every pooled handler is
+    /// pinned by a long-lived session (a follower's replication poll, a
+    /// router supervisor's heartbeat probe), new connections get a
+    /// dedicated thread instead of queueing behind sessions that never
+    /// end. Capped at [`OVERFLOW_HANDLERS_MAX`]; joined at
+    /// shutdown/halt.
+    // ss-analyze: allow(a4-blocking-hot-path) -- touched on accept overflow and at shutdown only, never per frame
+    overflow: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
+
+/// Hard cap on concurrently-live overflow handler threads (beyond the
+/// fixed pool). Past it the acceptor falls back to waiting for a pooled
+/// handler, as before the overflow lane existed.
+const OVERFLOW_HANDLERS_MAX: usize = 64;
 
 impl Inner {
     fn pool(&self, stream: StreamId) -> &IngestPool<SkimmedSketch> {
         // ss-analyze: allow(a2-panic-free) -- `StreamId` has exactly two variants (0 and 1) indexing a `[_; 2]`; in bounds by construction
         &self.pools[stream as usize]
+    }
+
+    fn role(&self) -> Role {
+        if self.role.load(Ordering::Acquire) == ROLE_FOLLOWER {
+            Role::Follower
+        } else {
+            Role::Primary
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The durable frontier `(active_segment_id, active_segment_len)`;
+    /// `(0, 0)` without a WAL.
+    fn wal_frontier(&self) -> (u64, u64) {
+        let persist = self.persist.lock().unwrap_or_else(|p| p.into_inner());
+        persist
+            .wal
+            .as_ref()
+            .map_or((0, 0), |w| (w.active_segment_id(), w.active_segment_len()))
     }
 
     fn info(&self) -> ServerInfo {
@@ -336,6 +430,19 @@ impl Server {
             ss_trace::set_postmortem_path(&dir.join("flight-recorder.jsonl"));
         }
 
+        if config.follower_of.is_some() && config.wal.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "follower_of requires a WAL: the replicated byte stream is the follower's log",
+            ));
+        }
+        // A fresh (or pruned-past) follower bootstraps from the
+        // primary's snapshot *before* recovery, so the adopted snapshot
+        // seeds the sketches through the normal recovery path below.
+        if let Some(primary) = config.follower_of.as_deref() {
+            replication::bootstrap(&config, primary)?;
+        }
+
         // Crash recovery: rebuild sketches + dedup table before the
         // first connection is accepted.
         let mut seeds: [Option<SkimmedSketch>; 2] = [None, None];
@@ -351,6 +458,7 @@ impl Server {
                 segments_replayed: recovered.segments_replayed,
                 torn_bytes: recovered.torn_bytes,
                 snapshots_skipped: recovered.snapshots_skipped,
+                torn_tail_truncations: recovered.torn_tail_truncations,
             };
             if let Some(snap) = recovered.snapshot {
                 for (slot, blob) in seeds.iter_mut().zip(snap.blobs) {
@@ -385,6 +493,8 @@ impl Server {
             if let Some(m) = metrics {
                 m.recovered_batches.add(report.batches_replayed);
                 m.wal_torn_bytes.add(report.torn_bytes);
+                m.wal_torn_tail_truncations
+                    .add(report.torn_tail_truncations);
             }
             wal = Some(opened);
             recovery = Some(report);
@@ -403,6 +513,7 @@ impl Server {
             }))
         };
         let [seed_f, seed_g] = seeds;
+        let follower = config.follower_of.is_some();
         let inner = Arc::new(Inner {
             pools: [mk_pool(seed_f), mk_pool(seed_g)],
             // ss-analyze: allow(a4-blocking-hot-path) -- see the `persist` field: serialization is the durability contract
@@ -417,8 +528,22 @@ impl Server {
                 None
             }),
             started: Instant::now(),
+            role: AtomicU8::new(if follower {
+                ROLE_FOLLOWER
+            } else {
+                ROLE_PRIMARY
+            }),
+            epoch: AtomicU64::new(replication::INITIAL_EPOCH),
+            tailer: config.wal.as_ref().map(|w| WalTailer::new(&w.dir)),
+            repl: config.follower_of.clone().map(replication::ReplState::new),
+            follower_ack: replication::FollowerAck::new(),
             config,
+            // ss-analyze: allow(a4-blocking-hot-path) -- see the `overflow` field: accept-time and shutdown-time only
+            overflow: Mutex::new(Vec::new()),
         });
+        if follower {
+            replication::spawn(&inner)?;
+        }
 
         // Bounded hand-off from acceptor to handlers: when all handlers
         // are busy the acceptor blocks here and new connections wait in
@@ -488,6 +613,35 @@ impl Server {
         self.recovery.as_ref()
     }
 
+    /// Current role: follower until a PROMOTE flips it.
+    pub fn role(&self) -> Role {
+        self.inner.role()
+    }
+
+    /// Current fencing epoch (1 at birth; bumped by each PROMOTE).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// Upper bound on the bytes this follower trails its primary by
+    /// (updated each poll); `None` when not configured as a follower.
+    pub fn replication_lag_bytes(&self) -> Option<u64> {
+        self.inner
+            .repl
+            .as_ref()
+            .map(|r| r.lag_bytes.load(Ordering::Acquire))
+    }
+
+    /// True when the primary's prune horizon passed this follower's
+    /// frontier mid-run: replication is parked and a restart is needed
+    /// to re-bootstrap from the primary's snapshot.
+    pub fn replication_needs_bootstrap(&self) -> bool {
+        self.inner
+            .repl
+            .as_ref()
+            .is_some_and(|r| r.bootstrap_required.load(Ordering::Acquire))
+    }
+
     /// Chunks queued-but-unabsorbed in one stream's ingest pool
     /// (advisory; see [`IngestPool::pending_chunks`]).
     pub fn pending_chunks(&self, stream: StreamId) -> u64 {
@@ -522,6 +676,9 @@ impl Server {
     pub fn shutdown(self) -> Result<(SkimmedSketch, SkimmedSketch), ServerError> {
         let metrics = self.inner.metrics;
         self.inner.shutdown.store(true, Ordering::Release);
+        // The replication thread holds an `Arc<Inner>` clone; join it
+        // first or `try_unwrap` below reports the state as held.
+        replication::stop(&self.inner);
         let mut first_err: Option<ServerError> = None;
         if self.acceptor.join().is_err() {
             if let Some(m) = metrics {
@@ -531,6 +688,28 @@ impl Server {
             first_err = Some(ServerError::ThreadPanicked { thread: "acceptor" });
         }
         for h in self.handlers {
+            if h.join().is_err() {
+                if let Some(m) = metrics {
+                    m.thread_panics.inc();
+                }
+                let _ = ss_trace::postmortem("handler-panic");
+                first_err.get_or_insert(ServerError::ThreadPanicked {
+                    thread: "connection handler",
+                });
+            }
+        }
+        // Overflow handlers hold `Inner` clones too; they observe the
+        // shutdown flag before reading their next request, so these
+        // joins are bounded by one in-flight request each.
+        let overflow = {
+            let mut guard = self
+                .inner
+                .overflow
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for h in overflow {
             if h.join().is_err() {
                 if let Some(m) = metrics {
                     m.thread_panics.inc();
@@ -602,11 +781,25 @@ impl Server {
     /// over the same WAL directory must rebuild from the log alone.
     pub fn halt(self) {
         self.inner.shutdown.store(true, Ordering::Release);
+        // A real SIGKILL takes the replication thread with the process;
+        // stop it so the dropped pools are not kept alive by its Arc.
+        replication::stop(&self.inner);
         // The crash dump a real SIGKILL could never write: the flight
         // recorder's last events, for the post-mortem that follows.
         let _ = ss_trace::postmortem("halt");
         let _ = self.acceptor.join();
         for h in self.handlers {
+            let _ = h.join();
+        }
+        let overflow = {
+            let mut guard = self
+                .inner
+                .overflow
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for h in overflow {
             let _ = h.join();
         }
         // Dropping `inner` closes the pools' channels; workers exit
@@ -626,7 +819,7 @@ fn dedup_entries(dedup: &HashMap<u64, [u64; 2]>) -> Vec<DedupEntry> {
         .collect()
 }
 
-fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &Inner) {
+fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &Arc<Inner>) {
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
@@ -646,9 +839,20 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &
                             if inner.shutdown.load(Ordering::Acquire) {
                                 return;
                             }
-                            sock = s;
-                            // ss-analyze: allow(a4-blocking-hot-path) -- acceptor backoff while every handler is busy; no frame is in flight on this thread
-                            std::thread::sleep(Duration::from_millis(2));
+                            // Every pooled handler is busy — and with
+                            // replication in the picture, possibly busy
+                            // *forever* (a follower's poll session and a
+                            // supervisor's probe session never end). Spill
+                            // to a dedicated thread rather than queueing a
+                            // client behind sessions that won't yield.
+                            match spawn_overflow(inner, s) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    sock = back;
+                                    // ss-analyze: allow(a4-blocking-hot-path) -- acceptor backoff at the overflow cap; no frame is in flight on this thread
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                            }
                         }
                         Err(TrySendError::Disconnected(_)) => return,
                     }
@@ -665,6 +869,28 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, inner: &
             }
         }
     }
+}
+
+/// Serves `sock` on a fresh overflow thread (see [`Inner::overflow`]).
+/// Returns the socket back when the overflow lane is at its cap;
+/// finished overflow threads are reaped here, so the vector's length is
+/// the number of *live* ones. If the spawn itself fails the connection
+/// is dropped (the peer sees a reset and retries), which is the same
+/// outcome as an accept error under resource exhaustion.
+fn spawn_overflow(inner: &Arc<Inner>, sock: TcpStream) -> Result<(), TcpStream> {
+    let mut overflow = inner.overflow.lock().unwrap_or_else(|p| p.into_inner());
+    overflow.retain(|h| !h.is_finished());
+    if overflow.len() >= OVERFLOW_HANDLERS_MAX {
+        return Err(sock);
+    }
+    let thread_inner = inner.clone();
+    if let Ok(handle) = std::thread::Builder::new()
+        .name("ss-overflow".to_string())
+        .spawn(move || handle_connection(&thread_inner, sock))
+    {
+        overflow.push(handle);
+    }
+    Ok(())
 }
 
 /// Sends one frame, counting it into the tx telemetry. The reply echoes
@@ -741,6 +967,20 @@ fn next_frame(
 ) -> Option<(Frame, Option<TraceContext>)> {
     let metrics = inner.metrics;
     loop {
+        // Checked before every read, not just on idle ticks: a peer
+        // that never goes quiet (a replication poll loop, a tight
+        // producer) must not be able to starve the drain and wedge
+        // shutdown/halt joins. The request already being processed
+        // still finishes — this gates picking up the *next* one.
+        if inner.shutdown.load(Ordering::Acquire) {
+            send_error(
+                sock,
+                ErrorCode::ShuttingDown,
+                "server draining; reconnect later",
+                metrics,
+            );
+            return None;
+        }
         match Frame::read_traced_from_with_scratch(sock, inner.config.max_payload, scratch) {
             Ok((frame, n, ctx)) => {
                 if let Some(m) = metrics {
@@ -749,17 +989,7 @@ fn next_frame(
                 }
                 return Some((frame, ctx));
             }
-            Err(WireError::Idle) => {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    send_error(
-                        sock,
-                        ErrorCode::ShuttingDown,
-                        "server draining; reconnect later",
-                        metrics,
-                    );
-                    return None;
-                }
-            }
+            Err(WireError::Idle) => {}
             Err(WireError::Closed) => return None,
             Err(WireError::Io(_)) => return None,
             Err(decode_err) => {
@@ -868,13 +1098,25 @@ fn handle_update_batch(
             // ss-analyze: allow(a2-panic-free) -- two-variant `StreamId` indexing a `[u64; 2]`
             .map_or(0, |e| e[stream as usize]);
         if seq <= last {
-            // Already applied (the ack was lost, or the producer replayed
-            // after recovery): acknowledge without applying.
+            // Already applied (the ack was lost, the producer replayed
+            // after recovery, or a gated ack timed out into a
+            // throttle): acknowledge without re-applying — but the ack
+            // still rides the replication gate. The current WAL
+            // frontier covers this batch's append (conservatively), so
+            // gating on it keeps "acked ⇒ on the follower" true across
+            // retries.
+            let target = persist
+                .wal
+                .as_ref()
+                .map(|w| (w.active_segment_id(), w.active_segment_len()));
             drop(persist);
             if let Some(m) = metrics {
                 m.dup_batches.inc();
             }
-            return ack(sock);
+            return match target {
+                Some(t) if !replication::gate_ack(inner, t) => throttle(sock),
+                _ => ack(sock),
+            };
         }
     }
     // Encode from the borrowed parts so the WAL record is byte-identical
@@ -893,6 +1135,7 @@ fn handle_update_batch(
     if let Some(m) = metrics {
         m.updates_accepted.add(accepted);
     }
+    let mut gate_target: Option<(u64, u64)> = None;
     if let (Some(wal), Some(bytes)) = (persist.wal.as_mut(), encoded) {
         let _wal_span = tag.map(|(trace, parent)| {
             ss_trace::span(Phase::WalAppend, trace, parent, bytes.len() as u64)
@@ -919,13 +1162,26 @@ fn handle_update_batch(
             m.wal_appends.inc();
             m.wal_bytes.add(bytes.len() as u64);
         }
+        // Captured right after the append, so the frontier covers
+        // exactly this batch — the ack gate below waits for the
+        // follower to confirm through here, no further.
+        if client_id != 0 && seq != 0 {
+            gate_target = Some((wal.active_segment_id(), wal.active_segment_len()));
+        }
     }
     if client_id != 0 && seq != 0 {
         bump_dedup(&mut persist, client_id, stream, seq);
     }
     maybe_checkpoint(inner, &mut persist);
     drop(persist);
-    ack(sock)
+    // Replication ack gate: with an attached follower, "acked" must
+    // imply "replicated" or a failover can silently drop batches the
+    // producer believes are durable. Timing out throttles the producer;
+    // its retry hits the dedup path above and re-checks the gate.
+    match gate_target {
+        Some(target) if !replication::gate_ack(inner, target) => throttle(sock),
+        _ => ack(sock),
+    }
 }
 
 fn bump_dedup(persist: &mut Persist, client_id: u64, stream: StreamId, seq: u64) {
@@ -1019,6 +1275,18 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                 seq,
                 updates,
             } => {
+                if inner.role() == Role::Follower {
+                    // Typed refusal, session kept open: the producer's
+                    // router re-resolves the primary and retries there.
+                    let primary = inner.config.follower_of.as_deref().unwrap_or("the primary");
+                    send_error(
+                        sock,
+                        ErrorCode::NotPrimary,
+                        &format!("follower of {primary}: writes go to the primary"),
+                        metrics,
+                    );
+                    continue;
+                }
                 let trace = ReqTrace { ctx, tag };
                 if !handle_update_batch(inner, sock, stream, client_id, seq, updates, trace) {
                     return;
@@ -1192,6 +1460,118 @@ fn serve_frames(inner: &Inner, sock: &mut TcpStream) {
                 record_if_slow(inner, ctx, KIND_SHARD_QUERY, t0, t1, t1);
                 if !sent {
                     return;
+                }
+            }
+            Frame::ReplicateAck {
+                epoch: _,
+                segment,
+                offset,
+            } => {
+                // A follower's long-poll: its durable frontier is the
+                // implicit ack; the reply is the next chunk of our log.
+                if session_protocol < 3 {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "REPLICATE_ACK requires a protocol-v3 session",
+                        metrics,
+                    );
+                    return;
+                }
+                match replication::serve_poll(inner, segment, offset) {
+                    Ok(reply) => {
+                        if !send(sock, &reply, ctx, metrics) {
+                            return;
+                        }
+                    }
+                    Err((code, message)) => {
+                        send_error(sock, code, &message, metrics);
+                        return;
+                    }
+                }
+            }
+            Frame::Replicate {
+                epoch,
+                segment,
+                offset,
+                snapshot,
+                frontier_segment: _,
+                frontier_offset: _,
+                bytes,
+            } => {
+                // Push-applied replication: the epoch check is the
+                // split-brain fence — a deposed primary's late chunk
+                // carries a stale epoch and is refused.
+                if session_protocol < 3 {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "REPLICATE requires a protocol-v3 session",
+                        metrics,
+                    );
+                    return;
+                }
+                match replication::apply_push(inner, epoch, segment, offset, snapshot, &bytes) {
+                    Ok((ack_segment, ack_offset)) => {
+                        let reply = Frame::ReplicateAck {
+                            epoch: inner.epoch(),
+                            segment: ack_segment,
+                            offset: ack_offset,
+                        };
+                        if !send(sock, &reply, ctx, metrics) {
+                            return;
+                        }
+                    }
+                    Err((code, message)) => {
+                        send_error(sock, code, &message, metrics);
+                        return;
+                    }
+                }
+            }
+            Frame::Heartbeat { .. } => {
+                // Request fields carry the prober's view and are not
+                // needed to answer; the reply is this node's role,
+                // epoch, and durable frontier.
+                if session_protocol < 3 {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "HEARTBEAT requires a protocol-v3 session",
+                        metrics,
+                    );
+                    return;
+                }
+                let (segment, offset) = inner.wal_frontier();
+                let reply = Frame::Heartbeat {
+                    epoch: inner.epoch(),
+                    primary: inner.role() == Role::Primary,
+                    segment,
+                    offset,
+                };
+                if !send(sock, &reply, ctx, metrics) {
+                    return;
+                }
+            }
+            Frame::Promote { epoch } => {
+                if session_protocol < 3 {
+                    send_error(
+                        sock,
+                        ErrorCode::Protocol,
+                        "PROMOTE requires a protocol-v3 session",
+                        metrics,
+                    );
+                    return;
+                }
+                match replication::promote(inner, epoch) {
+                    Ok(adopted) => {
+                        if !send(sock, &Frame::Promote { epoch: adopted }, ctx, metrics) {
+                            return;
+                        }
+                    }
+                    Err((code, message)) => {
+                        send_error(sock, code, &message, metrics);
+                        return;
+                    }
                 }
             }
             Frame::Goodbye => {

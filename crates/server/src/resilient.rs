@@ -129,6 +129,19 @@ impl ResilientClient {
                 idx = applied.min(chunks.len());
                 continue;
             }
+            if applied < idx {
+                // The frontier regressed: a failover promoted a
+                // follower that was replicating asynchronously (its
+                // primary's gate had waived — the follower-loss double
+                // fault), so chunks we saw acked are missing over
+                // there. We still hold them — rewind and re-send; any
+                // shard that did apply them dedups the replay.
+                for lost in chunks.iter().take(idx).skip(applied) {
+                    report.batches = report.batches.saturating_sub(1);
+                    report.updates = report.updates.saturating_sub(lost.len() as u64);
+                }
+                idx = applied;
+            }
             // The loop condition keeps `idx` in bounds; `get` makes the
             // exit typed rather than a panic if that ever changes.
             let Some(current) = chunks.get(idx) else {

@@ -44,6 +44,23 @@ pub(crate) struct ServerMetrics {
     pub recovered_batches: Arc<Counter>,
     /// Bytes discarded from torn WAL tails during crash recovery.
     pub wal_torn_bytes: Arc<Counter>,
+    /// Torn-tail truncations performed during crash recovery (one per
+    /// recovery that found a partial record; 0 after clean shutdowns).
+    pub wal_torn_tail_truncations: Arc<Counter>,
+    /// Follower lag behind the primary's durable frontier, in bytes
+    /// (upper bound; 0 when caught up or not a follower).
+    pub replication_lag_bytes: Arc<Gauge>,
+    /// Replicated batches applied by this follower.
+    pub replication_applied: Arc<Counter>,
+    /// Non-empty replication chunks applied (poll replies + pushes).
+    pub replication_chunks: Arc<Counter>,
+    /// Replication requests rejected by the fencing-epoch check.
+    pub replication_fenced: Arc<Counter>,
+    /// PROMOTE requests honoured (follower → primary transitions).
+    pub replication_promotions: Arc<Counter>,
+    /// Times the primary's prune horizon passed this follower's frontier
+    /// mid-run (replication parks; a restart re-bootstraps).
+    pub replication_resyncs: Arc<Counter>,
     /// Acceptor / connection-handler threads lost to panics.
     pub thread_panics: Arc<Counter>,
     /// INSPECT requests answered.
@@ -90,6 +107,16 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             wal_snapshots: r.counter("server_wal_snapshots_total"),
             recovered_batches: r.counter("server_recovered_batches_total"),
             wal_torn_bytes: r.counter("server_wal_torn_bytes_total"),
+            // Named to match the recovery report field and the
+            // operator-facing contract in DESIGN.md §12, not the
+            // `server_` prefix convention.
+            wal_torn_tail_truncations: r.counter("wal_torn_tail_truncations_total"),
+            replication_lag_bytes: r.gauge("server_replication_lag_bytes"),
+            replication_applied: r.counter("server_replication_applied_total"),
+            replication_chunks: r.counter("server_replication_chunks_total"),
+            replication_fenced: r.counter("server_replication_fenced_total"),
+            replication_promotions: r.counter("server_replication_promotions_total"),
+            replication_resyncs: r.counter("server_replication_resyncs_total"),
             thread_panics: r.counter("server_thread_panics_total"),
             inspects: r.counter("server_inspect_total"),
             slow_queries: r.counter("server_slow_queries_total"),

@@ -208,6 +208,15 @@ pub enum ErrorCode {
     /// past the router's retry budget. The message names the missing
     /// partition. Returned *instead of* a silently under-counted answer.
     ShardUnavailable,
+    /// A client write (UPDATE_BATCH) reached a replication follower.
+    /// Followers apply only replicated records; the message names the
+    /// primary the client should talk to (via the router's manifest).
+    NotPrimary,
+    /// A replication write carried a stale fencing epoch: the sender is
+    /// an ex-primary that was failed over past. Terminal for the
+    /// sender's replication session — it must not retry under that
+    /// epoch.
+    Fenced,
     /// A code this build does not know (forward compatibility).
     Other(u16),
 }
@@ -223,6 +232,8 @@ impl ErrorCode {
             ErrorCode::Internal => 5,
             ErrorCode::UnsupportedVersion => 6,
             ErrorCode::ShardUnavailable => 7,
+            ErrorCode::NotPrimary => 8,
+            ErrorCode::Fenced => 9,
             ErrorCode::Other(c) => c,
         }
     }
@@ -237,6 +248,8 @@ impl ErrorCode {
             5 => ErrorCode::Internal,
             6 => ErrorCode::UnsupportedVersion,
             7 => ErrorCode::ShardUnavailable,
+            8 => ErrorCode::NotPrimary,
+            9 => ErrorCode::Fenced,
             other => ErrorCode::Other(other),
         }
     }
@@ -250,6 +263,13 @@ pub struct ShardEntry {
     /// Whether the router currently considers the shard healthy (its
     /// last interaction succeeded within the retry budget).
     pub healthy: bool,
+    /// The shard's standby follower address (empty = no follower
+    /// configured for this partition).
+    pub follower: String,
+    /// Approximate replication lag of the follower in WAL bytes, from
+    /// the router's last heartbeat round (0 when no follower, or when
+    /// the follower is fully caught up).
+    pub lag_bytes: u64,
 }
 
 /// The router's versioned cluster manifest, served via
@@ -456,6 +476,70 @@ pub enum Frame {
         /// `encode_skimmed` bytes for stream `G` (empty if not asked).
         sketch_g: Vec<u8>,
     },
+    /// Primary → follower (protocol ≥ 3): a chunk of the primary's WAL
+    /// byte stream starting at `(segment, offset)`. `bytes` holds
+    /// verbatim `Frame::encode` WAL records cut at a frame boundary —
+    /// or, when `snapshot` is set, one encoded snapshot blob that
+    /// bootstraps a follower whose requested position was pruned
+    /// (`segment` then names the snapshot id, `offset` is 0, and the
+    /// follower resumes the byte stream at `(segment, 0)`).
+    /// `frontier_segment`/`frontier_offset` carry the primary's durable
+    /// frontier at send time so the follower can compute its lag. An
+    /// empty `bytes` with `snapshot` clear means "caught up". Sent as a
+    /// poll reply to [`Frame::ReplicateAck`], and checked against the
+    /// receiver's fencing epoch in both directions.
+    Replicate {
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// WAL segment id this chunk starts in (or the snapshot id).
+        segment: u64,
+        /// Byte offset within `segment` this chunk starts at.
+        offset: u64,
+        /// `true`: `bytes` is a snapshot blob, not WAL records.
+        snapshot: bool,
+        /// Primary's durable frontier: active segment id.
+        frontier_segment: u64,
+        /// Primary's durable frontier: active segment length.
+        frontier_offset: u64,
+        /// The chunk itself.
+        bytes: Vec<u8>,
+    },
+    /// Follower → primary (protocol ≥ 3): the follower's durable
+    /// replication frontier — everything strictly before
+    /// `(segment, offset)` in the primary's WAL byte stream is applied
+    /// and fsync-visible on the follower. Doubles as the poll request
+    /// for the next [`Frame::Replicate`] chunk from that position.
+    ReplicateAck {
+        /// Follower's fencing epoch (the highest it has adopted).
+        epoch: u64,
+        /// Next WAL segment id the follower needs.
+        segment: u64,
+        /// Next byte offset within `segment` the follower needs.
+        offset: u64,
+    },
+    /// Both directions (protocol ≥ 3): liveness probe. The request
+    /// carries the sender's epoch and zeros; the reply carries the
+    /// responder's epoch, role, and durable WAL frontier, which the
+    /// router's failure detector and replica-lag gauges feed on.
+    Heartbeat {
+        /// Sender's fencing epoch (requests may send 0 = unknown).
+        epoch: u64,
+        /// `true` when the responder is serving as primary.
+        primary: bool,
+        /// Responder's durable frontier: active segment id.
+        segment: u64,
+        /// Responder's durable frontier: active segment length.
+        offset: u64,
+    },
+    /// Router → follower (protocol ≥ 3): assume the primary role under
+    /// the given fencing epoch (strictly greater than any epoch the
+    /// follower has seen). The follower seals its WAL, verifies its
+    /// replication frontier, starts accepting writes, and echoes the
+    /// frame back as the acknowledgement.
+    Promote {
+        /// The new fencing epoch the promoted primary serves under.
+        epoch: u64,
+    },
 }
 
 /// Wire tags for [`Frame`] kinds.
@@ -481,6 +565,10 @@ enum Kind {
     ShardMap = 17,
     ShardQuery = 18,
     ShardQueryReply = 19,
+    Replicate = 20,
+    ReplicateAck = 21,
+    Heartbeat = 22,
+    Promote = 23,
 }
 
 impl Kind {
@@ -505,6 +593,10 @@ impl Kind {
             17 => Kind::ShardMap,
             18 => Kind::ShardQuery,
             19 => Kind::ShardQueryReply,
+            20 => Kind::Replicate,
+            21 => Kind::ReplicateAck,
+            22 => Kind::Heartbeat,
+            23 => Kind::Promote,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -880,6 +972,10 @@ impl Frame {
             Frame::ShardMap(_) => Kind::ShardMap,
             Frame::ShardQuery { .. } => Kind::ShardQuery,
             Frame::ShardQueryReply { .. } => Kind::ShardQueryReply,
+            Frame::Replicate { .. } => Kind::Replicate,
+            Frame::ReplicateAck { .. } => Kind::ReplicateAck,
+            Frame::Heartbeat { .. } => Kind::Heartbeat,
+            Frame::Promote { .. } => Kind::Promote,
         }
     }
 
@@ -968,6 +1064,8 @@ impl Frame {
                 for shard in &map.shards {
                     put_string(out, &shard.addr);
                     out.push(shard.healthy as u8);
+                    put_string(out, &shard.follower);
+                    put_varint(out, shard.lag_bytes);
                 }
             }
             Frame::ShardQuery { streams } => out.push(*streams),
@@ -982,6 +1080,45 @@ impl Frame {
                 put_varint(out, sketch_g.len() as u64);
                 out.extend_from_slice(sketch_g);
             }
+            Frame::Replicate {
+                epoch,
+                segment,
+                offset,
+                snapshot,
+                frontier_segment,
+                frontier_offset,
+                bytes,
+            } => {
+                put_varint(out, *epoch);
+                put_varint(out, *segment);
+                put_varint(out, *offset);
+                out.push(*snapshot as u8);
+                put_varint(out, *frontier_segment);
+                put_varint(out, *frontier_offset);
+                put_varint(out, bytes.len() as u64);
+                out.extend_from_slice(bytes);
+            }
+            Frame::ReplicateAck {
+                epoch,
+                segment,
+                offset,
+            } => {
+                put_varint(out, *epoch);
+                put_varint(out, *segment);
+                put_varint(out, *offset);
+            }
+            Frame::Heartbeat {
+                epoch,
+                primary,
+                segment,
+                offset,
+            } => {
+                put_varint(out, *epoch);
+                out.push(*primary as u8);
+                put_varint(out, *segment);
+                put_varint(out, *offset);
+            }
+            Frame::Promote { epoch } => put_varint(out, *epoch),
         }
     }
 
@@ -1095,7 +1232,14 @@ impl Frame {
                         1 => true,
                         _ => return Err(WireError::BadPayload("bad shard health tag")),
                     };
-                    shards.push(ShardEntry { addr, healthy });
+                    let follower = r.string()?;
+                    let lag_bytes = r.varint()?;
+                    shards.push(ShardEntry {
+                        addr,
+                        healthy,
+                        follower,
+                        lag_bytes,
+                    });
                 }
                 Frame::ShardMap(ShardMapInfo {
                     version,
@@ -1125,6 +1269,49 @@ impl Frame {
                     sketch_g,
                 }
             }
+            Kind::Replicate => {
+                let epoch = r.varint()?;
+                let segment = r.varint()?;
+                let offset = r.varint()?;
+                let snapshot = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadPayload("bad replicate snapshot tag")),
+                };
+                let frontier_segment = r.varint()?;
+                let frontier_offset = r.varint()?;
+                let len = r.varint()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                Frame::Replicate {
+                    epoch,
+                    segment,
+                    offset,
+                    snapshot,
+                    frontier_segment,
+                    frontier_offset,
+                    bytes,
+                }
+            }
+            Kind::ReplicateAck => Frame::ReplicateAck {
+                epoch: r.varint()?,
+                segment: r.varint()?,
+                offset: r.varint()?,
+            },
+            Kind::Heartbeat => {
+                let epoch = r.varint()?;
+                let primary = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadPayload("bad heartbeat role tag")),
+                };
+                Frame::Heartbeat {
+                    epoch,
+                    primary,
+                    segment: r.varint()?,
+                    offset: r.varint()?,
+                }
+            }
+            Kind::Promote => Frame::Promote { epoch: r.varint()? },
         };
         r.finish()?;
         Ok(frame)

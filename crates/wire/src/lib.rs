@@ -13,7 +13,7 @@
 //! frame       := header payload
 //! header      := magic "SSWF"          (4 bytes)
 //!                version u16-le        (= 2, the frame-format version)
-//!                kind    u8            (frame tag, 1..=19)
+//!                kind    u8            (frame tag, 1..=23)
 //!                flags   u8            (bit 0 = trace ctx, rest reserved 0)
 //!                payload_len u32-le
 //!                payload_crc u32-le    (CRC-32/IEEE of payload)
@@ -90,6 +90,31 @@
 //! Plain v2 clients still interoperate with v3 servers (single-node or
 //! shard): they offer 2, the server accepts, and no cluster frame ever
 //! appears on the session.
+//!
+//! ## Protocol version 3: replication frames
+//!
+//! The replication vocabulary is more v3 frame kinds (no new protocol
+//! version: v3 sessions simply grew new verbs, and nothing sends them to
+//! a peer that did not negotiate ≥ 3):
+//!
+//! * REPLICATE (kind 20) — a chunk of the primary's WAL byte stream
+//!   (verbatim `Frame::encode` records cut at a frame boundary), or a
+//!   snapshot blob bootstrapping a follower whose requested position was
+//!   pruned. Carries the sender's fencing epoch and the primary's
+//!   durable frontier.
+//! * REPLICATE_ACK (kind 21) — the follower's durable replication
+//!   frontier `(segment, offset)`; doubles as the long-poll request for
+//!   the next chunk from that position.
+//! * HEARTBEAT (kind 22) — liveness probe; the reply carries the
+//!   responder's epoch, role, and durable WAL frontier for the router's
+//!   failure detector and replica-lag gauges.
+//! * PROMOTE (kind 23) — router → follower: assume the primary role
+//!   under a strictly-greater fencing epoch; echoed back as the ack.
+//!
+//! Fencing: every REPLICATE is checked against the receiver's adopted
+//! epoch and a stale sender gets the typed [`ErrorCode::Fenced`], so an
+//! ex-primary that missed its own demotion cannot split-brain. Client
+//! writes that reach a follower get [`ErrorCode::NotPrimary`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -298,10 +323,14 @@ mod tests {
                     ShardEntry {
                         addr: "127.0.0.1:7401".into(),
                         healthy: true,
+                        follower: "127.0.0.1:7501".into(),
+                        lag_bytes: 4096,
                     },
                     ShardEntry {
                         addr: "127.0.0.1:7402".into(),
                         healthy: false,
+                        follower: String::new(),
+                        lag_bytes: 0,
                     },
                 ],
             }),
@@ -355,6 +384,8 @@ mod tests {
         for (code, raw) in [
             (ErrorCode::UnsupportedVersion, 6),
             (ErrorCode::ShardUnavailable, 7),
+            (ErrorCode::NotPrimary, 8),
+            (ErrorCode::Fenced, 9),
         ] {
             assert_eq!(code.as_u16(), raw);
             assert_eq!(ErrorCode::from_u16(raw), code);
@@ -366,6 +397,106 @@ mod tests {
             let (back, _) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
             assert_eq!(back, frame);
         }
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        for frame in [
+            Frame::Replicate {
+                epoch: 2,
+                segment: 5,
+                offset: 1 << 20,
+                snapshot: false,
+                frontier_segment: 6,
+                frontier_offset: 512,
+                bytes: Frame::QueryJoin.encode(),
+            },
+            // Snapshot bootstrap chunk.
+            Frame::Replicate {
+                epoch: 1,
+                segment: 9,
+                offset: 0,
+                snapshot: true,
+                frontier_segment: 9,
+                frontier_offset: 0,
+                bytes: vec![0xAB; 300],
+            },
+            // Caught-up poll reply: empty chunk.
+            Frame::Replicate {
+                epoch: 1,
+                segment: 0,
+                offset: 0,
+                snapshot: false,
+                frontier_segment: 0,
+                frontier_offset: 0,
+                bytes: vec![],
+            },
+            Frame::ReplicateAck {
+                epoch: u64::MAX,
+                segment: 3,
+                offset: 77,
+            },
+            Frame::Heartbeat {
+                epoch: 0,
+                primary: false,
+                segment: 0,
+                offset: 0,
+            },
+            Frame::Heartbeat {
+                epoch: 4,
+                primary: true,
+                segment: 12,
+                offset: 4096,
+            },
+            Frame::Promote { epoch: 2 },
+        ] {
+            let bytes = frame.encode();
+            let (back, n) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn replicate_rejects_bad_tags_and_trailing_bytes() {
+        // A bad snapshot-presence tag is a structural error.
+        let mut bytes = Frame::Replicate {
+            epoch: 1,
+            segment: 1,
+            offset: 1,
+            snapshot: false,
+            frontier_segment: 1,
+            frontier_offset: 1,
+            bytes: vec![],
+        }
+        .encode();
+        // payload = epoch, segment, offset (1 varint byte each), then tag.
+        let tag_at = HEADER_LEN + 3;
+        bytes[tag_at] = 7;
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        let hcrc = crc32(&bytes[..16]);
+        bytes[16..20].copy_from_slice(&hcrc.to_le_bytes());
+        let err = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(matches!(err, WireError::BadPayload(_)), "{err}");
+
+        // A chunk whose declared length stops short of the payload tail
+        // leaves trailing bytes, which the decoder rejects.
+        let mut ack = Frame::ReplicateAck {
+            epoch: 1,
+            segment: 1,
+            offset: 1,
+        }
+        .encode();
+        ack.push(0x00);
+        let len = (ack.len() - HEADER_LEN) as u32;
+        ack[8..12].copy_from_slice(&len.to_le_bytes());
+        let crc = crc32(&ack[HEADER_LEN..]);
+        ack[12..16].copy_from_slice(&crc.to_le_bytes());
+        let hcrc = crc32(&ack[..16]);
+        ack[16..20].copy_from_slice(&hcrc.to_le_bytes());
+        let err = Frame::decode(&ack, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(matches!(err, WireError::TrailingBytes), "{err}");
     }
 
     #[test]

@@ -305,6 +305,14 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         config.wal = Some(wal);
     }
     config.shard = args.get_or("shard", false)?;
+    if let Some(primary) = args.optional("follower-of") {
+        if config.wal.is_none() {
+            return Err(CliError(
+                "--follower-of needs --wal-dir (replication is WAL shipping)".into(),
+            ));
+        }
+        config.follower_of = Some(primary);
+    }
     let slow_ms = args.get_or("slow-query-ms", config.slow_query.as_millis() as u64)?;
     config.slow_query = std::time::Duration::from_millis(slow_ms);
     config.slow_log = args.get_or("slow-log", config.slow_log)?;
@@ -323,25 +331,31 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         config.postmortem_dir = Some(dir.into());
     }
     let shard = config.shard;
+    let follower_of = config.follower_of.clone();
     let server = Server::bind(addr.as_str(), config).map_err(io_err)?;
     println!(
-        "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}{}",
+        "serving on {} — domain 2^{log2}, {tables}x{buckets} synopsis, dyadic={dyadic}{}{}",
         server.local_addr(),
         if shard {
             " (shard role: SHARD_QUERY enabled)"
         } else {
             ""
+        },
+        match &follower_of {
+            Some(primary) => format!(" (follower of {primary}: client writes refused)"),
+            None => String::new(),
         }
     );
     if let Some(r) = server.recovery() {
         println!(
             "recovery: snapshot={}, replayed {} batches / {} updates from {} segment(s), \
-             torn bytes cut {}, corrupt snapshots skipped {}",
+             torn bytes cut {} ({} torn-tail truncation(s)), corrupt snapshots skipped {}",
             if r.snapshot_loaded { "loaded" } else { "none" },
             r.batches_replayed,
             r.updates_replayed,
             r.segments_replayed,
             r.torn_bytes,
+            r.torn_tail_truncations,
             r.snapshots_skipped
         );
     }
@@ -489,6 +503,33 @@ pub fn route(args: &Args) -> Result<(), CliError> {
     config.partition_seed = args.get_or("partition-seed", config.partition_seed)?;
     config.handler_threads = args.get_or("handlers", config.handler_threads)?;
     config.retry_budget = args.get_or("retry-budget", config.retry_budget)?;
+    if let Some(followers) = args.optional("followers") {
+        // One entry per shard in partition order; `-` (or an empty
+        // entry) leaves that shard unreplicated.
+        config.followers = followers
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                if s == "-" {
+                    String::new()
+                } else {
+                    s.to_string()
+                }
+            })
+            .collect();
+        if config.followers.len() != config.shards.len() {
+            return Err(CliError(format!(
+                "--followers names {} entries for {} shards (use '-' for none)",
+                config.followers.len(),
+                config.shards.len()
+            )));
+        }
+    }
+    let hb_ms = args.get_or("heartbeat-ms", config.heartbeat_every.as_millis() as u64)?;
+    config.heartbeat_every = std::time::Duration::from_millis(hb_ms);
+    config.heartbeat_misses = args.get_or("heartbeat-misses", config.heartbeat_misses)?;
+    config.wal_segment_bytes = args.get_or("wal-segment-bytes", config.wal_segment_bytes)?;
+    let followers = config.followers.clone();
     let router = Router::bind(addr.as_str(), config).map_err(io_err)?;
     let manifest = router.manifest();
     let info = router.info();
@@ -503,7 +544,10 @@ pub fn route(args: &Args) -> Result<(), CliError> {
         info.buckets
     );
     for (i, shard_addr) in manifest.addrs().iter().enumerate() {
-        println!("  partition {i:>2}: {shard_addr}");
+        match followers.get(i).filter(|f| !f.is_empty()) {
+            Some(f) => println!("  partition {i:>2}: {shard_addr} (follower {f})"),
+            None => println!("  partition {i:>2}: {shard_addr}"),
+        }
     }
     println!("press Enter (or close stdin) to drain and stop");
     let mut line = String::new();
@@ -536,8 +580,13 @@ pub fn cluster_join(args: &Args) -> Result<(), CliError> {
         map.shards.len()
     );
     for (i, shard) in map.shards.iter().enumerate() {
+        let replica = if shard.follower.is_empty() {
+            String::new()
+        } else {
+            format!(" (follower {}, lag {} B)", shard.follower, shard.lag_bytes)
+        };
         println!(
-            "  partition {i:>2} [{:>4}] {}",
+            "  partition {i:>2} [{:>4}] {}{replica}",
             if shard.healthy { "up" } else { "DOWN" },
             shard.addr
         );
@@ -672,8 +721,13 @@ pub fn top(args: &Args) -> Result<(), CliError> {
                     }
                     Err(e) => format!("unreachable: {e}"),
                 };
+                let replica = if shard.follower.is_empty() {
+                    "replica -".to_string()
+                } else {
+                    format!("replica {} lag {:>8} B", shard.follower, shard.lag_bytes)
+                };
                 println!(
-                    "  partition {i:>2} [{:>4}] {:<21} {detail}",
+                    "  partition {i:>2} [{:>4}] {:<21} {replica}  {detail}",
                     if shard.healthy { "up" } else { "DOWN" },
                     shard.addr
                 );

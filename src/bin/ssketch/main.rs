@@ -71,9 +71,16 @@ fn usage() -> &'static str {
          --audit-shift N|off               accuracy-audit sampling: keep 2^-N of keys (6)\n\
          --postmortem-dir PATH             flight-recorder dumps on panic/halt (off)\n\
          --shard true|false                shard role: serve SHARD_QUERY to routers (false)\n\
+         --follower-of HOST:PORT           replicate from that primary's WAL; refuse client\n\
+                                           writes until PROMOTEd (needs --wal-dir)\n\
      route           run a cluster router over shard servers (stops when stdin closes)\n\
          --addr HOST:PORT                  listen address (127.0.0.1:7979)\n\
          --shards A:P,B:P,...              shard addresses in partition order (required)\n\
+         --followers A:P,-,...             follower per shard ('-' = none); enables\n\
+                                           heartbeat failure detection + auto-failover\n\
+         --heartbeat-ms N                  heartbeat probe interval (150)\n\
+         --heartbeat-misses N              consecutive misses before failover (3)\n\
+         --wal-segment-bytes N             shards' WAL segment size, for lag estimates (64 MiB)\n\
          --partition-seed S                partitioning hash seed (pinned default)\n\
          --handlers N                      connection-handler threads (4)\n\
          --retry-budget N                  shard attempts before degraded replies (5)\n\
@@ -89,7 +96,8 @@ fn usage() -> &'static str {
      remote-query    query a running server's join estimate (no streaming)\n\
          --addr HOST:PORT\n\
      top             one-shot INSPECT snapshot of a running server\n\
-                     (adds one row per shard when --addr is a cluster router)\n\
+                     (adds one row per shard — with replica + lag — when\n\
+                     --addr is a cluster router)\n\
          --addr HOST:PORT\n\
          --events N                        recent flight-recorder events shown (8)\n\
          --slow N                          slow-query entries shown (16)\n\
