@@ -138,6 +138,39 @@ pub const LINTS: &[LintInfo] = &[
         hint: "enumerate the remaining Frame kinds explicitly (rejecting is fine — \
                silently absorbing is not) or justify with a suppression",
     },
+    LintInfo {
+        id: "a7-version-gating",
+        summary: "v3-only frame kinds (SHARD_MAP and above) may only be constructed on \
+                  paths gated on protocol >= 3 — a v2 session must never receive them",
+        hint: "guard the path on the negotiated protocol (`session_protocol < 3` reject, \
+               or the client's `require_v3()`), or justify with a suppression",
+    },
+    LintInfo {
+        id: "a8-fence-order",
+        summary: "replication handlers taking a fencing epoch must compare it before \
+                  reading the role (role-before-epoch acts on a stale role)",
+        hint: "hoist the epoch comparison above the first `role()` read, or justify \
+               with a suppression",
+    },
+    LintInfo {
+        id: "a9-persist-order",
+        summary: "on the sequenced path, WAL append precedes the dedup bump precedes the \
+                  ack write (DESIGN.md §9 lock ordering)",
+        hint: "reorder to append → bump_dedup → ack, or justify with a suppression",
+    },
+    LintInfo {
+        id: "a10-reachable-panic",
+        summary: "no unwrap/expect/panic-family macros in fns reachable from the serving \
+                  entry points, even outside a2's module allowlist",
+        hint: "return a typed error, or justify the impossibility with a suppression",
+    },
+    LintInfo {
+        id: "a10-reachable-blocking",
+        summary: "no Mutex/thread::sleep in fns reachable from the serving entry points, \
+                  even outside a4's module allowlist",
+        hint: "use the lock-free atomics idiom, move the call off the reachable path, \
+               or justify with a suppression",
+    },
 ];
 
 /// Looks up a catalog entry by id.

@@ -48,6 +48,21 @@ pub struct Tok {
     pub col: u32,
 }
 
+impl Tok {
+    /// The identifier this token names, with any raw-identifier prefix
+    /// stripped: `r#type` and `type` both answer `"type"`. Consumers
+    /// that match identifiers by name (item extraction, call-graph
+    /// resolution, keyword checks) must compare through this method —
+    /// comparing `text` directly lets `r#`-spelled names slip through a
+    /// lint's scope.
+    pub fn ident_name(&self) -> &str {
+        match self.kind {
+            TokKind::Ident => self.text.strip_prefix("r#").unwrap_or(&self.text),
+            _ => &self.text,
+        }
+    }
+}
+
 /// A comment, kept out of the significant-token stream.
 #[derive(Debug, Clone)]
 pub struct Comment {
@@ -148,7 +163,11 @@ pub fn lex(src: &str) -> Lexed {
         } else if is_ident_start(c) {
             take_ident(&mut cur, line, col)
         } else if c.is_ascii_digit() {
-            take_number(&mut cur, line, col)
+            // A number directly after `.` is a tuple index (`x.0`,
+            // `x.0.1`), never a float: the `.1` of `x.0.1` must not be
+            // folded into a `0.1` literal.
+            let after_dot = out.toks.last().map(|t| t.text == ".").unwrap_or(false);
+            take_number(&mut cur, line, col, after_dot)
         } else if c == '"' {
             take_string(&mut cur, line, col)
         } else if c == '\'' {
@@ -323,13 +342,14 @@ fn take_ident(cur: &mut Cursor, line: u32, col: u32) -> Tok {
     }
 }
 
-fn take_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+fn take_number(cur: &mut Cursor, line: u32, col: u32, after_dot: bool) -> Tok {
     let mut text = String::new();
     while let Some(c) = cur.peek(0) {
         if is_ident_continue(c) {
             text.push(c);
             cur.bump();
         } else if c == '.'
+            && !after_dot
             && cur.peek(1).map(|d| d.is_ascii_digit()) == Some(true)
             && !text.contains('.')
         {
@@ -687,6 +707,88 @@ mod tests {
         assert!(masked.contains(&"unwrap"));
         assert!(!masked.contains(&"live"));
         assert!(!masked.contains(&"live2"));
+    }
+
+    #[test]
+    fn raw_identifier_adversarial_corpus() {
+        // Raw idents in every position a lint consumer reads: fn names,
+        // params, fields, method calls, patterns — and right next to raw
+        // strings so the `r#` prefix disambiguation is exercised.
+        let toks = kinds_and_texts(
+            r##"fn r#type(r#else: u32) { r#type.r#await; let s = r#"raw"#; if let Some(r#struct) = m {} }"##,
+        );
+        for want in ["r#type", "r#else", "r#await", "r#struct"] {
+            assert!(
+                toks.contains(&(TokKind::Ident, want.into())),
+                "missing ident {want}: {toks:?}"
+            );
+        }
+        assert!(toks.contains(&(TokKind::Str, r##"r#"raw"#"##.into())));
+        // `ident_name` strips the prefix so name-matching consumers see
+        // through the raw spelling.
+        let l = lex("r#type plain");
+        assert_eq!(l.toks[0].ident_name(), "type");
+        assert_eq!(l.toks[1].ident_name(), "plain");
+    }
+
+    #[test]
+    fn raw_identifier_never_absorbs_following_tokens() {
+        // `r#ident` at EOF, before `::`, and before `(` must terminate
+        // exactly at the identifier.
+        let toks = kinds_and_texts("r#mod::r#fn(r#in)");
+        assert_eq!(toks[0], (TokKind::Ident, "r#mod".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "::".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "r#fn".into()));
+        assert_eq!(toks[3], (TokKind::Punct, "(".into()));
+        assert_eq!(toks[4], (TokKind::Ident, "r#in".into()));
+    }
+
+    #[test]
+    fn let_else_adversarial_corpus() {
+        // `let`-`else` must lex as plain tokens — the diverging block's
+        // `}` followed by `;` is the shape that used to confuse
+        // statement-boundary consumers.
+        let src = "let Some(x) = it.next() else {\n    return None;\n};\nx.load(Relaxed);";
+        let l = lex(src);
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        let else_pos = texts.iter().position(|t| *t == "else").expect("else");
+        assert_eq!(texts[else_pos + 1], "{");
+        // The `};` pair survives as two separate puncts.
+        assert!(texts.windows(2).any(|w| w == ["}", ";"]));
+        // Tokens after the let-else still lex with correct lines.
+        let load = l.toks.iter().find(|t| t.text == "load").expect("load");
+        assert_eq!(load.line, 4);
+    }
+
+    #[test]
+    fn tuple_index_chains_are_not_floats() {
+        // `x.0.1` is two tuple-index accesses, not a `0.1` float.
+        let toks = kinds_and_texts("x.0.1 + y.0 + 0.1");
+        assert_eq!(toks[0], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Num, "0".into()));
+        assert_eq!(toks[3], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[4], (TokKind::Num, "1".into()));
+        // Real float literals still fold.
+        assert!(toks.contains(&(TokKind::Num, "0.1".into())));
+    }
+
+    #[test]
+    fn test_mask_unaffected_by_let_else_blocks() {
+        // The `else { … }` divergence block inside a `#[cfg(test)]` fn
+        // must not end the masked region early.
+        let src = "#[cfg(test)]\nfn t() { let Some(x) = y else { return }; x.unwrap(); }\nfn live() { ok() }";
+        let l = lex(src);
+        let mask = test_mask(&l.toks);
+        let unmasked: Vec<&str> = l
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| !**m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(!unmasked.contains(&"unwrap"));
+        assert!(unmasked.contains(&"live"));
     }
 
     #[test]

@@ -1,24 +1,33 @@
 //! `ss-analyze`: the workspace static-analysis gate.
 //!
 //! A zero-dependency engine — hand-rolled Rust [`lexer`], minimal
-//! [`manifest`] reader, [`lints`] A1–A6 plus suppression hygiene (A0) —
+//! [`manifest`] reader, a semantic layer ([`items`], [`callgraph`],
+//! [`passes`]) and the lint set A1–A10 plus suppression hygiene (A0) —
 //! that mechanically checks the invariants the skimmed-sketch serving
 //! stack depends on: justified atomic orderings, panic-free hot paths,
 //! telemetry feature-edge discipline, lock-free hot paths, overflow-safe
-//! codec arithmetic, and exhaustive wire-frame matches. See DESIGN.md
-//! §10 for the invariant catalog and the suppression/baseline policy.
+//! codec arithmetic, exhaustive wire-frame matches, v2/v3 frame-version
+//! gating, fence-before-role ordering, WAL-append-before-ack persist
+//! ordering, and panic/blocking reachability from the serving entry
+//! points. See DESIGN.md §10 for the invariant catalog and the
+//! suppression/baseline policy.
 //!
 //! The engine is purely lexical (the offline build environment rules
 //! out `syn`) and purely deterministic: same tree, same findings, in
-//! path/line order.
+//! path/line order. The inter-procedural passes run on a call graph
+//! resolved by name with locality preference — over-approximate, which
+//! for reachability-style lints is the sound direction.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod findings;
+pub mod items;
 pub mod lexer;
 pub mod lints;
 pub mod manifest;
+pub mod passes;
 pub mod source;
 pub mod suppress;
 pub mod walk;
@@ -60,21 +69,24 @@ pub fn analyze(root: &Path) -> io::Result<Analysis> {
 /// Analysis over already-parsed inputs (the test seam: fixtures build
 /// [`SourceFile`]s and [`Manifest`]s directly from strings).
 pub fn analyze_parsed(files: &[SourceFile], manifests: &[Manifest]) -> Analysis {
-    let variants = files
-        .iter()
-        .find(|f| f.path.ends_with("wire/src/frame.rs"))
-        .map(lints::frame_variants)
-        .unwrap_or_default();
+    // Build the semantic model once; every pass shares it.
+    let ws = passes::Workspace::build(files);
+    let mut raw_all: Vec<Finding> = Vec::new();
+    for pass in passes::all_passes() {
+        raw_all.extend(pass.run(&ws));
+    }
 
+    // Suppression filtering is per file and must see *all* of a file's
+    // raw findings at once (A0 unused-suppression hygiene depends on
+    // it), so group by path first.
     let mut out = Vec::new();
     for file in files {
-        let mut raw = Vec::new();
-        raw.extend(lints::a1_atomic_ordering(file));
-        raw.extend(lints::a2_panic_free(file));
-        raw.extend(lints::a4_blocking_hot_path(file));
-        raw.extend(lints::a5_numeric_narrowing(file));
-        raw.extend(lints::a6_frame_exhaustive(file, &variants));
-        out.extend(filter_suppressed(raw, &file.path, &file.suppressions));
+        let mine: Vec<Finding> = raw_all
+            .iter()
+            .filter(|f| f.path == file.path)
+            .cloned()
+            .collect();
+        out.extend(filter_suppressed(mine, &file.path, &file.suppressions));
     }
 
     // A3 findings anchor in manifests; route each through the

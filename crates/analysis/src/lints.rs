@@ -14,7 +14,9 @@ use crate::source::SourceFile;
 /// Crates whose non-test code must be panic-free (A2): a panic in any
 /// of these kills a connection handler, an ingest worker, or recovery —
 /// exactly the paths the fault-tolerance layer promises to keep alive.
-const A2_SCOPE: &[&str] = &[
+/// Public because a10 extends this allowlist by call-graph
+/// reachability: it inspects reachable fns *outside* this scope.
+pub const A2_SCOPE: &[&str] = &[
     "crates/wire/src/",
     "crates/server/src/",
     "crates/durability/src/",
@@ -32,7 +34,9 @@ const A2_SCOPE: &[&str] = &[
 /// where one blocking call stalls a whole pipeline stage. Client-side
 /// retry loops (`client.rs`, `resilient.rs`) and the fault-injection
 /// proxy (`fault.rs`, test tooling) are deliberately outside this list.
-const A4_SCOPE: &[&str] = &[
+/// Public for the same reason as [`A2_SCOPE`]: a10 inspects reachable
+/// fns this allowlist does not cover.
+pub const A4_SCOPE: &[&str] = &[
     "crates/ingest/src/",
     "crates/telemetry/src/",
     "crates/wire/src/",
@@ -116,6 +120,12 @@ fn in_scope(path: &str, scope: &[&str]) -> bool {
     scope
         .iter()
         .any(|s| path.starts_with(s) || path == s.trim_end_matches('/'))
+}
+
+/// Public scope test for the pass layer (a10 asks "is this path already
+/// covered by a2/a4's module allowlist?").
+pub fn in_lint_scope(path: &str, scope: &[&str]) -> bool {
+    in_scope(path, scope)
 }
 
 /// A1: `Ordering::Relaxed` / `Ordering::SeqCst` must carry a comment

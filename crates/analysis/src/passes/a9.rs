@@ -1,0 +1,109 @@
+//! a9-persist-order: WAL append → dedup bump → ack, in that order.
+//!
+//! DESIGN.md §9's exactly-once argument: a batch is acked only after
+//! (1) its bytes are in the WAL and (2) the dedup frontier covers its
+//! sequence number. Bumping dedup before the append loses the batch on
+//! a crash between the two (the frontier says "applied", the log
+//! disagrees); acking before the bump lets a crashed-and-recovered
+//! server re-apply a batch the producer saw acknowledged. This pass
+//! scopes to server-crate functions whose body touches the WAL append
+//! *and* the dedup bump, and checks token order: the first append
+//! precedes the first bump, and the last ack emission follows the last
+//! bump. (The "last" reading tolerates the early duplicate-ack path,
+//! which re-acks an already-covered sequence without appending.)
+
+use super::{finding, is_pattern_position, Pass, Workspace};
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// The a9 pass.
+pub struct PersistOrder;
+
+impl Pass for PersistOrder {
+    fn id(&self) -> &'static str {
+        "a9-persist-order"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &ws.fns {
+            let file = &ws.files[f.file];
+            if !file.path.starts_with("crates/server/src/") || f.is_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let body = open + 1..close;
+            let appends: Vec<usize> = body.clone().filter(|&j| is_append(file, j)).collect();
+            let bumps: Vec<usize> = body.clone().filter(|&j| is_bump(file, j)).collect();
+            let acks: Vec<usize> = body.clone().filter(|&j| is_ack(file, j)).collect();
+            if let (Some(&a), Some(&b)) = (appends.first(), bumps.first()) {
+                if b < a {
+                    out.push(finding(
+                        "a9-persist-order",
+                        &file.path,
+                        &file.toks[b],
+                        format!(
+                            "`{}` advances the dedup frontier before the WAL append \
+                             (crash between them loses an \"applied\" batch)",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+            if let (Some(&b), Some(&k)) = (bumps.last(), acks.last()) {
+                if k < b {
+                    out.push(finding(
+                        "a9-persist-order",
+                        &file.path,
+                        &file.toks[k],
+                        format!(
+                            "`{}` writes the ack before the dedup bump that covers it \
+                             (recovery re-applies an acked batch)",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_call_named(file: &SourceFile, j: usize, names: &[&str]) -> bool {
+    let t = &file.toks[j];
+    t.kind == TokKind::Ident
+        && names.contains(&t.ident_name())
+        && file.toks.get(j + 1).map(|n| n.text.as_str()) == Some("(")
+}
+
+/// A WAL append: `.append_encoded(…)` / `.append(…)` method calls.
+fn is_append(file: &SourceFile, j: usize) -> bool {
+    is_call_named(file, j, &["append_encoded", "append"])
+        && j.checked_sub(1)
+            .and_then(|p| file.toks.get(p))
+            .map(|p| p.text == ".")
+            .unwrap_or(false)
+}
+
+/// A dedup-frontier bump: any call to `bump_dedup`.
+fn is_bump(file: &SourceFile, j: usize) -> bool {
+    is_call_named(file, j, &["bump_dedup"])
+}
+
+/// An ack emission: a call to an `ack` binding/fn, or a
+/// `Frame::BatchAck` construction in expression position.
+fn is_ack(file: &SourceFile, j: usize) -> bool {
+    if is_call_named(file, j, &["ack"]) {
+        return true;
+    }
+    let toks = &file.toks;
+    toks[j].kind == TokKind::Ident
+        && toks[j].ident_name() == "BatchAck"
+        && j >= 2
+        && toks[j - 1].text == "::"
+        && toks[j - 2].text == "Frame"
+        && !is_pattern_position(file, j)
+}

@@ -1,15 +1,17 @@
 //! Workspace file discovery.
 //!
 //! The analyzer lints *shipped* source: `.rs` files under a `src/`
-//! directory of any workspace crate (which includes `src/bin`), plus
-//! every `Cargo.toml`. It deliberately skips:
+//! directory of any workspace crate (which includes `src/bin`, so the
+//! bench-harness bins in `crates/bench/src/bin` are covered), plus the
+//! workspace `examples/` tree (examples are documentation users copy —
+//! a gated invariant violated in an example propagates), plus every
+//! `Cargo.toml`. It deliberately skips:
 //!
 //! * `shims/` — vendored stand-ins for external crates (offline build
 //!   environment); their code is not this workspace's to lint, and
 //!   they carry no telemetry feature edges,
-//! * `tests/`, `benches/`, `examples/`, fixture trees — test-only code
-//!   is exempt by design (the lints also mask `#[cfg(test)]` modules
-//!   inside `src/`),
+//! * `tests/`, `benches/`, fixture trees — test-only code is exempt by
+//!   design (the lints also mask `#[cfg(test)]` modules inside `src/`),
 //! * `target/`, `.git/`, `results/` — build and output artifacts.
 
 use std::fs;
@@ -17,9 +19,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Directory names never descended into.
-const SKIP_DIRS: &[&str] = &[
-    "target", ".git", "shims", "results", "tests", "benches", "examples", "fixtures",
-];
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "results", "tests", "benches", "fixtures"];
 
 /// A file selected for analysis, with its repo-relative path and text.
 #[derive(Debug)]
@@ -61,7 +61,11 @@ pub fn collect(root: &Path) -> io::Result<Inputs> {
                     path: rel,
                     text: fs::read_to_string(&path)?,
                 });
-            } else if name.ends_with(".rs") && rel.split('/').any(|seg| seg == "src") {
+            } else if name.ends_with(".rs")
+                && rel
+                    .split('/')
+                    .any(|seg| seg == "src" || seg == "examples")
+            {
                 out.sources.push(Input {
                     path: rel,
                     text: fs::read_to_string(&path)?,

@@ -344,3 +344,277 @@ fn a0_missing_reason_and_unknown_lint_are_findings() {
     )]);
     assert!(lints(&b).contains(&"a0-unknown-lint"), "{:?}", b.findings);
 }
+
+// ---------------------------------------------------------------- A7
+
+/// Minimal wire `Kind` enum the a7 pass derives the v3 variant set
+/// from: `Promote = 23` is v3-only, `Hello = 1` is not.
+const FRAME_RS: (&str, &str) = (
+    "crates/wire/src/frame.rs",
+    "pub enum Kind { Hello = 1, Promote = 23 }\n",
+);
+
+#[test]
+fn a7_ungated_v3_construction_is_caught() {
+    let a = run(&[
+        FRAME_RS,
+        (
+            "crates/server/src/lib.rs",
+            "fn send(out: &mut O) { out.emit(Frame::Promote { epoch: 1 }); }\n",
+        ),
+    ]);
+    assert_eq!(lints(&a), ["a7-version-gating"]);
+    assert!(a.findings[0].message.contains("Frame::Promote"));
+}
+
+#[test]
+fn a7_local_gate_caller_gate_and_suppression_are_honored() {
+    // A protocol guard earlier in the same body gates the construction…
+    let a = run(&[
+        FRAME_RS,
+        (
+            "crates/server/src/lib.rs",
+            "fn send(session_protocol: u16, out: &mut O) {\n\
+             \u{20}   if session_protocol < 3 { return; }\n\
+             \u{20}   out.emit(Frame::Promote { epoch: 1 });\n\
+             }\n",
+        ),
+    ]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // …a guard in the sole (non-test) caller gates it transitively…
+    let b = run(&[
+        FRAME_RS,
+        (
+            "crates/server/src/lib.rs",
+            "fn dispatch(session_protocol: u16, out: &mut O) {\n\
+             \u{20}   if session_protocol < 3 { return; }\n\
+             \u{20}   send_promote(out);\n\
+             }\n\
+             fn send_promote(out: &mut O) { out.emit(Frame::Promote { epoch: 1 }); }\n",
+        ),
+    ]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+    // …and an explicit allow directive silences an ungated one.
+    let c = run(&[
+        FRAME_RS,
+        (
+            "crates/server/src/lib.rs",
+            "// ss-analyze: allow(a7-version-gating) -- fixture: v2 peers filtered upstream\n\
+             fn send(out: &mut O) { out.emit(Frame::Promote { epoch: 1 }); }\n",
+        ),
+    ]);
+    assert!(c.findings.is_empty(), "{:?}", c.findings);
+}
+
+#[test]
+fn a7_patterns_and_the_codec_crate_are_exempt() {
+    // Matching on a v3 frame is how v2 paths *reject* it — only
+    // construction is gated. The codec crate itself must name every
+    // kind and is exempt wholesale.
+    let a = run(&[
+        FRAME_RS,
+        (
+            "crates/server/src/lib.rs",
+            "fn epoch_of(f: &Frame) -> u64 {\n\
+             \u{20}   if let Frame::Promote { epoch } = f { *epoch } else { 0 }\n\
+             }\n",
+        ),
+        (
+            "crates/wire/src/codec.rs",
+            "fn encode() -> Frame { Frame::Promote { epoch: 1 } }\n",
+        ),
+    ]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+}
+
+// ---------------------------------------------------------------- A8
+
+#[test]
+fn a8_role_read_before_epoch_comparison_is_caught() {
+    // Seeded reorder: the handler consults its role, *then* compares
+    // the caller's fencing epoch — the stale-role window.
+    let a = run(&[(
+        "crates/server/src/replication.rs",
+        "fn apply(epoch: u64, state: &S) -> bool {\n\
+         \u{20}   if state.role() != Role::Primary { return false; }\n\
+         \u{20}   if epoch < state.epoch() { return false; }\n\
+         \u{20}   true\n\
+         }\n",
+    )]);
+    assert_eq!(lints(&a), ["a8-fence-order"]);
+    assert!(a.findings[0].message.contains("stale-role"));
+}
+
+#[test]
+fn a8_fence_first_and_suppression_are_honored() {
+    // The hoisted epoch comparison dominates the role read: clean.
+    let a = run(&[(
+        "crates/server/src/replication.rs",
+        "fn apply(epoch: u64, state: &S) -> bool {\n\
+         \u{20}   if epoch < state.epoch() { return false; }\n\
+         \u{20}   if state.role() != Role::Primary { return false; }\n\
+         \u{20}   true\n\
+         }\n",
+    )]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // A justified suppression on the role-read line is honored.
+    let b = run(&[(
+        "crates/server/src/replication.rs",
+        "fn observe(epoch: u64, state: &S) -> bool {\n\
+         \u{20}   // ss-analyze: allow(a8-fence-order) -- fixture: read-only probe, role is advisory\n\
+         \u{20}   state.role() == Role::Primary && epoch > 0\n\
+         }\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ---------------------------------------------------------------- A9
+
+#[test]
+fn a9_bump_before_append_is_caught() {
+    // Seeded reorder: dedup frontier advanced before the WAL append —
+    // a crash between them loses a batch the frontier claims applied.
+    let a = run(&[(
+        "crates/server/src/ingest.rs",
+        "fn handle(w: &mut W, seq: u64) {\n\
+         \u{20}   w.bump_dedup(seq);\n\
+         \u{20}   w.wal.append(seq);\n\
+         \u{20}   ack(seq);\n\
+         }\n",
+    )]);
+    assert_eq!(lints(&a), ["a9-persist-order"]);
+    assert!(a.findings[0].message.contains("before the WAL append"));
+}
+
+#[test]
+fn a9_ack_before_bump_is_caught() {
+    // Seeded reorder: the ack leaves before the dedup bump that covers
+    // it — recovery re-applies a batch the producer saw acknowledged.
+    let a = run(&[(
+        "crates/server/src/ingest.rs",
+        "fn handle(w: &mut W, seq: u64) {\n\
+         \u{20}   w.wal.append(seq);\n\
+         \u{20}   ack(seq);\n\
+         \u{20}   w.bump_dedup(seq);\n\
+         }\n",
+    )]);
+    assert_eq!(lints(&a), ["a9-persist-order"]);
+    assert!(a.findings[0].message.contains("ack before the dedup bump"));
+}
+
+#[test]
+fn a9_correct_order_and_suppression_are_honored() {
+    // append -> bump -> ack is the documented order: clean. The early
+    // duplicate-ack path (ack, then the real sequence later) is
+    // tolerated by the last-occurrence reading.
+    let a = run(&[(
+        "crates/server/src/ingest.rs",
+        "fn handle(w: &mut W, seq: u64) {\n\
+         \u{20}   if w.seen(seq) { ack(seq); return; }\n\
+         \u{20}   w.wal.append(seq);\n\
+         \u{20}   w.bump_dedup(seq);\n\
+         \u{20}   ack(seq);\n\
+         }\n",
+    )]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // A justified suppression on the offending token's line is honored.
+    let b = run(&[(
+        "crates/server/src/ingest.rs",
+        "fn replay(w: &mut W, seq: u64) { w.bump_dedup(seq); w.wal.append(seq); ack(seq); } // ss-analyze: allow(a9-persist-order) -- fixture: recovery replay, frontier restored from the log itself\n",
+    )]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ---------------------------------------------------------------- A10
+
+#[test]
+fn a10_panic_reachable_from_entry_point_is_caught() {
+    // `handle_connection` (a serving entry point) calls into a crate
+    // outside a2's module allowlist; the unwrap there is reachable.
+    // The uncalled neighbor with the same unwrap is not flagged.
+    let a = run(&[
+        (
+            "crates/server/src/lib.rs",
+            "fn handle_connection(x: Option<u8>) -> u8 { helper_crunch(x) }\n",
+        ),
+        (
+            "crates/query/src/lib.rs",
+            "pub fn helper_crunch(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             pub fn lonely(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        ),
+    ]);
+    assert_eq!(lints(&a), ["a10-reachable-panic"]);
+    assert!(a.findings[0].message.contains("helper_crunch"));
+    assert_eq!(a.findings[0].path, "crates/query/src/lib.rs");
+}
+
+#[test]
+fn a10_blocking_reachable_from_entry_point_is_caught() {
+    let a = run(&[
+        (
+            "crates/cluster/src/router.rs",
+            "fn supervise(d: Duration) { pause_helper(d); }\n",
+        ),
+        (
+            "crates/query/src/lib.rs",
+            "pub fn pause_helper(d: Duration) { std::thread::sleep(d); }\n",
+        ),
+    ]);
+    assert_eq!(lints(&a), ["a10-reachable-blocking"]);
+    assert!(a.findings[0].message.contains("pause_helper"));
+}
+
+#[test]
+fn a10_suppressions_are_honored() {
+    let a = run(&[
+        (
+            "crates/server/src/lib.rs",
+            "fn handle_connection(x: Option<u8>) -> u8 { helper_crunch(x) }\n",
+        ),
+        (
+            "crates/query/src/lib.rs",
+            "pub fn helper_crunch(x: Option<u8>) -> u8 {\n\
+             \u{20}   // ss-analyze: allow(a10-reachable-panic) -- fixture: Some by construction\n\
+             \u{20}   x.unwrap()\n\
+             }\n",
+        ),
+    ]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    let b = run(&[
+        (
+            "crates/cluster/src/router.rs",
+            "fn supervise(d: Duration) { pause_helper(d); }\n",
+        ),
+        (
+            "crates/query/src/lib.rs",
+            "pub fn pause_helper(d: Duration) {\n\
+             \u{20}   // ss-analyze: allow(a10-reachable-blocking) -- fixture: cold supervision tick\n\
+             \u{20}   std::thread::sleep(d);\n\
+             }\n",
+        ),
+    ]);
+    assert!(b.findings.is_empty(), "{:?}", b.findings);
+}
+
+// ------------------------------------------------- A0 rename orphan
+
+#[test]
+fn a0_suppression_orphaned_by_file_rename_is_reported() {
+    // A suppression written when this code lived in a linted path
+    // (say `crates/server/src/query.rs`, inside a2's allowlist)
+    // travels with the code to a path the lint does not cover. The
+    // directive now matches nothing — A0 reports it instead of letting
+    // a dead `allow` rot in place and silently mask a future finding.
+    let src = "fn pick(x: Option<u8>) -> u8 {\n\
+               \u{20}   // ss-analyze: allow(a2-panic-free) -- checked by caller\n\
+               \u{20}   x.unwrap()\n\
+               }\n";
+    // In the original location the suppression is live: no findings.
+    let before = run(&[("crates/server/src/query.rs", src)]);
+    assert!(before.findings.is_empty(), "{:?}", before.findings);
+    // After the rename, a2 no longer applies and the directive is
+    // orphaned: exactly one a0-unused-suppression, anchored to it.
+    let after = run(&[("crates/query/src/pick.rs", src)]);
+    assert_eq!(lints(&after), ["a0-unused-suppression"]);
+    assert_eq!(after.findings[0].line, 2);
+}

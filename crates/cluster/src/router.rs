@@ -534,7 +534,7 @@ fn make_sessions(inner: &Inner, h: usize) -> Vec<ShardSession> {
                     write_timeout: config.write_timeout,
                     reply_retries: config.shard_reply_retries,
                     backoff: config.backoff.clone(),
-                    trace: false,
+                    ..ClientConfig::default()
                 },
                 config.retry_budget,
             )

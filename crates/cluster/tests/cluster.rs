@@ -80,7 +80,7 @@ fn test_client_config(client_id: u64) -> ClientConfig {
         write_timeout: Duration::from_millis(500),
         reply_retries: 30,
         backoff: BackoffConfig::default(),
-        trace: false,
+        ..ClientConfig::default()
     }
 }
 

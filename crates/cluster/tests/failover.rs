@@ -110,7 +110,7 @@ fn producer_config(client_id: u64) -> ClientConfig {
         write_timeout: Duration::from_millis(500),
         reply_retries: 100,
         backoff: BackoffConfig::default(),
-        trace: false,
+        ..ClientConfig::default()
     }
 }
 

@@ -44,6 +44,7 @@ impl PairwiseHash {
         Self {
             a: g.next_nonzero_field_element(),
             b: g.next_field_element(),
+            // ss-analyze: allow(a10-reachable-panic) -- usize -> u64 is infallible on every supported target
             range: u64::try_from(range).expect("usize range fits in u64"),
         }
     }

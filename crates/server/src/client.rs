@@ -59,6 +59,14 @@ pub enum ClientError {
         /// Server-supplied context (names the server's accepted range).
         message: String,
     },
+    /// A protocol >= 3 request (sharding, replication, failover) was
+    /// attempted on a session that negotiated an older protocol. Raised
+    /// client-side before any bytes hit the wire, so a v2 session never
+    /// sends a frame kind its peer cannot decode.
+    V3Required {
+        /// The protocol this session negotiated at the handshake.
+        negotiated: u16,
+    },
     /// A [`ResilientClient`](crate::ResilientClient) spent its whole
     /// reconnect budget without completing the operation.
     Exhausted {
@@ -81,6 +89,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Timeout => write!(f, "timed out waiting for a reply"),
             ClientError::VersionMismatch { offered, message } => {
                 write!(f, "protocol version {offered} rejected: {message}")
+            }
+            ClientError::V3Required { negotiated } => {
+                write!(f, "request requires protocol >= 3, session negotiated {negotiated}")
             }
             ClientError::Exhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} reconnect attempts: {last}")
@@ -128,6 +139,12 @@ pub struct ClientConfig {
     /// Backoff policy for THROTTLE retries (and reconnects, in
     /// [`ResilientClient`](crate::ResilientClient)).
     pub backoff: BackoffConfig,
+    /// Protocol version offered in HELLO. Defaults to
+    /// [`PROTOCOL_VERSION`]; pin it lower (within the server's accepted
+    /// range) to exercise downgraded sessions during mixed-version
+    /// rollouts. v3-only requests on such a session fail client-side
+    /// with [`ClientError::V3Required`].
+    pub offer_protocol: u16,
     /// Stamp every request with a fresh causal trace id (see the wire
     /// grammar's trace extension) and record client-side Request spans
     /// in the flight recorder. Requires the `telemetry` feature to have
@@ -147,6 +164,7 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(10),
             reply_retries: 30,
             backoff: BackoffConfig::default(),
+            offer_protocol: PROTOCOL_VERSION,
             trace: false,
         }
     }
@@ -247,6 +265,9 @@ pub struct ServerClient {
     sock: TcpStream,
     info: ServerInfo,
     max_payload: u32,
+    /// The protocol this session negotiated at the handshake (the
+    /// accepted HELLO offer). Gates the v3-only request surface.
+    protocol: u16,
     config: ClientConfig,
     /// Next sequence number per stream (meaningful when
     /// `config.client_id != 0`); advanced only on BATCH_ACK.
@@ -305,6 +326,7 @@ impl ServerClient {
                 queue_limit: 0,
             },
             max_payload: stream_wire::DEFAULT_MAX_PAYLOAD,
+            protocol: config.offer_protocol,
             config,
             next_seq: [1, 1],
             backoff,
@@ -313,7 +335,7 @@ impl ServerClient {
             scratch: Vec::new(),
         };
         let reply = client.call(&Frame::Hello {
-            protocol: PROTOCOL_VERSION,
+            protocol: client.protocol,
             client: client.config.name.clone(),
         });
         match reply {
@@ -327,7 +349,7 @@ impl ServerClient {
                 code: ErrorCode::UnsupportedVersion,
                 message,
             }) => Err(ClientError::VersionMismatch {
-                offered: PROTOCOL_VERSION,
+                offered: client.protocol,
                 message,
             }),
             Err(e) => Err(e),
@@ -338,6 +360,23 @@ impl ServerClient {
     /// The schema and limits the server advertised.
     pub fn info(&self) -> &ServerInfo {
         &self.info
+    }
+
+    /// The protocol version this session negotiated at the handshake.
+    pub fn protocol(&self) -> u16 {
+        self.protocol
+    }
+
+    /// Typed gate on the protocol >= 3 request surface: sharding,
+    /// replication, and failover calls refuse, client-side, to
+    /// serialize v3-only frame kinds onto an older session.
+    fn require_v3(&self) -> Result<(), ClientError> {
+        if self.protocol < 3 {
+            return Err(ClientError::V3Required {
+                negotiated: self.protocol,
+            });
+        }
+        Ok(())
     }
 
     /// The producer identity batches are sequenced under (0 = none).
@@ -752,6 +791,7 @@ impl ServerClient {
     ///
     /// [`ServerConfig::shard`]: crate::ServerConfig::shard
     pub fn shard_query(&mut self, streams: u8) -> Result<(Vec<u8>, Vec<u8>), ClientError> {
+        self.require_v3()?;
         match self.call(&Frame::ShardQuery { streams })? {
             Frame::ShardQueryReply {
                 streams: got,
@@ -773,6 +813,7 @@ impl ServerClient {
     /// protocol error — which is how `ssketch top` tells a router from
     /// a single node.
     pub fn shard_map(&mut self) -> Result<ShardMapInfo, ClientError> {
+        self.require_v3()?;
         let request = Frame::ShardMap(ShardMapInfo {
             version: 0,
             seed: 0,
@@ -795,6 +836,7 @@ impl ServerClient {
         segment: u64,
         offset: u64,
     ) -> Result<ReplicaChunk, ClientError> {
+        self.require_v3()?;
         let request = Frame::ReplicateAck {
             epoch,
             segment,
@@ -835,6 +877,7 @@ impl ServerClient {
         offset: u64,
         bytes: Vec<u8>,
     ) -> Result<(u64, u64), ClientError> {
+        self.require_v3()?;
         let frontier_offset = offset + bytes.len() as u64;
         let request = Frame::Replicate {
             epoch,
@@ -858,6 +901,7 @@ impl ServerClient {
     /// epoch, and durable frontier. The cluster router's failure
     /// detector is built on this round trip.
     pub fn heartbeat(&mut self, epoch: u64) -> Result<ReplicaStatus, ClientError> {
+        self.require_v3()?;
         let request = Frame::Heartbeat {
             epoch,
             primary: false,
@@ -886,6 +930,7 @@ impl ServerClient {
     /// follower seals its log, stops replicating, and starts accepting
     /// writes; the echoed epoch is returned. Idempotent for retries.
     pub fn promote(&mut self, epoch: u64) -> Result<u64, ClientError> {
+        self.require_v3()?;
         match self.call(&Frame::Promote { epoch })? {
             Frame::Promote { epoch } => Ok(epoch),
             // ss-analyze: allow(a6-frame-exhaustive) -- client-side strict request/reply: every non-matching kind is uniformly *rejected* as UnexpectedFrame, not absorbed

@@ -95,7 +95,7 @@ fn test_client_config(client_id: u64) -> ClientConfig {
             cap: Duration::from_millis(5),
             seed: 0xC4A0_5EED,
         },
-        trace: false,
+        ..ClientConfig::default()
     }
 }
 

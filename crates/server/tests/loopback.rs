@@ -271,3 +271,50 @@ fn shutdown_closes_idle_connections_and_drains() {
     assert_eq!(fin_f.level_counters(), local.level_counters());
     assert_eq!(fin_g.l1_mass(), 0);
 }
+
+#[test]
+fn v2_session_refuses_v3_requests_client_side() {
+    use stream_server::ClientConfig;
+    let schema = SkimmedSchema::scanning(Domain::with_log2(8), 3, 32, 1);
+    let mut config = ServerConfig::new(schema);
+    config.read_timeout = Duration::from_millis(50);
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+
+    // A default session negotiates the current protocol.
+    let current = ServerClient::connect(server.local_addr()).unwrap();
+    assert_eq!(current.protocol(), stream_wire::PROTOCOL_VERSION);
+    current.goodbye().unwrap();
+
+    // A session pinned to protocol 2 handshakes fine (the server's
+    // accepted range starts at 2) but every v3-only request is refused
+    // before any bytes hit the wire: the server never sees a frame kind
+    // a v2 peer could not decode.
+    let mut v2 = ServerClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            offer_protocol: 2,
+            read_timeout: Duration::from_millis(50),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(v2.protocol(), 2);
+    for result in [
+        v2.shard_map().map(|_| ()),
+        v2.shard_query(0b11).map(|_| ()),
+        v2.heartbeat(1).map(|_| ()),
+        v2.promote(1).map(|_| ()),
+        v2.replicate_poll(1, 0, 0).map(|_| ()),
+        v2.replicate_push(1, 0, 0, Vec::new()).map(|_| ()),
+    ] {
+        match result {
+            Err(ClientError::V3Required { negotiated }) => assert_eq!(negotiated, 2),
+            other => panic!("expected V3Required, got {other:?}"),
+        }
+    }
+    // The refusals are purely local: the session is still healthy.
+    let ok = v2.send_batch(StreamId::F, &[Update::insert(1)]).unwrap();
+    assert_eq!(ok, BatchOutcome::Accepted(1));
+    v2.goodbye().unwrap();
+    server.shutdown().unwrap();
+}

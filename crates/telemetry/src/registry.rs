@@ -84,6 +84,7 @@ impl Registry {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> Handle,
     ) -> Handle {
+        // ss-analyze: allow(a10-reachable-panic) -- lock poisoning only follows a panic already in flight; propagating is correct
         let mut entries = self.entries.lock().expect("registry poisoned");
         if let Some(e) = entries.iter().find(|e| {
             e.name == name
@@ -122,6 +123,7 @@ impl Registry {
         }
         match self.register(name, labels, || Handle::Counter(Arc::new(Counter::new()))) {
             Handle::Counter(c) => c,
+            // ss-analyze: allow(a10-reachable-panic) -- name/kind collision is a startup programming error; documented `# Panics` contract
             h => panic!("{name} already registered as a {}", h.kind()),
         }
     }
@@ -138,6 +140,7 @@ impl Registry {
         }
         match self.register(name, labels, || Handle::Gauge(Arc::new(Gauge::new()))) {
             Handle::Gauge(g) => g,
+            // ss-analyze: allow(a10-reachable-panic) -- name/kind collision is a startup programming error; documented `# Panics` contract
             h => panic!("{name} already registered as a {}", h.kind()),
         }
     }
@@ -177,6 +180,7 @@ impl Registry {
             Handle::Histogram(Arc::new(Histogram::new()), unit)
         }) {
             Handle::Histogram(h, _) => h,
+            // ss-analyze: allow(a10-reachable-panic) -- name/kind collision is a startup programming error; documented `# Panics` contract
             h => panic!("{name} already registered as a {}", h.kind()),
         }
     }
@@ -185,6 +189,7 @@ impl Registry {
     /// order. Histograms export `count`, `sum`, `p50`/`p95`/`p99`, and
     /// `max` in their unit's terms. Empty when telemetry is disabled.
     pub fn render_json_lines(&self) -> String {
+        // ss-analyze: allow(a10-reachable-panic) -- lock poisoning only follows a panic already in flight; propagating is correct
         let entries = self.entries.lock().expect("registry poisoned");
         let mut out = String::new();
         for e in entries.iter() {
